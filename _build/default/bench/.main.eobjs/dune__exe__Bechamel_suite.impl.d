@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analytical Analyze Arch Bechamel Benchmark Chimera Common Hashtbl Instance List Measure Microkernel Option Printf Sim Staged Test Time Toolkit Util Workloads

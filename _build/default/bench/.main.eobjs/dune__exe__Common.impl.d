@@ -1,0 +1,1 @@
+bench/common.ml: Arch Baselines Chimera Filename Hashtbl Ir List Option Printf Util

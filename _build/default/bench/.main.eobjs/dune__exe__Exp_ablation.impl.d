@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Arch Chimera Common Hashtbl List Option Printf Util Workloads

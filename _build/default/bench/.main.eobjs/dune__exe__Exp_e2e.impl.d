@@ -1,0 +1,1 @@
+bench/exp_e2e.ml: Arch Baselines Common Hashtbl List Option Printf Util Workloads

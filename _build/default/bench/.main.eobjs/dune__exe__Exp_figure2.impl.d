@@ -1,0 +1,1 @@
+bench/exp_figure2.ml: Analytical Common Ir List Printf String Util

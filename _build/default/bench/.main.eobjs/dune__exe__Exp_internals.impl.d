@@ -1,0 +1,1 @@
+bench/exp_internals.ml: Analytical Arch Common Float Ir List Option Printf Sim String Util Workloads

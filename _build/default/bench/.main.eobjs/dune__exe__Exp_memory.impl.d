@@ -1,0 +1,1 @@
+bench/exp_memory.ml: Analytical Arch Array Chimera Common Ir List Printf Sim Util Workloads

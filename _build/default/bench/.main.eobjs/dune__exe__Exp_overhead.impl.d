@@ -1,0 +1,1 @@
+bench/exp_overhead.ml: Arch Chimera Common List Option Printf Util Workloads

@@ -1,0 +1,1 @@
+bench/exp_subgraphs.ml: Arch Common List Printf Workloads

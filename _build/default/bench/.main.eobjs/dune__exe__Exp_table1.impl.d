@@ -1,0 +1,1 @@
+bench/exp_table1.ml: Arch Common List Printf Util Workloads

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bechamel_suite Common Exp_ablation Exp_e2e Exp_figure2 Exp_internals Exp_memory Exp_overhead Exp_subgraphs Exp_table1 List Printf String Sys

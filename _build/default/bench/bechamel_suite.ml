@@ -1,0 +1,92 @@
+(* Bechamel micro-benchmarks of the framework's own hot paths: one
+   Test.make per core operation backing the experiment tables. *)
+
+open Bechamel
+open Toolkit
+
+let g2 () =
+  Workloads.Gemm_configs.chain
+    (Option.get (Workloads.Gemm_configs.by_name "G2"))
+
+let c3 () =
+  Workloads.Conv_configs.chain
+    (Option.get (Workloads.Conv_configs.by_name "C3"))
+
+let tests () =
+  let gemm = g2 () in
+  let conv = c3 () in
+  let mlkn = [ "b"; "m"; "l"; "k"; "n" ] in
+  let tiling =
+    Analytical.Tiling.make gemm
+      [ ("m", 64); ("n", 64); ("k", 64); ("l", 64) ]
+  in
+  let machine = Arch.Presets.xeon_gold_6240 in
+  let level =
+    Arch.Level.make ~name:"L2" ~capacity_bytes:(1024 * 1024)
+      ~link_bandwidth_gbps:2000.0 ()
+  in
+  [
+    (* Table III / Figure 8: one Algorithm-1 evaluation. *)
+    Test.make ~name:"algorithm1-gemm-chain"
+      (Staged.stage (fun () ->
+           ignore (Analytical.Movement.analyze gemm ~perm:mlkn ~tiling)));
+    (* Figures 5-7: one full inter-block optimization (24 orders). *)
+    Test.make ~name:"planner-gemm-chain"
+      (Staged.stage (fun () ->
+           ignore
+             (Analytical.Planner.optimize gemm ~capacity_bytes:(1024 * 1024) ())));
+    (* Figures 5c/6c: one conv-chain optimization (120 orders). *)
+    Test.make ~name:"planner-conv-chain"
+      (Staged.stage (fun () ->
+           ignore
+             (Analytical.Planner.optimize conv ~capacity_bytes:(1024 * 1024) ())));
+    (* Section VI-E: the full Chimera compilation. *)
+    Test.make ~name:"chimera-optimize-g2"
+      (Staged.stage (fun () ->
+           ignore (Chimera.Compiler.optimize ~machine (g2 ()))));
+    (* Figure 8: one simulator replay. *)
+    Test.make ~name:"simulator-replay-g2"
+      (Staged.stage (fun () ->
+           ignore
+             (Sim.Trace.measure_chain gemm ~levels:[ level ] ~perm:mlkn
+                ~tiling ())));
+    (* Figure 4: micro-kernel emission. *)
+    Test.make ~name:"cpu-microkernel-emit"
+      (Staged.stage (fun () ->
+           ignore
+             (Microkernel.Cpu.impl.Microkernel.Kernel_sig.emit ~block_m:96
+                ~block_n:128 ~block_k:64)));
+  ]
+
+let run () =
+  Common.section "bechamel" "Framework micro-benchmarks (Bechamel)";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let table = Util.Table.create ~columns:[ "operation"; "time/run" ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let name = Test.Elt.name (List.hd (Test.elements test)) in
+      let analysis =
+        Analyze.one ols Instance.monotonic_clock
+          (Hashtbl.find results name)
+      in
+      let ns =
+        match Analyze.OLS.estimates analysis with
+        | Some (x :: _) -> x
+        | _ -> nan
+      in
+      let human =
+        if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Util.Table.add_row table [ name; human ])
+    (tests ());
+  Util.Table.print table

@@ -1,0 +1,93 @@
+(* Shared plumbing for the experiment harness. *)
+
+(* When set (via `--csv DIR`), every printed table is also written to
+   DIR/<section>_<name>.csv. *)
+let csv_dir : string option ref = ref None
+let current_section = ref ""
+
+let print_table ?(name = "data") table =
+  Util.Table.print table;
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "%s_%s.csv" !current_section name)
+      in
+      let oc = open_out path in
+      output_string oc (Util.Table.to_csv table);
+      close_out oc
+
+let section id title =
+  current_section := id;
+  Printf.printf "\n==================================================\n";
+  Printf.printf "== %s: %s\n" id title;
+  Printf.printf "==================================================\n"
+
+let fmt_us s = Printf.sprintf "%.1f" (s *. 1e6)
+let fmt_speedup x = Printf.sprintf "%.2fx" x
+
+(* Chimera compilation, memoised per (machine, chain name + shape). *)
+let chimera_cache : (string, float) Hashtbl.t = Hashtbl.create 64
+
+let chimera_time ~machine chain =
+  let key = machine.Arch.Machine.name ^ "|" ^ chain.Ir.Chain.name in
+  match Hashtbl.find_opt chimera_cache key with
+  | Some t -> t
+  | None ->
+      let compiled = Chimera.Compiler.optimize ~machine chain in
+      let t = Chimera.Compiler.total_time_seconds compiled in
+      Hashtbl.add chimera_cache key t;
+      t
+
+let baseline_time profile ~machine chain =
+  (Baselines.Profile.estimate profile ~machine chain)
+    .Baselines.Profile.time_seconds
+
+let geomean = Util.Stats.geomean
+
+(* Print one subgraph-comparison figure: rows are configs, columns are
+   systems, cells are performance normalised to the first baseline
+   (PyTorch-style), matching the paper's bar charts. *)
+let subgraph_figure ~machine ~configs ~chains ~label =
+  let profiles = Baselines.Systems.for_machine machine in
+  let columns =
+    "config"
+    :: (List.map (fun (p : Baselines.Profile.t) -> p.name) profiles
+       @ [ "Chimera" ])
+  in
+  let table = Util.Table.create ~columns in
+  let speedups = Hashtbl.create 8 in
+  List.iter2
+    (fun config_name chain ->
+      let base_times =
+        List.map (fun p -> (p, baseline_time p ~machine chain)) profiles
+      in
+      let chimera = chimera_time ~machine chain in
+      let reference = snd (List.hd base_times) in
+      let cells =
+        List.map
+          (fun (_, t) -> Printf.sprintf "%.2f" (reference /. t))
+          base_times
+        @ [ Printf.sprintf "%.2f" (reference /. chimera) ]
+      in
+      Util.Table.add_row table (config_name :: cells);
+      List.iter
+        (fun ((p : Baselines.Profile.t), t) ->
+          let prev =
+            Option.value (Hashtbl.find_opt speedups p.name) ~default:[]
+          in
+          Hashtbl.replace speedups p.name ((t /. chimera) :: prev))
+        base_times)
+    configs chains;
+  Printf.printf "%s (performance normalised to %s):\n" label
+    (List.hd profiles).Baselines.Profile.name;
+  print_table ~name:"speedups" table;
+  Printf.printf "Chimera average speedups:";
+  List.iter
+    (fun (p : Baselines.Profile.t) ->
+      match Hashtbl.find_opt speedups p.name with
+      | Some xs -> Printf.printf "  %s %.2fx" p.name (geomean xs)
+      | None -> ())
+    profiles;
+  print_newline ()

@@ -1,0 +1,48 @@
+(* Figure 9: end-to-end network latency on the A100 model. *)
+
+let run () =
+  Common.section "figure9" "End-to-end networks on A100 (Figure 9)";
+  let machine = Arch.Presets.nvidia_a100 in
+  let stacks = Baselines.E2e.gpu_stacks in
+  let columns =
+    "network"
+    :: List.map (fun (s : Baselines.E2e.stack) -> s.name ^ " (ms)") stacks
+  in
+  let table = Util.Table.create ~columns in
+  let ratios = Hashtbl.create 8 in
+  List.iter
+    (fun net ->
+      let times =
+        List.map
+          (fun stack ->
+            (stack, Baselines.E2e.estimate_network stack ~machine net))
+          stacks
+      in
+      let chimera =
+        snd
+          (List.find
+             (fun ((s : Baselines.E2e.stack), _) -> s.name = "Relay+Chimera")
+             times)
+      in
+      Util.Table.add_row table
+        (net.Workloads.Networks.name
+        :: List.map (fun (_, t) -> Printf.sprintf "%.2f" (t *. 1e3)) times);
+      List.iter
+        (fun ((s : Baselines.E2e.stack), t) ->
+          let prev = Option.value (Hashtbl.find_opt ratios s.name) ~default:[] in
+          Hashtbl.replace ratios s.name ((t /. chimera) :: prev))
+        times)
+    Workloads.Networks.all;
+  Common.print_table table;
+  Printf.printf "Relay+Chimera geometric speedups:";
+  List.iter
+    (fun (s : Baselines.E2e.stack) ->
+      if s.name <> "Relay+Chimera" then
+        match Hashtbl.find_opt ratios s.name with
+        | Some xs -> Printf.printf "  vs %s %.2fx" s.name (Util.Stats.geomean xs)
+        | None -> ())
+    stacks;
+  print_newline ();
+  print_endline
+    "(paper: 1.42x vs Relay+TensorRT, 1.31x vs Relay+CuDNN, 1.22x vs \
+     Relay+Ansor; PyTorch+CuDNN far slower)"

@@ -1,0 +1,208 @@
+(* Ablations of this reproduction's own design choices (recorded in
+   DESIGN.md): solver ingredients, hierarchical vs flat trace replay,
+   and the occupancy-refinement slack. *)
+
+let solver_ablation () =
+  Common.section "internals.solver"
+    "Solver ingredients: coordinate descent + uniform start + boundary grow";
+  let chain =
+    Ir.Chain.batch_gemm_chain ~name:"solver-abl" ~batch:1 ~m:2048 ~n:64 ~k:64
+      ~l:2048 ()
+  in
+  let perm = [ "b"; "m"; "l"; "k"; "n" ] in
+  let capacity = 512 * 1024 in
+  let dv ~boundary_grow ~uniform_start =
+    match
+      Analytical.Solver.solve_for_perm chain ~perm ~capacity_bytes:capacity
+        ~boundary_grow ~uniform_start ()
+    with
+    | Some sol -> sol.Analytical.Solver.movement.Analytical.Movement.dv_bytes
+    | None -> nan
+  in
+  let cf =
+    Analytical.Closed_form.solve ~m:2048 ~n:64 ~k:64 ~l:2048
+      ~capacity_elems:(capacity / 2) ()
+  in
+  let cf_dv =
+    (Analytical.Movement.analyze chain ~perm
+       ~tiling:
+         (Analytical.Tiling.make chain
+            [ ("m", cf.t_m); ("n", cf.t_n); ("k", cf.t_k); ("l", cf.t_l) ]))
+      .Analytical.Movement.dv_bytes
+  in
+  let table = Util.Table.create ~columns:[ "variant"; "DV (MB)"; "vs full" ] in
+  let full = dv ~boundary_grow:true ~uniform_start:true in
+  List.iter
+    (fun (label, v) ->
+      Util.Table.add_row table
+        [ label; Printf.sprintf "%.3f" (v /. 1e6);
+          Printf.sprintf "%.2fx" (v /. full) ])
+    [
+      ("descent only", dv ~boundary_grow:false ~uniform_start:false);
+      ("+ uniform start", dv ~boundary_grow:false ~uniform_start:true);
+      ("+ boundary grow", dv ~boundary_grow:true ~uniform_start:false);
+      ("full solver", full);
+      ("paper closed form (rounded)", cf_dv);
+    ];
+  Common.print_table table
+
+let trace_ablation () =
+  Common.section "internals.trace"
+    "Hierarchical vs flat trace replay (per-level fill traffic)";
+  (* A square GEMM chain large enough that the outer-level block order
+     matters, replayed against a two-level hierarchy. *)
+  let chain =
+    Ir.Chain.batch_gemm_chain ~name:"trace-abl" ~batch:1 ~m:512 ~n:512 ~k:512
+      ~l:512 ()
+  in
+  let l1 =
+    Arch.Level.make ~name:"L1" ~capacity_bytes:(32 * 1024)
+      ~link_bandwidth_gbps:4000.0 ()
+  in
+  let l2 =
+    Arch.Level.make ~name:"L2" ~capacity_bytes:(256 * 1024)
+      ~link_bandwidth_gbps:2000.0 ()
+  in
+  let outer =
+    Analytical.Planner.optimize chain ~capacity_bytes:l2.Arch.Level.capacity_bytes ()
+  in
+  let inner =
+    Analytical.Planner.optimize chain
+      ~capacity_bytes:l1.Arch.Level.capacity_bytes
+      ~max_tile:(fun a -> Analytical.Tiling.get outer.Analytical.Planner.tiling a)
+      ()
+  in
+  let hier =
+    Sim.Trace.measure_hier chain ~levels:[ l1; l2 ]
+      ~plan_levels:
+        [
+          (outer.Analytical.Planner.perm, outer.Analytical.Planner.tiling);
+          (inner.Analytical.Planner.perm, inner.Analytical.Planner.tiling);
+        ]
+      ()
+  in
+  let flat =
+    Sim.Trace.measure_chain chain ~levels:[ l1; l2 ]
+      ~perm:inner.Analytical.Planner.perm
+      ~tiling:inner.Analytical.Planner.tiling ()
+  in
+  Printf.printf "outer plan: %s %s; inner plan: %s %s\n"
+    (String.concat "" outer.Analytical.Planner.perm)
+    (Analytical.Tiling.to_string outer.Analytical.Planner.tiling)
+    (String.concat "" inner.Analytical.Planner.perm)
+    (Analytical.Tiling.to_string inner.Analytical.Planner.tiling);
+  let table =
+    Util.Table.create ~columns:[ "level"; "hier bytes_in MB"; "flat bytes_in MB" ]
+  in
+  List.iter2
+    (fun (h : Sim.Trace.level_stats) (f : Sim.Trace.level_stats) ->
+      Util.Table.add_row table
+        [
+          h.level.Arch.Level.name;
+          Printf.sprintf "%.3f" (h.bytes_in /. 1e6);
+          Printf.sprintf "%.3f" (f.bytes_in /. 1e6);
+        ])
+    hier.Sim.Trace.levels flat.Sim.Trace.levels;
+  Common.print_table table;
+  print_endline
+    "(the generated kernel nests the L1 sub-block order inside L2 blocks; \
+     replaying the innermost order flat discards the outer blocking and \
+     inflates the outer level's fill traffic)"
+
+let slack_ablation () =
+  Common.section "internals.slack"
+    "Occupancy refinement: blocks vs extra data movement";
+  let machine = Arch.Presets.xeon_gold_6240 in
+  let chain =
+    Workloads.Gemm_configs.chain
+      (Option.get (Workloads.Gemm_configs.by_name "G12"))
+  in
+  let capacity =
+    (Arch.Machine.primary_on_chip machine).Arch.Level.capacity_bytes
+  in
+  let base = Analytical.Planner.optimize chain ~capacity_bytes:capacity () in
+  let table =
+    Util.Table.create
+      ~columns:[ "slack"; "blocks"; "DV (MB)"; "core occupancy" ]
+  in
+  List.iter
+    (fun slack ->
+      let plan =
+        if slack = 0.0 then base
+        else
+          Analytical.Planner.refine_for_parallelism chain base
+            ~min_blocks:machine.Arch.Machine.cores ~slack ()
+      in
+      let blocks = Analytical.Tiling.total_blocks plan.Analytical.Planner.tiling in
+      Util.Table.add_row table
+        [
+          (if slack = 0.0 then "off" else Printf.sprintf "%.2f" slack);
+          Printf.sprintf "%.0f" blocks;
+          Printf.sprintf "%.3f"
+            (plan.Analytical.Planner.movement.Analytical.Movement.dv_bytes
+            /. 1e6);
+          Printf.sprintf "%.0f%%"
+            (100.0
+            *. Float.min 1.0
+                 (blocks /. float_of_int machine.Arch.Machine.cores));
+        ])
+    [ 0.0; 1.1; 1.25; 2.0; 4.0 ];
+  Common.print_table table
+
+let granularity_ablation () =
+  Common.section "internals.granularity"
+    "Tile-granular LRU vs line-granular set-associative simulation";
+  (* Same trace at both granularities; intermediates spilled on the tile
+     side so both models charge every tensor. *)
+  let chain =
+    Ir.Chain.batch_gemm_chain ~name:"gran-abl" ~batch:1 ~m:256 ~n:256 ~k:256
+      ~l:256 ()
+  in
+  let perm = [ "b"; "m"; "l"; "k"; "n" ] in
+  let capacity = 128 * 1024 in
+  let table =
+    Util.Table.create
+      ~columns:[ "tiles"; "tile model MB"; "line model MB"; "ratio" ]
+  in
+  let ratios = ref [] in
+  List.iter
+    (fun size ->
+      let tiling =
+        Analytical.Tiling.make chain
+          [ ("m", size); ("n", size); ("k", size); ("l", size) ]
+      in
+      let tile =
+        (Sim.Trace.measure_chain chain
+           ~levels:
+             [
+               Arch.Level.make ~name:"L" ~capacity_bytes:capacity
+                 ~link_bandwidth_gbps:100.0 ();
+             ]
+           ~perm ~tiling ~spill_intermediates:true ())
+          .Sim.Trace.dram_bytes
+      in
+      let line =
+        (Sim.Address_trace.measure chain ~capacity_bytes:capacity ~perm
+           ~tiling ())
+          .Sim.Address_trace.bytes_in
+      in
+      ratios := (tile /. line) :: !ratios;
+      Util.Table.add_row table
+        [
+          string_of_int size;
+          Printf.sprintf "%.3f" (tile /. 1e6);
+          Printf.sprintf "%.3f" (line /. 1e6);
+          Printf.sprintf "%.2f" (tile /. line);
+        ])
+    [ 16; 32; 64; 128 ];
+  Common.print_table table;
+  Printf.printf
+    "tile/line agreement (geo mean of ratios): %.2f — the fast tile model \
+     stands in for line-level simulation on paper-sized problems\n"
+    (Util.Stats.geomean !ratios)
+
+let run () =
+  solver_ablation ();
+  trace_ablation ();
+  slack_ablation ();
+  granularity_ablation ()

@@ -1,0 +1,183 @@
+(* Figure 8: memory analysis and model validation on the CPU. *)
+
+let cpu = Arch.Presets.xeon_gold_6240
+
+(* ----- Figure 8 a/b/c: cache behaviour of Chimera vs PyTorch ------- *)
+
+let level_stat (stats : Sim.Trace.stats) name =
+  List.find
+    (fun (l : Sim.Trace.level_stats) -> l.level.Arch.Level.name = name)
+    stats.Sim.Trace.levels
+
+let measure_chimera chain =
+  let compiled = Chimera.Compiler.optimize ~machine:cpu chain in
+  Sim.Trace.measure (List.hd compiled.Chimera.Compiler.units).kernel
+
+let measure_pytorch_stage chain index =
+  let subs = Chimera.Compiler.split_stages chain in
+  let sub = List.nth subs index in
+  let config = { Chimera.Config.default with use_fusion = false } in
+  let compiled = Chimera.Compiler.optimize ~config ~machine:cpu sub in
+  Sim.Trace.measure (List.hd compiled.Chimera.Compiler.units).kernel
+
+let figure8abc () =
+  Common.section "figure8ab" "L2 / L3 hit rates, Chimera vs PyTorch (Figure 8a,b)";
+  let table =
+    Util.Table.create
+      ~columns:
+        [
+          "config"; "Chimera L2"; "PyT-1 L2"; "PyT-2 L2"; "Chimera L3";
+          "PyT-1 L3"; "PyT-2 L3";
+        ]
+  in
+  let reductions = ref [] in
+  let increases = ref [] in
+  let dram_reductions = ref [] in
+  List.iter
+    (fun (c : Workloads.Gemm_configs.t) ->
+      let chain = Workloads.Gemm_configs.chain c in
+      let fused = measure_chimera chain in
+      let p1 = measure_pytorch_stage chain 0 in
+      let p2 = measure_pytorch_stage chain 1 in
+      let rate stats name = (level_stat stats name).Sim.Trace.hit_rate in
+      Util.Table.add_row table
+        [
+          c.name;
+          Printf.sprintf "%.1f%%" (100.0 *. rate fused "L2");
+          Printf.sprintf "%.1f%%" (100.0 *. rate p1 "L2");
+          Printf.sprintf "%.1f%%" (100.0 *. rate p2 "L2");
+          Printf.sprintf "%.1f%%" (100.0 *. rate fused "L3");
+          Printf.sprintf "%.1f%%" (100.0 *. rate p1 "L3");
+          Printf.sprintf "%.1f%%" (100.0 *. rate p2 "L3");
+        ];
+      (* Figure 8c: per-level movement, fused vs sum of the two unfused
+         kernels. *)
+      let bytes stats name = (level_stat stats name).Sim.Trace.bytes_in in
+      let pytorch name = bytes p1 name +. bytes p2 name in
+      reductions :=
+        (1.0 -. (bytes fused "L2" /. pytorch "L2")) :: !reductions;
+      increases := (bytes fused "L1" /. pytorch "L1") :: !increases;
+      dram_reductions :=
+        (1.0 -. (fused.Sim.Trace.dram_bytes
+                 /. (p1.Sim.Trace.dram_bytes +. p2.Sim.Trace.dram_bytes)))
+        :: !dram_reductions)
+    Workloads.Gemm_configs.all;
+  Common.print_table table;
+  Common.section "figure8c" "Inter-level data movement changes (Figure 8c)";
+  Printf.printf "L2<->L3 movement reduction: %.1f%% (paper: 59.75%%)\n"
+    (100.0 *. Util.Stats.mean !reductions);
+  Printf.printf "DRAM access reduction:      %.1f%% (paper: 75.17%%)\n"
+    (100.0 *. Util.Stats.mean !dram_reductions);
+  Printf.printf "L1<->L2 movement ratio:     %.2fx (paper: +46%%)\n"
+    (Util.Stats.mean !increases)
+
+(* ----- Figure 8 d/e/f: predicted vs measured data movement --------- *)
+
+let validation_chain () =
+  Ir.Chain.batch_gemm_chain ~name:"val2048" ~batch:1 ~m:2048 ~n:2048 ~k:2048
+    ~l:2048 ()
+
+let sample_tilings chain ~capacity_bytes ~count ~seed =
+  let prng = Util.Prng.create ~seed in
+  let axes = Analytical.Movement.fused_axes chain in
+  (* Proper decomposition factors: at least two blocks per axis (a
+     "tile" of the whole extent is not a decomposition), at least 64 so
+     the trace stays tractable. *)
+  let candidates axis =
+    let extent = Ir.Chain.extent_of chain axis in
+    Array.of_list
+      (List.filter
+         (fun v -> v >= 64 && v <= extent / 2)
+         (Analytical.Solver.candidate_sizes extent))
+  in
+  let rec draw acc n guard =
+    if n = 0 || guard = 0 then acc
+    else begin
+      let tiling =
+        List.fold_left
+          (fun t axis ->
+            if Ir.Chain.extent_of chain axis = 1 then t
+            else Analytical.Tiling.set t axis (Util.Prng.pick prng (candidates axis)))
+          (Analytical.Tiling.ones chain)
+          axes
+      in
+      let mu =
+        (Analytical.Movement.analyze chain
+           ~perm:[ "b"; "m"; "l"; "k"; "n" ]
+           ~tiling)
+          .Analytical.Movement.mu_bytes
+      in
+      let blocks = Analytical.Tiling.total_blocks tiling in
+      (* Include factors around and beyond the capacity boundary: the
+         interesting region where eviction effects stress the model. *)
+      if mu <= capacity_bytes + (capacity_bytes / 5) && blocks <= 60_000.0 then
+        draw (tiling :: acc) (n - 1) (guard - 1)
+      else draw acc n (guard - 1)
+    end
+  in
+  draw [] count 20_000
+
+let validate ~id ~title ~perm ~spill =
+  Common.section id title;
+  let chain = validation_chain () in
+  let capacity = 1024 * 1024 in
+  let tilings = sample_tilings chain ~capacity_bytes:capacity ~count:120 ~seed:99 in
+  let level =
+    Arch.Level.make ~name:"L2" ~capacity_bytes:capacity
+      ~link_bandwidth_gbps:2000.0 ()
+  in
+  let predicted, measured =
+    List.split
+      (List.map
+         (fun tiling ->
+           let p =
+             (Analytical.Movement.analyze ~charge_intermediates:spill chain
+                ~perm ~tiling)
+               .Analytical.Movement.dv_bytes
+           in
+           let m =
+             (Sim.Trace.measure_chain chain ~levels:[ level ] ~perm ~tiling
+                ~spill_intermediates:spill ())
+               .Sim.Trace.dram_bytes
+           in
+           (p, m))
+         tilings)
+  in
+  let r2 = Util.Stats.r_squared ~predicted ~measured in
+  let slope, intercept = Util.Stats.linear_fit predicted measured in
+  Printf.printf "samples: %d feasible decomposition factors\n"
+    (List.length tilings);
+  Printf.printf "R^2 = %.4f   fit: measured = %.3f * predicted + %.2e\n" r2
+    slope intercept;
+  Printf.printf "(paper: R^2 >= 0.97 along the y = x line)\n";
+  (* The predicted optimum should sit at the low-movement end. *)
+  let best_pred = Util.Stats.minimum predicted in
+  let best_meas = Util.Stats.minimum measured in
+  Printf.printf
+    "predicted optimum %.3e MB; best measured sample %.3e MB\n"
+    (best_pred /. 1e6) (best_meas /. 1e6);
+  (* A compact scatter, binned by predicted volume. *)
+  let pairs = List.combine predicted measured in
+  let sorted = List.sort compare pairs in
+  let n = List.length sorted in
+  let pick i = List.nth sorted (i * (n - 1) / 9) in
+  let scatter = Util.Table.create ~columns:[ "predicted MB"; "measured MB" ] in
+  for i = 0 to 9 do
+    let p, m = pick i in
+    Util.Table.add_row scatter
+      [ Printf.sprintf "%.1f" (p /. 1e6); Printf.sprintf "%.1f" (m /. 1e6) ]
+  done;
+  Common.print_table ~name:"scatter" scatter
+
+let figure8def () =
+  validate ~id:"figure8d" ~title:"Model validation, order mlkn (Figure 8d)"
+    ~perm:[ "b"; "m"; "l"; "k"; "n" ] ~spill:false;
+  validate ~id:"figure8e" ~title:"Model validation, order mlnk (Figure 8e)"
+    ~perm:[ "b"; "m"; "l"; "n"; "k" ] ~spill:false;
+  validate ~id:"figure8f"
+    ~title:"Model validation, mlkn with intermediate spilled (Figure 8f)"
+    ~perm:[ "b"; "m"; "l"; "k"; "n" ] ~spill:true
+
+let run_all () =
+  figure8abc ();
+  figure8def ()

@@ -1,0 +1,86 @@
+(* Figures 5, 6 and 7: subgraph fusion performance on CPU, GPU and NPU. *)
+
+let gemm_chains ?softmax ?batch_override () =
+  List.map
+    (fun (c : Workloads.Gemm_configs.t) ->
+      (c.name, Workloads.Gemm_configs.chain ?softmax ?batch_override c))
+    Workloads.Gemm_configs.all
+
+let conv_chains ?relu () =
+  List.map
+    (fun (c : Workloads.Conv_configs.t) ->
+      (c.name, Workloads.Conv_configs.chain ?relu c))
+    Workloads.Conv_configs.all
+
+let figure machine ~id ~title ~pairs ~paper =
+  Common.section id title;
+  let configs = List.map fst pairs and chains = List.map snd pairs in
+  Common.subgraph_figure ~machine ~configs ~chains ~label:title;
+  Printf.printf "(paper average speedups: %s)\n" paper
+
+let figure5a () =
+  figure Arch.Presets.xeon_gold_6240 ~id:"figure5a"
+    ~title:"CPU: batch GEMM + batch GEMM"
+    ~pairs:(gemm_chains ())
+    ~paper:"PyTorch 2.62x, Relay 4.78x, Ansor 1.40x, oneDNN 3.28x"
+
+let figure5b () =
+  figure Arch.Presets.xeon_gold_6240 ~id:"figure5b"
+    ~title:"CPU: batch GEMM + softmax + batch GEMM"
+    ~pairs:(gemm_chains ~softmax:true ())
+    ~paper:"PyTorch 1.62x, Relay 7.89x, Ansor 2.29x"
+
+let figure5c () =
+  figure Arch.Presets.xeon_gold_6240 ~id:"figure5c"
+    ~title:"CPU: convolution + convolution"
+    ~pairs:(conv_chains ())
+    ~paper:"Relay 2.38x, Ansor 1.94x"
+
+let figure5d () =
+  figure Arch.Presets.xeon_gold_6240 ~id:"figure5d"
+    ~title:"CPU: convolution + ReLU + convolution"
+    ~pairs:(conv_chains ~relu:true ())
+    ~paper:"PyTorch 2.87x, Relay 2.30x, Ansor 1.71x"
+
+let figure6a () =
+  figure Arch.Presets.nvidia_a100 ~id:"figure6a"
+    ~title:"GPU: batch GEMM + batch GEMM"
+    ~pairs:(gemm_chains ())
+    ~paper:
+      "PyTorch 2.77x, TASO 3.30x, Relay 1.69x, Ansor 1.33x, TensorRT 2.29x, \
+       TVM+Cutlass 1.51x"
+
+let figure6b () =
+  figure Arch.Presets.nvidia_a100 ~id:"figure6b"
+    ~title:"GPU: batch GEMM + softmax + batch GEMM"
+    ~pairs:(gemm_chains ~softmax:true ())
+    ~paper:"PyTorch 2.74x, Relay 1.74x, Ansor 1.64x"
+
+let figure6c () =
+  figure Arch.Presets.nvidia_a100 ~id:"figure6c"
+    ~title:"GPU: convolution + convolution"
+    ~pairs:(conv_chains ())
+    ~paper:"PyTorch 5.79x, TensorRT 2.01x (C6: no speedup, compute-bound)"
+
+let figure6d () =
+  figure Arch.Presets.nvidia_a100 ~id:"figure6d"
+    ~title:"GPU: convolution + ReLU + convolution"
+    ~pairs:(conv_chains ~relu:true ())
+    ~paper:"Relay 4.32x, Ansor 1.30x"
+
+let figure7 () =
+  figure Arch.Presets.ascend_910 ~id:"figure7"
+    ~title:"NPU: GEMM chain (batch 1)"
+    ~pairs:(gemm_chains ~batch_override:1 ())
+    ~paper:"TBE 2.39x, AKG 1.14x (large GEMMs UB-bound)"
+
+let run_all () =
+  figure5a ();
+  figure5b ();
+  figure5c ();
+  figure5d ();
+  figure6a ();
+  figure6b ();
+  figure6c ();
+  figure6d ();
+  figure7 ()

@@ -1,0 +1,47 @@
+(* Table I: ML model time breakdown and accelerator characteristics. *)
+
+let run () =
+  Common.section "table1" "Model breakdown and accelerator roofline (Table I)";
+  let breakdown = Util.Table.create ~columns:[ "Name"; "%MI"; "%CI"; "%BMM" ] in
+  List.iter
+    (fun (net, paper) ->
+      let b = Workloads.Breakdown.analyze net ~machine:Arch.Presets.nvidia_a100 in
+      Util.Table.add_row breakdown
+        [
+          net.Workloads.Networks.name;
+          Printf.sprintf "%.2f%%" b.Workloads.Breakdown.mi_pct;
+          Printf.sprintf "%.2f%%" b.Workloads.Breakdown.ci_pct;
+          Printf.sprintf "%.2f%%" b.Workloads.Breakdown.bmm_pct;
+        ];
+      let pm, pc, pb = paper in
+      Util.Table.add_row breakdown
+        [
+          "  (paper)";
+          Printf.sprintf "%.2f%%" pm;
+          Printf.sprintf "%.2f%%" pc;
+          Printf.sprintf "%.2f%%" pb;
+        ])
+    [
+      (Workloads.Networks.transformer_base, (19.45, 40.51, 40.04));
+      (Workloads.Networks.bert_base, (30.56, 42.79, 26.65));
+      (Workloads.Networks.vit_huge, (15.63, 50.85, 33.52));
+    ];
+  Common.print_table ~name:"breakdown" breakdown;
+  print_newline ();
+  let devices =
+    Util.Table.create
+      ~columns:[ "Device"; "Peak Perf"; "Memory BW"; "Peak Perf/BW" ]
+  in
+  List.iter
+    (fun (_, m) ->
+      Util.Table.add_row devices
+        [
+          m.Arch.Machine.name;
+          Printf.sprintf "%.0f TFlops" m.Arch.Machine.peak_tflops;
+          Printf.sprintf "%.0f GB/s" (Arch.Machine.dram_bandwidth_gbps m);
+          Printf.sprintf "%.0f Flop/byte" (Arch.Machine.ridge_flop_per_byte m);
+        ])
+    Arch.Presets.all;
+  Common.print_table ~name:"devices" devices;
+  print_endline
+    "(paper: 92 / 200 / 267 Flop/byte for Xeon Gold / A100 / Ascend 910)"

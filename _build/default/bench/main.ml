@@ -1,0 +1,62 @@
+(* The Chimera experiment harness: regenerates every table and figure of
+   the paper's evaluation.  Run all sections with `dune exec
+   bench/main.exe`, or name sections: `dune exec bench/main.exe --
+   table1 figure5a figure8def`. *)
+
+let sections : (string * string * (unit -> unit)) list =
+  [
+    ("table1", "model breakdown + device roofline", Exp_table1.run);
+    ("figure2", "reuse table and Table III", Exp_figure2.run);
+    ("figure5a", "CPU BMM+BMM", Exp_subgraphs.figure5a);
+    ("figure5b", "CPU BMM+softmax+BMM", Exp_subgraphs.figure5b);
+    ("figure5c", "CPU conv+conv", Exp_subgraphs.figure5c);
+    ("figure5d", "CPU conv+ReLU+conv", Exp_subgraphs.figure5d);
+    ("figure6a", "GPU BMM+BMM", Exp_subgraphs.figure6a);
+    ("figure6b", "GPU BMM+softmax+BMM", Exp_subgraphs.figure6b);
+    ("figure6c", "GPU conv+conv", Exp_subgraphs.figure6c);
+    ("figure6d", "GPU conv+ReLU+conv", Exp_subgraphs.figure6d);
+    ("figure7", "NPU GEMM chain", Exp_subgraphs.figure7);
+    ("figure8abc", "cache hit rates and movement", Exp_memory.figure8abc);
+    ("figure8def", "model validation scatter", Exp_memory.figure8def);
+    ("figure9", "end-to-end networks", Exp_e2e.run);
+    ("figure10", "ablation study", Exp_ablation.run);
+    ("overhead", "optimization overhead", fun () -> Exp_overhead.run ());
+    ("internals", "reproduction design-choice ablations", Exp_internals.run);
+    ("bechamel", "framework micro-benchmarks", Bechamel_suite.run);
+  ]
+
+let () =
+  let args =
+    match Array.to_list Sys.argv with [] | [ _ ] -> [] | _ :: args -> args
+  in
+  let rec strip_csv acc = function
+    | "--csv" :: dir :: rest ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        Common.csv_dir := Some dir;
+        strip_csv acc rest
+    | x :: rest -> strip_csv (x :: acc) rest
+    | [] -> List.rev acc
+  in
+  let requested = strip_csv [] args in
+  let to_run =
+    if requested = [] then sections
+    else
+      List.filter_map
+        (fun name ->
+          match
+            List.find_opt (fun (id, _, _) -> id = name) sections
+          with
+          | Some s -> Some s
+          | None ->
+              Printf.eprintf "unknown section %s; available: %s\n" name
+                (String.concat ", " (List.map (fun (id, _, _) -> id) sections));
+              exit 1)
+        requested
+  in
+  let t0 = Sys.time () in
+  List.iter
+    (fun (_, _, run) ->
+      run ();
+      flush stdout)
+    to_run;
+  Printf.printf "\nAll sections complete (%.1f s CPU time).\n" (Sys.time () -. t0)

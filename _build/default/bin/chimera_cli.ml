@@ -1,0 +1,322 @@
+(* The Chimera command-line driver.
+
+   chimera optimize --workload G2 --arch cpu [--softmax] [--source]
+   chimera run      --workload C3 --arch gpu [--relu]
+   chimera compare  --workload G2 --arch cpu
+   chimera list *)
+
+open Cmdliner
+
+let lookup_machine name =
+  match Arch.Presets.by_name name with
+  | Some m -> Ok m
+  | None -> Error (`Msg (Printf.sprintf "unknown arch %S (cpu|gpu|npu)" name))
+
+let lookup_chain ~workload ~softmax ~relu ~batch =
+  match Workloads.Gemm_configs.by_name workload with
+  | Some c -> Ok (Workloads.Gemm_configs.chain ~softmax ?batch_override:batch c)
+  | None -> (
+      match Workloads.Conv_configs.by_name workload with
+      | Some c ->
+          Ok (Workloads.Conv_configs.chain ~relu ?batch c)
+      | None ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "unknown workload %S (G1..G12 from Table IV, C1..C8 from \
+                   Table V)"
+                  workload)))
+
+(* ---------------- arguments ---------------- *)
+
+let workload_arg =
+  let doc = "Workload: G1..G12 (batch-GEMM chains) or C1..C8 (conv chains)." in
+  Arg.(required & opt (some string) None & info [ "w"; "workload" ] ~doc)
+
+let arch_arg =
+  let doc = "Target machine: cpu (Xeon Gold), gpu (A100) or npu (Ascend 910)." in
+  Arg.(value & opt string "cpu" & info [ "a"; "arch" ] ~doc)
+
+let softmax_arg =
+  let doc = "Insert the attention softmax between the two GEMMs." in
+  Arg.(value & flag & info [ "softmax" ] ~doc)
+
+let relu_arg =
+  let doc = "Insert ReLU after each convolution." in
+  Arg.(value & flag & info [ "relu" ] ~doc)
+
+let batch_arg =
+  let doc = "Override the workload's batch size." in
+  Arg.(value & opt (some int) None & info [ "batch" ] ~doc)
+
+let source_arg =
+  let doc = "Also print the generated kernel source." in
+  Arg.(value & flag & info [ "source" ] ~doc)
+
+let parallel_arg =
+  let doc = "Execute numerically across OCaml domains (multicore)." in
+  Arg.(value & flag & info [ "parallel" ] ~doc)
+
+let no_fusion_arg =
+  let doc = "Disable chain fusion (one kernel per operator)." in
+  Arg.(value & flag & info [ "no-fusion" ] ~doc)
+
+(* ---------------- commands ---------------- *)
+
+let with_setup workload arch softmax relu batch f =
+  match
+    Result.bind (lookup_machine arch) (fun machine ->
+        Result.map
+          (fun chain -> (machine, chain))
+          (lookup_chain ~workload ~softmax ~relu ~batch))
+  with
+  | Error e -> Error e
+  | Ok (machine, chain) -> f machine chain
+
+let print_report name (r : Sim.Perf.report) =
+  Printf.printf "kernel %s:\n" name;
+  Printf.printf "  estimated time     %.2f us (%.0f GFLOP/s)\n"
+    (r.time_seconds *. 1e6) (Sim.Perf.gflops r);
+  Printf.printf "  compute / memory   %.2f / %.2f us\n"
+    (r.compute_seconds *. 1e6)
+    (r.memory_seconds *. 1e6);
+  Printf.printf "  DRAM traffic       %.3f MB\n" (r.dram_bytes /. 1e6);
+  Printf.printf "  micro-kernel eff.  %.1f%%  core occupancy %.1f%%\n"
+    (100.0 *. r.micro_efficiency)
+    (100.0 *. r.parallel_efficiency);
+  List.iter
+    (fun (level, cost) ->
+      Printf.printf "  level %-6s        %.2f us\n" level (cost *. 1e6))
+    r.per_level_cost
+
+let optimize_cmd workload arch softmax relu batch source no_fusion =
+  with_setup workload arch softmax relu batch (fun machine chain ->
+      let config =
+        { Chimera.Config.default with use_fusion = not no_fusion }
+      in
+      let compiled, dt =
+        Chimera.Compiler.optimization_time_seconds (fun () ->
+            Chimera.Compiler.optimize ~config ~machine chain)
+      in
+      Format.printf "%a" Ir.Chain.pp chain;
+      Printf.printf "target: %s\n" machine.Arch.Machine.name;
+      Printf.printf "optimization took %.2f s\n\n" dt;
+      (* Why this order: the top of the explored space. *)
+      let ranked, total =
+        Analytical.Planner.explore chain
+          ~capacity_bytes:
+            (Arch.Machine.primary_on_chip machine).Arch.Level.capacity_bytes
+          ()
+      in
+      Printf.printf "explored %d block execution orders; best five:\n" total;
+      List.iteri
+        (fun i (c : Analytical.Planner.candidate) ->
+          if i < 5 then
+            Printf.printf "  %d. %-10s DV %.3f MB  tiles %s\n" (i + 1)
+              (String.concat "" c.c_perm)
+              (c.c_dv_bytes /. 1e6)
+              (Analytical.Tiling.to_string c.c_tiling))
+        ranked;
+      print_newline ();
+      List.iter
+        (fun (u : Chimera.Compiler.unit_) ->
+          Printf.printf "%s: order %s, tiles %s\n"
+            u.sub_chain.Ir.Chain.name
+            (String.concat "" u.kernel.Codegen.Kernel.perm)
+            (Analytical.Tiling.to_string u.kernel.Codegen.Kernel.tiling))
+        compiled.Chimera.Compiler.units;
+      print_newline ();
+      List.iter
+        (fun (name, r) -> print_report name r)
+        (Chimera.Compiler.reports compiled);
+      Printf.printf "total estimated time: %.2f us\n"
+        (Chimera.Compiler.total_time_seconds compiled *. 1e6);
+      if source then begin
+        print_newline ();
+        print_string (Chimera.Compiler.source compiled)
+      end;
+      Ok ())
+
+let run_cmd workload arch softmax relu batch parallel =
+  with_setup workload arch softmax relu batch (fun machine chain ->
+      Printf.printf "compiling %s for %s...\n%!" chain.Ir.Chain.name
+        machine.Arch.Machine.name;
+      let compiled = Chimera.Compiler.optimize ~machine chain in
+      let env = Sim.Exec.make_env chain ~seed:2024 in
+      if parallel then begin
+        let domains = Domain.recommended_domain_count () in
+        Printf.printf "running the fused kernel on %d domains...\n%!" domains;
+        List.iter
+          (fun (u : Chimera.Compiler.unit_) ->
+            Sim.Parallel_exec.run_fused_parallel ~domains
+              u.Chimera.Compiler.sub_chain
+              ~perm:u.kernel.Codegen.Kernel.perm
+              ~tiling:u.kernel.Codegen.Kernel.tiling env)
+          compiled.Chimera.Compiler.units
+      end
+      else begin
+        Printf.printf "running the fused kernel numerically...\n%!";
+        Chimera.Compiler.run compiled env
+      end;
+      Printf.printf "running the unfused reference...\n%!";
+      let ref_env = Sim.Exec.make_env chain ~seed:2024 in
+      Sim.Exec.run_reference chain ref_env;
+      let ok = Sim.Exec.outputs_match ~rtol:1e-6 chain ref_env env in
+      Printf.printf "numerics %s\n" (if ok then "MATCH" else "MISMATCH");
+      let stats = Chimera.Compiler.measure compiled in
+      List.iter
+        (fun (s : Sim.Trace.stats) ->
+          Printf.printf "simulated DRAM traffic: %.3f MB over %d blocks\n"
+            (s.dram_bytes /. 1e6) s.blocks_visited)
+        stats;
+      if ok then Ok () else Error (`Msg "fused kernel diverged from reference"))
+
+let compare_cmd workload arch softmax relu batch =
+  with_setup workload arch softmax relu batch (fun machine chain ->
+      let chimera =
+        Chimera.Compiler.total_time_seconds
+          (Chimera.Compiler.optimize ~machine chain)
+      in
+      Printf.printf "%-12s %10.2f us   1.00x\n" "Chimera" (chimera *. 1e6);
+      List.iter
+        (fun p ->
+          let r = Baselines.Profile.estimate p ~machine chain in
+          Printf.printf "%-12s %10.2f us   %.2fx slower (%d kernels)\n"
+            r.Baselines.Profile.profile
+            (r.Baselines.Profile.time_seconds *. 1e6)
+            (r.Baselines.Profile.time_seconds /. chimera)
+            r.Baselines.Profile.kernel_count)
+        (Baselines.Systems.for_machine machine);
+      Ok ())
+
+let advise_cmd workload arch softmax relu batch =
+  with_setup workload arch softmax relu batch (fun machine chain ->
+      let v = Chimera.Advisor.assess ~machine chain in
+      Printf.printf "%s\n\n" (Chimera.Advisor.explain v);
+      Printf.printf "fused    %.2f us\nunfused  %.2f us\n"
+        (v.Chimera.Advisor.fused_seconds *. 1e6)
+        (v.Chimera.Advisor.unfused_seconds *. 1e6);
+      List.iter
+        (fun (s : Chimera.Advisor.boundedness_summary) ->
+          Printf.printf "stage %-8s %s (AI %.1f flop/byte)\n" s.stage
+            (Arch.Roofline.boundedness_to_string s.boundedness)
+            s.arithmetic_intensity)
+        v.Chimera.Advisor.stages;
+      Ok ())
+
+let breakdown_cmd arch =
+  match lookup_machine arch with
+  | Error e -> Error e
+  | Ok machine ->
+      Printf.printf "%-12s %8s %8s %8s   (unfused execution on %s)\n"
+        "network" "%MI" "%CI" "%BMM" machine.Arch.Machine.name;
+      List.iter
+        (fun net ->
+          let b = Workloads.Breakdown.analyze net ~machine in
+          Printf.printf "%-12s %7.2f%% %7.2f%% %7.2f%%\n"
+            net.Workloads.Networks.name b.Workloads.Breakdown.mi_pct
+            b.Workloads.Breakdown.ci_pct b.Workloads.Breakdown.bmm_pct)
+        Workloads.Networks.all;
+      Ok ()
+
+let graph_cmd arch =
+  match lookup_machine arch with
+  | Error e -> Error e
+  | Ok machine ->
+      let g =
+        Graph.Models.transformer_block ~hidden:768 ~heads:12 ~seq:512
+          ~ffn:3072 ()
+      in
+      Format.printf "%a@." Graph.Builder.pp g;
+      let p = Graph.Partition.partition g in
+      print_endline (Graph.Partition.describe p);
+      let fused = Graph.Estimate.estimate p ~machine in
+      let unfused = Graph.Estimate.unfused_estimate p ~machine in
+      Printf.printf
+        "\nfused %.2f us vs unfused %.2f us (speedup %.2fx) on %s\n"
+        (fused.Graph.Estimate.total_seconds *. 1e6)
+        (unfused.Graph.Estimate.total_seconds *. 1e6)
+        (unfused.Graph.Estimate.total_seconds
+        /. fused.Graph.Estimate.total_seconds)
+        machine.Arch.Machine.name;
+      Ok ()
+
+let list_cmd () =
+  print_endline "batch-GEMM chains (Table IV):";
+  List.iter
+    (fun (c : Workloads.Gemm_configs.t) ->
+      Printf.printf "  %-4s batch=%-3d M=%-5d N=%-3d K=%-3d L=%-5d (%s)\n"
+        c.name c.batch c.m c.n c.k c.l c.network)
+    Workloads.Gemm_configs.all;
+  print_endline "convolution chains (Table V):";
+  List.iter
+    (fun (c : Workloads.Conv_configs.t) ->
+      Printf.printf
+        "  %-4s IC=%-4d H=%-4d W=%-4d OC1=%-4d OC2=%-4d st=%d/%d k=%d/%d\n"
+        c.name c.ic c.h c.w c.oc1 c.oc2 c.st1 c.st2 c.k1 c.k2)
+    Workloads.Conv_configs.all;
+  print_endline "machines: cpu (Xeon Gold 6240), gpu (A100), npu (Ascend 910)";
+  Ok ()
+
+(* ---------------- wiring ---------------- *)
+
+let optimize_t =
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Optimize a chain and report the plan")
+    Term.(
+      term_result
+        (const optimize_cmd $ workload_arg $ arch_arg $ softmax_arg $ relu_arg
+       $ batch_arg $ source_arg $ no_fusion_arg))
+
+let run_t =
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Compile, execute numerically and check against the reference")
+    Term.(
+      term_result
+        (const run_cmd $ workload_arg $ arch_arg $ softmax_arg $ relu_arg
+       $ batch_arg $ parallel_arg))
+
+let compare_t =
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare Chimera against the baseline systems")
+    Term.(
+      term_result
+        (const compare_cmd $ workload_arg $ arch_arg $ softmax_arg $ relu_arg
+       $ batch_arg))
+
+let advise_t =
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:"Assess whether fusing a chain pays on a machine")
+    Term.(
+      term_result
+        (const advise_cmd $ workload_arg $ arch_arg $ softmax_arg $ relu_arg
+       $ batch_arg))
+
+let breakdown_t =
+  Cmd.v
+    (Cmd.info "breakdown"
+       ~doc:"Table I: %MI / %CI / %BMM time breakdown per network")
+    Term.(term_result (const breakdown_cmd $ arch_arg))
+
+let graph_t =
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:"Partition a transformer-block compute DAG and estimate it")
+    Term.(term_result (const graph_cmd $ arch_arg))
+
+let list_t =
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the available workloads and machines")
+    Term.(term_result (const list_cmd $ const ()))
+
+let () =
+  let info =
+    Cmd.info "chimera" ~version:"1.0.0"
+      ~doc:
+        "Analytical optimizing framework for compute-intensive operator \
+         fusion (HPCA 2023 reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info
+       [ optimize_t; run_t; compare_t; advise_t; breakdown_t; graph_t; list_t ]))

@@ -1,0 +1,1 @@
+examples/attention_fusion.ml: Arch Baselines Chimera Format Ir List Option Printf Sim String Workloads

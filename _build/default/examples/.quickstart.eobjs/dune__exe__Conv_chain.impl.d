@@ -1,0 +1,1 @@
+examples/conv_chain.ml: Arch Baselines Chimera Codegen Ir List Option Printf Sim String Workloads

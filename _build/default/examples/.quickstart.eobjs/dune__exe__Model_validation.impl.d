@@ -1,0 +1,1 @@
+examples/model_validation.ml: Analytical Arch Ir List Printf Sim Util

@@ -1,0 +1,1 @@
+examples/multi_backend.ml: Analytical Arch Chimera Codegen Ir List Microkernel Option Printf Sim String Workloads

@@ -1,0 +1,1 @@
+examples/parallel_execution.ml: Analytical Arch Chimera Codegen Domain Ir List Option Printf Sim String Unix Workloads

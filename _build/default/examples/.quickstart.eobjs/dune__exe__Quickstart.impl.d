@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analytical Arch Chimera Codegen Format Ir List Microkernel Printf Sim String

@@ -1,0 +1,73 @@
+(* Fusing convolution chains — including the case where fusion does not
+   pay.
+
+   A 3x3 convolution consumed through a sliding window forces the fused
+   kernel to recompute halo regions; fusion still wins when the second
+   convolution is memory-bound (C1: 1x1 after 3x3), and stops paying
+   when it is compute-bound (C6: 3x3 after 1x1) — the crossover the
+   paper demonstrates in Figure 6c.
+
+   Run with:  dune exec examples/conv_chain.exe *)
+
+let analyse name =
+  let config = Option.get (Workloads.Conv_configs.by_name name) in
+  let chain = Workloads.Conv_configs.chain ~relu:true config in
+  let machine = Arch.Presets.nvidia_a100 in
+  Printf.printf "=== %s: IC=%d %dx%d -> OC1=%d (k%d/s%d) -> OC2=%d (k%d/s%d) ===\n"
+    name config.Workloads.Conv_configs.ic config.Workloads.Conv_configs.h
+    config.Workloads.Conv_configs.w config.Workloads.Conv_configs.oc1
+    config.Workloads.Conv_configs.k1 config.Workloads.Conv_configs.st1
+    config.Workloads.Conv_configs.oc2 config.Workloads.Conv_configs.k2
+    config.Workloads.Conv_configs.st2;
+  (* Is the second convolution memory-bound?  The paper's criterion for
+     profitable fusion. *)
+  let second = List.nth chain.Ir.Chain.stages 1 in
+  let flops2 =
+    Ir.Operator.flops second.Ir.Chain.standalone
+      ~extent_of:(Ir.Chain.extent_of chain)
+  in
+  let bytes2 =
+    List.fold_left
+      (fun acc (r : Ir.Operator.tensor_ref) ->
+        acc +. float_of_int (Ir.Operator.tensor_bytes r))
+      0.0
+      (Ir.Operator.all_refs second.Ir.Chain.standalone)
+  in
+  Printf.printf "second conv: %.1f Flop/byte -> %s\n" (flops2 /. bytes2)
+    (Arch.Roofline.boundedness_to_string
+       (Arch.Roofline.classify machine ~flops:flops2 ~bytes:bytes2));
+  (* Recomputation cost of fusing through the window. *)
+  Printf.printf "recomputation from fusion: %.1f%% extra FLOPs\n"
+    (100.0
+    *. ((Ir.Chain.fused_flops chain /. Ir.Chain.standalone_flops chain) -. 1.0));
+  let compiled = Chimera.Compiler.optimize ~machine chain in
+  let chimera = Chimera.Compiler.total_time_seconds compiled in
+  let unit_ = List.hd compiled.Chimera.Compiler.units in
+  Printf.printf "fused plan: order %s\n"
+    (String.concat " " unit_.kernel.Codegen.Kernel.perm);
+  let ansor =
+    Baselines.Profile.estimate Baselines.Systems.gpu_ansor ~machine chain
+  in
+  Printf.printf "Chimera %.1f us vs Ansor-style unfused %.1f us -> %.2fx\n\n"
+    (chimera *. 1e6)
+    (ansor.Baselines.Profile.time_seconds *. 1e6)
+    (ansor.Baselines.Profile.time_seconds /. chimera)
+
+let () =
+  analyse "C1";
+  analyse "C6";
+  (* Numeric check of a small strided conv chain with ReLU. *)
+  let small =
+    Ir.Chain.conv_chain ~name:"conv-small" ~batch:1 ~ic:3 ~h:14 ~w:14 ~oc1:6
+      ~oc2:4 ~st1:2 ~st2:1 ~k1:3 ~k2:3 ~relu:true ()
+  in
+  let compiled =
+    Chimera.Compiler.optimize ~machine:Arch.Presets.nvidia_a100 small
+  in
+  let env = Sim.Exec.make_env small ~seed:3 in
+  Chimera.Compiler.run compiled env;
+  let reference = Sim.Exec.make_env small ~seed:3 in
+  Sim.Exec.run_reference small reference;
+  Printf.printf "fused conv+ReLU numerics (with halo recomputation): %s\n"
+    (if Sim.Exec.outputs_match ~rtol:1e-6 small reference env then "MATCH"
+     else "MISMATCH")

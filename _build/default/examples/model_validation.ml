@@ -1,0 +1,72 @@
+(* Validating the analytical data-movement model against the simulator
+   (a small-scale Figure 8d).
+
+   For a sweep of decomposition factors, compare the data movement
+   volume Algorithm 1 predicts with the traffic an LRU memory hierarchy
+   actually observes when the blocks execute, and report the fit.
+
+   Run with:  dune exec examples/model_validation.exe *)
+
+let () =
+  let chain =
+    Ir.Chain.batch_gemm_chain ~name:"validate" ~batch:1 ~m:512 ~n:512 ~k:512
+      ~l:512 ()
+  in
+  let perm = [ "b"; "m"; "l"; "k"; "n" ] in
+  let capacity = 128 * 1024 in
+  let level =
+    Arch.Level.make ~name:"L2" ~capacity_bytes:capacity
+      ~link_bandwidth_gbps:2000.0 ()
+  in
+  let tile_sizes = [ 32; 64; 128; 256 ] in
+  let samples =
+    List.concat_map
+      (fun tm ->
+        List.concat_map
+          (fun tl ->
+            List.filter_map
+              (fun tk ->
+                let tiling =
+                  Analytical.Tiling.make chain
+                    [ ("m", tm); ("l", tl); ("k", tk); ("n", tk) ]
+                in
+                let r = Analytical.Movement.analyze chain ~perm ~tiling in
+                if r.Analytical.Movement.mu_bytes <= capacity then
+                  Some (tiling, r.Analytical.Movement.dv_bytes)
+                else None)
+              tile_sizes)
+          tile_sizes)
+      tile_sizes
+  in
+  Printf.printf "%-28s %14s %14s\n" "tiles" "predicted MB" "measured MB";
+  let predicted, measured =
+    List.split
+      (List.map
+         (fun (tiling, dv) ->
+           let stats =
+             Sim.Trace.measure_chain chain ~levels:[ level ] ~perm ~tiling ()
+           in
+           Printf.printf "%-28s %14.2f %14.2f\n"
+             (Analytical.Tiling.to_string tiling)
+             (dv /. 1e6)
+             (stats.Sim.Trace.dram_bytes /. 1e6);
+           (dv, stats.Sim.Trace.dram_bytes))
+         samples)
+  in
+  Printf.printf "\nR^2 = %.4f over %d feasible tilings (paper: >= 0.97)\n"
+    (Util.Stats.r_squared ~predicted ~measured)
+    (List.length samples);
+  (* The model's purpose: its argmin is (close to) the true argmin. *)
+  let best_by list =
+    fst
+      (List.fold_left2
+         (fun (bi, bv) i v -> if v < bv then (i, v) else (bi, bv))
+         (-1, infinity)
+         (List.mapi (fun i _ -> i) list)
+         list)
+  in
+  let pi = best_by predicted and mi = best_by measured in
+  Printf.printf "model argmin: %s; simulator argmin: %s -> %s\n"
+    (Analytical.Tiling.to_string (fst (List.nth samples pi)))
+    (Analytical.Tiling.to_string (fst (List.nth samples mi)))
+    (if pi = mi then "agree" else "differ")

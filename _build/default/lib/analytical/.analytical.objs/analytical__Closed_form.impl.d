@@ -1,0 +1,1 @@
+lib/analytical/closed_form.ml: Float

@@ -1,0 +1,1 @@
+lib/analytical/movement.ml: Hashtbl Ir List Printf String Tiling

@@ -1,0 +1,1 @@
+lib/analytical/movement.mli: Ir Tiling

@@ -1,0 +1,1 @@
+lib/analytical/parallelism.ml: Array Float Ir List Movement Tiling

@@ -1,0 +1,1 @@
+lib/analytical/parallelism.mli: Ir Tiling

@@ -1,0 +1,1 @@
+lib/analytical/permutations.ml: Ir List Movement Printf String Util

@@ -1,0 +1,1 @@
+lib/analytical/planner.ml: Arch Closed_form Format Ir List Movement Parallelism Permutations Printf Solver String Tensor Tiling

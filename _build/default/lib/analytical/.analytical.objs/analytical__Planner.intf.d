@@ -1,0 +1,1 @@
+lib/analytical/planner.mli: Arch Format Ir Movement Tiling

@@ -1,0 +1,1 @@
+lib/analytical/solver.ml: Ir List Movement Tiling Util

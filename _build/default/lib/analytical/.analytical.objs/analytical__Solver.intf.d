@@ -1,0 +1,1 @@
+lib/analytical/solver.mli: Ir Movement Tiling

@@ -1,0 +1,1 @@
+lib/analytical/tiling.ml: Format Ir List Printf String Util

@@ -1,0 +1,1 @@
+lib/analytical/tiling.mli: Format Ir

@@ -1,0 +1,32 @@
+type solution = { t_m : int; t_n : int; t_k : int; t_l : int; dv_elems : float }
+
+let default_alpha = 16
+
+let t_star ~capacity_elems ~alpha =
+  let a = float_of_int alpha in
+  let mc = float_of_int capacity_elems in
+  -.a +. sqrt ((a *. a) +. mc)
+
+let solve ~m ~n ~k ~l ~capacity_elems ?(alpha = default_alpha) () =
+  if capacity_elems <= 3 * alpha * alpha then
+    invalid_arg "Closed_form.solve: capacity below the minimal alpha block";
+  let t = t_star ~capacity_elems ~alpha in
+  let clampf x bound = min (max 1 (int_of_float (floor x))) bound in
+  let t_m = clampf t m and t_l = clampf t l in
+  let t_n = min alpha n and t_k = min alpha k in
+  let dv_elems =
+    2.0 *. float_of_int m *. float_of_int l *. float_of_int (k + n) /. t
+  in
+  { t_m; t_n; t_k; t_l; dv_elems }
+
+let dv_optimal_elems ~m ~n ~k ~l ~capacity_elems ?(alpha = default_alpha) () =
+  let t = t_star ~capacity_elems ~alpha in
+  2.0 *. float_of_int m *. float_of_int l *. float_of_int (k + n) /. t
+
+let approximation_ratio_bound ~m ~l ~capacity_elems =
+  let sqrt_mc = sqrt (float_of_int capacity_elems) in
+  let bound x =
+    let xf = float_of_int x in
+    1.0 +. (sqrt_mc /. xf) +. (1.0 /. Float.min xf sqrt_mc)
+  in
+  Float.max (bound m) (bound l)

@@ -1,0 +1,35 @@
+(** The paper's closed-form Lagrange-multiplier solution for the two-GEMM
+    chain under the [mlkn] family of orders (Section IV-B), plus its
+    approximation-gap bound.  Used as a solver fast path, a starting
+    point for the general optimizer, and a cross-check in tests. *)
+
+type solution = {
+  t_m : int;
+  t_n : int;
+  t_k : int;
+  t_l : int;
+  dv_elems : float;  (** predicted data movement volume, in elements. *)
+}
+
+val default_alpha : int
+(** The lower bound [alpha] imposed on the free variables [T_N, T_K]
+    (16: one native micro-kernel tile). *)
+
+val solve :
+  m:int -> n:int -> k:int -> l:int -> capacity_elems:int -> ?alpha:int ->
+  unit -> solution
+(** Optimal real-valued tiles
+    [T_M* = T_L* = -alpha + sqrt(alpha^2 + MC)], [T_N* = T_K* = alpha],
+    floor-rounded and clamped to the problem extents, with
+    [DV* = 2*M*L*(K+N) / T_M*].  Raises [Invalid_argument] when even the
+    minimal [alpha]-sized block exceeds capacity. *)
+
+val dv_optimal_elems :
+  m:int -> n:int -> k:int -> l:int -> capacity_elems:int -> ?alpha:int ->
+  unit -> float
+(** The un-rounded optimum [DV* = 2*M*L*(K+N) / T_M*]. *)
+
+val approximation_ratio_bound :
+  m:int -> l:int -> capacity_elems:int -> float
+(** The paper's bound on [DV_app / DV*]:
+    [max over X in {M, L} of 1 + sqrt(MC)/X + 1/min(X, sqrt(MC))]. *)

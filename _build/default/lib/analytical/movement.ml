@@ -1,0 +1,209 @@
+type per_tensor = {
+  tensor : string;
+  footprint_bytes : int;
+  movement_bytes : float;
+}
+
+type result = {
+  dv_bytes : float;
+  mu_bytes : int;
+  per_tensor : per_tensor list;
+  per_op_mu : (string * int) list;
+}
+
+let fused_axes (chain : Ir.Chain.t) =
+  let used name =
+    List.exists
+      (fun (s : Ir.Chain.stage) -> Ir.Operator.uses_axis s.op name)
+      chain.stages
+  in
+  List.filter used (Ir.Axis.names chain.axes)
+
+let validate_perm chain perm =
+  let expected = List.sort compare (fused_axes chain) in
+  let got = List.sort compare perm in
+  if expected <> got then
+    invalid_arg
+      (Printf.sprintf
+         "Movement: perm [%s] is not a permutation of the fused axes [%s]"
+         (String.concat "," perm)
+         (String.concat "," expected))
+
+(* Data movement of one tensor reference within one operator: the inner
+   loop of Algorithm 1 (lines 8-16).  [active] is the current permutation
+   with producer-private loops already removed, innermost first.
+
+   Refinement over the paper's listing: a loop breaks the tensor's reuse
+   only if it *iterates* (trip count > 1) — a loop whose tile covers its
+   whole extent presents the identical data tile at its single block, so
+   it cannot replace it (observation 1 applied at block granularity; the
+   cache simulator behaves the same way).  With every trip count > 1 the
+   two formulations coincide. *)
+let ref_movement (op : Ir.Operator.t) (r : Ir.Operator.tensor_ref)
+    ~active_innermost_first ~tiling =
+  let df = Ir.Operator.tile_footprint_bytes r ~tile_of:(Tiling.tile_of tiling) in
+  let dm = ref (float_of_int df) in
+  let keep_reuse = ref true in
+  List.iter
+    (fun l ->
+      if Ir.Operator.uses_axis op l then begin
+        let trips = Tiling.trip_count tiling l in
+        if Ir.Access.uses_axis r.access l && trips > 1 then
+          keep_reuse := false;
+        if not !keep_reuse then dm := !dm *. float_of_int trips
+      end)
+    active_innermost_first;
+  (df, !dm)
+
+let analyze ?(charge_intermediates = false) (chain : Ir.Chain.t) ~perm ~tiling =
+  validate_perm chain perm;
+  let io =
+    if charge_intermediates then Ir.Chain.tensor_names chain
+    else Ir.Chain.io_names chain
+  in
+  let innermost_first = List.rev perm in
+  let active = ref innermost_first in
+  let dv = ref 0.0 in
+  let mu = ref 0 in
+  let per_tensor = Hashtbl.create 8 in
+  let per_op_mu = ref [] in
+  List.iter
+    (fun (stage : Ir.Chain.stage) ->
+      let op = stage.op in
+      let total_df = ref 0 in
+      List.iter
+        (fun (r : Ir.Operator.tensor_ref) ->
+          let df, dm =
+            ref_movement op r ~active_innermost_first:!active ~tiling
+          in
+          total_df := !total_df + df;
+          let dm = if List.mem r.tensor io then dm else 0.0 in
+          if List.mem r.tensor io then dv := !dv +. dm;
+          (match Hashtbl.find_opt per_tensor r.tensor with
+          | None ->
+              Hashtbl.add per_tensor r.tensor
+                { tensor = r.tensor; footprint_bytes = df; movement_bytes = dm }
+          | Some prev ->
+              Hashtbl.replace per_tensor r.tensor
+                {
+                  prev with
+                  footprint_bytes = max prev.footprint_bytes df;
+                  movement_bytes = prev.movement_bytes +. dm;
+                });
+          ())
+        (Ir.Operator.all_refs op);
+      per_op_mu := (op.Ir.Operator.name, !total_df) :: !per_op_mu;
+      mu := max !mu !total_df;
+      (* Observation 3: loops private to this producer never iterate the
+         consumers' tensors — drop them before the next stage. *)
+      active :=
+        List.filter
+          (fun l ->
+            not
+              (Ir.Operator.uses_axis op l && Ir.Chain.axis_is_private chain l))
+          !active)
+    chain.stages;
+  let per_tensor =
+    (* Report in first-use order. *)
+    List.filter_map (Hashtbl.find_opt per_tensor) (Ir.Chain.tensor_names chain)
+  in
+  {
+    dv_bytes = !dv;
+    mu_bytes = !mu;
+    per_tensor;
+    per_op_mu = List.rev !per_op_mu;
+  }
+
+let owning_op (chain : Ir.Chain.t) tensor =
+  let refs_tensor (s : Ir.Chain.stage) =
+    List.exists
+      (fun (r : Ir.Operator.tensor_ref) -> r.tensor = tensor)
+      (Ir.Operator.all_refs s.op)
+  in
+  match List.find_opt refs_tensor chain.stages with
+  | Some s -> s.op
+  | None -> raise Not_found
+
+let tensor_access (op : Ir.Operator.t) tensor =
+  let r =
+    List.find
+      (fun (r : Ir.Operator.tensor_ref) -> r.tensor = tensor)
+      (Ir.Operator.all_refs op)
+  in
+  r.access
+
+let reuse_axes (chain : Ir.Chain.t) ~perm ~tensor =
+  validate_perm chain perm;
+  if Ir.Chain.is_intermediate chain tensor then []
+  else
+    let op = owning_op chain tensor in
+    let access = tensor_access op tensor in
+    (* Loops outside the op's nest never replace this tensor's tile. *)
+    let outside =
+      List.filter (fun l -> not (Ir.Operator.uses_axis op l)) perm
+    in
+    let rec inner_run acc = function
+      | [] -> acc
+      | l :: rest ->
+          if not (Ir.Operator.uses_axis op l) then inner_run acc rest
+          else if Ir.Access.uses_axis access l then acc
+          else inner_run (l :: acc) rest
+    in
+    let inside = inner_run [] (List.rev perm) in
+    List.filter (fun l -> List.mem l outside || List.mem l inside) perm
+
+let movement_expr (chain : Ir.Chain.t) ~perm ~tensor =
+  validate_perm chain perm;
+  if Ir.Chain.is_intermediate chain tensor then "0"
+  else
+    let op = owning_op chain tensor in
+    let access = tensor_access op tensor in
+    (* Loops that multiply the footprint: replay Algorithm 1's flag. *)
+    let multipliers =
+      let keep_reuse = ref true in
+      List.filter
+        (fun l ->
+          if not (Ir.Operator.uses_axis op l) then false
+          else begin
+            if Ir.Access.uses_axis access l then keep_reuse := false;
+            not !keep_reuse
+          end)
+        (List.rev perm)
+    in
+    (* Footprint factors: one per tensor dimension. *)
+    let simple_axis (d : Ir.Access.dim) =
+      match d.terms with
+      | [ { axis; coeff = 1 } ] when d.offset = 0 -> Some axis
+      | _ -> None
+    in
+    let upper name = String.uppercase_ascii name in
+    let fp_simple, fp_complex =
+      List.partition_map
+        (fun (d : Ir.Access.dim) ->
+          match simple_axis d with
+          | Some a -> Left a
+          | None ->
+              let term_str (t : Ir.Access.term) =
+                if t.coeff = 1 then Printf.sprintf "(T_%s-1)" t.axis
+                else Printf.sprintf "%d*(T_%s-1)" t.coeff t.axis
+              in
+              Right
+                ("(" ^ String.concat "+" (List.map term_str d.terms) ^ "+1)"))
+        access
+    in
+    (* Cancel T_x * ceil(X/T_x) -> X where possible. *)
+    let cancelled, remaining_mults =
+      List.fold_left
+        (fun (fp, mults) axis ->
+          if List.mem axis mults then
+            (upper axis :: fp, List.filter (fun m -> m <> axis) mults)
+          else (Printf.sprintf "T_%s" axis :: fp, mults))
+        ([], multipliers)
+        fp_simple
+    in
+    let ceil_strs =
+      List.map
+        (fun a -> Printf.sprintf "ceil(%s/T_%s)" (upper a) a)
+        remaining_mults
+    in
+    String.concat "*" (List.rev cancelled @ fp_complex @ ceil_strs)

@@ -1,0 +1,50 @@
+(** Algorithm 1 of the paper: analytical data-movement volume and memory
+    usage of an operator chain under a block execution order and a
+    decomposition-parameter vector. *)
+
+type per_tensor = {
+  tensor : string;
+  footprint_bytes : int;  (** DF: one block's data-tile size. *)
+  movement_bytes : float;
+      (** DM: total bytes this tensor moves across the boundary of the
+          target memory level (0 for intermediates). *)
+}
+
+type result = {
+  dv_bytes : float;  (** total data movement volume (the DV output). *)
+  mu_bytes : int;  (** peak per-block memory usage (the MU output). *)
+  per_tensor : per_tensor list;  (** one entry per distinct tensor ref. *)
+  per_op_mu : (string * int) list;  (** block working set per operator. *)
+}
+
+val fused_axes : Ir.Chain.t -> string list
+(** Names of the axes used by at least one fused-stage operator, in chain
+    declaration order — the [I] independent loops of the reordering
+    space (a conv chain's standalone-only axes are excluded). *)
+
+val validate_perm : Ir.Chain.t -> string list -> unit
+(** Raises [Invalid_argument] unless the list is a permutation of
+    {!fused_axes}. *)
+
+val analyze :
+  ?charge_intermediates:bool -> Ir.Chain.t -> perm:string list ->
+  tiling:Tiling.t -> result
+(** Run Algorithm 1.  [perm] is outermost-first; blocks execute from the
+    innermost (right-most) loop outward.  Only the chain's IO tensors
+    are charged; intermediates are pinned on chip.  Producer-private
+    loops are excluded before consumer stages (observation 3).
+    [charge_intermediates] prices the intermediates as if they spilled —
+    the no-reuse configuration of Figure 8f. *)
+
+val reuse_axes : Ir.Chain.t -> perm:string list -> tensor:string -> string list
+(** The axes along which the named IO tensor is *reused* under [perm]:
+    scanning from the innermost loop outward within the owning operator's
+    loop nest, the run of loops that do not index the tensor before the
+    first one that does (the per-tensor columns of Figure 2's table).
+    Returns [] for intermediates (always reused on chip). *)
+
+val movement_expr :
+  Ir.Chain.t -> perm:string list -> tensor:string -> string
+(** Human-readable symbolic DM expression for one tensor, e.g.
+    ["M*K*ceil(L/T_l)"] — the Table III view, used by the bench
+    harness and tests. *)

@@ -1,0 +1,55 @@
+let parallel_axes (chain : Ir.Chain.t) =
+  List.filter
+    (fun axis ->
+      List.for_all
+        (fun (s : Ir.Chain.stage) ->
+          Ir.Operator.uses_axis s.op axis
+          && not (Ir.Operator.is_reduction s.op axis))
+        chain.stages)
+    (Movement.fused_axes chain)
+
+let spans chain tiling axis =
+  let extent = Ir.Chain.extent_of chain axis in
+  let tile = Tiling.get tiling axis in
+  let full = extent / tile and rem = extent mod tile in
+  let spans = List.init full (fun _ -> float_of_int tile) in
+  if rem = 0 then spans else spans @ [ float_of_int rem ]
+
+let task_count chain tiling =
+  List.fold_left
+    (fun acc axis -> acc *. float_of_int (Tiling.trip_count tiling axis))
+    1.0 (parallel_axes chain)
+
+let task_weights chain tiling =
+  List.fold_left
+    (fun acc axis ->
+      List.concat_map
+        (fun w -> List.map (fun s -> w *. s) (spans chain tiling axis))
+        acc)
+    [ 1.0 ] (parallel_axes chain)
+
+let lpt_makespan weights ~cores =
+  let loads = Array.make cores 0.0 in
+  List.iter
+    (fun w ->
+      let victim = ref 0 in
+      for c = 1 to cores - 1 do
+        if loads.(c) < loads.(!victim) then victim := c
+      done;
+      loads.(!victim) <- loads.(!victim) +. w)
+    (List.sort (fun a b -> compare b a) weights);
+  Array.fold_left Float.max 0.0 loads
+
+let efficiency chain tiling ~cores =
+  if cores <= 1 then 1.0
+  else begin
+    let tasks = task_count chain tiling in
+    if tasks > 20_000.0 then Float.min 1.0 (tasks /. float_of_int cores)
+    else begin
+      let weights = task_weights chain tiling in
+      let total = List.fold_left ( +. ) 0.0 weights in
+      let ideal = total /. float_of_int cores in
+      let makespan = lpt_makespan weights ~cores in
+      if makespan <= 0.0 then 1.0 else ideal /. makespan
+    end
+  end

@@ -1,0 +1,27 @@
+(** Which loops of a fused chain can be partitioned across cores, and
+    how well a given tiling fills them.
+
+    A loop is safely parallel when every stage that uses it treats it as
+    a spatial (non-reduction) loop and every stage iterates it — cores
+    then own disjoint slices of every stage's work and of the
+    intermediate, with no cross-core reduction or recomputation.  For
+    the GEMM chain this is [b, m]; for convolution chains [n, oh, ow];
+    for a single operator, all of its spatial loops. *)
+
+val parallel_axes : Ir.Chain.t -> string list
+(** The safely-parallel fused axes, in chain order. *)
+
+val task_count : Ir.Chain.t -> Tiling.t -> float
+(** Number of independent parallel tasks the tiling produces: the
+    product of the parallel axes' trip counts. *)
+
+val task_weights : Ir.Chain.t -> Tiling.t -> float list
+(** The relative cost of each task: the product of its per-axis block
+    spans (edge blocks are smaller).  Length equals {!task_count}
+    (capped — see {!efficiency}). *)
+
+val efficiency : Ir.Chain.t -> Tiling.t -> cores:int -> float
+(** Load-balance efficiency in (0, 1]: ideal time (total work / cores)
+    over the makespan of a longest-processing-time schedule of the
+    tasks.  Above 20000 tasks the imbalance is negligible and
+    [min 1 (tasks/cores)] is returned. *)

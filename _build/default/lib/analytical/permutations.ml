@@ -1,0 +1,49 @@
+type t = {
+  movable : string list;
+  pinned_outer : string list;
+  pinned_inner : string list;
+}
+
+let full_tile_threshold = 3
+
+let indexes_every_io_tensor (chain : Ir.Chain.t) axis =
+  let io = Ir.Chain.io_names chain in
+  List.for_all
+    (fun name ->
+      let r = Ir.Chain.find_ref chain name in
+      Ir.Access.uses_axis r.Ir.Operator.access axis)
+    io
+
+let classify chain =
+  let fused = Movement.fused_axes chain in
+  let extent = Ir.Chain.extent_of chain in
+  let pinned_inner =
+    List.filter (fun a -> extent a > 1 && extent a <= full_tile_threshold) fused
+  in
+  let rest = List.filter (fun a -> not (List.mem a pinned_inner)) fused in
+  let pinned_outer =
+    List.filter
+      (fun a -> extent a = 1 || indexes_every_io_tensor chain a)
+      rest
+  in
+  let movable =
+    List.filter (fun a -> not (List.mem a pinned_outer)) rest
+  in
+  { movable; pinned_outer; pinned_inner }
+
+let full_tile_axes chain = (classify chain).pinned_inner
+
+let candidates chain =
+  let { movable; pinned_outer; pinned_inner } = classify chain in
+  if List.length movable > 7 then
+    invalid_arg
+      (Printf.sprintf
+         "Permutations.candidates: %d movable axes (%s) is too many"
+         (List.length movable)
+         (String.concat "," movable));
+  List.map
+    (fun p -> pinned_outer @ p @ pinned_inner)
+    (Util.Perm.all movable)
+
+let count chain =
+  Util.Perm.factorial (List.length (classify chain).movable)

@@ -1,0 +1,43 @@
+(** Enumeration of candidate block execution orders (Section IV-B).
+
+    The raw space is all [I!] permutations of a chain's fused axes; it is
+    cut down by three exact reductions:
+
+    - axes with trip count 1 under every admissible tiling contribute no
+      [ceil(L/T)] factor, so their position is irrelevant: axes of
+      extent 1 and axes forced to full tiles (convolution kernel windows,
+      extent <= {!full_tile_threshold}) are pinned;
+    - an axis that indexes *every* IO tensor of the chain (the batch
+      axis of a batch-GEMM chain) breaks every tensor's reuse wherever it
+      sits, so outermost is optimal and it is pinned there.
+
+    What remains matches the paper's counts: 4 movable axes (24 orders)
+    for the GEMM chain, at most 6 for convolution chains. *)
+
+type t = {
+  movable : string list;  (** axes actually permuted. *)
+  pinned_outer : string list;  (** always outermost, in this order. *)
+  pinned_inner : string list;
+      (** always innermost (full-tile window axes), in this order. *)
+}
+(** The decomposition of a chain's axes for enumeration. *)
+
+val full_tile_threshold : int
+(** Axes with extent at most this (3: convolution windows) are pinned
+    innermost and always tiled at full extent. *)
+
+val classify : Ir.Chain.t -> t
+(** Split the fused axes into movable / pinned groups. *)
+
+val full_tile_axes : Ir.Chain.t -> string list
+(** The axes the solver must keep at full-extent tiles (the
+    [pinned_inner] group). *)
+
+val candidates : Ir.Chain.t -> string list list
+(** All candidate permutations (outermost first), each of the form
+    [pinned_outer @ movable-permutation @ pinned_inner].  Raises
+    [Invalid_argument] if more than 7 axes remain movable (5040
+    candidates) — no chain in the paper comes close. *)
+
+val count : Ir.Chain.t -> int
+(** [List.length (candidates chain)] without materialising the list. *)

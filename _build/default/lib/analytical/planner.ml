@@ -1,0 +1,195 @@
+type plan = {
+  perm : string list;
+  tiling : Tiling.t;
+  movement : Movement.result;
+  capacity_bytes : int;
+  candidates_evaluated : int;
+}
+
+(* Seed the descent with the paper's closed-form point when the chain has
+   the canonical batch-GEMM axes. *)
+let closed_form_starts chain ~capacity_bytes =
+  let has name = Ir.Axis.find_opt chain.Ir.Chain.axes name <> None in
+  if List.for_all has [ "m"; "n"; "k"; "l" ] then begin
+    let e = Ir.Chain.extent_of chain in
+    let dtype_bytes =
+      match Ir.Chain.tensor_names chain with
+      | name :: _ ->
+          Tensor.Dtype.bytes (Ir.Chain.find_ref chain name).Ir.Operator.dtype
+      | [] -> 2
+    in
+    let capacity_elems = capacity_bytes / dtype_bytes in
+    match
+      Closed_form.solve ~m:(e "m") ~n:(e "n") ~k:(e "k") ~l:(e "l")
+        ~capacity_elems ()
+    with
+    | s ->
+        [
+          Tiling.make chain
+            [ ("m", s.t_m); ("n", s.t_n); ("k", s.t_k); ("l", s.t_l) ];
+        ]
+    | exception Invalid_argument _ -> []
+  end
+  else []
+
+type candidate = {
+  c_perm : string list;
+  c_tiling : Tiling.t;
+  c_dv_bytes : float;
+}
+
+let explore chain ~capacity_bytes ?max_tile ?min_tile ?perms () =
+  let perms =
+    match perms with Some p -> p | None -> Permutations.candidates chain
+  in
+  let full_tile = Permutations.full_tile_axes chain in
+  let extra_starts = closed_form_starts chain ~capacity_bytes in
+  let candidates =
+    List.filter_map
+      (fun perm ->
+        match
+          Solver.solve_for_perm chain ~perm ~capacity_bytes ~full_tile
+            ?max_tile ?min_tile ~extra_starts ()
+        with
+        | None -> None
+        | Some sol ->
+            Some
+              {
+                c_perm = perm;
+                c_tiling = sol.Solver.tiling;
+                c_dv_bytes = sol.Solver.movement.Movement.dv_bytes;
+              })
+      perms
+  in
+  ( List.sort (fun a b -> compare a.c_dv_bytes b.c_dv_bytes) candidates,
+    List.length perms )
+
+let optimize chain ~capacity_bytes ?max_tile ?min_tile ?perms () =
+  let ranked, evaluated =
+    explore chain ~capacity_bytes ?max_tile ?min_tile ?perms ()
+  in
+  match ranked with
+  | [] ->
+      failwith
+        (Printf.sprintf
+           "Planner.optimize: no feasible tiling for chain %s in %d bytes"
+           chain.Ir.Chain.name capacity_bytes)
+  | best :: _ ->
+      {
+        perm = best.c_perm;
+        tiling = best.c_tiling;
+        movement =
+          Movement.analyze chain ~perm:best.c_perm ~tiling:best.c_tiling;
+        capacity_bytes;
+        candidates_evaluated = evaluated;
+      }
+
+let refine_for_parallelism chain plan ~min_blocks ?(slack = 4.0)
+    ?min_tile () =
+  let base_dv = plan.movement.Movement.dv_bytes in
+  (* Split until the parallel tasks keep [min_blocks] cores ~90% busy
+     under LPT scheduling, not merely until there are enough of them. *)
+  let balanced t =
+    Parallelism.efficiency chain t ~cores:min_blocks >= 0.9
+  in
+  let parallel = Parallelism.parallel_axes chain in
+  let rec refine tiling movement =
+    if balanced tiling then (tiling, movement)
+    else begin
+      (* Try halving a parallel axis tile; keep the cheapest admissible
+         split — only parallel axes add independent tasks. *)
+      let candidates =
+        List.filter_map
+          (fun (axis, size) ->
+            let floor_of =
+              match min_tile with
+              | None -> 1
+              | Some f -> max 1 (f axis)
+            in
+            if size <= floor_of || not (List.mem axis parallel) then None
+            else
+              let trial =
+                Tiling.set tiling axis (max floor_of ((size + 1) / 2))
+              in
+              let m = Movement.analyze chain ~perm:plan.perm ~tiling:trial in
+              if m.Movement.dv_bytes <= slack *. base_dv then
+                Some (m.Movement.dv_bytes, trial, m)
+              else None)
+          (Tiling.bindings tiling)
+      in
+      match List.sort (fun (a, _, _) (b, _, _) -> compare a b) candidates with
+      | [] -> (tiling, movement)
+      | (_, trial, m) :: _ -> refine trial m
+    end
+  in
+  let tiling, movement = refine plan.tiling plan.movement in
+  { plan with tiling; movement }
+
+type level_plan = {
+  level : Arch.Level.t;
+  plan : plan;
+  feed_bandwidth_gbps : float;
+  cost_seconds : float;
+}
+
+let optimize_multilevel ?min_blocks ?min_tile chain ~machine =
+  let on_chip = Arch.Machine.on_chip_levels machine in
+  (* Outer levels feed from the next-outer link; outermost feeds from
+     DRAM. *)
+  let feeds =
+    let rec outer_links = function
+      | [] -> []
+      | [ _ ] -> [ (Arch.Machine.dram machine).Arch.Level.link_bandwidth_gbps ]
+      | _ :: (next :: _ as rest) ->
+          next.Arch.Level.link_bandwidth_gbps :: outer_links rest
+    in
+    outer_links on_chip
+  in
+  (* Plan outermost level first, then nest inward. *)
+  let levels_outer_first = List.rev (List.combine on_chip feeds) in
+  let rec plan_levels parent acc = function
+    | [] -> acc
+    | (level, feed) :: rest ->
+        let max_tile =
+          match parent with
+          | None -> None
+          | Some (p : plan) -> Some (fun axis -> Tiling.get p.tiling axis)
+        in
+        let plan =
+          optimize chain ~capacity_bytes:level.Arch.Level.capacity_bytes
+            ?max_tile ?min_tile ()
+        in
+        let plan =
+          (* Occupancy refinement applies at the outermost level, where
+             blocks are distributed over cores. *)
+          match (parent, min_blocks) with
+          | None, Some min_blocks ->
+              refine_for_parallelism chain plan ~min_blocks ?min_tile ()
+          | _ -> plan
+        in
+        let cost_seconds =
+          plan.movement.Movement.dv_bytes /. (feed *. 1e9)
+        in
+        plan_levels (Some plan)
+          ({ level; plan; feed_bandwidth_gbps = feed; cost_seconds } :: acc)
+          rest
+  in
+  plan_levels None [] levels_outer_first
+
+let bottleneck = function
+  | [] -> invalid_arg "Planner.bottleneck: empty"
+  | lp :: rest ->
+      List.fold_left
+        (fun worst lp ->
+          if lp.cost_seconds > worst.cost_seconds then lp else worst)
+        lp rest
+
+let memory_time_seconds level_plans = (bottleneck level_plans).cost_seconds
+
+let pp_plan fmt p =
+  Format.fprintf fmt "order=%s tiles=%s DV=%.3e MB MU=%.1f KiB (%d orders)"
+    (String.concat "" p.perm)
+    (Tiling.to_string p.tiling)
+    (p.movement.Movement.dv_bytes /. 1e6)
+    (float_of_int p.movement.Movement.mu_bytes /. 1024.0)
+    p.candidates_evaluated

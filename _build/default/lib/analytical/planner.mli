@@ -1,0 +1,73 @@
+(** Inter-block optimization driver: enumerate candidate block execution
+    orders, solve Equation 1 for each, and keep the order with the
+    minimal data movement volume — then extend the result down a
+    multi-level memory hierarchy (Section IV-C, Equations 2–3). *)
+
+type plan = {
+  perm : string list;  (** chosen block execution order, outermost first. *)
+  tiling : Tiling.t;  (** chosen decomposition parameters [S]. *)
+  movement : Movement.result;  (** Algorithm-1 analysis of the choice. *)
+  capacity_bytes : int;  (** the memory budget the plan was solved for. *)
+  candidates_evaluated : int;  (** size of the explored order space. *)
+}
+
+type candidate = {
+  c_perm : string list;
+  c_tiling : Tiling.t;
+  c_dv_bytes : float;
+}
+(** One explored block execution order with its best tiling. *)
+
+val explore :
+  Ir.Chain.t -> capacity_bytes:int -> ?max_tile:(string -> int) ->
+  ?min_tile:(string -> int) -> ?perms:string list list -> unit ->
+  candidate list * int
+(** Solve every candidate order and return them ranked by data movement
+    volume (plus the number of orders evaluated) — the paper's Figure 2
+    view of the search space, used by diagnostics. *)
+
+val optimize :
+  Ir.Chain.t -> capacity_bytes:int -> ?max_tile:(string -> int) ->
+  ?min_tile:(string -> int) -> ?perms:string list list -> unit -> plan
+(** Single-level optimization.  [perms] overrides the enumerated
+    candidate orders (used by tests and by fixed-order baselines).
+    For chains with the canonical [b/m/n/k/l] axes the closed-form GEMM
+    solution is seeded as a descent start.  Raises [Failure] if no
+    candidate order admits a feasible tiling. *)
+
+val refine_for_parallelism :
+  Ir.Chain.t -> plan -> min_blocks:int -> ?slack:float ->
+  ?min_tile:(string -> int) -> unit -> plan
+(** Split tiles along the safely-parallel axes ({!Parallelism}) until
+    the tasks keep [min_blocks] cores ~90% busy under LPT scheduling,
+    greedily halving the tile whose split costs the least extra data
+    movement and stopping when the DV would exceed [slack] (default 4.0)
+    times the optimum.  Mirrors the occupancy constraint every real
+    backend imposes on top of the locality objective. *)
+
+type level_plan = {
+  level : Arch.Level.t;  (** the on-chip level the plan targets. *)
+  plan : plan;
+  feed_bandwidth_gbps : float;
+      (** bandwidth of the link that fills this level (the next-outer
+          level's link — DRAM for the outermost on-chip level). *)
+  cost_seconds : float;  (** Equation 2: [DV_d / bw_d]. *)
+}
+
+val optimize_multilevel :
+  ?min_blocks:int -> ?min_tile:(string -> int) -> Ir.Chain.t ->
+  machine:Arch.Machine.t -> level_plan list
+(** One plan per on-chip level, innermost first.  The outermost on-chip
+    level is planned against full problem extents (and, when
+    [min_blocks] is given, refined for parallelism); each inner level's
+    tiles are constrained to nest inside its parent's (sub-block
+    decomposition). *)
+
+val bottleneck : level_plan list -> level_plan
+(** The level with the largest movement cost — the max of Equation 3. *)
+
+val memory_time_seconds : level_plan list -> float
+(** The Equation-3 objective value: the bottleneck level's cost. *)
+
+val pp_plan : Format.formatter -> plan -> unit
+(** One-line summary: order, tiles, DV, MU. *)

@@ -1,0 +1,180 @@
+type solution = { tiling : Tiling.t; movement : Movement.result }
+
+let candidate_sizes extent =
+  if extent <= 0 then invalid_arg "Solver.candidate_sizes: bad extent";
+  let rec pows acc p =
+    if p > extent then acc else pows (p :: acc) (p * 2)
+  in
+  let rec halvings acc v =
+    if v < 1 then acc else halvings (v :: acc) (if v = 1 then 0 else (v + 1) / 2)
+  in
+  List.sort_uniq compare (pows [] 1 @ halvings [] extent)
+
+let better a b =
+  a.movement.Movement.dv_bytes < b.movement.Movement.dv_bytes
+  || a.movement.Movement.dv_bytes = b.movement.Movement.dv_bytes
+     && Tiling.total_blocks a.tiling < Tiling.total_blocks b.tiling
+
+let rec solve_for_perm chain ~perm ~capacity_bytes ?(full_tile = [])
+    ?max_tile ?min_tile ?(extra_starts = []) ?(boundary_grow = true)
+    ?(uniform_start = true) () =
+  Movement.validate_perm chain perm;
+  let bound axis =
+    let extent = Ir.Chain.extent_of chain axis in
+    match max_tile with
+    | None -> extent
+    | Some f -> Util.Ints.clamp ~lo:1 ~hi:extent (f axis)
+  in
+  let floor_of axis =
+    match min_tile with
+    | None -> 1
+    | Some f -> Util.Ints.clamp ~lo:1 ~hi:(bound axis) (f axis)
+  in
+  let axes = Movement.fused_axes chain in
+  let base =
+    List.fold_left
+      (fun t axis ->
+        if List.mem axis full_tile then Tiling.set t axis (bound axis)
+        else Tiling.set t axis (floor_of axis))
+      (Tiling.ones chain) axes
+  in
+  let free =
+    List.filter (fun a -> (not (List.mem a full_tile)) && bound a > 1) axes
+  in
+  let clamp_start t =
+    (* Force the full-tile axes, floors and per-axis bounds onto a seed. *)
+    List.fold_left
+      (fun acc axis ->
+        let v =
+          if List.mem axis full_tile then bound axis
+          else
+            Util.Ints.clamp ~lo:(floor_of axis) ~hi:(bound axis)
+              (Tiling.get t axis)
+        in
+        Tiling.set acc axis v)
+      base axes
+  in
+  let eval tiling =
+    let movement = Movement.analyze chain ~perm ~tiling in
+    { tiling; movement }
+  in
+  let feasible s = s.movement.Movement.mu_bytes <= capacity_bytes in
+  let base_sol = eval base in
+  if not (feasible base_sol) then
+    (* The micro-kernel floors do not fit this budget: relax them rather
+       than fail (the micro kernel will pay the tail penalty instead). *)
+    if min_tile <> None then
+      solve_for_perm chain ~perm ~capacity_bytes ~full_tile ?max_tile
+        ~extra_starts ~boundary_grow ~uniform_start ()
+    else None
+  else begin
+    let candidates_for axis =
+      List.filter (fun v -> v <= bound axis && v >= floor_of axis)
+        (candidate_sizes (Ir.Chain.extent_of chain axis))
+    in
+    let descend start =
+      let current = ref (eval start) in
+      if not (feasible !current) then current := base_sol;
+      let improved = ref true in
+      let sweeps = ref 0 in
+      while !improved && !sweeps < 20 do
+        improved := false;
+        incr sweeps;
+        List.iter
+          (fun axis ->
+            List.iter
+              (fun v ->
+                if v <> Tiling.get !current.tiling axis then begin
+                  let trial = eval (Tiling.set !current.tiling axis v) in
+                  if feasible trial && better trial !current then begin
+                    current := trial;
+                    improved := true
+                  end
+                end)
+              (candidates_for axis))
+          free
+      done;
+      !current
+    in
+    (* Push each tile to the capacity boundary: the Lagrange optimum sits
+       on MU = MemoryCapacity, usually between two grid points.  Binary
+       search the largest feasible size per axis (MU is monotone in each
+       tile) and keep it when it does not hurt DV. *)
+    let grow sol =
+      let current = ref sol in
+      let improved = ref true in
+      let passes = ref 0 in
+      while !improved && !passes < 3 do
+        improved := false;
+        incr passes;
+        List.iter
+          (fun axis ->
+            let lo = Tiling.get !current.tiling axis in
+            let rec bsearch lo hi =
+              (* invariant: lo feasible, hi+1 infeasible or hi = bound *)
+              if hi <= lo then lo
+              else begin
+                let mid = (lo + hi + 1) / 2 in
+                let trial = eval (Tiling.set !current.tiling axis mid) in
+                if feasible trial then bsearch mid hi else bsearch lo (mid - 1)
+              end
+            in
+            let v_max = bsearch lo (bound axis) in
+            let extent = Ir.Chain.extent_of chain axis in
+            List.iter
+              (fun v ->
+                if v > Tiling.get !current.tiling axis then begin
+                  let trial = eval (Tiling.set !current.tiling axis v) in
+                  if feasible trial && not (better !current trial) then begin
+                    current := trial;
+                    improved := true
+                  end
+                end)
+              [ v_max; Util.Ints.round_down_to_divisor extent v_max ])
+          free
+      done;
+      !current
+    in
+    let mid_start =
+      List.fold_left (fun t a -> Tiling.set t a 8) base free
+    in
+    (* A balanced start: the largest uniform tile size that fits, the
+       discrete analogue of the symmetric Lagrange saddle point. *)
+    let make_uniform_start () =
+      let at s =
+        List.fold_left
+          (fun t a -> Tiling.set t a (min s (bound a)))
+          base free
+      in
+      let max_extent =
+        List.fold_left (fun acc a -> max acc (bound a)) 1 free
+      in
+      let rec bsearch lo hi =
+        if hi <= lo then lo
+        else begin
+          let mid = (lo + hi + 1) / 2 in
+          if feasible (eval (at mid)) then bsearch mid hi
+          else bsearch lo (mid - 1)
+        end
+      in
+      at (bsearch 1 max_extent)
+    in
+    let starts =
+      (base :: clamp_start mid_start
+      :: (if uniform_start then [ make_uniform_start () ] else []))
+      @ List.map clamp_start extra_starts
+    in
+    let best =
+      List.fold_left
+        (fun best start ->
+          let sol =
+            let s = descend start in
+            if boundary_grow then grow s else s
+          in
+          match best with
+          | None -> Some sol
+          | Some b -> if better sol b then Some sol else best)
+        None starts
+    in
+    best
+  end

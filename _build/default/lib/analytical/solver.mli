@@ -1,0 +1,43 @@
+(** The constrained optimizer for one block execution order:
+    [min_S DV(S)  s.t.  MU(S) <= MemoryCapacity]  (Equation 1).
+
+    The paper solves the real relaxation with Lagrange multipliers and
+    floor-rounds; the closed form exists only for specific chain shapes
+    ({!Closed_form}), so this module implements the general equivalent: a
+    deterministic multi-start coordinate descent over a geometric grid of
+    integer tile sizes.  DV is non-increasing and MU non-decreasing in
+    every tile size, so descent under the feasibility constraint walks to
+    the capacity boundary exactly like the Lagrange solution; the
+    closed-form point (when available) is injected as an extra start. *)
+
+type solution = { tiling : Tiling.t; movement : Movement.result }
+(** A feasible tiling and its Algorithm-1 analysis. *)
+
+val candidate_sizes : int -> int list
+(** The tile-size grid for an axis of the given extent: powers of two up
+    to the extent, merged with the extent's halvings
+    [extent, ceil(extent/2), ceil(extent/4), ...], sorted, deduplicated. *)
+
+val solve_for_perm :
+  Ir.Chain.t -> perm:string list -> capacity_bytes:int ->
+  ?full_tile:string list -> ?max_tile:(string -> int) ->
+  ?min_tile:(string -> int) -> ?extra_starts:Tiling.t list ->
+  ?boundary_grow:bool -> ?uniform_start:bool -> unit -> solution option
+(** Best feasible tiling for one permutation, or [None] when even the
+    minimal tiling exceeds [capacity_bytes].
+
+    [full_tile] axes are fixed at [min extent (max_tile axis)]
+    (convolution windows); [max_tile] bounds every axis (used for
+    sub-block nesting in multi-level planning; defaults to the extents);
+    [extra_starts] seeds additional descent starting points.
+    [min_tile] floors tile sizes (the intra-block stage's native-tile
+    requirement; relaxed automatically when even the floored block
+    exceeds capacity).  [boundary_grow] (push tiles onto the MU =
+    capacity boundary) and
+    [uniform_start] (the balanced Lagrange-like seed) are both on by
+    default; the internals ablation bench switches them off to show
+    their contribution. *)
+
+val better : solution -> solution -> bool
+(** [better a b] when [a] strictly improves on [b]: smaller DV, or equal
+    DV with fewer blocks (larger tiles). *)

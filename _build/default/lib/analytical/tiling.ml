@@ -1,0 +1,77 @@
+type t = {
+  axes : Ir.Axis.t list;  (* chain axes, for extents and ordering *)
+  sizes : (string * int) list;  (* tile per axis, same order as [axes] *)
+}
+
+let clamp_size axes name size =
+  match Ir.Axis.find_opt axes name with
+  | None -> invalid_arg (Printf.sprintf "Tiling: unknown axis %s" name)
+  | Some a -> Util.Ints.clamp ~lo:1 ~hi:a.Ir.Axis.extent size
+
+let make chain assoc =
+  let axes = chain.Ir.Chain.axes in
+  List.iter
+    (fun (name, _) ->
+      if Ir.Axis.find_opt axes name = None then
+        invalid_arg (Printf.sprintf "Tiling.make: unknown axis %s" name))
+    assoc;
+  let sizes =
+    List.map
+      (fun (a : Ir.Axis.t) ->
+        let size =
+          match List.assoc_opt a.name assoc with
+          | None -> 1
+          | Some s -> clamp_size axes a.name s
+        in
+        (a.name, size))
+      axes
+  in
+  { axes; sizes }
+
+let ones chain =
+  make chain []
+
+let full chain =
+  let axes = chain.Ir.Chain.axes in
+  {
+    axes;
+    sizes = List.map (fun (a : Ir.Axis.t) -> (a.name, a.extent)) axes;
+  }
+
+let get t name =
+  match List.assoc_opt name t.sizes with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Tiling.get: unknown axis %s" name)
+
+let set t name size =
+  let size = clamp_size t.axes name size in
+  {
+    t with
+    sizes = List.map (fun (n, s) -> if n = name then (n, size) else (n, s)) t.sizes;
+  }
+
+let tile_of = get
+
+let extent_of t name = (Ir.Axis.find t.axes name).Ir.Axis.extent
+
+let trip_count t name = Util.Ints.ceil_div (extent_of t name) (get t name)
+
+let bindings t = t.sizes
+
+let total_blocks t =
+  List.fold_left
+    (fun acc (name, _) -> acc *. float_of_int (trip_count t name))
+    1.0 t.sizes
+
+let equal a b = a.sizes = b.sizes
+
+let to_string t =
+  let interesting =
+    List.filter (fun (name, _) -> extent_of t name > 1) t.sizes
+  in
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (n, s) -> Printf.sprintf "%s=%d" n s) interesting)
+  ^ "}"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,48 @@
+(** Block decomposition parameters: the vector [S = (s_1 .. s_I)] of
+    Section IV-A, one tile size per chain axis. *)
+
+type t
+(** An immutable axis-name -> tile-size map. *)
+
+val make : Ir.Chain.t -> (string * int) list -> t
+(** Tile sizes for (a subset of) the chain's axes; unmentioned axes
+    default to tile size 1.  Every size is clamped into [1, extent].
+    Raises [Invalid_argument] for names that are not chain axes. *)
+
+val ones : Ir.Chain.t -> t
+(** Every axis tiled at 1. *)
+
+val full : Ir.Chain.t -> t
+(** Every axis tiled at its full extent (a single block). *)
+
+val get : t -> string -> int
+(** Tile size of an axis (1 for axes never set). *)
+
+val set : t -> string -> int -> t
+(** Functional update, clamped into [1, extent]. *)
+
+val tile_of : t -> string -> int
+(** Same as {!get}; shaped for the [tile_of] callbacks of [Ir]. *)
+
+val trip_count : t -> string -> int
+(** [ceil (extent / tile)] for the axis. *)
+
+val bindings : t -> (string * int) list
+(** All (axis, tile) pairs, in chain-axis order. *)
+
+val extent_of : t -> string -> int
+(** The underlying chain extent for an axis. *)
+
+val total_blocks : t -> float
+(** Product of all trip counts: how many computation blocks the fused
+    loop nest executes. *)
+
+val equal : t -> t -> bool
+(** Same tile size on every axis. *)
+
+val to_string : t -> string
+(** e.g. ["{m=64, n=80, k=80, l=52}"] (axes with tile 1 and extent 1
+    omitted). *)
+
+val pp : Format.formatter -> t -> unit
+(** Formatter for {!to_string}. *)

@@ -1,0 +1,1 @@
+lib/arch/level.ml: Format

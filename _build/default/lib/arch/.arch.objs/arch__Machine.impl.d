@@ -1,0 +1,1 @@
+lib/arch/machine.ml: Format Level List

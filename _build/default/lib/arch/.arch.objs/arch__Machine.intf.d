@@ -1,0 +1,1 @@
+lib/arch/machine.mli: Format Level

@@ -1,0 +1,1 @@
+lib/arch/presets.ml: Level List Machine String

@@ -1,0 +1,1 @@
+lib/arch/roofline.ml: Float Machine

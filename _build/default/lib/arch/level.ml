@@ -1,0 +1,29 @@
+type t = {
+  name : string;
+  capacity_bytes : int;
+  link_bandwidth_gbps : float;
+  line_bytes : int;
+}
+
+let make ~name ~capacity_bytes ~link_bandwidth_gbps ?(line_bytes = 64) () =
+  if capacity_bytes <= 0 then invalid_arg "Level.make: non-positive capacity";
+  if link_bandwidth_gbps <= 0.0 then
+    invalid_arg "Level.make: non-positive bandwidth";
+  { name; capacity_bytes; link_bandwidth_gbps; line_bytes }
+
+let dram ~bandwidth_gbps =
+  {
+    name = "DRAM";
+    capacity_bytes = max_int;
+    link_bandwidth_gbps = bandwidth_gbps;
+    line_bytes = 64;
+  }
+
+let is_dram t = t.capacity_bytes = max_int
+
+let pp fmt t =
+  if is_dram t then
+    Format.fprintf fmt "%s(unbounded, %.0f GB/s)" t.name t.link_bandwidth_gbps
+  else
+    Format.fprintf fmt "%s(%d KiB, %.0f GB/s)" t.name
+      (t.capacity_bytes / 1024) t.link_bandwidth_gbps

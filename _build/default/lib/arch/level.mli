@@ -1,0 +1,30 @@
+(** One level of a memory hierarchy.
+
+    Levels are ordered innermost (closest to the compute units) to
+    outermost (DRAM).  [link_bandwidth_gbps] is the bandwidth of the link
+    that feeds this level's data to the next *inner* level — the [bw_d]
+    of the paper's Equation 2, so the cost of keeping level [d] busy is
+    [DV_d / bw_d]. *)
+
+type t = {
+  name : string;  (** e.g. ["L1"], ["shared"], ["L0A"]. *)
+  capacity_bytes : int;
+      (** usable capacity for one computation block; [max_int] for DRAM. *)
+  link_bandwidth_gbps : float;
+      (** bandwidth (GB/s) from this level toward the compute units. *)
+  line_bytes : int;  (** transfer granule (cache line / DMA burst). *)
+}
+
+val make :
+  name:string -> capacity_bytes:int -> link_bandwidth_gbps:float ->
+  ?line_bytes:int -> unit -> t
+(** Construct a level; [line_bytes] defaults to 64. *)
+
+val dram : bandwidth_gbps:float -> t
+(** The unbounded outermost level. *)
+
+val is_dram : t -> bool
+(** Whether this is an unbounded level. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable one-liner. *)

@@ -1,0 +1,25 @@
+type boundedness = Compute_bound | Memory_bound
+
+let arithmetic_intensity ~flops ~bytes =
+  if bytes <= 0.0 then invalid_arg "Roofline.arithmetic_intensity: no bytes";
+  flops /. bytes
+
+let classify machine ~flops ~bytes =
+  let ai = arithmetic_intensity ~flops ~bytes in
+  if ai >= Machine.ridge_flop_per_byte machine then Compute_bound
+  else Memory_bound
+
+let time_seconds machine ~flops ~bytes ?(efficiency = 1.0) () =
+  if efficiency <= 0.0 || efficiency > 1.0 then
+    invalid_arg "Roofline.time_seconds: efficiency must be in (0, 1]";
+  let compute = flops /. (efficiency *. Machine.peak_flops machine) in
+  let memory = bytes /. (Machine.dram_bandwidth_gbps machine *. 1e9) in
+  Float.max compute memory
+
+let attainable_tflops machine ~intensity =
+  let bw = Machine.dram_bandwidth_gbps machine *. 1e9 in
+  Float.min (Machine.peak_flops machine) (intensity *. bw) /. 1e12
+
+let boundedness_to_string = function
+  | Compute_bound -> "compute-bound"
+  | Memory_bound -> "memory-bound"

@@ -1,0 +1,27 @@
+(** Roofline helpers: deciding whether a kernel is compute- or
+    memory-bound and estimating its execution time on a machine model. *)
+
+type boundedness = Compute_bound | Memory_bound
+
+val arithmetic_intensity : flops:float -> bytes:float -> float
+(** FLOP per byte moved. *)
+
+val classify : Machine.t -> flops:float -> bytes:float -> boundedness
+(** Compare the kernel's arithmetic intensity against the machine's ridge
+    point. *)
+
+val time_seconds :
+  Machine.t -> flops:float -> bytes:float -> ?efficiency:float -> unit ->
+  float
+(** Roofline execution-time estimate:
+    [max (flops / (efficiency * peak), bytes / dram_bw)].
+    [efficiency] (default 1.0) scales achievable compute throughput, e.g.
+    for micro-kernel pipeline utilisation. *)
+
+val attainable_tflops :
+  Machine.t -> intensity:float -> float
+(** The roofline curve itself: attainable TFLOPS at a given arithmetic
+    intensity. *)
+
+val boundedness_to_string : boundedness -> string
+(** ["compute-bound"] or ["memory-bound"]. *)

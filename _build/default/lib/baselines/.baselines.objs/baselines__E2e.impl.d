@@ -1,0 +1,1 @@
+lib/baselines/e2e.ml: Arch Chimera Float List Profile Systems Workloads

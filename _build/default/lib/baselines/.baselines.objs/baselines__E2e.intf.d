@@ -1,0 +1,1 @@
+lib/baselines/e2e.mli: Arch Profile Workloads

@@ -1,0 +1,1 @@
+lib/baselines/profile.ml: Analytical Arch Codegen Float Ir List Microkernel Printf

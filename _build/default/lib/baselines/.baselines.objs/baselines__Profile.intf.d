@@ -1,0 +1,1 @@
+lib/baselines/profile.mli: Arch Ir

@@ -1,0 +1,1 @@
+lib/baselines/systems.ml: Arch Profile

@@ -1,0 +1,1 @@
+lib/baselines/systems.mli: Arch Profile

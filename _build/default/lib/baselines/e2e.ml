@@ -1,0 +1,123 @@
+type attention_impl = Via_chimera | Via_profile of Profile.t
+
+type stack = {
+  name : string;
+  host_profile : Profile.t;
+  attention : attention_impl;
+  dynamic_graph_overhead_seconds : float;
+}
+
+let pytorch_cudnn =
+  {
+    name = "PyTorch+CuDNN";
+    host_profile = Systems.gpu_pytorch;
+    attention = Via_profile Systems.gpu_pytorch;
+    dynamic_graph_overhead_seconds = 1.2e-5;
+  }
+
+let relay_tensorrt =
+  {
+    name = "Relay+TensorRT";
+    host_profile = Systems.gpu_tensorrt;
+    attention = Via_profile Systems.gpu_tensorrt;
+    dynamic_graph_overhead_seconds = 0.0;
+  }
+
+let relay_cudnn =
+  {
+    name = "Relay+CuDNN";
+    host_profile = Systems.gpu_relay;
+    attention =
+      (* cuDNN/cuBLAS batch GEMMs from a static graph: decent strided
+         bandwidth, no eager dispatch. *)
+      Via_profile
+        {
+          Systems.gpu_pytorch with
+          name = "CuDNN";
+          bandwidth_efficiency = 0.6;
+          bmm_bandwidth_penalty = 0.8;
+          dispatch_seconds = 5e-6;
+        };
+    dynamic_graph_overhead_seconds = 0.0;
+  }
+
+let relay_ansor =
+  {
+    name = "Relay+Ansor";
+    host_profile = Systems.gpu_ansor;
+    attention = Via_profile Systems.gpu_ansor;
+    dynamic_graph_overhead_seconds = 0.0;
+  }
+
+let relay_chimera =
+  {
+    name = "Relay+Chimera";
+    host_profile = Systems.gpu_relay;
+    attention = Via_chimera;
+    dynamic_graph_overhead_seconds = 0.0;
+  }
+
+let gpu_stacks =
+  [ pytorch_cudnn; relay_tensorrt; relay_cudnn; relay_ansor; relay_chimera ]
+
+let linear_seconds stack ~machine ~m ~n ~k =
+  let p = stack.host_profile in
+  let dtype_bytes = 2.0 in
+  let flops = Workloads.Networks.linear_flops ~m ~n ~k in
+  let bytes = dtype_bytes *. float_of_int ((m * k) + (k * n) + (m * n)) in
+  let compute =
+    flops
+    /. (Arch.Machine.peak_flops machine *. 0.5 *. p.Profile.compute_efficiency)
+  in
+  let memory =
+    bytes
+    /. (Arch.Machine.dram_bandwidth_gbps machine
+       *. 1e9 *. p.Profile.bandwidth_efficiency)
+  in
+  Float.max compute memory +. p.Profile.dispatch_seconds
+  +. stack.dynamic_graph_overhead_seconds
+
+let elementwise_seconds stack ~machine ~elems ~passes =
+  let p = stack.host_profile in
+  let bytes = 2.0 *. float_of_int (elems * passes) in
+  let memory =
+    bytes
+    /. (Arch.Machine.dram_bandwidth_gbps machine
+       *. 1e9 *. p.Profile.bandwidth_efficiency)
+  in
+  (* Compiled stacks fuse element-wise chains; eager ones dispatch each. *)
+  let dispatch =
+    if p.Profile.fuses_elementwise then 0.0
+    else p.Profile.dispatch_seconds +. stack.dynamic_graph_overhead_seconds
+  in
+  memory +. dispatch
+
+let attention_seconds stack ~machine config =
+  let chain = Workloads.Gemm_configs.chain ~softmax:true config in
+  match stack.attention with
+  | Via_chimera ->
+      let compiled = Chimera.Compiler.optimize ~machine chain in
+      Chimera.Compiler.total_time_seconds compiled
+  | Via_profile p ->
+      let r = Profile.estimate p ~machine chain in
+      r.Profile.time_seconds
+      +. (float_of_int r.Profile.kernel_count
+         *. stack.dynamic_graph_overhead_seconds)
+
+let estimate_network stack ~machine (net : Workloads.Networks.t) =
+  (* All layers share the attention shape: price it once. *)
+  let attn =
+    attention_seconds stack ~machine (Workloads.Networks.attention_config net)
+  in
+  List.fold_left
+    (fun acc component ->
+      acc
+      +.
+      match component with
+      | Workloads.Networks.Linear { m; n; k } ->
+          linear_seconds stack ~machine ~m ~n ~k
+      | Workloads.Networks.Elementwise { elems; passes } ->
+          elementwise_seconds stack ~machine ~elems ~passes
+      | Workloads.Networks.Attention _ -> attn)
+    0.0
+    (Workloads.Networks.components net)

@@ -1,0 +1,32 @@
+(** End-to-end network estimation (Figure 9): a framework *stack* runs
+    the whole model — dense projections and element-wise operators
+    through its own kernels — and delegates the attention batch-GEMM
+    chain either to its own strategy or to Chimera (the paper's
+    [Relay+Chimera] integration). *)
+
+type attention_impl =
+  | Via_chimera  (** the chain compiled by Chimera. *)
+  | Via_profile of Profile.t  (** the stack's own strategy. *)
+
+type stack = {
+  name : string;
+  host_profile : Profile.t;
+      (** prices the network's linears and element-wise operators. *)
+  attention : attention_impl;
+  dynamic_graph_overhead_seconds : float;
+      (** extra per-operator host time for eager frameworks (PyTorch);
+          0 for compiled static graphs. *)
+}
+
+val pytorch_cudnn : stack
+val relay_tensorrt : stack
+val relay_cudnn : stack
+val relay_ansor : stack
+val relay_chimera : stack
+
+val gpu_stacks : stack list
+(** The five Figure 9 stacks, in figure order. *)
+
+val estimate_network :
+  stack -> machine:Arch.Machine.t -> Workloads.Networks.t -> float
+(** Estimated inference latency (seconds, batch 1). *)

@@ -1,0 +1,181 @@
+type order_policy = Explored | Fixed
+
+type t = {
+  name : string;
+  fuses_ci_chain : bool;
+  order_policy : order_policy;
+  fuses_elementwise : bool;
+  fuses_softmax : bool;
+  compute_efficiency : float;
+  bandwidth_efficiency : float;
+  bmm_bandwidth_penalty : float;
+  dispatch_seconds : float;
+}
+
+type kernel_cost = {
+  label : string;
+  seconds : float;
+  dram_bytes : float;
+  flops : float;
+}
+
+type result = {
+  profile : string;
+  chain : string;
+  time_seconds : float;
+  kernels : kernel_cost list;
+  kernel_count : int;
+  dram_bytes : float;
+}
+
+let mi_bandwidth_efficiency = 0.9
+
+let epilogue_passes = function
+  | Ir.Chain.Identity -> 0
+  | Ir.Chain.Relu -> 2
+  (* exp+sum in one pass, the division re-read hits cache: two DRAM
+     passes despite the three dependent steps. *)
+  | Ir.Chain.Softmax _ -> 2
+
+let has_softmax (chain : Ir.Chain.t) =
+  List.exists
+    (fun (s : Ir.Chain.stage) ->
+      match s.Ir.Chain.epilogue with Ir.Chain.Softmax _ -> true | _ -> false)
+    chain.stages
+
+let is_batch_strided (chain : Ir.Chain.t) =
+  match Ir.Axis.find_opt chain.axes "b" with
+  | Some a -> a.Ir.Axis.extent > 1
+  | None -> false
+
+(* One single-stage chain per stage, optionally stripping the epilogue
+   into a separate kernel (systems that cannot fuse element-wise ops). *)
+let stage_chain (chain : Ir.Chain.t) (stage : Ir.Chain.stage) ~keep_epilogue =
+  let epilogue =
+    if keep_epilogue then stage.Ir.Chain.epilogue else Ir.Chain.Identity
+  in
+  Ir.Chain.make
+    ~name:(chain.name ^ "." ^ stage.op.Ir.Operator.name)
+    ~axes:chain.axes
+    ~stages:
+      [
+        {
+          Ir.Chain.op = stage.standalone;
+          epilogue;
+          standalone = stage.standalone;
+        };
+      ]
+
+let plan_sub profile ~machine ~registry sub =
+  let capacity =
+    (Arch.Machine.primary_on_chip machine).Arch.Level.capacity_bytes
+  in
+  let perms =
+    match profile.order_policy with
+    | Explored -> None
+    | Fixed -> Some [ Analytical.Movement.fused_axes sub ]
+  in
+  let micro = Microkernel.Registry.lower registry ~name:"matmul" ~machine in
+  let min_tile = Codegen.Kernel.min_tile_floor ~micro sub in
+  let plan =
+    Analytical.Planner.optimize sub ~capacity_bytes:capacity ~min_tile ?perms
+      ()
+  in
+  Analytical.Planner.refine_for_parallelism sub plan
+    ~min_blocks:machine.Arch.Machine.cores ~min_tile ()
+
+let ci_kernel_cost profile ~machine ~registry ~strided sub =
+  let plan = plan_sub profile ~machine ~registry sub in
+  let kernel =
+    Codegen.Kernel.of_plan ~name:sub.Ir.Chain.name ~chain:sub ~machine
+      ~registry ~plan ()
+  in
+  let flops = Ir.Chain.fused_flops sub in
+  let micro_eff = Codegen.Kernel.micro_efficiency kernel in
+  let par_eff =
+    Analytical.Parallelism.efficiency sub kernel.Codegen.Kernel.tiling
+      ~cores:machine.Arch.Machine.cores
+  in
+  let compute =
+    flops
+    /. (Arch.Machine.peak_flops machine *. micro_eff *. par_eff
+       *. profile.compute_efficiency)
+  in
+  let dv = Codegen.Kernel.predicted_dv_bytes kernel in
+  let bw_eff =
+    profile.bandwidth_efficiency
+    *. if strided then profile.bmm_bandwidth_penalty else 1.0
+  in
+  let memory =
+    dv /. (Arch.Machine.dram_bandwidth_gbps machine *. 1e9 *. bw_eff)
+  in
+  let overlap = kernel.Codegen.Kernel.micro.Microkernel.Kernel_sig.overlap in
+  {
+    label = sub.Ir.Chain.name;
+    seconds =
+      Float.max compute memory
+      +. ((1.0 -. overlap) *. Float.min compute memory)
+      +. profile.dispatch_seconds;
+    dram_bytes = dv;
+    flops;
+  }
+
+let mi_kernel_cost profile ~machine ~label ~bytes ~flops =
+  (* Element-wise kernels stream contiguously: near-full bandwidth
+     regardless of how the system's GEMM kernels behave. *)
+  let memory =
+    bytes
+    /. (Arch.Machine.dram_bandwidth_gbps machine
+       *. 1e9 *. mi_bandwidth_efficiency)
+  in
+  { label; seconds = memory +. profile.dispatch_seconds; dram_bytes = bytes; flops }
+
+let estimate profile ~machine (chain : Ir.Chain.t) =
+  let registry = Microkernel.Registry.default () in
+  let strided = is_batch_strided chain in
+  let can_fuse_whole =
+    profile.fuses_ci_chain
+    && ((not (has_softmax chain)) || profile.fuses_softmax)
+  in
+  let kernels =
+    if can_fuse_whole then
+      [ ci_kernel_cost profile ~machine ~registry ~strided chain ]
+    else
+      List.concat_map
+        (fun (stage : Ir.Chain.stage) ->
+          let fuse_epi =
+            match stage.Ir.Chain.epilogue with
+            | Ir.Chain.Identity -> true
+            | Ir.Chain.Relu -> profile.fuses_elementwise
+            | Ir.Chain.Softmax _ -> false
+          in
+          let sub = stage_chain chain stage ~keep_epilogue:fuse_epi in
+          let ci = ci_kernel_cost profile ~machine ~registry ~strided sub in
+          if fuse_epi then [ ci ]
+          else begin
+            let passes = epilogue_passes stage.Ir.Chain.epilogue in
+            let out = stage.standalone.Ir.Operator.output in
+            let bytes =
+              float_of_int (passes * Ir.Operator.tensor_bytes out)
+            in
+            let label =
+              Printf.sprintf "%s.%s-epilogue" chain.name
+                stage.op.Ir.Operator.name
+            in
+            [
+              ci;
+              mi_kernel_cost profile ~machine ~label ~bytes
+                ~flops:(Ir.Chain.epilogue_flops chain stage);
+            ]
+          end)
+        chain.stages
+  in
+  let total f = List.fold_left (fun acc k -> acc +. f k) 0.0 kernels in
+  {
+    profile = profile.name;
+    chain = chain.name;
+    time_seconds = total (fun k -> k.seconds);
+    kernels;
+    kernel_count = List.length kernels;
+    dram_bytes = total (fun k -> k.dram_bytes);
+  }

@@ -1,0 +1,63 @@
+(** Parametric models of the systems the paper compares against.
+
+    What separates the baselines in the paper is *strategy*: what each
+    system can and cannot fuse, whether its block order is fixed or
+    explored, and the quality of its kernels.  A profile captures those
+    axes; {!estimate} compiles a chain under the profile's strategy on
+    the shared planner/simulator substrate and prices the result with
+    the profile's efficiency parameters (constants recorded in
+    DESIGN.md, calibrated once against the paper's headline ratios). *)
+
+type order_policy =
+  | Explored  (** search all candidate block orders (Chimera-style). *)
+  | Fixed  (** the chain's declaration order only (CUTLASS/BOLT-style
+               templates with a hard-coded execution order). *)
+
+type t = {
+  name : string;
+  fuses_ci_chain : bool;
+      (** can emit one kernel for a CI-CI chain; otherwise one kernel
+          per compute-intensive operator. *)
+  order_policy : order_policy;  (** only meaningful when fusing. *)
+  fuses_elementwise : bool;
+      (** folds ReLU-class epilogues into the producing kernel. *)
+  fuses_softmax : bool;
+      (** folds softmax into the chain (needs the sum-merge/div-swap
+          rewrite; only Chimera does this in the paper). *)
+  compute_efficiency : float;
+      (** kernel quality relative to the modelled tuned micro kernel. *)
+  bandwidth_efficiency : float;
+      (** fraction of DRAM bandwidth the kernels sustain. *)
+  bmm_bandwidth_penalty : float;
+      (** additional multiplier (<= 1) on bandwidth for batch-strided
+          GEMM kernels (TensorRT's irregular-BMM weakness). *)
+  dispatch_seconds : float;  (** per-kernel host/dispatch overhead. *)
+}
+
+type kernel_cost = {
+  label : string;
+  seconds : float;
+  dram_bytes : float;
+  flops : float;
+}
+
+type result = {
+  profile : string;
+  chain : string;
+  time_seconds : float;
+  kernels : kernel_cost list;
+  kernel_count : int;
+  dram_bytes : float;
+}
+
+val estimate : t -> machine:Arch.Machine.t -> Ir.Chain.t -> result
+(** Compile-and-price a chain under the profile's strategy. *)
+
+val mi_bandwidth_efficiency : float
+(** Bandwidth fraction element-wise kernels sustain (0.9: contiguous
+    streaming). *)
+
+val epilogue_passes : Ir.Chain.epilogue -> int
+(** DRAM passes a standalone epilogue kernel makes over its operand
+    (2 for ReLU read+write; 2 for softmax — exp+sum fuse into one pass
+    and the division re-read hits cache; 0 for identity). *)

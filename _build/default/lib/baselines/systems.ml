@@ -1,0 +1,151 @@
+let base =
+  {
+    Profile.name = "";
+    fuses_ci_chain = false;
+    order_policy = Profile.Explored;
+    fuses_elementwise = false;
+    fuses_softmax = false;
+    compute_efficiency = 0.85;
+    bandwidth_efficiency = 0.6;
+    bmm_bandwidth_penalty = 1.0;
+    dispatch_seconds = 5e-6;
+  }
+
+let cpu_pytorch =
+  {
+    base with
+    Profile.name = "PyTorch";
+    compute_efficiency = 0.85;
+    bandwidth_efficiency = 0.55;
+    dispatch_seconds = 5e-6;
+  }
+
+let cpu_onednn =
+  {
+    base with
+    Profile.name = "oneDNN";
+    fuses_elementwise = true;
+    compute_efficiency = 0.9;
+    bandwidth_efficiency = 0.45;
+    dispatch_seconds = 2e-6;
+  }
+
+let cpu_relay =
+  (* Relay's hand-written x86 conv templates are serviceable; its
+     batch_matmul template has poor strides (the paper's weakest CPU
+     baseline on GEMM chains). *)
+  {
+    base with
+    Profile.name = "Relay";
+    fuses_elementwise = true;
+    compute_efficiency = 0.6;
+    bandwidth_efficiency = 0.4;
+    bmm_bandwidth_penalty = 0.5;
+    dispatch_seconds = 2e-6;
+  }
+
+let cpu_ansor =
+  {
+    base with
+    Profile.name = "Ansor";
+    fuses_elementwise = true;
+    compute_efficiency = 0.8;
+    bandwidth_efficiency = 0.95;
+    dispatch_seconds = 2e-6;
+  }
+
+let gpu_pytorch =
+  {
+    base with
+    Profile.name = "PyTorch";
+    compute_efficiency = 0.85;
+    bandwidth_efficiency = 0.5;
+    bmm_bandwidth_penalty = 0.7;
+    dispatch_seconds = 1e-5;
+  }
+
+let gpu_taso =
+  {
+    base with
+    Profile.name = "TASO";
+    compute_efficiency = 0.85;
+    bandwidth_efficiency = 0.45;
+    bmm_bandwidth_penalty = 0.6;
+    dispatch_seconds = 8e-6;
+  }
+
+let gpu_relay =
+  {
+    base with
+    Profile.name = "Relay";
+    fuses_elementwise = true;
+    compute_efficiency = 0.8;
+    bandwidth_efficiency = 0.85;
+    dispatch_seconds = 5e-6;
+  }
+
+let gpu_ansor =
+  {
+    base with
+    Profile.name = "Ansor";
+    fuses_elementwise = true;
+    compute_efficiency = 0.9;
+    bandwidth_efficiency = 0.95;
+    dispatch_seconds = 5e-6;
+  }
+
+let gpu_tensorrt =
+  {
+    base with
+    Profile.name = "TensorRT";
+    fuses_elementwise = true;
+    compute_efficiency = 0.9;
+    bandwidth_efficiency = 0.85;
+    bmm_bandwidth_penalty = 0.4;
+    dispatch_seconds = 5e-6;
+  }
+
+let gpu_tvm_cutlass =
+  {
+    base with
+    Profile.name = "TVM+Cutlass";
+    fuses_ci_chain = true;
+    order_policy = Profile.Fixed;
+    fuses_elementwise = true;
+    compute_efficiency = 0.95;
+    bandwidth_efficiency = 0.9;
+    dispatch_seconds = 5e-6;
+  }
+
+let npu_tbe =
+  {
+    base with
+    Profile.name = "TBE";
+    compute_efficiency = 0.85;
+    bandwidth_efficiency = 0.6;
+    dispatch_seconds = 5e-6;
+  }
+
+let npu_akg =
+  {
+    base with
+    Profile.name = "AKG";
+    fuses_elementwise = true;
+    compute_efficiency = 0.9;
+    bandwidth_efficiency = 0.92;
+    dispatch_seconds = 3e-6;
+  }
+
+let for_machine (machine : Arch.Machine.t) =
+  match machine.Arch.Machine.backend with
+  | Arch.Machine.Cpu -> [ cpu_pytorch; cpu_relay; cpu_ansor; cpu_onednn ]
+  | Arch.Machine.Gpu ->
+      [
+        gpu_pytorch;
+        gpu_taso;
+        gpu_relay;
+        gpu_ansor;
+        gpu_tensorrt;
+        gpu_tvm_cutlass;
+      ]
+  | Arch.Machine.Npu -> [ npu_tbe; npu_akg ]

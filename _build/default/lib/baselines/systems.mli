@@ -1,0 +1,51 @@
+(** The paper's comparison systems as strategy profiles (Section VI-A).
+
+    Capability axes (what fuses, whether the block order is explored)
+    come straight from the paper's discussion of each system; the
+    efficiency constants are calibrated once against the paper's
+    headline speedup ratios and recorded in DESIGN.md. *)
+
+val cpu_pytorch : Profile.t
+(** Eager PyTorch on MKL/oneDNN kernels: nothing fused, every operator a
+    dispatch. *)
+
+val cpu_onednn : Profile.t
+(** Direct oneDNN calls: ReLU post-ops fuse, GEMM chains do not. *)
+
+val cpu_relay : Profile.t
+(** TVM Relay with hand-written CPU templates: element-wise fusion only,
+    weak CPU kernels (the paper's weakest CPU baseline). *)
+
+val cpu_ansor : Profile.t
+(** Ansor-tuned single operators: strong kernels, no CI-CI fusion. *)
+
+val gpu_pytorch : Profile.t
+(** PyTorch + cuBLAS/cuDNN: unfused, dynamic-graph dispatch. *)
+
+val gpu_taso : Profile.t
+(** TASO: graph substitutions over cuDNN kernels; cannot fuse dependent
+    CI operators, no softmax support. *)
+
+val gpu_relay : Profile.t
+(** Relay on CUDA templates. *)
+
+val gpu_ansor : Profile.t
+(** Ansor-tuned CUDA kernels. *)
+
+val gpu_tensorrt : Profile.t
+(** TensorRT: strong fused element-wise kernels, cannot fuse softmax,
+    weak on irregular batch GEMMs (Section VI-D). *)
+
+val gpu_tvm_cutlass : Profile.t
+(** TVM+CUTLASS (BOLT): fuses GEMM chains through templates but with a
+    fixed block execution order and no softmax support. *)
+
+val npu_tbe : Profile.t
+(** CANN TBE library: hand-optimised single GEMMs, no fusion. *)
+
+val npu_akg : Profile.t
+(** AKG polyhedral compiler: state-of-the-art single-op NPU kernels and
+    element-wise fusion; GEMM-chain fusion unexplored. *)
+
+val for_machine : Arch.Machine.t -> Profile.t list
+(** The baselines the paper compares on that backend, in figure order. *)

@@ -1,0 +1,1 @@
+lib/codegen/kernel.ml: Analytical Arch Hashtbl Ir List Microkernel Option

@@ -1,0 +1,1 @@
+lib/codegen/source.ml: Analytical Arch Buffer Hashtbl Ir Kernel List Microkernel Printf String

@@ -1,0 +1,121 @@
+type t = {
+  name : string;
+  chain : Ir.Chain.t;
+  machine : Arch.Machine.t;
+  micro : Microkernel.Kernel_sig.impl;
+  perm : string list;
+  tiling : Analytical.Tiling.t;
+  level_plans : Analytical.Planner.level_plan list;
+}
+
+let of_plan ~name ~chain ~machine ~registry ~plan ?(level_plans = []) () =
+  let micro = Microkernel.Registry.lower registry ~name:"matmul" ~machine in
+  {
+    name;
+    chain;
+    machine;
+    micro;
+    perm = plan.Analytical.Planner.perm;
+    tiling = plan.Analytical.Planner.tiling;
+    level_plans;
+  }
+
+let primary_movement t =
+  match List.rev t.level_plans with
+  | outer :: _ -> outer.Analytical.Planner.plan.Analytical.Planner.movement
+  | [] -> Analytical.Movement.analyze t.chain ~perm:t.perm ~tiling:t.tiling
+
+let predicted_dv_bytes t = (primary_movement t).Analytical.Movement.dv_bytes
+let predicted_mu_bytes t = (primary_movement t).Analytical.Movement.mu_bytes
+let block_count t = Analytical.Tiling.total_blocks t.tiling
+
+let block_shape t (op : Ir.Operator.t) =
+  List.map (fun a -> (a, Analytical.Tiling.get t.tiling a)) op.Ir.Operator.axes
+
+(* The micro kernel's vectorised n covers the output axes shared with
+   the weight operand (the last input): the output-channel dim of an
+   implicit-GEMM convolution, the n of a GEMM.  Batch-style axes that
+   index every operand stay on the m side. *)
+let n_axes_of_op (op : Ir.Operator.t) =
+  let weight_axes =
+    match List.rev op.Ir.Operator.inputs with
+    | w :: _ -> Ir.Access.axes_used w.Ir.Operator.access
+    | [] -> []
+  in
+  let out_axes =
+    Ir.Access.axes_used op.Ir.Operator.output.Ir.Operator.access
+  in
+  List.filter
+    (fun a ->
+      List.mem a weight_axes
+      && (not (List.mem a op.Ir.Operator.reduction_axes))
+      && not
+           (List.for_all
+              (fun (r : Ir.Operator.tensor_ref) ->
+                Ir.Access.uses_axis r.Ir.Operator.access a)
+              op.Ir.Operator.inputs))
+    out_axes
+
+(* Tile-size floors the intra-block stage imposes: the micro kernel's
+   native n on the weight-shared output axes and its native k on each
+   stage's widest reduction axis, so the planner never hands the micro
+   kernel degenerate blocks. *)
+let min_tile_floor ~(micro : Microkernel.Kernel_sig.impl)
+    (chain : Ir.Chain.t) =
+  let _, native_n, native_k = micro.Microkernel.Kernel_sig.native_tile in
+  let floors : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let bump axis v =
+    let prev = Option.value (Hashtbl.find_opt floors axis) ~default:1 in
+    Hashtbl.replace floors axis (max prev v)
+  in
+  List.iter
+    (fun (stage : Ir.Chain.stage) ->
+      let op = stage.Ir.Chain.op in
+      List.iter (fun a -> bump a native_n) (n_axes_of_op op);
+      match
+        List.sort
+          (fun a b ->
+            compare (Ir.Chain.extent_of chain b) (Ir.Chain.extent_of chain a))
+          op.Ir.Operator.reduction_axes
+      with
+      | widest :: _ -> bump widest native_k
+      | [] -> ())
+    chain.Ir.Chain.stages;
+  fun axis -> Option.value (Hashtbl.find_opt floors axis) ~default:1
+
+let matmul_block_dims t (op : Ir.Operator.t) =
+  let tile a = Analytical.Tiling.get t.tiling a in
+  let k =
+    List.fold_left (fun acc a -> acc * tile a) 1 op.Ir.Operator.reduction_axes
+  in
+  let n_axes = n_axes_of_op op in
+  let n = List.fold_left (fun acc a -> acc * tile a) 1 n_axes in
+  let spatial =
+    List.filter
+      (fun a -> not (List.mem a op.Ir.Operator.reduction_axes))
+      op.Ir.Operator.axes
+  in
+  let m =
+    List.fold_left
+      (fun acc a -> if List.mem a n_axes then acc else acc * tile a)
+      1 spatial
+  in
+  (max 1 m, max 1 n, max 1 k)
+
+let micro_efficiency t =
+  let extent_of = Ir.Chain.extent_of t.chain in
+  let total_flops = ref 0.0 in
+  let weighted = ref 0.0 in
+  List.iter
+    (fun (stage : Ir.Chain.stage) ->
+      let op = stage.Ir.Chain.op in
+      let m, n, k = matmul_block_dims t op in
+      let eff =
+        t.micro.Microkernel.Kernel_sig.efficiency ~machine:t.machine
+          ~block_m:m ~block_n:n ~block_k:k
+      in
+      let flops = Ir.Operator.flops op ~extent_of in
+      total_flops := !total_flops +. flops;
+      weighted := !weighted +. (eff *. flops))
+    t.chain.Ir.Chain.stages;
+  if !total_flops = 0.0 then 1.0 else !weighted /. !total_flops

@@ -1,0 +1,59 @@
+(** A compiled fused kernel: the chain, the chosen block execution order
+    and decomposition parameters, the memory-hierarchy plan, and the
+    hardware micro kernel substituted for the replaceable micro kernel.
+
+    This is the hand-off structure between Chimera's optimizer and the
+    execution/simulation engine, and the input to {!Source} emission. *)
+
+type t = {
+  name : string;
+  chain : Ir.Chain.t;
+  machine : Arch.Machine.t;
+  micro : Microkernel.Kernel_sig.impl;
+  perm : string list;  (** block execution order, outermost first. *)
+  tiling : Analytical.Tiling.t;  (** primary-level tile sizes. *)
+  level_plans : Analytical.Planner.level_plan list;
+      (** per-on-chip-level plans, innermost first (may be a single
+          entry when planned against one level only). *)
+}
+
+val of_plan :
+  name:string -> chain:Ir.Chain.t -> machine:Arch.Machine.t ->
+  registry:Microkernel.Registry.t -> plan:Analytical.Planner.plan ->
+  ?level_plans:Analytical.Planner.level_plan list -> unit -> t
+(** Pair a single-level plan (and optionally its multi-level refinement)
+    with the machine's registered micro kernel. *)
+
+val predicted_dv_bytes : t -> float
+(** The DRAM-facing data movement volume of the plan. *)
+
+val predicted_mu_bytes : t -> int
+(** Peak on-chip working set of one block. *)
+
+val block_count : t -> float
+(** Number of primary-level computation blocks the kernel executes. *)
+
+val block_shape : t -> Ir.Operator.t -> (string * int) list
+(** Tile size per axis of one operator's block (its own axes only). *)
+
+val n_axes_of_op : Ir.Operator.t -> string list
+(** The output axes the micro kernel vectorises for this operator (the
+    axes shared with the weight operand). *)
+
+val min_tile_floor :
+  micro:Microkernel.Kernel_sig.impl -> Ir.Chain.t -> string -> int
+(** Per-axis tile-size floors derived from the micro kernel's native
+    tile: its n on weight-shared output axes, its k on each stage's
+    widest reduction axis (1 elsewhere).  Fed to the planner so blocks
+    stay micro-kernel friendly. *)
+
+val matmul_block_dims : t -> Ir.Operator.t -> int * int * int
+(** The (m, n, k) shape the micro kernel sees for one operator's block:
+    reduction extent as k; the output axes shared with the weight
+    operand (GEMM's n, implicit-GEMM conv's output channels) as n; every
+    other non-reduction axis folded into m.  Used for efficiency
+    modelling. *)
+
+val micro_efficiency : t -> float
+(** Modelled micro-kernel efficiency for this kernel's block shape,
+    averaged over the chain's stages weighted by their FLOPs. *)

@@ -1,0 +1,262 @@
+let upper = String.uppercase_ascii
+let lower = String.lowercase_ascii
+let spf = Printf.sprintf
+
+type dialect = { comment : string; indent_unit : string }
+
+let dialect_of (machine : Arch.Machine.t) =
+  match machine.Arch.Machine.backend with
+  | Arch.Machine.Cpu | Arch.Machine.Gpu ->
+      { comment = "//"; indent_unit = "  " }
+  | Arch.Machine.Npu -> { comment = "#"; indent_unit = "  " }
+
+(* The loop nest: one level of loops per memory-level plan (outermost
+   plan's order outside, sub-block orders within), matching the
+   hierarchical execution the simulator replays.  Loop variables are
+   numbered per level: m0 steps by the L3-plan tile, m1 subdivides the
+   m0 block by the L2-plan tile, and so on. *)
+let plan_levels (kernel : Kernel.t) =
+  match kernel.Kernel.level_plans with
+  | [] -> [ (kernel.Kernel.perm, kernel.Kernel.tiling) ]
+  | lps ->
+      List.rev_map
+        (fun (lp : Analytical.Planner.level_plan) ->
+          ( lp.Analytical.Planner.plan.Analytical.Planner.perm,
+            lp.Analytical.Planner.plan.Analytical.Planner.tiling ))
+        lps
+
+(* Innermost loop-variable name per axis, after collapsing levels whose
+   tile equals the enclosing block (no subdivision). *)
+let loop_plan (kernel : Kernel.t) =
+  let levels = plan_levels kernel in
+  let extent =
+    Analytical.Tiling.extent_of (snd (List.hd levels))
+  in
+  (* (axis, var_name, lo_expr, hi_expr, step) in emission order, plus a
+     map axis -> innermost var. *)
+  let innermost : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  let enclosing : (string, int * string) Hashtbl.t = Hashtbl.create 8 in
+  (* enclosing: axis -> (block span, variable of the enclosing loop) *)
+  let loops = ref [] in
+  List.iteri
+    (fun level (perm, tiling) ->
+      List.iter
+        (fun axis ->
+          let tile = Analytical.Tiling.get tiling axis in
+          let span, base =
+            match Hashtbl.find_opt enclosing axis with
+            | Some (span, v) -> (span, Some v)
+            | None -> (extent axis, None)
+          in
+          if tile < span && span > 1 then begin
+            let var = Printf.sprintf "%s%d" axis level in
+            let lo, hi =
+              match base with
+              | None -> ("0", string_of_int (extent axis))
+              | Some v ->
+                  ( v,
+                    Printf.sprintf "min(%d, %s + %d)" (extent axis) v span )
+            in
+            loops := (axis, var, lo, hi, tile) :: !loops;
+            Hashtbl.replace enclosing axis (tile, var);
+            Hashtbl.replace innermost axis var
+          end)
+        perm)
+    levels;
+  (List.rev !loops, fun axis ->
+    match Hashtbl.find_opt innermost axis with
+    | Some v -> v
+    | None -> axis ^ "0")
+
+let stage_guard (kernel : Kernel.t) (stage : Ir.Chain.stage) =
+  (* First-visit rule for loops this stage does not own, last-reduction
+     rule for earlier stages' reduction loops that must complete before
+     this stage consumes its input (dependency preservation). *)
+  let chain = kernel.Kernel.chain in
+  let op = stage.Ir.Chain.op in
+  let earlier_stages =
+    let rec before acc = function
+      | [] -> List.rev acc
+      | (s : Ir.Chain.stage) :: rest ->
+          if s.op.Ir.Operator.name = op.Ir.Operator.name then List.rev acc
+          else before (s :: acc) rest
+    in
+    before [] chain.Ir.Chain.stages
+  in
+  let earlier_reductions =
+    List.concat_map
+      (fun (s : Ir.Chain.stage) -> s.op.Ir.Operator.reduction_axes)
+      earlier_stages
+  in
+  let _, var_of = loop_plan kernel in
+  let conds =
+    List.filter_map
+      (fun axis ->
+        if Ir.Operator.uses_axis op axis then None
+        else if List.mem axis earlier_reductions then
+          Some (spf "%s == %s - T_%s" (var_of axis) (upper axis) axis)
+        else Some (spf "%s == 0" (var_of axis)))
+      kernel.Kernel.perm
+  in
+  match conds with [] -> None | cs -> Some (String.concat " && " cs)
+
+let buffer_declarations (kernel : Kernel.t) add =
+  let chain = kernel.Kernel.chain in
+  let tile_of = Analytical.Tiling.tile_of kernel.Kernel.tiling in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (stage : Ir.Chain.stage) ->
+      List.iter
+        (fun (r : Ir.Operator.tensor_ref) ->
+          if not (Hashtbl.mem seen r.tensor) then begin
+            Hashtbl.add seen r.tensor ();
+            let elems = Ir.Operator.tile_footprint_elems r ~tile_of in
+            let role =
+              if Ir.Chain.is_intermediate chain r.tensor then
+                "intermediate, resident on chip"
+              else "staging tile"
+            in
+            add
+              (spf "half %s_tile[%d];  %s %s" (lower r.tensor) elems
+                 (dialect_of kernel.Kernel.machine).comment role)
+          end)
+        (Ir.Operator.all_refs stage.Ir.Chain.op))
+    chain.Ir.Chain.stages
+
+let emit_loops (kernel : Kernel.t) buf ~body =
+  let d = dialect_of kernel.Kernel.machine in
+  let loops, _ = loop_plan kernel in
+  let depth = ref 0 in
+  let add s =
+    for _ = 1 to !depth do
+      Buffer.add_string buf d.indent_unit
+    done;
+    Buffer.add_string buf (s ^ "\n")
+  in
+  (match kernel.Kernel.machine.Arch.Machine.backend with
+  | Arch.Machine.Cpu -> add "#pragma omp parallel for collapse(2)"
+  | Arch.Machine.Gpu -> add (d.comment ^ " grid-mapped: blockIdx.x")
+  | Arch.Machine.Npu -> add (d.comment ^ " block-dispatched across AI cores"));
+  List.iter
+    (fun (_, var, lo, hi, step) ->
+      add (spf "for (int %s = %s; %s < %s; %s += %d) {" var lo var hi var step);
+      incr depth)
+    loops;
+  body add;
+  List.iter
+    (fun _ ->
+      decr depth;
+      add "}")
+    (List.rev loops)
+
+let stage_body (kernel : Kernel.t) (stage : Ir.Chain.stage) add =
+  let d = dialect_of kernel.Kernel.machine in
+  let op = stage.Ir.Chain.op in
+  let out = op.Ir.Operator.output in
+  let m, n, k = Kernel.matmul_block_dims kernel op in
+  let fetches =
+    List.map
+      (fun (r : Ir.Operator.tensor_ref) -> r.Ir.Operator.tensor)
+      op.Ir.Operator.inputs
+  in
+  (match stage_guard kernel stage with
+  | Some cond -> add (spf "if (%s) {" cond)
+  | None -> add "{");
+  add
+    (spf "%s %s: stage tiles of %s into on-chip memory" d.comment
+       op.Ir.Operator.name
+       (String.concat ", " fetches));
+  add
+    (spf "%s replaceable micro kernel \"matmul\" -> %s" d.comment
+       kernel.Kernel.micro.Microkernel.Kernel_sig.id);
+  add
+    (spf "micro_matmul_%dx%dx%d(%s_tile, %s);" m n k
+       (lower out.Ir.Operator.tensor)
+       (String.concat ", " (List.map (fun t -> lower t ^ "_tile") fetches)));
+  (match stage.Ir.Chain.epilogue with
+  | Ir.Chain.Identity -> ()
+  | Ir.Chain.Relu ->
+      add
+        (spf "if (last_reduction_block) relu_inplace(%s_tile);"
+           (lower out.Ir.Operator.tensor))
+  | Ir.Chain.Softmax { axis } ->
+      add
+        (spf "%s softmax fused: exp on the completed tile; the row-sum is"
+           d.comment);
+      add
+        (spf "%s merged into the consumer GEMM and the division swapped past \
+              it"
+           d.comment);
+      add "if (last_reduction_block) {";
+      add (spf "  exp_inplace(%s_tile);" (lower out.Ir.Operator.tensor));
+      add
+        (spf "  rowsum_accumulate(softmax_sum, %s_tile /* along %s */);"
+           (lower out.Ir.Operator.tensor)
+           axis);
+      add "}");
+  add "}"
+
+let emit_loop_nest kernel =
+  let buf = Buffer.create 4096 in
+  emit_loops kernel buf ~body:(fun add ->
+      List.iter
+        (fun stage -> stage_body kernel stage add)
+        kernel.Kernel.chain.Ir.Chain.stages);
+  Buffer.contents buf
+
+let has_softmax (kernel : Kernel.t) =
+  List.exists
+    (fun (s : Ir.Chain.stage) ->
+      match s.Ir.Chain.epilogue with Ir.Chain.Softmax _ -> true | _ -> false)
+    kernel.Kernel.chain.Ir.Chain.stages
+
+let emit kernel =
+  let d = dialect_of kernel.Kernel.machine in
+  let buf = Buffer.create 8192 in
+  let add s = Buffer.add_string buf (s ^ "\n") in
+  let machine = kernel.Kernel.machine in
+  add (spf "%s === Chimera generated kernel: %s ===" d.comment kernel.Kernel.name);
+  add (spf "%s target: %s" d.comment machine.Arch.Machine.name);
+  add
+    (spf "%s block order: %s  tiles: %s" d.comment
+       (String.concat "" kernel.Kernel.perm)
+       (Analytical.Tiling.to_string kernel.Kernel.tiling));
+  add
+    (spf "%s predicted DV = %.3e MB, block MU = %.1f KiB, %.0f blocks"
+       d.comment
+       (Kernel.predicted_dv_bytes kernel /. 1e6)
+       (float_of_int (Kernel.predicted_mu_bytes kernel) /. 1024.0)
+       (Kernel.block_count kernel));
+  List.iter
+    (fun (lp : Analytical.Planner.level_plan) ->
+      add
+        (spf "%s   level %s: tiles %s, DV %.3e MB" d.comment
+           lp.level.Arch.Level.name
+           (Analytical.Tiling.to_string lp.plan.Analytical.Planner.tiling)
+           (lp.plan.Analytical.Planner.movement.Analytical.Movement.dv_bytes
+           /. 1e6)))
+    kernel.Kernel.level_plans;
+  add "";
+  buffer_declarations kernel add;
+  if has_softmax kernel then
+    add "float softmax_sum[/* rows of the softmax operand */];";
+  add "";
+  Buffer.add_string buf (emit_loop_nest kernel);
+  if has_softmax kernel then begin
+    add "";
+    add
+      (spf "%s swapped softmax division: E[row, :] /= softmax_sum[row]"
+         d.comment);
+    add "divide_rows(e, softmax_sum);"
+  end;
+  add "";
+  add (spf "%s --- substituted low-level micro kernel body ---" d.comment);
+  let m, n, k =
+    match kernel.Kernel.chain.Ir.Chain.stages with
+    | stage :: _ -> Kernel.matmul_block_dims kernel stage.Ir.Chain.op
+    | [] -> (1, 1, 1)
+  in
+  Buffer.add_string buf
+    (kernel.Kernel.micro.Microkernel.Kernel_sig.emit ~block_m:m ~block_n:n
+       ~block_k:k);
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** Source-code emission for compiled fused kernels.
+
+    The emitted text is the human-readable form of what Chimera's code
+    generator produces: the interleaved block loop nest in the chosen
+    execution order, on-chip buffer allocations sized by the block
+    footprints, per-stage micro-kernel invocations with first-visit /
+    last-reduction guards, epilogue handling (including the softmax
+    sum-merge and div-swap rewrite), and the substituted low-level micro
+    kernel body.  The dialect follows the target backend: C with OpenMP
+    for CPU, CUDA for GPU, a pragma-annotated Python DSL for NPU. *)
+
+val emit : Kernel.t -> string
+(** Full kernel source, ending with the micro kernel body. *)
+
+val emit_loop_nest : Kernel.t -> string
+(** Just the fused block loop nest (used in documentation examples). *)

@@ -1,0 +1,1 @@
+lib/core/advisor.ml: Arch Compiler Config Ir List Printf

@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Analytical Arch Codegen Config Ir List Microkernel Sim String Sys Tuner

@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Arch Codegen Config Ir Microkernel Sim Tuner

@@ -1,0 +1,1 @@
+lib/core/tuner.ml: Analytical Arch Array Ir List Sim Util

@@ -1,0 +1,1 @@
+lib/core/tuner.mli: Analytical Arch Ir Util

@@ -1,0 +1,77 @@
+type boundedness_summary = {
+  stage : string;
+  boundedness : Arch.Roofline.boundedness;
+  arithmetic_intensity : float;
+}
+
+type verdict = {
+  fuse : bool;
+  fused_seconds : float;
+  unfused_seconds : float;
+  speedup : float;
+  recompute_ratio : float;
+  stages : boundedness_summary list;
+}
+
+let stage_summary machine (chain : Ir.Chain.t) (stage : Ir.Chain.stage) =
+  let op = stage.Ir.Chain.standalone in
+  let flops = Ir.Operator.flops op ~extent_of:(Ir.Chain.extent_of chain) in
+  let bytes =
+    List.fold_left
+      (fun acc (r : Ir.Operator.tensor_ref) ->
+        acc +. float_of_int (Ir.Operator.tensor_bytes r))
+      0.0 (Ir.Operator.all_refs op)
+  in
+  {
+    stage = op.Ir.Operator.name;
+    boundedness = Arch.Roofline.classify machine ~flops ~bytes;
+    arithmetic_intensity = Arch.Roofline.arithmetic_intensity ~flops ~bytes;
+  }
+
+let assess ~machine chain =
+  let fused_seconds =
+    Compiler.total_time_seconds (Compiler.optimize ~machine chain)
+  in
+  let unfused_seconds =
+    Compiler.total_time_seconds
+      (Compiler.optimize
+         ~config:{ Config.default with use_fusion = false }
+         ~machine chain)
+  in
+  let speedup = unfused_seconds /. fused_seconds in
+  {
+    fuse = speedup > 1.02;
+    fused_seconds;
+    unfused_seconds;
+    speedup;
+    recompute_ratio =
+      Ir.Chain.fused_flops chain /. Ir.Chain.standalone_flops chain;
+    stages = List.map (stage_summary machine chain) chain.Ir.Chain.stages;
+  }
+
+let explain v =
+  let consumer =
+    match List.rev v.stages with s :: _ -> Some s | [] -> None
+  in
+  let head =
+    if v.fuse then
+      Printf.sprintf "fuse: %.2fx faster than separate kernels" v.speedup
+    else
+      Printf.sprintf "do not fuse: only %.2fx (within noise or slower)"
+        v.speedup
+  in
+  let consumer_note =
+    match consumer with
+    | Some s ->
+        Printf.sprintf "; consumer %s is %s (AI %.0f flop/byte)" s.stage
+          (Arch.Roofline.boundedness_to_string s.boundedness)
+          s.arithmetic_intensity
+    | None -> ""
+  in
+  let recompute_note =
+    if v.recompute_ratio > 1.01 then
+      Printf.sprintf "; fusion recomputes %.0f%% extra FLOPs"
+        (100.0 *. (v.recompute_ratio -. 1.0))
+    else ""
+  in
+  head ^ consumer_note ^ recompute_note

@@ -1,0 +1,30 @@
+(** Fusion profitability assessment.
+
+    The paper's guidance (Section VI-B): fusing a chain pays when the
+    consumer operator's standalone implementation is memory-bound, and
+    stops paying when it is compute-bound — especially when window
+    fusion adds recomputation (the C6 case).  The advisor quantifies
+    this by compiling the chain both ways and reporting the evidence. *)
+
+type boundedness_summary = {
+  stage : string;
+  boundedness : Arch.Roofline.boundedness;
+  arithmetic_intensity : float;
+}
+
+type verdict = {
+  fuse : bool;  (** whether fusion is predicted to pay (>2% gain). *)
+  fused_seconds : float;
+  unfused_seconds : float;
+  speedup : float;  (** [unfused / fused]. *)
+  recompute_ratio : float;
+      (** fused FLOPs over standalone FLOPs (window recomputation). *)
+  stages : boundedness_summary list;
+      (** roofline classification of each standalone stage. *)
+}
+
+val assess : machine:Arch.Machine.t -> Ir.Chain.t -> verdict
+(** Compile the chain fused and unfused and weigh the outcome. *)
+
+val explain : verdict -> string
+(** A short human-readable rationale. *)

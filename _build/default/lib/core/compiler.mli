@@ -1,0 +1,63 @@
+(** Chimera: the analytical optimizing framework for compute-intensive
+    operator fusion — the paper's primary contribution, assembled.
+
+    Given an operator chain and a target machine, [optimize] performs
+    block decomposition, inter-block reordering against the analytical
+    data-movement model (Section IV), intra-block scheduling through the
+    replaceable micro-kernel registry (Section V), and produces compiled
+    fused kernels that can be executed numerically, simulated against
+    the memory hierarchy, cost-estimated, and emitted as source text.
+
+    The {!Config} switches expose the ablation axes of Figure 10. *)
+
+type unit_ = {
+  sub_chain : Ir.Chain.t;
+      (** the whole chain when fused; one stage when unfused. *)
+  kernel : Codegen.Kernel.t;
+  tuner : Tuner.result option;
+      (** present when the sampling fallback chose the tiling. *)
+}
+(** One generated kernel. *)
+
+type compiled = {
+  chain : Ir.Chain.t;
+  machine : Arch.Machine.t;
+  config : Config.t;
+  units : unit_ list;  (** in execution order. *)
+}
+(** The result of {!optimize}. *)
+
+val split_stages : Ir.Chain.t -> Ir.Chain.t list
+(** The unfused view: one single-stage chain per stage (standalone loop
+    nests, intermediates spilled to DRAM). *)
+
+val registry_for : Config.t -> Microkernel.Registry.t
+(** The micro-kernel registry the configuration selects: the tuned
+    kernels, or the naive ones when [use_micro_kernel] is off. *)
+
+val optimize :
+  ?config:Config.t -> machine:Arch.Machine.t -> Ir.Chain.t -> compiled
+(** Compile a chain for a machine. *)
+
+val reports : compiled -> (string * Sim.Perf.report) list
+(** Per-kernel performance estimates, in execution order. *)
+
+val total_time_seconds : compiled -> float
+(** Sum of the kernels' estimated times (kernels run back to back). *)
+
+val measure : compiled -> Sim.Trace.stats list
+(** Replay each kernel against the simulated memory hierarchy. *)
+
+val total_time_measured_seconds : compiled -> float
+(** Like {!total_time_seconds} but with each kernel's DRAM traffic taken
+    from the simulator instead of the analytical model. *)
+
+val source : compiled -> string
+(** Emitted source text of every kernel. *)
+
+val run : compiled -> Sim.Exec.env -> unit
+(** Execute the compiled kernels numerically on an environment created
+    by [Sim.Exec.make_env] for the original chain. *)
+
+val optimization_time_seconds : (unit -> 'a) -> 'a * float
+(** Wall-clock helper used to report compilation overhead (§VI-E). *)

@@ -1,0 +1,73 @@
+type result = {
+  plan : Analytical.Planner.plan;
+  trials_run : int;
+  measured_dram_bytes : float;
+}
+
+let max_blocks_per_trial = 3e4
+
+let random_tiling chain ~prng ~full_tile =
+  let axes = Analytical.Movement.fused_axes chain in
+  List.fold_left
+    (fun tiling axis ->
+      let extent = Ir.Chain.extent_of chain axis in
+      let size =
+        if List.mem axis full_tile then extent
+        else
+          let candidates =
+            Array.of_list (Analytical.Solver.candidate_sizes extent)
+          in
+          Util.Prng.pick prng candidates
+      in
+      Analytical.Tiling.set tiling axis size)
+    (Analytical.Tiling.ones chain)
+    axes
+
+let search chain ~machine ~trials_per_order ~seed ?perms () =
+  let perms =
+    match perms with
+    | Some p -> p
+    | None -> Analytical.Permutations.candidates chain
+  in
+  let full_tile = Analytical.Permutations.full_tile_axes chain in
+  let capacity =
+    (Arch.Machine.primary_on_chip machine).Arch.Level.capacity_bytes
+  in
+  let levels = Arch.Machine.on_chip_levels machine in
+  let prng = Util.Prng.create ~seed in
+  let best = ref None in
+  let trials_run = ref 0 in
+  List.iter
+    (fun perm ->
+      for _ = 1 to trials_per_order do
+        let tiling = random_tiling chain ~prng ~full_tile in
+        let movement = Analytical.Movement.analyze chain ~perm ~tiling in
+        let feasible = movement.Analytical.Movement.mu_bytes <= capacity in
+        let small_enough =
+          Analytical.Tiling.total_blocks tiling <= max_blocks_per_trial
+        in
+        if feasible && small_enough then begin
+          incr trials_run;
+          let stats = Sim.Trace.measure_chain chain ~levels ~perm ~tiling () in
+          let measured = stats.Sim.Trace.dram_bytes in
+          match !best with
+          | Some (best_measured, _, _, _) when measured >= best_measured -> ()
+          | _ -> best := Some (measured, perm, tiling, movement)
+        end
+      done)
+    perms;
+  match !best with
+  | None -> failwith "Tuner.search: no feasible sample found"
+  | Some (measured, perm, tiling, movement) ->
+      {
+        plan =
+          {
+            Analytical.Planner.perm;
+            tiling;
+            movement;
+            capacity_bytes = capacity;
+            candidates_evaluated = List.length perms;
+          };
+        trials_run = !trials_run;
+        measured_dram_bytes = measured;
+      }

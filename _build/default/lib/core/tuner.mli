@@ -1,0 +1,28 @@
+(** The measurement-driven fallback used when the analytical cost model
+    is disabled (the Figure 10 ablation and the Ansor-style comparison):
+    randomly sample candidate tile sizes for each block order, run each
+    candidate on the "hardware" (the memory-hierarchy simulator), and
+    keep the one with the least measured DRAM traffic. *)
+
+type result = {
+  plan : Analytical.Planner.plan;  (** the winning order and tiling. *)
+  trials_run : int;  (** samples actually measured. *)
+  measured_dram_bytes : float;  (** the winner's simulated traffic. *)
+}
+
+val max_blocks_per_trial : float
+(** Samples whose block count exceeds this are skipped rather than
+    simulated (3e4). *)
+
+val search :
+  Ir.Chain.t -> machine:Arch.Machine.t -> trials_per_order:int ->
+  seed:int -> ?perms:string list list -> unit -> result
+(** Sample [trials_per_order] random feasible tilings per candidate
+    order and measure each on the simulator.  Raises [Failure] when no
+    feasible sample is found. *)
+
+val random_tiling :
+  Ir.Chain.t -> prng:Util.Prng.t -> full_tile:string list ->
+  Analytical.Tiling.t
+(** One random tiling: each free axis draws from the solver's candidate
+    grid; window axes stay at full extent. *)

@@ -1,0 +1,1 @@
+lib/graph/builder.ml: Format List Ops Printf String

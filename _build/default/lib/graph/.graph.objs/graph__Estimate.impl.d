@@ -1,0 +1,1 @@
+lib/graph/estimate.ml: Arch Baselines Chimera Ir List Partition Printf Sim String

@@ -1,0 +1,1 @@
+lib/graph/estimate.mli: Arch Ir Partition

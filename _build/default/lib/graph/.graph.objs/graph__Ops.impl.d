@@ -1,0 +1,1 @@
+lib/graph/ops.ml: Ir List Printf

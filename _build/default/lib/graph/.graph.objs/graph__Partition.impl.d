@@ -1,0 +1,1 @@
+lib/graph/partition.ml: Builder Hashtbl Ir List Ops Option Printf String

@@ -1,0 +1,80 @@
+type node = {
+  id : int;
+  name : string;
+  op : Ops.t;
+  inputs : int list;
+  shape : int list;
+}
+
+type t = {
+  gname : string;
+  mutable rev_nodes : node list;
+  mutable next_id : int;
+}
+
+type value = { graph : t; id : int; vshape : int list }
+
+let create ?(name = "graph") () = { gname = name; rev_nodes = []; next_id = 0 }
+
+let add_node t ~name ~op ~inputs ~shape =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let name = if name = "" then Printf.sprintf "%s_%d" (Ops.to_string op) id else name in
+  t.rev_nodes <- { id; name; op; inputs; shape } :: t.rev_nodes;
+  { graph = t; id; vshape = shape }
+
+let same_graph t values =
+  List.iter
+    (fun v ->
+      if v.graph != t then invalid_arg "Graph: value from a different graph")
+    values
+
+let input t ~name ~shape =
+  List.iter
+    (fun d -> if d <= 0 then invalid_arg "Graph.input: non-positive extent")
+    shape;
+  add_node t ~name ~op:Ops.Input ~inputs:[] ~shape
+
+let apply t ?(name = "") op args =
+  same_graph t args;
+  match Ops.infer_shape op (List.map (fun v -> v.vshape) args) with
+  | Error msg -> invalid_arg ("Graph: " ^ msg)
+  | Ok shape ->
+      add_node t ~name ~op ~inputs:(List.map (fun v -> v.id) args) ~shape
+
+let batch_gemm t ?name x w = apply t ?name Ops.Batch_gemm [ x; w ]
+
+let conv2d t ?name ~stride x w =
+  match w.vshape with
+  | [ _; _; kh; kw ] -> apply t ?name (Ops.Conv2d { stride; kh; kw }) [ x; w ]
+  | _ -> invalid_arg "Graph.conv2d: weight must be rank 4"
+
+let softmax t ?name x = apply t ?name Ops.Softmax [ x ]
+let relu t ?name x = apply t ?name Ops.Relu [ x ]
+let gelu t ?name x = apply t ?name Ops.Gelu [ x ]
+let layernorm t ?name x = apply t ?name Ops.Layernorm [ x ]
+let add t ?name x y = apply t ?name Ops.Add [ x; y ]
+let shape v = v.vshape
+let nodes t = List.rev t.rev_nodes
+
+let node t id =
+  match List.find_opt (fun (n : node) -> n.id = id) t.rev_nodes with
+  | Some n -> n
+  | None -> raise Not_found
+
+let consumers t id =
+  List.filter_map
+    (fun (n : node) -> if List.mem id n.inputs then Some n.id else None)
+    (nodes t)
+
+let value_id v = v.id
+let graph_name t = t.gname
+
+let pp fmt t =
+  List.iter
+    (fun (n : node) ->
+      Format.fprintf fmt "%3d %-12s %-10s <- %s  %s@." n.id n.name
+        (Ops.to_string n.op)
+        (String.concat "," (List.map string_of_int n.inputs))
+        ("[" ^ String.concat "x" (List.map string_of_int n.shape) ^ "]"))
+    (nodes t)

@@ -1,0 +1,61 @@
+(** The compute-DAG builder: the domain-specific frontend a model is
+    described in before Chimera partitions and compiles it (Figure 3). *)
+
+type t
+(** A mutable graph under construction. *)
+
+type value
+(** A tensor value produced by a node. *)
+
+val create : ?name:string -> unit -> t
+(** An empty graph. *)
+
+val input : t -> name:string -> shape:int list -> value
+(** Declare a graph input. *)
+
+val batch_gemm : t -> ?name:string -> value -> value -> value
+(** [batch_gemm g x w]: [x:[b;m;k] * w:[b;k;n]].  Raises
+    [Invalid_argument] on shape mismatches (as do all builders). *)
+
+val conv2d : t -> ?name:string -> stride:int -> value -> value -> value
+(** [conv2d g ~stride x w]: [x:[n;ic;h;w] * w:[oc;ic;kh;kw]] with
+    "same" padding. *)
+
+val softmax : t -> ?name:string -> value -> value
+(** Softmax along the last dimension. *)
+
+val relu : t -> ?name:string -> value -> value
+val gelu : t -> ?name:string -> value -> value
+val layernorm : t -> ?name:string -> value -> value
+val add : t -> ?name:string -> value -> value -> value
+
+val shape : value -> int list
+(** The value's inferred shape. *)
+
+(** {1 Inspection} *)
+
+type node = {
+  id : int;
+  name : string;
+  op : Ops.t;
+  inputs : int list;  (** producing node ids, in argument order. *)
+  shape : int list;  (** output shape. *)
+}
+
+val nodes : t -> node list
+(** All nodes in creation (topological) order. *)
+
+val node : t -> int -> node
+(** Lookup by id; raises [Not_found]. *)
+
+val consumers : t -> int -> int list
+(** Ids of the nodes that read a node's output. *)
+
+val value_id : value -> int
+(** The producing node's id. *)
+
+val graph_name : t -> string
+(** The graph's name. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per node. *)

@@ -1,0 +1,56 @@
+type segment_time = {
+  label : string;
+  seconds : float;
+  kind : [ `Ci of Ir.Chain.t | `Mi ];
+}
+
+type report = {
+  total_seconds : float;
+  segments : segment_time list;
+  ci_seconds : float;
+  mi_seconds : float;
+}
+
+let mi_seconds ~machine ~bytes =
+  (bytes
+  /. (Arch.Machine.dram_bandwidth_gbps machine
+     *. 1e9
+     *. Baselines.Profile.mi_bandwidth_efficiency))
+  +. Sim.Perf.launch_overhead_seconds machine
+
+let estimate_with ~machine ~config (p : Partition.t) =
+  let segments =
+    List.map
+      (fun segment ->
+        match segment with
+        | Partition.Ci_chain { chain; _ } ->
+            let compiled = Chimera.Compiler.optimize ~config ~machine chain in
+            {
+              label = chain.Ir.Chain.name;
+              seconds = Chimera.Compiler.total_time_seconds compiled;
+              kind = `Ci chain;
+            }
+        | Partition.Mi_group { node_ids; bytes; _ } ->
+            {
+              label =
+                Printf.sprintf "elementwise[%s]"
+                  (String.concat "," (List.map string_of_int node_ids));
+              seconds = mi_seconds ~machine ~bytes;
+              kind = `Mi;
+            })
+      p.Partition.segments
+  in
+  let sum f = List.fold_left (fun acc s -> acc +. f s) 0.0 segments in
+  {
+    total_seconds = sum (fun s -> s.seconds);
+    segments;
+    ci_seconds = sum (fun s -> match s.kind with `Ci _ -> s.seconds | `Mi -> 0.0);
+    mi_seconds = sum (fun s -> match s.kind with `Mi -> s.seconds | `Ci _ -> 0.0);
+  }
+
+let estimate p ~machine = estimate_with ~machine ~config:Chimera.Config.default p
+
+let unfused_estimate p ~machine =
+  estimate_with ~machine
+    ~config:{ Chimera.Config.default with use_fusion = false }
+    p

@@ -1,0 +1,23 @@
+(** Whole-graph execution estimation: Chimera-compiled kernels for the
+    compute-intensive chains, one streaming kernel per element-wise
+    group. *)
+
+type segment_time = {
+  label : string;
+  seconds : float;
+  kind : [ `Ci of Ir.Chain.t | `Mi ];
+}
+
+type report = {
+  total_seconds : float;
+  segments : segment_time list;  (** in topological order. *)
+  ci_seconds : float;
+  mi_seconds : float;
+}
+
+val estimate : Partition.t -> machine:Arch.Machine.t -> report
+(** Price a partition on a machine model. *)
+
+val unfused_estimate : Partition.t -> machine:Arch.Machine.t -> report
+(** The same graph with every CI chain split into per-operator kernels —
+    the no-fusion comparison point. *)

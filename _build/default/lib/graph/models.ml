@@ -1,0 +1,90 @@
+let attention_layer ?(name = "attention") ~heads ~seq ~head_dim () =
+  let g = Builder.create ~name () in
+  let q = Builder.input g ~name:"Q" ~shape:[ heads; seq; head_dim ] in
+  let kt = Builder.input g ~name:"Kt" ~shape:[ heads; head_dim; seq ] in
+  let v = Builder.input g ~name:"V" ~shape:[ heads; seq; head_dim ] in
+  let scores = Builder.batch_gemm g ~name:"scores" q kt in
+  let probs = Builder.softmax g ~name:"probs" scores in
+  let _context = Builder.batch_gemm g ~name:"context" probs v in
+  g
+
+(* One encoder block appended to an existing graph, from [x] to the
+   block's output value.  [layer] namespaces the node names. *)
+let add_transformer_block g ~layer ~hidden ~heads ~seq ~ffn x =
+  let head_dim = hidden / heads in
+  let n s = Printf.sprintf "L%d.%s" layer s in
+  let w_qkv = Builder.input g ~name:(n "Wqkv") ~shape:[ 1; hidden; 3 * hidden ] in
+  let _qkv = Builder.batch_gemm g ~name:(n "qkv_proj") x w_qkv in
+  (* The per-head attention BMM chain (heads split off the projection;
+     modelled explicitly as the Table IV shape). *)
+  let q = Builder.input g ~name:(n "Q") ~shape:[ heads; seq; head_dim ] in
+  let kt = Builder.input g ~name:(n "Kt") ~shape:[ heads; head_dim; seq ] in
+  let v = Builder.input g ~name:(n "V") ~shape:[ heads; seq; head_dim ] in
+  let scores = Builder.batch_gemm g ~name:(n "scores") q kt in
+  let probs = Builder.softmax g ~name:(n "probs") scores in
+  let context = Builder.batch_gemm g ~name:(n "context") probs v in
+  ignore context;
+  let w_out = Builder.input g ~name:(n "Wout") ~shape:[ 1; hidden; hidden ] in
+  let attn_out = Builder.batch_gemm g ~name:(n "out_proj") x w_out in
+  let res1 = Builder.add g ~name:(n "residual1") attn_out x in
+  let norm1 = Builder.layernorm g ~name:(n "ln1") res1 in
+  let w_ffn1 = Builder.input g ~name:(n "Wffn1") ~shape:[ 1; hidden; ffn ] in
+  let h = Builder.batch_gemm g ~name:(n "ffn1") norm1 w_ffn1 in
+  let h = Builder.gelu g ~name:(n "gelu") h in
+  let w_ffn2 = Builder.input g ~name:(n "Wffn2") ~shape:[ 1; ffn; hidden ] in
+  let out = Builder.batch_gemm g ~name:(n "ffn2") h w_ffn2 in
+  let res2 = Builder.add g ~name:(n "residual2") out norm1 in
+  Builder.layernorm g ~name:(n "ln2") res2
+
+let transformer_block ?(name = "encoder") ~hidden ~heads ~seq ~ffn () =
+  let g = Builder.create ~name () in
+  let x = Builder.input g ~name:"x" ~shape:[ 1; seq; hidden ] in
+  let _ = add_transformer_block g ~layer:0 ~hidden ~heads ~seq ~ffn x in
+  g
+
+let encoder_stack ?(name = "encoder-stack") ~layers ~hidden ~heads ~seq ~ffn
+    () =
+  let g = Builder.create ~name () in
+  let x = ref (Builder.input g ~name:"x" ~shape:[ 1; seq; hidden ]) in
+  for layer = 0 to layers - 1 do
+    x := add_transformer_block g ~layer ~hidden ~heads ~seq ~ffn !x
+  done;
+  g
+
+let conv_block ?(name = "convnet") ~ic ~h ~w ~oc1 ~oc2 ~st1 ~st2 ~k1 ~k2 () =
+  let g = Builder.create ~name () in
+  let x = Builder.input g ~name:"x" ~shape:[ 1; ic; h; w ] in
+  let w1 = Builder.input g ~name:"W1" ~shape:[ oc1; ic; k1; k1 ] in
+  let w2 = Builder.input g ~name:"W2" ~shape:[ oc2; oc1; k2; k2 ] in
+  let c1 = Builder.conv2d g ~name:"conv1" ~stride:st1 x w1 in
+  let r1 = Builder.relu g ~name:"relu1" c1 in
+  let c2 = Builder.conv2d g ~name:"conv2" ~stride:st2 r1 w2 in
+  let _ = Builder.relu g ~name:"relu2" c2 in
+  g
+
+let mlp_mixer_block ?(name = "mixer") ~tokens ~channels ~hidden () =
+  let g = Builder.create ~name () in
+  let x = Builder.input g ~name:"x" ~shape:[ 1; tokens; channels ] in
+  let w1 = Builder.input g ~name:"W1" ~shape:[ 1; channels; hidden ] in
+  let w2 = Builder.input g ~name:"W2" ~shape:[ 1; hidden; channels ] in
+  let w3 = Builder.input g ~name:"W3" ~shape:[ 1; channels; channels ] in
+  let a = Builder.batch_gemm g ~name:"mix1" x w1 in
+  let b = Builder.batch_gemm g ~name:"mix2" a w2 in
+  let _ = Builder.batch_gemm g ~name:"proj" b w3 in
+  g
+
+let fire_module ?(name = "fire") ~ic ~h ~w ~squeeze ~expand () =
+  let g = Builder.create ~name () in
+  let x = Builder.input g ~name:"x" ~shape:[ 1; ic; h; w ] in
+  let ws = Builder.input g ~name:"Wsq" ~shape:[ squeeze; ic; 1; 1 ] in
+  let w1 = Builder.input g ~name:"We1" ~shape:[ expand; squeeze; 1; 1 ] in
+  let w3 = Builder.input g ~name:"We3" ~shape:[ expand; squeeze; 3; 3 ] in
+  let s = Builder.conv2d g ~name:"squeeze" ~stride:1 x ws in
+  let s = Builder.relu g ~name:"squeeze_relu" s in
+  (* Two expand branches consume the squeeze output: the intermediate
+     has two consumers, so the squeeze cannot fuse into either. *)
+  let e1 = Builder.conv2d g ~name:"expand1x1" ~stride:1 s w1 in
+  let _ = Builder.relu g ~name:"expand1x1_relu" e1 in
+  let e3 = Builder.conv2d g ~name:"expand3x3" ~stride:1 s w3 in
+  let _ = Builder.relu g ~name:"expand3x3_relu" e3 in
+  g

@@ -1,0 +1,42 @@
+(** Prebuilt compute DAGs: the model fragments the paper's workloads
+    come from, expressed in the graph frontend. *)
+
+val attention_layer :
+  ?name:string -> heads:int -> seq:int -> head_dim:int -> unit -> Builder.t
+(** The self-attention core of Figure 1a: scores = Q K^T, softmax,
+    context = scores V. *)
+
+val add_transformer_block :
+  Builder.t -> layer:int -> hidden:int -> heads:int -> seq:int -> ffn:int ->
+  Builder.value -> Builder.value
+(** Append one encoder block to a graph, returning the block output. *)
+
+val transformer_block :
+  ?name:string -> hidden:int -> heads:int -> seq:int -> ffn:int -> unit ->
+  Builder.t
+(** A full encoder block: QKV projection, attention BMM chain with
+    softmax, output projection, residual adds, layernorms, GELU FFN. *)
+
+val encoder_stack :
+  ?name:string -> layers:int -> hidden:int -> heads:int -> seq:int ->
+  ffn:int -> unit -> Builder.t
+(** A whole encoder network: [layers] chained blocks (e.g. Bert-Base is
+    [~layers:12 ~hidden:768 ~heads:12 ~seq:512 ~ffn:3072]). *)
+
+val conv_block :
+  ?name:string -> ic:int -> h:int -> w:int -> oc1:int -> oc2:int ->
+  st1:int -> st2:int -> k1:int -> k2:int -> unit -> Builder.t
+(** The CNN fragment of Figure 1b: conv, ReLU, conv, ReLU. *)
+
+val mlp_mixer_block :
+  ?name:string -> tokens:int -> channels:int -> hidden:int -> unit ->
+  Builder.t
+(** Two back-to-back token-mixing GEMMs followed by a third projection —
+    a three-GEMM fusion opportunity. *)
+
+val fire_module :
+  ?name:string -> ic:int -> h:int -> w:int -> squeeze:int -> expand:int ->
+  unit -> Builder.t
+(** A SqueezeNet fire module: squeeze 1x1 conv + ReLU feeding *two*
+    expand branches — the squeeze output has two consumers, so the
+    partitioner must refuse to fuse it into either branch. *)

@@ -1,0 +1,83 @@
+type t =
+  | Input
+  | Batch_gemm
+  | Conv2d of { stride : int; kh : int; kw : int }
+  | Softmax
+  | Relu
+  | Gelu
+  | Add
+  | Layernorm
+
+type cls = Compute_intensive | Memory_intensive
+
+let classify = function
+  | Input -> None
+  | Batch_gemm | Conv2d _ -> Some Compute_intensive
+  | Softmax | Relu | Gelu | Add | Layernorm -> Some Memory_intensive
+
+let arity = function
+  | Input -> 0
+  | Batch_gemm | Conv2d _ | Add -> 2
+  | Softmax | Relu | Gelu | Layernorm -> 1
+
+let numel = List.fold_left ( * ) 1
+
+let infer_shape op inputs =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  match (op, inputs) with
+  | Input, _ -> fail "Input shape must be given explicitly"
+  | Batch_gemm, [ [ b; m; k ]; [ b'; k'; n ] ] ->
+      if b <> b' then fail "batch_gemm: batch mismatch %d vs %d" b b'
+      else if k <> k' then fail "batch_gemm: inner dim mismatch %d vs %d" k k'
+      else Ok [ b; m; n ]
+  | Batch_gemm, _ -> fail "batch_gemm expects two rank-3 inputs"
+  | Conv2d { stride; kh; kw }, [ [ n; ic; h; w ]; [ oc; ic'; kh'; kw' ] ] ->
+      if ic <> ic' then fail "conv2d: channel mismatch %d vs %d" ic ic'
+      else if kh <> kh' || kw <> kw' then
+        fail "conv2d: kernel shape mismatch"
+      else
+        Ok
+          [
+            n;
+            oc;
+            Ir.Chain.conv_out ~h ~k:kh ~st:stride;
+            Ir.Chain.conv_out ~h:w ~k:kw ~st:stride;
+          ]
+  | Conv2d _, _ -> fail "conv2d expects a rank-4 input and a rank-4 weight"
+  | (Softmax | Relu | Gelu | Layernorm), [ shape ] -> Ok shape
+  | Add, [ a; b ] ->
+      if a = b then Ok a else fail "add: shape mismatch"
+  | (Softmax | Relu | Gelu | Layernorm | Add), _ ->
+      fail "%s: wrong number of inputs"
+        (match op with Softmax -> "softmax" | _ -> "elementwise")
+
+let flops op ~inputs ~output =
+  match (op, inputs) with
+  | Input, _ -> 0.0
+  | Batch_gemm, [ [ _; _; k ]; _ ] ->
+      2.0 *. float_of_int (numel output * k)
+  | Conv2d { kh; kw; _ }, [ [ _; ic; _; _ ]; _ ] ->
+      2.0 *. float_of_int (numel output * ic * kh * kw)
+  | Softmax, _ -> 3.0 *. float_of_int (numel output)
+  | Relu, _ | Add, _ -> float_of_int (numel output)
+  | Gelu, _ -> 8.0 *. float_of_int (numel output)
+  | Layernorm, _ -> 6.0 *. float_of_int (numel output)
+  | (Batch_gemm | Conv2d _), _ -> 0.0
+
+let memory_passes = function
+  | Input | Batch_gemm | Conv2d _ -> 0
+  | Relu -> 2
+  | Softmax -> 2
+  | Add -> 3
+  | Gelu -> 2
+  | Layernorm -> 3
+
+let to_string = function
+  | Input -> "input"
+  | Batch_gemm -> "batch_gemm"
+  | Conv2d { stride; kh; kw } -> Printf.sprintf "conv%dx%ds%d" kh kw stride
+  | Softmax -> "softmax"
+  | Relu -> "relu"
+  | Gelu -> "gelu"
+  | Add -> "add"
+  | Layernorm -> "layernorm"

@@ -1,0 +1,40 @@
+(** Operators of the compute-DAG frontend (the input of Figure 3).
+
+    Two classes, as in the paper: compute-intensive operators (batch
+    GEMM, convolution) that Chimera fuses into chains, and
+    memory-intensive operators (softmax, ReLU, GELU, add, layernorm)
+    that fuse by the standard element-wise rules. *)
+
+type t =
+  | Input  (** a graph input; carries only its shape. *)
+  | Batch_gemm  (** [x:[b;m;k] * w:[b;k;n] -> [b;m;n]]. *)
+  | Conv2d of { stride : int; kh : int; kw : int }
+      (** [x:[n;ic;h;w] * w:[oc;ic;kh;kw] -> [n;oc;oh;ow]], "same"
+          padding of [(k-1)/2]. *)
+  | Softmax  (** along the last dimension. *)
+  | Relu
+  | Gelu
+  | Add  (** element-wise sum of two same-shape tensors. *)
+  | Layernorm  (** normalisation over the last dimension. *)
+
+type cls = Compute_intensive | Memory_intensive
+(** The paper's operator taxonomy. *)
+
+val classify : t -> cls option
+(** [None] for {!Input}. *)
+
+val infer_shape : t -> int list list -> (int list, string) result
+(** Output shape from the input shapes; [Error] explains a mismatch. *)
+
+val arity : t -> int
+(** Number of tensor inputs ([0] for {!Input}). *)
+
+val flops : t -> inputs:int list list -> output:int list -> float
+(** FLOPs of one execution. *)
+
+val memory_passes : t -> int
+(** DRAM passes a standalone kernel for a memory-intensive operator
+    makes over its operand footprint (0 for CI ops and inputs). *)
+
+val to_string : t -> string
+(** Short name, e.g. ["batch_gemm"], ["conv3x3s2"]. *)

@@ -1,0 +1,333 @@
+type segment =
+  | Ci_chain of { chain : Ir.Chain.t; node_ids : int list }
+  | Mi_group of { node_ids : int list; bytes : float; flops : float }
+
+type t = { graph : Builder.t; segments : segment list }
+
+let fp16_bytes shape = 2.0 *. float_of_int (List.fold_left ( * ) 1 shape)
+
+let single_consumer g id =
+  match Builder.consumers g id with [ c ] -> Some c | _ -> None
+
+(* The consumer must read the value as its data (first) argument —
+   reading it as a weight is not the chain pattern. *)
+let consumes_as_data g ~consumer ~value =
+  match (Builder.node g consumer).Builder.inputs with
+  | first :: _ -> first = value
+  | [] -> false
+
+let follow_to g ~from ~accept_unary =
+  (* From node [from], step to its single consumer; optionally pass
+     through one eligible unary op.  Returns (unary_id option, next). *)
+  match single_consumer g from with
+  | None -> None
+  | Some next -> (
+      let n = Builder.node g next in
+      match n.Builder.op with
+      | op when accept_unary op && consumes_as_data g ~consumer:next ~value:from
+        -> (
+          match single_consumer g next with
+          | Some next2 when consumes_as_data g ~consumer:next2 ~value:next ->
+              Some (Some next, next2)
+          | _ -> None)
+      | _ ->
+          if consumes_as_data g ~consumer:next ~value:from then
+            Some (None, next)
+          else None)
+
+let dims g id = (Builder.node g id).Builder.shape
+
+(* ------------------------------------------------------------------ *)
+(* Pattern matching and lowering                                       *)
+(* ------------------------------------------------------------------ *)
+
+let lower_gemm_chain g ~name ~n1 ~softmax ~n2 ~n3 =
+  let node1 = Builder.node g n1 and node2 = Builder.node g n2 in
+  let x = List.nth node1.Builder.inputs 0 in
+  let w2 = List.nth node2.Builder.inputs 1 in
+  match (dims g x, dims g w2) with
+  | [ b; m; k ], [ _; l; n ] -> (
+      match n3 with
+      | None ->
+          Ir.Chain.batch_gemm_chain ~name ~batch:b ~m ~n ~k ~l
+            ~softmax:(softmax <> None) ()
+      | Some n3 ->
+          let w3 = List.nth (Builder.node g n3).Builder.inputs 1 in
+          let p = List.nth (dims g w3) 2 in
+          Ir.Chain.batch_gemm_chain3 ~name ~batch:b ~m ~k ~l ~n ~p ())
+  | _ -> invalid_arg "Partition: malformed batch_gemm shapes"
+
+let lower_conv_chain g ~name ~c1 ~relu1 ~c2 ~relu2 =
+  let node1 = Builder.node g c1 and node2 = Builder.node g c2 in
+  let x = List.nth node1.Builder.inputs 0 in
+  let square = function
+    | Ops.Conv2d { stride; kh; kw } when kh = kw -> (stride, kh)
+    | Ops.Conv2d _ ->
+        invalid_arg "Partition: non-square convolution kernels unsupported"
+    | _ -> assert false
+  in
+  let st1, k1 = square node1.Builder.op in
+  let st2, k2 = square node2.Builder.op in
+  match (dims g x, dims g c1, dims g c2) with
+  | [ batch; ic; h; w ], [ _; oc1; _; _ ], [ _; oc2; _; _ ] ->
+      let chain =
+        Ir.Chain.conv_chain ~name ~batch ~ic ~h ~w ~oc1 ~oc2 ~st1 ~st2 ~k1
+          ~k2 ()
+      in
+      let epi flag = if flag then Ir.Chain.Relu else Ir.Chain.Identity in
+      Ir.Chain.with_epilogues chain [ epi relu1; epi relu2 ]
+  | _ -> invalid_arg "Partition: malformed conv2d shapes"
+
+let lower_single g id ~epilogue_node =
+  let node = Builder.node g id in
+  let name = node.Builder.name in
+  match node.Builder.op with
+  | Ops.Batch_gemm -> (
+      match dims g (List.nth node.Builder.inputs 0) with
+      | [ b; m; k ] ->
+          let n = List.nth node.Builder.shape 2 in
+          let chain = Ir.Chain.single_batch_gemm ~name ~batch:b ~m ~n ~k () in
+          let epi =
+            match epilogue_node with
+            | None -> Ir.Chain.Identity
+            | Some e -> (
+                match (Builder.node g e).Builder.op with
+                | Ops.Relu -> Ir.Chain.Relu
+                | Ops.Softmax -> Ir.Chain.Softmax { axis = "n" }
+                | _ -> Ir.Chain.Identity)
+          in
+          Ir.Chain.with_epilogues chain [ epi ]
+      | _ -> invalid_arg "Partition: malformed batch_gemm input")
+  | Ops.Conv2d { stride; kh; kw } -> (
+      if kh <> kw then
+        invalid_arg "Partition: non-square convolution kernels unsupported";
+      match dims g (List.nth node.Builder.inputs 0) with
+      | [ batch; ic; h; w ] ->
+          let oc = List.nth node.Builder.shape 1 in
+          let relu =
+            match epilogue_node with
+            | Some e -> (Builder.node g e).Builder.op = Ops.Relu
+            | None -> false
+          in
+          Ir.Chain.single_conv2d ~name ~batch ~ic ~h ~w ~oc ~k:kh ~st:stride
+            ~relu ()
+      | _ -> invalid_arg "Partition: malformed conv2d input")
+  | _ -> invalid_arg "Partition: lower_single on a non-CI node"
+
+(* ------------------------------------------------------------------ *)
+(* The partitioning pass                                               *)
+(* ------------------------------------------------------------------ *)
+
+let partition g =
+  let nodes = Builder.nodes g in
+  let matched : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let mark ids = List.iter (fun id -> Hashtbl.replace matched id ()) ids in
+  let free id = not (Hashtbl.mem matched id) in
+  let segments = ref [] in
+  let push s = segments := s :: !segments in
+  (* Pass 1: multi-stage CI chains, scanning producers in order. *)
+  List.iter
+    (fun (n : Builder.node) ->
+      if free n.Builder.id then
+        match n.Builder.op with
+        | Ops.Batch_gemm -> (
+            match
+              follow_to g ~from:n.Builder.id ~accept_unary:(fun op ->
+                  op = Ops.Softmax)
+            with
+            | Some (softmax, next)
+              when (Builder.node g next).Builder.op = Ops.Batch_gemm
+                   && free next
+                   && Option.fold ~none:true ~some:free softmax -> (
+                (* Optionally extend to a third plain GEMM. *)
+                let third =
+                  if softmax <> None then None
+                  else
+                    match
+                      follow_to g ~from:next ~accept_unary:(fun _ -> false)
+                    with
+                    | Some (None, n3)
+                      when (Builder.node g n3).Builder.op = Ops.Batch_gemm
+                           && free n3 ->
+                        Some n3
+                    | _ -> None
+                in
+                let name =
+                  Printf.sprintf "%s.%s" (Builder.graph_name g) n.Builder.name
+                in
+                match
+                  lower_gemm_chain g ~name ~n1:n.Builder.id ~softmax ~n2:next
+                    ~n3:third
+                with
+                | chain ->
+                    let node_ids =
+                      [ n.Builder.id ]
+                      @ Option.to_list softmax
+                      @ [ next ]
+                      @ Option.to_list third
+                    in
+                    mark node_ids;
+                    push (Ci_chain { chain; node_ids })
+                | exception Invalid_argument _ -> ())
+            | _ -> ())
+        | Ops.Conv2d _ -> (
+            match
+              follow_to g ~from:n.Builder.id ~accept_unary:(fun op ->
+                  op = Ops.Relu)
+            with
+            | Some (relu1, next)
+              when (match (Builder.node g next).Builder.op with
+                   | Ops.Conv2d _ -> true
+                   | _ -> false)
+                   && free next
+                   && Option.fold ~none:true ~some:free relu1 -> (
+                (* Fold a trailing single-consumer ReLU into stage 2. *)
+                let relu2 =
+                  match single_consumer g next with
+                  | Some r
+                    when (Builder.node g r).Builder.op = Ops.Relu && free r ->
+                      Some r
+                  | _ -> None
+                in
+                let name =
+                  Printf.sprintf "%s.%s" (Builder.graph_name g) n.Builder.name
+                in
+                match
+                  lower_conv_chain g ~name ~c1:n.Builder.id
+                    ~relu1:(relu1 <> None) ~c2:next ~relu2:(relu2 <> None)
+                with
+                | chain ->
+                    let node_ids =
+                      [ n.Builder.id ]
+                      @ Option.to_list relu1
+                      @ [ next ]
+                      @ Option.to_list relu2
+                    in
+                    mark node_ids;
+                    push (Ci_chain { chain; node_ids })
+                | exception Invalid_argument _ -> ())
+            | _ -> ())
+        | _ -> ())
+    nodes;
+  (* Pass 2: remaining CI ops become single-stage chains, folding one
+     trailing unary epilogue. *)
+  List.iter
+    (fun (n : Builder.node) ->
+      if free n.Builder.id && Ops.classify n.Builder.op = Some Ops.Compute_intensive
+      then begin
+        let epilogue_node =
+          match single_consumer g n.Builder.id with
+          | Some e
+            when free e
+                 && (match (Builder.node g e).Builder.op with
+                    | Ops.Relu | Ops.Softmax -> true
+                    | _ -> false) ->
+              Some e
+          | _ -> None
+        in
+        let chain = lower_single g n.Builder.id ~epilogue_node in
+        let node_ids = n.Builder.id :: Option.to_list epilogue_node in
+        mark node_ids;
+        push (Ci_chain { chain; node_ids })
+      end)
+    nodes;
+  (* Pass 3: remaining MI ops fuse into element-wise groups (connected
+     components over producer-consumer edges). *)
+  let remaining_mi =
+    List.filter
+      (fun (n : Builder.node) ->
+        free n.Builder.id
+        && Ops.classify n.Builder.op = Some Ops.Memory_intensive)
+      nodes
+  in
+  let group_of : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let rec root i =
+    match Hashtbl.find_opt group_of i with
+    | Some p when p <> i -> root p
+    | _ -> i
+  in
+  let union a b =
+    let ra = root a and rb = root b in
+    if ra <> rb then Hashtbl.replace group_of rb ra
+  in
+  List.iter
+    (fun (n : Builder.node) ->
+      Hashtbl.replace group_of n.Builder.id n.Builder.id)
+    remaining_mi;
+  List.iter
+    (fun (n : Builder.node) ->
+      List.iter
+        (fun input ->
+          if Hashtbl.mem group_of input then union input n.Builder.id)
+        n.Builder.inputs)
+    remaining_mi;
+  let groups : (int, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (n : Builder.node) ->
+      let r = root n.Builder.id in
+      match Hashtbl.find_opt groups r with
+      | Some l -> l := n.Builder.id :: !l
+      | None -> Hashtbl.add groups r (ref [ n.Builder.id ]))
+    remaining_mi;
+  Hashtbl.iter
+    (fun _ members ->
+      let ids = List.sort compare !members in
+      let in_group i = List.mem i ids in
+      let bytes = ref 0.0 and flops = ref 0.0 in
+      List.iter
+        (fun id ->
+          let n = Builder.node g id in
+          (* External reads. *)
+          List.iter
+            (fun input ->
+              if not (in_group input) then
+                bytes := !bytes +. fp16_bytes (dims g input))
+            n.Builder.inputs;
+          (* External writes: consumed outside the group or a graph
+             output. *)
+          let consumers = Builder.consumers g id in
+          if consumers = [] || List.exists (fun c -> not (in_group c)) consumers
+          then bytes := !bytes +. fp16_bytes n.Builder.shape;
+          flops :=
+            !flops
+            +. Ops.flops n.Builder.op
+                 ~inputs:(List.map (dims g) n.Builder.inputs)
+                 ~output:n.Builder.shape)
+        ids;
+      push (Mi_group { node_ids = ids; bytes = !bytes; flops = !flops }))
+    groups;
+  let min_id = function
+    | Ci_chain { node_ids; _ } | Mi_group { node_ids; _ } ->
+        List.fold_left min max_int node_ids
+  in
+  let segments =
+    List.sort (fun a b -> compare (min_id a) (min_id b)) !segments
+  in
+  { graph = g; segments }
+
+let chains t =
+  List.filter_map
+    (function Ci_chain { chain; _ } -> Some chain | Mi_group _ -> None)
+    t.segments
+
+let fused_ci_ops t =
+  List.fold_left
+    (fun acc -> function
+      | Ci_chain { chain; _ } when Ir.Chain.stage_count chain > 1 ->
+          acc + Ir.Chain.stage_count chain
+      | _ -> acc)
+    0 t.segments
+
+let describe t =
+  String.concat "\n"
+    (List.map
+       (function
+         | Ci_chain { chain; node_ids } ->
+             Printf.sprintf "ci-chain %-24s stages=%d nodes=[%s]"
+               chain.Ir.Chain.name
+               (Ir.Chain.stage_count chain)
+               (String.concat "," (List.map string_of_int node_ids))
+         | Mi_group { node_ids; bytes; _ } ->
+             Printf.sprintf "mi-group %.1f KB nodes=[%s]" (bytes /. 1024.0)
+               (String.concat "," (List.map string_of_int node_ids)))
+       t.segments)

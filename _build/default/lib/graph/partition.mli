@@ -1,0 +1,34 @@
+(** Graph partitioning: find the compute-intensive operator chains
+    Chimera fuses, fold eligible element-wise epilogues into them, and
+    group the remaining memory-intensive operators by the standard
+    element-wise fusion rules (Section IV-B).
+
+    Recognised chain patterns (the paper's two workload families, plus
+    the three-GEMM extension):
+    - [bmm -> (softmax)? -> bmm (-> bmm)?]
+    - [conv -> (relu)? -> conv (-> relu)?]
+    every intermediate having a single consumer that reads it as its
+    first (data) argument. *)
+
+type segment =
+  | Ci_chain of { chain : Ir.Chain.t; node_ids : int list }
+      (** a fused compute-intensive chain (possibly single-stage). *)
+  | Mi_group of { node_ids : int list; bytes : float; flops : float }
+      (** one fused element-wise kernel: [bytes] is the DRAM traffic of
+          its external inputs and outputs, interior values are free. *)
+
+type t = { graph : Builder.t; segments : segment list }
+(** A partition, segments in topological order. *)
+
+val partition : Builder.t -> t
+(** Partition a graph.  Raises [Invalid_argument] if a recognised CI
+    pattern has shapes the chain builders cannot express. *)
+
+val chains : t -> Ir.Chain.t list
+(** The compute-intensive chains, in order. *)
+
+val fused_ci_ops : t -> int
+(** Number of CI operators that ended up in a multi-stage chain. *)
+
+val describe : t -> string
+(** One line per segment. *)

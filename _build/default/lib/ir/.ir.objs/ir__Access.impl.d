@@ -1,0 +1,1 @@
+lib/ir/access.ml: Array Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/ir/chain.ml: Access Axis Format Hashtbl List Operator Printf Tensor

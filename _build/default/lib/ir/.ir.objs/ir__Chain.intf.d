@@ -1,0 +1,1 @@
+lib/ir/chain.mli: Axis Format Operator Tensor

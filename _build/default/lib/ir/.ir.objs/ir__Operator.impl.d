@@ -1,0 +1,1 @@
+lib/ir/operator.ml: Access Format List Printf String Tensor

@@ -1,0 +1,1 @@
+lib/ir/operator.mli: Access Format Tensor

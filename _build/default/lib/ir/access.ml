@@ -1,0 +1,64 @@
+type term = { axis : string; coeff : int }
+type dim = { terms : term list; offset : int }
+type t = dim list
+
+let term axis coeff =
+  if coeff <= 0 then invalid_arg "Access.term: non-positive coefficient";
+  if axis = "" then invalid_arg "Access.term: empty axis name";
+  { axis; coeff }
+
+let dim ?(offset = 0) terms = { terms; offset }
+let simple names = List.map (fun n -> dim [ term n 1 ]) names
+
+let axes_used t =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  List.iter
+    (fun { terms; _ } ->
+      List.iter
+        (fun { axis; _ } ->
+          if not (Hashtbl.mem seen axis) then begin
+            Hashtbl.add seen axis ();
+            out := axis :: !out
+          end)
+        terms)
+    t;
+  List.rev !out
+
+let uses_axis t name =
+  List.exists (fun { terms; _ } -> List.exists (fun u -> u.axis = name) terms) t
+
+let tile_extent t ~tile_of =
+  List.map
+    (fun { terms; _ } ->
+      List.fold_left
+        (fun acc { axis; coeff } -> acc + (coeff * (tile_of axis - 1)))
+        0 terms
+      + 1)
+    t
+
+let eval t ~value_of =
+  Array.of_list
+    (List.map
+       (fun { terms; offset } ->
+         List.fold_left
+           (fun acc { axis; coeff } -> acc + (coeff * value_of axis))
+           offset terms)
+       t)
+
+let pp fmt t =
+  let pp_term fmt { axis; coeff } =
+    if coeff = 1 then Format.pp_print_string fmt axis
+    else Format.fprintf fmt "%s*%d" axis coeff
+  in
+  let pp_dim fmt { terms; offset } =
+    (match terms with
+    | [] -> Format.pp_print_string fmt "0"
+    | _ ->
+        Format.pp_print_list
+          ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "+")
+          pp_term fmt terms);
+    if offset > 0 then Format.fprintf fmt "+%d" offset
+    else if offset < 0 then Format.fprintf fmt "%d" offset
+  in
+  List.iter (fun d -> Format.fprintf fmt "[%a]" pp_dim d) t

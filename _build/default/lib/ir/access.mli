@@ -1,0 +1,49 @@
+(** Affine tensor access maps.
+
+    Each tensor dimension is indexed by an affine combination of chain
+    axes plus a constant offset, e.g. the input height of a padded
+    convolution is [oh*stride + kh - pad].  This is the only information
+    the analytical model needs: which axes touch a tensor (observations
+    1–3 of Section IV-B) and how large a data tile a set of tile sizes
+    spans (the [getFootprint] of Algorithm 1). *)
+
+type term = { axis : string; coeff : int }
+(** One [coeff * axis] summand; [coeff > 0]. *)
+
+type dim = { terms : term list; offset : int }
+(** One tensor dimension's index expression: [offset + sum of terms].
+    An empty term list denotes a broadcast (constant) dimension. *)
+
+type t = dim list
+(** One expression per tensor dimension, outermost dimension first. *)
+
+val term : string -> int -> term
+(** [term axis coeff]; raises on non-positive coefficient or empty name. *)
+
+val dim : ?offset:int -> term list -> dim
+(** A dimension expression; [offset] defaults to 0. *)
+
+val simple : string list -> t
+(** Access where dimension [i] is indexed directly by the [i]-th axis
+    (coefficient 1, offset 0) — the GEMM/batch-GEMM case. *)
+
+val axes_used : t -> string list
+(** All axis names appearing in the access, deduplicated, in first-use
+    order. *)
+
+val uses_axis : t -> string -> bool
+(** Whether the named axis appears (with its necessarily positive
+    coefficient). *)
+
+val tile_extent : t -> tile_of:(string -> int) -> int list
+(** Extent of each dimension touched by one computation block whose tile
+    sizes are given by [tile_of]: the footprint rule with window
+    expansion, [sum_j coeff_j * (T_j - 1) + 1].  Offsets shift the
+    window without changing its size, so they do not appear. *)
+
+val eval : t -> value_of:(string -> int) -> int array
+(** Concrete (possibly out-of-bounds, for padded windows) index of one
+    iteration point. *)
+
+val pp : Format.formatter -> t -> unit
+(** e.g. ["[m][k]"] or ["[n][ic][oh*2+kh-1][ow*2+kw-1]"]. *)

@@ -1,0 +1,12 @@
+type t = { name : string; extent : int }
+
+let make name extent =
+  if name = "" then invalid_arg "Axis.make: empty name";
+  if extent <= 0 then invalid_arg "Axis.make: non-positive extent";
+  { name; extent }
+
+let equal a b = a.name = b.name && a.extent = b.extent
+let find axes name = List.find (fun a -> a.name = name) axes
+let find_opt axes name = List.find_opt (fun a -> a.name = name) axes
+let names axes = List.map (fun a -> a.name) axes
+let pp fmt a = Format.fprintf fmt "%s:%d" a.name a.extent

@@ -1,0 +1,27 @@
+(** Loop axes of a fused operator chain.
+
+    An axis is one of the independent loops [l_1 .. l_I] of Section IV-B:
+    loops shared between two operators in a chain appear once, under one
+    name.  Axes are identified by name within a chain. *)
+
+type t = { name : string; extent : int }
+(** A loop with its original trip count [L_i]. *)
+
+val make : string -> int -> t
+(** [make name extent]; raises [Invalid_argument] on non-positive extent
+    or empty name. *)
+
+val equal : t -> t -> bool
+(** Name and extent equality. *)
+
+val find : t list -> string -> t
+(** Lookup by name; raises [Not_found]. *)
+
+val find_opt : t list -> string -> t option
+(** Lookup by name. *)
+
+val names : t list -> string list
+(** The names, in order. *)
+
+val pp : Format.formatter -> t -> unit
+(** e.g. ["m:512"]. *)

@@ -1,0 +1,455 @@
+type epilogue = Identity | Relu | Softmax of { axis : string }
+
+type stage = {
+  op : Operator.t;
+  epilogue : epilogue;
+  standalone : Operator.t;
+}
+
+type t = { name : string; axes : Axis.t list; stages : stage list }
+
+let validate t =
+  let fail fmt = Printf.ksprintf invalid_arg ("Chain.make: " ^^ fmt) in
+  if t.stages = [] then fail "no stages";
+  let axis_names = Axis.names t.axes in
+  List.iter
+    (fun stage ->
+      List.iter
+        (fun a ->
+          if not (List.mem a axis_names) then
+            fail "op %s uses unknown axis %s" stage.op.Operator.name a)
+        stage.op.Operator.axes)
+    t.stages;
+  (* Producer/consumer linkage: every stage after the first must read the
+     previous stage's output. *)
+  let rec link = function
+    | a :: (b :: _ as rest) ->
+        let prev = a.op.Operator.output.Operator.tensor in
+        let reads =
+          List.exists
+            (fun (r : Operator.tensor_ref) -> r.tensor = prev)
+            b.op.Operator.inputs
+        in
+        if not reads then
+          fail "stage %s does not consume %s" b.op.Operator.name prev;
+        link rest
+    | _ -> ()
+  in
+  link t.stages;
+  (* Tensor declarations must agree wherever a name is reused. *)
+  let decls = Hashtbl.create 8 in
+  List.iter
+    (fun stage ->
+      List.iter
+        (fun (r : Operator.tensor_ref) ->
+          match Hashtbl.find_opt decls r.tensor with
+          | None -> Hashtbl.add decls r.tensor (r.dims, r.dtype)
+          | Some (dims, dtype) ->
+              if dims <> r.dims || dtype <> r.dtype then
+                fail "tensor %s declared with conflicting dims/dtype" r.tensor)
+        (Operator.all_refs stage.op))
+    t.stages;
+  (* Softmax epilogues must name an axis of their own stage. *)
+  List.iter
+    (fun stage ->
+      match stage.epilogue with
+      | Softmax { axis } when not (List.mem axis stage.op.Operator.axes) ->
+          fail "softmax axis %s not in op %s" axis stage.op.Operator.name
+      | _ -> ())
+    t.stages
+
+let make ~name ~axes ~stages =
+  let t = { name; axes; stages } in
+  validate t;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Builders                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let batch_gemm_chain ~name ~batch ~m ~n ~k ~l ?(softmax = false)
+    ?(dtype = Tensor.Dtype.Fp16) () =
+  let axes =
+    [
+      Axis.make "b" batch;
+      Axis.make "m" m;
+      Axis.make "n" n;
+      Axis.make "k" k;
+      Axis.make "l" l;
+    ]
+  in
+  let ref_ tensor dims names =
+    Operator.tensor_ref ~tensor ~dtype ~dims ~access:(Access.simple names) ()
+  in
+  let a = ref_ "A" [ batch; m; k ] [ "b"; "m"; "k" ] in
+  let b_ = ref_ "B" [ batch; k; l ] [ "b"; "k"; "l" ] in
+  let c = ref_ "C" [ batch; m; l ] [ "b"; "m"; "l" ] in
+  let d = ref_ "D" [ batch; l; n ] [ "b"; "l"; "n" ] in
+  let e = ref_ "E" [ batch; m; n ] [ "b"; "m"; "n" ] in
+  let gemm1 =
+    Operator.make ~name:"gemm1"
+      ~axes:[ "b"; "m"; "l"; "k" ]
+      ~reduction_axes:[ "k" ] ~inputs:[ a; b_ ] ~output:c ()
+  in
+  let gemm2 =
+    Operator.make ~name:"gemm2"
+      ~axes:[ "b"; "m"; "n"; "l" ]
+      ~reduction_axes:[ "l" ] ~inputs:[ c; d ] ~output:e ()
+  in
+  let epi1 = if softmax then Softmax { axis = "l" } else Identity in
+  make ~name ~axes
+    ~stages:
+      [
+        { op = gemm1; epilogue = epi1; standalone = gemm1 };
+        { op = gemm2; epilogue = Identity; standalone = gemm2 };
+      ]
+
+let single_batch_gemm ~name ~batch ~m ~n ~k ?(dtype = Tensor.Dtype.Fp16) () =
+  let axes =
+    [ Axis.make "b" batch; Axis.make "m" m; Axis.make "n" n; Axis.make "k" k ]
+  in
+  let ref_ tensor dims names =
+    Operator.tensor_ref ~tensor ~dtype ~dims ~access:(Access.simple names) ()
+  in
+  let a = ref_ "A" [ batch; m; k ] [ "b"; "m"; "k" ] in
+  let b_ = ref_ "B" [ batch; k; n ] [ "b"; "k"; "n" ] in
+  let c = ref_ "C" [ batch; m; n ] [ "b"; "m"; "n" ] in
+  let gemm =
+    Operator.make ~name:"gemm"
+      ~axes:[ "b"; "m"; "n"; "k" ]
+      ~reduction_axes:[ "k" ] ~inputs:[ a; b_ ] ~output:c ()
+  in
+  make ~name ~axes ~stages:[ { op = gemm; epilogue = Identity; standalone = gemm } ]
+
+let batch_gemm_chain3 ~name ~batch ~m ~k ~l ~n ~p ?(dtype = Tensor.Dtype.Fp16)
+    () =
+  let axes =
+    [
+      Axis.make "b" batch;
+      Axis.make "m" m;
+      Axis.make "k" k;
+      Axis.make "l" l;
+      Axis.make "n" n;
+      Axis.make "p" p;
+    ]
+  in
+  let ref_ tensor dims names =
+    Operator.tensor_ref ~tensor ~dtype ~dims ~access:(Access.simple names) ()
+  in
+  let a = ref_ "A" [ batch; m; k ] [ "b"; "m"; "k" ] in
+  let b_ = ref_ "B" [ batch; k; l ] [ "b"; "k"; "l" ] in
+  let c = ref_ "C" [ batch; m; l ] [ "b"; "m"; "l" ] in
+  let d = ref_ "D" [ batch; l; n ] [ "b"; "l"; "n" ] in
+  let e = ref_ "E" [ batch; m; n ] [ "b"; "m"; "n" ] in
+  let f = ref_ "F" [ batch; n; p ] [ "b"; "n"; "p" ] in
+  let g = ref_ "G" [ batch; m; p ] [ "b"; "m"; "p" ] in
+  let gemm1 =
+    Operator.make ~name:"gemm1"
+      ~axes:[ "b"; "m"; "l"; "k" ]
+      ~reduction_axes:[ "k" ] ~inputs:[ a; b_ ] ~output:c ()
+  in
+  let gemm2 =
+    Operator.make ~name:"gemm2"
+      ~axes:[ "b"; "m"; "n"; "l" ]
+      ~reduction_axes:[ "l" ] ~inputs:[ c; d ] ~output:e ()
+  in
+  let gemm3 =
+    Operator.make ~name:"gemm3"
+      ~axes:[ "b"; "m"; "p"; "n" ]
+      ~reduction_axes:[ "n" ] ~inputs:[ e; f ] ~output:g ()
+  in
+  let stage op = { op; epilogue = Identity; standalone = op } in
+  make ~name ~axes ~stages:[ stage gemm1; stage gemm2; stage gemm3 ]
+
+let conv_out ~h ~k ~st =
+  let pad = (k - 1) / 2 in
+  ((h + (2 * pad) - k) / st) + 1
+
+let conv_chain ~name ?(batch = 1) ~ic ~h ~w ~oc1 ~oc2 ~st1 ~st2 ~k1 ~k2
+    ?(relu = false) ?(dtype = Tensor.Dtype.Fp16) () =
+  let p1 = (k1 - 1) / 2 and p2 = (k2 - 1) / 2 in
+  let oh1 = conv_out ~h ~k:k1 ~st:st1 in
+  let ow1 = conv_out ~h:w ~k:k1 ~st:st1 in
+  let oh2 = conv_out ~h:oh1 ~k:k2 ~st:st2 in
+  let ow2 = conv_out ~h:ow1 ~k:k2 ~st:st2 in
+  let axes =
+    [
+      Axis.make "n" batch;
+      Axis.make "oc2" oc2;
+      Axis.make "oh" oh2;
+      Axis.make "ow" ow2;
+      Axis.make "oc1" oc1;
+      Axis.make "kh2" k2;
+      Axis.make "kw2" k2;
+      Axis.make "ic" ic;
+      Axis.make "kh1" k1;
+      Axis.make "kw1" k1;
+    ]
+  in
+  let open Access in
+  (* conv1's spatial position, expressed in the consumer's axes:
+     oh1 = oh*st2 + kh2 - p2 (and likewise for width). *)
+  let o1_h = dim ~offset:(-p2) [ term "oh" st2; term "kh2" 1 ] in
+  let o1_w = dim ~offset:(-p2) [ term "ow" st2; term "kw2" 1 ] in
+  (* conv1's input position after composing both windows:
+     ih = oh1*st1 + kh1 - p1 = oh*(st1*st2) + kh2*st1 + kh1 - (p2*st1 + p1). *)
+  let i_h =
+    dim
+      ~offset:(-((p2 * st1) + p1))
+      [ term "oh" (st1 * st2); term "kh2" st1; term "kh1" 1 ]
+  in
+  let i_w =
+    dim
+      ~offset:(-((p2 * st1) + p1))
+      [ term "ow" (st1 * st2); term "kw2" st1; term "kw1" 1 ]
+  in
+  let input =
+    Operator.tensor_ref ~tensor:"I" ~dtype ~dims:[ batch; ic; h; w ]
+      ~access:[ dim [ term "n" 1 ]; dim [ term "ic" 1 ]; i_h; i_w ]
+      ()
+  in
+  let w1 =
+    Operator.tensor_ref ~tensor:"W1" ~dtype
+      ~dims:[ oc1; ic; k1; k1 ]
+      ~access:(Access.simple [ "oc1"; "ic"; "kh1"; "kw1" ])
+      ()
+  in
+  let o1_fused =
+    Operator.tensor_ref ~tensor:"O1" ~dtype
+      ~dims:[ batch; oc1; oh1; ow1 ]
+      ~access:[ dim [ term "n" 1 ]; dim [ term "oc1" 1 ]; o1_h; o1_w ]
+      ()
+  in
+  let w2 =
+    Operator.tensor_ref ~tensor:"W2" ~dtype
+      ~dims:[ oc2; oc1; k2; k2 ]
+      ~access:(Access.simple [ "oc2"; "oc1"; "kh2"; "kw2" ])
+      ()
+  in
+  let o2 =
+    Operator.tensor_ref ~tensor:"O2" ~dtype
+      ~dims:[ batch; oc2; oh2; ow2 ]
+      ~access:(Access.simple [ "n"; "oc2"; "oh"; "ow" ])
+      ()
+  in
+  let conv1_fused =
+    Operator.make ~name:"conv1"
+      ~axes:[ "n"; "oc1"; "oh"; "kh2"; "ow"; "kw2"; "ic"; "kh1"; "kw1" ]
+      ~reduction_axes:[ "ic"; "kh1"; "kw1" ]
+      ~inputs:[ input; w1 ] ~output:o1_fused ()
+  in
+  let conv2 =
+    Operator.make ~name:"conv2"
+      ~axes:[ "n"; "oc2"; "oh"; "ow"; "oc1"; "kh2"; "kw2" ]
+      ~reduction_axes:[ "oc1"; "kh2"; "kw2" ]
+      ~inputs:[ o1_fused; w2 ] ~output:o2 ()
+  in
+  (* The standalone (unfused) conv1 iterates its own output grid once —
+     no recomputation.  It lives over private standalone axes. *)
+  let conv1_standalone =
+    let s_axes = [ "n"; "oc1"; "s_oh"; "s_ow"; "ic"; "kh1"; "kw1" ] in
+    let i_ref =
+      Operator.tensor_ref ~tensor:"I" ~dtype ~dims:[ batch; ic; h; w ]
+        ~access:
+          [
+            dim [ term "n" 1 ];
+            dim [ term "ic" 1 ];
+            dim ~offset:(-p1) [ term "s_oh" st1; term "kh1" 1 ];
+            dim ~offset:(-p1) [ term "s_ow" st1; term "kw1" 1 ];
+          ]
+        ()
+    in
+    let o_ref =
+      Operator.tensor_ref ~tensor:"O1" ~dtype
+        ~dims:[ batch; oc1; oh1; ow1 ]
+        ~access:(Access.simple [ "n"; "oc1"; "s_oh"; "s_ow" ])
+        ()
+    in
+    Operator.make ~name:"conv1" ~axes:s_axes
+      ~reduction_axes:[ "ic"; "kh1"; "kw1" ]
+      ~inputs:[ i_ref; w1 ] ~output:o_ref ()
+  in
+  let epi = if relu then Relu else Identity in
+  let axes =
+    axes @ [ Axis.make "s_oh" oh1; Axis.make "s_ow" ow1 ]
+  in
+  make ~name ~axes
+    ~stages:
+      [
+        { op = conv1_fused; epilogue = epi; standalone = conv1_standalone };
+        { op = conv2; epilogue = epi; standalone = conv2 };
+      ]
+
+let single_conv2d ~name ?(batch = 1) ~ic ~h ~w ~oc ~k ~st ?(relu = false)
+    ?(dtype = Tensor.Dtype.Fp16) () =
+  let p = (k - 1) / 2 in
+  let oh = conv_out ~h ~k ~st in
+  let ow = conv_out ~h:w ~k ~st in
+  let axes =
+    [
+      Axis.make "n" batch;
+      Axis.make "oc" oc;
+      Axis.make "oh" oh;
+      Axis.make "ow" ow;
+      Axis.make "ic" ic;
+      Axis.make "kh" k;
+      Axis.make "kw" k;
+    ]
+  in
+  let open Access in
+  let input =
+    Operator.tensor_ref ~tensor:"I" ~dtype ~dims:[ batch; ic; h; w ]
+      ~access:
+        [
+          dim [ term "n" 1 ];
+          dim [ term "ic" 1 ];
+          dim ~offset:(-p) [ term "oh" st; term "kh" 1 ];
+          dim ~offset:(-p) [ term "ow" st; term "kw" 1 ];
+        ]
+      ()
+  in
+  let weight =
+    Operator.tensor_ref ~tensor:"W" ~dtype
+      ~dims:[ oc; ic; k; k ]
+      ~access:(Access.simple [ "oc"; "ic"; "kh"; "kw" ])
+      ()
+  in
+  let output =
+    Operator.tensor_ref ~tensor:"O" ~dtype
+      ~dims:[ batch; oc; oh; ow ]
+      ~access:(Access.simple [ "n"; "oc"; "oh"; "ow" ])
+      ()
+  in
+  let conv =
+    Operator.make ~name:"conv"
+      ~axes:[ "n"; "oc"; "oh"; "ow"; "ic"; "kh"; "kw" ]
+      ~reduction_axes:[ "ic"; "kh"; "kw" ]
+      ~inputs:[ input; weight ] ~output ()
+  in
+  let epilogue = if relu then Relu else Identity in
+  make ~name ~axes ~stages:[ { op = conv; epilogue; standalone = conv } ]
+
+let with_epilogues t epilogues =
+  if List.length epilogues <> List.length t.stages then
+    invalid_arg "Chain.with_epilogues: arity mismatch";
+  make ~name:t.name ~axes:t.axes
+    ~stages:
+      (List.map2
+         (fun stage epilogue -> { stage with epilogue })
+         t.stages epilogues)
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let extent_of t name = (Axis.find t.axes name).Axis.extent
+let stage_count t = List.length t.stages
+
+let all_refs t =
+  List.concat_map (fun s -> Operator.all_refs s.op) t.stages
+
+let tensor_names t =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun (r : Operator.tensor_ref) ->
+      if Hashtbl.mem seen r.tensor then None
+      else begin
+        Hashtbl.add seen r.tensor ();
+        Some r.tensor
+      end)
+    (all_refs t)
+
+let find_ref t name =
+  match
+    List.find_opt (fun (r : Operator.tensor_ref) -> r.tensor = name) (all_refs t)
+  with
+  | Some r -> r
+  | None -> raise Not_found
+
+let intermediate_names t =
+  let produced =
+    List.map (fun s -> s.op.Operator.output.Operator.tensor) t.stages
+  in
+  let consumed =
+    List.concat_map
+      (fun s ->
+        List.map (fun (r : Operator.tensor_ref) -> r.tensor) s.op.Operator.inputs)
+      t.stages
+  in
+  List.filter (fun n -> List.mem n consumed) produced
+
+let io_names t =
+  let inter = intermediate_names t in
+  List.filter (fun n -> not (List.mem n inter)) (tensor_names t)
+
+let is_intermediate t name = List.mem name (intermediate_names t)
+
+let axis_is_private t name =
+  let users =
+    List.filter (fun s -> Operator.uses_axis s.op name) t.stages
+  in
+  List.length users = 1
+
+let producer_stage t name =
+  let rec go i = function
+    | [] -> None
+    | s :: rest ->
+        if s.op.Operator.output.Operator.tensor = name then Some i
+        else go (i + 1) rest
+  in
+  go 0 t.stages
+
+let epilogue_elems t stage =
+  (* Epilogues apply once per element of the stage's (standalone) output. *)
+  ignore t;
+  List.fold_left
+    (fun acc d -> acc *. float_of_int d)
+    1.0 stage.standalone.Operator.output.Operator.dims
+
+let epilogue_flops t stage =
+  match stage.epilogue with
+  | Identity -> 0.0
+  | Relu -> epilogue_elems t stage
+  | Softmax _ -> 3.0 *. epilogue_elems t stage
+
+let fused_flops t =
+  let extent_of = extent_of t in
+  List.fold_left
+    (fun acc s -> acc +. Operator.flops s.op ~extent_of +. epilogue_flops t s)
+    0.0 t.stages
+
+let standalone_flops t =
+  let extent_of = extent_of t in
+  List.fold_left
+    (fun acc s ->
+      acc +. Operator.flops s.standalone ~extent_of +. epilogue_flops t s)
+    0.0 t.stages
+
+let io_bytes t =
+  List.fold_left
+    (fun acc name ->
+      acc +. float_of_int (Operator.tensor_bytes (find_ref t name)))
+    0.0 (io_names t)
+
+let unfused_dram_bytes t =
+  let inter =
+    List.fold_left
+      (fun acc name ->
+        acc +. (2.0 *. float_of_int (Operator.tensor_bytes (find_ref t name))))
+      0.0 (intermediate_names t)
+  in
+  io_bytes t +. inter
+
+let pp fmt t =
+  Format.fprintf fmt "chain %s over" t.name;
+  List.iter (fun a -> Format.fprintf fmt " %a" Axis.pp a) t.axes;
+  Format.pp_print_newline fmt ();
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  %a" Operator.pp s.op;
+      (match s.epilogue with
+      | Identity -> ()
+      | Relu -> Format.pp_print_string fmt "  ; relu"
+      | Softmax { axis } -> Format.fprintf fmt "  ; softmax(%s)" axis);
+      Format.pp_print_newline fmt ())
+    t.stages

@@ -1,0 +1,141 @@
+(** Chains of compute-intensive operators with strict data dependency.
+
+    A chain is expressed over one set of *fused axes*: loops shared by
+    two operators appear once (the paper's [I] independent loops), and a
+    producer whose output is consumed through a sliding window (conv
+    chains) has its loop nest re-expressed in the consumer's axes — which
+    faithfully models the recomputation fusion introduces for 3x3
+    windows.
+
+    Each stage may carry a memory-intensive epilogue (ReLU, softmax)
+    applied to its output; epilogues do not join the block-reordering
+    search (they are fused by the standard elementwise rules, Section
+    IV-B), but they do affect numerics, FLOP counts and what the baseline
+    compilers are able to fuse. *)
+
+type epilogue =
+  | Identity
+  | Relu
+  | Softmax of { axis : string }
+      (** row softmax along the named chain axis. *)
+
+type stage = {
+  op : Operator.t;  (** the operator in fused-axes form. *)
+  epilogue : epilogue;
+  standalone : Operator.t;
+      (** the same operator as an isolated loop nest (no recomputation);
+          identical to [op] for GEMM chains, and what unfused baselines
+          execute. *)
+}
+
+type t = {
+  name : string;
+  axes : Axis.t list;  (** the fused independent loops [l_1..l_I]. *)
+  stages : stage list;  (** producers before consumers. *)
+}
+
+val make : name:string -> axes:Axis.t list -> stages:stage list -> t
+(** Validates axis references, producer/consumer linkage and tensor
+    declaration consistency; raises [Invalid_argument] on violations. *)
+
+(** {1 Builders} *)
+
+val batch_gemm_chain :
+  name:string -> batch:int -> m:int -> n:int -> k:int -> l:int ->
+  ?softmax:bool -> ?dtype:Tensor.Dtype.t -> unit -> t
+(** The attention batch-GEMM chain of Figure 1a / Figure 2:
+    [C = A x B] ((batch,M,K) x (batch,K,L)) then [E = C x D]
+    ((batch,M,L) x (batch,L,N)), with an optional softmax over [l]
+    between them.  Axes: [b, m, n, k, l]. *)
+
+val single_batch_gemm :
+  name:string -> batch:int -> m:int -> n:int -> k:int ->
+  ?dtype:Tensor.Dtype.t -> unit -> t
+(** A one-stage chain (used for unfused baselines and tests). *)
+
+val batch_gemm_chain3 :
+  name:string -> batch:int -> m:int -> k:int -> l:int -> n:int -> p:int ->
+  ?dtype:Tensor.Dtype.t -> unit -> t
+(** A three-GEMM chain [G = ((A x B) x D) x F]: the "more
+    compute-intensive operators" case of Section IV-B, for which the
+    paper notes the analysis method remains the same.  Shapes:
+    [(batch,M,K) x (batch,K,L)], then [x (batch,L,N)], then
+    [x (batch,N,P)].  Axes: [b, m, k, l, n, p]; both [l] and [n] are
+    shared producer-spatial / consumer-reduction axes. *)
+
+val conv_chain :
+  name:string -> ?batch:int -> ic:int -> h:int -> w:int -> oc1:int ->
+  oc2:int -> st1:int -> st2:int -> k1:int -> k2:int -> ?relu:bool ->
+  ?dtype:Tensor.Dtype.t -> unit -> t
+(** The convolution chain of Figure 1b / Table V: conv(k1,st1) then
+    conv(k2,st2), with optional ReLU after each convolution.  Both
+    convolutions use "same"-style zero padding of [(k-1)/2].  Axes (up to
+    ten): [n, oc2, oh, ow, oc1, kh2, kw2, ic, kh1, kw1]. *)
+
+val single_conv2d :
+  name:string -> ?batch:int -> ic:int -> h:int -> w:int -> oc:int -> k:int ->
+  st:int -> ?relu:bool -> ?dtype:Tensor.Dtype.t -> unit -> t
+(** A one-stage convolution chain (for unfused baselines and graph
+    segments without a fusion partner). *)
+
+val with_epilogues : t -> epilogue list -> t
+(** Replace each stage's epilogue (one entry per stage, in order). *)
+
+val conv_out : h:int -> k:int -> st:int -> int
+(** Output spatial extent of a padded convolution:
+    [(h + 2*((k-1)/2) - k)/st + 1]. *)
+
+(** {1 Analysis} *)
+
+val extent_of : t -> string -> int
+(** Trip count of a chain axis; raises [Not_found] for unknown names. *)
+
+val stage_count : t -> int
+(** Number of compute-intensive stages. *)
+
+val tensor_names : t -> string list
+(** All distinct tensor names, in first-use order. *)
+
+val find_ref : t -> string -> Operator.tensor_ref
+(** A representative reference for a tensor name. *)
+
+val intermediate_names : t -> string list
+(** Tensors produced by one stage and consumed by a later one — held in
+    on-chip memory by the fused kernel, so they cause no data movement. *)
+
+val io_names : t -> string list
+(** Chain inputs plus the final output: the tensors whose movement
+    Algorithm 1 charges ([Ops.IOTensors()]). *)
+
+val is_intermediate : t -> string -> bool
+(** Membership in {!intermediate_names}. *)
+
+val axis_is_private : t -> string -> bool
+(** Whether the axis is used by exactly one stage (a producer-private
+    reduction loop such as [k] in the GEMM chain — observation 3). *)
+
+val producer_stage : t -> string -> int option
+(** Index of the stage producing the named tensor, if any. *)
+
+val fused_flops : t -> float
+(** FLOPs of the fused execution (conv chains include window
+    recomputation), epilogues included. *)
+
+val standalone_flops : t -> float
+(** FLOPs of the unfused execution: each stage at its standalone
+    iteration count, epilogues included. *)
+
+val epilogue_flops : t -> stage -> float
+(** FLOPs charged for one stage's epilogue (1/elem for ReLU, 3/elem for
+    softmax's exp+sum+div, 0 for identity). *)
+
+val io_bytes : t -> float
+(** Total bytes of the chain's input/output tensors: the lower bound on
+    any implementation's DRAM traffic. *)
+
+val unfused_dram_bytes : t -> float
+(** DRAM traffic floor of the *unfused* execution: IO tensors plus every
+    intermediate written once and read once. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line chain description. *)

@@ -1,0 +1,85 @@
+type tensor_ref = {
+  tensor : string;
+  dtype : Tensor.Dtype.t;
+  dims : int list;
+  access : Access.t;
+}
+
+type t = {
+  name : string;
+  axes : string list;
+  reduction_axes : string list;
+  inputs : tensor_ref list;
+  output : tensor_ref;
+  flops_per_point : int;
+}
+
+let tensor_ref ~tensor ?(dtype = Tensor.Dtype.Fp16) ~dims ~access () =
+  if tensor = "" then invalid_arg "Operator.tensor_ref: empty name";
+  if List.length dims <> List.length access then
+    invalid_arg "Operator.tensor_ref: dims/access rank mismatch";
+  List.iter
+    (fun d ->
+      if d <= 0 then invalid_arg "Operator.tensor_ref: non-positive extent")
+    dims;
+  { tensor; dtype; dims; access }
+
+let make ~name ~axes ~reduction_axes ~inputs ~output ?(flops_per_point = 2) ()
+    =
+  List.iter
+    (fun r ->
+      if not (List.mem r axes) then
+        invalid_arg
+          (Printf.sprintf "Operator.make(%s): reduction axis %s not in axes"
+             name r))
+    reduction_axes;
+  let check_ref ref_ =
+    List.iter
+      (fun a ->
+        if not (List.mem a axes) then
+          invalid_arg
+            (Printf.sprintf
+               "Operator.make(%s): tensor %s uses axis %s outside the loop \
+                nest"
+               name ref_.tensor a))
+      (Access.axes_used ref_.access)
+  in
+  List.iter check_ref (output :: inputs);
+  List.iter
+    (fun r ->
+      if Access.uses_axis output.access r then
+        invalid_arg
+          (Printf.sprintf
+             "Operator.make(%s): output indexed by reduction axis %s" name r))
+    reduction_axes;
+  { name; axes; reduction_axes; inputs; output; flops_per_point }
+
+let all_refs t = t.inputs @ [ t.output ]
+let uses_axis t name = List.mem name t.axes
+let is_reduction t name = List.mem name t.reduction_axes
+
+let iteration_points t ~extent_of =
+  List.fold_left (fun acc a -> acc *. float_of_int (extent_of a)) 1.0 t.axes
+
+let flops t ~extent_of =
+  float_of_int t.flops_per_point *. iteration_points t ~extent_of
+
+let tensor_bytes ref_ =
+  List.fold_left ( * ) 1 ref_.dims * Tensor.Dtype.bytes ref_.dtype
+
+let tile_footprint_elems ref_ ~tile_of =
+  let spans = Access.tile_extent ref_.access ~tile_of in
+  List.fold_left2 (fun acc span d -> acc * min span d) 1 spans ref_.dims
+
+let tile_footprint_bytes ref_ ~tile_of =
+  tile_footprint_elems ref_ ~tile_of * Tensor.Dtype.bytes ref_.dtype
+
+let pp fmt t =
+  let pp_ref fmt r = Format.fprintf fmt "%s%a" r.tensor Access.pp r.access in
+  Format.fprintf fmt "%s: %a += " t.name pp_ref t.output;
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " * ")
+    pp_ref fmt t.inputs;
+  match t.reduction_axes with
+  | [] -> ()
+  | rs -> Format.fprintf fmt "  (reduce %s)" (String.concat "," rs)

@@ -1,0 +1,66 @@
+(** Compute-intensive operators expressed over the fused axes of a chain.
+
+    An operator is a perfect loop nest over a subset of the chain's axes
+    that reads tiles of its input tensors and accumulates into a tile of
+    its output tensor — the computation-block view of Section IV-A. *)
+
+type tensor_ref = {
+  tensor : string;  (** tensor name, unique within a chain. *)
+  dtype : Tensor.Dtype.t;
+  dims : int list;  (** declared full extents, outermost first. *)
+  access : Access.t;  (** index map over chain axes. *)
+}
+(** One use (read or write) of a tensor by an operator. *)
+
+type t = {
+  name : string;
+  axes : string list;  (** the fused axes forming this op's loop nest. *)
+  reduction_axes : string list;  (** subset of [axes]. *)
+  inputs : tensor_ref list;
+  output : tensor_ref;
+  flops_per_point : int;  (** 2 for one fused multiply-add. *)
+}
+(** One compute-intensive operator. *)
+
+val tensor_ref :
+  tensor:string -> ?dtype:Tensor.Dtype.t -> dims:int list ->
+  access:Access.t -> unit -> tensor_ref
+(** Build a reference; checks that [dims] and [access] have equal rank.
+    Default dtype is fp16. *)
+
+val make :
+  name:string -> axes:string list -> reduction_axes:string list ->
+  inputs:tensor_ref list -> output:tensor_ref -> ?flops_per_point:int ->
+  unit -> t
+(** Build an operator; checks reduction axes are a subset of [axes], that
+    every accessed axis is listed in [axes], and that the output is not
+    indexed by a reduction axis. *)
+
+val all_refs : t -> tensor_ref list
+(** Inputs followed by the output. *)
+
+val uses_axis : t -> string -> bool
+(** Whether the axis belongs to this operator's loop nest. *)
+
+val is_reduction : t -> string -> bool
+(** Whether the axis is one of this operator's reduction loops. *)
+
+val iteration_points : t -> extent_of:(string -> int) -> float
+(** Product of this operator's loop extents. *)
+
+val flops : t -> extent_of:(string -> int) -> float
+(** Total floating-point operations. *)
+
+val tensor_bytes : tensor_ref -> int
+(** Full-tensor size in bytes (declared dims times dtype width). *)
+
+val tile_footprint_elems : tensor_ref -> tile_of:(string -> int) -> int
+(** Elements of the data tile touched by one block with the given tile
+    sizes: the product of window-expanded per-dimension extents, each
+    capped at the declared extent. *)
+
+val tile_footprint_bytes : tensor_ref -> tile_of:(string -> int) -> int
+(** {!tile_footprint_elems} times the dtype width. *)
+
+val pp : Format.formatter -> t -> unit
+(** e.g. ["gemm1: C[b][m][l] += A[b][m][k] * B[b][k][l]  (reduce k)"]. *)

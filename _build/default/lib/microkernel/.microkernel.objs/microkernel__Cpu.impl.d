@@ -1,0 +1,1 @@
+lib/microkernel/cpu.ml: Arch Buffer Float Kernel_sig Printf Util

@@ -1,0 +1,1 @@
+lib/microkernel/cpu.mli: Kernel_sig

@@ -1,0 +1,1 @@
+lib/microkernel/gpu.ml: Arch Buffer Float Kernel_sig Printf Util

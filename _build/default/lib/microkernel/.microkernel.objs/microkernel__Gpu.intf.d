@@ -1,0 +1,1 @@
+lib/microkernel/gpu.mli: Kernel_sig

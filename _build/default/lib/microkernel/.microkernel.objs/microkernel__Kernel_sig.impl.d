@@ -1,0 +1,1 @@
+lib/microkernel/kernel_sig.ml: Arch Array

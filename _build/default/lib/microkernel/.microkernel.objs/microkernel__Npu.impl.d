@@ -1,0 +1,1 @@
+lib/microkernel/npu.ml: Arch Buffer Kernel_sig Printf Util

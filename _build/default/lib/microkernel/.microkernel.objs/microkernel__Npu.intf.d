@@ -1,0 +1,1 @@
+lib/microkernel/npu.mli: Kernel_sig

@@ -1,0 +1,1 @@
+lib/microkernel/registry.ml: Arch Cpu Gpu Hashtbl Kernel_sig List Npu Printf

@@ -1,0 +1,1 @@
+lib/microkernel/registry.mli: Arch Kernel_sig

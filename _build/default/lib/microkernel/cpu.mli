@@ -1,0 +1,55 @@
+(** The CPU (AVX-512) micro kernel of Algorithm 2: a register-blocked
+    outer product that hides load latency behind [MI x NI] consecutive
+    FMA instructions.
+
+    Parameters are chosen analytically by maximizing arithmetic
+    intensity under the register budget (Section V-B):
+
+    {v
+    max   AI = #ComputeInst / #LoadStoreInst
+    s.t.  RegUsed = MI*NI + NI + MII <= #Registers
+    where #ComputeInst   = MI * NI * KI
+          #LoadStoreInst = KI * (MI + NI) + 2 * MI * NI
+    v}
+
+    with two micro-architectural side constraints: [NI] is even (B-tile
+    vector loads dual-issue) and [MII >= 2] (at least two A registers so
+    an A load can overlap the FMAs using the previous one).  For a
+    32-register Cascade Lake this selects [(MI, NI, MII) = (6, 4, 2)]
+    with a pipeline depth of 24, exactly the paper's choice. *)
+
+type params = {
+  mi : int;  (** rows of C kept in registers. *)
+  ni : int;  (** vector-register columns of C kept in registers. *)
+  mii : int;  (** A-register group size (load double-buffering). *)
+  pipeline_depth : int;  (** [mi * ni]: FMAs in flight per k step. *)
+}
+
+val select_params : vector_registers:int -> params
+(** Maximize asymptotic AI [MI*NI / (MI+NI)] under the register budget;
+    ties prefer the wider-M shape.  Raises if the budget is below the
+    minimal kernel. *)
+
+val ki_for : block_k:int -> int
+(** The dynamic KI: the k-extent one micro-kernel invocation covers,
+    [min block_k 64]. *)
+
+val impl : Kernel_sig.impl
+(** The registered AVX-512 implementation (id
+    ["cpu.avx512.outer_product"]), parameterised for a 32-register
+    machine and 16 fp32 lanes. *)
+
+val arithmetic_intensity : params -> ki:int -> float
+(** [#ComputeInst / #LoadStoreInst] for one invocation. *)
+
+val naive_impl : Kernel_sig.impl
+(** The unblocked vector loop used as the micro-kernel-less point of the
+    Figure 10 ablation: no register tiling, load-bound pipeline. *)
+
+val params_avx2 : params
+(** The analytical selection for a 16-register (AVX2/YMM) machine. *)
+
+val avx2_impl : Kernel_sig.impl
+(** An AVX2 implementation registered under the same replaceable micro
+    kernel — the Section V-A extensibility story: supporting new
+    hardware is one registration. *)

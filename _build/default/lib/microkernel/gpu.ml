@@ -1,0 +1,109 @@
+type params = {
+  frag_m : int;
+  frag_n : int;
+  wmma : int * int * int;
+}
+
+let params = { frag_m = 2; frag_n = 2; wmma = (16, 16, 16) }
+
+let fragment_reuse p =
+  (* Each mma consumes one A and one B fragment: an A fragment serves
+     frag_n mmas and a B fragment serves frag_m, so on average each
+     loaded fragment is used 2*fm*fn/(fm+fn) times. *)
+  2.0 *. float_of_int (p.frag_m * p.frag_n) /. float_of_int (p.frag_m + p.frag_n)
+
+(* Modelled utilisation: per k step the tensor cores issue
+   [frag_m*frag_n] mma ops while [frag_m+frag_n] fragments stream from
+   shared memory (one fragment load costs about one mma); the C
+   fragments are loaded and stored once per block. *)
+let efficiency p ~machine:_ ~block_m ~block_n ~block_k =
+  let fm = p.frag_m and fn = p.frag_n in
+  let _, _, wk = p.wmma in
+  let steps = float_of_int (max 1 (Util.Ints.ceil_div (max 1 block_k) wk)) in
+  let mma = float_of_int (fm * fn) in
+  let loads = float_of_int (fm + fn) in
+  let steady = steps *. Float.max mma loads in
+  let epilogue = 2.0 *. mma in
+  let pipeline = steps *. mma /. (steady +. epilogue) in
+  let wm, wn, _ = p.wmma in
+  let occupancy dim tile =
+    let covered = Util.Ints.ceil_div (max 1 dim) tile * tile in
+    float_of_int (max 1 dim) /. float_of_int covered
+  in
+  pipeline
+  *. occupancy block_m (fm * wm)
+  *. occupancy block_n (fn * wn)
+
+let instruction_count p ~block_m ~block_n ~block_k =
+  let wm, wn, wk = p.wmma in
+  let tiles_m = Util.Ints.ceil_div (max 1 block_m) (p.frag_m * wm) in
+  let tiles_n = Util.Ints.ceil_div (max 1 block_n) (p.frag_n * wn) in
+  let steps = Util.Ints.ceil_div (max 1 block_k) wk in
+  let per_tile =
+    (2 * p.frag_m * p.frag_n)
+    + (steps * (p.frag_m + p.frag_n + (p.frag_m * p.frag_n)))
+  in
+  tiles_m * tiles_n * per_tile
+
+let emit p ~block_m ~block_n ~block_k =
+  let wm, wn, wk = p.wmma in
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "// WMMA %dx%d-fragment outer-product micro kernel" p.frag_m p.frag_n;
+  line "// covers block %dx%dx%d with %dx%dx%d fragments" block_m block_n
+    block_k wm wn wk;
+  line "wmma::fragment<matrix_a, %d, %d, %d, half, row_major> a[%d];" wm wn wk
+    p.frag_m;
+  line "wmma::fragment<matrix_b, %d, %d, %d, half, row_major> b[%d];" wm wn wk
+    p.frag_n;
+  line "wmma::fragment<accumulator, %d, %d, %d, half> c[%d][%d];" wm wn wk
+    p.frag_m p.frag_n;
+  for i = 0 to p.frag_m - 1 do
+    for j = 0 to p.frag_n - 1 do
+      line "wmma::load_matrix_sync(c[%d][%d], &C[%d][%d], ldc, mem_row_major);"
+        i j (i * wm) (j * wn)
+    done
+  done;
+  line "for (int kk = 0; kk < %d; kk += %d) {" block_k wk;
+  for i = 0 to p.frag_m - 1 do
+    line "  wmma::load_matrix_sync(a[%d], &A[%d][kk], lda);" i (i * wm)
+  done;
+  for j = 0 to p.frag_n - 1 do
+    line "  wmma::load_matrix_sync(b[%d], &B[kk][%d], ldb);" j (j * wn)
+  done;
+  for i = 0 to p.frag_m - 1 do
+    for j = 0 to p.frag_n - 1 do
+      line "  wmma::mma_sync(c[%d][%d], a[%d], b[%d], c[%d][%d]);" i j i j i j
+    done
+  done;
+  line "}";
+  for i = 0 to p.frag_m - 1 do
+    for j = 0 to p.frag_n - 1 do
+      line "wmma::store_matrix_sync(&C[%d][%d], c[%d][%d], ldc, mem_row_major);"
+        (i * wm) (j * wn) i j
+    done
+  done;
+  Buffer.contents b
+
+let make_impl ~id ~description ~overlap p =
+  let wm, wn, wk = p.wmma in
+  {
+    Kernel_sig.id;
+    overlap;
+    backend = Arch.Machine.Gpu;
+    description;
+    native_tile = (p.frag_m * wm, p.frag_n * wn, wk);
+    efficiency = efficiency p;
+    emit = emit p;
+    instruction_count = instruction_count p;
+    execute = Kernel_sig.reference_execute;
+  }
+
+let impl =
+  make_impl ~id:"gpu.wmma.2x2" ~overlap:0.9
+    ~description:"Tensor Core WMMA 2x2-fragment outer product" params
+
+let naive_impl =
+  make_impl ~id:"gpu.wmma.naive" ~overlap:0.3
+    ~description:"Tensor Core WMMA, one mma_sync per fragment pair"
+    { params with frag_m = 1; frag_n = 1 }

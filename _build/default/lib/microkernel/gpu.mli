@@ -1,0 +1,29 @@
+(** The Tensor-Core (WMMA) micro kernel of Section V-B.
+
+    One [mma_sync] computes a 16x16x16 matrix multiplication; using it
+    directly needs one fragment load per operand per mma, so the
+    fragment-level arithmetic intensity is too low and the kernel is
+    bound by shared-memory traffic.  The micro kernel instead unrolls a
+    [2x2]-fragment outer product: per k step it loads 2 A fragments and
+    2 B fragments and issues 4 mma ops, reusing every loaded fragment
+    twice. *)
+
+type params = {
+  frag_m : int;  (** fragment rows of the C tile (2). *)
+  frag_n : int;  (** fragment columns of the C tile (2). *)
+  wmma : int * int * int;  (** the (16,16,16) fragment shape. *)
+}
+
+val params : params
+(** The paper's 2x2 configuration. *)
+
+val fragment_reuse : params -> float
+(** [2 * frag_m * frag_n / (frag_m + frag_n)]: average times each loaded
+    fragment is used (2.0 for the 2x2 kernel, 1.0 for the naive one). *)
+
+val impl : Kernel_sig.impl
+(** The registered implementation (id ["gpu.wmma.2x2"]). *)
+
+val naive_impl : Kernel_sig.impl
+(** The 1x1 (one mma per load pair) kernel — the inefficient baseline
+    the paper argues against; used by the ablation study. *)

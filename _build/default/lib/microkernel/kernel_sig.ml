@@ -1,0 +1,42 @@
+type buffers = {
+  a : float array;
+  a_off : int;
+  lda : int;
+  b : float array;
+  b_off : int;
+  ldb : int;
+  c : float array;
+  c_off : int;
+  ldc : int;
+}
+
+type impl = {
+  id : string;
+  backend : Arch.Machine.backend;
+  description : string;
+  native_tile : int * int * int;
+  overlap : float;
+      (** how well the kernel's schedule overlaps memory traffic with
+          compute, in [0, 1]: 1 hides all transfer behind the pipeline,
+          0 serialises them.  Feeds the execution-time model. *)
+  efficiency :
+    machine:Arch.Machine.t -> block_m:int -> block_n:int -> block_k:int ->
+    float;
+  emit : block_m:int -> block_n:int -> block_k:int -> string;
+  instruction_count : block_m:int -> block_n:int -> block_k:int -> int;
+  execute : m:int -> n:int -> k:int -> buffers -> unit;
+}
+
+let reference_execute ~m ~n ~k buf =
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref buf.c.(buf.c_off + (i * buf.ldc) + j) in
+      for p = 0 to k - 1 do
+        acc :=
+          !acc
+          +. (buf.a.(buf.a_off + (i * buf.lda) + p)
+             *. buf.b.(buf.b_off + (p * buf.ldb) + j))
+      done;
+      buf.c.(buf.c_off + (i * buf.ldc) + j) <- !acc
+    done
+  done

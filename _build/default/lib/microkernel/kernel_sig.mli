@@ -1,0 +1,51 @@
+(** The replaceable micro kernel abstraction (Section V-A).
+
+    A replaceable micro kernel describes a computation block as a naive
+    loop nest over input/output buffers; hardware-specific low-level
+    implementations performing *the same computation* with different
+    device instructions are registered under it and substituted at code
+    generation time. *)
+
+type buffers = {
+  a : float array;
+  a_off : int;
+  lda : int;  (** row stride of A. *)
+  b : float array;
+  b_off : int;
+  ldb : int;  (** row stride of B. *)
+  c : float array;
+  c_off : int;
+  ldc : int;  (** row stride of C. *)
+}
+(** Flat views of the three matrix operands of a matmul-family block:
+    [C[m,n] += A[m,k] * B[k,n]]. *)
+
+type impl = {
+  id : string;  (** e.g. ["cpu.avx512.outer_product"]. *)
+  backend : Arch.Machine.backend;
+  description : string;
+  native_tile : int * int * int;
+      (** (m, n, k) quantum the implementation processes at once; block
+          shapes are rounded up to multiples of it by code generation. *)
+  overlap : float;
+      (** how well the kernel's schedule overlaps memory traffic with
+          compute, in [0, 1]: 1 hides all transfer behind the pipeline,
+          0 serialises them.  Feeds the execution-time model. *)
+  efficiency :
+    machine:Arch.Machine.t -> block_m:int -> block_n:int -> block_k:int ->
+    float;
+      (** modelled fraction of peak throughput sustained inside a block
+          of the given shape (pipeline utilisation, load/store overhead,
+          tail effects). *)
+  emit : block_m:int -> block_n:int -> block_k:int -> string;
+      (** the low-level program text (assembly / CUDA / NPU DSL). *)
+  instruction_count : block_m:int -> block_n:int -> block_k:int -> int;
+      (** static instruction count of the emitted block body. *)
+  execute : m:int -> n:int -> k:int -> buffers -> unit;
+      (** the semantic function: identical numerics on every backend. *)
+}
+(** One registered hardware-specific implementation. *)
+
+val reference_execute : m:int -> n:int -> k:int -> buffers -> unit
+(** The naive loop nest the replaceable micro kernel describes — the
+    semantics every registered implementation must match. *)

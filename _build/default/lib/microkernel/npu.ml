@@ -1,0 +1,96 @@
+type params = { m1 : int; n1 : int; k1 : int; lane : int }
+
+let select_params ~l0c_bytes ~l0ab_bytes ~lane =
+  (* C accumulates in fp32: M1*lane * N1*lane * 4 <= L0C with M1 = N1. *)
+  let acc_bytes = 4 in
+  let max_mn =
+    int_of_float (sqrt (float_of_int (l0c_bytes / (lane * lane * acc_bytes))))
+  in
+  let m1 = max 1 (Util.Ints.prev_pow2 (max 1 max_mn)) in
+  (* A tile in fp16: M1*lane * K1*lane * 2 <= L0A. *)
+  let max_k1 = l0ab_bytes / (m1 * lane * lane * 2) in
+  let k1 = max 1 (Util.Ints.prev_pow2 (max 1 max_k1)) in
+  { m1; n1 = m1; k1; lane }
+
+let params =
+  select_params ~l0c_bytes:(256 * 1024) ~l0ab_bytes:(64 * 1024) ~lane:16
+
+let arithmetic_intensity p =
+  let m = p.m1 * p.lane and n = p.n1 * p.lane in
+  float_of_int (m * n) /. float_of_int (m + n)
+
+(* Modelled cube utilisation: the mad op sustains the cube as long as L0
+   refills keep up; charged for DMA packing and partial-tile edges.  The
+   kernel generator shrinks M1/N1 to the block shape, so small blocks
+   cost arithmetic intensity rather than raw occupancy. *)
+let adapt p ~block_m ~block_n =
+  let fit limit dim =
+    Util.Ints.clamp ~lo:1 ~hi:limit
+      (Util.Ints.ceil_div (max 1 dim) p.lane)
+  in
+  { p with m1 = fit p.m1 block_m; n1 = fit p.n1 block_n }
+
+let efficiency p ~machine:_ ~block_m ~block_n ~block_k =
+  let p = adapt p ~block_m ~block_n in
+  let ai = arithmetic_intensity p in
+  let steady = ai /. (ai +. 16.0) in
+  let packing = 0.95 in
+  let tile_m = p.m1 * p.lane and tile_n = p.n1 * p.lane in
+  let occupancy dim tile =
+    let covered = Util.Ints.ceil_div (max 1 dim) tile * tile in
+    float_of_int (max 1 dim) /. float_of_int covered
+  in
+  ignore block_k;
+  steady *. packing *. occupancy block_m tile_m *. occupancy block_n tile_n
+
+let instruction_count p ~block_m ~block_n ~block_k =
+  let tile_m = p.m1 * p.lane and tile_n = p.n1 * p.lane in
+  let tile_k = p.k1 * p.lane in
+  let mads =
+    Util.Ints.ceil_div (max 1 block_m) tile_m
+    * Util.Ints.ceil_div (max 1 block_n) tile_n
+    * Util.Ints.ceil_div (max 1 block_k) tile_k
+  in
+  (* one mad pragma + three DMA packs per tile step *)
+  mads * 4
+
+let emit p ~block_m ~block_n ~block_k =
+  let b = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "# Ascend mad micro kernel: M1=%d N1=%d K1=%d lane=%d" p.m1 p.n1 p.k1
+    p.lane;
+  line "# covers block %dx%dx%d; AI = %.1f" block_m block_n block_k
+    (arithmetic_intensity p);
+  line "with tik.for_range(0, %d) as m1:" p.m1;
+  line "  with tik.for_range(0, %d) as n1:" p.n1;
+  line "    # DMA-pack A, B tiles into contiguous L0A/L0B arrays";
+  line "    tik.data_move(l0a, a_l1[m1, :, :, :], pragma='dma_copy')";
+  line "    tik.data_move(l0b, b_l1[:, n1, :, :], pragma='dma_copy')";
+  line "    with tik.for_range(0, %d) as k1:" p.k1;
+  line "      with tik.for_range(0, %d) as m2:" p.lane;
+  line "        with tik.for_range(0, %d) as n2:" p.lane;
+  line "          with tik.for_range(0, %d) as k2:" p.lane;
+  line
+    "            # pragma mad: C[m1,n1,m2,n2] += A[m1,k1,m2,k2] * \
+     B[k1,n1,n2,k2]";
+  line "            tik.mad(l0c[m1, n1, m2, n2], l0a[m1, k1, m2, k2],";
+  line "                    l0b[k1, n1, n2, k2], pragma='mad')";
+  line "tik.data_move(c_ub, l0c, pragma='dma_copy')  # to Unified Buffer";
+  Buffer.contents b
+
+let impl =
+  {
+    Kernel_sig.id = "npu.cube.mad";
+    overlap = 0.85;
+    backend = Arch.Machine.Npu;
+    description =
+      Printf.sprintf "Ascend cube mad kernel, M1=N1=%d K1=%d (AI %.0f)"
+        params.m1 params.k1
+        (arithmetic_intensity params);
+    native_tile =
+      (params.m1 * params.lane, params.n1 * params.lane, params.lane);
+    efficiency = efficiency params;
+    emit = emit params;
+    instruction_count = instruction_count params;
+    execute = Kernel_sig.reference_execute;
+  }

@@ -1,0 +1,32 @@
+(** The Ascend NPU micro kernel of Section V-B: the [mad] pragma expects
+    a six-loop tiled matrix multiplication
+
+    {v C[m1,n1,m2,n2] += A[m1,k1,m2,k2] * B[k1,n1,n2,k2] v}
+
+    over DMA-packed contiguous arrays.  The inner (m2, n2, k2) shape is
+    fixed to the cube-unit lane count; (m1, n1) are maximised under the
+    L0 buffer capacities with [M1 = N1], giving the arithmetic intensity
+
+    {v AI = M1*M2*N1*N2 / (M1*M2 + N1*N2). v} *)
+
+type params = {
+  m1 : int;
+  n1 : int;
+  k1 : int;
+  lane : int;  (** M2 = N2 = K2 = cube lanes (16). *)
+}
+
+val select_params :
+  l0c_bytes:int -> l0ab_bytes:int -> lane:int -> params
+(** [M1 = N1 = sqrt(L0C / (lane^2 * acc_bytes))] (fp32 accumulators) and
+    [K1] bounded by the A-tile fitting L0A in fp16. *)
+
+val params : params
+(** Parameters for the Ascend 910 (64 KiB L0A/B, 256 KiB L0C, lane 16):
+    [m1 = n1 = 16], [k1 = 8]. *)
+
+val arithmetic_intensity : params -> float
+(** The AI formula above. *)
+
+val impl : Kernel_sig.impl
+(** The registered implementation (id ["npu.cube.mad"]). *)

@@ -1,0 +1,42 @@
+type t = (string, Kernel_sig.impl list ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 8
+
+let register t ~name impl =
+  let entry =
+    match Hashtbl.find_opt t name with
+    | Some e -> e
+    | None ->
+        let e = ref [] in
+        Hashtbl.add t name e;
+        e
+  in
+  entry :=
+    impl
+    :: List.filter (fun (i : Kernel_sig.impl) -> i.id <> impl.Kernel_sig.id)
+         !entry
+
+let default () =
+  let t = create () in
+  register t ~name:"matmul" Cpu.impl;
+  register t ~name:"matmul" Gpu.impl;
+  register t ~name:"matmul" Npu.impl;
+  t
+
+let implementations t ~name =
+  match Hashtbl.find_opt t name with Some e -> !e | None -> []
+
+let lookup t ~name ~backend =
+  List.find_opt
+    (fun (i : Kernel_sig.impl) -> i.backend = backend)
+    (implementations t ~name)
+
+let lower t ~name ~machine =
+  match lookup t ~name ~backend:machine.Arch.Machine.backend with
+  | Some impl -> impl
+  | None ->
+      failwith
+        (Printf.sprintf "no %s micro kernel registered for backend %s" name
+           (Arch.Machine.backend_to_string machine.Arch.Machine.backend))
+
+let names t = Hashtbl.fold (fun name _ acc -> name :: acc) t []

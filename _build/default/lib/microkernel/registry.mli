@@ -1,0 +1,37 @@
+(** The replaceable-micro-kernel registry (Figure 4).
+
+    A replaceable micro kernel is named by the computation it describes
+    (e.g. ["matmul"]); implementations for different backends are
+    registered under that name and the right one is substituted during
+    code generation according to the target machine. *)
+
+type t
+(** A mutable registry. *)
+
+val create : unit -> t
+(** An empty registry. *)
+
+val default : unit -> t
+(** A registry pre-populated with the paper's three matmul kernels:
+    {!Cpu.impl}, {!Gpu.impl} and {!Npu.impl}. *)
+
+val register : t -> name:string -> Kernel_sig.impl -> unit
+(** Add an implementation under a replaceable kernel name.  Re-registering
+    the same (name, backend, id) replaces the previous entry; a second
+    distinct implementation for the same backend becomes an alternative
+    (the latest registration wins lookup). *)
+
+val lookup : t -> name:string -> backend:Arch.Machine.backend ->
+  Kernel_sig.impl option
+(** The implementation that will be substituted for the named replaceable
+    kernel on the given backend. *)
+
+val lower : t -> name:string -> machine:Arch.Machine.t -> Kernel_sig.impl
+(** {!lookup} for the machine's backend; raises [Failure] with a clear
+    message when no implementation is registered. *)
+
+val implementations : t -> name:string -> Kernel_sig.impl list
+(** Every implementation registered under a name, latest first. *)
+
+val names : t -> string list
+(** All replaceable kernel names. *)

@@ -1,0 +1,1 @@
+lib/sim/address_trace.ml: Analytical Array Ir Line_cache List Option Tensor Trace

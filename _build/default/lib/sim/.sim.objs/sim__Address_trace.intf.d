@@ -1,0 +1,1 @@
+lib/sim/address_trace.mli: Analytical Ir

@@ -1,0 +1,1 @@
+lib/sim/exec.ml: Analytical Array Codegen Float Hashtbl Ir List Microkernel Option Printf Tensor Trace Util

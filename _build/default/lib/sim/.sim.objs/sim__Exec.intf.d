@@ -1,0 +1,1 @@
+lib/sim/exec.mli: Analytical Codegen Hashtbl Ir Microkernel Tensor

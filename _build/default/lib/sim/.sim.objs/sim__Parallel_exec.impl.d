@@ -1,0 +1,1 @@
+lib/sim/parallel_exec.ml: Analytical Array Domain Exec Hashtbl Ir List Option Tensor Util

@@ -1,0 +1,1 @@
+lib/sim/parallel_exec.mli: Analytical Exec Ir

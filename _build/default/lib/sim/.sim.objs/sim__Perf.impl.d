@@ -1,0 +1,1 @@
+lib/sim/perf.ml: Analytical Arch Codegen Float Ir List Microkernel Option

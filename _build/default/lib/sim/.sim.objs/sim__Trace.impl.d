@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Analytical Arch Array Buffer Codegen Hashtbl Ir List Lru Util

@@ -1,0 +1,1 @@
+lib/sim/trace.mli: Analytical Arch Codegen Ir

@@ -1,0 +1,103 @@
+type stats = {
+  accesses : int;
+  misses : int;
+  bytes_in : float;
+  hit_rate : float;
+  blocks_visited : int;
+}
+
+let align_up v a = (v + a - 1) / a * a
+
+let tensor_base_addresses (chain : Ir.Chain.t) =
+  let next = ref 0 in
+  List.map
+    (fun name ->
+      let bytes = Ir.Operator.tensor_bytes (Ir.Chain.find_ref chain name) in
+      let base = !next in
+      next := align_up (base + bytes) 4096;
+      (name, base))
+    (Ir.Chain.tensor_names chain)
+
+(* The bounding box one block's access spans in one tensor: per
+   dimension, [offset + sum coeff*start, ... + span), clipped to the
+   declared extent. *)
+let tile_box (r : Ir.Operator.tensor_ref) ~starts ~tile_of =
+  List.map2
+    (fun (d : Ir.Access.dim) extent ->
+      let lo =
+        List.fold_left
+          (fun acc (t : Ir.Access.term) ->
+            acc
+            + t.Ir.Access.coeff
+              * Option.value (List.assoc_opt t.Ir.Access.axis starts) ~default:0)
+          d.Ir.Access.offset d.Ir.Access.terms
+      in
+      let span =
+        List.fold_left
+          (fun acc (t : Ir.Access.term) ->
+            acc + (t.Ir.Access.coeff * (tile_of t.Ir.Access.axis - 1)))
+          0 d.Ir.Access.terms
+        + 1
+      in
+      let lo' = max 0 lo in
+      let hi' = min extent (lo + span) in
+      (lo', max lo' hi'))
+    r.access r.dims
+
+let measure (chain : Ir.Chain.t) ~capacity_bytes ?(line_bytes = 64) ?(ways = 8)
+    ~perm ~tiling () =
+  Analytical.Movement.validate_perm chain perm;
+  let cache = Line_cache.create ~capacity_bytes ~line_bytes ~ways () in
+  let bases = tensor_base_addresses chain in
+  let elem_bytes name =
+    Tensor.Dtype.bytes (Ir.Chain.find_ref chain name).Ir.Operator.dtype
+  in
+  let tile_of = Analytical.Tiling.tile_of tiling in
+  let blocks = ref 0 in
+  let touch_ref (r : Ir.Operator.tensor_ref) ~starts =
+    let base = List.assoc r.tensor bases in
+    let eb = elem_bytes r.tensor in
+    let box = Array.of_list (tile_box r ~starts ~tile_of) in
+    let dims = Array.of_list r.dims in
+    let rank = Array.length dims in
+    let strides = Array.make rank 1 in
+    for i = rank - 2 downto 0 do
+      strides.(i) <- strides.(i + 1) * dims.(i + 1)
+    done;
+    (* Walk every row of the box; the innermost dimension is one
+       contiguous range. *)
+    let rec rows d offset =
+      if d = rank - 1 then begin
+        let lo, hi = box.(d) in
+        if hi > lo then
+          Line_cache.access_range cache
+            ~addr:(base + ((offset + lo) * eb))
+            ~bytes:((hi - lo) * eb)
+      end
+      else begin
+        let lo, hi = box.(d) in
+        for v = lo to hi - 1 do
+          rows (d + 1) (offset + (v * strides.(d)))
+        done
+      end
+    in
+    if rank > 0 then rows 0 0
+  in
+  Trace.iter_blocks ~perm ~tiling
+    ~f:(fun starts ->
+      incr blocks;
+      List.iteri
+        (fun i (stage : Ir.Chain.stage) ->
+          if Trace.stage_runs chain ~stage_index:i ~tiling starts then
+            List.iter
+              (fun r -> touch_ref r ~starts)
+              (Ir.Operator.all_refs stage.Ir.Chain.op))
+        chain.stages)
+    ();
+  {
+    accesses = Line_cache.accesses cache;
+    misses = Line_cache.misses cache;
+    bytes_in = Line_cache.bytes_in cache;
+    hit_rate = Line_cache.hit_rate cache;
+    blocks_visited = !blocks;
+  }

@@ -1,0 +1,29 @@
+(** Line-granular address-trace simulation.
+
+    The fast tile-granular model ({!Trace}) treats whole data tiles as
+    cache objects.  This module replays the same block execution at
+    cache-line granularity against a set-associative cache
+    ({!Line_cache}), touching the actual byte addresses each block's
+    tiles span — the ground-truth model the tile approximation is
+    validated against (on problem sizes where it is tractable). *)
+
+type stats = {
+  accesses : int;  (** line-granular accesses. *)
+  misses : int;
+  bytes_in : float;  (** fill traffic, [misses * line_bytes]. *)
+  hit_rate : float;
+  blocks_visited : int;
+}
+
+val tensor_base_addresses : Ir.Chain.t -> (string * int) list
+(** The disjoint, line-aligned address ranges the chain's tensors are
+    laid out at (row-major, in first-use order). *)
+
+val measure :
+  Ir.Chain.t -> capacity_bytes:int -> ?line_bytes:int -> ?ways:int ->
+  perm:string list -> tiling:Analytical.Tiling.t -> unit -> stats
+(** Replay the fused block execution, touching every cache line of every
+    tile each executing stage reads or writes.  All tensors (including
+    intermediates) occupy memory, so this corresponds to the
+    tile-granular model with [spill_intermediates:true].
+    [line_bytes] defaults to 64, [ways] to 8. *)

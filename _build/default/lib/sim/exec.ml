@@ -1,0 +1,551 @@
+type env = (string, Tensor.Dense.t) Hashtbl.t
+
+let tensor env name =
+  match Hashtbl.find_opt env name with
+  | Some t -> t
+  | None -> raise Not_found
+
+let chain_input_names (chain : Ir.Chain.t) =
+  let produced =
+    List.map
+      (fun (s : Ir.Chain.stage) -> s.op.Ir.Operator.output.Ir.Operator.tensor)
+      chain.stages
+  in
+  List.filter (fun n -> not (List.mem n produced)) (Ir.Chain.tensor_names chain)
+
+let chain_output_names (chain : Ir.Chain.t) =
+  let io = Ir.Chain.io_names chain in
+  let inputs = chain_input_names chain in
+  List.filter (fun n -> not (List.mem n inputs)) io
+
+let make_env (chain : Ir.Chain.t) ~seed =
+  let env : env = Hashtbl.create 8 in
+  let prng = Util.Prng.create ~seed in
+  let inputs = chain_input_names chain in
+  List.iter
+    (fun name ->
+      let r = Ir.Chain.find_ref chain name in
+      let t =
+        Tensor.Dense.create ~dtype:r.Ir.Operator.dtype
+          (Tensor.Shape.of_list r.Ir.Operator.dims)
+      in
+      if List.mem name inputs then
+        Tensor.Dense.fill_random t ~prng ~lo:(-1.0) ~hi:1.0;
+      Hashtbl.replace env name t)
+    (Ir.Chain.tensor_names chain);
+  env
+
+let zero_non_inputs chain env =
+  let inputs = chain_input_names chain in
+  List.iter
+    (fun name ->
+      if not (List.mem name inputs) then Tensor.Dense.fill (tensor env name) 0.0)
+    (Ir.Chain.tensor_names chain)
+
+(* ------------------------------------------------------------------ *)
+(* Point-wise evaluation helpers                                       *)
+(* ------------------------------------------------------------------ *)
+
+let in_bounds (r : Ir.Operator.tensor_ref) ~value_of =
+  let idx = Ir.Access.eval r.access ~value_of in
+  let dims = Array.of_list r.dims in
+  let ok = ref true in
+  Array.iteri (fun i v -> if v < 0 || v >= dims.(i) then ok := false) idx;
+  !ok
+
+(* Iterate every integer point of [ranges] (axis, lo, hi_exclusive),
+   exposing the current point through a lookup function. *)
+let iter_points ranges ~f =
+  let ranges = Array.of_list ranges in
+  let n = Array.length ranges in
+  let values = Hashtbl.create (2 * n) in
+  let value_of axis =
+    match Hashtbl.find_opt values axis with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Exec: unbound axis %s" axis)
+  in
+  let rec go i =
+    if i = n then f ~value_of
+    else begin
+      let axis, lo, hi = ranges.(i) in
+      for v = lo to hi - 1 do
+        Hashtbl.replace values axis v;
+        go (i + 1)
+      done
+    end
+  in
+  go 0
+
+
+(* ------------------------------------------------------------------ *)
+(* Compiled point loops                                                 *)
+(*                                                                      *)
+(* The generic [iter_points] pays a hashtable lookup per axis per       *)
+(* point; the contraction loops dominate execution, so operators are    *)
+(* compiled once per block run into closures over an int array of axis  *)
+(* values.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type compiled_ref = {
+  data : float array;
+  flat_index : int array -> int;  (* -1 when padded out of bounds *)
+}
+
+let compile_ref env ~slot_of (r : Ir.Operator.tensor_ref) =
+  let t = tensor env r.tensor in
+  let dims = Array.of_list r.dims in
+  let rank = Array.length dims in
+  let strides = Array.make rank 1 in
+  for i = rank - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * dims.(i + 1)
+  done;
+  let dim_exprs =
+    Array.of_list
+      (List.map
+         (fun (d : Ir.Access.dim) ->
+           ( d.Ir.Access.offset,
+             Array.of_list
+               (List.map
+                  (fun (term : Ir.Access.term) ->
+                    (slot_of term.Ir.Access.axis, term.Ir.Access.coeff))
+                  d.Ir.Access.terms) ))
+         r.access)
+  in
+  let flat_index values =
+    let flat = ref 0 in
+    let ok = ref true in
+    for d = 0 to rank - 1 do
+      let offset, terms = dim_exprs.(d) in
+      let idx = ref offset in
+      Array.iter (fun (slot, coeff) -> idx := !idx + (coeff * values.(slot))) terms;
+      if !idx < 0 || !idx >= dims.(d) then ok := false
+      else flat := !flat + (!idx * strides.(d))
+    done;
+    if !ok then !flat else -1
+  in
+  { data = Tensor.Dense.to_flat_array t; flat_index }
+
+
+(* ------------------------------------------------------------------ *)
+(* Matmul fast path                                                     *)
+(*                                                                      *)
+(* A block whose operator is a plain (batched) matrix multiplication    *)
+(* with simple accesses executes through the micro-kernel semantic      *)
+(* function over flat array slices — the code path the generated        *)
+(* kernel itself takes.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type matmul_pattern = {
+  ax_b : string;
+  ax_m : string;
+  ax_n : string;
+  ax_k : string;
+  full_m : int;  (* row strides of the full tensors *)
+  full_n : int;
+  full_k : int;
+}
+
+let simple_axes (r : Ir.Operator.tensor_ref) =
+  let ok = ref true in
+  let axes =
+    List.map
+      (fun (d : Ir.Access.dim) ->
+        match d.Ir.Access.terms with
+        | [ { Ir.Access.axis; coeff = 1 } ] when d.Ir.Access.offset = 0 -> axis
+        | _ ->
+            ok := false;
+            "")
+      r.access
+  in
+  if !ok then Some axes else None
+
+let detect_matmul (op : Ir.Operator.t) =
+  match (op.Ir.Operator.inputs, op.Ir.Operator.reduction_axes) with
+  | [ a; b ], [ red ] -> (
+      match (simple_axes a, simple_axes b, simple_axes op.Ir.Operator.output) with
+      | ( Some [ ab; am; ak ],
+          Some [ bb; bk; bn ],
+          Some [ ob; om; on ] )
+        when ab = ob && bb = ob && am = om && bn = on && ak = bk && ak = red ->
+          Some
+            {
+              ax_b = ob;
+              ax_m = om;
+              ax_n = on;
+              ax_k = ak;
+              full_m = List.nth a.dims 1;
+              full_n = List.nth b.dims 2;
+              full_k = List.nth a.dims 2;
+            }
+      | _ -> None)
+  | _ -> None
+
+let run_matmul_block env (op : Ir.Operator.t) pat ~ranges ~micro =
+  let range axis ~extent =
+    match List.assoc_opt axis ranges with
+    | Some (lo, hi) -> (lo, hi)
+    | None -> (0, extent)
+  in
+  ignore pat.full_m;
+  let a_ref = List.nth op.Ir.Operator.inputs 0 in
+  let b_ref = List.nth op.Ir.Operator.inputs 1 in
+  let out_ref = op.Ir.Operator.output in
+  let a = Tensor.Dense.to_flat_array (tensor env a_ref.tensor) in
+  let b = Tensor.Dense.to_flat_array (tensor env b_ref.tensor) in
+  let c = Tensor.Dense.to_flat_array (tensor env out_ref.tensor) in
+  let m_full = List.nth out_ref.dims 1 and n_full = pat.full_n in
+  let k_full = pat.full_k in
+  let b_lo, b_hi = range pat.ax_b ~extent:(List.nth out_ref.dims 0) in
+  let m_lo, m_hi = range pat.ax_m ~extent:m_full in
+  let n_lo, n_hi = range pat.ax_n ~extent:n_full in
+  let k_lo, k_hi = range pat.ax_k ~extent:k_full in
+  let m = m_hi - m_lo and n = n_hi - n_lo and k = k_hi - k_lo in
+  if m > 0 && n > 0 && k > 0 then
+    for bi = b_lo to b_hi - 1 do
+      let buffers =
+        {
+          Microkernel.Kernel_sig.a;
+          a_off = (((bi * m_full) + m_lo) * k_full) + k_lo;
+          lda = k_full;
+          b;
+          b_off = (((bi * k_full) + k_lo) * n_full) + n_lo;
+          ldb = n_full;
+          c;
+          c_off = (((bi * m_full) + m_lo) * n_full) + n_lo;
+          ldc = n_full;
+        }
+      in
+      micro ~m ~n ~k buffers
+    done
+
+(* Run one operator over per-axis ranges, accumulating products of the
+   inputs into the output.  [dedup] guards windowed producers against
+   re-accumulating recomputed points. *)
+let rec run_op_ranges ?micro chain env (op : Ir.Operator.t) ~ranges ~dedup ~visited =
+  match detect_matmul op with
+  | Some pat ->
+      let micro =
+        Option.value micro ~default:Microkernel.Kernel_sig.reference_execute
+      in
+      run_matmul_block env op pat ~ranges ~micro
+  | None -> run_op_ranges_generic chain env op ~ranges ~dedup ~visited
+
+and run_op_ranges_generic chain env (op : Ir.Operator.t) ~ranges ~dedup ~visited =
+  let axes = Array.of_list op.Ir.Operator.axes in
+  let n = Array.length axes in
+  let slot_of axis =
+    let rec find i = if axes.(i) = axis then i else find (i + 1) in
+    find 0
+  in
+  let out = compile_ref env ~slot_of op.Ir.Operator.output in
+  let inputs =
+    Array.of_list (List.map (compile_ref env ~slot_of) op.Ir.Operator.inputs)
+  in
+  let n_inputs = Array.length inputs in
+  let reduction_slots =
+    Array.of_list
+      (List.map
+         (fun a -> (slot_of a, Ir.Chain.extent_of chain a))
+         op.Ir.Operator.reduction_axes)
+  in
+  let bounds =
+    Array.map
+      (fun axis ->
+        match List.assoc_opt axis ranges with
+        | Some (lo, hi) -> (lo, hi)
+        | None -> (0, Ir.Chain.extent_of chain axis))
+      axes
+  in
+  let values = Array.make n 0 in
+  let rec go i =
+    if i = n then begin
+      let out_idx = out.flat_index values in
+      if out_idx >= 0 then begin
+        let proceed =
+          if not dedup then true
+          else begin
+            let rkey = ref 0 in
+            Array.iter
+              (fun (slot, extent) -> rkey := (!rkey * extent) + values.(slot))
+              reduction_slots;
+            let key = (out_idx, !rkey) in
+            if Hashtbl.mem visited key then false
+            else begin
+              Hashtbl.add visited key ();
+              true
+            end
+          end
+        in
+        if proceed then begin
+          let acc = ref 1.0 in
+          (try
+             for j = 0 to n_inputs - 1 do
+               let idx = inputs.(j).flat_index values in
+               if idx < 0 then begin
+                 acc := 0.0;
+                 raise Exit
+               end
+               else acc := !acc *. inputs.(j).data.(idx)
+             done
+           with Exit -> ());
+          if !acc <> 0.0 then out.data.(out_idx) <- out.data.(out_idx) +. !acc
+        end
+      end
+    end
+    else begin
+      let lo, hi = bounds.(i) in
+      for v = lo to hi - 1 do
+        values.(i) <- v;
+        go (i + 1)
+      done
+    end
+  in
+  go 0
+
+let output_is_injective (op : Ir.Operator.t) =
+  List.for_all
+    (fun (d : Ir.Access.dim) -> List.length d.terms <= 1)
+    op.Ir.Operator.output.Ir.Operator.access
+
+(* ------------------------------------------------------------------ *)
+(* Epilogues                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type softmax_state = {
+  sums : Tensor.Dense.t;  (** row accumulators, producer dims minus axis. *)
+  sum_axes : string list;  (** axis names indexing [sums]. *)
+  consumed_by : Ir.Chain.stage option;  (** stage whose output gets divided. *)
+}
+
+let simple_axes_of (r : Ir.Operator.tensor_ref) =
+  List.map
+    (fun (d : Ir.Access.dim) ->
+      match d.Ir.Access.terms with
+      | [ { Ir.Access.axis; coeff = 1 } ] when d.Ir.Access.offset = 0 -> axis
+      | _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Exec: softmax requires a simple access on tensor %s" r.tensor))
+    r.access
+
+let softmax_states (chain : Ir.Chain.t) =
+  List.filteri (fun _ _ -> true) chain.stages
+  |> List.mapi (fun i (stage : Ir.Chain.stage) -> (i, stage))
+  |> List.filter_map (fun (i, (stage : Ir.Chain.stage)) ->
+         match stage.Ir.Chain.epilogue with
+         | Ir.Chain.Softmax { axis } ->
+             let out = stage.op.Ir.Operator.output in
+             let axes = simple_axes_of out in
+             let sum_axes = List.filter (fun a -> a <> axis) axes in
+             let dims =
+               List.filteri
+                 (fun j _ -> List.nth axes j <> axis)
+                 out.Ir.Operator.dims
+             in
+             let consumed_by =
+               List.find_opt
+                 (fun (s : Ir.Chain.stage) ->
+                   List.exists
+                     (fun (r : Ir.Operator.tensor_ref) ->
+                       r.tensor = out.Ir.Operator.tensor)
+                     s.op.Ir.Operator.inputs)
+                 chain.stages
+             in
+             let sums =
+               Tensor.Dense.create ~dtype:Tensor.Dtype.Fp64
+                 (Tensor.Shape.of_list (if dims = [] then [ 1 ] else dims))
+             in
+             Some (i, { sums; sum_axes; consumed_by })
+         | _ -> None)
+
+let sums_index state ~value_of =
+  match state.sum_axes with
+  | [] -> [| 0 |]
+  | axes -> Array.of_list (List.map value_of axes)
+
+(* Divide by the softmax sums: into the consumer's output when the chain
+   fuses one (the swapped division of Section VI-B), or in place on the
+   producer's output when the softmax stands alone. *)
+let divide_rows ?(bounds = []) chain env state (out : Ir.Operator.tensor_ref)
+    =
+  let out_tensor = tensor env out.Ir.Operator.tensor in
+  let axes = simple_axes_of out in
+  let range a =
+    match List.assoc_opt a bounds with
+    | Some (lo, hi) -> (a, lo, hi)
+    | None -> (a, 0, Ir.Chain.extent_of chain a)
+  in
+  let ranges = List.map range axes in
+  iter_points ranges ~f:(fun ~value_of ->
+      let idx = Array.of_list (List.map value_of axes) in
+      let s = Tensor.Dense.get state.sums (sums_index state ~value_of) in
+      if s <> 0.0 then
+        Tensor.Dense.set out_tensor idx (Tensor.Dense.get out_tensor idx /. s))
+
+let apply_softmax_division ?bounds chain env state ~producer_out =
+  match state.consumed_by with
+  | Some consumer ->
+      divide_rows ?bounds chain env state consumer.op.Ir.Operator.output
+  | None -> divide_rows ?bounds chain env state producer_out
+
+(* ------------------------------------------------------------------ *)
+(* Reference (unfused) execution                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_op_full chain env (op : Ir.Operator.t) =
+  (* Standalone loop nests have injective outputs: no deduplication. *)
+  run_op_ranges chain env op ~ranges:[] ~dedup:false
+    ~visited:(Hashtbl.create 1)
+
+let apply_epilogue_full chain env (stage : Ir.Chain.stage) =
+  let out = stage.standalone.Ir.Operator.output in
+  let out_tensor = tensor env out.Ir.Operator.tensor in
+  match stage.Ir.Chain.epilogue with
+  | Ir.Chain.Identity -> ()
+  | Ir.Chain.Relu ->
+      for i = 0 to Tensor.Dense.numel out_tensor - 1 do
+        Tensor.Dense.set_flat out_tensor i
+          (Float.max 0.0 (Tensor.Dense.get_flat out_tensor i))
+      done
+  | Ir.Chain.Softmax { axis } ->
+      let axes = simple_axes_of out in
+      let row_axes = List.filter (fun a -> a <> axis) axes in
+      let extent a = Ir.Chain.extent_of chain a in
+      let ranges = List.map (fun a -> (a, 0, extent a)) row_axes in
+      iter_points ranges ~f:(fun ~value_of ->
+          (* One softmax row: exp, sum, divide. *)
+          let values = Hashtbl.create 4 in
+          List.iter (fun a -> Hashtbl.replace values a (value_of a)) row_axes;
+          let idx_of v =
+            Hashtbl.replace values axis v;
+            Array.of_list
+              (List.map (fun a -> Hashtbl.find values a) axes)
+          in
+          let n = extent axis in
+          let total = ref 0.0 in
+          for v = 0 to n - 1 do
+            let idx = idx_of v in
+            let e = exp (Tensor.Dense.get out_tensor idx) in
+            Tensor.Dense.set out_tensor idx e;
+            total := !total +. e
+          done;
+          if !total <> 0.0 then
+            for v = 0 to n - 1 do
+              let idx = idx_of v in
+              Tensor.Dense.set out_tensor idx
+                (Tensor.Dense.get out_tensor idx /. !total)
+            done)
+
+let run_reference chain env =
+  zero_non_inputs chain env;
+  List.iter
+    (fun (stage : Ir.Chain.stage) ->
+      run_op_full chain env stage.Ir.Chain.standalone;
+      apply_epilogue_full chain env stage)
+    chain.Ir.Chain.stages
+
+(* ------------------------------------------------------------------ *)
+(* Fused execution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let block_ranges chain ~tiling ~starts (op : Ir.Operator.t) =
+  List.map
+    (fun axis ->
+      let extent = Ir.Chain.extent_of chain axis in
+      match List.assoc_opt axis starts with
+      | Some start ->
+          (axis, start, min extent (start + Analytical.Tiling.get tiling axis))
+      | None -> (axis, 0, extent))
+    op.Ir.Operator.axes
+
+let execute_stage_block ?micro chain env ~tiling ~starts
+    (stage : Ir.Chain.stage) ~visited =
+  let op = stage.Ir.Chain.op in
+  let dedup = not (output_is_injective op) in
+  let ranges =
+    List.map
+      (fun (axis, lo, hi) -> (axis, (lo, hi)))
+      (block_ranges chain ~tiling ~starts op)
+  in
+  run_op_ranges ?micro chain env op ~ranges ~dedup ~visited
+
+let apply_epilogue_block chain env ~tiling ~starts (stage : Ir.Chain.stage)
+    ~softmax =
+  let op = stage.Ir.Chain.op in
+  let out = op.Ir.Operator.output in
+  let out_tensor = tensor env out.Ir.Operator.tensor in
+  let spatial =
+    List.filter
+      (fun a -> not (List.mem a op.Ir.Operator.reduction_axes))
+      op.Ir.Operator.axes
+  in
+  let ranges =
+    List.map
+      (fun axis ->
+        let extent = Ir.Chain.extent_of chain axis in
+        match List.assoc_opt axis starts with
+        | Some start ->
+            (axis, start, min extent (start + Analytical.Tiling.get tiling axis))
+        | None -> (axis, 0, extent))
+      spatial
+  in
+  match stage.Ir.Chain.epilogue with
+  | Ir.Chain.Identity -> ()
+  | Ir.Chain.Relu ->
+      iter_points ranges ~f:(fun ~value_of ->
+          if in_bounds out ~value_of then begin
+            let idx = Ir.Access.eval out.Ir.Operator.access ~value_of in
+            Tensor.Dense.set out_tensor idx
+              (Float.max 0.0 (Tensor.Dense.get out_tensor idx))
+          end)
+  | Ir.Chain.Softmax _ -> (
+      match softmax with
+      | None -> ()
+      | Some state ->
+          iter_points ranges ~f:(fun ~value_of ->
+              if in_bounds out ~value_of then begin
+                let idx = Ir.Access.eval out.Ir.Operator.access ~value_of in
+                let e = exp (Tensor.Dense.get out_tensor idx) in
+                Tensor.Dense.set out_tensor idx e;
+                let sidx = sums_index state ~value_of in
+                Tensor.Dense.set state.sums sidx
+                  (Tensor.Dense.get state.sums sidx +. e)
+              end))
+
+let run_fused ?micro ?bounds ?(zero = true) chain ~perm ~tiling env =
+  Analytical.Movement.validate_perm chain perm;
+  if zero then zero_non_inputs chain env;
+  let softmax = softmax_states chain in
+  let stages = Array.of_list chain.Ir.Chain.stages in
+  let visited = Array.map (fun _ -> Hashtbl.create 64) stages in
+  Trace.iter_blocks ?bounds ~perm ~tiling
+    ~f:(fun starts ->
+      Array.iteri
+        (fun i stage ->
+          if Trace.stage_runs chain ~stage_index:i ~tiling starts then begin
+            execute_stage_block ?micro chain env ~tiling ~starts stage
+              ~visited:visited.(i);
+            if Trace.is_last_reduction_block stage ~tiling starts then
+              apply_epilogue_block chain env ~tiling ~starts stage
+                ~softmax:(List.assoc_opt i softmax)
+          end)
+        stages)
+    ();
+  List.iter
+    (fun (i, state) ->
+      let producer_out = stages.(i).Ir.Chain.op.Ir.Operator.output in
+      apply_softmax_division ?bounds chain env state ~producer_out)
+    softmax
+
+let run_kernel (kernel : Codegen.Kernel.t) env =
+  (* Route matmul blocks through the substituted micro kernel's semantic
+     function — the same computation the emitted code performs. *)
+  let micro = kernel.Codegen.Kernel.micro.Microkernel.Kernel_sig.execute in
+  run_fused ~micro kernel.Codegen.Kernel.chain ~perm:kernel.Codegen.Kernel.perm
+    ~tiling:kernel.Codegen.Kernel.tiling env
+
+let outputs_match ?(rtol = 1e-6) ?(atol = 1e-9) chain env_a env_b =
+  List.for_all
+    (fun name ->
+      Tensor.Dense.allclose ~rtol ~atol (tensor env_a name) (tensor env_b name))
+    (chain_output_names chain)

@@ -1,0 +1,48 @@
+(** Numeric execution of operator chains.
+
+    [run_reference] executes each stage as an isolated loop nest (what
+    an unfused library call computes); [run_fused] interprets the fused
+    block loop nest in a chosen execution order with chosen tile sizes,
+    including the recomputation of windowed producers and the paper's
+    fused-softmax rewrite (exp per completed tile, row-sum merged into
+    the consumer loop, division swapped to the end).  Tests compare the
+    two to establish that every block order Chimera selects preserves
+    the chain's dependencies and numerics. *)
+
+type env = (string, Tensor.Dense.t) Hashtbl.t
+(** Tensor storage by name. *)
+
+val make_env : Ir.Chain.t -> seed:int -> env
+(** Allocate every tensor of the chain: chain inputs filled uniformly
+    from [-1, 1) with the deterministic generator, intermediates and
+    outputs zeroed. *)
+
+val tensor : env -> string -> Tensor.Dense.t
+(** Lookup; raises [Not_found]. *)
+
+val run_reference : Ir.Chain.t -> env -> unit
+(** Execute the standalone stages in order, materialising every
+    intermediate in full and applying epilogues tensor-at-a-time
+    (softmax normalised row by row). *)
+
+val run_fused :
+  ?micro:
+    (m:int -> n:int -> k:int -> Microkernel.Kernel_sig.buffers -> unit) ->
+  ?bounds:(string * (int * int)) list -> ?zero:bool -> Ir.Chain.t ->
+  perm:string list -> tiling:Analytical.Tiling.t -> env -> unit
+(** Execute the fused block loop nest.  Works for any permutation of the
+    fused axes: producers run on the first visit of loops they do not
+    own, consumers wait for producers' reduction loops to complete, and
+    recomputed window halo points are deduplicated.  Blocks that are
+    plain (batched) matrix multiplications execute through [micro]
+    (default: the reference micro-kernel semantics) over flat slices.
+    [bounds] restricts (safely parallel) axes to one task's slice;
+    [zero:false] skips clearing the non-input tensors (the parallel
+    coordinator clears them once). *)
+
+val run_kernel : Codegen.Kernel.t -> env -> unit
+(** {!run_fused} with the kernel's primary order and tiling. *)
+
+val outputs_match :
+  ?rtol:float -> ?atol:float -> Ir.Chain.t -> env -> env -> bool
+(** Compare the chain's non-input tensors between two environments. *)

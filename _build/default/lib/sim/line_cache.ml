@@ -1,0 +1,72 @@
+type t = {
+  line_bytes : int;
+  ways : int;
+  sets : int;
+  tags : int array array;  (* [set][way], -1 = invalid *)
+  stamps : int array array;  (* LRU timestamps *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let create ~capacity_bytes ~line_bytes ?(ways = 8) () =
+  if capacity_bytes <= 0 || line_bytes <= 0 || ways <= 0 then
+    invalid_arg "Line_cache.create: non-positive parameter";
+  if capacity_bytes mod (line_bytes * ways) <> 0 then
+    invalid_arg "Line_cache.create: capacity not a multiple of ways * line";
+  let sets = capacity_bytes / (line_bytes * ways) in
+  {
+    line_bytes;
+    ways;
+    sets;
+    tags = Array.make_matrix sets ways (-1);
+    stamps = Array.make_matrix sets ways 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+let access t ~addr =
+  if addr < 0 then invalid_arg "Line_cache.access: negative address";
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  let line = addr / t.line_bytes in
+  let set = line mod t.sets in
+  let tag = line / t.sets in
+  let tags = t.tags.(set) and stamps = t.stamps.(set) in
+  let found = ref (-1) in
+  for w = 0 to t.ways - 1 do
+    if tags.(w) = tag then found := w
+  done;
+  if !found >= 0 then begin
+    stamps.(!found) <- t.clock;
+    Lru.Hit
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* Replace the least recently used way. *)
+    let victim = ref 0 in
+    for w = 1 to t.ways - 1 do
+      if stamps.(w) < stamps.(!victim) then victim := w
+    done;
+    tags.(!victim) <- tag;
+    stamps.(!victim) <- t.clock;
+    Lru.Miss
+  end
+
+let access_range t ~addr ~bytes =
+  if bytes > 0 then begin
+    let first = addr / t.line_bytes in
+    let last = (addr + bytes - 1) / t.line_bytes in
+    for line = first to last do
+      ignore (access t ~addr:(line * t.line_bytes))
+    done
+  end
+
+let accesses t = t.accesses
+let misses t = t.misses
+let bytes_in t = float_of_int (t.misses * t.line_bytes)
+
+let hit_rate t =
+  if t.accesses = 0 then 1.0
+  else 1.0 -. (float_of_int t.misses /. float_of_int t.accesses)

@@ -1,0 +1,31 @@
+(** A set-associative, line-granular cache model with per-set LRU
+    replacement — the fine-grained validation counterpart of the
+    tile-granular {!Lru} model.  Used by tests to check that the two
+    agree on small traces, so the fast tile model can stand in for it on
+    paper-sized problems. *)
+
+type t
+(** A mutable cache. *)
+
+val create :
+  capacity_bytes:int -> line_bytes:int -> ?ways:int -> unit -> t
+(** [ways] defaults to 8.  Capacity must be a multiple of
+    [line_bytes * ways]. *)
+
+val access : t -> addr:int -> Lru.outcome
+(** Touch one byte address. *)
+
+val access_range : t -> addr:int -> bytes:int -> unit
+(** Touch every line in [addr, addr+bytes). *)
+
+val accesses : t -> int
+(** Line-granular access count. *)
+
+val misses : t -> int
+(** Line fills. *)
+
+val bytes_in : t -> float
+(** [misses * line_bytes]. *)
+
+val hit_rate : t -> float
+(** [1 - misses/accesses] (1.0 when never accessed). *)

@@ -1,0 +1,130 @@
+(* Doubly-linked recency list with a hash index.  The list head is the
+   most recently used entry, the tail the eviction candidate. *)
+
+type node = {
+  key : string;
+  mutable bytes : int;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  capacity_bytes : int;
+  index : (string, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable resident : int;
+  mutable accesses : int;
+  mutable hits : int;
+  mutable bytes_in : float;
+  mutable bytes_accessed : float;
+}
+
+type outcome = Hit | Miss
+
+let create ~capacity_bytes =
+  if capacity_bytes <= 0 then invalid_arg "Lru.create: non-positive capacity";
+  {
+    capacity_bytes;
+    index = Hashtbl.create 1024;
+    head = None;
+    tail = None;
+    resident = 0;
+    accesses = 0;
+    hits = 0;
+    bytes_in = 0.0;
+    bytes_accessed = 0.0;
+  }
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let evict_one t =
+  match t.tail with
+  | None -> ()
+  | Some victim ->
+      unlink t victim;
+      Hashtbl.remove t.index victim.key;
+      t.resident <- t.resident - victim.bytes
+
+let access ?(charge = true) t ~key ~bytes =
+  if bytes < 0 then invalid_arg "Lru.access: negative size";
+  t.accesses <- t.accesses + 1;
+  t.bytes_accessed <- t.bytes_accessed +. float_of_int bytes;
+  match Hashtbl.find_opt t.index key with
+  | Some node ->
+      t.hits <- t.hits + 1;
+      (* A tile's footprint can grow between accesses (different block
+         shapes touching the same region); account the delta. *)
+      if bytes > node.bytes then begin
+        t.bytes_in <- t.bytes_in +. float_of_int (bytes - node.bytes);
+        if bytes > t.capacity_bytes then begin
+          (* Grown beyond the whole cache: stream it out. *)
+          unlink t node;
+          Hashtbl.remove t.index node.key;
+          t.resident <- t.resident - node.bytes
+        end
+        else begin
+          t.resident <- t.resident + (bytes - node.bytes);
+          node.bytes <- bytes;
+          (* Refresh recency first so the eviction loop below drains the
+             other entries and terminates with just this node resident. *)
+          unlink t node;
+          push_front t node;
+          let is_tail n = match t.tail with Some tl -> tl == n | None -> false in
+          while t.resident > t.capacity_bytes && not (is_tail node) do
+            evict_one t
+          done
+        end
+      end
+      else begin
+        unlink t node;
+        push_front t node
+      end;
+      Hit
+  | None ->
+      if charge then t.bytes_in <- t.bytes_in +. float_of_int bytes;
+      if bytes <= t.capacity_bytes then begin
+        while t.resident + bytes > t.capacity_bytes do
+          evict_one t
+        done;
+        let node = { key; bytes; prev = None; next = None } in
+        Hashtbl.add t.index key node;
+        push_front t node;
+        t.resident <- t.resident + bytes
+      end;
+      Miss
+
+let accesses t = t.accesses
+let hits t = t.hits
+let misses t = t.accesses - t.hits
+let bytes_in t = t.bytes_in
+let bytes_accessed t = t.bytes_accessed
+
+let hit_rate t =
+  if t.accesses = 0 then 1.0 else float_of_int t.hits /. float_of_int t.accesses
+
+let resident_bytes t = t.resident
+
+let clear t =
+  Hashtbl.reset t.index;
+  t.head <- None;
+  t.tail <- None;
+  t.resident <- 0;
+  t.accesses <- 0;
+  t.hits <- 0;
+  t.bytes_in <- 0.0;
+  t.bytes_accessed <- 0.0

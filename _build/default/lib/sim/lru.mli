@@ -1,0 +1,49 @@
+(** A byte-capacity LRU cache over named objects (data tiles).
+
+    Used as the "measured" counterpart of the analytical model: the
+    execution engine replays a kernel's tile access trace against one
+    LRU per memory level and counts the bytes each level pulls in —
+    the simulator stand-in for the hardware traffic counters the paper
+    profiles in Figure 8. *)
+
+type t
+(** A mutable cache. *)
+
+type outcome = Hit | Miss
+
+val create : capacity_bytes:int -> t
+(** An empty cache.  Raises on non-positive capacity. *)
+
+val access : ?charge:bool -> t -> key:string -> bytes:int -> outcome
+(** Touch an object.  A hit refreshes recency; a miss evicts
+    least-recently-used objects until the newcomer fits and inserts it.
+    Objects larger than the whole capacity stream through: they count as
+    misses but are not cached and evict nothing.  [charge:false] makes a
+    miss allocate without adding to {!bytes_in} — the first touch of an
+    on-chip scratch buffer, which arrives from nowhere. *)
+
+val accesses : t -> int
+(** Total number of {!access} calls. *)
+
+val hits : t -> int
+(** Accesses that hit. *)
+
+val misses : t -> int
+(** Accesses that missed. *)
+
+val bytes_in : t -> float
+(** Total bytes pulled in by misses — the traffic across this level's
+    upstream link. *)
+
+val bytes_accessed : t -> float
+(** Total bytes touched (hits + misses) — the traffic this level serves
+    downstream. *)
+
+val hit_rate : t -> float
+(** [hits / accesses] (1.0 when never accessed). *)
+
+val resident_bytes : t -> int
+(** Current occupancy. *)
+
+val clear : t -> unit
+(** Drop contents and statistics. *)

@@ -1,0 +1,78 @@
+let tasks_of (chain : Ir.Chain.t) tiling =
+  let axes = Analytical.Parallelism.parallel_axes chain in
+  List.fold_left
+    (fun tasks axis ->
+      let extent = Ir.Chain.extent_of chain axis in
+      let tile = Analytical.Tiling.get tiling axis in
+      let rec blocks acc s =
+        if s >= extent then List.rev acc
+        else blocks ((s, min extent (s + tile)) :: acc) (s + tile)
+      in
+      let ranges = blocks [] 0 in
+      List.concat_map
+        (fun task -> List.map (fun r -> (axis, r) :: task) ranges)
+        tasks)
+    [ [] ] axes
+
+(* A task-private view of the environment: intermediates are fresh
+   zeroed tensors (the task's halo buffers); everything else aliases the
+   shared storage.  Tasks write disjoint slices of the shared tensors
+   because their bounds partition the parallel axes, which index every
+   stage's output. *)
+let private_env (chain : Ir.Chain.t) (shared : Exec.env) =
+  let env : Exec.env = Hashtbl.create 8 in
+  let intermediates = Ir.Chain.intermediate_names chain in
+  List.iter
+    (fun name ->
+      let t = Exec.tensor shared name in
+      if List.mem name intermediates then
+        Hashtbl.replace env name
+          (Tensor.Dense.create ~dtype:(Tensor.Dense.dtype t)
+             (Tensor.Dense.shape t))
+      else Hashtbl.replace env name t)
+    (Ir.Chain.tensor_names chain);
+  env
+
+let zero_outputs (chain : Ir.Chain.t) env =
+  let produced =
+    List.map
+      (fun (s : Ir.Chain.stage) -> s.op.Ir.Operator.output.Ir.Operator.tensor)
+      chain.stages
+  in
+  List.iter (fun name -> Tensor.Dense.fill (Exec.tensor env name) 0.0) produced
+
+let run_fused_parallel ?domains (chain : Ir.Chain.t) ~perm ~tiling env =
+  let tasks = tasks_of chain tiling in
+  let n_tasks = List.length tasks in
+  let n_domains =
+    let d =
+      Option.value domains ~default:(Domain.recommended_domain_count ())
+    in
+    Util.Ints.clamp ~lo:1 ~hi:(max 1 n_tasks) d
+  in
+  zero_outputs chain env;
+  if n_domains = 1 then
+    List.iter
+      (fun bounds ->
+        let task_env = private_env chain env in
+        Exec.run_fused ~bounds ~zero:false chain ~perm ~tiling task_env)
+      tasks
+  else begin
+    (* Round-robin the tasks over the domains. *)
+    let chunks = Array.make n_domains [] in
+    List.iteri
+      (fun i task -> chunks.(i mod n_domains) <- task :: chunks.(i mod n_domains))
+      tasks;
+    let work chunk () =
+      List.iter
+        (fun bounds ->
+          let task_env = private_env chain env in
+          Exec.run_fused ~bounds ~zero:false chain ~perm ~tiling task_env)
+        chunk
+    in
+    let spawned =
+      Array.to_list
+        (Array.map (fun chunk -> Domain.spawn (work chunk)) chunks)
+    in
+    List.iter Domain.join spawned
+  end

@@ -1,0 +1,24 @@
+(** Multicore numeric execution of fused kernels (OCaml 5 domains).
+
+    The safely-parallel axes ([Analytical.Parallelism]) partition every
+    stage's work and the chain's output into disjoint slices, so tasks
+    can run on separate domains with no synchronisation: each task gets
+    private copies of the intermediate tensors (the per-core halo
+    buffers a real fused kernel allocates) and writes its disjoint slice
+    of the shared outputs.
+
+    This both demonstrates that the parallelism analysis is sound —
+    results must equal the sequential execution bit-for-bit up to
+    floating-point associativity inside a task, which is preserved
+    because tasks never share accumulations — and speeds up the numeric
+    checker on multicore hosts. *)
+
+val run_fused_parallel :
+  ?domains:int -> Ir.Chain.t -> perm:string list ->
+  tiling:Analytical.Tiling.t -> Exec.env -> unit
+(** Execute the fused loop nest with tasks spread over [domains]
+    (default: [Domain.recommended_domain_count], capped by the task
+    count).  Semantics identical to [Exec.run_fused]. *)
+
+val tasks_of : Ir.Chain.t -> Analytical.Tiling.t -> (string * (int * int)) list list
+(** The per-task bounds: one entry per parallel block combination. *)

@@ -1,0 +1,111 @@
+type report = {
+  time_seconds : float;
+  compute_seconds : float;
+  memory_seconds : float;
+  per_level_cost : (string * float) list;
+  micro_efficiency : float;
+  parallel_efficiency : float;
+  flops : float;
+  dram_bytes : float;
+  launch_seconds : float;
+  kernels_launched : int;
+}
+
+let launch_overhead_seconds (machine : Arch.Machine.t) =
+  match machine.Arch.Machine.backend with
+  | Arch.Machine.Cpu -> 2e-6
+  | Arch.Machine.Gpu -> 5e-6
+  | Arch.Machine.Npu -> 5e-6
+
+let unified_buffer_bandwidth_gbps = 400.0
+
+let intermediate_bytes (chain : Ir.Chain.t) =
+  List.fold_left
+    (fun acc name ->
+      acc +. float_of_int (Ir.Operator.tensor_bytes (Ir.Chain.find_ref chain name)))
+    0.0
+    (Ir.Chain.intermediate_names chain)
+
+let estimate ?(kernels_launched = 1) ?dram_bytes (kernel : Codegen.Kernel.t) =
+  let machine = kernel.Codegen.Kernel.machine in
+  let chain = kernel.Codegen.Kernel.chain in
+  let flops = Ir.Chain.fused_flops chain in
+  let micro_efficiency = Codegen.Kernel.micro_efficiency kernel in
+  let parallel_efficiency =
+    Analytical.Parallelism.efficiency chain kernel.Codegen.Kernel.tiling
+      ~cores:machine.Arch.Machine.cores
+  in
+  let compute_seconds =
+    flops
+    /. (Arch.Machine.peak_flops machine *. micro_efficiency
+       *. parallel_efficiency)
+  in
+  let analytic_dv = Codegen.Kernel.predicted_dv_bytes kernel in
+  let dram_bytes = Option.value dram_bytes ~default:analytic_dv in
+  let per_level_cost =
+    match kernel.Codegen.Kernel.level_plans with
+    | [] ->
+        [ ("DRAM", dram_bytes /. (Arch.Machine.dram_bandwidth_gbps machine *. 1e9)) ]
+    | lps ->
+        List.map
+          (fun (lp : Analytical.Planner.level_plan) ->
+            let dv =
+              (* The outermost on-chip level's fill traffic is the DRAM
+                 traffic; honour a simulator-measured override there. *)
+              if
+                lp.Analytical.Planner.level.Arch.Level.name
+                = (Arch.Machine.primary_on_chip machine).Arch.Level.name
+              then dram_bytes
+              else
+                lp.Analytical.Planner.plan.Analytical.Planner.movement
+                  .Analytical.Movement.dv_bytes
+            in
+            ( lp.Analytical.Planner.level.Arch.Level.name,
+              dv /. (lp.Analytical.Planner.feed_bandwidth_gbps *. 1e9) ))
+          lps
+  in
+  let per_level_cost =
+    match machine.Arch.Machine.backend with
+    | Arch.Machine.Npu ->
+        (* Intermediate results of the producer transfer through the
+           Unified Buffer; when they fit, they simply stay there, but a
+           larger intermediate round-trips through it (the Figure 7
+           bottleneck on big GEMMs). *)
+        let inter = intermediate_bytes chain in
+        let ub_cost =
+          if inter <= float_of_int Arch.Presets.ascend_unified_buffer_bytes
+          then 0.0
+          else 2.0 *. inter /. (unified_buffer_bandwidth_gbps *. 1e9)
+        in
+        per_level_cost @ [ ("UB", ub_cost) ]
+    | Arch.Machine.Cpu | Arch.Machine.Gpu -> per_level_cost
+  in
+  let memory_seconds =
+    List.fold_left (fun acc (_, c) -> Float.max acc c) 0.0 per_level_cost
+  in
+  let launch_seconds =
+    float_of_int kernels_launched *. launch_overhead_seconds machine
+  in
+  (* A well-scheduled kernel hides transfers behind the pipeline (the
+     roofline max); a poorly scheduled one serialises them.  The micro
+     kernel's overlap factor interpolates between the two. *)
+  let overlap = kernel.Codegen.Kernel.micro.Microkernel.Kernel_sig.overlap in
+  let time_seconds =
+    Float.max compute_seconds memory_seconds
+    +. ((1.0 -. overlap) *. Float.min compute_seconds memory_seconds)
+    +. launch_seconds
+  in
+  {
+    time_seconds;
+    compute_seconds;
+    memory_seconds;
+    per_level_cost;
+    micro_efficiency;
+    parallel_efficiency;
+    flops;
+    dram_bytes;
+    launch_seconds;
+    kernels_launched;
+  }
+
+let gflops r = r.flops /. r.time_seconds /. 1e9

@@ -1,0 +1,44 @@
+(** Execution-time estimation for compiled kernels.
+
+    The model is the paper's: a kernel is as fast as its slowest stage —
+    the compute pipeline at [peak * micro-kernel efficiency], or the
+    slowest memory level at [DV_d / bw_d] (Equations 2–3) — plus a fixed
+    per-kernel launch overhead.  The NPU additionally models the Ascend
+    Unified Buffer through which the producer's intermediate results
+    transfer (the Figure 7 bottleneck). *)
+
+type report = {
+  time_seconds : float;
+      (** the estimate: [max(compute, memory) + (1 - overlap) *
+          min(compute, memory) + launch], where [overlap] is the micro
+          kernel's modelled ability to hide transfers behind compute. *)
+  compute_seconds : float;
+  memory_seconds : float;  (** slowest memory level (Eq. 3 objective). *)
+  per_level_cost : (string * float) list;  (** (level, seconds). *)
+  micro_efficiency : float;
+  parallel_efficiency : float;
+      (** core occupancy: LPT load-balance efficiency of the tiling's
+          safely-parallel tasks ([Analytical.Parallelism]). *)
+  flops : float;
+  dram_bytes : float;  (** modelled DRAM traffic. *)
+  launch_seconds : float;
+  kernels_launched : int;
+}
+
+val launch_overhead_seconds : Arch.Machine.t -> float
+(** Fixed cost of dispatching one kernel (2 us CPU, 5 us GPU and NPU —
+    engineering estimates recorded in DESIGN.md). *)
+
+val unified_buffer_bandwidth_gbps : float
+(** Modelled DMA bandwidth of the Ascend Unified Buffer (400 GB/s);
+    charged as a round-trip only when the chain's intermediate exceeds
+    the 256 KiB buffer. *)
+
+val estimate :
+  ?kernels_launched:int -> ?dram_bytes:float -> Codegen.Kernel.t -> report
+(** Estimate a kernel's execution time.  [dram_bytes] overrides the
+    analytical DV with a simulator-measured value; [kernels_launched]
+    defaults to 1. *)
+
+val gflops : report -> float
+(** Achieved GFLOP/s implied by the report. *)

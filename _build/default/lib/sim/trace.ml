@@ -1,0 +1,278 @@
+type starts = (string * int) list
+
+let iter_blocks ?(bounds = []) ~perm ~tiling ~f () =
+  let axes = Array.of_list perm in
+  let n = Array.length axes in
+  let tiles = Array.map (fun a -> Analytical.Tiling.get tiling a) axes in
+  let ranges =
+    Array.map
+      (fun a ->
+        match List.assoc_opt a bounds with
+        | Some (lo, hi) -> (lo, hi)
+        | None -> (0, Analytical.Tiling.extent_of tiling a))
+      axes
+  in
+  let starts = Array.make n 0 in
+  let rec go i =
+    if i = n then
+      f (List.init n (fun j -> (axes.(j), starts.(j))))
+    else begin
+      let lo, hi = ranges.(i) in
+      let s = ref lo in
+      while !s < hi do
+        starts.(i) <- !s;
+        go (i + 1);
+        s := !s + tiles.(i)
+      done
+    end
+  in
+  go 0
+
+(* Hierarchical iteration: visit the outermost level's blocks in its
+   order; within each block, cover it with the next level's sub-blocks in
+   *that* level's order, down to the innermost level — the loop structure
+   of the multi-level generated kernel (Section IV-C).  [levels] is
+   outermost first; the callback receives absolute origins at the
+   innermost level's granularity. *)
+let iter_blocks_hier ~levels ~f =
+  if levels = [] then invalid_arg "Trace.iter_blocks_hier: no levels";
+  (* Flatten the nest: one loop per (level, axis), stepping by that
+     level's tile within the enclosing level's block of the same axis. *)
+  let loops =
+    Array.of_list
+      (List.concat_map
+         (fun (perm, tiling) ->
+           List.map (fun axis -> (axis, tiling)) perm)
+         levels)
+  in
+  let n = Array.length loops in
+  let innermost_tiling = snd (List.nth levels (List.length levels - 1)) in
+  let extent axis = Analytical.Tiling.extent_of innermost_tiling axis in
+  (* Per-axis state: current absolute start and the enclosing block span
+     (the extent for the outermost occurrence). *)
+  let start : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let span : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let get tbl axis ~default =
+    match Hashtbl.find_opt tbl axis with Some v -> v | None -> default
+  in
+  let rec go i =
+    if i = n then begin
+      let starts =
+        List.map
+          (fun (perm, _) -> perm)
+          [ List.nth levels (List.length levels - 1) ]
+        |> List.concat
+        |> List.map (fun axis -> (axis, get start axis ~default:0))
+      in
+      f starts
+    end
+    else begin
+      let axis, tiling = loops.(i) in
+      let tile = Analytical.Tiling.get tiling axis in
+      let base = get start axis ~default:0 in
+      let enclosing = get span axis ~default:(extent axis) in
+      let limit = min (extent axis) (base + enclosing) in
+      let saved_start = Hashtbl.find_opt start axis in
+      let saved_span = Hashtbl.find_opt span axis in
+      let s = ref base in
+      while !s < limit do
+        Hashtbl.replace start axis !s;
+        Hashtbl.replace span axis tile;
+        go (i + 1);
+        s := !s + tile
+      done;
+      (match saved_start with
+      | Some v -> Hashtbl.replace start axis v
+      | None -> Hashtbl.remove start axis);
+      (match saved_span with
+      | Some v -> Hashtbl.replace span axis v
+      | None -> Hashtbl.remove span axis)
+    end
+  in
+  go 0
+
+let block_count ~perm ~tiling =
+  List.fold_left
+    (fun acc a -> acc *. float_of_int (Analytical.Tiling.trip_count tiling a))
+    1.0 perm
+
+let earlier_reductions (chain : Ir.Chain.t) ~stage_index =
+  List.concat
+    (List.filteri
+       (fun i _ -> i < stage_index)
+       (List.map
+          (fun (s : Ir.Chain.stage) -> s.op.Ir.Operator.reduction_axes)
+          chain.stages))
+
+let last_start tiling axis =
+  let extent = Analytical.Tiling.extent_of tiling axis in
+  let tile = Analytical.Tiling.get tiling axis in
+  (Util.Ints.ceil_div extent tile - 1) * tile
+
+let stage_runs (chain : Ir.Chain.t) ~stage_index ~tiling starts =
+  let stage = List.nth chain.stages stage_index in
+  let op = stage.Ir.Chain.op in
+  let waits_on = earlier_reductions chain ~stage_index in
+  List.for_all
+    (fun (axis, start) ->
+      if Ir.Operator.uses_axis op axis then true
+      else if List.mem axis waits_on then start = last_start tiling axis
+      else start = 0)
+    starts
+
+let is_last_reduction_block (stage : Ir.Chain.stage) ~tiling starts =
+  List.for_all
+    (fun axis ->
+      match List.assoc_opt axis starts with
+      | None -> true
+      | Some start -> start = last_start tiling axis)
+    stage.op.Ir.Operator.reduction_axes
+
+let tile_key (r : Ir.Operator.tensor_ref) starts =
+  let used = Ir.Access.axes_used r.access in
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf r.tensor;
+  List.iter
+    (fun (axis, start) ->
+      if List.mem axis used then begin
+        Buffer.add_char buf '|';
+        Buffer.add_string buf axis;
+        Buffer.add_char buf ':';
+        Buffer.add_string buf (string_of_int start)
+      end)
+    starts;
+  Buffer.contents buf
+
+type level_stats = {
+  level : Arch.Level.t;
+  hit_rate : float;
+  accesses : int;
+  misses : int;
+  bytes_in : float;
+  bytes_accessed : float;
+}
+
+type stats = {
+  levels : level_stats list;
+  dram_bytes : float;
+  blocks_visited : int;
+  stage_executions : int;
+}
+
+let run_measurement (chain : Ir.Chain.t) ~levels ~tiling ~spill_intermediates
+    ~iter =
+  let caches =
+    List.map
+      (fun (l : Arch.Level.t) -> (l, Lru.create ~capacity_bytes:l.capacity_bytes))
+      levels
+  in
+  let tile_of = Analytical.Tiling.tile_of tiling in
+  let stage_count = List.length chain.stages in
+  let blocks = ref 0 in
+  let execs = ref 0 in
+  let intermediates = Ir.Chain.intermediate_names chain in
+  (* The first touch of an intermediate tile is an on-chip allocation,
+     not a transfer; only re-loads after eviction move bytes. *)
+  let allocated : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
+  iter (fun starts ->
+      incr blocks;
+      for i = 0 to stage_count - 1 do
+        if stage_runs chain ~stage_index:i ~tiling starts then begin
+          incr execs;
+          let stage = List.nth chain.stages i in
+          List.iter
+            (fun (r : Ir.Operator.tensor_ref) ->
+              let bytes = Ir.Operator.tile_footprint_bytes r ~tile_of in
+              let is_intermediate = List.mem r.tensor intermediates in
+              let key = tile_key r starts in
+              (* Spilled intermediates live in DRAM like any IO tensor
+                 (first touch charged); kept intermediates are allocated
+                 on chip for free and only charge re-loads after
+                 eviction. *)
+              let charge =
+                (not is_intermediate) || spill_intermediates
+                ||
+                if Hashtbl.mem allocated key then true
+                else begin
+                  Hashtbl.add allocated key ();
+                  false
+                end
+              in
+              List.iter
+                (fun (_, cache) -> ignore (Lru.access ~charge cache ~key ~bytes))
+                caches)
+            (Ir.Operator.all_refs stage.Ir.Chain.op)
+        end
+      done);
+  (caches, blocks, execs)
+
+let stats_of caches blocks execs =
+  let level_stats =
+    List.map
+      (fun (level, cache) ->
+        {
+          level;
+          hit_rate = Lru.hit_rate cache;
+          accesses = Lru.accesses cache;
+          misses = Lru.misses cache;
+          bytes_in = Lru.bytes_in cache;
+          bytes_accessed = Lru.bytes_accessed cache;
+        })
+      caches
+  in
+  let dram_bytes =
+    match List.rev level_stats with
+    | outer :: _ -> outer.bytes_in
+    | [] -> 0.0
+  in
+  {
+    levels = level_stats;
+    dram_bytes;
+    blocks_visited = !blocks;
+    stage_executions = !execs;
+  }
+
+let measure_hier (chain : Ir.Chain.t) ~levels ~plan_levels
+    ?(spill_intermediates = false) () =
+  (match plan_levels with
+  | [] -> invalid_arg "Trace.measure_hier: no plan levels"
+  | (perm, _) :: _ -> Analytical.Movement.validate_perm chain perm);
+  let innermost_tiling = snd (List.nth plan_levels (List.length plan_levels - 1)) in
+  let caches, blocks, execs =
+    run_measurement chain ~levels ~tiling:innermost_tiling
+      ~spill_intermediates
+      ~iter:(fun f -> iter_blocks_hier ~levels:plan_levels ~f)
+  in
+  stats_of caches blocks execs
+
+let measure_chain (chain : Ir.Chain.t) ~levels ~perm ~tiling
+    ?(spill_intermediates = false) () =
+  Analytical.Movement.validate_perm chain perm;
+  let caches, blocks, execs =
+    run_measurement chain ~levels ~tiling ~spill_intermediates
+      ~iter:(fun f -> iter_blocks ~perm ~tiling ~f ())
+  in
+  stats_of caches blocks execs
+
+let measure (kernel : Codegen.Kernel.t) =
+  let chain = kernel.Codegen.Kernel.chain in
+  let machine = kernel.Codegen.Kernel.machine in
+  match kernel.Codegen.Kernel.level_plans with
+  | [] ->
+      measure_chain chain
+        ~levels:(Arch.Machine.on_chip_levels machine)
+        ~perm:kernel.Codegen.Kernel.perm ~tiling:kernel.Codegen.Kernel.tiling
+        ()
+  | lps ->
+      (* Outermost plan first, nesting inward — the generated loop
+         structure. *)
+      let plan_levels =
+        List.rev_map
+          (fun (lp : Analytical.Planner.level_plan) ->
+            ( lp.Analytical.Planner.plan.Analytical.Planner.perm,
+              lp.Analytical.Planner.plan.Analytical.Planner.tiling ))
+          lps
+      in
+      measure_hier chain
+        ~levels:(Arch.Machine.on_chip_levels machine)
+        ~plan_levels ()

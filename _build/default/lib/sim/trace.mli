@@ -1,0 +1,90 @@
+(** Block-level execution traces of a fused kernel.
+
+    The fused loop nest visits blocks in lexicographic order of the
+    chosen permutation; at each visit, each stage whose guard passes
+    (first visit of the loops it does not own; producers' reduction
+    loops complete before consumers run) touches its data tiles.  The
+    trace drives both the numeric executor and the cache simulator. *)
+
+type starts = (string * int) list
+(** Element-granular block origin: one (axis, start) per permuted axis. *)
+
+val iter_blocks :
+  ?bounds:(string * (int * int)) list -> perm:string list ->
+  tiling:Analytical.Tiling.t -> f:(starts -> unit) -> unit -> unit
+(** Visit every block origin in execution order (outermost axis
+    slowest).  [bounds] restricts named axes to a half-open element
+    range — how one parallel task covers its slice of the grid. *)
+
+val iter_blocks_hier :
+  levels:(string list * Analytical.Tiling.t) list -> f:(starts -> unit) ->
+  unit
+(** Multi-level iteration (Section IV-C): visit the outermost level's
+    blocks in its own order and cover each with the next level's
+    sub-blocks in *that* level's order, recursively.  [levels] is
+    outermost first; the callback receives absolute origins at the
+    innermost granularity. *)
+
+val block_count : perm:string list -> tiling:Analytical.Tiling.t -> float
+(** Number of visits {!iter_blocks} makes. *)
+
+val stage_runs :
+  Ir.Chain.t -> stage_index:int -> tiling:Analytical.Tiling.t -> starts ->
+  bool
+(** The guard: whether stage [stage_index] executes at this block visit.
+    For every permuted axis the stage does not own, the visit must be at
+    block 0 — or at the *last* block when the axis is a reduction loop
+    of an earlier stage (the consumer waits for the producer's tile to
+    complete). *)
+
+val is_last_reduction_block :
+  Ir.Chain.stage -> tiling:Analytical.Tiling.t -> starts -> bool
+(** Whether all of the stage's own reduction axes are at their final
+    block — the point where its output tile is complete and the
+    epilogue fires. *)
+
+val tile_key : Ir.Operator.tensor_ref -> starts -> string
+(** Stable identity of the data tile a reference touches from this
+    block: the tensor name plus the block origin restricted to the axes
+    the access uses. *)
+
+type level_stats = {
+  level : Arch.Level.t;
+  hit_rate : float;
+  accesses : int;
+  misses : int;
+  bytes_in : float;  (** traffic filling this level from outside. *)
+  bytes_accessed : float;  (** traffic this level serves inward. *)
+}
+
+type stats = {
+  levels : level_stats list;  (** innermost level first. *)
+  dram_bytes : float;
+      (** bytes crossing the DRAM boundary (the outermost level's
+          [bytes_in]). *)
+  blocks_visited : int;
+  stage_executions : int;
+}
+
+val measure_chain :
+  Ir.Chain.t -> levels:Arch.Level.t list -> perm:string list ->
+  tiling:Analytical.Tiling.t -> ?spill_intermediates:bool -> unit -> stats
+(** Replay the tile trace against one LRU per on-chip level (independent
+    capacities) and report per-level statistics — the simulator's
+    "hardware counters".  With [spill_intermediates] the intermediate
+    tensors bypass every cache (each touch moves their bytes), modelling
+    an implementation that does not keep producer results on chip
+    (Figure 8f). *)
+
+val measure_hier :
+  Ir.Chain.t -> levels:Arch.Level.t list ->
+  plan_levels:(string list * Analytical.Tiling.t) list ->
+  ?spill_intermediates:bool -> unit -> stats
+(** {!measure_chain} over the hierarchical iteration of
+    {!iter_blocks_hier}; tile accesses are issued at the innermost
+    level's granularity. *)
+
+val measure : Codegen.Kernel.t -> stats
+(** Replay a compiled kernel: hierarchical iteration over its level
+    plans (outermost plan's order outside, sub-block orders within)
+    against the machine's on-chip levels. *)

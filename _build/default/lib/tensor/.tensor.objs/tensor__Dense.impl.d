@@ -1,0 +1,1 @@
+lib/tensor/dense.ml: Array Dtype Float Shape Util

@@ -1,0 +1,68 @@
+type t = { shape : Shape.t; dtype : Dtype.t; data : float array }
+
+let create ?(dtype = Dtype.Fp16) shape =
+  { shape; dtype; data = Array.make (Shape.numel shape) 0.0 }
+
+let of_array ?(dtype = Dtype.Fp16) shape data =
+  if Array.length data <> Shape.numel shape then
+    invalid_arg "Dense.of_array: buffer length mismatch";
+  { shape; dtype; data }
+
+let shape t = t.shape
+let dtype t = t.dtype
+let numel t = Shape.numel t.shape
+let size_bytes t = numel t * Dtype.bytes t.dtype
+let get t idx = t.data.(Shape.linear_index t.shape idx)
+let set t idx v = t.data.(Shape.linear_index t.shape idx) <- v
+let get_flat t i = t.data.(i)
+let set_flat t i v = t.data.(i) <- v
+let fill t v = Array.fill t.data 0 (Array.length t.data) v
+
+let fill_random t ~prng ~lo ~hi =
+  for i = 0 to Array.length t.data - 1 do
+    t.data.(i) <- Util.Prng.uniform prng ~lo ~hi
+  done
+
+let copy t = { t with data = Array.copy t.data }
+let map f t = { t with data = Array.map f t.data }
+
+let iteri t f =
+  let rank = Shape.rank t.shape in
+  let idx = Array.make rank 0 in
+  let dims = Array.of_list (Shape.to_list t.shape) in
+  let n = numel t in
+  for flat = 0 to n - 1 do
+    f idx t.data.(flat);
+    (* Advance the multi-index like an odometer. *)
+    let rec bump i =
+      if i >= 0 then begin
+        idx.(i) <- idx.(i) + 1;
+        if idx.(i) = dims.(i) then begin
+          idx.(i) <- 0;
+          bump (i - 1)
+        end
+      end
+    in
+    bump (rank - 1)
+  done
+
+let max_abs_diff a b =
+  if not (Shape.equal a.shape b.shape) then
+    invalid_arg "Dense.max_abs_diff: shape mismatch";
+  let worst = ref 0.0 in
+  for i = 0 to Array.length a.data - 1 do
+    worst := Float.max !worst (Float.abs (a.data.(i) -. b.data.(i)))
+  done;
+  !worst
+
+let allclose ?(rtol = 1e-9) ?(atol = 1e-9) a b =
+  if not (Shape.equal a.shape b.shape) then
+    invalid_arg "Dense.allclose: shape mismatch";
+  let ok = ref true in
+  for i = 0 to Array.length a.data - 1 do
+    let d = Float.abs (a.data.(i) -. b.data.(i)) in
+    if d > atol +. (rtol *. Float.abs b.data.(i)) then ok := false
+  done;
+  !ok
+
+let to_flat_array t = t.data

@@ -1,0 +1,65 @@
+(** Dense row-major tensors backed by OCaml float arrays.
+
+    Used by the numeric executor to check that fused kernels compute the
+    same values as the unfused reference implementations. *)
+
+type t
+(** A mutable dense tensor. *)
+
+val create : ?dtype:Dtype.t -> Shape.t -> t
+(** Zero-initialised tensor; the default dtype is {!Dtype.Fp16}
+    (the paper evaluates in fp16). *)
+
+val of_array : ?dtype:Dtype.t -> Shape.t -> float array -> t
+(** Wrap an existing buffer; raises on a length mismatch.  The array is
+    used directly, not copied. *)
+
+val shape : t -> Shape.t
+(** The tensor's shape. *)
+
+val dtype : t -> Dtype.t
+(** The tensor's accounting dtype. *)
+
+val numel : t -> int
+(** Total element count. *)
+
+val size_bytes : t -> int
+(** [numel * Dtype.bytes dtype]: the footprint the analytical model and
+    simulator charge for this tensor. *)
+
+val get : t -> int array -> float
+(** Multi-index read. *)
+
+val set : t -> int array -> float -> unit
+(** Multi-index write. *)
+
+val get_flat : t -> int -> float
+(** Linear-index read. *)
+
+val set_flat : t -> int -> float -> unit
+(** Linear-index write. *)
+
+val fill : t -> float -> unit
+(** Set every element. *)
+
+val fill_random : t -> prng:Util.Prng.t -> lo:float -> hi:float -> unit
+(** Fill with uniform values from the deterministic generator. *)
+
+val copy : t -> t
+(** Deep copy. *)
+
+val map : (float -> float) -> t -> t
+(** Element-wise map into a fresh tensor. *)
+
+val iteri : t -> (int array -> float -> unit) -> unit
+(** Iterate in row-major order with the multi-index. *)
+
+val max_abs_diff : t -> t -> float
+(** Largest absolute element-wise difference; raises on shape mismatch. *)
+
+val allclose : ?rtol:float -> ?atol:float -> t -> t -> bool
+(** NumPy-style closeness: [|a - b| <= atol + rtol * |b|] element-wise.
+    Defaults: [rtol = 1e-9], [atol = 1e-9]. *)
+
+val to_flat_array : t -> float array
+(** The underlying buffer (not a copy). *)

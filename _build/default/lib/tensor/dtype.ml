@@ -1,0 +1,12 @@
+type t = Fp16 | Fp32 | Fp64
+
+let bytes = function Fp16 -> 2 | Fp32 -> 4 | Fp64 -> 8
+let to_string = function Fp16 -> "fp16" | Fp32 -> "fp32" | Fp64 -> "fp64"
+
+let of_string = function
+  | "fp16" -> Some Fp16
+  | "fp32" -> Some Fp32
+  | "fp64" -> Some Fp64
+  | _ -> None
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

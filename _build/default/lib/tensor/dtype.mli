@@ -1,0 +1,20 @@
+(** Element data types.
+
+    Numeric execution is always performed in OCaml [float] (IEEE 754
+    double); the dtype only determines the *byte accounting* used by the
+    analytical model and the memory-hierarchy simulator, exactly as the
+    paper's model depends on element width and not on rounding. *)
+
+type t = Fp16 | Fp32 | Fp64
+
+val bytes : t -> int
+(** Storage size in bytes of one element. *)
+
+val to_string : t -> string
+(** Lower-case name, e.g. ["fp16"]. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string}. *)
+
+val pp : Format.formatter -> t -> unit
+(** Formatter for {!to_string}. *)

@@ -1,0 +1,43 @@
+type t = { dims : int array; strides : int array }
+
+let of_list dims_list =
+  let dims = Array.of_list dims_list in
+  Array.iter
+    (fun d -> if d <= 0 then invalid_arg "Shape.of_list: non-positive extent")
+    dims;
+  let n = Array.length dims in
+  let strides = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * dims.(i + 1)
+  done;
+  { dims; strides }
+
+let to_list t = Array.to_list t.dims
+let rank t = Array.length t.dims
+
+let dim t i =
+  if i < 0 || i >= rank t then invalid_arg "Shape.dim: out of range";
+  t.dims.(i)
+
+let numel t = Array.fold_left ( * ) 1 t.dims
+let strides t = Array.copy t.strides
+
+let linear_index t idx =
+  if Array.length idx <> rank t then
+    invalid_arg "Shape.linear_index: rank mismatch";
+  let acc = ref 0 in
+  for i = 0 to rank t - 1 do
+    if idx.(i) < 0 || idx.(i) >= t.dims.(i) then
+      invalid_arg "Shape.linear_index: out of bounds";
+    acc := !acc + (idx.(i) * t.strides.(i))
+  done;
+  !acc
+
+let equal a b = a.dims = b.dims
+
+let to_string t =
+  "["
+  ^ String.concat "x" (List.map string_of_int (Array.to_list t.dims))
+  ^ "]"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

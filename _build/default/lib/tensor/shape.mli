@@ -1,0 +1,35 @@
+(** Dense row-major tensor shapes. *)
+
+type t
+(** An immutable shape: a list of positive dimension extents. *)
+
+val of_list : int list -> t
+(** Build a shape; raises [Invalid_argument] on non-positive extents. *)
+
+val to_list : t -> int list
+(** Extents, outermost first. *)
+
+val rank : t -> int
+(** Number of dimensions. *)
+
+val dim : t -> int -> int
+(** [dim t i] is the extent of dimension [i]; raises on out of range. *)
+
+val numel : t -> int
+(** Total number of elements. *)
+
+val strides : t -> int array
+(** Row-major element strides, one per dimension. *)
+
+val linear_index : t -> int array -> int
+(** Flatten a multi-index; raises [Invalid_argument] when the index is
+    out of bounds or has the wrong rank. *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val to_string : t -> string
+(** e.g. ["[12x512x64]"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Formatter for {!to_string}. *)

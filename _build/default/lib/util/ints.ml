@@ -1,0 +1,56 @@
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Ints.ceil_div: non-positive divisor";
+  if a < 0 then invalid_arg "Ints.ceil_div: negative dividend";
+  (a + b - 1) / b
+
+let clamp ~lo ~hi x =
+  if lo > hi then invalid_arg "Ints.clamp: lo > hi";
+  if x < lo then lo else if x > hi then hi else x
+
+let pow b e =
+  if e < 0 then invalid_arg "Ints.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (acc * b) (b * b) (e asr 1)
+    else go acc (b * b) (e asr 1)
+  in
+  go 1 b e
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if b = 0 then a else gcd b (a mod b)
+
+let lcm a b = if a = 0 || b = 0 then 0 else abs (a * b) / gcd a b
+
+let divisors n =
+  if n <= 0 then invalid_arg "Ints.divisors: non-positive argument";
+  let rec go i small large =
+    if i * i > n then List.rev_append small large
+    else if n mod i = 0 then
+      let large = if i * i = n then large else (n / i) :: large in
+      go (i + 1) (i :: small) large
+    else go (i + 1) small large
+  in
+  go 1 [] []
+
+let round_down_to_divisor n x =
+  let x = max 1 x in
+  let rec best acc = function
+    | [] -> acc
+    | d :: rest -> if d <= x then best d rest else acc
+  in
+  best 1 (divisors n)
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let prev_pow2 n =
+  if n < 1 then invalid_arg "Ints.prev_pow2";
+  let rec go p = if p * 2 > n then p else go (p * 2) in
+  go 1
+
+let next_pow2 n =
+  if n < 1 then invalid_arg "Ints.next_pow2";
+  if is_pow2 n then n else 2 * prev_pow2 n
+
+let sum = List.fold_left ( + ) 0
+let prod = List.fold_left ( * ) 1

@@ -1,0 +1,40 @@
+(** Small integer arithmetic helpers used throughout the framework. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [ceil (a / b)] for positive [b].
+    Raises [Invalid_argument] if [b <= 0] or [a < 0]. *)
+
+val clamp : lo:int -> hi:int -> int -> int
+(** [clamp ~lo ~hi x] bounds [x] into the inclusive range [lo, hi].
+    Raises [Invalid_argument] if [lo > hi]. *)
+
+val pow : int -> int -> int
+(** [pow b e] is [b] raised to the non-negative exponent [e]. *)
+
+val gcd : int -> int -> int
+(** Greatest common divisor of the absolute values. *)
+
+val lcm : int -> int -> int
+(** Least common multiple of the absolute values; [lcm 0 _ = 0]. *)
+
+val divisors : int -> int list
+(** All positive divisors of a positive integer, in increasing order. *)
+
+val round_down_to_divisor : int -> int -> int
+(** [round_down_to_divisor n x] is the largest divisor of [n] that is
+    [<= max 1 x].  Useful for snapping tile sizes onto even splits. *)
+
+val is_pow2 : int -> bool
+(** Whether the argument is a positive power of two. *)
+
+val prev_pow2 : int -> int
+(** Largest power of two [<= n] for [n >= 1]. *)
+
+val next_pow2 : int -> int
+(** Smallest power of two [>= n] for [n >= 1]. *)
+
+val sum : int list -> int
+(** Sum of a list. *)
+
+val prod : int list -> int
+(** Product of a list ([1] for the empty list). *)

@@ -1,0 +1,38 @@
+let factorial n =
+  if n < 0 || n > 20 then invalid_arg "Perm.factorial: out of range";
+  let rec go acc i = if i > n then acc else go (acc * i) (i + 1) in
+  go 1 2
+
+let all items =
+  if List.length items > 10 then
+    invalid_arg "Perm.all: refusing to enumerate more than 10! permutations";
+  (* Insert [x] at every position of [perm]. *)
+  let rec inserts x = function
+    | [] -> [ [ x ] ]
+    | y :: rest as perm ->
+        (x :: perm) :: List.map (fun p -> y :: p) (inserts x rest)
+  in
+  List.fold_left
+    (fun perms x -> List.concat_map (inserts x) perms)
+    [ [] ] items
+
+let all_arrays arr = List.map Array.of_list (all (Array.to_list arr))
+
+let rec interleavings xs ys =
+  match (xs, ys) with
+  | [], _ -> [ ys ]
+  | _, [] -> [ xs ]
+  | x :: xs', y :: ys' ->
+      List.map (fun m -> x :: m) (interleavings xs' ys)
+      @ List.map (fun m -> y :: m) (interleavings xs ys')
+
+let rank_of ~cmp perm =
+  (* Factorial-number-system ranking: each element contributes the count of
+     strictly smaller elements to its right, weighted by (len rest)!. *)
+  let rec rank acc = function
+    | [] -> acc
+    | x :: rest ->
+        let smaller = List.length (List.filter (fun y -> cmp y x < 0) rest) in
+        rank (acc + (smaller * factorial (List.length rest))) rest
+  in
+  rank 0 perm

@@ -1,0 +1,21 @@
+(** Permutation enumeration for the inter-block reordering search. *)
+
+val factorial : int -> int
+(** [factorial n] for [0 <= n <= 20]. *)
+
+val all : 'a list -> 'a list list
+(** All permutations of a list, in a deterministic order.  The input is
+    expected to be short (the paper's search spaces are at most 10!);
+    raises [Invalid_argument] beyond 10 elements to guard against
+    accidental explosions. *)
+
+val all_arrays : 'a array -> 'a array list
+(** Same as {!all} on arrays. *)
+
+val interleavings : 'a list -> 'a list -> 'a list list
+(** [interleavings xs ys] enumerates every merge of the two lists that
+    preserves the relative order inside each list. *)
+
+val rank_of : cmp:('a -> 'a -> int) -> 'a list -> int
+(** Lexicographic rank of a permutation of distinct elements among all
+    permutations of the same multiset (0-based). *)

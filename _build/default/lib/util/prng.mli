@@ -1,0 +1,38 @@
+(** Deterministic splittable pseudo-random number generator (SplitMix64).
+
+    All stochastic parts of the framework (synthetic tensor data, the
+    Ansor-like tuner, random tiling samples) draw from this generator so
+    that every experiment is reproducible bit-for-bit. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** A fresh generator from a seed. *)
+
+val copy : t -> t
+(** An independent clone with identical future output. *)
+
+val split : t -> t
+(** A statistically independent child generator; advances the parent. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> bound:int -> int
+(** Uniform integer in [0, bound).  Raises on [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform float in [0, 1). *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform float in [lo, hi). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

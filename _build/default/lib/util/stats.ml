@@ -1,0 +1,69 @@
+let check_non_empty name = function
+  | [] -> invalid_arg (name ^ ": empty list")
+  | _ -> ()
+
+let mean xs =
+  check_non_empty "Stats.mean" xs;
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean xs =
+  check_non_empty "Stats.geomean" xs;
+  List.iter
+    (fun x -> if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value")
+    xs;
+  exp (mean (List.map log xs))
+
+let stddev xs =
+  let m = mean xs in
+  let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+  sqrt var
+
+let minimum xs =
+  check_non_empty "Stats.minimum" xs;
+  List.fold_left min infinity xs
+
+let maximum xs =
+  check_non_empty "Stats.maximum" xs;
+  List.fold_left max neg_infinity xs
+
+let r_squared ~predicted ~measured =
+  if List.length predicted <> List.length measured then
+    invalid_arg "Stats.r_squared: length mismatch";
+  check_non_empty "Stats.r_squared" measured;
+  let mean_m = mean measured in
+  let ss_tot =
+    List.fold_left (fun acc y -> acc +. ((y -. mean_m) ** 2.0)) 0.0 measured
+  in
+  let ss_res =
+    List.fold_left2
+      (fun acc p y -> acc +. ((y -. p) ** 2.0))
+      0.0 predicted measured
+  in
+  if ss_tot = 0.0 then if ss_res = 0.0 then 1.0 else 0.0
+  else 1.0 -. (ss_res /. ss_tot)
+
+let pearson xs ys =
+  if List.length xs <> List.length ys then
+    invalid_arg "Stats.pearson: length mismatch";
+  check_non_empty "Stats.pearson" xs;
+  let mx = mean xs and my = mean ys in
+  let cov =
+    List.fold_left2 (fun acc x y -> acc +. ((x -. mx) *. (y -. my))) 0.0 xs ys
+  in
+  let sx = sqrt (List.fold_left (fun a x -> a +. ((x -. mx) ** 2.0)) 0.0 xs) in
+  let sy = sqrt (List.fold_left (fun a y -> a +. ((y -. my) ** 2.0)) 0.0 ys) in
+  if sx = 0.0 || sy = 0.0 then 0.0 else cov /. (sx *. sy)
+
+let linear_fit xs ys =
+  if List.length xs <> List.length ys then
+    invalid_arg "Stats.linear_fit: length mismatch";
+  check_non_empty "Stats.linear_fit" xs;
+  let mx = mean xs and my = mean ys in
+  let cov =
+    List.fold_left2 (fun acc x y -> acc +. ((x -. mx) *. (y -. my))) 0.0 xs ys
+  in
+  let var = List.fold_left (fun a x -> a +. ((x -. mx) ** 2.0)) 0.0 xs in
+  if var = 0.0 then (0.0, my)
+  else
+    let slope = cov /. var in
+    (slope, my -. (slope *. mx))

@@ -1,0 +1,27 @@
+(** Summary statistics used by the evaluation harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean.  Raises [Invalid_argument] on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values. *)
+
+val stddev : float list -> float
+(** Population standard deviation. *)
+
+val minimum : float list -> float
+(** Smallest element.  Raises on the empty list. *)
+
+val maximum : float list -> float
+(** Largest element.  Raises on the empty list. *)
+
+val r_squared : predicted:float list -> measured:float list -> float
+(** Coefficient of determination of [predicted] against [measured]
+    (1 - SS_res / SS_tot).  Lists must be the same non-empty length. *)
+
+val pearson : float list -> float list -> float
+(** Pearson correlation coefficient. *)
+
+val linear_fit : float list -> float list -> float * float
+(** [linear_fit xs ys] returns [(slope, intercept)] of the least-squares
+    line through the points. *)

@@ -1,0 +1,23 @@
+(** Plain-text table rendering for the benchmark harness output. *)
+
+type t
+(** A table under construction. *)
+
+val create : columns:string list -> t
+(** A table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must match the column count. *)
+
+val add_float_row : t -> string -> float list -> t
+(** [add_float_row t label xs] appends [label] followed by each float
+    formatted with 3 significant decimals; returns [t] for chaining. *)
+
+val render : t -> string
+(** Render with aligned columns and a header rule. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val to_csv : t -> string
+(** Comma-separated rendering (header row first, cells escaped). *)

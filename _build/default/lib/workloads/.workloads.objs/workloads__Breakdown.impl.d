@@ -1,0 +1,1 @@
+lib/workloads/breakdown.ml: Arch Format Gemm_configs List Networks Tensor

@@ -1,0 +1,1 @@
+lib/workloads/breakdown.mli: Arch Format Networks

@@ -1,0 +1,1 @@
+lib/workloads/conv_configs.mli: Ir

@@ -1,0 +1,1 @@
+lib/workloads/gemm_configs.mli: Ir

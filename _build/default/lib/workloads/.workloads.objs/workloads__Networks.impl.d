@@ -1,0 +1,1 @@
+lib/workloads/networks.ml: Gemm_configs List Tensor

@@ -1,0 +1,1 @@
+lib/workloads/networks.mli: Gemm_configs Tensor

@@ -1,0 +1,65 @@
+type t = {
+  mi_pct : float;
+  ci_pct : float;
+  bmm_pct : float;
+  total_seconds : float;
+}
+
+(* Library-behaviour constants (documented in DESIGN.md): dense GEMMs in
+   vendor libraries sustain ~35% of fp16 peak at transformer sizes; the
+   small, batch-strided attention GEMMs reach only ~25% of DRAM
+   bandwidth and pay a kernel launch each; element-wise kernels stream
+   at full bandwidth. *)
+let gemm_efficiency = 0.35
+let bmm_bandwidth_efficiency = 0.25
+let bmm_launch_seconds = 5e-6
+
+let roofline machine ~flops ~bytes =
+  Arch.Roofline.time_seconds machine ~flops ~bytes ~efficiency:gemm_efficiency
+    ()
+
+let memory_time machine ~bytes =
+  bytes /. (Arch.Machine.dram_bandwidth_gbps machine *. 1e9)
+
+let analyze (net : Networks.t) ~machine =
+  let b = float_of_int (Tensor.Dtype.bytes net.Networks.dtype) in
+  let mi = ref 0.0 and ci = ref 0.0 and bmm = ref 0.0 in
+  List.iter
+    (fun component ->
+      match component with
+      | Networks.Linear { m; n; k } ->
+          let flops = Networks.linear_flops ~m ~n ~k in
+          let bytes = b *. float_of_int ((m * k) + (k * n) + (m * n)) in
+          ci := !ci +. roofline machine ~flops ~bytes
+      | Networks.Elementwise { elems; passes } ->
+          mi :=
+            !mi +. memory_time machine ~bytes:(b *. float_of_int (elems * passes))
+      | Networks.Attention c ->
+          let fb = float_of_int c.Gemm_configs.batch in
+          let gemm ~m ~n ~k =
+            let bytes = fb *. b *. float_of_int ((m * k) + (k * n) + (m * n)) in
+            (memory_time machine ~bytes /. bmm_bandwidth_efficiency)
+            +. bmm_launch_seconds
+          in
+          bmm :=
+            !bmm
+            +. gemm ~m:c.Gemm_configs.m ~n:c.Gemm_configs.l ~k:c.Gemm_configs.k
+            +. gemm ~m:c.Gemm_configs.m ~n:c.Gemm_configs.n ~k:c.Gemm_configs.l;
+          (* The softmax between the GEMMs: three memory passes. *)
+          let softmax_bytes =
+            3.0 *. fb *. b
+            *. float_of_int (c.Gemm_configs.m * c.Gemm_configs.l)
+          in
+          mi := !mi +. memory_time machine ~bytes:softmax_bytes)
+    (Networks.components net);
+  let total = !mi +. !ci +. !bmm in
+  {
+    mi_pct = 100.0 *. !mi /. total;
+    ci_pct = 100.0 *. !ci /. total;
+    bmm_pct = 100.0 *. !bmm /. total;
+    total_seconds = total;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "MI %.1f%%  CI %.1f%%  BMM %.1f%%" t.mi_pct t.ci_pct
+    t.bmm_pct

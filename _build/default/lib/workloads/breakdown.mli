@@ -1,0 +1,31 @@
+(** The Table I execution-time breakdown: how much of a network's
+    (unfused, library-style) inference time goes to memory-intensive
+    operators (%MI), to compute-intensive operators other than the
+    attention batch GEMMs (%CI), and to the memory-bound attention batch
+    GEMMs themselves (%BMM). *)
+
+type t = {
+  mi_pct : float;
+  ci_pct : float;
+  bmm_pct : float;
+  total_seconds : float;
+}
+
+val gemm_efficiency : float
+(** Modelled library dense-GEMM efficiency against peak (0.35 at
+    transformer sizes). *)
+
+val bmm_bandwidth_efficiency : float
+(** Fraction of DRAM bandwidth the small batch-strided attention GEMMs
+    sustain (0.25). *)
+
+val bmm_launch_seconds : float
+(** Per-BMM-kernel launch overhead (5 us). *)
+
+val analyze : Networks.t -> machine:Arch.Machine.t -> t
+(** Roofline-estimate every component executed unfused and aggregate by
+    class.  The attention chain contributes its two batch GEMMs to %BMM
+    and its softmax passes to %MI. *)
+
+val pp : Format.formatter -> t -> unit
+(** e.g. ["MI 30.6%  CI 42.8%  BMM 26.7%"]. *)

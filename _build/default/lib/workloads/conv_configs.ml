@@ -1,0 +1,35 @@
+type t = {
+  name : string;
+  ic : int;
+  h : int;
+  w : int;
+  oc1 : int;
+  oc2 : int;
+  st1 : int;
+  st2 : int;
+  k1 : int;
+  k2 : int;
+}
+
+let mk name ic h w oc1 oc2 st1 st2 k1 k2 =
+  { name; ic; h; w; oc1; oc2; st1; st2; k1; k2 }
+
+let all =
+  [
+    mk "C1" 64 112 112 192 128 2 1 3 1;
+    mk "C2" 32 147 147 64 80 2 1 3 1;
+    mk "C3" 64 56 56 128 64 1 1 3 1;
+    mk "C4" 128 28 28 256 128 1 1 3 1;
+    mk "C5" 16 227 227 64 16 4 1 3 1;
+    mk "C6" 64 56 56 64 64 1 1 1 3;
+    mk "C7" 64 56 56 64 64 1 1 1 1;
+    mk "C8" 256 56 56 256 64 1 1 1 1;
+  ]
+
+let by_name name = List.find_opt (fun c -> c.name = name) all
+
+let chain ?(relu = false) ?(batch = 1) c =
+  Ir.Chain.conv_chain
+    ~name:(c.name ^ if relu then "+relu" else "")
+    ~batch ~ic:c.ic ~h:c.h ~w:c.w ~oc1:c.oc1 ~oc2:c.oc2 ~st1:c.st1 ~st2:c.st2
+    ~k1:c.k1 ~k2:c.k2 ~relu ()

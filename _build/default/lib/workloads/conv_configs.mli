@@ -1,0 +1,27 @@
+(** The convolution chain configurations of Table V.
+
+    The first convolution is [(batch, IC, H, W) x (OC1, IC, k1, k1)] with
+    stride [st1]; the second consumes its output with a [(OC2, OC1, k2,
+    k2)] filter and stride [st2]. *)
+
+type t = {
+  name : string;  (** C1 .. C8. *)
+  ic : int;
+  h : int;
+  w : int;
+  oc1 : int;
+  oc2 : int;
+  st1 : int;
+  st2 : int;
+  k1 : int;
+  k2 : int;
+}
+
+val all : t list
+(** C1–C8, in table order. *)
+
+val by_name : string -> t option
+(** Lookup by the C-number. *)
+
+val chain : ?relu:bool -> ?batch:int -> t -> Ir.Chain.t
+(** Build the convolution chain ([batch] defaults to 1). *)

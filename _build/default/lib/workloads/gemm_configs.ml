@@ -1,0 +1,46 @@
+type t = {
+  name : string;
+  batch : int;
+  m : int;
+  n : int;
+  k : int;
+  l : int;
+  network : string;
+}
+
+let mk name batch m n k l network = { name; batch; m; n; k; l; network }
+
+let all =
+  [
+    mk "G1" 8 512 64 64 512 "Bert-Small";
+    mk "G2" 12 512 64 64 512 "Bert-Base";
+    mk "G3" 16 512 64 64 512 "Bert-Large";
+    mk "G4" 12 256 64 64 256 "ViT-Base/14";
+    mk "G5" 16 256 64 64 256 "ViT-Large/14";
+    mk "G6" 16 256 80 80 256 "ViT-Huge/14";
+    mk "G7" 12 208 64 64 208 "ViT-Base/16";
+    mk "G8" 16 208 64 64 208 "ViT-Large/16";
+    mk "G9" 16 208 80 80 208 "ViT-Huge/16";
+    mk "G10" 1 512 64 64 256 "MLP-Mixer";
+    mk "G11" 1 768 64 64 384 "MLP-Mixer";
+    mk "G12" 1 1024 64 64 512 "MLP-Mixer";
+  ]
+
+let by_name name = List.find_opt (fun c -> c.name = name) all
+
+let chain ?(softmax = false) ?batch_override c =
+  let batch = Option.value batch_override ~default:c.batch in
+  Ir.Chain.batch_gemm_chain
+    ~name:(c.name ^ if softmax then "+softmax" else "")
+    ~batch ~m:c.m ~n:c.n ~k:c.k ~l:c.l ~softmax ()
+
+let of_attention ~heads ~seq ~head_dim =
+  {
+    name = Printf.sprintf "attn-h%d-s%d-d%d" heads seq head_dim;
+    batch = heads;
+    m = seq;
+    n = head_dim;
+    k = head_dim;
+    l = seq;
+    network = "attention";
+  }

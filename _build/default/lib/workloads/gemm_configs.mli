@@ -1,0 +1,30 @@
+(** The batch-GEMM chain configurations of Table IV.
+
+    [(batch, M, K) x (batch, K, L)] is the first batch GEMM;
+    [(batch, M, L) x (batch, L, N)] is the second. *)
+
+type t = {
+  name : string;  (** G1 .. G12. *)
+  batch : int;
+  m : int;
+  n : int;
+  k : int;
+  l : int;
+  network : string;  (** the model the shape comes from. *)
+}
+
+val all : t list
+(** G1–G12, in table order. *)
+
+val by_name : string -> t option
+(** Lookup by the G-number. *)
+
+val chain : ?softmax:bool -> ?batch_override:int -> t -> Ir.Chain.t
+(** Build the batch-GEMM chain for a configuration.  [softmax] inserts
+    the attention softmax between the two GEMMs; [batch_override]
+    replaces the batch size (the NPU evaluation of Figure 7 uses
+    batch 1). *)
+
+val of_attention : heads:int -> seq:int -> head_dim:int -> t
+(** The attention BMM-chain shape of a transformer layer:
+    [batch = heads], [m = l = seq], [n = k = head_dim]. *)

@@ -1,0 +1,102 @@
+type component =
+  | Linear of { m : int; n : int; k : int }
+  | Attention of Gemm_configs.t
+  | Elementwise of { elems : int; passes : int }
+
+type t = {
+  name : string;
+  layers : int;
+  per_layer : component list;
+  dtype : Tensor.Dtype.t;
+}
+
+let transformer_block ~hidden ~heads ~seq ~ffn =
+  let head_dim = hidden / heads in
+  [
+    (* Q, K, V projections. *)
+    Linear { m = seq; n = 3 * hidden; k = hidden };
+    Attention (Gemm_configs.of_attention ~heads ~seq ~head_dim);
+    (* Attention output projection. *)
+    Linear { m = seq; n = hidden; k = hidden };
+    (* Residual add + layernorm. *)
+    Elementwise { elems = seq * hidden; passes = 2 };
+    Elementwise { elems = seq * hidden; passes = 3 };
+    (* Feed-forward. *)
+    Linear { m = seq; n = ffn; k = hidden };
+    Elementwise { elems = seq * ffn; passes = 2 } (* GELU *);
+    Linear { m = seq; n = hidden; k = ffn };
+    Elementwise { elems = seq * hidden; passes = 2 };
+    Elementwise { elems = seq * hidden; passes = 3 };
+  ]
+
+let encoder name ~layers ~hidden ~heads ~seq ?(ffn_mult = 4) () =
+  {
+    name;
+    layers;
+    per_layer = transformer_block ~hidden ~heads ~seq ~ffn:(ffn_mult * hidden);
+    dtype = Tensor.Dtype.Fp16;
+  }
+
+let transformer_small = encoder "TF-Small" ~layers:6 ~hidden:256 ~heads:4 ~seq:512 ()
+let transformer_base = encoder "TF-Base" ~layers:6 ~hidden:512 ~heads:8 ~seq:512 ()
+let transformer_large = encoder "TF-Large" ~layers:6 ~hidden:1024 ~heads:16 ~seq:512 ()
+let bert_small = encoder "Bert-Small" ~layers:4 ~hidden:512 ~heads:8 ~seq:512 ()
+let bert_base = encoder "Bert-Base" ~layers:12 ~hidden:768 ~heads:12 ~seq:512 ()
+let bert_large = encoder "Bert-Large" ~layers:24 ~hidden:1024 ~heads:16 ~seq:512 ()
+
+(* ViT /16 on 224x224 images: the paper's Table IV rounds the 197-token
+   sequence to 208. *)
+let vit_base = encoder "ViT-Base" ~layers:12 ~hidden:768 ~heads:12 ~seq:208 ()
+let vit_large = encoder "ViT-Large" ~layers:24 ~hidden:1024 ~heads:16 ~seq:208 ()
+
+let vit_huge =
+  (* ViT-Huge: hidden 1280, 16 heads of dimension 80. *)
+  encoder "ViT-Huge" ~layers:32 ~hidden:1280 ~heads:16 ~seq:208 ()
+
+let all =
+  [
+    transformer_small;
+    transformer_base;
+    transformer_large;
+    bert_small;
+    bert_base;
+    bert_large;
+    vit_base;
+    vit_large;
+    vit_huge;
+  ]
+
+let by_name name = List.find_opt (fun n -> n.name = name) all
+
+let components t = List.concat (List.init t.layers (fun _ -> t.per_layer))
+
+let attention_config t =
+  let rec find = function
+    | Attention c :: _ -> c
+    | _ :: rest -> find rest
+    | [] -> invalid_arg "Networks.attention_config: no attention component"
+  in
+  find t.per_layer
+
+let linear_flops ~m ~n ~k = 2.0 *. float_of_int m *. float_of_int n *. float_of_int k
+
+let component_bytes dtype component =
+  let b = float_of_int (Tensor.Dtype.bytes dtype) in
+  match component with
+  | Linear { m; n; k } -> b *. float_of_int ((m * k) + (k * n) + (m * n))
+  | Attention c ->
+      (* Unfused: both GEMMs' operands and results, with the
+         intermediate written and read back. *)
+      let io = (c.m * c.k) + (c.k * c.l) + (c.l * c.n) + (c.m * c.n) in
+      let inter = 2 * c.m * c.l in
+      b *. float_of_int (c.batch * (io + inter))
+  | Elementwise { elems; passes } -> b *. float_of_int (elems * passes)
+
+let component_flops = function
+  | Linear { m; n; k } -> linear_flops ~m ~n ~k
+  | Attention c ->
+      let fb = float_of_int c.batch in
+      fb *. (linear_flops ~m:c.m ~n:c.l ~k:c.k
+            +. linear_flops ~m:c.m ~n:c.n ~k:c.l)
+      +. (3.0 *. fb *. float_of_int (c.m * c.l))
+  | Elementwise { elems; passes = _ } -> float_of_int elems

@@ -1,0 +1,60 @@
+(** Whole-network workloads for the Table I breakdown and the Figure 9
+    end-to-end evaluation: Transformer, Bert and ViT encoders (batch 1,
+    sequence length 512 for the language models), described as the
+    per-layer components their inference executes. *)
+
+type component =
+  | Linear of { m : int; n : int; k : int }
+      (** a dense projection / FFN GEMM: (m, k) x (k, n). *)
+  | Attention of Gemm_configs.t
+      (** the attention batch-GEMM chain, with softmax in between. *)
+  | Elementwise of { elems : int; passes : int }
+      (** a memory-intensive op (layernorm, GELU, residual add) touching
+          [elems] elements [passes] times. *)
+
+type t = {
+  name : string;
+  layers : int;  (** identical transformer blocks. *)
+  per_layer : component list;
+  dtype : Tensor.Dtype.t;
+}
+
+val transformer_block :
+  hidden:int -> heads:int -> seq:int -> ffn:int -> component list
+(** One encoder block: QKV + output projections, the attention BMM
+    chain, the two FFN GEMMs, layernorms, GELU and residuals. *)
+
+val transformer_small : t
+val transformer_base : t
+val transformer_large : t
+val bert_small : t
+val bert_base : t
+val bert_large : t
+val vit_base : t
+val vit_large : t
+val vit_huge : t
+
+val all : t list
+(** The nine Figure 9 networks, in presentation order. *)
+
+val by_name : string -> t option
+(** Lookup, e.g. ["Bert-Base"]. *)
+
+val components : t -> component list
+(** All components of the full network ([layers] copies of
+    [per_layer]). *)
+
+val attention_config : t -> Gemm_configs.t
+(** The network's attention BMM-chain shape (all layers share it). *)
+
+val linear_flops : m:int -> n:int -> k:int -> float
+(** [2 m n k]. *)
+
+val component_bytes : Tensor.Dtype.t -> component -> float
+(** Unfused DRAM traffic of one component: operands + results for the
+    GEMMs (intermediates spilled for the attention chain), [passes *
+    elems] for element-wise ops. *)
+
+val component_flops : component -> float
+(** FLOPs of one component (element-wise ops count one FLOP per touched
+    element). *)

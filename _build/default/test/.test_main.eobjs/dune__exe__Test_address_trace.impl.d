@@ -1,0 +1,1 @@
+test/test_address_trace.ml: Alcotest Analytical Arch Helpers Ir List Printf Sim

@@ -1,0 +1,1 @@
+test/test_advisor.ml: Arch Chimera Helpers List Option String Workloads

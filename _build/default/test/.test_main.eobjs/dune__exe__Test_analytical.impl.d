@@ -1,0 +1,1 @@
+test/test_analytical.ml: Alcotest Analytical Arch Float Helpers Ir List Printf String Util

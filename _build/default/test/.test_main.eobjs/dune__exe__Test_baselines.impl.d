@@ -1,0 +1,1 @@
+test/test_baselines.ml: Arch Baselines Chimera Helpers Ir List Option Workloads

@@ -1,0 +1,1 @@
+test/test_chain3.ml: Alcotest Analytical Arch Chimera Helpers Ir List Printf Sim String

@@ -1,0 +1,1 @@
+test/test_chimera.ml: Alcotest Analytical Arch Chimera Codegen Helpers Ir List Microkernel String Util

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Analytical Arch Codegen Helpers Ir List Microkernel String

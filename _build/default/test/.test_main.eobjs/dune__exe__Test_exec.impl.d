@@ -1,0 +1,1 @@
+test/test_exec.ml: Analytical Arch Chimera Helpers Ir List Printf Sim String Tensor

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Arch Chimera Float Graph Helpers Ir List Result Sim

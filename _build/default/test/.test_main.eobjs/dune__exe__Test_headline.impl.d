@@ -1,0 +1,1 @@
+test/test_headline.ml: Analytical Arch Baselines Chimera Graph Helpers Ir List Option Printf Sim Util Workloads

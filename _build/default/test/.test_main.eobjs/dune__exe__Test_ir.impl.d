@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Format Helpers Ir List Tensor

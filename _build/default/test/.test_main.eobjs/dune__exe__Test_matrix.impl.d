@@ -1,0 +1,1 @@
+test/test_matrix.ml: Arch Chimera Float Helpers Ir List Printf Sim String

@@ -1,0 +1,1 @@
+test/test_microkernel.ml: Alcotest Arch Array Helpers List Microkernel Option Printf String

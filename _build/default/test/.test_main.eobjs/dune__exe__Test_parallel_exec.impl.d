@@ -1,0 +1,1 @@
+test/test_parallel_exec.ml: Analytical Helpers Ir List Printf Sim String

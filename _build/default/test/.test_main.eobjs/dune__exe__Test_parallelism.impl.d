@@ -1,0 +1,1 @@
+test/test_parallelism.ml: Alcotest Analytical Arch Array Helpers Ir List Microkernel

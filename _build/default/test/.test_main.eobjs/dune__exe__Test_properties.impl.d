@@ -1,0 +1,1 @@
+test/test_properties.ml: Analytical Arch Array Format Ir List Printf QCheck QCheck_alcotest Sim Util

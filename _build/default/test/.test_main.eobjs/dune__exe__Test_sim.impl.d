@@ -1,0 +1,1 @@
+test/test_sim.ml: Analytical Arch Chimera Float Helpers Ir List Printf Sim

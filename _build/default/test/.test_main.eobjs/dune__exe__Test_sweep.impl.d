@@ -1,0 +1,1 @@
+test/test_sweep.ml: Analytical Arch Chimera Codegen Helpers Ir List Sim Workloads

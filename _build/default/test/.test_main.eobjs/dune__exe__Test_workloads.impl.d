@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Arch Helpers Ir List Option Tensor Workloads

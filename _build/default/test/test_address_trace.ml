@@ -1,0 +1,174 @@
+open Helpers
+
+let address_tests =
+  [
+    case "tensor layouts are disjoint and aligned" (fun () ->
+        let chain = small_gemm_chain () in
+        let bases = Sim.Address_trace.tensor_base_addresses chain in
+        check_int "five tensors" 5 (List.length bases);
+        let sorted = List.sort (fun (_, a) (_, b) -> compare a b) bases in
+        let rec disjoint = function
+          | (na, a) :: ((_, b) :: _ as rest) ->
+              let bytes =
+                Ir.Operator.tensor_bytes (Ir.Chain.find_ref chain na)
+              in
+              check_true (na ^ " fits before next") (a + bytes <= b);
+              check_int (na ^ " aligned") 0 (a mod 4096);
+              disjoint rest
+          | _ -> ()
+        in
+        disjoint sorted);
+    case "a huge cache leaves only compulsory line fills" (fun () ->
+        let chain = small_gemm_chain () in
+        let perm = Analytical.Movement.fused_axes chain in
+        let tiling = Analytical.Tiling.full chain in
+        let stats =
+          Sim.Address_trace.measure chain
+            ~capacity_bytes:(1024 * 1024)
+            ~perm ~tiling ()
+        in
+        (* Every tensor touched; compulsory fills are bounded by the
+           padded layout: between total tensor bytes and the aligned
+           footprint. *)
+        let total =
+          List.fold_left
+            (fun acc name ->
+              acc + Ir.Operator.tensor_bytes (Ir.Chain.find_ref chain name))
+            0
+            (Ir.Chain.tensor_names chain)
+        in
+        check_true "at least the data"
+          (stats.Sim.Address_trace.bytes_in >= float_of_int total *. 0.9);
+        check_true "no capacity misses"
+          (stats.Sim.Address_trace.bytes_in
+          <= float_of_int total +. (5.0 *. 2.0 *. 64.0)));
+    case "a tiny cache forces streaming" (fun () ->
+        let chain =
+          Ir.Chain.batch_gemm_chain ~name:"stream" ~batch:1 ~m:64 ~n:64 ~k:64
+            ~l:64 ()
+        in
+        let perm = Analytical.Movement.fused_axes chain in
+        let tiling =
+          Analytical.Tiling.make chain
+            [ ("m", 8); ("n", 8); ("k", 8); ("l", 8) ]
+        in
+        let small =
+          Sim.Address_trace.measure chain ~capacity_bytes:2048 ~perm ~tiling ()
+        in
+        let big =
+          Sim.Address_trace.measure chain
+            ~capacity_bytes:(1024 * 1024)
+            ~perm ~tiling ()
+        in
+        check_true "smaller cache moves more"
+          (small.Sim.Address_trace.bytes_in > big.Sim.Address_trace.bytes_in);
+        check_true "hit rate drops"
+          (small.Sim.Address_trace.hit_rate < big.Sim.Address_trace.hit_rate));
+    case "tile and line models agree on streaming traffic" (fun () ->
+        let chain =
+          Ir.Chain.batch_gemm_chain ~name:"agree" ~batch:1 ~m:128 ~n:128
+            ~k:128 ~l:128 ()
+        in
+        let perm = [ "b"; "m"; "l"; "k"; "n" ] in
+        let tiling =
+          Analytical.Tiling.make chain
+            [ ("m", 32); ("n", 32); ("k", 32); ("l", 32) ]
+        in
+        let capacity = 64 * 1024 in
+        let tile =
+          (Sim.Trace.measure_chain chain
+             ~levels:
+               [
+                 Arch.Level.make ~name:"L" ~capacity_bytes:capacity
+                   ~link_bandwidth_gbps:100.0 ();
+               ]
+             ~perm ~tiling ~spill_intermediates:true ())
+            .Sim.Trace.dram_bytes
+        in
+        let line =
+          (Sim.Address_trace.measure chain ~capacity_bytes:capacity ~perm
+             ~tiling ())
+            .Sim.Address_trace.bytes_in
+        in
+        let ratio = tile /. line in
+        check_true
+          (Printf.sprintf "same regime (%.2f)" ratio)
+          (ratio > 0.5 && ratio < 2.0));
+    case "conv windows touch clipped boxes only" (fun () ->
+        let chain = small_conv_chain () in
+        let perm = Analytical.Movement.fused_axes chain in
+        let tiling = Analytical.Tiling.full chain in
+        (* A full-problem block with a huge cache: fills are bounded by
+           the tensors themselves (padding clipped away). *)
+        let stats =
+          Sim.Address_trace.measure chain
+            ~capacity_bytes:(4 * 1024 * 1024)
+            ~perm ~tiling ()
+        in
+        let total =
+          List.fold_left
+            (fun acc name ->
+              acc + Ir.Operator.tensor_bytes (Ir.Chain.find_ref chain name))
+            0
+            (Ir.Chain.tensor_names chain)
+        in
+        check_true "bounded by layout"
+          (stats.Sim.Address_trace.bytes_in
+          <= float_of_int total +. (6.0 *. 128.0)));
+  ]
+
+let chain_builder_tests =
+  [
+    case "single_conv2d shapes and epilogue" (fun () ->
+        let chain =
+          Ir.Chain.single_conv2d ~name:"c" ~batch:2 ~ic:3 ~h:12 ~w:10 ~oc:4
+            ~k:3 ~st:2 ~relu:true ()
+        in
+        check_int "one stage" 1 (Ir.Chain.stage_count chain);
+        Alcotest.(check (list string))
+          "io" [ "I"; "W"; "O" ] (Ir.Chain.io_names chain);
+        let o = Ir.Chain.find_ref chain "O" in
+        Alcotest.(check (list int))
+          "output dims"
+          [ 2; 4; Ir.Chain.conv_out ~h:12 ~k:3 ~st:2;
+            Ir.Chain.conv_out ~h:10 ~k:3 ~st:2 ]
+          o.Ir.Operator.dims;
+        check_true "relu"
+          ((List.hd chain.Ir.Chain.stages).Ir.Chain.epilogue = Ir.Chain.Relu));
+    case "single_conv2d executes correctly under blocking" (fun () ->
+        let chain =
+          Ir.Chain.single_conv2d ~name:"c" ~batch:1 ~ic:2 ~h:9 ~w:9 ~oc:3
+            ~k:3 ~st:1 ~relu:true ()
+        in
+        let perm = Analytical.Movement.fused_axes chain in
+        let tiling =
+          Analytical.Tiling.make chain [ ("oc", 2); ("oh", 4); ("ow", 3) ]
+        in
+        let ref_env = Sim.Exec.make_env chain ~seed:5 in
+        Sim.Exec.run_reference chain ref_env;
+        let env = Sim.Exec.make_env chain ~seed:5 in
+        Sim.Exec.run_fused chain ~perm ~tiling env;
+        check_true "numerics"
+          (Sim.Exec.outputs_match ~rtol:1e-6 chain ref_env env));
+    case "with_epilogues replaces per stage" (fun () ->
+        let chain = small_conv_chain () in
+        let swapped =
+          Ir.Chain.with_epilogues chain [ Ir.Chain.Relu; Ir.Chain.Identity ]
+        in
+        match swapped.Ir.Chain.stages with
+        | [ s1; s2 ] ->
+            check_true "stage1 relu" (s1.Ir.Chain.epilogue = Ir.Chain.Relu);
+            check_true "stage2 identity"
+              (s2.Ir.Chain.epilogue = Ir.Chain.Identity)
+        | _ -> Alcotest.fail "two stages expected");
+    case "with_epilogues validates arity" (fun () ->
+        let chain = small_conv_chain () in
+        check_raises_invalid "arity" (fun () ->
+            ignore (Ir.Chain.with_epilogues chain [ Ir.Chain.Relu ])));
+  ]
+
+let suites =
+  [
+    ("sim.address_trace", address_tests);
+    ("ir.chain_builders", chain_builder_tests);
+  ]

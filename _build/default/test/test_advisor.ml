@@ -1,0 +1,61 @@
+open Helpers
+
+let gpu = Arch.Presets.nvidia_a100
+let cpu = Arch.Presets.xeon_gold_6240
+
+let tests =
+  [
+    slow_case "advises fusing the attention chain (memory-bound consumer)"
+      (fun () ->
+        let chain =
+          Workloads.Gemm_configs.chain
+            (Option.get (Workloads.Gemm_configs.by_name "G2"))
+        in
+        let v = Chimera.Advisor.assess ~machine:cpu chain in
+        check_true "fuse" v.Chimera.Advisor.fuse;
+        check_true "speedup > 1.5" (v.Chimera.Advisor.speedup > 1.5);
+        check_float ~eps:1e-9 "no recomputation for GEMMs" 1.0
+          v.Chimera.Advisor.recompute_ratio;
+        (* Both BMM stages are memory-bound at this shape. *)
+        List.iter
+          (fun (s : Chimera.Advisor.boundedness_summary) ->
+            check_true (s.stage ^ " memory-bound")
+              (s.boundedness = Arch.Roofline.Memory_bound))
+          v.Chimera.Advisor.stages);
+    slow_case "C1's pointwise consumer is memory-bound: fuse" (fun () ->
+        let chain =
+          Workloads.Conv_configs.chain ~relu:true
+            (Option.get (Workloads.Conv_configs.by_name "C1"))
+        in
+        let v = Chimera.Advisor.assess ~machine:gpu chain in
+        check_true "fuse" v.Chimera.Advisor.fuse;
+        let consumer = List.nth v.Chimera.Advisor.stages 1 in
+        check_true "consumer memory-bound"
+          (consumer.boundedness = Arch.Roofline.Memory_bound));
+    slow_case "C6's 3x3 consumer is compute-bound with heavy recomputation"
+      (fun () ->
+        let chain =
+          Workloads.Conv_configs.chain ~relu:true
+            (Option.get (Workloads.Conv_configs.by_name "C6"))
+        in
+        let v = Chimera.Advisor.assess ~machine:gpu chain in
+        let consumer = List.nth v.Chimera.Advisor.stages 1 in
+        check_true "consumer compute-bound"
+          (consumer.boundedness = Arch.Roofline.Compute_bound);
+        check_true "recomputation > 50%"
+          (v.Chimera.Advisor.recompute_ratio > 1.5);
+        (* The paper: no speedup for C6 over good unfused kernels; our
+           estimate should show at most a marginal gain. *)
+        check_true "marginal at best" (v.Chimera.Advisor.speedup < 2.0));
+    case "explain mentions the verdict and the consumer" (fun () ->
+        let chain = small_gemm_chain () in
+        let v = Chimera.Advisor.assess ~machine:cpu chain in
+        let text = Chimera.Advisor.explain v in
+        check_true "mentions consumer"
+          (let needle = "gemm2" in
+           let nl = String.length needle and hl = String.length text in
+           let rec go i = i + nl <= hl && (String.sub text i nl = needle || go (i + 1)) in
+           go 0));
+  ]
+
+let suites = [ ("chimera.advisor", tests) ]

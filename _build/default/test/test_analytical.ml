@@ -1,0 +1,640 @@
+open Helpers
+
+let tiling_tests =
+  [
+    case "defaults to ones, clamps into range" (fun () ->
+        let chain = figure2_chain () in
+        let t = Analytical.Tiling.make chain [ ("m", 1024); ("n", 0) ] in
+        check_int "m clamped to extent" 512 (Analytical.Tiling.get t "m");
+        check_int "n clamped to 1" 1 (Analytical.Tiling.get t "n");
+        check_int "k defaults to 1" 1 (Analytical.Tiling.get t "k"));
+    case "rejects unknown axes" (fun () ->
+        let chain = figure2_chain () in
+        check_raises_invalid "zz" (fun () ->
+            ignore (Analytical.Tiling.make chain [ ("zz", 2) ])));
+    case "full covers everything in one block" (fun () ->
+        let chain = figure2_chain () in
+        let t = Analytical.Tiling.full chain in
+        check_int "m" 512 (Analytical.Tiling.get t "m");
+        check_float "single block" 1.0 (Analytical.Tiling.total_blocks t));
+    case "trip counts" (fun () ->
+        let chain = figure2_chain () in
+        let t = Analytical.Tiling.make chain [ ("m", 100) ] in
+        check_int "ceil(512/100)" 6 (Analytical.Tiling.trip_count t "m");
+        check_int "full axis" 64 (Analytical.Tiling.trip_count t "k"));
+    case "set is functional" (fun () ->
+        let chain = figure2_chain () in
+        let t = Analytical.Tiling.ones chain in
+        let t2 = Analytical.Tiling.set t "m" 8 in
+        check_int "updated" 8 (Analytical.Tiling.get t2 "m");
+        check_int "original intact" 1 (Analytical.Tiling.get t "m"));
+    case "total_blocks multiplies trips" (fun () ->
+        let chain = figure2_chain () in
+        let t =
+          Analytical.Tiling.make chain
+            [ ("b", 1); ("m", 256); ("n", 64); ("k", 64); ("l", 128) ]
+        in
+        (* trips: 1 * 2 * 1 * 1 * 4. *)
+        check_float "blocks" 8.0 (Analytical.Tiling.total_blocks t));
+    case "equality and printing" (fun () ->
+        let chain = figure2_chain () in
+        let a = Analytical.Tiling.make chain [ ("m", 8) ] in
+        let b = Analytical.Tiling.make chain [ ("m", 8) ] in
+        check_true "equal" (Analytical.Tiling.equal a b);
+        check_true "rendered"
+          (String.length (Analytical.Tiling.to_string a) > 0));
+  ]
+
+(* Table III: DV and DF under order mlkn with S = (T_M, T_N, T_K, T_L).
+   Tiles are strictly smaller than every extent so each loop really
+   iterates (the paper's regime; with single-block loops the refined
+   Algorithm 1 correctly reports more reuse — tested separately). *)
+let tiling_paper chain =
+  Analytical.Tiling.make chain
+    [ ("b", 1); ("m", 64); ("n", 32); ("k", 32); ("l", 64) ]
+
+let table3_tests =
+  let dv_of chain ~tiling tensor =
+    let r = Analytical.Movement.analyze chain ~perm:mlkn ~tiling in
+    let p =
+      List.find
+        (fun (p : Analytical.Movement.per_tensor) -> p.tensor = tensor)
+        r.Analytical.Movement.per_tensor
+    in
+    p.movement_bytes
+  in
+  [
+    case "DM of A = M*K*ceil(L/T_L)" (fun () ->
+        let chain = figure2_chain () in
+        let tiling = tiling_paper chain in
+        (* 512*64*ceil(512/64) elems * 2 bytes. *)
+        check_float "A" (512.0 *. 64.0 *. 8.0 *. 2.0) (dv_of chain ~tiling "A"));
+    case "DM of B = K*L*ceil(M/T_M)" (fun () ->
+        let chain = figure2_chain () in
+        let tiling = tiling_paper chain in
+        check_float "B" (64.0 *. 512.0 *. 8.0 *. 2.0) (dv_of chain ~tiling "B"));
+    case "DM of C = 0 (intermediate)" (fun () ->
+        let chain = figure2_chain () in
+        check_float "C" 0.0 (dv_of chain ~tiling:(tiling_paper chain) "C"));
+    case "DM of D = N*L*ceil(M/T_M)" (fun () ->
+        let chain = figure2_chain () in
+        check_float "D" (64.0 *. 512.0 *. 8.0 *. 2.0)
+          (dv_of chain ~tiling:(tiling_paper chain) "D"));
+    case "DM of E = M*N*ceil(L/T_L)" (fun () ->
+        let chain = figure2_chain () in
+        check_float "E" (512.0 *. 64.0 *. 8.0 *. 2.0)
+          (dv_of chain ~tiling:(tiling_paper chain) "E"));
+    case "MU = max(GEMM1_MU, GEMM2_MU)" (fun () ->
+        let chain = figure2_chain () in
+        let r =
+          Analytical.Movement.analyze chain ~perm:mlkn
+            ~tiling:(tiling_paper chain)
+        in
+        (* gemm1: 64x32 + 32x64 + 64x64 fp16 tiles; gemm2 the same. *)
+        check_int "MU" (((64 * 32) + (32 * 64) + (64 * 64)) * 2)
+          r.Analytical.Movement.mu_bytes;
+        Alcotest.(check (list (pair string int)))
+          "per-op"
+          [ ("gemm1", 16384); ("gemm2", 16384) ]
+          r.Analytical.Movement.per_op_mu);
+    case "single-block loops keep reuse (refined observation 1)" (fun () ->
+        (* With T_K = K the A tile is identical at every l step: the
+           refined model reports A reused along l even though k "accesses"
+           it — the cache simulator agrees. *)
+        let chain = figure2_chain () in
+        let tiling = tiling_64 chain in
+        (* tiling_64 has k = l tiles of 64 = K full. *)
+        check_float "A loaded once per m sweep"
+          (64.0 *. 64.0 *. 8.0 *. 2.0)
+          (dv_of chain ~tiling "A"));
+    case "symbolic expressions match Table III" (fun () ->
+        let chain = figure2_chain () in
+        let expr tensor =
+          Analytical.Movement.movement_expr chain ~perm:mlkn ~tensor
+        in
+        check_string "A" "B*M*K*ceil(L/T_l)" (expr "A");
+        check_string "B" "B*K*L*ceil(M/T_m)" (expr "B");
+        check_string "C" "0" (expr "C");
+        check_string "D" "B*L*N*ceil(M/T_m)" (expr "D");
+        check_string "E" "B*M*N*ceil(L/T_l)" (expr "E"));
+  ]
+
+let observation_tests =
+  [
+    case "observation 1: non-indexing inner loops are free" (fun () ->
+        (* Under m-k-n-l with full L tile, A's DM has no l factor. *)
+        let chain = figure2_chain () in
+        let t_full_l =
+          Analytical.Tiling.make chain
+            [ ("m", 64); ("n", 64); ("k", 64); ("l", 512) ]
+        in
+        let t_small_l =
+          Analytical.Tiling.make chain
+            [ ("m", 64); ("n", 64); ("k", 64); ("l", 64) ]
+        in
+        let dv tiling =
+          (Analytical.Movement.analyze chain ~perm:[ "b"; "m"; "k"; "n"; "l" ]
+             ~tiling)
+            .Analytical.Movement.per_tensor
+          |> List.find (fun (p : Analytical.Movement.per_tensor) ->
+                 p.tensor = "A")
+          |> fun p -> p.movement_bytes
+        in
+        (* A is reused along l (innermost, does not access A), so the l
+           tile size is irrelevant to A's movement. *)
+        check_float "same" (dv t_full_l) (dv t_small_l));
+    case "observation 2: outer loops multiply once reuse breaks" (fun () ->
+        (* B is indexed by (k, l); under mnkl the innermost l breaks its
+           reuse, so the outer m loop multiplies B's movement even though
+           m never indexes B. *)
+        let chain = figure2_chain () in
+        let dv tiling =
+          (Analytical.Movement.analyze chain ~perm:mnkl ~tiling)
+            .Analytical.Movement.per_tensor
+          |> List.find (fun (p : Analytical.Movement.per_tensor) ->
+                 p.tensor = "B")
+          |> fun p -> p.movement_bytes
+        in
+        let base =
+          Analytical.Tiling.make chain
+            [ ("m", 512); ("n", 64); ("k", 64); ("l", 64) ]
+        in
+        check_float "doubles"
+          (2.0 *. dv base)
+          (dv (Analytical.Tiling.set base "m" 256)));
+    case "observation 3: producer-private loops do not move consumers"
+      (fun () ->
+        let chain = figure2_chain () in
+        let dv tensor tiling =
+          (Analytical.Movement.analyze chain ~perm:mnkl ~tiling)
+            .Analytical.Movement.per_tensor
+          |> List.find (fun (p : Analytical.Movement.per_tensor) ->
+                 p.tensor = tensor)
+          |> fun p -> p.movement_bytes
+        in
+        let base =
+          Analytical.Tiling.make chain
+            [ ("m", 512); ("n", 64); ("k", 64); ("l", 512) ]
+        in
+        let small_k = Analytical.Tiling.set base "k" 16 in
+        (* k is private to gemm1: D and E movement unaffected by T_k. *)
+        check_float "D unaffected" (dv "D" base) (dv "D" small_k);
+        check_float "E unaffected" (dv "E" base) (dv "E" small_k));
+    case "validate_perm rejects bad permutations" (fun () ->
+        let chain = figure2_chain () in
+        check_raises_invalid "missing axis" (fun () ->
+            Analytical.Movement.validate_perm chain [ "m"; "n"; "k"; "l" ]);
+        check_raises_invalid "duplicate" (fun () ->
+            Analytical.Movement.validate_perm chain
+              [ "b"; "m"; "m"; "k"; "l" ]));
+    case "fused_axes excludes standalone-only axes" (fun () ->
+        let conv = small_conv_chain () in
+        let fused = Analytical.Movement.fused_axes conv in
+        check_false "s_oh excluded" (List.mem "s_oh" fused);
+        check_int "ten axes" 10 (List.length fused));
+  ]
+
+(* Figure 2's reuse table. *)
+let reuse_tests =
+  [
+    case "mnkl row" (fun () ->
+        let chain = figure2_chain () in
+        let reuse tensor =
+          Analytical.Movement.reuse_axes chain ~perm:mnkl ~tensor
+        in
+        check_true "A reused along l" (List.mem "l" (reuse "A"));
+        check_false "B not reused along l" (List.mem "l" (reuse "B"));
+        check_true "D always reused along k" (List.mem "k" (reuse "D"));
+        check_true "E always reused along k" (List.mem "k" (reuse "E")));
+    case "mlkn row" (fun () ->
+        let chain = figure2_chain () in
+        let reuse tensor =
+          Analytical.Movement.reuse_axes chain ~perm:mlkn ~tensor
+        in
+        check_true "A reused along n" (List.mem "n" (reuse "A"));
+        check_true "D reused along k" (List.mem "k" (reuse "D")));
+    case "intermediates report no reuse axes" (fun () ->
+        let chain = figure2_chain () in
+        Alcotest.(check (list string))
+          "C" []
+          (Analytical.Movement.reuse_axes chain ~perm:mnkl ~tensor:"C"));
+  ]
+
+let permutation_tests =
+  [
+    case "GEMM chain explores 4! = 24 orders (Section IV-B)" (fun () ->
+        let chain = figure2_chain () in
+        check_int "count" 24 (Analytical.Permutations.count chain);
+        check_int "materialised" 24
+          (List.length (Analytical.Permutations.candidates chain)));
+    case "batch axis pinned outermost" (fun () ->
+        let chain =
+          Ir.Chain.batch_gemm_chain ~name:"b8" ~batch:8 ~m:64 ~n:64 ~k:64
+            ~l:64 ()
+        in
+        check_int "still 24" 24 (Analytical.Permutations.count chain);
+        List.iter
+          (fun perm -> check_string "b first" "b" (List.hd perm))
+          (Analytical.Permutations.candidates chain));
+    case "conv chain pins windows innermost" (fun () ->
+        (* A realistic shape: only the 3x3 windows fall under the
+           full-tile threshold. *)
+        let chain =
+          Ir.Chain.conv_chain ~name:"c3ish" ~ic:64 ~h:28 ~w:28 ~oc1:32
+            ~oc2:16 ~st1:1 ~st2:1 ~k1:3 ~k2:1 ()
+        in
+        let c = Analytical.Permutations.classify chain in
+        Alcotest.(check (list string))
+          "windows" [ "kh1"; "kw1" ]
+          c.Analytical.Permutations.pinned_inner;
+        Alcotest.(check (list string))
+          "movable"
+          [ "oc2"; "oh"; "ow"; "oc1"; "ic" ]
+          c.Analytical.Permutations.movable;
+        check_int "5! orders" 120 (Analytical.Permutations.count chain));
+    case "every candidate is a valid permutation" (fun () ->
+        let chain = small_conv_chain () in
+        List.iter
+          (fun perm -> Analytical.Movement.validate_perm chain perm)
+          (Analytical.Permutations.candidates chain));
+  ]
+
+let closed_form_tests =
+  [
+    case "optimal tile formula" (fun () ->
+        let capacity_elems = 512 * 1024 in
+        let s =
+          Analytical.Closed_form.solve ~m:2048 ~n:2048 ~k:2048 ~l:2048
+            ~capacity_elems ~alpha:16 ()
+        in
+        let t =
+          -16.0 +. sqrt ((16.0 *. 16.0) +. float_of_int capacity_elems)
+        in
+        check_int "T_M = floor(t*)" (int_of_float (floor t)) s.t_m;
+        check_int "T_L = T_M" s.t_m s.t_l;
+        check_int "T_N = alpha" 16 s.t_n;
+        check_int "T_K = alpha" 16 s.t_k);
+    case "tiles clamp to problem extents" (fun () ->
+        let s =
+          Analytical.Closed_form.solve ~m:64 ~n:8 ~k:8 ~l:64
+            ~capacity_elems:(1024 * 1024) ()
+        in
+        check_int "T_M <= M" 64 s.t_m;
+        check_int "T_N <= N" 8 s.t_n);
+    case "DV* = 2ML(K+N)/t*" (fun () ->
+        let capacity_elems = 100_000 in
+        let dv =
+          Analytical.Closed_form.dv_optimal_elems ~m:1000 ~n:100 ~k:100
+            ~l:1000 ~capacity_elems ~alpha:16 ()
+        in
+        let t = -16.0 +. sqrt (256.0 +. 100_000.0) in
+        check_float ~eps:1e-6 "formula"
+          (2.0 *. 1000.0 *. 1000.0 *. 200.0 /. t)
+          dv);
+    case "DV* decreases with capacity" (fun () ->
+        let dv cap =
+          Analytical.Closed_form.dv_optimal_elems ~m:2048 ~n:64 ~k:64 ~l:2048
+            ~capacity_elems:cap ()
+        in
+        check_true "monotone" (dv 1_000_000 < dv 100_000));
+    case "rejects capacity below the alpha block" (fun () ->
+        check_raises_invalid "tiny" (fun () ->
+            ignore
+              (Analytical.Closed_form.solve ~m:64 ~n:64 ~k:64 ~l:64
+                 ~capacity_elems:100 ())));
+    case "approximation ratio bound is a small constant" (fun () ->
+        let bound =
+          Analytical.Closed_form.approximation_ratio_bound ~m:2048 ~l:2048
+            ~capacity_elems:(512 * 1024)
+        in
+        check_true "at least 1" (bound >= 1.0);
+        check_true "small" (bound < 2.0));
+  ]
+
+let solver_tests =
+  [
+    case "candidate sizes cover 1 and the extent" (fun () ->
+        let c = Analytical.Solver.candidate_sizes 208 in
+        check_true "has 1" (List.mem 1 c);
+        check_true "has extent" (List.mem 208 c);
+        check_true "has halvings" (List.mem 104 c);
+        check_true "sorted"
+          (List.sort compare c = c));
+    case "solution is feasible and on the useful side" (fun () ->
+        let chain = figure2_chain () in
+        let capacity = 256 * 1024 in
+        match
+          Analytical.Solver.solve_for_perm chain ~perm:mlkn
+            ~capacity_bytes:capacity ()
+        with
+        | None -> Alcotest.fail "expected a solution"
+        | Some sol ->
+            check_true "feasible"
+              (sol.Analytical.Solver.movement.Analytical.Movement.mu_bytes
+              <= capacity);
+            (* Must strictly beat the trivial all-ones tiling. *)
+            let ones =
+              Analytical.Movement.analyze chain ~perm:mlkn
+                ~tiling:(Analytical.Tiling.ones chain)
+            in
+            check_true "beats ones"
+              (sol.Analytical.Solver.movement.Analytical.Movement.dv_bytes
+              < ones.Analytical.Movement.dv_bytes));
+    case "infeasible capacity returns None" (fun () ->
+        let chain = figure2_chain () in
+        check_true "none"
+          (Analytical.Solver.solve_for_perm chain ~perm:mlkn ~capacity_bytes:4
+             ()
+          = None));
+    case "max_tile bound is respected" (fun () ->
+        let chain = figure2_chain () in
+        let bound axis = if axis = "m" then 32 else 512 in
+        match
+          Analytical.Solver.solve_for_perm chain ~perm:mlkn
+            ~capacity_bytes:(1024 * 1024) ~max_tile:bound ()
+        with
+        | None -> Alcotest.fail "expected a solution"
+        | Some sol ->
+            check_true "m <= 32"
+              (Analytical.Tiling.get sol.Analytical.Solver.tiling "m" <= 32));
+    case "full_tile axes stay at full extent" (fun () ->
+        let chain = small_conv_chain () in
+        let full_tile = Analytical.Permutations.full_tile_axes chain in
+        let perm = List.hd (Analytical.Permutations.candidates chain) in
+        match
+          Analytical.Solver.solve_for_perm chain ~perm
+            ~capacity_bytes:(256 * 1024) ~full_tile ()
+        with
+        | None -> Alcotest.fail "expected a solution"
+        | Some sol ->
+            List.iter
+              (fun axis ->
+                check_int
+                  ("full " ^ axis)
+                  (Ir.Chain.extent_of chain axis)
+                  (Analytical.Tiling.get sol.Analytical.Solver.tiling axis))
+              full_tile);
+    case "solver matches the closed form on the GEMM chain" (fun () ->
+        (* The descent should land within a few percent of the Lagrange
+           optimum for the canonical problem. *)
+        let chain =
+          Ir.Chain.batch_gemm_chain ~name:"big" ~batch:1 ~m:2048 ~n:64 ~k:64
+            ~l:2048 ()
+        in
+        let capacity = 512 * 1024 in
+        let cf =
+          Analytical.Closed_form.solve ~m:2048 ~n:64 ~k:64 ~l:2048
+            ~capacity_elems:(capacity / 2) ()
+        in
+        let cf_tiling =
+          Analytical.Tiling.make chain
+            [ ("m", cf.t_m); ("n", cf.t_n); ("k", cf.t_k); ("l", cf.t_l) ]
+        in
+        let cf_dv =
+          (Analytical.Movement.analyze chain ~perm:mlkn ~tiling:cf_tiling)
+            .Analytical.Movement.dv_bytes
+        in
+        match
+          Analytical.Solver.solve_for_perm chain ~perm:mlkn
+            ~capacity_bytes:capacity ()
+        with
+        | None -> Alcotest.fail "expected a solution"
+        | Some sol ->
+            check_true "within 10% of closed form"
+              (sol.Analytical.Solver.movement.Analytical.Movement.dv_bytes
+              <= 1.10 *. cf_dv));
+  ]
+
+let planner_tests =
+  [
+    case "optimize picks a minimal-DV order" (fun () ->
+        let chain = figure2_chain () in
+        let capacity = 256 * 1024 in
+        let plan = Analytical.Planner.optimize chain ~capacity_bytes:capacity () in
+        (* The chosen order must be at least as good as mnkl and mlkn
+           solved directly. *)
+        List.iter
+          (fun perm ->
+            match
+              Analytical.Solver.solve_for_perm chain ~perm
+                ~capacity_bytes:capacity ()
+            with
+            | None -> ()
+            | Some sol ->
+                check_true "optimal"
+                  (plan.Analytical.Planner.movement.Analytical.Movement.dv_bytes
+                  <= sol.Analytical.Solver.movement.Analytical.Movement.dv_bytes
+                     *. (1.0 +. 1e-9)))
+          [ mnkl; mlkn ]);
+    case "explicit perms restrict the search" (fun () ->
+        let chain = figure2_chain () in
+        let plan =
+          Analytical.Planner.optimize chain ~capacity_bytes:(256 * 1024)
+            ~perms:[ mnkl ] ()
+        in
+        Alcotest.(check (list string)) "order" mnkl plan.Analytical.Planner.perm;
+        check_int "one candidate" 1 plan.Analytical.Planner.candidates_evaluated);
+    case "optimize fails cleanly when nothing fits" (fun () ->
+        let chain = figure2_chain () in
+        check_true "failure"
+          (match Analytical.Planner.optimize chain ~capacity_bytes:2 () with
+          | _ -> false
+          | exception Failure _ -> true));
+    case "refine_for_parallelism reaches the block target" (fun () ->
+        let chain = figure2_chain () in
+        let plan =
+          Analytical.Planner.optimize chain ~capacity_bytes:(1024 * 1024) ()
+        in
+        let refined =
+          Analytical.Planner.refine_for_parallelism chain plan ~min_blocks:18
+            ()
+        in
+        check_true "blocks >= 18"
+          (Analytical.Tiling.total_blocks refined.Analytical.Planner.tiling
+          >= 18.0);
+        check_true "DV within slack"
+          (refined.Analytical.Planner.movement.Analytical.Movement.dv_bytes
+          <= 1.25
+             *. plan.Analytical.Planner.movement.Analytical.Movement.dv_bytes));
+    case "multilevel plans nest" (fun () ->
+        let chain = figure2_chain () in
+        let lps =
+          Analytical.Planner.optimize_multilevel chain
+            ~machine:Arch.Presets.xeon_gold_6240
+        in
+        check_int "three levels" 3 (List.length lps);
+        let rec check_nesting = function
+          | (inner : Analytical.Planner.level_plan)
+            :: (outer : Analytical.Planner.level_plan) :: rest ->
+              List.iter
+                (fun axis ->
+                  check_true
+                    ("nested " ^ axis)
+                    (Analytical.Tiling.get
+                       inner.Analytical.Planner.plan.Analytical.Planner.tiling
+                       axis
+                    <= Analytical.Tiling.get
+                         outer.Analytical.Planner.plan.Analytical.Planner
+                           .tiling axis))
+                (Analytical.Movement.fused_axes chain);
+              check_nesting (outer :: rest)
+          | _ -> ()
+        in
+        check_nesting lps;
+        (* Each level respects its capacity. *)
+        List.iter
+          (fun (lp : Analytical.Planner.level_plan) ->
+            check_true "fits"
+              (lp.Analytical.Planner.plan.Analytical.Planner.movement
+                 .Analytical.Movement.mu_bytes
+              <= lp.Analytical.Planner.level.Arch.Level.capacity_bytes))
+          lps);
+    case "bottleneck and memory_time" (fun () ->
+        let chain = figure2_chain () in
+        let lps =
+          Analytical.Planner.optimize_multilevel chain
+            ~machine:Arch.Presets.xeon_gold_6240
+        in
+        let b = Analytical.Planner.bottleneck lps in
+        check_float "objective"
+          b.Analytical.Planner.cost_seconds
+          (Analytical.Planner.memory_time_seconds lps);
+        List.iter
+          (fun (lp : Analytical.Planner.level_plan) ->
+            check_true "max"
+              (lp.Analytical.Planner.cost_seconds
+              <= b.Analytical.Planner.cost_seconds))
+          lps);
+    case "explore ranks orders by DV and agrees with optimize" (fun () ->
+        let chain = figure2_chain () in
+        let capacity = 256 * 1024 in
+        let ranked, evaluated =
+          Analytical.Planner.explore chain ~capacity_bytes:capacity ()
+        in
+        check_int "24 orders" 24 evaluated;
+        check_true "all feasible orders present" (List.length ranked >= 1);
+        let rec sorted = function
+          | (a : Analytical.Planner.candidate)
+            :: (b : Analytical.Planner.candidate) :: rest ->
+              a.c_dv_bytes <= b.c_dv_bytes && sorted (b :: rest)
+          | _ -> true
+        in
+        check_true "ranked ascending" (sorted ranked);
+        let plan =
+          Analytical.Planner.optimize chain ~capacity_bytes:capacity ()
+        in
+        check_float "optimize picks the head"
+          (List.hd ranked).Analytical.Planner.c_dv_bytes
+          plan.Analytical.Planner.movement.Analytical.Movement.dv_bytes);
+    case "movement_expr spells out convolution windows" (fun () ->
+        let chain = small_conv_chain () in
+        let perm = Analytical.Movement.fused_axes chain in
+        let expr = Analytical.Movement.movement_expr chain ~perm ~tensor:"I" in
+        let contains needle =
+          let nl = String.length needle and hl = String.length expr in
+          let rec go i =
+            i + nl <= hl && (String.sub expr i nl = needle || go (i + 1))
+          in
+          go 0
+        in
+        check_true "window term present" (contains "(T_oh-1)");
+        check_true "strided term" (contains "2*"));
+    case "fusion reduces DV against unfused execution" (fun () ->
+        (* The headline effect: the fused plan's DRAM traffic beats the
+           unfused write+read of the intermediate. *)
+        let chain =
+          Ir.Chain.batch_gemm_chain ~name:"G2" ~batch:12 ~m:512 ~n:64 ~k:64
+            ~l:512 ()
+        in
+        let plan =
+          Analytical.Planner.optimize chain ~capacity_bytes:(1024 * 1024) ()
+        in
+        check_true "beats unfused"
+          (plan.Analytical.Planner.movement.Analytical.Movement.dv_bytes
+          < Ir.Chain.unfused_dram_bytes chain);
+        check_true "at least the IO bytes"
+          (plan.Analytical.Planner.movement.Analytical.Movement.dv_bytes
+          >= Ir.Chain.io_bytes chain -. 1.0));
+  ]
+
+(* The enumeration reductions (batch pinned outermost, windows pinned
+   innermost) claim to be exact: brute force over every permutation of
+   the fused axes must not beat the reduced candidate set. *)
+let reduction_exactness_tests =
+  [
+    slow_case "batch pinning loses nothing (brute force, 5! orders)"
+      (fun () ->
+        let chain =
+          Ir.Chain.batch_gemm_chain ~name:"exact" ~batch:4 ~m:24 ~n:8 ~k:8
+            ~l:24 ()
+        in
+        let capacity = 2048 in
+        let best perms =
+          List.fold_left
+            (fun best perm ->
+              match
+                Analytical.Solver.solve_for_perm chain ~perm
+                  ~capacity_bytes:capacity ()
+              with
+              | None -> best
+              | Some sol ->
+                  Float.min best
+                    sol.Analytical.Solver.movement.Analytical.Movement.dv_bytes)
+            infinity perms
+        in
+        let reduced = best (Analytical.Permutations.candidates chain) in
+        let brute =
+          best (Util.Perm.all (Analytical.Movement.fused_axes chain))
+        in
+        check_true
+          (Printf.sprintf "reduced %.1f vs brute %.1f" reduced brute)
+          (reduced <= brute *. (1.0 +. 1e-9)));
+    slow_case "window pinning loses nothing on a conv chain" (fun () ->
+        let chain =
+          Ir.Chain.conv_chain ~name:"exact-conv" ~batch:1 ~ic:4 ~h:10 ~w:10
+            ~oc1:6 ~oc2:4 ~st1:1 ~st2:1 ~k1:3 ~k2:1 ()
+        in
+        (* Fused axes: oc2, oh, ow, oc1, ic movable + kh1, kw1 pinned
+           (k2 = 1 leaves kh2/kw2 at extent 1): brute force is 7! but the
+           extent-1 axes are placement-free, so permute the other 7. *)
+        let fused = Analytical.Movement.fused_axes chain in
+        let movable, unit_axes =
+          List.partition (fun a -> Ir.Chain.extent_of chain a > 1) fused
+        in
+        check_int "7 non-unit axes" 7 (List.length movable);
+        let capacity = 4096 in
+        let best perms =
+          List.fold_left
+            (fun best perm ->
+              match
+                Analytical.Solver.solve_for_perm chain ~perm
+                  ~capacity_bytes:capacity ()
+              with
+              | None -> best
+              | Some sol ->
+                  Float.min best
+                    sol.Analytical.Solver.movement.Analytical.Movement.dv_bytes)
+            infinity perms
+        in
+        let reduced = best (Analytical.Permutations.candidates chain) in
+        let brute =
+          best
+            (List.map (fun p -> unit_axes @ p) (Util.Perm.all movable))
+        in
+        check_true
+          (Printf.sprintf "reduced %.1f vs brute %.1f" reduced brute)
+          (reduced <= brute *. (1.0 +. 1e-9)));
+  ]
+
+let suites =
+  [
+    ("analytical.tiling", tiling_tests);
+    ("analytical.table3", table3_tests);
+    ("analytical.observations", observation_tests);
+    ("analytical.reuse", reuse_tests);
+    ("analytical.permutations", permutation_tests);
+    ("analytical.reduction_exactness", reduction_exactness_tests);
+    ("analytical.closed_form", closed_form_tests);
+    ("analytical.solver", solver_tests);
+    ("analytical.planner", planner_tests);
+  ]

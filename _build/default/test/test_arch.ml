@@ -1,0 +1,152 @@
+open Helpers
+
+let level_tests =
+  [
+    case "make validates" (fun () ->
+        check_raises_invalid "capacity" (fun () ->
+            Arch.Level.make ~name:"x" ~capacity_bytes:0 ~link_bandwidth_gbps:1.0
+              ());
+        check_raises_invalid "bandwidth" (fun () ->
+            Arch.Level.make ~name:"x" ~capacity_bytes:1024
+              ~link_bandwidth_gbps:0.0 ()));
+    case "dram is unbounded" (fun () ->
+        let d = Arch.Level.dram ~bandwidth_gbps:100.0 in
+        check_true "is_dram" (Arch.Level.is_dram d);
+        check_false "regular level is not"
+          (Arch.Level.is_dram
+             (Arch.Level.make ~name:"L1" ~capacity_bytes:1024
+                ~link_bandwidth_gbps:1.0 ())));
+    case "default line bytes" (fun () ->
+        let l =
+          Arch.Level.make ~name:"L1" ~capacity_bytes:1024
+            ~link_bandwidth_gbps:1.0 ()
+        in
+        check_int "64" 64 l.Arch.Level.line_bytes);
+  ]
+
+let machine_tests =
+  [
+    case "hierarchy must end at DRAM" (fun () ->
+        check_raises_invalid "no dram" (fun () ->
+            Arch.Machine.make ~name:"m" ~backend:Arch.Machine.Cpu
+              ~peak_tflops:1.0 ~freq_ghz:1.0 ~cores:1 ~vector_registers:16
+              ~vector_lanes:8
+              ~levels:
+                [
+                  Arch.Level.make ~name:"L1" ~capacity_bytes:1024
+                    ~link_bandwidth_gbps:1.0 ();
+                ]
+              ()));
+    case "capacities must be monotone" (fun () ->
+        check_raises_invalid "inverted" (fun () ->
+            Arch.Machine.make ~name:"m" ~backend:Arch.Machine.Cpu
+              ~peak_tflops:1.0 ~freq_ghz:1.0 ~cores:1 ~vector_registers:16
+              ~vector_lanes:8
+              ~levels:
+                [
+                  Arch.Level.make ~name:"L1" ~capacity_bytes:2048
+                    ~link_bandwidth_gbps:1.0 ();
+                  Arch.Level.make ~name:"L2" ~capacity_bytes:1024
+                    ~link_bandwidth_gbps:1.0 ();
+                  Arch.Level.dram ~bandwidth_gbps:10.0;
+                ]
+              ()));
+    case "accessors" (fun () ->
+        let m = Arch.Presets.xeon_gold_6240 in
+        check_int "on-chip levels" 3
+          (List.length (Arch.Machine.on_chip_levels m));
+        check_string "primary is L3" "L3"
+          (Arch.Machine.primary_on_chip m).Arch.Level.name;
+        check_string "dram" "DRAM" (Arch.Machine.dram m).Arch.Level.name);
+    case "backend names" (fun () ->
+        check_string "cpu" "cpu" (Arch.Machine.backend_to_string Arch.Machine.Cpu);
+        check_string "gpu" "gpu" (Arch.Machine.backend_to_string Arch.Machine.Gpu);
+        check_string "npu" "npu" (Arch.Machine.backend_to_string Arch.Machine.Npu));
+  ]
+
+(* Table I's "Peak Perf/BW" column: 92, 200, 267 FLOP/byte. *)
+let preset_tests =
+  [
+    case "xeon ridge matches Table I" (fun () ->
+        check_float ~eps:1.0 "92" 92.0
+          (Arch.Machine.ridge_flop_per_byte Arch.Presets.xeon_gold_6240));
+    case "a100 ridge matches Table I" (fun () ->
+        check_float ~eps:1.0 "200" 200.0
+          (Arch.Machine.ridge_flop_per_byte Arch.Presets.nvidia_a100));
+    case "ascend ridge matches Table I" (fun () ->
+        check_float ~eps:1.0 "267" 267.0
+          (Arch.Machine.ridge_flop_per_byte Arch.Presets.ascend_910));
+    case "xeon hierarchy sizes (Section VI-A)" (fun () ->
+        let levels = Arch.Machine.on_chip_levels Arch.Presets.xeon_gold_6240 in
+        let cap name =
+          (List.find (fun (l : Arch.Level.t) -> l.name = name) levels)
+            .Arch.Level.capacity_bytes
+        in
+        check_int "L1d per core" (32 * 1024) (cap "L1");
+        check_int "L2 per core" (1024 * 1024) (cap "L2"));
+    case "a100 shared memory (Section VI-A)" (fun () ->
+        let levels = Arch.Machine.on_chip_levels Arch.Presets.nvidia_a100 in
+        let shared = List.hd levels in
+        check_int "164 KiB" (164 * 1024) shared.Arch.Level.capacity_bytes);
+    case "ascend buffers (Section VI-A)" (fun () ->
+        let levels = Arch.Machine.on_chip_levels Arch.Presets.ascend_910 in
+        let l0 = List.hd levels in
+        check_int "L0C 256 KiB" (256 * 1024) l0.Arch.Level.capacity_bytes;
+        check_int "UB 256 KiB" (256 * 1024)
+          Arch.Presets.ascend_unified_buffer_bytes);
+    case "tensor tiles" (fun () ->
+        check_true "a100 wmma"
+          (Arch.Presets.nvidia_a100.Arch.Machine.tensor_tile = (16, 16, 16));
+        check_true "ascend cube"
+          (Arch.Presets.ascend_910.Arch.Machine.tensor_tile = (16, 16, 16)));
+    case "by_name lookup" (fun () ->
+        check_true "cpu" (Arch.Presets.by_name "cpu" <> None);
+        check_true "GPU case-insensitive" (Arch.Presets.by_name "GPU" <> None);
+        check_true "unknown" (Arch.Presets.by_name "tpu" = None));
+  ]
+
+let roofline_tests =
+  [
+    case "arithmetic intensity" (fun () ->
+        check_float "ai" 4.0
+          (Arch.Roofline.arithmetic_intensity ~flops:8.0 ~bytes:2.0));
+    case "classification against ridge" (fun () ->
+        let m = Arch.Presets.xeon_gold_6240 in
+        check_true "low AI memory-bound"
+          (Arch.Roofline.classify m ~flops:10.0 ~bytes:10.0
+          = Arch.Roofline.Memory_bound);
+        check_true "high AI compute-bound"
+          (Arch.Roofline.classify m ~flops:1e6 ~bytes:10.0
+          = Arch.Roofline.Compute_bound));
+    case "time takes the max" (fun () ->
+        let m = Arch.Presets.xeon_gold_6240 in
+        (* 131 GB/s: 131e9 bytes take 1s; trivial flops. *)
+        check_float ~eps:1e-6 "memory bound" 1.0
+          (Arch.Roofline.time_seconds m ~flops:1.0 ~bytes:131e9 ());
+        (* 12 TFLOPS: 12e12 flops take 1s at efficiency 1. *)
+        check_float ~eps:1e-6 "compute bound" 1.0
+          (Arch.Roofline.time_seconds m ~flops:12e12 ~bytes:1.0 ()));
+    case "efficiency scales compute" (fun () ->
+        let m = Arch.Presets.xeon_gold_6240 in
+        check_float ~eps:1e-6 "half efficiency" 2.0
+          (Arch.Roofline.time_seconds m ~flops:12e12 ~bytes:1.0
+             ~efficiency:0.5 ()));
+    case "efficiency validated" (fun () ->
+        check_raises_invalid "zero" (fun () ->
+            Arch.Roofline.time_seconds Arch.Presets.xeon_gold_6240 ~flops:1.0
+              ~bytes:1.0 ~efficiency:0.0 ()));
+    case "attainable curve saturates at peak" (fun () ->
+        let m = Arch.Presets.nvidia_a100 in
+        check_float ~eps:1e-6 "peak" 312.0
+          (Arch.Roofline.attainable_tflops m ~intensity:1e6);
+        check_true "bandwidth region"
+          (Arch.Roofline.attainable_tflops m ~intensity:10.0 < 312.0));
+  ]
+
+let suites =
+  [
+    ("arch.level", level_tests);
+    ("arch.machine", machine_tests);
+    ("arch.presets", preset_tests);
+    ("arch.roofline", roofline_tests);
+  ]

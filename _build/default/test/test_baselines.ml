@@ -1,0 +1,164 @@
+open Helpers
+
+let cpu = Arch.Presets.xeon_gold_6240
+let gpu = Arch.Presets.nvidia_a100
+let npu = Arch.Presets.ascend_910
+
+let g2 () =
+  Workloads.Gemm_configs.chain
+    (Option.get (Workloads.Gemm_configs.by_name "G2"))
+
+let g2_softmax () =
+  Workloads.Gemm_configs.chain ~softmax:true
+    (Option.get (Workloads.Gemm_configs.by_name "G2"))
+
+let profile_tests =
+  [
+    case "epilogue_passes" (fun () ->
+        check_int "identity" 0 (Baselines.Profile.epilogue_passes Ir.Chain.Identity);
+        check_int "relu" 2 (Baselines.Profile.epilogue_passes Ir.Chain.Relu);
+        check_int "softmax" 2
+          (Baselines.Profile.epilogue_passes (Ir.Chain.Softmax { axis = "l" })));
+    case "unfused library launches one kernel per GEMM" (fun () ->
+        let r = Baselines.Profile.estimate Baselines.Systems.cpu_pytorch ~machine:cpu (g2 ()) in
+        check_int "two kernels" 2 r.Baselines.Profile.kernel_count);
+    case "eager frameworks launch softmax separately" (fun () ->
+        let r =
+          Baselines.Profile.estimate Baselines.Systems.cpu_pytorch ~machine:cpu
+            (g2_softmax ())
+        in
+        check_int "three kernels" 3 r.Baselines.Profile.kernel_count);
+    case "elementwise fusers fold ReLU, not softmax" (fun () ->
+        let conv =
+          Workloads.Conv_configs.chain ~relu:true
+            (Option.get (Workloads.Conv_configs.by_name "C3"))
+        in
+        let relay = Baselines.Profile.estimate Baselines.Systems.cpu_relay ~machine:cpu conv in
+        check_int "two kernels (relu folded)" 2 relay.Baselines.Profile.kernel_count;
+        let sm =
+          Baselines.Profile.estimate Baselines.Systems.cpu_relay ~machine:cpu
+            (g2_softmax ())
+        in
+        check_int "three kernels (softmax split)" 3 sm.Baselines.Profile.kernel_count);
+    case "CUTLASS-style templates fuse the chain in one kernel" (fun () ->
+        let r =
+          Baselines.Profile.estimate Baselines.Systems.gpu_tvm_cutlass
+            ~machine:gpu (g2 ())
+        in
+        check_int "one kernel" 1 r.Baselines.Profile.kernel_count);
+    case "CUTLASS templates cannot fuse softmax (Section VI-B)" (fun () ->
+        let r =
+          Baselines.Profile.estimate Baselines.Systems.gpu_tvm_cutlass
+            ~machine:gpu (g2_softmax ())
+        in
+        check_true "falls back to separate kernels"
+          (r.Baselines.Profile.kernel_count >= 3));
+    case "unfused traffic includes the spilled intermediate" (fun () ->
+        let chain = g2 () in
+        let r =
+          Baselines.Profile.estimate Baselines.Systems.cpu_pytorch ~machine:cpu
+            chain
+        in
+        check_true "at least write+read of C"
+          (r.Baselines.Profile.dram_bytes
+          >= Ir.Chain.unfused_dram_bytes chain *. 0.99));
+    case "fixed order is never better than explored order" (fun () ->
+        let chain = g2 () in
+        let fixed =
+          Baselines.Profile.estimate Baselines.Systems.gpu_tvm_cutlass
+            ~machine:gpu chain
+        in
+        let explored =
+          Baselines.Profile.estimate
+            {
+              Baselines.Systems.gpu_tvm_cutlass with
+              Baselines.Profile.name = "explored";
+              order_policy = Baselines.Profile.Explored;
+            }
+            ~machine:gpu chain
+        in
+        check_true "explored <= fixed"
+          (explored.Baselines.Profile.time_seconds
+          <= fixed.Baselines.Profile.time_seconds *. 1.0001));
+  ]
+
+let comparison_tests =
+  [
+    slow_case "Chimera beats every CPU baseline on G2 (Figure 5a)" (fun () ->
+        let chain = g2 () in
+        let chimera =
+          Chimera.Compiler.total_time_seconds
+            (Chimera.Compiler.optimize ~machine:cpu chain)
+        in
+        List.iter
+          (fun p ->
+            let r = Baselines.Profile.estimate p ~machine:cpu chain in
+            check_true
+              (p.Baselines.Profile.name ^ " slower")
+              (r.Baselines.Profile.time_seconds > chimera))
+          (Baselines.Systems.for_machine cpu));
+    slow_case "Chimera beats every GPU baseline on G2 (Figure 6a)" (fun () ->
+        let chain = g2 () in
+        let chimera =
+          Chimera.Compiler.total_time_seconds
+            (Chimera.Compiler.optimize ~machine:gpu chain)
+        in
+        List.iter
+          (fun p ->
+            let r = Baselines.Profile.estimate p ~machine:gpu chain in
+            check_true
+              (p.Baselines.Profile.name ^ " slower")
+              (r.Baselines.Profile.time_seconds > chimera))
+          (Baselines.Systems.for_machine gpu));
+    slow_case "NPU: Chimera beats TBE clearly, AKG narrowly (Figure 7)"
+      (fun () ->
+        let chain =
+          Workloads.Gemm_configs.chain ~batch_override:1
+            (Option.get (Workloads.Gemm_configs.by_name "G3"))
+        in
+        let chimera =
+          Chimera.Compiler.total_time_seconds
+            (Chimera.Compiler.optimize ~machine:npu chain)
+        in
+        let tbe =
+          (Baselines.Profile.estimate Baselines.Systems.npu_tbe ~machine:npu chain)
+            .Baselines.Profile.time_seconds
+        in
+        let akg =
+          (Baselines.Profile.estimate Baselines.Systems.npu_akg ~machine:npu chain)
+            .Baselines.Profile.time_seconds
+        in
+        check_true "beats TBE" (tbe /. chimera > 1.2);
+        check_true "AKG is the close baseline" (akg < tbe));
+  ]
+
+let e2e_tests =
+  [
+    case "five GPU stacks in figure order" (fun () ->
+        check_int "count" 5 (List.length Baselines.E2e.gpu_stacks);
+        check_string "last is Relay+Chimera" "Relay+Chimera"
+          (List.nth Baselines.E2e.gpu_stacks 4).Baselines.E2e.name);
+    slow_case "Figure 9 ordering on Bert-Base" (fun () ->
+        let net = Workloads.Networks.bert_base in
+        let time stack = Baselines.E2e.estimate_network stack ~machine:gpu net in
+        let chimera = time Baselines.E2e.relay_chimera in
+        let pytorch = time Baselines.E2e.pytorch_cudnn in
+        let tensorrt = time Baselines.E2e.relay_tensorrt in
+        let cudnn = time Baselines.E2e.relay_cudnn in
+        let ansor = time Baselines.E2e.relay_ansor in
+        check_true "Chimera fastest"
+          (chimera < tensorrt && chimera < cudnn && chimera < ansor);
+        check_true "PyTorch slowest by far" (pytorch > 2.0 *. chimera);
+        (* Paper geomeans: 1.42 / 1.31 / 1.22 over Chimera. *)
+        check_true "TensorRT in range"
+          (tensorrt /. chimera > 1.1 && tensorrt /. chimera < 2.2);
+        check_true "Ansor the closest compiled stack"
+          (ansor < tensorrt && ansor < cudnn));
+  ]
+
+let suites =
+  [
+    ("baselines.profile", profile_tests);
+    ("baselines.comparisons", comparison_tests);
+    ("baselines.e2e", e2e_tests);
+  ]

@@ -1,0 +1,179 @@
+open Helpers
+
+(* Three-operator chains: Section IV-B's "for more compute-intensive
+   operators, the analysis method remains similar", exercised for real:
+   Algorithm 1, the planner, the executor and the code generator must
+   all handle G = ((A x B) x D) x F unchanged. *)
+
+let chain3 () =
+  Ir.Chain.batch_gemm_chain3 ~name:"chain3" ~batch:2 ~m:10 ~k:4 ~l:8 ~n:6
+    ~p:5 ()
+
+let big_chain3 () =
+  Ir.Chain.batch_gemm_chain3 ~name:"chain3-big" ~batch:4 ~m:256 ~k:64 ~l:256
+    ~n:64 ~p:64 ()
+
+let structure_tests =
+  [
+    case "three stages, two intermediates" (fun () ->
+        let chain = chain3 () in
+        check_int "stages" 3 (Ir.Chain.stage_count chain);
+        Alcotest.(check (list string))
+          "intermediates" [ "C"; "E" ]
+          (Ir.Chain.intermediate_names chain);
+        Alcotest.(check (list string))
+          "io"
+          [ "A"; "B"; "D"; "F"; "G" ]
+          (Ir.Chain.io_names chain));
+    case "private axes across three stages" (fun () ->
+        let chain = chain3 () in
+        check_true "k private to gemm1" (Ir.Chain.axis_is_private chain "k");
+        check_true "p private to gemm3" (Ir.Chain.axis_is_private chain "p");
+        check_false "l shared by 1 and 2" (Ir.Chain.axis_is_private chain "l");
+        check_false "n shared by 2 and 3" (Ir.Chain.axis_is_private chain "n"));
+    case "the reorder space is 5! with the batch pinned" (fun () ->
+        check_int "120 orders" 120
+          (Analytical.Permutations.count (big_chain3 ())));
+  ]
+
+let movement_tests =
+  [
+    case "intermediates stay free through both hand-offs" (fun () ->
+        let chain = big_chain3 () in
+        let perm = [ "b"; "m"; "l"; "k"; "n"; "p" ] in
+        let tiling =
+          Analytical.Tiling.make chain
+            [ ("m", 64); ("k", 64); ("l", 64); ("n", 64); ("p", 64) ]
+        in
+        let r = Analytical.Movement.analyze chain ~perm ~tiling in
+        List.iter
+          (fun name ->
+            let pt =
+              List.find
+                (fun (p : Analytical.Movement.per_tensor) -> p.tensor = name)
+                r.Analytical.Movement.per_tensor
+            in
+            check_float ("no movement for " ^ name) 0.0 pt.movement_bytes)
+          [ "C"; "E" ]);
+    case "producer-private k never moves the third stage's tensors"
+      (fun () ->
+        let chain = big_chain3 () in
+        let perm = [ "b"; "m"; "n"; "k"; "l"; "p" ] in
+        let dv tensor tiling =
+          (Analytical.Movement.analyze chain ~perm ~tiling)
+            .Analytical.Movement.per_tensor
+          |> List.find (fun (p : Analytical.Movement.per_tensor) ->
+                 p.tensor = tensor)
+          |> fun p -> p.movement_bytes
+        in
+        let base =
+          Analytical.Tiling.make chain
+            [ ("m", 64); ("k", 64); ("l", 64); ("n", 64); ("p", 64) ]
+        in
+        let small_k = Analytical.Tiling.set base "k" 16 in
+        check_float "F unaffected by T_k" (dv "F" base) (dv "F" small_k);
+        check_float "G unaffected by T_k" (dv "G" base) (dv "G" small_k));
+    case "MU is the max over the three stages" (fun () ->
+        let chain = big_chain3 () in
+        let perm = [ "b"; "m"; "l"; "k"; "n"; "p" ] in
+        let tiling =
+          Analytical.Tiling.make chain
+            [ ("m", 32); ("k", 64); ("l", 32); ("n", 64); ("p", 16) ]
+        in
+        let r = Analytical.Movement.analyze chain ~perm ~tiling in
+        check_int "three per-op entries" 3
+          (List.length r.Analytical.Movement.per_op_mu);
+        let max_op =
+          List.fold_left
+            (fun acc (_, mu) -> max acc mu)
+            0 r.Analytical.Movement.per_op_mu
+        in
+        check_int "max rule" max_op r.Analytical.Movement.mu_bytes);
+  ]
+
+let planner_tests =
+  [
+    case "the planner fuses all three GEMMs in one pass over the IO"
+      (fun () ->
+        let chain = big_chain3 () in
+        let plan =
+          Analytical.Planner.optimize chain ~capacity_bytes:(1024 * 1024) ()
+        in
+        (* Everything fits: one pass over A,B,D,F,G and nothing else. *)
+        check_true "minimal movement"
+          (plan.Analytical.Planner.movement.Analytical.Movement.dv_bytes
+          <= 1.01 *. Ir.Chain.io_bytes chain);
+        check_true "far below unfused"
+          (plan.Analytical.Planner.movement.Analytical.Movement.dv_bytes
+          < 0.5 *. Ir.Chain.unfused_dram_bytes chain));
+  ]
+
+let exec_tests =
+  [
+    case "fused three-GEMM execution matches the reference" (fun () ->
+        let chain = chain3 () in
+        let ref_env = Sim.Exec.make_env chain ~seed:42 in
+        Sim.Exec.run_reference chain ref_env;
+        let tilings =
+          [
+            Analytical.Tiling.make chain
+              [ ("b", 1); ("m", 4); ("k", 2); ("l", 3); ("n", 3); ("p", 2) ];
+            Analytical.Tiling.full chain;
+            Analytical.Tiling.ones chain;
+          ]
+        in
+        let perms =
+          [
+            [ "b"; "m"; "k"; "l"; "n"; "p" ];
+            [ "b"; "p"; "n"; "l"; "k"; "m" ];
+            [ "k"; "n"; "b"; "m"; "p"; "l" ];
+          ]
+        in
+        List.iter
+          (fun perm ->
+            List.iter
+              (fun tiling ->
+                let env = Sim.Exec.make_env chain ~seed:42 in
+                Sim.Exec.run_fused chain ~perm ~tiling env;
+                check_true
+                  (Printf.sprintf "perm %s" (String.concat "" perm))
+                  (Sim.Exec.outputs_match ~rtol:1e-6 chain ref_env env))
+              tilings)
+          perms);
+    case "full Chimera compilation of a three-GEMM chain runs" (fun () ->
+        let chain = chain3 () in
+        let compiled =
+          Chimera.Compiler.optimize ~machine:Arch.Presets.xeon_gold_6240 chain
+        in
+        let env = Sim.Exec.make_env chain ~seed:9 in
+        Chimera.Compiler.run compiled env;
+        let ref_env = Sim.Exec.make_env chain ~seed:9 in
+        Sim.Exec.run_reference chain ref_env;
+        check_true "numerics"
+          (Sim.Exec.outputs_match ~rtol:1e-6 chain ref_env env);
+        (* And the unfused split yields three kernels. *)
+        check_int "three unfused kernels" 3
+          (List.length (Chimera.Compiler.split_stages chain)));
+    case "codegen emits three interleaved stages" (fun () ->
+        let chain = big_chain3 () in
+        let compiled =
+          Chimera.Compiler.optimize ~machine:Arch.Presets.xeon_gold_6240 chain
+        in
+        let src = Chimera.Compiler.source compiled in
+        List.iter
+          (fun needle ->
+            let nl = String.length needle and hl = String.length src in
+            let rec go i =
+              i + nl <= hl && (String.sub src i nl = needle || go (i + 1))
+            in
+            check_true ("mentions " ^ needle) (go 0))
+          [ "gemm1"; "gemm2"; "gemm3" ]);
+  ]
+
+let suites =
+  [
+    ("chain3.structure", structure_tests);
+    ("chain3.movement", movement_tests);
+    ("chain3.planner", planner_tests);
+    ("chain3.exec", exec_tests);
+  ]

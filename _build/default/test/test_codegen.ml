@@ -1,0 +1,118 @@
+open Helpers
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let kernel_for ?(machine = Arch.Presets.xeon_gold_6240) ?(softmax = false) () =
+  let chain =
+    Ir.Chain.batch_gemm_chain ~name:"t" ~batch:2 ~m:128 ~n:64 ~k:64 ~l:128
+      ~softmax ()
+  in
+  (* A capacity small enough that the plan genuinely tiles. *)
+  let plan = Analytical.Planner.optimize chain ~capacity_bytes:(32 * 1024) () in
+  let registry = Microkernel.Registry.default () in
+  Codegen.Kernel.of_plan ~name:"t" ~chain ~machine ~registry ~plan ()
+
+let kernel_tests =
+  [
+    case "of_plan picks the backend micro kernel" (fun () ->
+        let k = kernel_for () in
+        check_string "cpu kernel" "cpu.avx512.outer_product"
+          k.Codegen.Kernel.micro.Microkernel.Kernel_sig.id;
+        let kg = kernel_for ~machine:Arch.Presets.nvidia_a100 () in
+        check_string "gpu kernel" "gpu.wmma.2x2"
+          kg.Codegen.Kernel.micro.Microkernel.Kernel_sig.id);
+    case "predicted DV/MU agree with the plan" (fun () ->
+        let k = kernel_for () in
+        let m =
+          Analytical.Movement.analyze k.Codegen.Kernel.chain
+            ~perm:k.Codegen.Kernel.perm ~tiling:k.Codegen.Kernel.tiling
+        in
+        check_float "dv" m.Analytical.Movement.dv_bytes
+          (Codegen.Kernel.predicted_dv_bytes k);
+        check_int "mu" m.Analytical.Movement.mu_bytes
+          (Codegen.Kernel.predicted_mu_bytes k));
+    case "matmul_block_dims maps gemm blocks" (fun () ->
+        let k = kernel_for () in
+        let stage = List.hd k.Codegen.Kernel.chain.Ir.Chain.stages in
+        let m, n, kk = Codegen.Kernel.matmul_block_dims k stage.Ir.Chain.op in
+        let tile a = Analytical.Tiling.get k.Codegen.Kernel.tiling a in
+        (* gemm1 output C[b][m][l]: innermost dim l is the vector n. *)
+        check_int "n = T_l" (tile "l") n;
+        check_int "k = T_k" (tile "k") kk;
+        check_int "m = T_b * T_m" (tile "b" * tile "m") m);
+    case "block_shape restricted to op axes" (fun () ->
+        let k = kernel_for () in
+        let stage = List.hd k.Codegen.Kernel.chain.Ir.Chain.stages in
+        let shape = Codegen.Kernel.block_shape k stage.Ir.Chain.op in
+        Alcotest.(check (list string))
+          "axes"
+          [ "b"; "m"; "l"; "k" ]
+          (List.map fst shape));
+    case "micro_efficiency is a sane fraction" (fun () ->
+        let e = Codegen.Kernel.micro_efficiency (kernel_for ()) in
+        check_true "in (0,1]" (e > 0.0 && e <= 1.0));
+    case "block_count matches the tiling" (fun () ->
+        let k = kernel_for () in
+        check_float "blocks"
+          (Analytical.Tiling.total_blocks k.Codegen.Kernel.tiling)
+          (Codegen.Kernel.block_count k));
+  ]
+
+let source_tests =
+  [
+    case "emission carries the plan header" (fun () ->
+        let src = Codegen.Source.emit (kernel_for ()) in
+        check_true "name" (contains ~needle:"Chimera generated kernel" src);
+        check_true "order" (contains ~needle:"block order:" src);
+        check_true "machine" (contains ~needle:"Xeon" src));
+    case "loop nest opens subdividing loops only" (fun () ->
+        let k = kernel_for () in
+        let nest = Codegen.Source.emit_loop_nest k in
+        check_true "for loops" (contains ~needle:"for (int" nest);
+        let loops =
+          List.filter
+            (fun line -> contains ~needle:"for (int" line)
+            (String.split_on_char '\n' nest)
+        in
+        (* At least one loop per axis that is actually split somewhere in
+           the level plans, and braces balance. *)
+        check_true "several loops" (List.length loops >= 3);
+        let count ch =
+          String.fold_left (fun acc c -> if c = ch then acc + 1 else acc) 0 nest
+        in
+        check_int "balanced braces" (count '{') (count '}'));
+    case "stage guards appear" (fun () ->
+        let nest = Codegen.Source.emit_loop_nest (kernel_for ()) in
+        (* gemm1 does not own n: it must be guarded on n's first block or
+           gemm2 on k's last block. *)
+        check_true "guard" (contains ~needle:"if (" nest));
+    case "micro kernel body is substituted" (fun () ->
+        let src = Codegen.Source.emit (kernel_for ()) in
+        check_true "substitution note"
+          (contains ~needle:"substituted low-level micro kernel" src);
+        check_true "assembly" (contains ~needle:"vfmadd231ps" src));
+    case "gpu emission is CUDA flavoured" (fun () ->
+        let src = Codegen.Source.emit (kernel_for ~machine:Arch.Presets.nvidia_a100 ()) in
+        check_true "wmma" (contains ~needle:"wmma::mma_sync" src);
+        check_true "grid comment" (contains ~needle:"blockIdx" src));
+    case "npu emission is DSL flavoured" (fun () ->
+        let src = Codegen.Source.emit (kernel_for ~machine:Arch.Presets.ascend_910 ()) in
+        check_true "mad" (contains ~needle:"pragma='mad'" src));
+    case "softmax rewrite is spelled out" (fun () ->
+        let src = Codegen.Source.emit (kernel_for ~softmax:true ()) in
+        check_true "exp" (contains ~needle:"exp_inplace" src);
+        check_true "merged sum" (contains ~needle:"rowsum_accumulate" src);
+        check_true "swapped division" (contains ~needle:"divide_rows" src));
+    case "buffer declarations label intermediates" (fun () ->
+        let src = Codegen.Source.emit (kernel_for ()) in
+        check_true "resident note"
+          (contains ~needle:"intermediate, resident on chip" src));
+    case "cpu emission carries the OpenMP pragma" (fun () ->
+        let nest = Codegen.Source.emit_loop_nest (kernel_for ()) in
+        check_true "omp" (contains ~needle:"#pragma omp parallel for" nest));
+  ]
+
+let suites = [ ("codegen.kernel", kernel_tests); ("codegen.source", source_tests) ]

@@ -1,0 +1,200 @@
+open Helpers
+
+(* The dependency-preservation claim of Section III: every block order
+   Chimera can select yields the same numerics as the unfused reference. *)
+
+let check_fused_matches_reference ?(rtol = 1e-6) chain perm tiling =
+  let ref_env = Sim.Exec.make_env chain ~seed:42 in
+  Sim.Exec.run_reference chain ref_env;
+  let env = Sim.Exec.make_env chain ~seed:42 in
+  Sim.Exec.run_fused chain ~perm ~tiling env;
+  check_true
+    (Printf.sprintf "perm %s tiles %s" (String.concat "" perm)
+       (Analytical.Tiling.to_string tiling))
+    (Sim.Exec.outputs_match ~rtol ~atol:1e-9 chain ref_env env)
+
+let env_tests =
+  [
+    case "make_env fills inputs, zeroes the rest" (fun () ->
+        let chain = small_gemm_chain () in
+        let env = Sim.Exec.make_env chain ~seed:1 in
+        let a = Sim.Exec.tensor env "A" in
+        let c = Sim.Exec.tensor env "C" in
+        let nonzero = ref false in
+        Tensor.Dense.iteri a (fun _ v -> if v <> 0.0 then nonzero := true);
+        check_true "A has data" !nonzero;
+        Tensor.Dense.iteri c (fun _ v -> check_float "C zero" 0.0 v));
+    case "make_env is deterministic per seed" (fun () ->
+        let chain = small_gemm_chain () in
+        let a1 = Sim.Exec.tensor (Sim.Exec.make_env chain ~seed:7) "A" in
+        let a2 = Sim.Exec.tensor (Sim.Exec.make_env chain ~seed:7) "A" in
+        check_float "same" 0.0 (Tensor.Dense.max_abs_diff a1 a2));
+    case "different seeds differ" (fun () ->
+        let chain = small_gemm_chain () in
+        let a1 = Sim.Exec.tensor (Sim.Exec.make_env chain ~seed:7) "A" in
+        let a2 = Sim.Exec.tensor (Sim.Exec.make_env chain ~seed:8) "A" in
+        check_true "differ" (Tensor.Dense.max_abs_diff a1 a2 > 0.0));
+    case "tensor lookup raises for unknown names" (fun () ->
+        let chain = small_gemm_chain () in
+        let env = Sim.Exec.make_env chain ~seed:1 in
+        check_true "not found"
+          (match Sim.Exec.tensor env "Z" with
+          | _ -> false
+          | exception Not_found -> true));
+  ]
+
+let reference_tests =
+  [
+    case "reference GEMM chain computes E = (A x B) x D" (fun () ->
+        (* Hand-computed 1x1 matrices: A=[2], B=[3], D=[5] => E = 30. *)
+        let chain =
+          Ir.Chain.batch_gemm_chain ~name:"unit" ~batch:1 ~m:1 ~n:1 ~k:1 ~l:1
+            ()
+        in
+        let env = Sim.Exec.make_env chain ~seed:1 in
+        Tensor.Dense.set (Sim.Exec.tensor env "A") [| 0; 0; 0 |] 2.0;
+        Tensor.Dense.set (Sim.Exec.tensor env "B") [| 0; 0; 0 |] 3.0;
+        Tensor.Dense.set (Sim.Exec.tensor env "D") [| 0; 0; 0 |] 5.0;
+        Sim.Exec.run_reference chain env;
+        check_float "C" 6.0 (Tensor.Dense.get (Sim.Exec.tensor env "C") [| 0; 0; 0 |]);
+        check_float "E" 30.0 (Tensor.Dense.get (Sim.Exec.tensor env "E") [| 0; 0; 0 |]));
+    case "reference softmax rows sum the consumer correctly" (fun () ->
+        (* With softmax, C's rows are normalised before the second GEMM:
+           for a 1x2 row (l=2) and D = identity-ish column of ones, E is
+           a weighted average bounded by the row extrema. *)
+        let chain =
+          Ir.Chain.batch_gemm_chain ~name:"sm" ~batch:1 ~m:1 ~n:1 ~k:1 ~l:2
+            ~softmax:true ()
+        in
+        let env = Sim.Exec.make_env chain ~seed:1 in
+        Tensor.Dense.set (Sim.Exec.tensor env "A") [| 0; 0; 0 |] 1.0;
+        Tensor.Dense.set (Sim.Exec.tensor env "B") [| 0; 0; 0 |] 0.5;
+        Tensor.Dense.set (Sim.Exec.tensor env "B") [| 0; 0; 1 |] 1.5;
+        Tensor.Dense.set (Sim.Exec.tensor env "D") [| 0; 0; 0 |] 10.0;
+        Tensor.Dense.set (Sim.Exec.tensor env "D") [| 0; 1; 0 |] 20.0;
+        Sim.Exec.run_reference chain env;
+        let c0 = Tensor.Dense.get (Sim.Exec.tensor env "C") [| 0; 0; 0 |] in
+        let c1 = Tensor.Dense.get (Sim.Exec.tensor env "C") [| 0; 0; 1 |] in
+        check_float ~eps:1e-9 "softmax row sums to 1" 1.0 (c0 +. c1);
+        let e = Tensor.Dense.get (Sim.Exec.tensor env "E") [| 0; 0; 0 |] in
+        check_true "weighted average" (e > 10.0 && e < 20.0));
+    case "reference ReLU clamps negatives" (fun () ->
+        let chain = small_conv_chain ~relu:true () in
+        let env = Sim.Exec.make_env chain ~seed:3 in
+        Sim.Exec.run_reference chain env;
+        Tensor.Dense.iteri (Sim.Exec.tensor env "O1") (fun _ v ->
+            check_true "non-negative" (v >= 0.0)));
+  ]
+
+let all_gemm_perms chain =
+  Analytical.Permutations.candidates chain
+
+let fused_tests =
+  [
+    case "fused GEMM chain matches reference on all 24 orders" (fun () ->
+        let chain = small_gemm_chain () in
+        let tiling =
+          Analytical.Tiling.make chain
+            [ ("b", 1); ("m", 4); ("n", 3); ("k", 2); ("l", 5) ]
+        in
+        List.iter
+          (fun perm -> check_fused_matches_reference chain perm tiling)
+          (all_gemm_perms chain));
+    case "fused softmax chain matches reference on all 24 orders" (fun () ->
+        let chain = small_gemm_chain ~softmax:true () in
+        let tiling =
+          Analytical.Tiling.make chain
+            [ ("b", 2); ("m", 5); ("n", 6); ("k", 5); ("l", 3) ]
+        in
+        List.iter
+          (fun perm -> check_fused_matches_reference chain perm tiling)
+          (all_gemm_perms chain));
+    case "fused conv chain with ReLU matches reference" (fun () ->
+        let chain = small_conv_chain ~relu:true () in
+        let fused = Analytical.Movement.fused_axes chain in
+        let tiling =
+          Analytical.Tiling.make chain
+            [
+              ("oc2", 2); ("oh", 3); ("ow", 2); ("oc1", 2); ("kh2", 3);
+              ("kw2", 3); ("ic", 2); ("kh1", 3); ("kw1", 3);
+            ]
+        in
+        List.iter
+          (fun perm -> check_fused_matches_reference chain perm tiling)
+          [ fused; List.rev fused ]);
+    case "strided conv chain matches reference" (fun () ->
+        let chain =
+          Ir.Chain.conv_chain ~name:"strided" ~batch:1 ~ic:2 ~h:11 ~w:7
+            ~oc1:3 ~oc2:2 ~st1:2 ~st2:2 ~k1:3 ~k2:3 ~relu:true ()
+        in
+        let fused = Analytical.Movement.fused_axes chain in
+        check_fused_matches_reference chain fused
+          (Analytical.Tiling.make chain [ ("oh", 2); ("ow", 2); ("oc1", 2) ]));
+    case "pointwise-then-3x3 chain (the C6 shape) matches" (fun () ->
+        let chain =
+          Ir.Chain.conv_chain ~name:"c6ish" ~batch:1 ~ic:3 ~h:8 ~w:8 ~oc1:4
+            ~oc2:3 ~st1:1 ~st2:1 ~k1:1 ~k2:3 ()
+        in
+        let fused = Analytical.Movement.fused_axes chain in
+        check_fused_matches_reference chain fused
+          (Analytical.Tiling.make chain
+             [ ("oh", 4); ("ow", 4); ("oc1", 4); ("kh2", 3); ("kw2", 3) ]));
+    case "single-block tiling (everything on chip)" (fun () ->
+        let chain = small_gemm_chain ~softmax:true () in
+        check_fused_matches_reference chain
+          (List.hd (all_gemm_perms chain))
+          (Analytical.Tiling.full chain));
+    case "one-element tiles (maximal blocking)" (fun () ->
+        let chain = small_gemm_chain () in
+        check_fused_matches_reference chain
+          (List.hd (all_gemm_perms chain))
+          (Analytical.Tiling.ones chain));
+    case "non-dividing tile sizes" (fun () ->
+        let chain = small_gemm_chain () in
+        check_fused_matches_reference chain
+          (List.hd (all_gemm_perms chain))
+          (Analytical.Tiling.make chain
+             [ ("b", 2); ("m", 7); ("n", 5); ("k", 3); ("l", 7) ]));
+    case "run_kernel drives the compiled plan" (fun () ->
+        let chain = small_gemm_chain ~softmax:true () in
+        let compiled =
+          Chimera.Compiler.optimize ~machine:Arch.Presets.xeon_gold_6240 chain
+        in
+        let ref_env = Sim.Exec.make_env chain ~seed:42 in
+        Sim.Exec.run_reference chain ref_env;
+        let env = Sim.Exec.make_env chain ~seed:42 in
+        Chimera.Compiler.run compiled env;
+        check_true "matches"
+          (Sim.Exec.outputs_match ~rtol:1e-6 chain ref_env env));
+    case "unfused compilation also matches the reference" (fun () ->
+        let chain = small_gemm_chain ~softmax:true () in
+        let config = { Chimera.Config.default with use_fusion = false } in
+        let compiled =
+          Chimera.Compiler.optimize ~config
+            ~machine:Arch.Presets.xeon_gold_6240 chain
+        in
+        check_int "two kernels" 2 (List.length compiled.Chimera.Compiler.units);
+        let ref_env = Sim.Exec.make_env chain ~seed:42 in
+        Sim.Exec.run_reference chain ref_env;
+        let env = Sim.Exec.make_env chain ~seed:42 in
+        Chimera.Compiler.run compiled env;
+        check_true "matches"
+          (Sim.Exec.outputs_match ~rtol:1e-6 chain ref_env env));
+    case "outputs_match detects corruption" (fun () ->
+        let chain = small_gemm_chain () in
+        let a = Sim.Exec.make_env chain ~seed:1 in
+        Sim.Exec.run_reference chain a;
+        let b = Sim.Exec.make_env chain ~seed:1 in
+        Sim.Exec.run_reference chain b;
+        check_true "initially equal" (Sim.Exec.outputs_match chain a b);
+        let e = Sim.Exec.tensor b "E" in
+        Tensor.Dense.set_flat e 0 (Tensor.Dense.get_flat e 0 +. 1.0);
+        check_false "corruption caught" (Sim.Exec.outputs_match chain a b));
+  ]
+
+let suites =
+  [
+    ("exec.env", env_tests);
+    ("exec.reference", reference_tests);
+    ("exec.fused", fused_tests);
+  ]

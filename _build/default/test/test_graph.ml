@@ -1,0 +1,321 @@
+open Helpers
+
+let ops_tests =
+  [
+    case "classification follows the paper's taxonomy" (fun () ->
+        check_true "bmm is CI"
+          (Graph.Ops.classify Graph.Ops.Batch_gemm
+          = Some Graph.Ops.Compute_intensive);
+        check_true "conv is CI"
+          (Graph.Ops.classify (Graph.Ops.Conv2d { stride = 1; kh = 3; kw = 3 })
+          = Some Graph.Ops.Compute_intensive);
+        check_true "softmax is MI"
+          (Graph.Ops.classify Graph.Ops.Softmax
+          = Some Graph.Ops.Memory_intensive);
+        check_true "input is neither" (Graph.Ops.classify Graph.Ops.Input = None));
+    case "batch_gemm shape inference" (fun () ->
+        check_true "valid"
+          (Graph.Ops.infer_shape Graph.Ops.Batch_gemm
+             [ [ 4; 16; 8 ]; [ 4; 8; 32 ] ]
+          = Ok [ 4; 16; 32 ]);
+        check_true "inner mismatch"
+          (Result.is_error
+             (Graph.Ops.infer_shape Graph.Ops.Batch_gemm
+                [ [ 4; 16; 8 ]; [ 4; 9; 32 ] ]));
+        check_true "batch mismatch"
+          (Result.is_error
+             (Graph.Ops.infer_shape Graph.Ops.Batch_gemm
+                [ [ 4; 16; 8 ]; [ 2; 8; 32 ] ])));
+    case "conv2d shape inference uses same padding" (fun () ->
+        check_true "stride 2"
+          (Graph.Ops.infer_shape
+             (Graph.Ops.Conv2d { stride = 2; kh = 3; kw = 3 })
+             [ [ 1; 64; 112; 112 ]; [ 192; 64; 3; 3 ] ]
+          = Ok [ 1; 192; 56; 56 ]);
+        check_true "channel mismatch"
+          (Result.is_error
+             (Graph.Ops.infer_shape
+                (Graph.Ops.Conv2d { stride = 1; kh = 3; kw = 3 })
+                [ [ 1; 64; 8; 8 ]; [ 16; 32; 3; 3 ] ])));
+    case "flops formulas" (fun () ->
+        check_float "gemm"
+          (2.0 *. 4.0 *. 16.0 *. 32.0 *. 8.0)
+          (Graph.Ops.flops Graph.Ops.Batch_gemm
+             ~inputs:[ [ 4; 16; 8 ]; [ 4; 8; 32 ] ]
+             ~output:[ 4; 16; 32 ]);
+        check_float "relu" 64.0
+          (Graph.Ops.flops Graph.Ops.Relu ~inputs:[ [ 64 ] ] ~output:[ 64 ]));
+  ]
+
+let builder_tests =
+  [
+    case "shapes propagate through the builder" (fun () ->
+        let g = Graph.Models.attention_layer ~heads:4 ~seq:32 ~head_dim:8 () in
+        let nodes = Graph.Builder.nodes g in
+        check_int "6 nodes" 6 (List.length nodes);
+        let last = List.nth nodes 5 in
+        Alcotest.(check (list int)) "context shape" [ 4; 32; 8 ] last.shape);
+    case "builder rejects bad shapes" (fun () ->
+        let g = Graph.Builder.create () in
+        let a = Graph.Builder.input g ~name:"a" ~shape:[ 2; 4; 8 ] in
+        let b = Graph.Builder.input g ~name:"b" ~shape:[ 2; 9; 8 ] in
+        check_raises_invalid "inner dim" (fun () ->
+            ignore (Graph.Builder.batch_gemm g a b)));
+    case "builder rejects cross-graph values" (fun () ->
+        let g1 = Graph.Builder.create () in
+        let g2 = Graph.Builder.create () in
+        let a = Graph.Builder.input g1 ~name:"a" ~shape:[ 1; 4; 4 ] in
+        let b = Graph.Builder.input g2 ~name:"b" ~shape:[ 1; 4; 4 ] in
+        check_raises_invalid "cross graph" (fun () ->
+            ignore (Graph.Builder.batch_gemm g1 a b)));
+    case "consumers" (fun () ->
+        let g = Graph.Builder.create () in
+        let a = Graph.Builder.input g ~name:"a" ~shape:[ 1; 4; 4 ] in
+        let r = Graph.Builder.relu g a in
+        let _ = Graph.Builder.add g r r in
+        check_int "relu consumed once (by add, twice as args)" 1
+          (List.length
+             (Graph.Builder.consumers g (Graph.Builder.value_id r))));
+  ]
+
+let partition_tests =
+  [
+    case "attention partitions into one fused chain" (fun () ->
+        let g = Graph.Models.attention_layer ~heads:4 ~seq:32 ~head_dim:8 () in
+        let p = Graph.Partition.partition g in
+        let chains = Graph.Partition.chains p in
+        check_int "one segment" 1 (List.length p.Graph.Partition.segments);
+        check_int "one chain" 1 (List.length chains);
+        let chain = List.hd chains in
+        check_int "two stages" 2 (Ir.Chain.stage_count chain);
+        check_true "softmax captured"
+          (List.exists
+             (fun (s : Ir.Chain.stage) ->
+               match s.Ir.Chain.epilogue with
+               | Ir.Chain.Softmax _ -> true
+               | _ -> false)
+             chain.Ir.Chain.stages);
+        (* Shapes lowered from the graph: b=heads, m=l=seq, k=n=dim. *)
+        check_int "b" 4 (Ir.Chain.extent_of chain "b");
+        check_int "m" 32 (Ir.Chain.extent_of chain "m");
+        check_int "k" 8 (Ir.Chain.extent_of chain "k"));
+    case "conv block partitions into one fused chain with both ReLUs"
+      (fun () ->
+        let g =
+          Graph.Models.conv_block ~ic:8 ~h:16 ~w:16 ~oc1:12 ~oc2:8 ~st1:2
+            ~st2:1 ~k1:3 ~k2:1 ()
+        in
+        let p = Graph.Partition.partition g in
+        check_int "one chain" 1 (List.length (Graph.Partition.chains p));
+        let chain = List.hd (Graph.Partition.chains p) in
+        check_int "two stages" 2 (Ir.Chain.stage_count chain);
+        List.iter
+          (fun (s : Ir.Chain.stage) ->
+            check_true "relu folded" (s.Ir.Chain.epilogue = Ir.Chain.Relu))
+          chain.Ir.Chain.stages);
+    case "mixer block fuses three GEMMs" (fun () ->
+        let g = Graph.Models.mlp_mixer_block ~tokens:64 ~channels:32 ~hidden:16 () in
+        let p = Graph.Partition.partition g in
+        let chain = List.hd (Graph.Partition.chains p) in
+        check_int "three stages" 3 (Ir.Chain.stage_count chain);
+        check_int "fused CI ops" 3 (Graph.Partition.fused_ci_ops p));
+    case "a second consumer of the intermediate blocks fusion" (fun () ->
+        let g = Graph.Builder.create () in
+        let x = Graph.Builder.input g ~name:"x" ~shape:[ 1; 16; 8 ] in
+        let w1 = Graph.Builder.input g ~name:"w1" ~shape:[ 1; 8; 16 ] in
+        let w2 = Graph.Builder.input g ~name:"w2" ~shape:[ 1; 16; 8 ] in
+        let c = Graph.Builder.batch_gemm g x w1 in
+        let _e = Graph.Builder.batch_gemm g c w2 in
+        (* Second consumer of c. *)
+        let _r = Graph.Builder.relu g c in
+        let p = Graph.Partition.partition g in
+        check_int "no multi-stage chain" 0 (Graph.Partition.fused_ci_ops p);
+        check_int "two single-stage chains" 2
+          (List.length (Graph.Partition.chains p)));
+    case "consuming as weight blocks fusion" (fun () ->
+        let g = Graph.Builder.create () in
+        let x = Graph.Builder.input g ~name:"x" ~shape:[ 1; 8; 8 ] in
+        let w = Graph.Builder.input g ~name:"w" ~shape:[ 1; 8; 8 ] in
+        let c = Graph.Builder.batch_gemm g x w in
+        (* c used as the *weight* of the next GEMM: not the chain pattern. *)
+        let _e = Graph.Builder.batch_gemm g x c in
+        let p = Graph.Partition.partition g in
+        check_int "no fusion" 0 (Graph.Partition.fused_ci_ops p));
+    case "transformer block: chain + singles + elementwise groups"
+      (fun () ->
+        let g =
+          Graph.Models.transformer_block ~hidden:64 ~heads:4 ~seq:32 ~ffn:128 ()
+        in
+        let p = Graph.Partition.partition g in
+        (* One attention chain of 2 stages... *)
+        check_int "attention fused" 2 (Graph.Partition.fused_ci_ops p);
+        (* ...every CI op lands in exactly one chain. *)
+        let ci_nodes =
+          List.length
+            (List.filter
+               (fun (n : Graph.Builder.node) ->
+                 Graph.Ops.classify n.op = Some Graph.Ops.Compute_intensive)
+               (Graph.Builder.nodes g))
+        in
+        let covered =
+          List.fold_left
+            (fun acc -> function
+              | Graph.Partition.Ci_chain { chain; _ } ->
+                  acc + Ir.Chain.stage_count chain
+              | Graph.Partition.Mi_group _ -> acc)
+            0 p.Graph.Partition.segments
+        in
+        check_int "all CI ops covered" ci_nodes covered;
+        (* MI groups exist (layernorms/residuals/gelu not folded). *)
+        check_true "has elementwise groups"
+          (List.exists
+             (function Graph.Partition.Mi_group _ -> true | _ -> false)
+             p.Graph.Partition.segments));
+    case "every graph node lands in exactly one segment" (fun () ->
+        let g =
+          Graph.Models.transformer_block ~hidden:64 ~heads:4 ~seq:32 ~ffn:128 ()
+        in
+        let p = Graph.Partition.partition g in
+        let covered =
+          List.concat_map
+            (function
+              | Graph.Partition.Ci_chain { node_ids; _ }
+              | Graph.Partition.Mi_group { node_ids; _ } ->
+                  node_ids)
+            p.Graph.Partition.segments
+        in
+        let sorted = List.sort compare covered in
+        check_int "no duplicates" (List.length sorted)
+          (List.length (List.sort_uniq compare sorted));
+        let non_inputs =
+          List.filter
+            (fun (n : Graph.Builder.node) -> n.op <> Graph.Ops.Input)
+            (Graph.Builder.nodes g)
+        in
+        check_int "complete coverage" (List.length non_inputs)
+          (List.length sorted));
+    case "mi group bytes count only external traffic" (fun () ->
+        let g = Graph.Builder.create () in
+        let a = Graph.Builder.input g ~name:"a" ~shape:[ 1; 4; 8 ] in
+        (* relu -> gelu: one group; interior value free. *)
+        let r = Graph.Builder.relu g a in
+        let _ = Graph.Builder.gelu g r in
+        let p = Graph.Partition.partition g in
+        match p.Graph.Partition.segments with
+        | [ Graph.Partition.Mi_group { bytes; node_ids; _ } ] ->
+            check_int "two nodes" 2 (List.length node_ids);
+            (* read a (64 B) + write gelu output (64 B), fp16. *)
+            check_float "external only" 128.0 bytes
+        | _ -> Alcotest.fail "expected a single elementwise group");
+  ]
+
+let estimate_tests =
+  [
+    case "fused estimate beats unfused on attention" (fun () ->
+        let g =
+          Graph.Models.attention_layer ~heads:12 ~seq:512 ~head_dim:64 ()
+        in
+        let p = Graph.Partition.partition g in
+        let machine = Arch.Presets.nvidia_a100 in
+        let fused = Graph.Estimate.estimate p ~machine in
+        let unfused = Graph.Estimate.unfused_estimate p ~machine in
+        check_true "fusion wins"
+          (fused.Graph.Estimate.total_seconds
+          < unfused.Graph.Estimate.total_seconds);
+        check_true "totals decompose"
+          (Float.abs
+             (fused.Graph.Estimate.total_seconds
+             -. (fused.Graph.Estimate.ci_seconds
+                +. fused.Graph.Estimate.mi_seconds))
+          < 1e-12));
+    case "transformer block estimate covers every segment" (fun () ->
+        let g =
+          Graph.Models.transformer_block ~hidden:64 ~heads:4 ~seq:64 ~ffn:128 ()
+        in
+        let p = Graph.Partition.partition g in
+        let r = Graph.Estimate.estimate p ~machine:Arch.Presets.xeon_gold_6240 in
+        check_int "same segment count"
+          (List.length p.Graph.Partition.segments)
+          (List.length r.Graph.Estimate.segments);
+        List.iter
+          (fun (s : Graph.Estimate.segment_time) ->
+            check_true (s.label ^ " positive") (s.seconds > 0.0))
+          r.Graph.Estimate.segments);
+  ]
+
+let stack_tests =
+  [
+    case "encoder stack scales CI chains linearly" (fun () ->
+        let ci layers =
+          let g =
+            Graph.Models.encoder_stack ~layers ~hidden:64 ~heads:4 ~seq:32
+              ~ffn:128 ()
+          in
+          List.length (Graph.Partition.chains (Graph.Partition.partition g))
+        in
+        let one = ci 1 and three = ci 3 in
+        check_int "3x chains" (3 * one) three);
+    case "element-wise groups merge across the residual boundary" (fun () ->
+        (* L0's ln2 feeds L1's residual add directly, so the groups span
+           layers: strictly fewer than layers x groups-per-layer. *)
+        let mi layers =
+          let g =
+            Graph.Models.encoder_stack ~layers ~hidden:64 ~heads:4 ~seq:32
+              ~ffn:128 ()
+          in
+          List.length
+            (List.filter
+               (function Graph.Partition.Mi_group _ -> true | _ -> false)
+               (Graph.Partition.partition g).Graph.Partition.segments)
+        in
+        check_true "merged" (mi 3 < 3 * mi 1));
+    case "every layer's attention chain fuses" (fun () ->
+        let g =
+          Graph.Models.encoder_stack ~layers:3 ~hidden:64 ~heads:4 ~seq:32
+            ~ffn:128 ()
+        in
+        let p = Graph.Partition.partition g in
+        check_int "6 fused CI ops (2 per layer)" 6
+          (Graph.Partition.fused_ci_ops p));
+    case "blocks chain: layer 1 reads layer 0's output" (fun () ->
+        let g =
+          Graph.Models.encoder_stack ~layers:2 ~hidden:32 ~heads:2 ~seq:16
+            ~ffn:64 ()
+        in
+        (* The second layer's qkv_proj consumes the first layer's ln2. *)
+        let find name =
+          List.find
+            (fun (n : Graph.Builder.node) -> n.name = name)
+            (Graph.Builder.nodes g)
+        in
+        let ln2_l0 = find "L0.ln2" in
+        let qkv_l1 = find "L1.qkv_proj" in
+        check_true "linked" (List.mem ln2_l0.id qkv_l1.inputs));
+  ]
+
+let numerics_tests =
+  [
+    case "partitioned attention chain computes correctly" (fun () ->
+        let g = Graph.Models.attention_layer ~heads:2 ~seq:12 ~head_dim:5 () in
+        let p = Graph.Partition.partition g in
+        let chain = List.hd (Graph.Partition.chains p) in
+        let compiled =
+          Chimera.Compiler.optimize ~machine:Arch.Presets.xeon_gold_6240 chain
+        in
+        let env = Sim.Exec.make_env chain ~seed:21 in
+        Chimera.Compiler.run compiled env;
+        let ref_env = Sim.Exec.make_env chain ~seed:21 in
+        Sim.Exec.run_reference chain ref_env;
+        check_true "numerics"
+          (Sim.Exec.outputs_match ~rtol:1e-6 chain ref_env env));
+  ]
+
+let suites =
+  [
+    ("graph.ops", ops_tests);
+    ("graph.builder", builder_tests);
+    ("graph.partition", partition_tests);
+    ("graph.estimate", estimate_tests);
+    ("graph.stack", stack_tests);
+    ("graph.numerics", numerics_tests);
+  ]

@@ -1,0 +1,300 @@
+open Helpers
+
+let axis_tests =
+  [
+    case "make validates" (fun () ->
+        check_raises_invalid "empty name" (fun () -> Ir.Axis.make "" 4);
+        check_raises_invalid "zero extent" (fun () -> Ir.Axis.make "m" 0));
+    case "find and names" (fun () ->
+        let axes = [ Ir.Axis.make "m" 4; Ir.Axis.make "n" 8 ] in
+        check_int "find" 8 (Ir.Axis.find axes "n").Ir.Axis.extent;
+        check_true "find_opt none" (Ir.Axis.find_opt axes "z" = None);
+        Alcotest.(check (list string)) "names" [ "m"; "n" ] (Ir.Axis.names axes));
+    case "equal" (fun () ->
+        check_true "eq" (Ir.Axis.equal (Ir.Axis.make "m" 4) (Ir.Axis.make "m" 4));
+        check_false "extent differs"
+          (Ir.Axis.equal (Ir.Axis.make "m" 4) (Ir.Axis.make "m" 5)));
+  ]
+
+let access_tests =
+  [
+    case "term validates" (fun () ->
+        check_raises_invalid "coeff 0" (fun () -> Ir.Access.term "m" 0);
+        check_raises_invalid "empty axis" (fun () -> Ir.Access.term "" 1));
+    case "simple access" (fun () ->
+        let a = Ir.Access.simple [ "m"; "k" ] in
+        Alcotest.(check (list string)) "axes" [ "m"; "k" ] (Ir.Access.axes_used a);
+        check_true "uses m" (Ir.Access.uses_axis a "m");
+        check_false "not n" (Ir.Access.uses_axis a "n"));
+    case "axes_used dedups in order" (fun () ->
+        let a =
+          [
+            Ir.Access.dim [ Ir.Access.term "oh" 2; Ir.Access.term "kh" 1 ];
+            Ir.Access.dim [ Ir.Access.term "oh" 1 ];
+          ]
+        in
+        Alcotest.(check (list string)) "axes" [ "oh"; "kh" ] (Ir.Access.axes_used a));
+    case "tile_extent of plain dims" (fun () ->
+        let a = Ir.Access.simple [ "m"; "k" ] in
+        let tile_of = function "m" -> 4 | "k" -> 8 | _ -> 1 in
+        Alcotest.(check (list int)) "spans" [ 4; 8 ]
+          (Ir.Access.tile_extent a ~tile_of));
+    case "tile_extent expands windows" (fun () ->
+        (* conv input: oh*2 + kh: span = 2*(T_oh-1) + (T_kh-1) + 1. *)
+        let a =
+          [ Ir.Access.dim [ Ir.Access.term "oh" 2; Ir.Access.term "kh" 1 ] ]
+        in
+        let tile_of = function "oh" -> 3 | "kh" -> 3 | _ -> 1 in
+        Alcotest.(check (list int)) "halo" [ 7 ] (Ir.Access.tile_extent a ~tile_of));
+    case "offsets shift eval, not span" (fun () ->
+        let a =
+          [
+            Ir.Access.dim ~offset:(-1)
+              [ Ir.Access.term "oh" 2; Ir.Access.term "kh" 1 ];
+          ]
+        in
+        let value_of = function "oh" -> 5 | "kh" -> 0 | _ -> 0 in
+        Alcotest.(check (array int)) "eval" [| 9 |] (Ir.Access.eval a ~value_of);
+        let tile_of = function _ -> 1 in
+        Alcotest.(check (list int)) "span 1" [ 1 ]
+          (Ir.Access.tile_extent a ~tile_of));
+    case "eval of broadcast dim" (fun () ->
+        let a = [ Ir.Access.dim [] ] in
+        Alcotest.(check (array int)) "zero" [| 0 |]
+          (Ir.Access.eval a ~value_of:(fun _ -> 9)));
+    case "pp renders windows" (fun () ->
+        let a =
+          [
+            Ir.Access.dim [ Ir.Access.term "m" 1 ];
+            Ir.Access.dim ~offset:(-1)
+              [ Ir.Access.term "oh" 2; Ir.Access.term "kh" 1 ];
+          ]
+        in
+        check_string "render" "[m][oh*2+kh-1]" (Format.asprintf "%a" Ir.Access.pp a));
+  ]
+
+let ref_m_k dims =
+  Ir.Operator.tensor_ref ~tensor:"A" ~dims ~access:(Ir.Access.simple [ "m"; "k" ]) ()
+
+let operator_tests =
+  [
+    case "tensor_ref validates rank" (fun () ->
+        check_raises_invalid "rank" (fun () ->
+            Ir.Operator.tensor_ref ~tensor:"A" ~dims:[ 4 ]
+              ~access:(Ir.Access.simple [ "m"; "k" ])
+              ()));
+    case "make checks reduction subset" (fun () ->
+        let a = ref_m_k [ 4; 8 ] in
+        let c =
+          Ir.Operator.tensor_ref ~tensor:"C" ~dims:[ 4 ]
+            ~access:(Ir.Access.simple [ "m" ]) ()
+        in
+        check_raises_invalid "unknown reduction" (fun () ->
+            Ir.Operator.make ~name:"op" ~axes:[ "m"; "k" ]
+              ~reduction_axes:[ "z" ] ~inputs:[ a ] ~output:c ()));
+    case "make rejects output on reduction axis" (fun () ->
+        let a = ref_m_k [ 4; 8 ] in
+        check_raises_invalid "output uses k" (fun () ->
+            Ir.Operator.make ~name:"op" ~axes:[ "m"; "k" ]
+              ~reduction_axes:[ "k" ] ~inputs:[ a ] ~output:(ref_m_k [ 4; 8 ])
+              ()));
+    case "make rejects out-of-nest axes" (fun () ->
+        let a = ref_m_k [ 4; 8 ] in
+        let c =
+          Ir.Operator.tensor_ref ~tensor:"C" ~dims:[ 4 ]
+            ~access:(Ir.Access.simple [ "m" ]) ()
+        in
+        check_raises_invalid "k not in axes" (fun () ->
+            Ir.Operator.make ~name:"op" ~axes:[ "m" ] ~reduction_axes:[]
+              ~inputs:[ a ] ~output:c ()));
+    case "flops counts the loop nest" (fun () ->
+        let chain = small_gemm_chain () in
+        let stage = List.hd chain.Ir.Chain.stages in
+        let extent_of = Ir.Chain.extent_of chain in
+        (* gemm1: 2 * b*m*l*k = 2 * 2*12*10*5. *)
+        check_float "flops" 2400.0
+          (Ir.Operator.flops stage.Ir.Chain.op ~extent_of));
+    case "tile footprint basics" (fun () ->
+        let a = ref_m_k [ 100; 100 ] in
+        let tile_of = function "m" -> 4 | "k" -> 8 | _ -> 1 in
+        check_int "4*8 elems" 32 (Ir.Operator.tile_footprint_elems a ~tile_of);
+        check_int "fp16 bytes" 64 (Ir.Operator.tile_footprint_bytes a ~tile_of));
+    case "tile footprint capped at declared dims" (fun () ->
+        let a =
+          Ir.Operator.tensor_ref ~tensor:"I" ~dims:[ 5 ]
+            ~access:
+              [ Ir.Access.dim [ Ir.Access.term "oh" 2; Ir.Access.term "kh" 1 ] ]
+            ()
+        in
+        let tile_of = function "oh" -> 10 | "kh" -> 3 | _ -> 1 in
+        (* span = 2*9 + 2 + 1 = 21, capped at 5. *)
+        check_int "capped" 5 (Ir.Operator.tile_footprint_elems a ~tile_of));
+    case "tensor_bytes" (fun () ->
+        check_int "fp16 4x8" 64 (Ir.Operator.tensor_bytes (ref_m_k [ 4; 8 ])));
+  ]
+
+let gemm_chain_tests =
+  [
+    case "axes of the GEMM chain" (fun () ->
+        let chain = figure2_chain () in
+        Alcotest.(check (list string))
+          "axes"
+          [ "b"; "m"; "n"; "k"; "l" ]
+          (Ir.Axis.names chain.Ir.Chain.axes));
+    case "io and intermediate tensors" (fun () ->
+        let chain = figure2_chain () in
+        Alcotest.(check (list string))
+          "io" [ "A"; "B"; "D"; "E" ] (Ir.Chain.io_names chain);
+        Alcotest.(check (list string))
+          "intermediate" [ "C" ]
+          (Ir.Chain.intermediate_names chain);
+        check_true "C is intermediate" (Ir.Chain.is_intermediate chain "C");
+        check_false "A is not" (Ir.Chain.is_intermediate chain "A"));
+    case "private axes (observation 3)" (fun () ->
+        let chain = figure2_chain () in
+        check_true "k private to gemm1" (Ir.Chain.axis_is_private chain "k");
+        check_true "n private to gemm2" (Ir.Chain.axis_is_private chain "n");
+        check_false "m shared" (Ir.Chain.axis_is_private chain "m");
+        check_false "l shared" (Ir.Chain.axis_is_private chain "l"));
+    case "producer_stage" (fun () ->
+        let chain = figure2_chain () in
+        check_true "C from stage 0" (Ir.Chain.producer_stage chain "C" = Some 0);
+        check_true "E from stage 1" (Ir.Chain.producer_stage chain "E" = Some 1);
+        check_true "A unproduced" (Ir.Chain.producer_stage chain "A" = None));
+    case "flops: fused equals standalone for GEMM chains" (fun () ->
+        let chain = figure2_chain () in
+        check_float "equal"
+          (Ir.Chain.standalone_flops chain)
+          (Ir.Chain.fused_flops chain));
+    case "flops formula" (fun () ->
+        let chain = figure2_chain () in
+        (* 2*M*L*K + 2*M*N*L = 2 * 512*512*64 + 2 * 512*64*512 = 67108864. *)
+        check_float "value" 67108864.0 (Ir.Chain.fused_flops chain));
+    case "softmax adds epilogue flops" (fun () ->
+        let plain = figure2_chain () in
+        let soft =
+          Ir.Chain.batch_gemm_chain ~name:"s" ~batch:1 ~m:512 ~n:64 ~k:64
+            ~l:512 ~softmax:true ()
+        in
+        check_float "3 per C element"
+          (Ir.Chain.fused_flops plain +. (3.0 *. 512.0 *. 512.0))
+          (Ir.Chain.fused_flops soft));
+    case "io_bytes and unfused traffic" (fun () ->
+        let chain = figure2_chain () in
+        (* A,B,D,E each 512*64 fp16 = 65536 B. *)
+        check_float "io" 262144.0 (Ir.Chain.io_bytes chain);
+        (* plus C written + read: 2 * 512*512*2 B. *)
+        check_float "unfused" 1310720.0 (Ir.Chain.unfused_dram_bytes chain));
+    case "dtype override propagates" (fun () ->
+        let chain =
+          Ir.Chain.batch_gemm_chain ~name:"f32" ~batch:1 ~m:8 ~n:8 ~k:8 ~l:8
+            ~dtype:Tensor.Dtype.Fp32 ()
+        in
+        check_float "io doubles" (8.0 *. 8.0 *. 4.0 *. 4.0)
+          (Ir.Chain.io_bytes chain));
+    case "tensor_names and find_ref" (fun () ->
+        let chain = figure2_chain () in
+        Alcotest.(check (list string))
+          "order" [ "A"; "B"; "C"; "D"; "E" ]
+          (Ir.Chain.tensor_names chain);
+        check_int "C dims"
+          (512 * 512)
+          (List.fold_left ( * ) 1 (Ir.Chain.find_ref chain "C").Ir.Operator.dims));
+  ]
+
+let conv_chain_tests =
+  [
+    case "conv_out formula" (fun () ->
+        check_int "k3 s2 h112" 56 (Ir.Chain.conv_out ~h:112 ~k:3 ~st:2);
+        check_int "k1 s1 h56" 56 (Ir.Chain.conv_out ~h:56 ~k:1 ~st:1);
+        check_int "k3 s1 same" 28 (Ir.Chain.conv_out ~h:28 ~k:3 ~st:1);
+        check_int "k3 s4 h227" 57 (Ir.Chain.conv_out ~h:227 ~k:3 ~st:4));
+    case "chain structure" (fun () ->
+        let chain = small_conv_chain () in
+        check_int "two stages" 2 (Ir.Chain.stage_count chain);
+        Alcotest.(check (list string))
+          "io"
+          [ "I"; "W1"; "W2"; "O2" ]
+          (Ir.Chain.io_names chain);
+        Alcotest.(check (list string))
+          "intermediate" [ "O1" ]
+          (Ir.Chain.intermediate_names chain));
+    case "fused conv has up to ten dimensions" (fun () ->
+        let chain = small_conv_chain () in
+        let fused_axes =
+          List.filter
+            (fun a ->
+              List.exists
+                (fun (s : Ir.Chain.stage) -> Ir.Operator.uses_axis s.op a)
+                chain.Ir.Chain.stages)
+            (Ir.Axis.names chain.Ir.Chain.axes)
+        in
+        check_int "ten" 10 (List.length fused_axes));
+    case "recomputation: fused flops exceed standalone" (fun () ->
+        (* 3x3 second conv at stride 1 overlaps producer windows. *)
+        let chain = small_conv_chain () in
+        check_true "recompute"
+          (Ir.Chain.fused_flops chain > Ir.Chain.standalone_flops chain));
+    case "pointwise second conv avoids recomputation" (fun () ->
+        let chain =
+          Ir.Chain.conv_chain ~name:"pw" ~ic:4 ~h:8 ~w:8 ~oc1:4 ~oc2:4 ~st1:1
+            ~st2:1 ~k1:3 ~k2:1 ()
+        in
+        check_float "equal"
+          (Ir.Chain.standalone_flops chain)
+          (Ir.Chain.fused_flops chain));
+    case "oc1 is shared between the convs" (fun () ->
+        let chain = small_conv_chain () in
+        check_false "oc1 not private" (Ir.Chain.axis_is_private chain "oc1");
+        check_true "ic private to conv1" (Ir.Chain.axis_is_private chain "ic");
+        check_true "oc2 private to conv2" (Ir.Chain.axis_is_private chain "oc2"));
+    case "intermediate extents follow conv_out" (fun () ->
+        let chain =
+          Ir.Chain.conv_chain ~name:"c" ~ic:3 ~h:13 ~w:9 ~oc1:4 ~oc2:2 ~st1:2
+            ~st2:1 ~k1:3 ~k2:3 ()
+        in
+        let o1 = Ir.Chain.find_ref chain "O1" in
+        Alcotest.(check (list int))
+          "dims"
+          [ 1; 4; Ir.Chain.conv_out ~h:13 ~k:3 ~st:2;
+            Ir.Chain.conv_out ~h:9 ~k:3 ~st:2 ]
+          o1.Ir.Operator.dims);
+  ]
+
+let validation_tests =
+  [
+    case "make rejects empty chains" (fun () ->
+        check_raises_invalid "no stages" (fun () ->
+            Ir.Chain.make ~name:"x" ~axes:[ Ir.Axis.make "m" 2 ] ~stages:[]));
+    case "make rejects broken linkage" (fun () ->
+        let chain = figure2_chain () in
+        match chain.Ir.Chain.stages with
+        | [ s1; s2 ] ->
+            (* Reverse the stages: gemm1 no longer feeds gemm2. *)
+            check_raises_invalid "reversed" (fun () ->
+                Ir.Chain.make ~name:"bad" ~axes:chain.Ir.Chain.axes
+                  ~stages:[ s2; s1 ])
+        | _ -> Alcotest.fail "expected two stages");
+    case "make rejects unknown axes" (fun () ->
+        let chain = figure2_chain () in
+        check_raises_invalid "missing axis" (fun () ->
+            Ir.Chain.make ~name:"bad"
+              ~axes:[ Ir.Axis.make "m" 512 ]
+              ~stages:chain.Ir.Chain.stages));
+    case "extent_of unknown axis raises" (fun () ->
+        let chain = figure2_chain () in
+        check_true "raises"
+          (match Ir.Chain.extent_of chain "zz" with
+          | _ -> false
+          | exception Not_found -> true));
+  ]
+
+let suites =
+  [
+    ("ir.axis", axis_tests);
+    ("ir.access", access_tests);
+    ("ir.operator", operator_tests);
+    ("ir.gemm_chain", gemm_chain_tests);
+    ("ir.conv_chain", conv_chain_tests);
+    ("ir.validation", validation_tests);
+  ]

@@ -1,0 +1,72 @@
+open Helpers
+
+(* Cross-product smoke matrix: every backend compiles, emits and
+   numerically verifies every chain family.  Catches backend-specific
+   regressions the targeted suites might miss. *)
+
+let machines =
+  [
+    ("cpu", Arch.Presets.xeon_gold_6240);
+    ("gpu", Arch.Presets.nvidia_a100);
+    ("npu", Arch.Presets.ascend_910);
+  ]
+
+let small_chains () =
+  [
+    ("gemm", small_gemm_chain ());
+    ("gemm+softmax", small_gemm_chain ~softmax:true ());
+    ("conv+relu", small_conv_chain ~relu:true ());
+    ( "gemm3",
+      Ir.Chain.batch_gemm_chain3 ~name:"m3" ~batch:2 ~m:8 ~k:4 ~l:6 ~n:4
+        ~p:3 () );
+    ( "single-conv",
+      Ir.Chain.single_conv2d ~name:"sc" ~batch:1 ~ic:2 ~h:8 ~w:8 ~oc:3 ~k:3
+        ~st:1 ~relu:true () );
+  ]
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let tests =
+  List.concat_map
+    (fun (mname, machine) ->
+      List.map
+        (fun (cname, chain) ->
+          slow_case
+            (Printf.sprintf "%s x %s: compile, emit, verify" mname cname)
+            (fun () ->
+              let compiled = Chimera.Compiler.optimize ~machine chain in
+              (* Emission is non-trivial and backend-flavoured. *)
+              let src = Chimera.Compiler.source compiled in
+              check_true "has source" (String.length src > 200);
+              let marker =
+                match machine.Arch.Machine.backend with
+                | Arch.Machine.Cpu -> "vfmadd231ps"
+                | Arch.Machine.Gpu -> "wmma::"
+                | Arch.Machine.Npu -> "pragma='mad'"
+              in
+              check_true ("backend marker " ^ marker)
+                (contains ~needle:marker src
+                || contains ~needle:"naive vector loop" src);
+              (* Estimation is finite and positive. *)
+              let t = Chimera.Compiler.total_time_seconds compiled in
+              check_true "finite positive time"
+                (Float.is_finite t && t > 0.0);
+              (* The simulator replays it. *)
+              List.iter
+                (fun (s : Sim.Trace.stats) ->
+                  check_true "blocks visited" (s.blocks_visited >= 1))
+                (Chimera.Compiler.measure compiled);
+              (* And the numerics hold. *)
+              let env = Sim.Exec.make_env chain ~seed:77 in
+              Chimera.Compiler.run compiled env;
+              let reference = Sim.Exec.make_env chain ~seed:77 in
+              Sim.Exec.run_reference chain reference;
+              check_true "numerics"
+                (Sim.Exec.outputs_match ~rtol:1e-6 chain reference env)))
+        (small_chains ()))
+    machines
+
+let suites = [ ("integration.matrix", tests) ]

@@ -1,0 +1,278 @@
+open Helpers
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let cpu_tests =
+  [
+    case "Cascade Lake selects (6, 4, 2) with depth 24 (Section V-B)"
+      (fun () ->
+        let p = Microkernel.Cpu.select_params ~vector_registers:32 in
+        check_int "MI" 6 p.Microkernel.Cpu.mi;
+        check_int "NI" 4 p.Microkernel.Cpu.ni;
+        check_int "MII" 2 p.Microkernel.Cpu.mii;
+        check_int "depth" 24 p.Microkernel.Cpu.pipeline_depth);
+    case "register budget is honoured" (fun () ->
+        List.iter
+          (fun regs ->
+            let p = Microkernel.Cpu.select_params ~vector_registers:regs in
+            check_true
+              (Printf.sprintf "fits %d" regs)
+              ((p.Microkernel.Cpu.mi * p.Microkernel.Cpu.ni)
+               + p.Microkernel.Cpu.ni + p.Microkernel.Cpu.mii
+              <= regs))
+          [ 8; 16; 24; 32; 64 ]);
+    case "more registers never hurt asymptotic AI" (fun () ->
+        let ai regs =
+          let p = Microkernel.Cpu.select_params ~vector_registers:regs in
+          float_of_int (p.Microkernel.Cpu.mi * p.Microkernel.Cpu.ni)
+          /. float_of_int (p.Microkernel.Cpu.mi + p.Microkernel.Cpu.ni)
+        in
+        check_true "monotone" (ai 16 <= ai 32 && ai 32 <= ai 64));
+    case "select rejects tiny budgets" (fun () ->
+        check_raises_invalid "4 regs" (fun () ->
+            ignore (Microkernel.Cpu.select_params ~vector_registers:4)));
+    case "AI formula (paper objective)" (fun () ->
+        let p = Microkernel.Cpu.select_params ~vector_registers:32 in
+        (* #Compute = 6*4*KI, #LoadStore = KI*10 + 48. *)
+        check_float ~eps:1e-9 "ki=64"
+          (float_of_int (6 * 4 * 64) /. float_of_int ((64 * 10) + 48))
+          (Microkernel.Cpu.arithmetic_intensity p ~ki:64);
+        check_true "AI grows with KI"
+          (Microkernel.Cpu.arithmetic_intensity p ~ki:64
+          > Microkernel.Cpu.arithmetic_intensity p ~ki:4));
+    case "ki_for is dynamic and capped" (fun () ->
+        check_int "small" 5 (Microkernel.Cpu.ki_for ~block_k:5);
+        check_int "capped" 64 (Microkernel.Cpu.ki_for ~block_k:500));
+    case "emitted assembly uses AVX-512" (fun () ->
+        let asm =
+          Microkernel.Cpu.impl.Microkernel.Kernel_sig.emit ~block_m:6
+            ~block_n:64 ~block_k:64
+        in
+        check_true "fma" (contains ~needle:"vfmadd231ps" asm);
+        check_true "loads" (contains ~needle:"vmovups" asm);
+        check_true "broadcast" (contains ~needle:"vbroadcastss" asm);
+        check_true "zmm registers" (contains ~needle:"zmm29" asm);
+        (* Roughly the paper's "around 140 lines of assembly". *)
+        let lines = List.length (String.split_on_char '\n' asm) in
+        check_true "substantial body" (lines > 60 && lines < 250));
+    case "instruction count formula" (fun () ->
+        (* One invocation covering 6 x 64, KI = 16:
+           24 C-loads + 16*(4+6+24) + 24 stores = 592. *)
+        check_int "count" 592
+          (Microkernel.Cpu.impl.Microkernel.Kernel_sig.instruction_count
+             ~block_m:6 ~block_n:64 ~block_k:16));
+    case "efficiency bounded and improves with deeper k" (fun () ->
+        let eff bk =
+          Microkernel.Cpu.impl.Microkernel.Kernel_sig.efficiency
+            ~machine:Arch.Presets.xeon_gold_6240 ~block_m:96 ~block_n:128
+            ~block_k:bk
+        in
+        check_true "in (0,1]" (eff 64 > 0.0 && eff 64 <= 1.0);
+        check_true "amortised prologue" (eff 256 > eff 4));
+    case "partial tiles pay occupancy" (fun () ->
+        let eff bm =
+          Microkernel.Cpu.impl.Microkernel.Kernel_sig.efficiency
+            ~machine:Arch.Presets.xeon_gold_6240 ~block_m:bm ~block_n:64
+            ~block_k:64
+        in
+        check_true "m=5 worse than m=6" (eff 5 < eff 6));
+    case "naive kernel is slower and overlaps poorly" (fun () ->
+        let tuned = Microkernel.Cpu.impl and naive = Microkernel.Cpu.naive_impl in
+        let eff (i : Microkernel.Kernel_sig.impl) =
+          i.efficiency ~machine:Arch.Presets.xeon_gold_6240 ~block_m:96
+            ~block_n:128 ~block_k:64
+        in
+        check_true "slower" (eff naive < eff tuned);
+        check_true "less overlap"
+          (naive.Microkernel.Kernel_sig.overlap
+          < tuned.Microkernel.Kernel_sig.overlap));
+    case "execute matches the reference semantics" (fun () ->
+        let m = 5 and n = 7 and k = 3 in
+        let mk () = Array.init (m * k + 100) (fun i -> float_of_int (i mod 11)) in
+        let a = mk () and b = mk () in
+        let c1 = Array.make (m * n) 0.5 and c2 = Array.make (m * n) 0.5 in
+        let buf c =
+          {
+            Microkernel.Kernel_sig.a;
+            a_off = 2;
+            lda = k;
+            b;
+            b_off = 1;
+            ldb = n;
+            c;
+            c_off = 0;
+            ldc = n;
+          }
+        in
+        Microkernel.Cpu.impl.Microkernel.Kernel_sig.execute ~m ~n ~k (buf c1);
+        Microkernel.Kernel_sig.reference_execute ~m ~n ~k (buf c2);
+        Array.iteri
+          (fun i v -> check_float "same" v c2.(i))
+          c1);
+  ]
+
+let gpu_tests =
+  [
+    case "2x2 fragments reuse each load twice (Section V-B)" (fun () ->
+        check_float "2x" 2.0 (Microkernel.Gpu.fragment_reuse Microkernel.Gpu.params);
+        check_float "naive 1x" 1.0
+          (Microkernel.Gpu.fragment_reuse
+             { Microkernel.Gpu.params with frag_m = 1; frag_n = 1 }));
+    case "native tile is two fragments per side" (fun () ->
+        check_true "32x32x16"
+          (Microkernel.Gpu.impl.Microkernel.Kernel_sig.native_tile
+          = (32, 32, 16)));
+    case "emission uses wmma intrinsics" (fun () ->
+        let src =
+          Microkernel.Gpu.impl.Microkernel.Kernel_sig.emit ~block_m:32
+            ~block_n:32 ~block_k:64
+        in
+        check_true "mma_sync" (contains ~needle:"wmma::mma_sync" src);
+        check_true "load" (contains ~needle:"load_matrix_sync" src);
+        check_true "store" (contains ~needle:"store_matrix_sync" src));
+    case "tuned beats naive" (fun () ->
+        let eff (i : Microkernel.Kernel_sig.impl) =
+          i.efficiency ~machine:Arch.Presets.nvidia_a100 ~block_m:128
+            ~block_n:128 ~block_k:64
+        in
+        check_true "2x2 wins"
+          (eff Microkernel.Gpu.impl > eff Microkernel.Gpu.naive_impl));
+    case "instruction count scales with fragments" (fun () ->
+        let count (i : Microkernel.Kernel_sig.impl) =
+          i.instruction_count ~block_m:32 ~block_n:32 ~block_k:16
+        in
+        (* 2x2: 8 C ops + 1 step * (2+2+4) = 16; naive covers the same
+           block with 4 tiles of (2 + 3) = 20. *)
+        check_int "2x2" 16 (count Microkernel.Gpu.impl);
+        check_int "naive" 20 (count Microkernel.Gpu.naive_impl));
+  ]
+
+let npu_tests =
+  [
+    case "Ascend parameters: M1 = N1 = 16, K1 = 8" (fun () ->
+        let p = Microkernel.Npu.params in
+        check_int "M1" 16 p.Microkernel.Npu.m1;
+        check_int "N1" 16 p.Microkernel.Npu.n1;
+        check_int "K1" 8 p.Microkernel.Npu.k1;
+        check_int "lane" 16 p.Microkernel.Npu.lane);
+    case "AI = M1M2N1N2/(M1M2+N1N2) = 128" (fun () ->
+        check_float "128" 128.0
+          (Microkernel.Npu.arithmetic_intensity Microkernel.Npu.params));
+    case "L0 capacities are respected" (fun () ->
+        let p = Microkernel.Npu.params in
+        let lane = p.Microkernel.Npu.lane in
+        check_true "L0C"
+          (p.Microkernel.Npu.m1 * lane * p.Microkernel.Npu.n1 * lane * 4
+          <= 256 * 1024);
+        check_true "L0A"
+          (p.Microkernel.Npu.m1 * lane * p.Microkernel.Npu.k1 * lane * 2
+          <= 64 * 1024));
+    case "smaller buffers shrink the tile" (fun () ->
+        let p =
+          Microkernel.Npu.select_params ~l0c_bytes:(64 * 1024)
+            ~l0ab_bytes:(16 * 1024) ~lane:16
+        in
+        check_true "smaller" (p.Microkernel.Npu.m1 < 16));
+    case "emission uses the mad pragma and six loops" (fun () ->
+        let src =
+          Microkernel.Npu.impl.Microkernel.Kernel_sig.emit ~block_m:256
+            ~block_n:256 ~block_k:128
+        in
+        check_true "mad" (contains ~needle:"pragma='mad'" src);
+        check_true "dma" (contains ~needle:"dma_copy" src);
+        check_true "six-loop comment"
+          (contains ~needle:"C[m1,n1,m2,n2] += A[m1,k1,m2,k2]" src));
+  ]
+
+let registry_tests =
+  [
+    case "default registry lowers per backend" (fun () ->
+        let r = Microkernel.Registry.default () in
+        let id machine =
+          (Microkernel.Registry.lower r ~name:"matmul" ~machine)
+            .Microkernel.Kernel_sig.id
+        in
+        check_string "cpu" "cpu.avx512.outer_product"
+          (id Arch.Presets.xeon_gold_6240);
+        check_string "gpu" "gpu.wmma.2x2" (id Arch.Presets.nvidia_a100);
+        check_string "npu" "npu.cube.mad" (id Arch.Presets.ascend_910));
+    case "lookup by backend" (fun () ->
+        let r = Microkernel.Registry.default () in
+        check_true "some"
+          (Microkernel.Registry.lookup r ~name:"matmul"
+             ~backend:Arch.Machine.Gpu
+          <> None);
+        check_true "unknown name"
+          (Microkernel.Registry.lookup r ~name:"conv" ~backend:Arch.Machine.Gpu
+          = None));
+    case "lower fails with a clear error" (fun () ->
+        let r = Microkernel.Registry.create () in
+        check_true "failure"
+          (match
+             Microkernel.Registry.lower r ~name:"matmul"
+               ~machine:Arch.Presets.xeon_gold_6240
+           with
+          | _ -> false
+          | exception Failure _ -> true));
+    case "registering replaces same id, stacks alternatives" (fun () ->
+        let r = Microkernel.Registry.create () in
+        Microkernel.Registry.register r ~name:"matmul" Microkernel.Cpu.impl;
+        Microkernel.Registry.register r ~name:"matmul"
+          Microkernel.Cpu.naive_impl;
+        check_int "two impls" 2
+          (List.length (Microkernel.Registry.implementations r ~name:"matmul"));
+        (* Latest registration wins lookup. *)
+        check_string "naive wins" "cpu.avx512.naive"
+          (Option.get
+             (Microkernel.Registry.lookup r ~name:"matmul"
+                ~backend:Arch.Machine.Cpu))
+            .Microkernel.Kernel_sig.id;
+        (* Re-registering the same id replaces, not duplicates. *)
+        Microkernel.Registry.register r ~name:"matmul" Microkernel.Cpu.impl;
+        Microkernel.Registry.register r ~name:"matmul" Microkernel.Cpu.impl;
+        check_int "still two" 2
+          (List.length (Microkernel.Registry.implementations r ~name:"matmul")));
+    case "all registered kernels share the same semantics (Figure 4)"
+      (fun () ->
+        (* Three different low-level implementations registered under one
+           replaceable micro kernel must compute the same values. *)
+        let r = Microkernel.Registry.default () in
+        let m = 4 and n = 6 and k = 5 in
+        let a = Array.init (m * k) (fun i -> float_of_int i /. 7.0) in
+        let b = Array.init (k * n) (fun i -> float_of_int (i mod 5) -. 2.0) in
+        let run (impl : Microkernel.Kernel_sig.impl) =
+          let c = Array.make (m * n) 0.0 in
+          impl.execute ~m ~n ~k
+            {
+              Microkernel.Kernel_sig.a;
+              a_off = 0;
+              lda = k;
+              b;
+              b_off = 0;
+              ldb = n;
+              c;
+              c_off = 0;
+              ldc = n;
+            };
+          c
+        in
+        let impls = Microkernel.Registry.implementations r ~name:"matmul" in
+        check_int "three backends" 3 (List.length impls);
+        match List.map run impls with
+        | first :: rest ->
+            List.iter
+              (fun c -> Array.iteri (fun i v -> check_float "same" first.(i) v) c)
+              rest
+        | [] -> Alcotest.fail "no implementations");
+  ]
+
+let suites =
+  [
+    ("microkernel.cpu", cpu_tests);
+    ("microkernel.gpu", gpu_tests);
+    ("microkernel.npu", npu_tests);
+    ("microkernel.registry", registry_tests);
+  ]

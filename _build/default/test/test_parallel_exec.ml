@@ -1,0 +1,82 @@
+open Helpers
+
+let check_parallel_matches ?domains chain perm tiling =
+  let reference = Sim.Exec.make_env chain ~seed:33 in
+  Sim.Exec.run_reference chain reference;
+  let env = Sim.Exec.make_env chain ~seed:33 in
+  Sim.Parallel_exec.run_fused_parallel ?domains chain ~perm ~tiling env;
+  check_true
+    (Printf.sprintf "perm %s" (String.concat "" perm))
+    (Sim.Exec.outputs_match ~rtol:1e-6 chain reference env)
+
+let tests =
+  [
+    case "tasks partition the parallel grid" (fun () ->
+        let chain = figure2_chain () in
+        let tiling = Analytical.Tiling.make chain [ ("m", 128) ] in
+        let tasks = Sim.Parallel_exec.tasks_of chain tiling in
+        (* b: 1 block; m: 4 blocks. *)
+        check_int "four tasks" 4 (List.length tasks);
+        List.iter
+          (fun bounds ->
+            check_true "bounds m" (List.mem_assoc "m" bounds);
+            check_true "bounds b" (List.mem_assoc "b" bounds))
+          tasks);
+    case "parallel GEMM chain matches the reference" (fun () ->
+        let chain = small_gemm_chain () in
+        let tiling =
+          Analytical.Tiling.make chain
+            [ ("b", 1); ("m", 4); ("n", 3); ("k", 2); ("l", 5) ]
+        in
+        List.iter
+          (fun domains ->
+            check_parallel_matches ~domains chain mlkn tiling)
+          [ 1; 2; 4 ]);
+    case "parallel softmax chain matches the reference" (fun () ->
+        let chain = small_gemm_chain ~softmax:true () in
+        let tiling =
+          Analytical.Tiling.make chain
+            [ ("b", 1); ("m", 5); ("n", 6); ("k", 5); ("l", 3) ]
+        in
+        check_parallel_matches ~domains:3 chain mnkl tiling);
+    case "parallel conv chain with halo recomputation matches" (fun () ->
+        let chain = small_conv_chain ~relu:true () in
+        let perm = Analytical.Movement.fused_axes chain in
+        let tiling =
+          Analytical.Tiling.make chain
+            [ ("oc2", 2); ("oh", 2); ("ow", 3); ("oc1", 2); ("kh2", 3);
+              ("kw2", 3); ("ic", 2); ("kh1", 3); ("kw1", 3) ]
+        in
+        (* oh/ow splitting across domains exercises the private halo
+           buffers: overlapping O1 regions are recomputed per task. *)
+        check_parallel_matches ~domains:4 chain perm tiling);
+    case "three-GEMM chain in parallel" (fun () ->
+        let chain =
+          Ir.Chain.batch_gemm_chain3 ~name:"p3" ~batch:2 ~m:10 ~k:4 ~l:8 ~n:6
+            ~p:5 ()
+        in
+        let tiling =
+          Analytical.Tiling.make chain
+            [ ("b", 1); ("m", 3); ("k", 2); ("l", 4); ("n", 3); ("p", 5) ]
+        in
+        check_parallel_matches ~domains:4 chain
+          [ "b"; "m"; "k"; "l"; "n"; "p" ]
+          tiling);
+    case "bounded sequential run equals one task's slice" (fun () ->
+        let chain = small_gemm_chain () in
+        let tiling = Analytical.Tiling.make chain [ ("b", 1); ("m", 4) ] in
+        let full = Sim.Exec.make_env chain ~seed:5 in
+        Sim.Exec.run_fused chain
+          ~perm:(Analytical.Movement.fused_axes chain)
+          ~tiling full;
+        let sliced = Sim.Exec.make_env chain ~seed:5 in
+        List.iter
+          (fun bounds ->
+            Sim.Exec.run_fused ~bounds ~zero:false chain
+              ~perm:(Analytical.Movement.fused_axes chain)
+              ~tiling sliced)
+          (Sim.Parallel_exec.tasks_of chain tiling);
+        check_true "match" (Sim.Exec.outputs_match chain full sliced));
+  ]
+
+let suites = [ ("sim.parallel_exec", tests) ]

@@ -1,0 +1,123 @@
+open Helpers
+
+let tests =
+  [
+    case "GEMM chain: only b and m are safely parallel" (fun () ->
+        let chain = figure2_chain () in
+        Alcotest.(check (list string))
+          "axes" [ "b"; "m" ]
+          (Analytical.Parallelism.parallel_axes chain));
+    case "conv chain: batch and output spatial dims" (fun () ->
+        let chain = small_conv_chain () in
+        Alcotest.(check (list string))
+          "axes" [ "n"; "oh"; "ow" ]
+          (Analytical.Parallelism.parallel_axes chain));
+    case "single operator: every spatial loop" (fun () ->
+        let chain =
+          Ir.Chain.single_batch_gemm ~name:"s" ~batch:2 ~m:8 ~n:8 ~k:8 ()
+        in
+        Alcotest.(check (list string))
+          "axes" [ "b"; "m"; "n" ]
+          (Analytical.Parallelism.parallel_axes chain));
+    case "three-GEMM chain: still b and m" (fun () ->
+        let chain =
+          Ir.Chain.batch_gemm_chain3 ~name:"c3" ~batch:2 ~m:8 ~k:4 ~l:4 ~n:4
+            ~p:4 ()
+        in
+        Alcotest.(check (list string))
+          "axes" [ "b"; "m" ]
+          (Analytical.Parallelism.parallel_axes chain));
+    case "task count multiplies parallel trips only" (fun () ->
+        let chain = figure2_chain () in
+        let tiling =
+          Analytical.Tiling.make chain
+            [ ("m", 128); ("n", 8); ("k", 8); ("l", 8) ]
+        in
+        (* b: 1 trip; m: 4 trips; n/k/l do not count. *)
+        check_float "tasks" 4.0 (Analytical.Parallelism.task_count chain tiling));
+    case "task weights reflect ragged edges" (fun () ->
+        let chain = figure2_chain () in
+        let tiling = Analytical.Tiling.make chain [ ("m", 200) ] in
+        (* 512 = 200 + 200 + 112. *)
+        Alcotest.(check (list (float 1e-9)))
+          "weights" [ 200.0; 200.0; 112.0 ]
+          (Analytical.Parallelism.task_weights chain tiling));
+    case "efficiency: uniform tasks dividing cores are perfect" (fun () ->
+        let chain = figure2_chain () in
+        let tiling = Analytical.Tiling.make chain [ ("m", 128) ] in
+        (* 4 uniform tasks on 4, 2, 1 cores. *)
+        check_float ~eps:1e-9 "4 cores" 1.0
+          (Analytical.Parallelism.efficiency chain tiling ~cores:4);
+        check_float ~eps:1e-9 "2 cores" 1.0
+          (Analytical.Parallelism.efficiency chain tiling ~cores:2);
+        check_float ~eps:1e-9 "1 core" 1.0
+          (Analytical.Parallelism.efficiency chain tiling ~cores:1));
+    case "efficiency: 24 uniform tasks on 18 cores is 2/3" (fun () ->
+        let chain =
+          Ir.Chain.batch_gemm_chain ~name:"g" ~batch:24 ~m:8 ~n:8 ~k:8 ~l:8 ()
+        in
+        let tiling = Analytical.Tiling.make chain [ ("m", 8) ] in
+        check_float ~eps:1e-9 "2/3" (24.0 /. 36.0)
+          (Analytical.Parallelism.efficiency chain tiling ~cores:18));
+    case "efficiency never exceeds 1" (fun () ->
+        let chain = figure2_chain () in
+        List.iter
+          (fun tm ->
+            let tiling = Analytical.Tiling.make chain [ ("m", tm) ] in
+            let e = Analytical.Parallelism.efficiency chain tiling ~cores:18 in
+            check_true "bounded" (e > 0.0 && e <= 1.0))
+          [ 1; 3; 7; 64; 512 ]);
+    case "huge task counts short-circuit to full occupancy" (fun () ->
+        let chain =
+          Ir.Chain.batch_gemm_chain ~name:"big" ~batch:64 ~m:4096 ~n:8 ~k:8
+            ~l:8 ()
+        in
+        let tiling = Analytical.Tiling.make chain [ ("m", 4) ] in
+        check_float "saturated" 1.0
+          (Analytical.Parallelism.efficiency chain tiling ~cores:108));
+  ]
+
+let avx2_tests =
+  [
+    case "16 registers select (6, 2, 2)" (fun () ->
+        let p = Microkernel.Cpu.params_avx2 in
+        check_int "MI" 6 p.Microkernel.Cpu.mi;
+        check_int "NI" 2 p.Microkernel.Cpu.ni;
+        check_int "MII" 2 p.Microkernel.Cpu.mii);
+    case "registering AVX2 swaps the substituted kernel" (fun () ->
+        let r = Microkernel.Registry.default () in
+        Microkernel.Registry.register r ~name:"matmul" Microkernel.Cpu.avx2_impl;
+        let machine = Arch.Presets.xeon_gold_6240 in
+        check_string "latest wins" "cpu.avx2.outer_product"
+          (Microkernel.Registry.lower r ~name:"matmul" ~machine)
+            .Microkernel.Kernel_sig.id);
+    case "AVX2 semantics equal the reference" (fun () ->
+        let m = 3 and n = 10 and k = 4 in
+        let a = Array.init (m * k) float_of_int in
+        let b = Array.init (k * n) (fun i -> float_of_int (i mod 7)) in
+        let run impl =
+          let c = Array.make (m * n) 0.0 in
+          impl.Microkernel.Kernel_sig.execute ~m ~n ~k
+            {
+              Microkernel.Kernel_sig.a; a_off = 0; lda = k;
+              b; b_off = 0; ldb = n;
+              c; c_off = 0; ldc = n;
+            };
+          c
+        in
+        let avx2 = run Microkernel.Cpu.avx2_impl in
+        let avx512 = run Microkernel.Cpu.impl in
+        Array.iteri (fun i v -> check_float "same" v avx512.(i)) avx2);
+    case "narrower registers mean lower asymptotic AI" (fun () ->
+        let ai (p : Microkernel.Cpu.params) =
+          float_of_int (p.mi * p.ni) /. float_of_int (p.mi + p.ni)
+        in
+        check_true "avx2 < avx512"
+          (ai Microkernel.Cpu.params_avx2 < ai (Microkernel.Cpu.select_params ~vector_registers:32)));
+  ]
+
+let suites =
+  [
+    ("analytical.parallelism", tests);
+    ("microkernel.avx2", avx2_tests);
+  ]

@@ -1,0 +1,370 @@
+(* Property-based tests (QCheck) on the core invariants:
+   - Algorithm 1's outputs are bounded and monotone in the tile sizes;
+   - the solver always returns feasible, non-trivial answers;
+   - fused execution matches the reference on random chains, orders and
+     tilings — the dependency-preservation claim of Section III;
+   - the cache models conserve bytes. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ----------------------------------------------------------------- *)
+(* Generators                                                         *)
+(* ----------------------------------------------------------------- *)
+
+let small_dim = QCheck.Gen.int_range 1 10
+
+let gemm_chain_gen =
+  QCheck.Gen.(
+    map
+      (fun (b, m, n, k, l, softmax) ->
+        Ir.Chain.batch_gemm_chain ~name:"prop-gemm" ~batch:b ~m ~n ~k ~l
+          ~softmax ())
+      (tup6 (int_range 1 3) small_dim small_dim small_dim
+         (int_range 1 10) bool))
+
+let conv_chain_gen =
+  QCheck.Gen.(
+    map
+      (fun ((ic, h, w, oc1, oc2), (st1, st2, k1, k2, relu)) ->
+        (* Keep the spatial extents above the kernel sizes. *)
+        let h = max h (k1 + 2) and w = max w (k1 + 2) in
+        Ir.Chain.conv_chain ~name:"prop-conv" ~batch:1 ~ic ~h ~w ~oc1 ~oc2
+          ~st1 ~st2 ~k1 ~k2 ~relu ())
+      (tup2
+         (tup5 (int_range 1 3) (int_range 5 10) (int_range 5 10)
+            (int_range 1 4) (int_range 1 3))
+         (tup5 (int_range 1 2) (int_range 1 2)
+            (oneofl [ 1; 3 ])
+            (oneofl [ 1; 3 ])
+            bool)))
+
+let print_chain (chain : Ir.Chain.t) =
+  Format.asprintf "%a" Ir.Chain.pp chain
+
+let random_tiling_of prng chain =
+  let axes = Analytical.Movement.fused_axes chain in
+  List.fold_left
+    (fun t axis ->
+      let extent = Ir.Chain.extent_of chain axis in
+      Analytical.Tiling.set t axis (1 + Util.Prng.int prng ~bound:extent))
+    (Analytical.Tiling.ones chain)
+    axes
+
+let random_perm_of prng chain =
+  let axes = Array.of_list (Analytical.Movement.fused_axes chain) in
+  Util.Prng.shuffle prng axes;
+  Array.to_list axes
+
+(* A chain plus a seed for deriving a perm and tiling deterministically. *)
+let chain_seed_gen base =
+  QCheck.Gen.(tup2 base (int_range 0 1_000_000))
+
+let arbitrary_gemm_setup =
+  QCheck.make
+    ~print:(fun (c, seed) -> print_chain c ^ Printf.sprintf " seed=%d" seed)
+    (chain_seed_gen gemm_chain_gen)
+
+let arbitrary_conv_setup =
+  QCheck.make
+    ~print:(fun (c, seed) -> print_chain c ^ Printf.sprintf " seed=%d" seed)
+    (chain_seed_gen conv_chain_gen)
+
+(* ----------------------------------------------------------------- *)
+(* Algorithm 1 invariants                                             *)
+(* ----------------------------------------------------------------- *)
+
+let prop_dv_lower_bound =
+  QCheck.Test.make ~name:"DV never undercuts the compulsory IO traffic"
+    ~count:200 arbitrary_gemm_setup (fun (chain, seed) ->
+      let prng = Util.Prng.create ~seed in
+      let perm = random_perm_of prng chain in
+      let tiling = random_tiling_of prng chain in
+      let r = Analytical.Movement.analyze chain ~perm ~tiling in
+      r.Analytical.Movement.dv_bytes >= Ir.Chain.io_bytes chain -. 1e-6)
+
+let prop_per_tensor_lower_bound =
+  QCheck.Test.make
+    ~name:"each IO tensor moves at least its own size" ~count:200
+    arbitrary_gemm_setup (fun (chain, seed) ->
+      let prng = Util.Prng.create ~seed in
+      let perm = random_perm_of prng chain in
+      let tiling = random_tiling_of prng chain in
+      let r = Analytical.Movement.analyze chain ~perm ~tiling in
+      List.for_all
+        (fun (p : Analytical.Movement.per_tensor) ->
+          Ir.Chain.is_intermediate chain p.tensor
+          || p.movement_bytes
+             >= float_of_int
+                  (Ir.Operator.tensor_bytes (Ir.Chain.find_ref chain p.tensor))
+                -. 1e-6)
+        r.Analytical.Movement.per_tensor)
+
+let prop_mu_monotone =
+  QCheck.Test.make ~name:"MU is non-decreasing in every tile size" ~count:200
+    arbitrary_gemm_setup (fun (chain, seed) ->
+      let prng = Util.Prng.create ~seed in
+      let perm = random_perm_of prng chain in
+      let tiling = random_tiling_of prng chain in
+      let axes = Analytical.Movement.fused_axes chain in
+      let axis = List.nth axes (Util.Prng.int prng ~bound:(List.length axes)) in
+      let bigger =
+        Analytical.Tiling.set tiling axis
+          (Analytical.Tiling.get tiling axis + 1)
+      in
+      let mu t =
+        (Analytical.Movement.analyze chain ~perm ~tiling:t)
+          .Analytical.Movement.mu_bytes
+      in
+      mu bigger >= mu tiling)
+
+let prop_intermediates_free =
+  QCheck.Test.make ~name:"intermediates never contribute to DV" ~count:100
+    arbitrary_conv_setup (fun (chain, seed) ->
+      let prng = Util.Prng.create ~seed in
+      let perm = random_perm_of prng chain in
+      let tiling = random_tiling_of prng chain in
+      let r = Analytical.Movement.analyze chain ~perm ~tiling in
+      List.for_all
+        (fun (p : Analytical.Movement.per_tensor) ->
+          (not (Ir.Chain.is_intermediate chain p.tensor))
+          || p.movement_bytes = 0.0)
+        r.Analytical.Movement.per_tensor)
+
+let prop_footprint_capped =
+  QCheck.Test.make ~name:"tile footprints never exceed the tensor" ~count:200
+    arbitrary_conv_setup (fun (chain, seed) ->
+      let prng = Util.Prng.create ~seed in
+      let tiling = random_tiling_of prng chain in
+      let tile_of = Analytical.Tiling.tile_of tiling in
+      List.for_all
+        (fun (stage : Ir.Chain.stage) ->
+          List.for_all
+            (fun (ref_ : Ir.Operator.tensor_ref) ->
+              Ir.Operator.tile_footprint_bytes ref_ ~tile_of
+              <= Ir.Operator.tensor_bytes ref_)
+            (Ir.Operator.all_refs stage.Ir.Chain.op))
+        chain.Ir.Chain.stages)
+
+(* ----------------------------------------------------------------- *)
+(* Solver invariants                                                  *)
+(* ----------------------------------------------------------------- *)
+
+let prop_solver_feasible_and_dominant =
+  QCheck.Test.make
+    ~name:"solver answers are feasible and beat random samples" ~count:60
+    arbitrary_gemm_setup (fun (chain, seed) ->
+      let prng = Util.Prng.create ~seed in
+      let perm = random_perm_of prng chain in
+      let capacity = 4096 + Util.Prng.int prng ~bound:65536 in
+      match
+        Analytical.Solver.solve_for_perm chain ~perm ~capacity_bytes:capacity
+          ()
+      with
+      | None ->
+          (* Only acceptable when even all-ones tiles do not fit. *)
+          (Analytical.Movement.analyze chain ~perm
+             ~tiling:(Analytical.Tiling.ones chain))
+            .Analytical.Movement.mu_bytes > capacity
+      | Some sol ->
+          let feasible =
+            sol.Analytical.Solver.movement.Analytical.Movement.mu_bytes
+            <= capacity
+          in
+          (* Compare against five random feasible samples. *)
+          let beats_samples =
+            List.for_all
+              (fun _ ->
+                let t = random_tiling_of prng chain in
+                let r = Analytical.Movement.analyze chain ~perm ~tiling:t in
+                r.Analytical.Movement.mu_bytes > capacity
+                || sol.Analytical.Solver.movement.Analytical.Movement.dv_bytes
+                   <= r.Analytical.Movement.dv_bytes +. 1e-6)
+              [ 1; 2; 3; 4; 5 ]
+          in
+          feasible && beats_samples)
+
+(* ----------------------------------------------------------------- *)
+(* Execution: fused == reference                                      *)
+(* ----------------------------------------------------------------- *)
+
+let outputs_match chain perm tiling =
+  let ref_env = Sim.Exec.make_env chain ~seed:17 in
+  Sim.Exec.run_reference chain ref_env;
+  let env = Sim.Exec.make_env chain ~seed:17 in
+  Sim.Exec.run_fused chain ~perm ~tiling env;
+  Sim.Exec.outputs_match ~rtol:1e-6 ~atol:1e-9 chain ref_env env
+
+let prop_gemm_execution =
+  QCheck.Test.make
+    ~name:"fused GEMM chains match the reference on random orders/tilings"
+    ~count:60 arbitrary_gemm_setup (fun (chain, seed) ->
+      let prng = Util.Prng.create ~seed in
+      let perm = random_perm_of prng chain in
+      let tiling = random_tiling_of prng chain in
+      outputs_match chain perm tiling)
+
+let prop_conv_execution =
+  QCheck.Test.make
+    ~name:"fused conv chains match the reference on random orders/tilings"
+    ~count:30 arbitrary_conv_setup (fun (chain, seed) ->
+      let prng = Util.Prng.create ~seed in
+      let perm = random_perm_of prng chain in
+      let tiling = random_tiling_of prng chain in
+      outputs_match chain perm tiling)
+
+(* ----------------------------------------------------------------- *)
+(* Cache model invariants                                             *)
+(* ----------------------------------------------------------------- *)
+
+let lru_trace_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 200)
+      (tup2 (int_range 0 20) (int_range 1 400)))
+
+let prop_lru_conservation =
+  QCheck.Test.make ~name:"LRU conserves counts and capacity" ~count:200
+    (QCheck.make lru_trace_gen) (fun trace ->
+      let c = Sim.Lru.create ~capacity_bytes:1000 in
+      List.iter
+        (fun (key, bytes) ->
+          ignore (Sim.Lru.access c ~key:(string_of_int key) ~bytes))
+        trace;
+      Sim.Lru.accesses c = List.length trace
+      && Sim.Lru.hits c + Sim.Lru.misses c = Sim.Lru.accesses c
+      && Sim.Lru.resident_bytes c <= 1000
+      && Sim.Lru.bytes_in c <= Sim.Lru.bytes_accessed c +. 1e-9)
+
+let prop_measured_traffic_floor =
+  QCheck.Test.make
+    ~name:"simulated DRAM traffic is at least the compulsory misses"
+    ~count:40 arbitrary_gemm_setup (fun (chain, seed) ->
+      let prng = Util.Prng.create ~seed in
+      let perm = random_perm_of prng chain in
+      let tiling = random_tiling_of prng chain in
+      let level =
+        Arch.Level.make ~name:"L" ~capacity_bytes:4096
+          ~link_bandwidth_gbps:10.0 ()
+      in
+      let stats =
+        Sim.Trace.measure_chain chain ~levels:[ level ] ~perm ~tiling ()
+      in
+      stats.Sim.Trace.dram_bytes >= Ir.Chain.io_bytes chain *. 0.99)
+
+(* ----------------------------------------------------------------- *)
+(* Hierarchical iteration invariants                                   *)
+(* ----------------------------------------------------------------- *)
+
+let prop_hier_single_level_matches_flat =
+  QCheck.Test.make
+    ~name:"one-level hierarchical iteration equals flat iteration"
+    ~count:60 arbitrary_gemm_setup (fun (chain, seed) ->
+      let prng = Util.Prng.create ~seed in
+      let perm = random_perm_of prng chain in
+      let tiling = random_tiling_of prng chain in
+      let flat = ref [] in
+      Sim.Trace.iter_blocks ~perm ~tiling
+        ~f:(fun s -> flat := List.sort compare s :: !flat)
+        ();
+      let hier = ref [] in
+      Sim.Trace.iter_blocks_hier ~levels:[ (perm, tiling) ] ~f:(fun s ->
+          hier := List.sort compare s :: !hier);
+      !flat = !hier)
+
+let prop_hier_partitions_iteration_space =
+  QCheck.Test.make
+    ~name:"two-level hierarchical iteration visits each block exactly once"
+    ~count:40 arbitrary_gemm_setup (fun (chain, seed) ->
+      let prng = Util.Prng.create ~seed in
+      let outer_perm = random_perm_of prng chain in
+      let inner_perm = random_perm_of prng chain in
+      let outer = random_tiling_of prng chain in
+      (* Inner tiles nest within the outer ones. *)
+      let inner =
+        List.fold_left
+          (fun t axis ->
+            let parent = Analytical.Tiling.get outer axis in
+            Analytical.Tiling.set t axis
+              (1 + Util.Prng.int prng ~bound:parent))
+          (Analytical.Tiling.ones chain)
+          (Analytical.Movement.fused_axes chain)
+      in
+      let visits = ref [] in
+      Sim.Trace.iter_blocks_hier
+        ~levels:[ (outer_perm, outer); (inner_perm, inner) ]
+        ~f:(fun s -> visits := List.sort compare s :: !visits);
+      let sorted = List.sort compare !visits in
+      let distinct = List.sort_uniq compare !visits in
+      (* No duplicates... *)
+      List.length sorted = List.length distinct
+      (* ...and the innermost origins tile the space like a flat walk at
+         a hybrid granularity: every axis value is a multiple of the
+         inner tile within its outer block. *)
+      && List.for_all
+           (fun starts ->
+             List.for_all
+               (fun (axis, start) ->
+                 let ot = Analytical.Tiling.get outer axis in
+                 let it = Analytical.Tiling.get inner axis in
+                 let within = start mod ot in
+                 start >= 0
+                 && start < Analytical.Tiling.extent_of outer axis
+                 && within mod it = 0)
+               starts)
+           !visits)
+
+let prop_hier_count =
+  QCheck.Test.make
+    ~name:"hierarchical visit count is the product of per-axis splits"
+    ~count:40 arbitrary_gemm_setup (fun (chain, seed) ->
+      let prng = Util.Prng.create ~seed in
+      let perm = random_perm_of prng chain in
+      let outer = random_tiling_of prng chain in
+      let inner =
+        List.fold_left
+          (fun t axis ->
+            let parent = Analytical.Tiling.get outer axis in
+            Analytical.Tiling.set t axis
+              (1 + Util.Prng.int prng ~bound:parent))
+          (Analytical.Tiling.ones chain)
+          (Analytical.Movement.fused_axes chain)
+      in
+      let count = ref 0 in
+      Sim.Trace.iter_blocks_hier
+        ~levels:[ (perm, outer); (perm, inner) ]
+        ~f:(fun _ -> incr count);
+      let expected =
+        List.fold_left
+          (fun acc axis ->
+            let extent = Analytical.Tiling.extent_of outer axis in
+            let ot = Analytical.Tiling.get outer axis in
+            let it = Analytical.Tiling.get inner axis in
+            (* full outer blocks and the ragged tail each split by the
+               inner tile *)
+            let full = extent / ot and tail = extent mod ot in
+            let per_full = Util.Ints.ceil_div ot it in
+            let per_tail = if tail = 0 then 0 else Util.Ints.ceil_div tail it in
+            acc * ((full * per_full) + per_tail))
+          1 (Analytical.Movement.fused_axes chain)
+      in
+      !count = expected)
+
+let suites =
+  [
+    ( "properties",
+      List.map qcheck
+        [
+          prop_dv_lower_bound;
+          prop_per_tensor_lower_bound;
+          prop_mu_monotone;
+          prop_intermediates_free;
+          prop_footprint_capped;
+          prop_solver_feasible_and_dominant;
+          prop_gemm_execution;
+          prop_conv_execution;
+          prop_lru_conservation;
+          prop_measured_traffic_floor;
+          prop_hier_single_level_matches_flat;
+          prop_hier_partitions_iteration_space;
+          prop_hier_count;
+        ] );
+  ]

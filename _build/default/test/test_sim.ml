@@ -1,0 +1,295 @@
+open Helpers
+
+let lru_tests =
+  [
+    case "create validates" (fun () ->
+        check_raises_invalid "capacity" (fun () ->
+            ignore (Sim.Lru.create ~capacity_bytes:0)));
+    case "miss then hit" (fun () ->
+        let c = Sim.Lru.create ~capacity_bytes:1024 in
+        check_true "first miss" (Sim.Lru.access c ~key:"a" ~bytes:100 = Sim.Lru.Miss);
+        check_true "then hit" (Sim.Lru.access c ~key:"a" ~bytes:100 = Sim.Lru.Hit);
+        check_int "accesses" 2 (Sim.Lru.accesses c);
+        check_int "hits" 1 (Sim.Lru.hits c);
+        check_int "misses" 1 (Sim.Lru.misses c);
+        check_float "hit rate" 0.5 (Sim.Lru.hit_rate c));
+    case "LRU eviction order" (fun () ->
+        let c = Sim.Lru.create ~capacity_bytes:200 in
+        ignore (Sim.Lru.access c ~key:"a" ~bytes:100);
+        ignore (Sim.Lru.access c ~key:"b" ~bytes:100);
+        (* Touch a so b is the LRU victim. *)
+        ignore (Sim.Lru.access c ~key:"a" ~bytes:100);
+        ignore (Sim.Lru.access c ~key:"c" ~bytes:100);
+        check_true "a survives" (Sim.Lru.access c ~key:"a" ~bytes:100 = Sim.Lru.Hit);
+        check_true "b evicted" (Sim.Lru.access c ~key:"b" ~bytes:100 = Sim.Lru.Miss));
+    case "capacity never exceeded" (fun () ->
+        let c = Sim.Lru.create ~capacity_bytes:250 in
+        for i = 0 to 50 do
+          ignore (Sim.Lru.access c ~key:(string_of_int i) ~bytes:100);
+          check_true "resident" (Sim.Lru.resident_bytes c <= 250)
+        done);
+    case "oversized objects stream through" (fun () ->
+        let c = Sim.Lru.create ~capacity_bytes:100 in
+        ignore (Sim.Lru.access c ~key:"small" ~bytes:50);
+        check_true "big misses"
+          (Sim.Lru.access c ~key:"big" ~bytes:1000 = Sim.Lru.Miss);
+        check_true "big misses again"
+          (Sim.Lru.access c ~key:"big" ~bytes:1000 = Sim.Lru.Miss);
+        check_true "small still resident"
+          (Sim.Lru.access c ~key:"small" ~bytes:50 = Sim.Lru.Hit));
+    case "bytes accounting" (fun () ->
+        let c = Sim.Lru.create ~capacity_bytes:1024 in
+        ignore (Sim.Lru.access c ~key:"a" ~bytes:100);
+        ignore (Sim.Lru.access c ~key:"a" ~bytes:100);
+        ignore (Sim.Lru.access c ~key:"b" ~bytes:50);
+        check_float "in = misses" 150.0 (Sim.Lru.bytes_in c);
+        check_float "accessed = all" 250.0 (Sim.Lru.bytes_accessed c));
+    case "growing footprint charges the delta" (fun () ->
+        let c = Sim.Lru.create ~capacity_bytes:1024 in
+        ignore (Sim.Lru.access c ~key:"a" ~bytes:100);
+        ignore (Sim.Lru.access c ~key:"a" ~bytes:160);
+        check_float "100 + 60" 160.0 (Sim.Lru.bytes_in c));
+    case "clear resets" (fun () ->
+        let c = Sim.Lru.create ~capacity_bytes:1024 in
+        ignore (Sim.Lru.access c ~key:"a" ~bytes:100);
+        Sim.Lru.clear c;
+        check_int "no accesses" 0 (Sim.Lru.accesses c);
+        check_true "a gone" (Sim.Lru.access c ~key:"a" ~bytes:100 = Sim.Lru.Miss));
+  ]
+
+let line_cache_tests =
+  [
+    case "create validates geometry" (fun () ->
+        check_raises_invalid "not a multiple" (fun () ->
+            ignore (Sim.Line_cache.create ~capacity_bytes:1000 ~line_bytes:64 ())));
+    case "same line hits" (fun () ->
+        let c = Sim.Line_cache.create ~capacity_bytes:4096 ~line_bytes:64 () in
+        ignore (Sim.Line_cache.access c ~addr:0);
+        check_true "same line" (Sim.Line_cache.access c ~addr:63 = Sim.Lru.Hit);
+        check_true "next line" (Sim.Line_cache.access c ~addr:64 = Sim.Lru.Miss));
+    case "working set within capacity stays resident" (fun () ->
+        let c = Sim.Line_cache.create ~capacity_bytes:4096 ~line_bytes:64 () in
+        for pass = 1 to 3 do
+          for line = 0 to 31 do
+            ignore (Sim.Line_cache.access c ~addr:(line * 64));
+            ignore pass
+          done
+        done;
+        (* 32 lines = 2 KiB fit 4 KiB: only the first pass misses. *)
+        check_int "misses" 32 (Sim.Line_cache.misses c);
+        check_int "accesses" 96 (Sim.Line_cache.accesses c));
+    case "thrashing working set misses" (fun () ->
+        let c =
+          Sim.Line_cache.create ~capacity_bytes:1024 ~line_bytes:64 ~ways:2 ()
+        in
+        (* 64 lines touched cyclically >> 16-line capacity. *)
+        for _ = 1 to 3 do
+          for line = 0 to 63 do
+            ignore (Sim.Line_cache.access c ~addr:(line * 64))
+          done
+        done;
+        check_true "low hit rate" (Sim.Line_cache.hit_rate c < 0.1));
+    case "access_range touches every line" (fun () ->
+        let c = Sim.Line_cache.create ~capacity_bytes:4096 ~line_bytes:64 () in
+        Sim.Line_cache.access_range c ~addr:10 ~bytes:200;
+        (* bytes [10, 210) span lines 0..3. *)
+        check_int "4 lines" 4 (Sim.Line_cache.accesses c);
+        check_float "bytes_in" 256.0 (Sim.Line_cache.bytes_in c));
+  ]
+
+let trace_tests =
+  [
+    case "iter_blocks visits every block in order" (fun () ->
+        let chain = small_gemm_chain () in
+        let tiling =
+          Analytical.Tiling.make chain
+            [ ("b", 1); ("m", 6); ("n", 6); ("k", 5); ("l", 5) ]
+        in
+        let perm = [ "b"; "m"; "n"; "k"; "l" ] in
+        let visits = ref [] in
+        Sim.Trace.iter_blocks ~perm ~tiling
+          ~f:(fun starts -> visits := starts :: !visits)
+          ();
+        (* trips: 2 * 2 * 1 * 1 * 2 = 8. *)
+        check_int "count" 8 (List.length !visits);
+        check_float "block_count agrees" 8.0
+          (Sim.Trace.block_count ~perm ~tiling);
+        (* First visit is the origin; l (innermost) varies fastest. *)
+        let first = List.nth (List.rev !visits) 0 in
+        let second = List.nth (List.rev !visits) 1 in
+        check_int "origin" 0 (List.assoc "m" first);
+        check_int "l advanced" 5 (List.assoc "l" second));
+    case "stage_runs: producer at first visit of foreign loops" (fun () ->
+        let chain = figure2_chain () in
+        let tiling = tiling_64 chain in
+        (* gemm1 owns b,m,l,k; n is foreign and non-reduction: requires
+           n = 0. *)
+        let starts n k =
+          [ ("b", 0); ("m", 0); ("n", n); ("k", k); ("l", 0) ]
+        in
+        check_true "runs at n=0"
+          (Sim.Trace.stage_runs chain ~stage_index:0 ~tiling (starts 0 0));
+        check_false "skips at n=64"
+          (Sim.Trace.stage_runs chain ~stage_index:0 ~tiling (starts 64 0)));
+    case "stage_runs: consumer waits for the producer reduction" (fun () ->
+        let chain = figure2_chain () in
+        let tiling =
+          Analytical.Tiling.make chain
+            [ ("m", 64); ("n", 64); ("k", 16); ("l", 64) ]
+        in
+        let starts k = [ ("b", 0); ("m", 0); ("n", 0); ("k", k); ("l", 0) ] in
+        (* gemm2 does not own k (gemm1's reduction): requires the last
+           k block, 48 for extent 64 tiled by 16. *)
+        check_false "not at k=0"
+          (Sim.Trace.stage_runs chain ~stage_index:1 ~tiling (starts 0));
+        check_true "at k=48"
+          (Sim.Trace.stage_runs chain ~stage_index:1 ~tiling (starts 48)));
+    case "is_last_reduction_block" (fun () ->
+        let chain = figure2_chain () in
+        let tiling =
+          Analytical.Tiling.make chain
+            [ ("m", 64); ("n", 64); ("k", 16); ("l", 64) ]
+        in
+        let stage = List.hd chain.Ir.Chain.stages in
+        check_true "k at last"
+          (Sim.Trace.is_last_reduction_block stage ~tiling
+             [ ("b", 0); ("m", 0); ("n", 0); ("k", 48); ("l", 0) ]);
+        check_false "k at 0"
+          (Sim.Trace.is_last_reduction_block stage ~tiling
+             [ ("b", 0); ("m", 0); ("n", 0); ("k", 0); ("l", 0) ]));
+    case "tile_key ignores unrelated axes" (fun () ->
+        let chain = figure2_chain () in
+        let a = Ir.Chain.find_ref chain "A" in
+        let k1 = Sim.Trace.tile_key a [ ("m", 0); ("k", 64); ("n", 0) ] in
+        let k2 = Sim.Trace.tile_key a [ ("m", 0); ("k", 64); ("n", 192) ] in
+        let k3 = Sim.Trace.tile_key a [ ("m", 64); ("k", 64); ("n", 0) ] in
+        check_string "n irrelevant" k1 k2;
+        check_false "m relevant" (k1 = k3));
+    case "measured traffic tracks Algorithm 1 when tiles stream" (fun () ->
+        (* With a cache big enough for the per-op working set but far too
+           small to keep whole tensors, tile misses track the model's
+           movement; the LRU legitimately catches some incidental reuse
+           the model conservatively ignores, so the band is loose. *)
+        let chain = figure2_chain () in
+        let tiling = tiling_64 chain in
+        let predicted =
+          (Analytical.Movement.analyze chain ~perm:mlkn ~tiling)
+            .Analytical.Movement.dv_bytes
+        in
+        let level =
+          Arch.Level.make ~name:"L" ~capacity_bytes:(64 * 1024)
+            ~link_bandwidth_gbps:100.0 ()
+        in
+        let stats =
+          Sim.Trace.measure_chain chain ~levels:[ level ] ~perm:mlkn ~tiling ()
+        in
+        let ratio = stats.Sim.Trace.dram_bytes /. predicted in
+        check_true
+          (Printf.sprintf "same regime (ratio %.3f)" ratio)
+          (ratio > 0.4 && ratio <= 1.05));
+    case "a huge cache reduces traffic to compulsory misses" (fun () ->
+        let chain = figure2_chain () in
+        let tiling = tiling_64 chain in
+        let level =
+          Arch.Level.make ~name:"huge" ~capacity_bytes:(64 * 1024 * 1024)
+            ~link_bandwidth_gbps:100.0 ()
+        in
+        let stats =
+          Sim.Trace.measure_chain chain ~levels:[ level ] ~perm:mlkn ~tiling ()
+        in
+        (* Every distinct tile loads once: about the total tensor bytes
+           (A,B,C,D,E = 0.85 MB). *)
+        check_true "compulsory only"
+          (stats.Sim.Trace.dram_bytes
+          <= 1.05
+             *. (Ir.Chain.io_bytes chain
+                +. float_of_int
+                     (Ir.Operator.tensor_bytes (Ir.Chain.find_ref chain "C")))));
+    case "spilling the intermediate adds traffic (Figure 8f)" (fun () ->
+        let chain = figure2_chain () in
+        let tiling = tiling_64 chain in
+        let levels =
+          [
+            Arch.Level.make ~name:"L" ~capacity_bytes:(256 * 1024)
+              ~link_bandwidth_gbps:100.0 ();
+          ]
+        in
+        let kept =
+          Sim.Trace.measure_chain chain ~levels ~perm:mlkn ~tiling ()
+        in
+        let spilled =
+          Sim.Trace.measure_chain chain ~levels ~perm:mlkn ~tiling
+            ~spill_intermediates:true ()
+        in
+        check_true "more movement"
+          (spilled.Sim.Trace.dram_bytes > kept.Sim.Trace.dram_bytes));
+    case "measure on a compiled kernel reports all levels" (fun () ->
+        let chain = small_gemm_chain () in
+        let machine = Arch.Presets.xeon_gold_6240 in
+        let compiled = Chimera.Compiler.optimize ~machine chain in
+        let stats =
+          Sim.Trace.measure (List.hd compiled.Chimera.Compiler.units).kernel
+        in
+        check_int "three levels" 3 (List.length stats.Sim.Trace.levels);
+        check_true "blocks visited" (stats.Sim.Trace.blocks_visited >= 1);
+        List.iter
+          (fun (l : Sim.Trace.level_stats) ->
+            check_true "rates in [0,1]" (l.hit_rate >= 0.0 && l.hit_rate <= 1.0))
+          stats.Sim.Trace.levels);
+  ]
+
+let perf_tests =
+  [
+    case "launch overheads per backend" (fun () ->
+        check_true "gpu > cpu"
+          (Sim.Perf.launch_overhead_seconds Arch.Presets.nvidia_a100
+          > Sim.Perf.launch_overhead_seconds Arch.Presets.xeon_gold_6240));
+    case "estimate decomposes into compute and memory" (fun () ->
+        let chain = figure2_chain () in
+        let machine = Arch.Presets.xeon_gold_6240 in
+        let compiled = Chimera.Compiler.optimize ~machine chain in
+        let r =
+          Sim.Perf.estimate (List.hd compiled.Chimera.Compiler.units).kernel
+        in
+        check_true "positive" (r.Sim.Perf.time_seconds > 0.0);
+        check_true "at least the max"
+          (r.Sim.Perf.time_seconds
+          >= Float.max r.Sim.Perf.compute_seconds r.Sim.Perf.memory_seconds);
+        check_true "micro eff sane"
+          (r.Sim.Perf.micro_efficiency > 0.0 && r.Sim.Perf.micro_efficiency <= 1.0);
+        check_true "levels priced" (List.length r.Sim.Perf.per_level_cost >= 1));
+    case "measured DRAM override changes memory time" (fun () ->
+        let chain = figure2_chain () in
+        let machine = Arch.Presets.xeon_gold_6240 in
+        let compiled = Chimera.Compiler.optimize ~machine chain in
+        let kernel = (List.hd compiled.Chimera.Compiler.units).kernel in
+        let base = Sim.Perf.estimate kernel in
+        let bigger =
+          Sim.Perf.estimate ~dram_bytes:(base.Sim.Perf.dram_bytes *. 100.0)
+            kernel
+        in
+        check_true "slower" (bigger.Sim.Perf.time_seconds > base.Sim.Perf.time_seconds));
+    case "NPU prices the Unified Buffer (Figure 7 bottleneck)" (fun () ->
+        let chain = figure2_chain () in
+        let machine = Arch.Presets.ascend_910 in
+        let compiled = Chimera.Compiler.optimize ~machine chain in
+        let r = Sim.Perf.estimate (List.hd compiled.Chimera.Compiler.units).kernel in
+        check_true "UB entry"
+          (List.mem_assoc "UB" r.Sim.Perf.per_level_cost));
+    case "gflops is consistent" (fun () ->
+        let chain = figure2_chain () in
+        let machine = Arch.Presets.xeon_gold_6240 in
+        let compiled = Chimera.Compiler.optimize ~machine chain in
+        let r = Sim.Perf.estimate (List.hd compiled.Chimera.Compiler.units).kernel in
+        check_float ~eps:1e-6 "formula"
+          (r.Sim.Perf.flops /. r.Sim.Perf.time_seconds /. 1e9)
+          (Sim.Perf.gflops r));
+  ]
+
+let suites =
+  [
+    ("sim.lru", lru_tests);
+    ("sim.line_cache", line_cache_tests);
+    ("sim.trace", trace_tests);
+    ("sim.perf", perf_tests);
+  ]

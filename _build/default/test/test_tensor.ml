@@ -1,0 +1,147 @@
+open Helpers
+
+let dtype_tests =
+  [
+    case "byte widths" (fun () ->
+        check_int "fp16" 2 (Tensor.Dtype.bytes Tensor.Dtype.Fp16);
+        check_int "fp32" 4 (Tensor.Dtype.bytes Tensor.Dtype.Fp32);
+        check_int "fp64" 8 (Tensor.Dtype.bytes Tensor.Dtype.Fp64));
+    case "string roundtrip" (fun () ->
+        List.iter
+          (fun d ->
+            Alcotest.(check (option string))
+              "roundtrip"
+              (Some (Tensor.Dtype.to_string d))
+              (Option.map Tensor.Dtype.to_string
+                 (Tensor.Dtype.of_string (Tensor.Dtype.to_string d))))
+          [ Tensor.Dtype.Fp16; Tensor.Dtype.Fp32; Tensor.Dtype.Fp64 ]);
+    case "of_string rejects unknown" (fun () ->
+        check_true "none" (Tensor.Dtype.of_string "int8" = None));
+  ]
+
+let shape_tests =
+  [
+    case "numel and rank" (fun () ->
+        let s = Tensor.Shape.of_list [ 2; 3; 4 ] in
+        check_int "rank" 3 (Tensor.Shape.rank s);
+        check_int "numel" 24 (Tensor.Shape.numel s);
+        check_int "dim 1" 3 (Tensor.Shape.dim s 1));
+    case "rejects non-positive extents" (fun () ->
+        check_raises_invalid "zero" (fun () -> Tensor.Shape.of_list [ 2; 0 ]));
+    case "strides are row-major" (fun () ->
+        let s = Tensor.Shape.of_list [ 2; 3; 4 ] in
+        Alcotest.(check (array int)) "strides" [| 12; 4; 1 |]
+          (Tensor.Shape.strides s));
+    case "linear_index" (fun () ->
+        let s = Tensor.Shape.of_list [ 2; 3; 4 ] in
+        check_int "origin" 0 (Tensor.Shape.linear_index s [| 0; 0; 0 |]);
+        check_int "last" 23 (Tensor.Shape.linear_index s [| 1; 2; 3 |]);
+        check_int "middle" 13 (Tensor.Shape.linear_index s [| 1; 0; 1 |]));
+    case "linear_index bounds" (fun () ->
+        let s = Tensor.Shape.of_list [ 2; 3 ] in
+        check_raises_invalid "oob" (fun () ->
+            Tensor.Shape.linear_index s [| 0; 3 |]);
+        check_raises_invalid "rank" (fun () ->
+            Tensor.Shape.linear_index s [| 0 |]));
+    case "equal" (fun () ->
+        check_true "same"
+          (Tensor.Shape.equal
+             (Tensor.Shape.of_list [ 2; 3 ])
+             (Tensor.Shape.of_list [ 2; 3 ]));
+        check_false "diff"
+          (Tensor.Shape.equal
+             (Tensor.Shape.of_list [ 2; 3 ])
+             (Tensor.Shape.of_list [ 3; 2 ])));
+    case "to_string" (fun () ->
+        check_string "render" "[2x3]"
+          (Tensor.Shape.to_string (Tensor.Shape.of_list [ 2; 3 ])));
+    case "dim range check" (fun () ->
+        let s = Tensor.Shape.of_list [ 2 ] in
+        check_raises_invalid "dim 1" (fun () -> Tensor.Shape.dim s 1));
+  ]
+
+let dense_tests =
+  [
+    case "create zeroed" (fun () ->
+        let t = Tensor.Dense.create (Tensor.Shape.of_list [ 3; 3 ]) in
+        check_float "zero" 0.0 (Tensor.Dense.get t [| 2; 2 |]));
+    case "default dtype is fp16" (fun () ->
+        let t = Tensor.Dense.create (Tensor.Shape.of_list [ 4 ]) in
+        check_int "bytes" 8 (Tensor.Dense.size_bytes t));
+    case "set and get" (fun () ->
+        let t = Tensor.Dense.create (Tensor.Shape.of_list [ 2; 2 ]) in
+        Tensor.Dense.set t [| 1; 0 |] 3.5;
+        check_float "read back" 3.5 (Tensor.Dense.get t [| 1; 0 |]);
+        check_float "flat view" 3.5 (Tensor.Dense.get_flat t 2));
+    case "of_array validates length" (fun () ->
+        check_raises_invalid "short" (fun () ->
+            Tensor.Dense.of_array (Tensor.Shape.of_list [ 4 ]) [| 1.0 |]));
+    case "fill" (fun () ->
+        let t = Tensor.Dense.create (Tensor.Shape.of_list [ 5 ]) in
+        Tensor.Dense.fill t 2.0;
+        check_float "filled" 2.0 (Tensor.Dense.get_flat t 4));
+    case "fill_random deterministic" (fun () ->
+        let mk () =
+          let t = Tensor.Dense.create (Tensor.Shape.of_list [ 16 ]) in
+          Tensor.Dense.fill_random t
+            ~prng:(Util.Prng.create ~seed:5)
+            ~lo:(-1.0) ~hi:1.0;
+          t
+        in
+        check_float "same values" 0.0 (Tensor.Dense.max_abs_diff (mk ()) (mk ())));
+    case "fill_random respects range" (fun () ->
+        let t = Tensor.Dense.create (Tensor.Shape.of_list [ 64 ]) in
+        Tensor.Dense.fill_random t
+          ~prng:(Util.Prng.create ~seed:6)
+          ~lo:(-1.0) ~hi:1.0;
+        Tensor.Dense.iteri t (fun _ v ->
+            check_true "in range" (v >= -1.0 && v < 1.0)));
+    case "map" (fun () ->
+        let t = Tensor.Dense.create (Tensor.Shape.of_list [ 3 ]) in
+        Tensor.Dense.fill t 2.0;
+        let doubled = Tensor.Dense.map (fun v -> v *. 2.0) t in
+        check_float "doubled" 4.0 (Tensor.Dense.get_flat doubled 0);
+        check_float "original intact" 2.0 (Tensor.Dense.get_flat t 0));
+    case "iteri multi-index order" (fun () ->
+        let t = Tensor.Dense.create (Tensor.Shape.of_list [ 2; 2 ]) in
+        let visits = ref [] in
+        Tensor.Dense.iteri t (fun idx _ ->
+            visits := (idx.(0), idx.(1)) :: !visits);
+        Alcotest.(check (list (pair int int)))
+          "row major"
+          [ (0, 0); (0, 1); (1, 0); (1, 1) ]
+          (List.rev !visits));
+    case "copy is deep" (fun () ->
+        let t = Tensor.Dense.create (Tensor.Shape.of_list [ 2 ]) in
+        let c = Tensor.Dense.copy t in
+        Tensor.Dense.set_flat c 0 9.0;
+        check_float "original untouched" 0.0 (Tensor.Dense.get_flat t 0));
+    case "allclose tolerances" (fun () ->
+        let a = Tensor.Dense.create (Tensor.Shape.of_list [ 2 ]) in
+        let b = Tensor.Dense.copy a in
+        Tensor.Dense.set_flat b 0 1e-12;
+        check_true "close" (Tensor.Dense.allclose a b);
+        Tensor.Dense.set_flat b 0 1.0;
+        check_false "far" (Tensor.Dense.allclose a b));
+    case "allclose shape mismatch" (fun () ->
+        let a = Tensor.Dense.create (Tensor.Shape.of_list [ 2 ]) in
+        let b = Tensor.Dense.create (Tensor.Shape.of_list [ 3 ]) in
+        check_raises_invalid "shape" (fun () ->
+            ignore (Tensor.Dense.allclose a b)));
+    case "max_abs_diff" (fun () ->
+        let a = Tensor.Dense.create (Tensor.Shape.of_list [ 3 ]) in
+        let b = Tensor.Dense.copy a in
+        Tensor.Dense.set_flat b 1 (-2.5);
+        check_float "diff" 2.5 (Tensor.Dense.max_abs_diff a b));
+    case "size_bytes follows dtype" (fun () ->
+        let s = Tensor.Shape.of_list [ 10 ] in
+        check_int "fp32" 40
+          (Tensor.Dense.size_bytes (Tensor.Dense.create ~dtype:Tensor.Dtype.Fp32 s)));
+  ]
+
+let suites =
+  [
+    ("tensor.dtype", dtype_tests);
+    ("tensor.shape", shape_tests);
+    ("tensor.dense", dense_tests);
+  ]

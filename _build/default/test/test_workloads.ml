@@ -1,0 +1,168 @@
+open Helpers
+
+let gemm_config_tests =
+  [
+    case "Table IV has twelve rows" (fun () ->
+        check_int "G1..G12" 12 (List.length Workloads.Gemm_configs.all));
+    case "lookup by name" (fun () ->
+        match Workloads.Gemm_configs.by_name "G2" with
+        | None -> Alcotest.fail "G2 missing"
+        | Some c ->
+            check_int "batch" 12 c.Workloads.Gemm_configs.batch;
+            check_int "m" 512 c.Workloads.Gemm_configs.m;
+            check_int "n" 64 c.Workloads.Gemm_configs.n;
+            check_int "k" 64 c.Workloads.Gemm_configs.k;
+            check_int "l" 512 c.Workloads.Gemm_configs.l;
+            check_string "network" "Bert-Base" c.Workloads.Gemm_configs.network);
+    case "G6 has 80-dim heads (ViT-Huge)" (fun () ->
+        let c = Option.get (Workloads.Gemm_configs.by_name "G6") in
+        check_int "n" 80 c.Workloads.Gemm_configs.n;
+        check_int "k" 80 c.Workloads.Gemm_configs.k);
+    case "MLP-Mixer rows have batch 1" (fun () ->
+        List.iter
+          (fun name ->
+            let c = Option.get (Workloads.Gemm_configs.by_name name) in
+            check_int "batch" 1 c.Workloads.Gemm_configs.batch)
+          [ "G10"; "G11"; "G12" ]);
+    case "chain shapes follow the table" (fun () ->
+        let c = Option.get (Workloads.Gemm_configs.by_name "G7") in
+        let chain = Workloads.Gemm_configs.chain c in
+        check_int "m" 208 (Ir.Chain.extent_of chain "m");
+        check_int "b" 12 (Ir.Chain.extent_of chain "b");
+        Alcotest.(check (list string))
+          "io" [ "A"; "B"; "D"; "E" ] (Ir.Chain.io_names chain));
+    case "batch_override for the NPU evaluation" (fun () ->
+        let c = Option.get (Workloads.Gemm_configs.by_name "G3") in
+        let chain = Workloads.Gemm_configs.chain ~batch_override:1 c in
+        check_int "batch 1" 1 (Ir.Chain.extent_of chain "b"));
+    case "softmax flag inserts the epilogue" (fun () ->
+        let c = Option.get (Workloads.Gemm_configs.by_name "G1") in
+        let chain = Workloads.Gemm_configs.chain ~softmax:true c in
+        check_true "softmax present"
+          (List.exists
+             (fun (s : Ir.Chain.stage) ->
+               match s.Ir.Chain.epilogue with
+               | Ir.Chain.Softmax _ -> true
+               | _ -> false)
+             chain.Ir.Chain.stages));
+    case "of_attention derives the BMM shape" (fun () ->
+        let c = Workloads.Gemm_configs.of_attention ~heads:12 ~seq:512 ~head_dim:64 in
+        check_int "batch = heads" 12 c.Workloads.Gemm_configs.batch;
+        check_int "m = seq" 512 c.Workloads.Gemm_configs.m;
+        check_int "n = head_dim" 64 c.Workloads.Gemm_configs.n;
+        check_int "l = seq" 512 c.Workloads.Gemm_configs.l);
+  ]
+
+let conv_config_tests =
+  [
+    case "Table V has eight rows" (fun () ->
+        check_int "C1..C8" 8 (List.length Workloads.Conv_configs.all));
+    case "C1 matches the table" (fun () ->
+        let c = Option.get (Workloads.Conv_configs.by_name "C1") in
+        check_int "ic" 64 c.Workloads.Conv_configs.ic;
+        check_int "h" 112 c.Workloads.Conv_configs.h;
+        check_int "oc1" 192 c.Workloads.Conv_configs.oc1;
+        check_int "oc2" 128 c.Workloads.Conv_configs.oc2;
+        check_int "st1" 2 c.Workloads.Conv_configs.st1;
+        check_int "k1" 3 c.Workloads.Conv_configs.k1;
+        check_int "k2" 1 c.Workloads.Conv_configs.k2);
+    case "C6 is the pointwise-then-3x3 crossover case" (fun () ->
+        let c = Option.get (Workloads.Conv_configs.by_name "C6") in
+        check_int "k1" 1 c.Workloads.Conv_configs.k1;
+        check_int "k2" 3 c.Workloads.Conv_configs.k2);
+    case "chain extents derive from the config" (fun () ->
+        let c = Option.get (Workloads.Conv_configs.by_name "C1") in
+        let chain = Workloads.Conv_configs.chain c in
+        check_int "oh = 56" 56 (Ir.Chain.extent_of chain "oh");
+        check_int "oc1" 192 (Ir.Chain.extent_of chain "oc1");
+        check_int "relu absent"
+          0
+          (List.length
+             (List.filter
+                (fun (s : Ir.Chain.stage) -> s.Ir.Chain.epilogue = Ir.Chain.Relu)
+                chain.Ir.Chain.stages));
+        let with_relu = Workloads.Conv_configs.chain ~relu:true c in
+        check_int "relu on both stages" 2
+          (List.length
+             (List.filter
+                (fun (s : Ir.Chain.stage) -> s.Ir.Chain.epilogue = Ir.Chain.Relu)
+                with_relu.Ir.Chain.stages)));
+  ]
+
+let network_tests =
+  [
+    case "nine Figure 9 networks" (fun () ->
+        check_int "count" 9 (List.length Workloads.Networks.all));
+    case "lookup by name" (fun () ->
+        check_true "Bert-Base" (Workloads.Networks.by_name "Bert-Base" <> None);
+        check_true "unknown" (Workloads.Networks.by_name "GPT-5" = None));
+    case "Bert-Base attention matches G2" (fun () ->
+        let net = Workloads.Networks.bert_base in
+        let attn = Workloads.Networks.attention_config net in
+        let g2 = Option.get (Workloads.Gemm_configs.by_name "G2") in
+        check_int "batch" g2.Workloads.Gemm_configs.batch
+          attn.Workloads.Gemm_configs.batch;
+        check_int "m" g2.Workloads.Gemm_configs.m attn.Workloads.Gemm_configs.m;
+        check_int "k" g2.Workloads.Gemm_configs.k attn.Workloads.Gemm_configs.k);
+    case "components scale with layers" (fun () ->
+        let net = Workloads.Networks.bert_base in
+        check_int "12 layers worth"
+          (12 * List.length net.Workloads.Networks.per_layer)
+          (List.length (Workloads.Networks.components net)));
+    case "component flops and bytes are positive" (fun () ->
+        List.iter
+          (fun c ->
+            check_true "flops" (Workloads.Networks.component_flops c > 0.0);
+            check_true "bytes"
+              (Workloads.Networks.component_bytes Tensor.Dtype.Fp16 c > 0.0))
+          Workloads.Networks.bert_base.Workloads.Networks.per_layer);
+    case "attention bytes include the spilled intermediate" (fun () ->
+        let c = Workloads.Gemm_configs.of_attention ~heads:1 ~seq:4 ~head_dim:2 in
+        (* io: 4*2 + 2*4 + 4*2 + 4*2 = 32 elems; intermediate 2*16 = 32. *)
+        check_float "bytes"
+          (2.0 *. 64.0)
+          (Workloads.Networks.component_bytes Tensor.Dtype.Fp16
+             (Workloads.Networks.Attention c)));
+  ]
+
+let breakdown_tests =
+  [
+    case "percentages sum to 100" (fun () ->
+        List.iter
+          (fun net ->
+            let b =
+              Workloads.Breakdown.analyze net ~machine:Arch.Presets.nvidia_a100
+            in
+            check_float ~eps:1e-6 "sum" 100.0
+              (b.Workloads.Breakdown.mi_pct +. b.Workloads.Breakdown.ci_pct
+             +. b.Workloads.Breakdown.bmm_pct))
+          Workloads.Networks.all);
+    case "Table I shape: BMM exceeds the other MI operators" (fun () ->
+        List.iter
+          (fun net ->
+            let b =
+              Workloads.Breakdown.analyze net ~machine:Arch.Presets.nvidia_a100
+            in
+            check_true
+              (net.Workloads.Networks.name ^ ": BMM > MI")
+              (b.Workloads.Breakdown.bmm_pct > b.Workloads.Breakdown.mi_pct))
+          [
+            Workloads.Networks.transformer_base;
+            Workloads.Networks.bert_base;
+            Workloads.Networks.vit_huge;
+          ]);
+    case "BMM share is substantial (tens of percent)" (fun () ->
+        let b =
+          Workloads.Breakdown.analyze Workloads.Networks.transformer_base
+            ~machine:Arch.Presets.nvidia_a100
+        in
+        check_true "over 20%" (b.Workloads.Breakdown.bmm_pct > 20.0));
+  ]
+
+let suites =
+  [
+    ("workloads.gemm_configs", gemm_config_tests);
+    ("workloads.conv_configs", conv_config_tests);
+    ("workloads.networks", network_tests);
+    ("workloads.breakdown", breakdown_tests);
+  ]
