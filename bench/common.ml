@@ -5,6 +5,45 @@
 let csv_dir : string option ref = ref None
 let current_section = ref ""
 
+(* When set (via `--json PATH`), per-experiment records accumulate here
+   and are written as one JSON document when the harness finishes. *)
+let json_path : string option ref = ref None
+let json_records : Util.Json.t list ref = ref []
+
+let record_json name fields =
+  if !json_path <> None then
+    json_records :=
+      Util.Json.Obj
+        (("section", Util.Json.String !current_section)
+        :: ("name", Util.Json.String name)
+        :: fields)
+      :: !json_records
+
+let write_json ~section_timings =
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Util.Json.Obj
+          [
+            ( "sections",
+              Util.Json.List
+                (List.map
+                   (fun (id, seconds) ->
+                     Util.Json.Obj
+                       [
+                         ("id", Util.Json.String id);
+                         ("seconds", Util.Json.Float seconds);
+                       ])
+                   section_timings) );
+            ("records", Util.Json.List (List.rev !json_records));
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (Util.Json.to_string doc);
+      output_char oc '\n';
+      close_out oc
+
 let print_table ?(name = "data") table =
   Util.Table.print table;
   match !csv_dir with

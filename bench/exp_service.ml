@@ -1,0 +1,56 @@
+(* The compilation service: cold-vs-warm plan-cache batches over every
+   Table-IV GEMM chain on every machine preset. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let run () =
+  Common.section "plancache" "plan cache cold vs warm batch";
+  let requests = Service.Request.all_gemm_x_arch () in
+  let n = List.length requests in
+  let table =
+    Util.Table.create
+      ~columns:
+        [ "phase"; "seconds"; "planner solves"; "cache hits"; "degraded" ]
+  in
+  let row phase (metrics : Service.Metrics.t) seconds =
+    Util.Table.add_row table
+      [
+        phase;
+        Printf.sprintf "%.3f" seconds;
+        string_of_int metrics.Service.Metrics.planner_solves;
+        string_of_int metrics.Service.Metrics.hits;
+        string_of_int metrics.Service.Metrics.degraded;
+      ];
+    Common.record_json phase
+      [
+        ("requests", Util.Json.Int n);
+        ("seconds", Util.Json.Float seconds);
+        ("planner_solves", Util.Json.Int metrics.Service.Metrics.planner_solves);
+        ("cache_hits", Util.Json.Int metrics.Service.Metrics.hits);
+      ]
+  in
+  (* Cold, sequential. *)
+  let metrics = Service.Metrics.create () in
+  let cache = Service.Plan_cache.create ~metrics () in
+  let _, cold =
+    time (fun () -> Service.Batch.run ~jobs:1 ~cache ~metrics requests)
+  in
+  row "cold (1 job)" metrics cold;
+  (* Cold again with a fresh cache, across domains. *)
+  let metrics_par = Service.Metrics.create () in
+  let _, cold_par =
+    time (fun () -> Service.Batch.run ~jobs:4 ~metrics:metrics_par requests)
+  in
+  row "cold (4 jobs)" metrics_par cold_par;
+  (* Warm: every plan comes from the cache, zero solves. *)
+  Service.Metrics.reset metrics;
+  let _, warm =
+    time (fun () -> Service.Batch.run ~jobs:1 ~cache ~metrics requests)
+  in
+  row "warm" metrics warm;
+  Printf.printf "%d requests; warm batch is %.0fx faster than cold:\n" n
+    (cold /. Float.max warm 1e-9);
+  Common.print_table ~name:"plancache" table

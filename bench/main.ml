@@ -1,7 +1,9 @@
 (* The Chimera experiment harness: regenerates every table and figure of
    the paper's evaluation.  Run all sections with `dune exec
    bench/main.exe`, or name sections: `dune exec bench/main.exe --
-   table1 figure5a figure8def`. *)
+   table1 figure5a figure8def`.  `--csv DIR` also writes every table as
+   CSV; `--json PATH` writes per-section wall times and per-experiment
+   records as one JSON document. *)
 
 let sections : (string * string * (unit -> unit)) list =
   [
@@ -21,6 +23,7 @@ let sections : (string * string * (unit -> unit)) list =
     ("figure9", "end-to-end networks", Exp_e2e.run);
     ("figure10", "ablation study", Exp_ablation.run);
     ("overhead", "optimization overhead", fun () -> Exp_overhead.run ());
+    ("plancache", "plan cache cold vs warm batch", Exp_service.run);
     ("internals", "reproduction design-choice ablations", Exp_internals.run);
     ("bechamel", "framework micro-benchmarks", Bechamel_suite.run);
   ]
@@ -29,15 +32,18 @@ let () =
   let args =
     match Array.to_list Sys.argv with [] | [ _ ] -> [] | _ :: args -> args
   in
-  let rec strip_csv acc = function
+  let rec strip_flags acc = function
     | "--csv" :: dir :: rest ->
         if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
         Common.csv_dir := Some dir;
-        strip_csv acc rest
-    | x :: rest -> strip_csv (x :: acc) rest
+        strip_flags acc rest
+    | "--json" :: path :: rest ->
+        Common.json_path := Some path;
+        strip_flags acc rest
+    | x :: rest -> strip_flags (x :: acc) rest
     | [] -> List.rev acc
   in
-  let requested = strip_csv [] args in
+  let requested = strip_flags [] args in
   let to_run =
     if requested = [] then sections
     else
@@ -54,9 +60,14 @@ let () =
         requested
   in
   let t0 = Sys.time () in
-  List.iter
-    (fun (_, _, run) ->
-      run ();
-      flush stdout)
-    to_run;
+  let section_timings =
+    List.map
+      (fun (id, _, run) ->
+        let w0 = Unix.gettimeofday () in
+        run ();
+        flush stdout;
+        (id, Unix.gettimeofday () -. w0))
+      to_run
+  in
+  Common.write_json ~section_timings;
   Printf.printf "\nAll sections complete (%.1f s CPU time).\n" (Sys.time () -. t0)

@@ -3,6 +3,8 @@
    chimera optimize --workload G2 --arch cpu [--softmax] [--source]
    chimera run      --workload C3 --arch gpu [--relu]
    chimera compare  --workload G2 --arch cpu
+   chimera batch    --requests FILE|all [--jobs N] [--cache-dir DIR]
+   chimera serve    [--cache-dir DIR]
    chimera list *)
 
 open Cmdliner
@@ -241,6 +243,104 @@ let graph_cmd arch =
         machine.Arch.Machine.name;
       Ok ()
 
+(* ---------------- compilation service ---------------- *)
+
+let load_requests path =
+  if path = "all" then Ok (Service.Request.all_gemm_x_arch ())
+  else if not (Sys.file_exists path) then
+    Error (`Msg (Printf.sprintf "no such requests file: %s" path))
+  else begin
+    let ic = open_in path in
+    let requests = ref [] and errors = ref [] in
+    let lineno = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         incr lineno;
+         if String.trim line <> "" then
+           match
+             Result.bind (Util.Json.parse line) Service.Request.of_json
+           with
+           | Ok req -> requests := req :: !requests
+           | Error e ->
+               errors := Printf.sprintf "line %d: %s" !lineno e :: !errors
+       done
+     with End_of_file -> ());
+    close_in ic;
+    match List.rev !errors with
+    | [] -> Ok (List.rev !requests)
+    | e :: _ -> Error (`Msg e)
+  end
+
+let batch_cmd requests_path jobs cache_dir =
+  match load_requests requests_path with
+  | Error e -> Error e
+  | Ok requests ->
+      let metrics = Service.Metrics.create () in
+      let cache = Service.Plan_cache.create ~metrics () in
+      Option.iter
+        (fun dir ->
+          let n = Service.Plan_cache.load cache ~dir in
+          if n > 0 then Printf.printf "loaded %d cached plans from %s\n" n dir)
+        cache_dir;
+      let t0 = Unix.gettimeofday () in
+      let results = Service.Batch.run ~jobs ~cache ~metrics requests in
+      let wall = Unix.gettimeofday () -. t0 in
+      Option.iter (fun dir -> Service.Plan_cache.save_if_dirty cache ~dir)
+        cache_dir;
+      let table =
+        Util.Table.create
+          ~columns:
+            [ "request"; "status"; "kernels"; "est us"; "plan ms"; "order" ]
+      in
+      List.iter
+        (fun (req, result) ->
+          match result with
+          | Ok (r : Service.Batch.response) ->
+              let status =
+                match (r.source, r.degraded) with
+                | _, Some _ -> "degraded"
+                | Service.Batch.Cache, None -> "cached"
+                | Service.Batch.Compiled, None -> "compiled"
+              in
+              let units = r.compiled.Chimera.Compiler.units in
+              let order =
+                String.concat "+"
+                  (List.map
+                     (fun (u : Chimera.Compiler.unit_) ->
+                       String.concat "" u.kernel.Codegen.Kernel.perm)
+                     units)
+              in
+              Util.Table.add_row table
+                [
+                  Service.Request.describe req;
+                  status;
+                  string_of_int (List.length units);
+                  Printf.sprintf "%.1f"
+                    (Chimera.Compiler.total_time_seconds r.compiled *. 1e6);
+                  Printf.sprintf "%.1f" (r.seconds *. 1e3);
+                  order;
+                ]
+          | Error e ->
+              Util.Table.add_row table
+                [ Service.Request.describe req; "FAILED"; "-"; "-"; "-"; e ])
+        results;
+      Util.Table.print table;
+      Printf.printf "\nbatch of %d requests in %.2f s (%d jobs)\n"
+        (List.length requests) wall jobs;
+      Service.Metrics.print metrics;
+      let failures =
+        List.filter (fun (_, r) -> Result.is_error r) results
+      in
+      if failures = [] then Ok ()
+      else
+        Error
+          (`Msg (Printf.sprintf "%d request(s) failed" (List.length failures)))
+
+let serve_cmd cache_dir =
+  Service.Serve.run ?cache_dir stdin stdout;
+  Ok ()
+
 let list_cmd () =
   print_endline "batch-GEMM chains (Table IV):";
   List.iter
@@ -306,6 +406,42 @@ let graph_t =
        ~doc:"Partition a transformer-block compute DAG and estimate it")
     Term.(term_result (const graph_cmd $ arch_arg))
 
+let requests_arg =
+  let doc =
+    "Requests to compile: a JSONL file (one request object per line, see \
+     docs/SERVICE.md) or the literal $(b,all) for every batch-GEMM chain \
+     on every machine (G1..G12 x cpu/gpu/npu)."
+  in
+  Arg.(required & opt (some string) None & info [ "r"; "requests" ] ~doc)
+
+let jobs_arg =
+  let doc = "Plan cache misses across N OCaml domains." in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Persist the plan cache under this directory (loaded at startup, \
+     written back on change)."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~doc)
+
+let batch_t =
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Bulk-compile a request list through the content-addressed plan \
+          cache")
+    Term.(
+      term_result (const batch_cmd $ requests_arg $ jobs_arg $ cache_dir_arg))
+
+let serve_t =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve optimization requests as a stdin/stdout JSONL loop backed \
+          by the plan cache")
+    Term.(term_result (const serve_cmd $ cache_dir_arg))
+
 let list_t =
   Cmd.v
     (Cmd.info "list" ~doc:"List the available workloads and machines")
@@ -319,4 +455,5 @@ let () =
          fusion (HPCA 2023 reproduction)"
   in
   exit (Cmd.eval (Cmd.group info
-       [ optimize_t; run_t; compare_t; advise_t; breakdown_t; graph_t; list_t ]))
+       [ optimize_t; run_t; compare_t; advise_t; breakdown_t; graph_t;
+         batch_t; serve_t; list_t ]))

@@ -40,7 +40,14 @@ let registry_for (config : Config.t) =
     r
   end
 
-let compile_unit (config : Config.t) ~machine ~registry sub_chain =
+type unit_plan = {
+  level_plans : Analytical.Planner.level_plan list;
+  tuner_result : Tuner.result option;
+}
+
+exception No_feasible_tiling of string
+
+let plan_unit (config : Config.t) ~machine ~registry sub_chain =
   let min_blocks =
     if config.Config.parallel_refinement then Some machine.Arch.Machine.cores
     else None
@@ -81,29 +88,42 @@ let compile_unit (config : Config.t) ~machine ~registry sub_chain =
         ]
       end
     in
-    let primary =
-      match List.rev level_plans with
-      | outer :: _ -> outer.Analytical.Planner.plan
-      | [] -> assert false
-    in
-    let kernel =
-      Codegen.Kernel.of_plan ~name:sub_chain.Ir.Chain.name ~chain:sub_chain
-        ~machine ~registry ~plan:primary ~level_plans ()
-    in
-    { sub_chain; kernel; tuner = None }
+    Ok { level_plans; tuner_result = None }
   end
-  else begin
-    let result =
+  else
+    match
       Tuner.search sub_chain ~machine
         ~trials_per_order:config.Config.tuning_trials
         ~seed:config.Config.seed ()
-    in
-    let kernel =
-      Codegen.Kernel.of_plan ~name:sub_chain.Ir.Chain.name ~chain:sub_chain
-        ~machine ~registry ~plan:result.Tuner.plan ()
-    in
-    { sub_chain; kernel; tuner = Some result }
-  end
+    with
+    | Ok result -> Ok { level_plans = []; tuner_result = Some result }
+    | Error `No_feasible_tiling -> Error `No_feasible_tiling
+
+let kernel_of_unit_plan ~machine ~registry sub_chain up =
+  match up.tuner_result with
+  | Some result ->
+      let kernel =
+        Codegen.Kernel.of_plan ~name:sub_chain.Ir.Chain.name ~chain:sub_chain
+          ~machine ~registry ~plan:result.Tuner.plan ()
+      in
+      { sub_chain; kernel; tuner = Some result }
+  | None ->
+      let primary =
+        match List.rev up.level_plans with
+        | outer :: _ -> outer.Analytical.Planner.plan
+        | [] -> invalid_arg "Compiler.kernel_of_unit_plan: empty plan"
+      in
+      let kernel =
+        Codegen.Kernel.of_plan ~name:sub_chain.Ir.Chain.name ~chain:sub_chain
+          ~machine ~registry ~plan:primary ~level_plans:up.level_plans ()
+      in
+      { sub_chain; kernel; tuner = None }
+
+let compile_unit (config : Config.t) ~machine ~registry sub_chain =
+  match plan_unit config ~machine ~registry sub_chain with
+  | Ok up -> kernel_of_unit_plan ~machine ~registry sub_chain up
+  | Error `No_feasible_tiling ->
+      raise (No_feasible_tiling sub_chain.Ir.Chain.name)
 
 let optimize ?(config = Config.default) ~machine chain =
   let registry = registry_for config in

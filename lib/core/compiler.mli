@@ -35,9 +35,43 @@ val registry_for : Config.t -> Microkernel.Registry.t
 (** The micro-kernel registry the configuration selects: the tuned
     kernels, or the naive ones when [use_micro_kernel] is off. *)
 
+type unit_plan = {
+  level_plans : Analytical.Planner.level_plan list;
+      (** per-level plans, innermost first (cost-model path); empty on
+          the sampling path. *)
+  tuner_result : Tuner.result option;
+      (** present when the sampling fallback chose the tiling. *)
+}
+(** The *decision* half of compiling one sub-chain: everything the
+    planner or tuner chose, and nothing tied to the current process
+    (no micro-kernel closures).  Values are plain data, so the
+    compilation service can marshal them to a plan cache and rebuild
+    kernels later with {!kernel_of_unit_plan}. *)
+
+exception No_feasible_tiling of string
+(** Raised by {!optimize} (carrying the sub-chain name) when the
+    sampling fallback finds no feasible tiling. *)
+
+val plan_unit :
+  Config.t -> machine:Arch.Machine.t -> registry:Microkernel.Registry.t ->
+  Ir.Chain.t -> (unit_plan, [ `No_feasible_tiling ]) result
+(** Run the expensive half of {!optimize} for one sub-chain: the
+    analytical planner (or the sampling tuner when [use_cost_model] is
+    off).  The analytical path raises [Failure] when no candidate order
+    admits a feasible tiling, exactly as {!Analytical.Planner.optimize}
+    does. *)
+
+val kernel_of_unit_plan :
+  machine:Arch.Machine.t -> registry:Microkernel.Registry.t ->
+  Ir.Chain.t -> unit_plan -> unit_
+(** The cheap half: pair a previously computed {!unit_plan} with the
+    machine's micro kernel.  [optimize = kernel_of_unit_plan . plan_unit]
+    per sub-chain, so rebuilding from a cached plan is exact. *)
+
 val optimize :
   ?config:Config.t -> machine:Arch.Machine.t -> Ir.Chain.t -> compiled
-(** Compile a chain for a machine. *)
+(** Compile a chain for a machine.  Raises {!No_feasible_tiling} if the
+    sampling path finds no feasible tiling. *)
 
 val reports : compiled -> (string * Sim.Perf.report) list
 (** Per-kernel performance estimates, in execution order. *)

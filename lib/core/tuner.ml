@@ -4,6 +4,8 @@ type result = {
   measured_dram_bytes : float;
 }
 
+type error = [ `No_feasible_tiling ]
+
 let max_blocks_per_trial = 3e4
 
 let random_tiling chain ~prng ~full_tile =
@@ -57,17 +59,18 @@ let search chain ~machine ~trials_per_order ~seed ?perms () =
       done)
     perms;
   match !best with
-  | None -> failwith "Tuner.search: no feasible sample found"
+  | None -> Error `No_feasible_tiling
   | Some (measured, perm, tiling, movement) ->
-      {
-        plan =
-          {
-            Analytical.Planner.perm;
-            tiling;
-            movement;
-            capacity_bytes = capacity;
-            candidates_evaluated = List.length perms;
-          };
-        trials_run = !trials_run;
-        measured_dram_bytes = measured;
-      }
+      Ok
+        {
+          plan =
+            {
+              Analytical.Planner.perm;
+              tiling;
+              movement;
+              capacity_bytes = capacity;
+              candidates_evaluated = List.length perms;
+            };
+          trials_run = !trials_run;
+          measured_dram_bytes = measured;
+        }

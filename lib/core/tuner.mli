@@ -10,16 +10,21 @@ type result = {
   measured_dram_bytes : float;  (** the winner's simulated traffic. *)
 }
 
+type error = [ `No_feasible_tiling ]
+(** No sampled tiling fit the target level's capacity. *)
+
 val max_blocks_per_trial : float
 (** Samples whose block count exceeds this are skipped rather than
     simulated (3e4). *)
 
 val search :
   Ir.Chain.t -> machine:Arch.Machine.t -> trials_per_order:int ->
-  seed:int -> ?perms:string list list -> unit -> result
+  seed:int -> ?perms:string list list -> unit -> (result, error) Stdlib.result
 (** Sample [trials_per_order] random feasible tilings per candidate
-    order and measure each on the simulator.  Raises [Failure] when no
-    feasible sample is found. *)
+    order and measure each on the simulator.  Returns
+    [Error `No_feasible_tiling] when no feasible sample is found, so
+    callers (the compiler's sampling path, the batch service) can
+    degrade gracefully instead of matching on exception strings. *)
 
 val random_tiling :
   Ir.Chain.t -> prng:Util.Prng.t -> full_tile:string list ->

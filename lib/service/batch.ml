@@ -1,0 +1,271 @@
+type source = Cache | Compiled
+
+type response = {
+  fingerprint : Fingerprint.t;
+  source : source;
+  degraded : string option;
+  compiled : Chimera.Compiler.compiled;
+  seconds : float;
+}
+
+let now () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* Planning (pure: safe to run inside a domain)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Plan every sub-chain, or report the first failure with its reason.
+   Also returns the number of planner/tuner solves performed. *)
+let plan_subs config ~machine ~registry subs =
+  let rec go acc solves = function
+    | [] -> Ok (List.rev acc, solves)
+    | (sub : Ir.Chain.t) :: rest -> (
+        match Chimera.Compiler.plan_unit config ~machine ~registry sub with
+        | Ok up -> go (up :: acc) (solves + 1) rest
+        | Error `No_feasible_tiling ->
+            Error
+              ( Printf.sprintf "%s: no feasible tiling" sub.Ir.Chain.name,
+                solves + 1 )
+        | exception Failure msg -> Error (msg, solves + 1))
+  in
+  go [] 0 subs
+
+(* The failure-isolated planning of one request: fused first, then the
+   unfused fallback when the fused solve fails. *)
+let plan_entry ~config ~machine chain =
+  let registry = Chimera.Compiler.registry_for config in
+  let plan_split ~degrade_reason ~prior_solves =
+    match
+      plan_subs config ~machine ~registry
+        (Chimera.Compiler.split_stages chain)
+    with
+    | Ok (units, solves) ->
+        Ok
+          ( { Plan_cache.fused = false; degrade_reason; units },
+            prior_solves + solves )
+    | Error (reason, solves) -> Error (reason, prior_solves + solves)
+  in
+  if config.Chimera.Config.use_fusion then
+    match plan_subs config ~machine ~registry [ chain ] with
+    | Ok (units, solves) ->
+        Ok ({ Plan_cache.fused = true; degrade_reason = None; units }, solves)
+    | Error (reason, solves) ->
+        plan_split ~degrade_reason:(Some reason) ~prior_solves:solves
+  else plan_split ~degrade_reason:None ~prior_solves:0
+
+(* ------------------------------------------------------------------ *)
+(* Kernel reconstruction                                               *)
+(* ------------------------------------------------------------------ *)
+
+let materialize ~config ~machine chain (entry : Plan_cache.entry) =
+  let registry = Chimera.Compiler.registry_for config in
+  let subs =
+    if entry.Plan_cache.fused then [ chain ]
+    else Chimera.Compiler.split_stages chain
+  in
+  if List.length subs <> List.length entry.Plan_cache.units then
+    Error "cached entry does not match the chain's decomposition"
+  else
+    Ok
+      {
+        Chimera.Compiler.chain;
+        machine;
+        config;
+        units =
+          List.map2
+            (Chimera.Compiler.kernel_of_unit_plan ~machine ~registry)
+            subs entry.Plan_cache.units;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Metrics plumbing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let bump metrics f = Option.iter f metrics
+
+let note_response metrics (r : (response, string) result) =
+  match r with
+  | Ok { degraded = Some _; _ } ->
+      bump metrics (fun (m : Metrics.t) -> m.degraded <- m.degraded + 1)
+  | Ok _ -> ()
+  | Error _ -> bump metrics (fun (m : Metrics.t) -> m.failed <- m.failed + 1)
+
+let note_solves metrics solves =
+  bump metrics (fun (m : Metrics.t) ->
+      m.planner_solves <- m.planner_solves + solves)
+
+let note_seconds metrics dt =
+  bump metrics (fun (m : Metrics.t) ->
+      m.compile_seconds <- m.compile_seconds +. dt)
+
+(* ------------------------------------------------------------------ *)
+(* Single-request path (used by the serve loop)                        *)
+(* ------------------------------------------------------------------ *)
+
+let compile ?cache ?metrics ?(config = Chimera.Config.default) ~machine chain
+    =
+  bump metrics (fun (m : Metrics.t) -> m.requests <- m.requests + 1);
+  let cache =
+    match cache with Some c -> c | None -> Plan_cache.create ?metrics ()
+  in
+  let fp = Fingerprint.of_request ~chain ~machine ~config in
+  let build source seconds entry =
+    Result.map
+      (fun compiled ->
+        {
+          fingerprint = fp;
+          source;
+          degraded = entry.Plan_cache.degrade_reason;
+          compiled;
+          seconds;
+        })
+      (materialize ~config ~machine chain entry)
+  in
+  let result =
+    match Plan_cache.find cache fp with
+    | Some entry -> build Cache 0.0 entry
+    | None -> (
+        let t0 = now () in
+        let planned = plan_entry ~config ~machine chain in
+        let dt = now () -. t0 in
+        note_seconds metrics dt;
+        match planned with
+        | Error (reason, solves) ->
+            note_solves metrics solves;
+            Error reason
+        | Ok (entry, solves) ->
+            note_solves metrics solves;
+            Plan_cache.add cache fp entry;
+            build Compiled dt entry)
+  in
+  note_response metrics result;
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Batch path                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type pending = {
+  fp : Fingerprint.t;
+  p_config : Chimera.Config.t;
+  p_machine : Arch.Machine.t;
+  p_chain : Ir.Chain.t;
+  hit : Plan_cache.entry option;
+}
+
+type slot = Unresolved of string | Pending of pending
+
+let run ?(jobs = 1) ?cache ?metrics ?(config = Chimera.Config.default)
+    requests =
+  let cache =
+    match cache with Some c -> c | None -> Plan_cache.create ?metrics ()
+  in
+  (* Phase 1: resolve, fingerprint and probe the cache, in order. *)
+  let slots =
+    List.map
+      (fun req ->
+        bump metrics (fun (m : Metrics.t) -> m.requests <- m.requests + 1);
+        match Request.resolve req with
+        | Error e -> (req, Unresolved e)
+        | Ok (chain, machine) ->
+            let p_config = Request.config_of ~base:config req in
+            let fp =
+              Fingerprint.of_request ~chain ~machine ~config:p_config
+            in
+            let hit = Plan_cache.find cache fp in
+            ( req,
+              Pending { fp; p_config; p_machine = machine; p_chain = chain; hit }
+            ))
+      requests
+  in
+  (* Phase 2: deduplicate the misses by fingerprint. *)
+  let seen = Hashtbl.create 32 in
+  let misses =
+    List.filter_map
+      (fun (_, slot) ->
+        match slot with
+        | Pending ({ hit = None; fp; _ } as p) ->
+            let key = Fingerprint.to_hex fp in
+            if Hashtbl.mem seen key then None
+            else begin
+              Hashtbl.add seen key ();
+              Some p
+            end
+        | _ -> None)
+      slots
+  in
+  (* Phase 3: plan the misses, in parallel when asked to.  Planning is
+     pure — results are committed on the main domain afterwards, so
+     parallel and sequential batches produce identical plans and the
+     cache/metrics never race. *)
+  let plan_miss p =
+    let t0 = now () in
+    let planned =
+      plan_entry ~config:p.p_config ~machine:p.p_machine p.p_chain
+    in
+    (p.fp, planned, now () -. t0)
+  in
+  let n_misses = List.length misses in
+  let n_domains = Util.Ints.clamp ~lo:1 ~hi:(max 1 n_misses) jobs in
+  let planned =
+    if n_domains = 1 then List.map plan_miss misses
+    else begin
+      (* Round-robin the misses over the domains (the task-partitioning
+         idiom of Sim.Parallel_exec). *)
+      let chunks = Array.make n_domains [] in
+      List.iteri
+        (fun i m -> chunks.(i mod n_domains) <- m :: chunks.(i mod n_domains))
+        misses;
+      let work chunk () = List.map plan_miss chunk in
+      let spawned =
+        Array.to_list
+          (Array.map (fun chunk -> Domain.spawn (work chunk)) chunks)
+      in
+      List.concat_map Domain.join spawned
+    end
+  in
+  (* Phase 4: commit plans to the cache and metrics on the main domain. *)
+  let outcomes = Hashtbl.create 32 in
+  List.iter
+    (fun (fp, planned, dt) ->
+      note_seconds metrics dt;
+      match planned with
+      | Ok (entry, solves) ->
+          note_solves metrics solves;
+          Plan_cache.add cache fp entry;
+          Hashtbl.replace outcomes (Fingerprint.to_hex fp) (Ok (entry, dt))
+      | Error (reason, solves) ->
+          note_solves metrics solves;
+          Hashtbl.replace outcomes (Fingerprint.to_hex fp) (Error reason))
+    planned;
+  (* Phase 5: rebuild kernels for every request, in input order. *)
+  List.map
+    (fun (req, slot) ->
+      let result =
+        match slot with
+        | Unresolved e -> Error e
+        | Pending { fp; p_config; p_machine; p_chain; hit } -> (
+            let build source seconds entry =
+              Result.map
+                (fun compiled ->
+                  {
+                    fingerprint = fp;
+                    source;
+                    degraded = entry.Plan_cache.degrade_reason;
+                    compiled;
+                    seconds;
+                  })
+                (materialize ~config:p_config ~machine:p_machine p_chain
+                   entry)
+            in
+            match hit with
+            | Some entry -> build Cache 0.0 entry
+            | None -> (
+                match Hashtbl.find_opt outcomes (Fingerprint.to_hex fp) with
+                | Some (Ok (entry, dt)) -> build Compiled dt entry
+                | Some (Error reason) -> Error reason
+                | None -> Error "internal: request was never planned"))
+      in
+      note_response metrics result;
+      (req, result))
+    slots

@@ -1,0 +1,41 @@
+(** The batch compiler: compile many optimization requests cheaply and
+    robustly.
+
+    Requests are deduplicated by {!Fingerprint}; cache misses are
+    planned in parallel across OCaml 5 domains (plans are pure data, so
+    domains share nothing and the result is bit-identical to sequential
+    compilation); and each request is failure-isolated — a chain whose
+    fused solve raises degrades to the unfused [split_stages] path and
+    is reported as such, rather than poisoning the batch. *)
+
+type source =
+  | Cache  (** plans came from the plan cache; zero solves. *)
+  | Compiled  (** plans were computed by this batch. *)
+
+type response = {
+  fingerprint : Fingerprint.t;
+  source : source;
+  degraded : string option;
+      (** [Some reason] when the fused solve failed and the unfused
+          fallback was compiled instead. *)
+  compiled : Chimera.Compiler.compiled;
+  seconds : float;  (** planning wall-clock (0 for cache hits). *)
+}
+
+val compile :
+  ?cache:Plan_cache.t -> ?metrics:Metrics.t -> ?config:Chimera.Config.t ->
+  machine:Arch.Machine.t -> Ir.Chain.t -> (response, string) result
+(** Compile one chain through the cache: lookup by fingerprint,
+    plan on miss (degrading to unfused on a fused-solve failure), store,
+    and rebuild kernels from the plans.  [Error] only when even the
+    unfused fallback cannot be planned. *)
+
+val run :
+  ?jobs:int -> ?cache:Plan_cache.t -> ?metrics:Metrics.t ->
+  ?config:Chimera.Config.t -> Request.t list ->
+  (Request.t * (response, string) result) list
+(** Compile a request list, in input order.  Duplicate fingerprints are
+    planned once.  [jobs] (default 1) caps the domains used for the
+    cache-miss planning fan-out; hits never spawn a domain.  Requests
+    that fail to resolve or to plan map to [Error] without affecting
+    the rest of the batch. *)

@@ -1,0 +1,126 @@
+type t = string (* 16-byte MD5 digest *)
+
+let scheme_version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Canonical encoding                                                  *)
+(*                                                                     *)
+(* Every value is emitted with an unambiguous frame: scalars carry a   *)
+(* one-character tag, strings and lists a length prefix.  The encoding *)
+(* never depends on hash-table order or float formatting.              *)
+(* ------------------------------------------------------------------ *)
+
+let add_int b i =
+  Buffer.add_char b 'i';
+  Buffer.add_string b (string_of_int i);
+  Buffer.add_char b ';'
+
+let add_bool b v = Buffer.add_string b (if v then "T;" else "F;")
+
+let add_float b f =
+  Buffer.add_char b 'f';
+  Buffer.add_string b (Printf.sprintf "%Lx" (Int64.bits_of_float f));
+  Buffer.add_char b ';'
+
+let add_string b s =
+  Buffer.add_char b 's';
+  Buffer.add_string b (string_of_int (String.length s));
+  Buffer.add_char b ':';
+  Buffer.add_string b s
+
+let add_list b add xs =
+  Buffer.add_char b 'l';
+  Buffer.add_string b (string_of_int (List.length xs));
+  Buffer.add_char b ':';
+  List.iter (add b) xs
+
+let add_access b (access : Ir.Access.t) =
+  add_list b
+    (fun b ({ terms; offset } : Ir.Access.dim) ->
+      add_int b offset;
+      add_list b
+        (fun b ({ axis; coeff } : Ir.Access.term) ->
+          add_string b axis;
+          add_int b coeff)
+        terms)
+    access
+
+let add_ref b (r : Ir.Operator.tensor_ref) =
+  add_string b r.tensor;
+  add_int b (Tensor.Dtype.bytes r.dtype);
+  add_string b (Tensor.Dtype.to_string r.dtype);
+  add_list b add_int r.dims;
+  add_access b r.access
+
+let add_operator b (op : Ir.Operator.t) =
+  add_string b op.name;
+  add_list b add_string op.axes;
+  add_list b add_string op.reduction_axes;
+  add_int b op.flops_per_point;
+  add_list b add_ref op.inputs;
+  add_ref b op.output
+
+let add_epilogue b (e : Ir.Chain.epilogue) =
+  match e with
+  | Ir.Chain.Identity -> Buffer.add_string b "E0;"
+  | Ir.Chain.Relu -> Buffer.add_string b "E1;"
+  | Ir.Chain.Softmax { axis } ->
+      Buffer.add_string b "E2;";
+      add_string b axis
+
+let add_chain b (chain : Ir.Chain.t) =
+  (* chain.name is a display label, deliberately excluded. *)
+  add_list b
+    (fun b (a : Ir.Axis.t) ->
+      add_string b a.name;
+      add_int b a.extent)
+    chain.axes;
+  add_list b
+    (fun b (s : Ir.Chain.stage) ->
+      add_operator b s.op;
+      add_epilogue b s.epilogue;
+      add_operator b s.standalone)
+    chain.stages
+
+let add_level b (l : Arch.Level.t) =
+  add_string b l.name;
+  add_int b l.capacity_bytes;
+  add_float b l.link_bandwidth_gbps;
+  add_int b l.line_bytes
+
+let add_machine b (m : Arch.Machine.t) =
+  (* m.name is a display label, deliberately excluded. *)
+  add_string b (Arch.Machine.backend_to_string m.backend);
+  add_float b m.peak_tflops;
+  add_float b m.freq_ghz;
+  add_int b m.cores;
+  add_int b m.vector_registers;
+  add_int b m.vector_lanes;
+  let tm, tn, tk = m.tensor_tile in
+  add_int b tm;
+  add_int b tn;
+  add_int b tk;
+  add_list b add_level m.levels
+
+let add_config b (c : Chimera.Config.t) =
+  add_bool b c.use_cost_model;
+  add_bool b c.use_fusion;
+  add_bool b c.use_micro_kernel;
+  add_bool b c.multilevel;
+  add_bool b c.parallel_refinement;
+  add_int b c.tuning_trials;
+  add_int b c.seed
+
+let of_request ~chain ~machine ~config =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "chimera-fingerprint-";
+  add_int b scheme_version;
+  add_chain b chain;
+  add_machine b machine;
+  add_config b config;
+  Digest.string (Buffer.contents b)
+
+let to_hex = Digest.to_hex
+let equal = String.equal
+let compare = String.compare
+let pp fmt t = Format.pp_print_string fmt (to_hex t)

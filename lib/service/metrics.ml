@@ -1,0 +1,66 @@
+type t = {
+  mutable requests : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable planner_solves : int;
+  mutable degraded : int;
+  mutable failed : int;
+  mutable compile_seconds : float;
+}
+
+let create () =
+  {
+    requests = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    planner_solves = 0;
+    degraded = 0;
+    failed = 0;
+    compile_seconds = 0.0;
+  }
+
+let reset t =
+  t.requests <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0;
+  t.planner_solves <- 0;
+  t.degraded <- 0;
+  t.failed <- 0;
+  t.compile_seconds <- 0.0
+
+let fields t =
+  [
+    ("requests", float_of_int t.requests);
+    ("cache_hits", float_of_int t.hits);
+    ("cache_misses", float_of_int t.misses);
+    ("evictions", float_of_int t.evictions);
+    ("planner_solves", float_of_int t.planner_solves);
+    ("degraded", float_of_int t.degraded);
+    ("failed", float_of_int t.failed);
+    ("compile_seconds", t.compile_seconds);
+  ]
+
+let to_table t =
+  let table = Util.Table.create ~columns:[ "counter"; "value" ] in
+  List.iter
+    (fun (name, v) ->
+      let cell =
+        if name = "compile_seconds" then Printf.sprintf "%.3f" v
+        else string_of_int (int_of_float v)
+      in
+      Util.Table.add_row table [ name; cell ])
+    (fields t);
+  table
+
+let to_json t =
+  Util.Json.Obj
+    (List.map
+       (fun (name, v) ->
+         if name = "compile_seconds" then (name, Util.Json.Float v)
+         else (name, Util.Json.Int (int_of_float v)))
+       (fields t))
+
+let print t = Util.Table.print (to_table t)

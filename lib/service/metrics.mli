@@ -1,0 +1,36 @@
+(** Counters for the compilation service.
+
+    One mutable record shared by the plan cache, the batch compiler and
+    the serve loop; printable as a table and dumpable as JSON so both
+    interactive runs and tests can assert on service behaviour (e.g.
+    "a warm batch performs zero planner solves"). *)
+
+type t = {
+  mutable requests : int;  (** optimization requests processed. *)
+  mutable hits : int;  (** plan-cache hits. *)
+  mutable misses : int;  (** plan-cache misses. *)
+  mutable evictions : int;  (** LRU evictions. *)
+  mutable planner_solves : int;
+      (** sub-chains actually planned (planner or tuner invocations);
+          stays 0 across a fully warm batch. *)
+  mutable degraded : int;
+      (** requests served by the unfused fallback after the fused
+          solve failed. *)
+  mutable failed : int;  (** requests that produced no plan at all. *)
+  mutable compile_seconds : float;
+      (** wall-clock spent planning cache misses. *)
+}
+
+val create : unit -> t
+(** All counters zero. *)
+
+val reset : t -> unit
+
+val to_table : t -> Util.Table.t
+(** Two-column (counter, value) rendering. *)
+
+val to_json : t -> Util.Json.t
+(** Flat object, one field per counter. *)
+
+val print : t -> unit
+(** {!to_table} to stdout. *)

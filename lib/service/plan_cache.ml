@@ -1,0 +1,178 @@
+type entry = {
+  fused : bool;
+  degrade_reason : string option;
+  units : Chimera.Compiler.unit_plan list;
+}
+
+(* Doubly-linked recency list with a hash index, following Sim.Lru: the
+   head is the most recently used entry, the tail the eviction victim. *)
+type node = {
+  key : string; (* hex fingerprint *)
+  mutable value : entry;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  cap : int;
+  metrics : Metrics.t option;
+  index : (string, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable is_dirty : bool;
+}
+
+let file_version = 1
+
+let create ?(capacity = 512) ?metrics () =
+  if capacity <= 0 then invalid_arg "Plan_cache.create: non-positive capacity";
+  {
+    cap = capacity;
+    metrics;
+    index = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    is_dirty = false;
+  }
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with
+  | Some h -> h.prev <- Some node
+  | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let evict_one t =
+  match t.tail with
+  | None -> ()
+  | Some victim ->
+      unlink t victim;
+      Hashtbl.remove t.index victim.key;
+      t.evictions <- t.evictions + 1;
+      Option.iter (fun (m : Metrics.t) -> m.evictions <- m.evictions + 1)
+        t.metrics
+
+let find t fp =
+  match Hashtbl.find_opt t.index (Fingerprint.to_hex fp) with
+  | Some node ->
+      t.hits <- t.hits + 1;
+      Option.iter (fun (m : Metrics.t) -> m.hits <- m.hits + 1) t.metrics;
+      unlink t node;
+      push_front t node;
+      Some node.value
+  | None ->
+      t.misses <- t.misses + 1;
+      Option.iter (fun (m : Metrics.t) -> m.misses <- m.misses + 1) t.metrics;
+      None
+
+let add_keyed t key entry =
+  (match Hashtbl.find_opt t.index key with
+  | Some node ->
+      node.value <- entry;
+      unlink t node;
+      push_front t node
+  | None ->
+      while Hashtbl.length t.index >= t.cap do
+        evict_one t
+      done;
+      let node = { key; value = entry; prev = None; next = None } in
+      Hashtbl.add t.index key node;
+      push_front t node);
+  t.is_dirty <- true
+
+let add t fp entry = add_keyed t (Fingerprint.to_hex fp) entry
+let mem t fp = Hashtbl.mem t.index (Fingerprint.to_hex fp)
+let length t = Hashtbl.length t.index
+let capacity t = t.cap
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+let dirty t = t.is_dirty
+
+let clear t =
+  Hashtbl.reset t.index;
+  t.head <- None;
+  t.tail <- None;
+  t.is_dirty <- true
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let magic = "CHIMERA-PLAN-CACHE"
+let cache_file ~dir = Filename.concat dir "plan_cache.bin"
+
+let header () =
+  Printf.sprintf "%s %d %d\n" magic file_version Fingerprint.scheme_version
+
+(* Entries from LRU (tail) to MRU (head), so re-inserting in file order
+   restores recency. *)
+let entries_oldest_first t =
+  let rec walk acc = function
+    | None -> acc
+    | Some node -> walk ((node.key, node.value) :: acc) node.next
+  in
+  walk [] t.head
+
+let save t ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = cache_file ~dir in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (header ());
+      Marshal.to_channel oc
+        (entries_oldest_first t : (string * entry) list)
+        []);
+  Sys.rename tmp path;
+  t.is_dirty <- false
+
+let save_if_dirty t ~dir = if t.is_dirty then save t ~dir
+
+let load t ~dir =
+  let path = cache_file ~dir in
+  if not (Sys.file_exists path) then 0
+  else
+    let ic = open_in_bin path in
+    let loaded =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match input_line ic with
+          | exception End_of_file -> []
+          | line ->
+              if line ^ "\n" <> header () then
+                (* Different file format or fingerprint scheme: every
+                   persisted key could mean something else now, so the
+                   whole file is invalid. *)
+                []
+              else begin
+                match
+                  (Marshal.from_channel ic : (string * entry) list)
+                with
+                | entries -> entries
+                | exception _ -> []
+              end)
+    in
+    List.iter (fun (key, entry) -> add_keyed t key entry) loaded;
+    t.is_dirty <- false;
+    List.length loaded

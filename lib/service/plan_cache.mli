@@ -1,0 +1,76 @@
+(** Content-addressed LRU cache of compilation plans.
+
+    Keys are request {!Fingerprint}s; values are the planner's decisions
+    ({!Chimera.Compiler.unit_plan} per sub-chain) plus how the request
+    was decomposed — everything needed to rebuild compiled kernels with
+    zero planner solves.  Eviction follows the doubly-linked recency
+    list idiom of [Sim.Lru], with capacity counted in entries (plans are
+    small and uniform, unlike the simulator's variable-size tiles).
+
+    {2 Persistence}
+
+    [save] writes the whole cache to [<dir>/plan_cache.bin]: a
+    one-line text header [CHIMERA-PLAN-CACHE <file_version>
+    <fingerprint scheme_version>] followed by the marshalled entries in
+    recency order.  [load] restores it at startup; any header mismatch
+    (file format change, fingerprint scheme change) or unreadable
+    payload discards the file wholesale — a cold cache is always safe,
+    a stale plan never is. *)
+
+type entry = {
+  fused : bool;
+      (** whether the plans cover the whole chain as one kernel
+          ([false]: one plan per [split_stages] sub-chain). *)
+  degrade_reason : string option;
+      (** [Some reason] when fusion was requested but the fused solve
+          failed and the entry holds the unfused fallback. *)
+  units : Chimera.Compiler.unit_plan list;
+      (** one per sub-chain, in execution order. *)
+}
+
+type t
+
+val file_version : int
+(** Bump on any change to the cache-file layout. *)
+
+val create : ?capacity:int -> ?metrics:Metrics.t -> unit -> t
+(** An empty cache holding at most [capacity] entries (default 512).
+    When [metrics] is given, hits/misses/evictions are mirrored into
+    it.  Raises [Invalid_argument] on non-positive capacity. *)
+
+val find : t -> Fingerprint.t -> entry option
+(** Lookup; refreshes recency and counts a hit or miss. *)
+
+val add : t -> Fingerprint.t -> entry -> unit
+(** Insert or replace, evicting least-recently-used entries over
+    capacity; marks the cache dirty. *)
+
+val mem : t -> Fingerprint.t -> bool
+(** Membership without touching recency or counters. *)
+
+val length : t -> int
+val capacity : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+
+val dirty : t -> bool
+(** Whether entries changed since the last [save]/[load]. *)
+
+val clear : t -> unit
+(** Drop all entries (counters keep accumulating). *)
+
+val cache_file : dir:string -> string
+(** The persistence path used under a cache directory. *)
+
+val load : t -> dir:string -> int
+(** Load persisted entries into the cache (oldest first, so recency is
+    restored); returns the number of entries loaded, 0 when the file is
+    absent, unreadable or version-mismatched. *)
+
+val save : t -> dir:string -> unit
+(** Persist all entries atomically (temp file + rename), creating [dir]
+    if needed; clears the dirty flag. *)
+
+val save_if_dirty : t -> dir:string -> unit
+(** [save] only when {!dirty}. *)

@@ -1,0 +1,94 @@
+type t = {
+  workload : string;
+  arch : string;
+  softmax : bool;
+  relu : bool;
+  batch : int option;
+  fusion : bool;
+}
+
+let make ?(softmax = false) ?(relu = false) ?batch ?(fusion = true) ~workload
+    ~arch () =
+  { workload; arch; softmax; relu; batch; fusion }
+
+let resolve t =
+  match Arch.Presets.by_name t.arch with
+  | None -> Error (Printf.sprintf "unknown arch %S (cpu|gpu|npu)" t.arch)
+  | Some machine -> (
+      match Workloads.Gemm_configs.by_name t.workload with
+      | Some c ->
+          Ok
+            ( Workloads.Gemm_configs.chain ~softmax:t.softmax
+                ?batch_override:t.batch c,
+              machine )
+      | None -> (
+          match Workloads.Conv_configs.by_name t.workload with
+          | Some c ->
+              Ok (Workloads.Conv_configs.chain ~relu:t.relu ?batch:t.batch c,
+                  machine)
+          | None ->
+              Error
+                (Printf.sprintf
+                   "unknown workload %S (G1..G12 from Table IV, C1..C8 from \
+                    Table V)"
+                   t.workload)))
+
+let config_of ?(base = Chimera.Config.default) t =
+  { base with Chimera.Config.use_fusion = t.fusion }
+
+(* ------------------------------------------------------------------ *)
+(* JSON wire form                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let of_json json =
+  let open Util.Json in
+  let str key = Option.bind (member key json) to_string_opt in
+  let flag key default =
+    match Option.bind (member key json) to_bool_opt with
+    | Some b -> b
+    | None -> default
+  in
+  match json with
+  | Obj _ -> (
+      match (str "workload", str "arch") with
+      | None, _ -> Error "missing or non-string \"workload\" field"
+      | _, None -> Error "missing or non-string \"arch\" field"
+      | Some workload, Some arch ->
+          Ok
+            {
+              workload;
+              arch;
+              softmax = flag "softmax" false;
+              relu = flag "relu" false;
+              batch = Option.bind (member "batch" json) to_int_opt;
+              fusion = flag "fusion" true;
+            })
+  | _ -> Error "request must be a JSON object"
+
+let to_json t =
+  let open Util.Json in
+  Obj
+    ([
+       ("workload", String t.workload);
+       ("arch", String t.arch);
+       ("softmax", Bool t.softmax);
+       ("relu", Bool t.relu);
+     ]
+    @ (match t.batch with Some b -> [ ("batch", Int b) ] | None -> [])
+    @ [ ("fusion", Bool t.fusion) ])
+
+let all_gemm_x_arch () =
+  List.concat_map
+    (fun (arch, _) ->
+      List.map
+        (fun (g : Workloads.Gemm_configs.t) ->
+          make ~workload:g.Workloads.Gemm_configs.name ~arch ())
+        Workloads.Gemm_configs.all)
+    Arch.Presets.all
+
+let describe t =
+  Printf.sprintf "%s@%s%s%s%s%s" t.workload t.arch
+    (if t.softmax then "+softmax" else "")
+    (if t.relu then "+relu" else "")
+    (match t.batch with Some b -> Printf.sprintf "+batch=%d" b | None -> "")
+    (if t.fusion then "" else "+nofusion")

@@ -1,0 +1,47 @@
+(** One optimization request, as submitted to [chimera batch] or the
+    [chimera serve] JSONL loop: a workload from the paper's tables, a
+    target machine, and the knobs the CLI exposes.
+
+    The JSON wire form (one object per line) is:
+    {v
+    {"workload": "G2", "arch": "cpu",
+     "softmax": false, "relu": false, "batch": 8, "fusion": true}
+    v}
+    [workload] and [arch] are required; the rest default as below.  An
+    optional ["id"] field is echoed back by the serve loop but is not
+    part of the request identity. *)
+
+type t = {
+  workload : string;  (** G1..G12 (Table IV) or C1..C8 (Table V). *)
+  arch : string;  (** cpu | gpu | npu. *)
+  softmax : bool;  (** GEMM chains: attention softmax between stages. *)
+  relu : bool;  (** conv chains: ReLU after each convolution. *)
+  batch : int option;  (** overrides the workload's batch size. *)
+  fusion : bool;  (** [false] compiles one kernel per stage. *)
+}
+
+val make :
+  ?softmax:bool -> ?relu:bool -> ?batch:int -> ?fusion:bool ->
+  workload:string -> arch:string -> unit -> t
+(** Defaults: no softmax, no relu, table batch size, fusion on. *)
+
+val resolve : t -> (Ir.Chain.t * Arch.Machine.t, string) result
+(** Build the chain and look up the machine preset; [Error] names the
+    unknown workload or arch. *)
+
+val config_of : ?base:Chimera.Config.t -> t -> Chimera.Config.t
+(** The compiler configuration the request implies: [base] (default
+    {!Chimera.Config.default}) with the fusion switch applied. *)
+
+val of_json : Util.Json.t -> (t, string) result
+(** Decode the wire form; unknown fields are ignored. *)
+
+val to_json : t -> Util.Json.t
+(** Encode the wire form ([batch] omitted when [None]). *)
+
+val all_gemm_x_arch : unit -> t list
+(** Every Table-IV GEMM chain on every machine preset — G1–G12 x
+    {cpu, gpu, npu}, the standing bulk-compilation workload. *)
+
+val describe : t -> string
+(** e.g. ["G2@cpu"] with flag suffixes. *)

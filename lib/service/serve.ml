@@ -1,0 +1,99 @@
+let response_of_unit (u : Chimera.Compiler.unit_) =
+  let open Util.Json in
+  Obj
+    [
+      ("kernel", String u.sub_chain.Ir.Chain.name);
+      ("order", String (String.concat "" u.kernel.Codegen.Kernel.perm));
+      ( "tiling",
+        Obj
+          (List.map
+             (fun (axis, size) -> (axis, Int size))
+             (Analytical.Tiling.bindings u.kernel.Codegen.Kernel.tiling)) );
+      ("dv_bytes", Float (Codegen.Kernel.predicted_dv_bytes u.kernel));
+      ("mu_bytes", Int (Codegen.Kernel.predicted_mu_bytes u.kernel));
+    ]
+
+let response_json ?id req (r : Batch.response) =
+  let open Util.Json in
+  let id_field = match id with Some v -> [ ("id", v) ] | None -> [] in
+  Obj
+    (id_field
+    @ [
+        ("ok", Bool true);
+        ("workload", String req.Request.workload);
+        ("arch", String req.Request.arch);
+        ("fingerprint", String (Fingerprint.to_hex r.Batch.fingerprint));
+        ( "source",
+          String
+            (match r.Batch.source with
+            | Batch.Cache -> "cache"
+            | Batch.Compiled -> "compiled") );
+        ( "degraded",
+          match r.Batch.degraded with Some s -> String s | None -> Null );
+        ("units", List (List.map response_of_unit
+                          r.Batch.compiled.Chimera.Compiler.units));
+        ( "estimated_us",
+          Float
+            (Chimera.Compiler.total_time_seconds r.Batch.compiled *. 1e6) );
+        ("compile_ms", Float (r.Batch.seconds *. 1e3));
+      ])
+
+let error_json ?id msg =
+  let open Util.Json in
+  let id_field = match id with Some v -> [ ("id", v) ] | None -> [] in
+  Obj (id_field @ [ ("ok", Bool false); ("error", String msg) ])
+
+let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir ic oc =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let cache =
+    match cache with
+    | Some c -> c
+    | None -> Plan_cache.create ~metrics ()
+  in
+  Option.iter (fun dir -> ignore (Plan_cache.load cache ~dir)) cache_dir;
+  let emit json =
+    output_string oc (Util.Json.to_string json);
+    output_char oc '\n';
+    flush oc
+  in
+  let persist () =
+    Option.iter (fun dir -> Plan_cache.save_if_dirty cache ~dir) cache_dir
+  in
+  let handle_request ?id json =
+    match Request.of_json json with
+    | Error e -> emit (error_json ?id e)
+    | Ok req -> (
+        match Request.resolve req with
+        | Error e -> emit (error_json ?id e)
+        | Ok (chain, machine) -> (
+            let config = Request.config_of ~base:config req in
+            match Batch.compile ~cache ~metrics ~config ~machine chain with
+            | Ok r ->
+                emit (response_json ?id req r);
+                (* Write-back on change so a restarted server is warm. *)
+                persist ()
+            | Error e -> emit (error_json ?id e)))
+  in
+  let stop = ref false in
+  while not !stop do
+    match input_line ic with
+    | exception End_of_file -> stop := true
+    | line when String.trim line = "" -> ()
+    | line -> (
+        match Util.Json.parse line with
+        | Error e -> emit (error_json ("invalid JSON: " ^ e))
+        | Ok json -> (
+            let id = Util.Json.member "id" json in
+            match
+              Option.bind (Util.Json.member "cmd" json)
+                Util.Json.to_string_opt
+            with
+            | Some "stats" -> emit (Metrics.to_json metrics)
+            | Some "quit" ->
+                emit (Util.Json.Obj [ ("ok", Util.Json.Bool true) ]);
+                stop := true
+            | Some other ->
+                emit (error_json ?id (Printf.sprintf "unknown cmd %S" other))
+            | None -> handle_request ?id json))
+  done;
+  persist ()

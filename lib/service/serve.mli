@@ -1,0 +1,28 @@
+(** The JSONL request/response serve loop behind [chimera serve].
+
+    One JSON object per input line, one JSON object per output line —
+    the "server" is a pure stdin/stdout filter, so it composes with
+    pipes, test harnesses and process supervisors without any network
+    dependency.
+
+    Request lines are {!Request} wire objects, optionally carrying an
+    ["id"] that is echoed back.  Two control forms exist:
+    [{"cmd": "stats"}] answers with the {!Metrics} counters, and
+    [{"cmd": "quit"}] acknowledges and ends the loop (EOF also ends
+    it).  Blank lines are ignored.  A malformed line answers
+    [{"ok": false, "error": ...}] — the loop never dies on bad input.
+
+    Successful responses carry the request's fingerprint, whether the
+    plan came from the cache, the chosen block order and tiling per
+    kernel, predicted data movement, the estimated execution time, and
+    degradation status (see docs/SERVICE.md for the full schema).
+
+    When [cache_dir] is given the plan cache is loaded from it at
+    startup and written back whenever a response added a new plan, so a
+    restarted server stays warm. *)
+
+val run :
+  ?cache:Plan_cache.t -> ?metrics:Metrics.t -> ?config:Chimera.Config.t ->
+  ?cache_dir:string -> in_channel -> out_channel -> unit
+(** Serve until EOF or [{"cmd": "quit"}].  Output is flushed after
+    every line. *)

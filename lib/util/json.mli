@@ -1,0 +1,41 @@
+(** A minimal JSON tree, printer and parser.
+
+    The compilation service speaks JSONL over plain pipes and the bench
+    harness dumps machine-readable timings; neither warrants an external
+    dependency, so this module implements the small JSON subset they
+    need: the full value grammar of RFC 8259 with numbers split into
+    [Int] and [Float] (so counters round-trip exactly), UTF-8 passed
+    through verbatim, and [\uXXXX] escapes decoded to UTF-8. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** fields in emission order. *)
+
+val to_string : t -> string
+(** Compact single-line rendering (no trailing newline) — one JSONL
+    record.  Non-finite floats render as [null] (JSON has no inf/nan). *)
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON value; trailing non-whitespace is an error.
+    Error strings carry a character offset. *)
+
+(** {1 Accessors}
+
+    Total lookups shaped for request decoding: each returns [None] on a
+    type or shape mismatch rather than raising. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj] ([None] for absent fields and non-objects). *)
+
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+(** [Int] directly; a [Float] with an integral value also converts. *)
+
+val to_bool_opt : t -> bool option
+val to_float_opt : t -> float option
+(** [Float] or [Int]. *)

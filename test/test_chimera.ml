@@ -173,7 +173,11 @@ let tuner_tests =
     case "tuner is deterministic for a seed" (fun () ->
         let chain = small_gemm_chain () in
         let run () =
-          Chimera.Tuner.search chain ~machine ~trials_per_order:4 ~seed:5 ()
+          match
+            Chimera.Tuner.search chain ~machine ~trials_per_order:4 ~seed:5 ()
+          with
+          | Ok r -> r
+          | Error `No_feasible_tiling -> Alcotest.fail "no feasible sample"
         in
         let a = run () and b = run () in
         check_true "same tiling"
@@ -184,7 +188,11 @@ let tuner_tests =
     case "tuner result is feasible" (fun () ->
         let chain = small_gemm_chain () in
         let r =
-          Chimera.Tuner.search chain ~machine ~trials_per_order:4 ~seed:5 ()
+          match
+            Chimera.Tuner.search chain ~machine ~trials_per_order:4 ~seed:5 ()
+          with
+          | Ok r -> r
+          | Error `No_feasible_tiling -> Alcotest.fail "no feasible sample"
         in
         check_true "fits"
           (r.Chimera.Tuner.plan.Analytical.Planner.movement

@@ -1,0 +1,679 @@
+(* The compilation service: fingerprints, the plan cache, batch
+   compilation and the JSONL serve loop. *)
+
+open Helpers
+
+let cpu = Option.get (Arch.Presets.by_name "cpu")
+let gpu = Option.get (Arch.Presets.by_name "gpu")
+let default = Chimera.Config.default
+
+(* A one-level machine whose on-chip capacity we control, for driving
+   the planner into degradation and infeasibility. *)
+let tiny_machine ?(name = "tiny") capacity =
+  Arch.Machine.make ~name ~backend:Arch.Machine.Cpu ~peak_tflops:1.0
+    ~freq_ghz:1.0 ~cores:2 ~vector_registers:32 ~vector_lanes:8
+    ~levels:
+      [
+        Arch.Level.make ~name:"L1" ~capacity_bytes:capacity
+          ~link_bandwidth_gbps:100.0 ();
+        Arch.Level.dram ~bandwidth_gbps:50.0;
+      ]
+    ()
+
+let gemm ?(name = "fp-gemm") ?(m = 12) ?(softmax = false) () =
+  Ir.Chain.batch_gemm_chain ~name ~batch:2 ~m ~n:6 ~k:5 ~l:10 ~softmax ()
+
+let fp ?(config = default) ?(machine = cpu) chain =
+  Service.Fingerprint.of_request ~chain ~machine ~config
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "chimera-svc-test-%d-%d" (Unix.getpid ()) !n)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Util.Json                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let json_tests =
+  let open Util.Json in
+  [
+    case "print/parse round trip" (fun () ->
+        let v =
+          Obj
+            [
+              ("a", Int 1);
+              ("b", List [ Bool true; Null; Float 1.5; Int (-3) ]);
+              ("s", String "he\"llo\n\t\\");
+              ("nested", Obj [ ("empty", List []); ("o", Obj []) ]);
+            ]
+        in
+        check_true "round trip" (parse (to_string v) = Ok v));
+    case "ints and floats stay distinct" (fun () ->
+        check_true "int" (parse "3" = Ok (Int 3));
+        check_true "float" (parse "3.5" = Ok (Float 3.5));
+        check_true "exponent is a float" (parse "3e2" = Ok (Float 300.0));
+        check_string "int prints bare" "3" (to_string (Int 3)));
+    case "string escapes" (fun () ->
+        check_string "printed" "\"a\\\"b\\n\"" (to_string (String "a\"b\n"));
+        check_true "unicode escape"
+          (parse "\"\\u00e9\"" = Ok (String "\xc3\xa9"));
+        check_true "surrogate pair"
+          (parse "\"\\ud83d\\ude00\"" = Ok (String "\xf0\x9f\x98\x80")));
+    case "non-finite floats render as null" (fun () ->
+        check_string "nan" "null" (to_string (Float Float.nan));
+        check_string "inf" "null" (to_string (Float Float.infinity)));
+    case "parse errors are reported" (fun () ->
+        let bad s =
+          match parse s with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.failf "expected a parse error for %S" s
+        in
+        bad "{";
+        bad "[1,]";
+        bad "nul";
+        bad "12 x";
+        bad "{\"a\" 1}";
+        bad "");
+    case "accessors are total" (fun () ->
+        let j = Obj [ ("n", Int 4); ("s", String "x"); ("f", Float 0.5) ] in
+        check_true "member" (member "n" j = Some (Int 4));
+        check_true "absent" (member "zz" j = None);
+        check_true "non-object" (member "n" (Int 1) = None);
+        check_true "int of float" (to_int_opt (Float 4.0) = Some 4);
+        check_true "not an int" (to_int_opt (Float 4.5) = None);
+        check_true "float of int" (to_float_opt (Int 2) = Some 2.0);
+        check_true "string mismatch" (to_string_opt (Int 2) = None));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fingerprint_tests =
+  let open Service.Fingerprint in
+  [
+    case "same request built twice hashes equal" (fun () ->
+        let a = fp (gemm ()) and b = fp (gemm ()) in
+        check_true "equal" (equal a b);
+        check_int "compare" 0 (compare a b);
+        check_string "hex stable" (to_hex a) (to_hex b);
+        check_int "hex width" 32 (String.length (to_hex a)));
+    case "display names are excluded" (fun () ->
+        check_true "chain name"
+          (equal (fp (gemm ~name:"x" ())) (fp (gemm ~name:"y" ())));
+        check_true "machine name"
+          (equal
+             (fp ~machine:(tiny_machine ~name:"a" 4096) (gemm ()))
+             (fp ~machine:(tiny_machine ~name:"b" 4096) (gemm ()))));
+    case "axis extent changes the hash" (fun () ->
+        check_false "m flip"
+          (equal (fp (gemm ~m:12 ())) (fp (gemm ~m:13 ()))));
+    case "epilogue changes the hash" (fun () ->
+        check_false "softmax flip"
+          (equal (fp (gemm ())) (fp (gemm ~softmax:true ()))));
+    case "config switch changes the hash" (fun () ->
+        let ablated =
+          { default with Chimera.Config.use_micro_kernel = false }
+        in
+        check_false "use_micro_kernel flip"
+          (equal (fp (gemm ())) (fp ~config:ablated (gemm ())));
+        let unfused = { default with Chimera.Config.use_fusion = false } in
+        check_false "use_fusion flip"
+          (equal (fp (gemm ())) (fp ~config:unfused (gemm ()))));
+    case "machine capacity changes the hash" (fun () ->
+        check_false "capacity flip"
+          (equal
+             (fp ~machine:(tiny_machine 4096) (gemm ()))
+             (fp ~machine:(tiny_machine 8192) (gemm ()))));
+    case "machine preset changes the hash" (fun () ->
+        check_false "cpu vs gpu"
+          (equal (fp ~machine:cpu (gemm ())) (fp ~machine:gpu (gemm ()))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let request_tests =
+  let open Service.Request in
+  [
+    case "wire form round trips" (fun () ->
+        let r =
+          make ~workload:"G3" ~arch:"gpu" ~softmax:true ~batch:4
+            ~fusion:false ()
+        in
+        check_true "round trip" (of_json (to_json r) = Ok r);
+        let plain = make ~workload:"C1" ~arch:"npu" () in
+        check_true "defaults round trip"
+          (of_json (to_json plain) = Ok plain));
+    case "decoding rejects missing fields" (fun () ->
+        let bad s =
+          match Util.Json.parse s with
+          | Error e -> Alcotest.failf "setup: %S does not parse: %s" s e
+          | Ok j -> (
+              match of_json j with
+              | Error _ -> ()
+              | Ok _ -> Alcotest.failf "expected a decode error for %S" s)
+        in
+        bad "{\"arch\": \"cpu\"}";
+        bad "{\"workload\": \"G1\"}";
+        bad "[1]");
+    case "resolve names unknown workloads and archs" (fun () ->
+        (match resolve (make ~workload:"G99" ~arch:"cpu" ()) with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "G99 resolved");
+        match resolve (make ~workload:"G1" ~arch:"xpu" ()) with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "xpu resolved");
+    case "all_gemm_x_arch covers G1-G12 on every preset" (fun () ->
+        let reqs = all_gemm_x_arch () in
+        check_int "count" 36 (List.length reqs);
+        List.iter
+          (fun r ->
+            match resolve r with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "%s: %s" (describe r) e)
+          reqs);
+    case "describe flags the non-defaults" (fun () ->
+        check_string "softmax" "G2@cpu+softmax"
+          (describe (make ~workload:"G2" ~arch:"cpu" ~softmax:true ()));
+        check_string "nofusion" "G2@gpu+nofusion"
+          (describe (make ~workload:"G2" ~arch:"gpu" ~fusion:false ())));
+    case "config_of applies the fusion switch" (fun () ->
+        let r = make ~workload:"G1" ~arch:"cpu" ~fusion:false () in
+        check_false "fusion off" (config_of r).Chimera.Config.use_fusion;
+        let r = make ~workload:"G1" ~arch:"cpu" () in
+        check_true "fusion on" (config_of r).Chimera.Config.use_fusion);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Plan cache                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let dummy_entry =
+  { Service.Plan_cache.fused = true; degrade_reason = None; units = [] }
+
+let cache_tests =
+  let open Service.Plan_cache in
+  let fp_m m = fp (gemm ~m ()) in
+  [
+    case "hit and miss counters mirror into metrics" (fun () ->
+        let metrics = Service.Metrics.create () in
+        let cache = create ~metrics () in
+        check_true "miss" (find cache (fp_m 10) = None);
+        add cache (fp_m 10) dummy_entry;
+        check_true "hit" (find cache (fp_m 10) <> None);
+        check_int "hits" 1 (hits cache);
+        check_int "misses" 1 (misses cache);
+        check_int "metrics hits" 1 metrics.Service.Metrics.hits;
+        check_int "metrics misses" 1 metrics.Service.Metrics.misses);
+    case "lru evicts the least recently used" (fun () ->
+        let cache = create ~capacity:2 () in
+        add cache (fp_m 10) dummy_entry;
+        add cache (fp_m 11) dummy_entry;
+        add cache (fp_m 12) dummy_entry;
+        check_int "length" 2 (length cache);
+        check_int "evictions" 1 (evictions cache);
+        check_false "oldest gone" (mem cache (fp_m 10));
+        check_true "rest stay" (mem cache (fp_m 11) && mem cache (fp_m 12)));
+    case "find refreshes recency" (fun () ->
+        let cache = create ~capacity:2 () in
+        add cache (fp_m 10) dummy_entry;
+        add cache (fp_m 11) dummy_entry;
+        ignore (find cache (fp_m 10));
+        add cache (fp_m 12) dummy_entry;
+        check_true "refreshed survives" (mem cache (fp_m 10));
+        check_false "stale evicted" (mem cache (fp_m 11)));
+    case "disk round trip is bit-identical" (fun () ->
+        let cache = create () in
+        let chain = small_gemm_chain () in
+        (match Service.Batch.compile ~cache ~machine:cpu chain with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail e);
+        let key = fp chain in
+        let entry = Option.get (find cache key) in
+        let bytes = Marshal.to_string entry [] in
+        let dir = fresh_dir () in
+        save cache ~dir;
+        check_false "dirty cleared" (dirty cache);
+        let cache2 = create () in
+        check_int "loaded" 1 (load cache2 ~dir);
+        let entry2 = Option.get (find cache2 key) in
+        check_true "bit-identical entry"
+          (String.equal bytes (Marshal.to_string entry2 []));
+        rm_rf dir);
+    case "save preserves recency order" (fun () ->
+        let cache = create ~capacity:2 () in
+        add cache (fp_m 10) dummy_entry;
+        add cache (fp_m 11) dummy_entry;
+        let dir = fresh_dir () in
+        save cache ~dir;
+        let cache2 = create ~capacity:2 () in
+        check_int "loaded" 2 (load cache2 ~dir);
+        (* fp_m 11 was most recent; adding one more must evict fp_m 10. *)
+        add cache2 (fp_m 12) dummy_entry;
+        check_false "oldest evicted first" (mem cache2 (fp_m 10));
+        check_true "recent kept" (mem cache2 (fp_m 11));
+        rm_rf dir);
+    case "scheme version mismatch discards the file wholesale" (fun () ->
+        let cache = create () in
+        add cache (fp_m 10) dummy_entry;
+        let dir = fresh_dir () in
+        save cache ~dir;
+        let file = cache_file ~dir in
+        let ic = open_in_bin file in
+        let data = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        let body_start = String.index data '\n' + 1 in
+        let oc = open_out_bin file in
+        Printf.fprintf oc "CHIMERA-PLAN-CACHE %d %d\n" file_version
+          (Service.Fingerprint.scheme_version + 1);
+        output_string oc
+          (String.sub data body_start (String.length data - body_start));
+        close_out oc;
+        let cache2 = create () in
+        check_int "discarded" 0 (load cache2 ~dir);
+        check_int "stays empty" 0 (length cache2);
+        rm_rf dir);
+    case "corrupt payload discards the file wholesale" (fun () ->
+        let dir = fresh_dir () in
+        let cache = create () in
+        add cache (fp_m 10) dummy_entry;
+        save cache ~dir;
+        let oc = open_out_bin (cache_file ~dir) in
+        Printf.fprintf oc "CHIMERA-PLAN-CACHE %d %d\nnot marshal data"
+          file_version Service.Fingerprint.scheme_version;
+        close_out oc;
+        let cache2 = create () in
+        check_int "discarded" 0 (load cache2 ~dir);
+        rm_rf dir);
+    case "loading a missing file is a clean zero" (fun () ->
+        let cache = create () in
+        check_int "nothing" 0 (load cache ~dir:(fresh_dir ())));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Typed planner/tuner failure                                         *)
+(* ------------------------------------------------------------------ *)
+
+let tuner_error_tests =
+  [
+    case "tuner reports no feasible tiling as a typed error" (fun () ->
+        let machine = tiny_machine 8 in
+        match
+          Chimera.Tuner.search (small_gemm_chain ()) ~machine
+            ~trials_per_order:3 ~seed:1 ()
+        with
+        | Error `No_feasible_tiling -> ()
+        | Ok _ -> Alcotest.fail "8 bytes of scratchpad should not fit");
+    case "plan_unit surfaces the sampling failure" (fun () ->
+        let machine = tiny_machine 8 in
+        let config =
+          {
+            default with
+            Chimera.Config.use_cost_model = false;
+            tuning_trials = 3;
+          }
+        in
+        let registry = Chimera.Compiler.registry_for config in
+        match
+          Chimera.Compiler.plan_unit config ~machine ~registry
+            (small_gemm_chain ())
+        with
+        | Error `No_feasible_tiling -> ()
+        | Ok _ -> Alcotest.fail "expected Error `No_feasible_tiling");
+    case "optimize raises a typed exception on the sampling path"
+      (fun () ->
+        let machine = tiny_machine 8 in
+        let config =
+          {
+            default with
+            Chimera.Config.use_cost_model = false;
+            tuning_trials = 3;
+          }
+        in
+        match Chimera.Compiler.optimize ~config ~machine (small_gemm_chain ())
+        with
+        | _ -> Alcotest.fail "expected No_feasible_tiling"
+        | exception Chimera.Compiler.No_feasible_tiling _ -> ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Batch compilation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let all_requests = lazy (Service.Request.all_gemm_x_arch ())
+
+(* One sequential cold pass over every G x arch request, shared by the
+   acceptance tests below. *)
+let cold_sequential =
+  lazy
+    (let metrics = Service.Metrics.create () in
+     let cache = Service.Plan_cache.create ~metrics () in
+     let results =
+       Service.Batch.run ~jobs:1 ~cache ~metrics (Lazy.force all_requests)
+     in
+     (cache, metrics, results))
+
+let unit_signature (u : Chimera.Compiler.unit_) =
+  ( u.Chimera.Compiler.sub_chain.Ir.Chain.name,
+    u.Chimera.Compiler.kernel.Codegen.Kernel.perm,
+    Analytical.Tiling.bindings u.Chimera.Compiler.kernel.Codegen.Kernel.tiling
+  )
+
+let response_signature (r : Service.Batch.response) =
+  ( Service.Fingerprint.to_hex r.Service.Batch.fingerprint,
+    r.Service.Batch.degraded,
+    List.map unit_signature
+      r.Service.Batch.compiled.Chimera.Compiler.units )
+
+let batch_tests =
+  [
+    slow_case "cold batch compiles every request" (fun () ->
+        let _, metrics, results = Lazy.force cold_sequential in
+        check_int "responses" 36 (List.length results);
+        List.iter
+          (fun (req, result) ->
+            match result with
+            | Ok r ->
+                check_true
+                  (Service.Request.describe req ^ " freshly compiled")
+                  (r.Service.Batch.source = Service.Batch.Compiled)
+            | Error e ->
+                Alcotest.failf "%s: %s" (Service.Request.describe req) e)
+          results;
+        check_int "requests" 36 metrics.Service.Metrics.requests;
+        check_int "misses" 36 metrics.Service.Metrics.misses;
+        check_int "no failures" 0 metrics.Service.Metrics.failed;
+        check_true "solves happened"
+          (metrics.Service.Metrics.planner_solves >= 36));
+    slow_case "warm batch performs zero planner solves" (fun () ->
+        let cache, metrics, _ = Lazy.force cold_sequential in
+        Service.Metrics.reset metrics;
+        let results =
+          Service.Batch.run ~jobs:1 ~cache ~metrics
+            (Lazy.force all_requests)
+        in
+        List.iter
+          (fun (req, result) ->
+            match result with
+            | Ok r ->
+                check_true
+                  (Service.Request.describe req ^ " from cache")
+                  (r.Service.Batch.source = Service.Batch.Cache)
+            | Error e ->
+                Alcotest.failf "%s: %s" (Service.Request.describe req) e)
+          results;
+        check_int "zero planner solves" 0
+          metrics.Service.Metrics.planner_solves;
+        check_int "all hits" 36 metrics.Service.Metrics.hits;
+        check_int "no misses" 0 metrics.Service.Metrics.misses;
+        check_float "no planning time" 0.0
+          metrics.Service.Metrics.compile_seconds);
+    slow_case "parallel batch matches sequential plans exactly" (fun () ->
+        let _, _, sequential = Lazy.force cold_sequential in
+        let metrics = Service.Metrics.create () in
+        let parallel =
+          Service.Batch.run ~jobs:4 ~metrics (Lazy.force all_requests)
+        in
+        check_int "same cardinality" (List.length sequential)
+          (List.length parallel);
+        List.iter2
+          (fun (req, seq_r) (_, par_r) ->
+            match (seq_r, par_r) with
+            | Ok a, Ok b ->
+                check_true
+                  (Service.Request.describe req ^ " identical plan")
+                  (response_signature a = response_signature b)
+            | _ ->
+                Alcotest.failf "%s: not Ok on both paths"
+                  (Service.Request.describe req))
+          sequential parallel;
+        check_int "no failures" 0 metrics.Service.Metrics.failed);
+    case "duplicate requests are planned once" (fun () ->
+        let metrics = Service.Metrics.create () in
+        let req = Service.Request.make ~workload:"G1" ~arch:"cpu" () in
+        let results = Service.Batch.run ~metrics [ req; req; req ] in
+        check_int "responses" 3 (List.length results);
+        List.iter
+          (fun (_, r) ->
+            match r with
+            | Ok _ -> ()
+            | Error e -> Alcotest.fail e)
+          results;
+        (* All three probe the cache before any plan lands, so each
+           counts a miss — but the fused chain is solved exactly once. *)
+        check_int "three probes missed" 3 metrics.Service.Metrics.misses;
+        check_int "planned once" 1 metrics.Service.Metrics.planner_solves);
+    case "unresolvable requests are isolated" (fun () ->
+        let metrics = Service.Metrics.create () in
+        let reqs =
+          [
+            Service.Request.make ~workload:"G1" ~arch:"cpu" ();
+            Service.Request.make ~workload:"G99" ~arch:"cpu" ();
+            Service.Request.make ~workload:"G1" ~arch:"xpu" ();
+          ]
+        in
+        match Service.Batch.run ~metrics reqs with
+        | [ (_, Ok _); (_, Error _); (_, Error _) ] ->
+            check_int "failed counted" 2 metrics.Service.Metrics.failed
+        | _ -> Alcotest.fail "expected [Ok; Error; Error] in order");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Degradation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A capacity small enough that the fused chain has no feasible tiling
+   yet each single stage still fits — found by probing, so the test
+   tracks the cost model instead of hard-coding its constants. *)
+let find_degrading_capacity chain =
+  let candidates =
+    [
+      16; 24; 32; 48; 64; 96; 128; 192; 256; 384; 512; 768; 1024; 1536;
+      2048; 3072; 4096; 6144; 8192;
+    ]
+  in
+  List.find_opt
+    (fun cap ->
+      match Service.Batch.compile ~machine:(tiny_machine cap) chain with
+      | Ok r -> r.Service.Batch.degraded <> None
+      | Error _ -> false)
+    candidates
+
+let degradation_tests =
+  [
+    case "fused solve failure degrades to split stages" (fun () ->
+        let chain = small_conv_chain () in
+        match find_degrading_capacity chain with
+        | None ->
+            Alcotest.fail
+              "no probed capacity separates fused from split feasibility"
+        | Some cap ->
+            let machine = tiny_machine cap in
+            let metrics = Service.Metrics.create () in
+            let cache = Service.Plan_cache.create ~metrics () in
+            let r =
+              match Service.Batch.compile ~cache ~metrics ~machine chain with
+              | Ok r -> r
+              | Error e -> Alcotest.fail e
+            in
+            check_true "reported degraded"
+              (r.Service.Batch.degraded <> None);
+            check_int "one kernel per stage"
+              (List.length (Chimera.Compiler.split_stages chain))
+              (List.length r.Service.Batch.compiled.Chimera.Compiler.units);
+            check_int "counted" 1 metrics.Service.Metrics.degraded;
+            (* The degraded entry is cached with its reason. *)
+            let r2 =
+              match Service.Batch.compile ~cache ~metrics ~machine chain with
+              | Ok r -> r
+              | Error e -> Alcotest.fail e
+            in
+            check_true "warm hit"
+              (r2.Service.Batch.source = Service.Batch.Cache);
+            check_true "reason persisted"
+              (r2.Service.Batch.degraded = r.Service.Batch.degraded));
+    case "total infeasibility is an error, not an exception" (fun () ->
+        let metrics = Service.Metrics.create () in
+        match
+          Service.Batch.compile ~metrics ~machine:(tiny_machine 8)
+            (small_gemm_chain ())
+        with
+        | Error _ -> check_int "failed counted" 1 metrics.Service.Metrics.failed
+        | Ok _ -> Alcotest.fail "8 bytes of scratchpad should not compile");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Serve loop                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let serve lines =
+  let in_path = Filename.temp_file "chimera-serve" ".in" in
+  let out_path = Filename.temp_file "chimera-serve" ".out" in
+  let oc = open_out in_path in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc;
+  let ic = open_in in_path and oc = open_out out_path in
+  Service.Serve.run ic oc;
+  close_in ic;
+  close_out oc;
+  let ic = open_in out_path in
+  let rec read acc =
+    match input_line ic with
+    | l -> read (l :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let out = read [] in
+  close_in ic;
+  Sys.remove in_path;
+  Sys.remove out_path;
+  List.map
+    (fun l ->
+      match Util.Json.parse l with
+      | Ok j -> j
+      | Error e -> Alcotest.failf "unparsable response %S: %s" l e)
+    out
+
+let jfield k j =
+  match Util.Json.member k j with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks %S" k
+
+let serve_tests =
+  [
+    slow_case "the loop answers, caches, and survives bad input" (fun () ->
+        let out =
+          serve
+            [
+              "{\"workload\":\"G1\",\"arch\":\"cpu\",\"id\":\"a\"}";
+              "";
+              "{\"workload\":\"G1\",\"arch\":\"cpu\",\"id\":\"b\"}";
+              "not json";
+              "{\"workload\":\"G99\",\"arch\":\"cpu\"}";
+              "{\"cmd\":\"nope\"}";
+              "{\"cmd\":\"stats\"}";
+              "{\"cmd\":\"quit\"}";
+            ]
+        in
+        match out with
+        | [ first; second; bad_json; bad_workload; bad_cmd; stats; quit ] ->
+            check_true "first ok" (jfield "ok" first = Util.Json.Bool true);
+            check_true "id echoed"
+              (jfield "id" first = Util.Json.String "a");
+            check_true "first compiled"
+              (jfield "source" first = Util.Json.String "compiled");
+            check_true "second from cache"
+              (jfield "source" second = Util.Json.String "cache");
+            check_true "same fingerprint"
+              (jfield "fingerprint" first = jfield "fingerprint" second);
+            check_true "bad json flagged"
+              (jfield "ok" bad_json = Util.Json.Bool false);
+            check_true "unknown workload flagged"
+              (jfield "ok" bad_workload = Util.Json.Bool false);
+            check_true "unknown cmd flagged"
+              (jfield "ok" bad_cmd = Util.Json.Bool false);
+            check_true "stats counted both requests"
+              (jfield "requests" stats = Util.Json.Int 2);
+            check_true "stats saw the cache hit"
+              (jfield "cache_hits" stats = Util.Json.Int 1);
+            check_true "quit acknowledged"
+              (jfield "ok" quit = Util.Json.Bool true)
+        | _ ->
+            Alcotest.failf "expected 7 response lines, got %d"
+              (List.length out));
+    slow_case "a cache_dir makes a restarted server warm" (fun () ->
+        let dir = fresh_dir () in
+        let request = "{\"workload\":\"G1\",\"arch\":\"cpu\"}" in
+        let run_one () =
+          let in_path = Filename.temp_file "chimera-serve" ".in" in
+          let out_path = Filename.temp_file "chimera-serve" ".out" in
+          let oc = open_out in_path in
+          output_string oc (request ^ "\n");
+          close_out oc;
+          let ic = open_in in_path and oc = open_out out_path in
+          Service.Serve.run ~cache_dir:dir ic oc;
+          close_in ic;
+          close_out oc;
+          let ic = open_in out_path in
+          let line = input_line ic in
+          close_in ic;
+          Sys.remove in_path;
+          Sys.remove out_path;
+          Result.get_ok (Util.Json.parse line)
+        in
+        let cold = run_one () in
+        let warm = run_one () in
+        check_true "cold compiled"
+          (jfield "source" cold = Util.Json.String "compiled");
+        check_true "warm across processes"
+          (jfield "source" warm = Util.Json.String "cache");
+        rm_rf dir);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_tests =
+  [
+    case "table and json expose every counter" (fun () ->
+        let m = Service.Metrics.create () in
+        m.Service.Metrics.requests <- 3;
+        m.Service.Metrics.hits <- 2;
+        m.Service.Metrics.compile_seconds <- 0.5;
+        let json = Service.Metrics.to_json m in
+        check_true "requests" (jfield "requests" json = Util.Json.Int 3);
+        check_true "hits" (jfield "cache_hits" json = Util.Json.Int 2);
+        check_true "seconds"
+          (jfield "compile_seconds" json = Util.Json.Float 0.5);
+        Service.Metrics.reset m;
+        check_int "reset" 0 m.Service.Metrics.requests);
+  ]
+
+let suites =
+  [
+    ("service.json", json_tests);
+    ("service.fingerprint", fingerprint_tests);
+    ("service.request", request_tests);
+    ("service.plan_cache", cache_tests);
+    ("service.tuner_errors", tuner_error_tests);
+    ("service.batch", batch_tests);
+    ("service.degradation", degradation_tests);
+    ("service.serve", serve_tests);
+    ("service.metrics", metrics_tests);
+  ]
