@@ -4,7 +4,8 @@
    chimera run      --workload C3 --arch gpu [--relu]
    chimera compare  --workload G2 --arch cpu
    chimera batch    --requests FILE|all [--jobs N] [--cache-dir DIR]
-   chimera serve    [--cache-dir DIR]
+                    [--deadline-ms MS] [--failpoints SPEC]
+   chimera serve    [--cache-dir DIR] [--deadline-ms MS] [--failpoints SPEC]
    chimera list *)
 
 open Cmdliner
@@ -272,21 +273,43 @@ let load_requests path =
     | e :: _ -> Error (`Msg e)
   end
 
-let batch_cmd requests_path jobs cache_dir =
-  match load_requests requests_path with
+let configure_failpoints = function
+  | None -> Ok ()
+  | Some spec -> (
+      match Service.Failpoint.configure spec with
+      | Ok () -> Ok ()
+      | Error e -> Error (`Msg ("bad --failpoints spec: " ^ e)))
+
+let batch_cmd requests_path jobs cache_dir deadline_ms failpoints =
+  match
+    Result.bind (configure_failpoints failpoints) (fun () ->
+        load_requests requests_path)
+  with
   | Error e -> Error e
   | Ok requests ->
       let metrics = Service.Metrics.create () in
       let cache = Service.Plan_cache.create ~metrics () in
       Option.iter
         (fun dir ->
-          let n = Service.Plan_cache.load cache ~dir in
-          if n > 0 then Printf.printf "loaded %d cached plans from %s\n" n dir)
+          match Service.Plan_cache.load cache ~dir with
+          | Service.Plan_cache.Loaded n ->
+              Printf.printf "loaded %d cached plans from %s\n" n dir
+          | Service.Plan_cache.Absent -> ()
+          | Service.Plan_cache.Discarded reason ->
+              Printf.printf "discarded stale plan cache in %s: %s\n" dir
+                reason)
         cache_dir;
       let t0 = Unix.gettimeofday () in
-      let results = Service.Batch.run ~jobs ~cache ~metrics requests in
+      let results =
+        Service.Batch.run ~jobs ~cache ~metrics ?deadline_ms requests
+      in
       let wall = Unix.gettimeofday () -. t0 in
-      Option.iter (fun dir -> Service.Plan_cache.save_if_dirty cache ~dir)
+      Option.iter
+        (fun dir ->
+          if Service.Plan_cache.dirty cache then
+            match Service.Plan_cache.save_with_retry cache ~dir with
+            | Ok () -> ()
+            | Error reason -> Printf.eprintf "chimera batch: %s\n" reason)
         cache_dir;
       let table =
         Util.Table.create
@@ -299,7 +322,8 @@ let batch_cmd requests_path jobs cache_dir =
           | Ok (r : Service.Batch.response) ->
               let status =
                 match (r.source, r.degraded) with
-                | _, Some _ -> "degraded"
+                | _, Some _ ->
+                    "degraded:" ^ Service.Plan_cache.rung_to_string r.rung
                 | Service.Batch.Cache, None -> "cached"
                 | Service.Batch.Compiled, None -> "compiled"
               in
@@ -323,7 +347,10 @@ let batch_cmd requests_path jobs cache_dir =
                 ]
           | Error e ->
               Util.Table.add_row table
-                [ Service.Request.describe req; "FAILED"; "-"; "-"; "-"; e ])
+                [
+                  Service.Request.describe req; "FAILED"; "-"; "-"; "-";
+                  Service.Error.to_string e;
+                ])
         results;
       Util.Table.print table;
       Printf.printf "\nbatch of %d requests in %.2f s (%d jobs)\n"
@@ -337,9 +364,13 @@ let batch_cmd requests_path jobs cache_dir =
         Error
           (`Msg (Printf.sprintf "%d request(s) failed" (List.length failures)))
 
-let serve_cmd cache_dir =
-  Service.Serve.run ?cache_dir stdin stdout;
-  Ok ()
+let serve_cmd cache_dir deadline_ms failpoints =
+  match configure_failpoints failpoints with
+  | Error e -> Error e
+  | Ok () ->
+      Service.Serve.run ?cache_dir ?default_deadline_ms:deadline_ms stdin
+        stdout;
+      Ok ()
 
 let list_cmd () =
   print_endline "batch-GEMM chains (Table IV):";
@@ -425,6 +456,22 @@ let cache_dir_arg =
   in
   Arg.(value & opt (some string) None & info [ "cache-dir" ] ~doc)
 
+let deadline_arg =
+  let doc =
+    "Per-request planning budget in milliseconds; an over-budget solve \
+     degrades down the ladder instead of hanging.  Requests carrying their \
+     own $(b,deadline_ms) keep it."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~doc)
+
+let failpoints_arg =
+  let doc =
+    "Activate fault-injection sites for this run, e.g. \
+     $(b,plan.solve(G5)=raise;cache.save=io@1) (syntax in docs/SERVICE.md). \
+     Overrides the $(b,CHIMERA_FAILPOINTS) environment variable."
+  in
+  Arg.(value & opt (some string) None & info [ "failpoints" ] ~doc)
+
 let batch_t =
   Cmd.v
     (Cmd.info "batch"
@@ -432,7 +479,9 @@ let batch_t =
          "Bulk-compile a request list through the content-addressed plan \
           cache")
     Term.(
-      term_result (const batch_cmd $ requests_arg $ jobs_arg $ cache_dir_arg))
+      term_result
+        (const batch_cmd $ requests_arg $ jobs_arg $ cache_dir_arg
+       $ deadline_arg $ failpoints_arg))
 
 let serve_t =
   Cmd.v
@@ -440,7 +489,9 @@ let serve_t =
        ~doc:
          "Serve optimization requests as a stdin/stdout JSONL loop backed \
           by the plan cache")
-    Term.(term_result (const serve_cmd $ cache_dir_arg))
+    Term.(
+      term_result
+        (const serve_cmd $ cache_dir_arg $ deadline_arg $ failpoints_arg))
 
 let list_t =
   Cmd.v

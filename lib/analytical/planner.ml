@@ -38,7 +38,7 @@ type candidate = {
   c_dv_bytes : float;
 }
 
-let explore chain ~capacity_bytes ?max_tile ?min_tile ?perms () =
+let explore chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check () =
   let perms =
     match perms with Some p -> p | None -> Permutations.candidates chain
   in
@@ -49,7 +49,7 @@ let explore chain ~capacity_bytes ?max_tile ?min_tile ?perms () =
       (fun perm ->
         match
           Solver.solve_for_perm chain ~perm ~capacity_bytes ~full_tile
-            ?max_tile ?min_tile ~extra_starts ()
+            ?max_tile ?min_tile ~extra_starts ?check ()
         with
         | None -> None
         | Some sol ->
@@ -64,9 +64,9 @@ let explore chain ~capacity_bytes ?max_tile ?min_tile ?perms () =
   ( List.sort (fun a b -> compare a.c_dv_bytes b.c_dv_bytes) candidates,
     List.length perms )
 
-let optimize chain ~capacity_bytes ?max_tile ?min_tile ?perms () =
+let optimize chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check () =
   let ranked, evaluated =
-    explore chain ~capacity_bytes ?max_tile ?min_tile ?perms ()
+    explore chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check ()
   in
   match ranked with
   | [] ->
@@ -85,7 +85,7 @@ let optimize chain ~capacity_bytes ?max_tile ?min_tile ?perms () =
       }
 
 let refine_for_parallelism chain plan ~min_blocks ?(slack = 4.0)
-    ?min_tile () =
+    ?min_tile ?(check = fun () -> ()) () =
   let base_dv = plan.movement.Movement.dv_bytes in
   (* Split until the parallel tasks keep [min_blocks] cores ~90% busy
      under LPT scheduling, not merely until there are enough of them. *)
@@ -94,6 +94,7 @@ let refine_for_parallelism chain plan ~min_blocks ?(slack = 4.0)
   in
   let parallel = Parallelism.parallel_axes chain in
   let rec refine tiling movement =
+    check ();
     if balanced tiling then (tiling, movement)
     else begin
       (* Try halving a parallel axis tile; keep the cheapest admissible
@@ -132,7 +133,7 @@ type level_plan = {
   cost_seconds : float;
 }
 
-let optimize_multilevel ?min_blocks ?min_tile chain ~machine =
+let optimize_multilevel ?min_blocks ?min_tile ?check chain ~machine =
   let on_chip = Arch.Machine.on_chip_levels machine in
   (* Outer levels feed from the next-outer link; outermost feeds from
      DRAM. *)
@@ -157,14 +158,15 @@ let optimize_multilevel ?min_blocks ?min_tile chain ~machine =
         in
         let plan =
           optimize chain ~capacity_bytes:level.Arch.Level.capacity_bytes
-            ?max_tile ?min_tile ()
+            ?max_tile ?min_tile ?check ()
         in
         let plan =
           (* Occupancy refinement applies at the outermost level, where
              blocks are distributed over cores. *)
           match (parent, min_blocks) with
           | None, Some min_blocks ->
-              refine_for_parallelism chain plan ~min_blocks ?min_tile ()
+              refine_for_parallelism chain plan ~min_blocks ?min_tile ?check
+                ()
           | _ -> plan
         in
         let cost_seconds =

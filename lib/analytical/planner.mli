@@ -20,24 +20,30 @@ type candidate = {
 
 val explore :
   Ir.Chain.t -> capacity_bytes:int -> ?max_tile:(string -> int) ->
-  ?min_tile:(string -> int) -> ?perms:string list list -> unit ->
-  candidate list * int
+  ?min_tile:(string -> int) -> ?perms:string list list ->
+  ?check:(unit -> unit) -> unit -> candidate list * int
 (** Solve every candidate order and return them ranked by data movement
     volume (plus the number of orders evaluated) — the paper's Figure 2
-    view of the search space, used by diagnostics. *)
+    view of the search space, used by diagnostics.
+
+    [check] is the cooperative cancellation hook threaded into every
+    per-order solve (see {!Solver.solve_for_perm}); deadline-bounded
+    callers make it raise, bounding the whole exploration. *)
 
 val optimize :
   Ir.Chain.t -> capacity_bytes:int -> ?max_tile:(string -> int) ->
-  ?min_tile:(string -> int) -> ?perms:string list list -> unit -> plan
+  ?min_tile:(string -> int) -> ?perms:string list list ->
+  ?check:(unit -> unit) -> unit -> plan
 (** Single-level optimization.  [perms] overrides the enumerated
     candidate orders (used by tests and by fixed-order baselines).
     For chains with the canonical [b/m/n/k/l] axes the closed-form GEMM
     solution is seeded as a descent start.  Raises [Failure] if no
-    candidate order admits a feasible tiling. *)
+    candidate order admits a feasible tiling; propagates whatever
+    [check] raises. *)
 
 val refine_for_parallelism :
   Ir.Chain.t -> plan -> min_blocks:int -> ?slack:float ->
-  ?min_tile:(string -> int) -> unit -> plan
+  ?min_tile:(string -> int) -> ?check:(unit -> unit) -> unit -> plan
 (** Split tiles along the safely-parallel axes ({!Parallelism}) until
     the tasks keep [min_blocks] cores ~90% busy under LPT scheduling,
     greedily halving the tile whose split costs the least extra data
@@ -55,8 +61,8 @@ type level_plan = {
 }
 
 val optimize_multilevel :
-  ?min_blocks:int -> ?min_tile:(string -> int) -> Ir.Chain.t ->
-  machine:Arch.Machine.t -> level_plan list
+  ?min_blocks:int -> ?min_tile:(string -> int) -> ?check:(unit -> unit) ->
+  Ir.Chain.t -> machine:Arch.Machine.t -> level_plan list
 (** One plan per on-chip level, innermost first.  The outermost on-chip
     level is planned against full problem extents (and, when
     [min_blocks] is given, refined for parallelism); each inner level's

@@ -17,8 +17,9 @@ let better a b =
 
 let rec solve_for_perm chain ~perm ~capacity_bytes ?(full_tile = [])
     ?max_tile ?min_tile ?(extra_starts = []) ?(boundary_grow = true)
-    ?(uniform_start = true) () =
+    ?(uniform_start = true) ?(check = fun () -> ()) () =
   Movement.validate_perm chain perm;
+  check ();
   let bound axis =
     let extent = Ir.Chain.extent_of chain axis in
     match max_tile with
@@ -65,7 +66,7 @@ let rec solve_for_perm chain ~perm ~capacity_bytes ?(full_tile = [])
        than fail (the micro kernel will pay the tail penalty instead). *)
     if min_tile <> None then
       solve_for_perm chain ~perm ~capacity_bytes ~full_tile ?max_tile
-        ~extra_starts ~boundary_grow ~uniform_start ()
+        ~extra_starts ~boundary_grow ~uniform_start ~check ()
     else None
   else begin
     let candidates_for axis =
@@ -78,6 +79,7 @@ let rec solve_for_perm chain ~perm ~capacity_bytes ?(full_tile = [])
       let improved = ref true in
       let sweeps = ref 0 in
       while !improved && !sweeps < 20 do
+        check ();
         improved := false;
         incr sweeps;
         List.iter
@@ -105,6 +107,7 @@ let rec solve_for_perm chain ~perm ~capacity_bytes ?(full_tile = [])
       let improved = ref true in
       let passes = ref 0 in
       while !improved && !passes < 3 do
+        check ();
         improved := false;
         incr passes;
         List.iter

@@ -22,9 +22,15 @@ val solve_for_perm :
   Ir.Chain.t -> perm:string list -> capacity_bytes:int ->
   ?full_tile:string list -> ?max_tile:(string -> int) ->
   ?min_tile:(string -> int) -> ?extra_starts:Tiling.t list ->
-  ?boundary_grow:bool -> ?uniform_start:bool -> unit -> solution option
+  ?boundary_grow:bool -> ?uniform_start:bool -> ?check:(unit -> unit) ->
+  unit -> solution option
 (** Best feasible tiling for one permutation, or [None] when even the
     minimal tiling exceeds [capacity_bytes].
+
+    [check] (default a no-op) is a cooperative cancellation hook,
+    called at entry and before every descent sweep and boundary-grow
+    pass; a caller enforcing a wall-clock budget makes it raise, and
+    the exception propagates out of the solve.
 
     [full_tile] axes are fixed at [min extent (max_tile axis)]
     (convolution windows); [max_tile] bounds every axis (used for

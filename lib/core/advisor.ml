@@ -49,6 +49,89 @@ let assess ~machine chain =
     stages = List.map (stage_summary machine chain) chain.Ir.Chain.stages;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Heuristic per-operator tiling (the service's last degradation rung)  *)
+(* ------------------------------------------------------------------ *)
+
+let heuristic_plan ~machine (sub_chain : Ir.Chain.t) =
+  let capacity =
+    (Arch.Machine.primary_on_chip machine).Arch.Level.capacity_bytes
+  in
+  match Analytical.Permutations.candidates sub_chain with
+  | exception Invalid_argument msg -> Error msg
+  | [] -> Error (sub_chain.Ir.Chain.name ^ ": no candidate block orders")
+  | perm :: _ ->
+      let full_tile = Analytical.Permutations.full_tile_axes sub_chain in
+      let axes = Analytical.Movement.fused_axes sub_chain in
+      let extent a = Ir.Chain.extent_of sub_chain a in
+      let base =
+        List.fold_left
+          (fun t a ->
+            if List.mem a full_tile then Analytical.Tiling.set t a (extent a)
+            else t)
+          (Analytical.Tiling.ones sub_chain)
+          axes
+      in
+      let free = List.filter (fun a -> not (List.mem a full_tile)) axes in
+      let at s =
+        List.fold_left
+          (fun t a -> Analytical.Tiling.set t a (min s (extent a)))
+          base free
+      in
+      let analyze t = Analytical.Movement.analyze sub_chain ~perm ~tiling:t in
+      let feasible t = (analyze t).Analytical.Movement.mu_bytes <= capacity in
+      if not (feasible base) then
+        Error
+          (Printf.sprintf "%s: even unit tiles exceed %d bytes of capacity"
+             sub_chain.Ir.Chain.name capacity)
+      else begin
+        (* The largest uniform tile that fits: MU is monotone in every
+           tile size, so a binary search lands on the boundary in
+           O(log max-extent) Movement analyses — bounded work, no
+           planner solve, always an answer when one exists at all. *)
+        let max_extent =
+          List.fold_left (fun acc a -> max acc (extent a)) 1 free
+        in
+        let rec bsearch lo hi =
+          if hi <= lo then lo
+          else begin
+            let mid = (lo + hi + 1) / 2 in
+            if feasible (at mid) then bsearch mid hi else bsearch lo (mid - 1)
+          end
+        in
+        let tiling = at (bsearch 1 max_extent) in
+        Ok
+          {
+            Analytical.Planner.perm;
+            tiling;
+            movement = analyze tiling;
+            capacity_bytes = capacity;
+            candidates_evaluated = 1;
+          }
+      end
+
+let heuristic_unit_plan ~machine sub_chain =
+  match heuristic_plan ~machine sub_chain with
+  | Error _ as e -> e
+  | Ok plan ->
+      let level = Arch.Machine.primary_on_chip machine in
+      let bw = Arch.Machine.dram_bandwidth_gbps machine in
+      Ok
+        {
+          Compiler.level_plans =
+            [
+              {
+                Analytical.Planner.level;
+                plan;
+                feed_bandwidth_gbps = bw;
+                cost_seconds =
+                  plan.Analytical.Planner.movement.Analytical.Movement
+                    .dv_bytes /. (bw *. 1e9);
+              };
+            ];
+          tuner_result = None;
+        }
+
 let explain v =
   let consumer =
     match List.rev v.stages with s :: _ -> Some s | [] -> None

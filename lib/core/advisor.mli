@@ -28,3 +28,21 @@ val assess : machine:Arch.Machine.t -> Ir.Chain.t -> verdict
 
 val explain : verdict -> string
 (** A short human-readable rationale. *)
+
+val heuristic_plan :
+  machine:Arch.Machine.t -> Ir.Chain.t ->
+  (Analytical.Planner.plan, string) result
+(** A cheap, always-answer plan for one sub-chain: the first candidate
+    block order with the largest *uniform* tile size that fits the
+    primary on-chip level (binary search on the monotone MU, a handful
+    of Movement analyses, no planner solve).  Quality is deliberately
+    modest — this is the compilation service's last degradation rung,
+    used when analytical planning fails or a deadline expires.
+    [Error] only when even unit tiles exceed capacity. *)
+
+val heuristic_unit_plan :
+  machine:Arch.Machine.t -> Ir.Chain.t ->
+  (Compiler.unit_plan, string) result
+(** {!heuristic_plan} wrapped as a single-level
+    {!Compiler.unit_plan}, ready for
+    {!Compiler.kernel_of_unit_plan} and the plan cache. *)

@@ -47,7 +47,7 @@ type unit_plan = {
 
 exception No_feasible_tiling of string
 
-let plan_unit (config : Config.t) ~machine ~registry sub_chain =
+let plan_unit ?check (config : Config.t) ~machine ~registry sub_chain =
   let min_blocks =
     if config.Config.parallel_refinement then Some machine.Arch.Machine.cores
     else None
@@ -59,7 +59,7 @@ let plan_unit (config : Config.t) ~machine ~registry sub_chain =
   if config.Config.use_cost_model then begin
     let level_plans =
       if config.Config.multilevel then
-        Analytical.Planner.optimize_multilevel ?min_blocks ~min_tile
+        Analytical.Planner.optimize_multilevel ?min_blocks ~min_tile ?check
           sub_chain ~machine
       else begin
         let capacity =
@@ -67,13 +67,13 @@ let plan_unit (config : Config.t) ~machine ~registry sub_chain =
         in
         let plan =
           Analytical.Planner.optimize sub_chain ~capacity_bytes:capacity
-            ~min_tile ()
+            ~min_tile ?check ()
         in
         let plan =
           match min_blocks with
           | Some min_blocks ->
               Analytical.Planner.refine_for_parallelism sub_chain plan
-                ~min_blocks ~min_tile ()
+                ~min_blocks ~min_tile ?check ()
           | None -> plan
         in
         [
@@ -94,7 +94,7 @@ let plan_unit (config : Config.t) ~machine ~registry sub_chain =
     match
       Tuner.search sub_chain ~machine
         ~trials_per_order:config.Config.tuning_trials
-        ~seed:config.Config.seed ()
+        ~seed:config.Config.seed ?check ()
     with
     | Ok result -> Ok { level_plans = []; tuner_result = Some result }
     | Error `No_feasible_tiling -> Error `No_feasible_tiling

@@ -53,13 +53,16 @@ exception No_feasible_tiling of string
     sampling fallback finds no feasible tiling. *)
 
 val plan_unit :
-  Config.t -> machine:Arch.Machine.t -> registry:Microkernel.Registry.t ->
-  Ir.Chain.t -> (unit_plan, [ `No_feasible_tiling ]) result
+  ?check:(unit -> unit) -> Config.t -> machine:Arch.Machine.t ->
+  registry:Microkernel.Registry.t -> Ir.Chain.t ->
+  (unit_plan, [ `No_feasible_tiling ]) result
 (** Run the expensive half of {!optimize} for one sub-chain: the
     analytical planner (or the sampling tuner when [use_cost_model] is
     off).  The analytical path raises [Failure] when no candidate order
     admits a feasible tiling, exactly as {!Analytical.Planner.optimize}
-    does. *)
+    does.  [check] is the cooperative cancellation hook threaded into
+    every planner and tuner search loop; the compilation service uses
+    it to enforce per-request deadlines, catching whatever it raises. *)
 
 val kernel_of_unit_plan :
   machine:Arch.Machine.t -> registry:Microkernel.Registry.t ->

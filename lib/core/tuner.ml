@@ -25,7 +25,8 @@ let random_tiling chain ~prng ~full_tile =
     (Analytical.Tiling.ones chain)
     axes
 
-let search chain ~machine ~trials_per_order ~seed ?perms () =
+let search chain ~machine ~trials_per_order ~seed ?perms
+    ?(check = fun () -> ()) () =
   let perms =
     match perms with
     | Some p -> p
@@ -42,6 +43,7 @@ let search chain ~machine ~trials_per_order ~seed ?perms () =
   List.iter
     (fun perm ->
       for _ = 1 to trials_per_order do
+        check ();
         let tiling = random_tiling chain ~prng ~full_tile in
         let movement = Analytical.Movement.analyze chain ~perm ~tiling in
         let feasible = movement.Analytical.Movement.mu_bytes <= capacity in

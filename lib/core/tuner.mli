@@ -19,12 +19,16 @@ val max_blocks_per_trial : float
 
 val search :
   Ir.Chain.t -> machine:Arch.Machine.t -> trials_per_order:int ->
-  seed:int -> ?perms:string list list -> unit -> (result, error) Stdlib.result
+  seed:int -> ?perms:string list list -> ?check:(unit -> unit) -> unit ->
+  (result, error) Stdlib.result
 (** Sample [trials_per_order] random feasible tilings per candidate
     order and measure each on the simulator.  Returns
     [Error `No_feasible_tiling] when no feasible sample is found, so
     callers (the compiler's sampling path, the batch service) can
-    degrade gracefully instead of matching on exception strings. *)
+    degrade gracefully instead of matching on exception strings.
+    [check] (default a no-op) is called before every trial; a
+    deadline-bounded caller makes it raise, and the exception
+    propagates out of the search. *)
 
 val random_tiling :
   Ir.Chain.t -> prng:Util.Prng.t -> full_tile:string list ->

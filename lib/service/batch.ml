@@ -3,6 +3,7 @@ type source = Cache | Compiled
 type response = {
   fingerprint : Fingerprint.t;
   source : source;
+  rung : Plan_cache.rung;
   degraded : string option;
   compiled : Chimera.Compiler.compiled;
   seconds : float;
@@ -14,44 +15,118 @@ let now () = Unix.gettimeofday ()
 (* Planning (pure: safe to run inside a domain)                        *)
 (* ------------------------------------------------------------------ *)
 
-(* Plan every sub-chain, or report the first failure with its reason.
-   Also returns the number of planner/tuner solves performed. *)
-let plan_subs config ~machine ~registry subs =
+(* Plan every sub-chain, or report the first failure as a typed error.
+   Also returns the number of planner/tuner solves performed.  [check]
+   is the cooperative deadline check; any exception a sub-chain's solve
+   raises is contained here, so one poisoned request can never escape
+   into the surrounding batch or domain. *)
+let plan_subs ?(check = fun () -> ()) config ~machine ~registry subs =
   let rec go acc solves = function
     | [] -> Ok (List.rev acc, solves)
     | (sub : Ir.Chain.t) :: rest -> (
-        match Chimera.Compiler.plan_unit config ~machine ~registry sub with
+        match
+          check ();
+          Failpoint.hit ~ctx:sub.Ir.Chain.name "plan.solve";
+          Chimera.Compiler.plan_unit ~check config ~machine ~registry sub
+        with
         | Ok up -> go (up :: acc) (solves + 1) rest
         | Error `No_feasible_tiling ->
             Error
-              ( Printf.sprintf "%s: no feasible tiling" sub.Ir.Chain.name,
+              ( Error.No_feasible_tiling
+                  (sub.Ir.Chain.name ^ ": no feasible tiling"),
                 solves + 1 )
-        | exception Failure msg -> Error (msg, solves + 1))
+        | exception Deadline.Expired ->
+            Error (Error.Deadline_exceeded sub.Ir.Chain.name, solves)
+        | exception e -> Error (Error.of_exn e, solves))
   in
   go [] 0 subs
 
-(* The failure-isolated planning of one request: fused first, then the
-   unfused fallback when the fused solve fails. *)
-let plan_entry ~config ~machine chain =
-  let registry = Chimera.Compiler.registry_for config in
-  let plan_split ~degrade_reason ~prior_solves =
-    match
-      plan_subs config ~machine ~registry
-        (Chimera.Compiler.split_stages chain)
-    with
-    | Ok (units, solves) ->
-        Ok
-          ( { Plan_cache.fused = false; degrade_reason; units },
-            prior_solves + solves )
-    | Error (reason, solves) -> Error (reason, prior_solves + solves)
+(* The ladder's last rung: per-operator heuristic tiling, no planner
+   solve and no deadline check — cheap enough that it always runs to
+   completion, which is what "always answer" means. *)
+let heuristic_units ~machine subs =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (sub : Ir.Chain.t) :: rest -> (
+        match
+          Failpoint.hit ~ctx:sub.Ir.Chain.name "plan.heuristic";
+          Chimera.Advisor.heuristic_unit_plan ~machine sub
+        with
+        | Ok up -> go (up :: acc) rest
+        | Error reason -> Error (Error.No_feasible_tiling reason)
+        | exception e -> Error (Error.of_exn e))
   in
-  if config.Chimera.Config.use_fusion then
-    match plan_subs config ~machine ~registry [ chain ] with
-    | Ok (units, solves) ->
-        Ok ({ Plan_cache.fused = true; degrade_reason = None; units }, solves)
-    | Error (reason, solves) ->
-        plan_split ~degrade_reason:(Some reason) ~prior_solves:solves
-  else plan_split ~degrade_reason:None ~prior_solves:0
+  go [] subs
+
+let combine_reasons earlier later =
+  match (earlier, later) with
+  | None, r | r, None -> r
+  | Some a, Some b -> Some (a ^ "; " ^ b)
+
+(* Plan one request down the degradation ladder: fused (rung 1, when
+   fusion is on), analytically planned split stages (rung 2), heuristic
+   per-operator tiling (rung 3).  Starting at rung 2 because fusion is
+   off is not a degradation; landing there because rung 1 failed is.
+   Returns the entry, the solve count, and whether any rung was cut
+   short by the deadline — the caller counts deadline hits even when a
+   lower rung then answered successfully. *)
+let plan_entry ?deadline ~config ~machine chain =
+  let registry = Chimera.Compiler.registry_for config in
+  let check =
+    Option.value (Deadline.checker deadline) ~default:(fun () -> ())
+  in
+  let deadline_hit = ref false in
+  let note_deadline = function
+    | Error.Deadline_exceeded _ -> deadline_hit := true
+    | _ -> ()
+  in
+  let split = Chimera.Compiler.split_stages chain in
+  let heuristic ~degrade_reason ~solves =
+    match heuristic_units ~machine split with
+    | Ok units ->
+        Ok ({ Plan_cache.rung = Heuristic; degrade_reason; units }, solves)
+    | Error e -> Error (e, solves)
+  in
+  let split_plan ~degrade_reason ~solves =
+    if Deadline.expired_opt deadline then begin
+      deadline_hit := true;
+      heuristic
+        ~degrade_reason:
+          (combine_reasons degrade_reason
+             (Some "deadline expired before split planning"))
+        ~solves
+    end
+    else
+      match plan_subs ~check config ~machine ~registry split with
+      | Ok (units, s) ->
+          Ok ({ Plan_cache.rung = Split; degrade_reason; units }, solves + s)
+      | Error (e, s) ->
+          note_deadline e;
+          heuristic
+            ~degrade_reason:
+              (combine_reasons degrade_reason (Some (Error.to_string e)))
+            ~solves:(solves + s)
+  in
+  let result =
+    if config.Chimera.Config.use_fusion then
+      match plan_subs ~check config ~machine ~registry [ chain ] with
+      | Ok (units, s) ->
+          Ok ({ Plan_cache.rung = Fused; degrade_reason = None; units }, s)
+      | Error (e, s) ->
+          note_deadline e;
+          split_plan ~degrade_reason:(Some (Error.to_string e)) ~solves:s
+    else split_plan ~degrade_reason:None ~solves:0
+  in
+  (* When every rung failed and the budget expired along the way, the
+     deadline is the actionable cause — it is the retryable one. *)
+  let result =
+    match result with
+    | Error (Error.Deadline_exceeded _, _) -> result
+    | Error (_, s) when !deadline_hit ->
+        Error (Error.Deadline_exceeded chain.Ir.Chain.name, s)
+    | _ -> result
+  in
+  (result, !deadline_hit)
 
 (* ------------------------------------------------------------------ *)
 (* Kernel reconstruction                                               *)
@@ -60,11 +135,14 @@ let plan_entry ~config ~machine chain =
 let materialize ~config ~machine chain (entry : Plan_cache.entry) =
   let registry = Chimera.Compiler.registry_for config in
   let subs =
-    if entry.Plan_cache.fused then [ chain ]
-    else Chimera.Compiler.split_stages chain
+    match entry.Plan_cache.rung with
+    | Plan_cache.Fused -> [ chain ]
+    | Plan_cache.Split | Plan_cache.Heuristic ->
+        Chimera.Compiler.split_stages chain
   in
   if List.length subs <> List.length entry.Plan_cache.units then
-    Error "cached entry does not match the chain's decomposition"
+    Error
+      (Error.Internal "cached entry does not match the chain's decomposition")
   else
     Ok
       {
@@ -83,12 +161,28 @@ let materialize ~config ~machine chain (entry : Plan_cache.entry) =
 
 let bump metrics f = Option.iter f metrics
 
-let note_response metrics (r : (response, string) result) =
-  match r with
-  | Ok { degraded = Some _; _ } ->
-      bump metrics (fun (m : Metrics.t) -> m.degraded <- m.degraded + 1)
-  | Ok _ -> ()
-  | Error _ -> bump metrics (fun (m : Metrics.t) -> m.failed <- m.failed + 1)
+let note_response metrics (r : (response, Error.t) result) =
+  bump metrics (fun (m : Metrics.t) ->
+      match r with
+      | Ok { degraded; rung; _ } ->
+          if degraded <> None then m.degraded <- m.degraded + 1;
+          if rung = Plan_cache.Heuristic then m.heuristic <- m.heuristic + 1
+      | Error e -> (
+          m.failed <- m.failed + 1;
+          match e with
+          | Error.Invalid_request _ ->
+              m.invalid_requests <- m.invalid_requests + 1
+          | Error.Internal _ -> m.internal_errors <- m.internal_errors + 1
+          | Error.No_feasible_tiling _ | Error.Deadline_exceeded _
+          | Error.Cache_corrupt _ ->
+              (* deadline hits are counted once per planned request by
+                 [note_deadline_hit], success or failure alike. *)
+              ()))
+
+let note_deadline_hit metrics hit =
+  if hit then
+    bump metrics (fun (m : Metrics.t) ->
+        m.deadline_exceeded <- m.deadline_exceeded + 1)
 
 let note_solves metrics solves =
   bump metrics (fun (m : Metrics.t) ->
@@ -98,12 +192,22 @@ let note_seconds metrics dt =
   bump metrics (fun (m : Metrics.t) ->
       m.compile_seconds <- m.compile_seconds +. dt)
 
+(* The batch must survive anything planning throws, including faults
+   injected below [plan_subs]'s own containment (e.g. in
+   [registry_for]). *)
+let guarded_plan_entry ?deadline ~config ~machine chain =
+  try plan_entry ?deadline ~config ~machine chain
+  with e ->
+    let err = Error.of_exn e in
+    let hit = match err with Error.Deadline_exceeded _ -> true | _ -> false in
+    (Error (err, 0), hit)
+
 (* ------------------------------------------------------------------ *)
 (* Single-request path (used by the serve loop)                        *)
 (* ------------------------------------------------------------------ *)
 
-let compile ?cache ?metrics ?(config = Chimera.Config.default) ~machine chain
-    =
+let compile ?cache ?metrics ?(config = Chimera.Config.default) ?deadline
+    ~machine chain =
   bump metrics (fun (m : Metrics.t) -> m.requests <- m.requests + 1);
   let cache =
     match cache with Some c -> c | None -> Plan_cache.create ?metrics ()
@@ -115,6 +219,7 @@ let compile ?cache ?metrics ?(config = Chimera.Config.default) ~machine chain
         {
           fingerprint = fp;
           source;
+          rung = entry.Plan_cache.rung;
           degraded = entry.Plan_cache.degrade_reason;
           compiled;
           seconds;
@@ -126,13 +231,16 @@ let compile ?cache ?metrics ?(config = Chimera.Config.default) ~machine chain
     | Some entry -> build Cache 0.0 entry
     | None -> (
         let t0 = now () in
-        let planned = plan_entry ~config ~machine chain in
+        let planned, deadline_hit =
+          guarded_plan_entry ?deadline ~config ~machine chain
+        in
         let dt = now () -. t0 in
         note_seconds metrics dt;
+        note_deadline_hit metrics deadline_hit;
         match planned with
-        | Error (reason, solves) ->
+        | Error (err, solves) ->
             note_solves metrics solves;
-            Error reason
+            Error err
         | Ok (entry, solves) ->
             note_solves metrics solves;
             Plan_cache.add cache fp entry;
@@ -150,13 +258,14 @@ type pending = {
   p_config : Chimera.Config.t;
   p_machine : Arch.Machine.t;
   p_chain : Ir.Chain.t;
+  p_deadline_ms : float option;
   hit : Plan_cache.entry option;
 }
 
-type slot = Unresolved of string | Pending of pending
+type slot = Unresolved of Error.t | Pending of pending
 
 let run ?(jobs = 1) ?cache ?metrics ?(config = Chimera.Config.default)
-    requests =
+    ?deadline_ms requests =
   let cache =
     match cache with Some c -> c | None -> Plan_cache.create ?metrics ()
   in
@@ -173,12 +282,28 @@ let run ?(jobs = 1) ?cache ?metrics ?(config = Chimera.Config.default)
               Fingerprint.of_request ~chain ~machine ~config:p_config
             in
             let hit = Plan_cache.find cache fp in
+            let p_deadline_ms =
+              (* the request's own budget wins over the batch default;
+                 the clock starts when its planning starts, not here. *)
+              match req.Request.deadline_ms with
+              | Some _ as d -> d
+              | None -> deadline_ms
+            in
             ( req,
-              Pending { fp; p_config; p_machine = machine; p_chain = chain; hit }
-            ))
+              Pending
+                {
+                  fp;
+                  p_config;
+                  p_machine = machine;
+                  p_chain = chain;
+                  p_deadline_ms;
+                  hit;
+                } ))
       requests
   in
-  (* Phase 2: deduplicate the misses by fingerprint. *)
+  (* Phase 2: deduplicate the misses by fingerprint.  Deadlines are not
+     part of the fingerprint: duplicates plan once, under the budget of
+     the first occurrence. *)
   let seen = Hashtbl.create 32 in
   let misses =
     List.filter_map
@@ -197,13 +322,17 @@ let run ?(jobs = 1) ?cache ?metrics ?(config = Chimera.Config.default)
   (* Phase 3: plan the misses, in parallel when asked to.  Planning is
      pure — results are committed on the main domain afterwards, so
      parallel and sequential batches produce identical plans and the
-     cache/metrics never race. *)
+     cache/metrics never race.  [guarded_plan_entry] contains every
+     exception, so a poisoned request degrades (or errors) on its own
+     and never kills the domain carrying its chunk. *)
   let plan_miss p =
     let t0 = now () in
-    let planned =
-      plan_entry ~config:p.p_config ~machine:p.p_machine p.p_chain
+    let deadline = Option.map Deadline.of_ms p.p_deadline_ms in
+    let planned, deadline_hit =
+      guarded_plan_entry ?deadline ~config:p.p_config ~machine:p.p_machine
+        p.p_chain
     in
-    (p.fp, planned, now () -. t0)
+    (p.fp, planned, deadline_hit, now () -. t0)
   in
   let n_misses = List.length misses in
   let n_domains = Util.Ints.clamp ~lo:1 ~hi:(max 1 n_misses) jobs in
@@ -227,16 +356,17 @@ let run ?(jobs = 1) ?cache ?metrics ?(config = Chimera.Config.default)
   (* Phase 4: commit plans to the cache and metrics on the main domain. *)
   let outcomes = Hashtbl.create 32 in
   List.iter
-    (fun (fp, planned, dt) ->
+    (fun (fp, planned, deadline_hit, dt) ->
       note_seconds metrics dt;
+      note_deadline_hit metrics deadline_hit;
       match planned with
       | Ok (entry, solves) ->
           note_solves metrics solves;
           Plan_cache.add cache fp entry;
           Hashtbl.replace outcomes (Fingerprint.to_hex fp) (Ok (entry, dt))
-      | Error (reason, solves) ->
+      | Error (err, solves) ->
           note_solves metrics solves;
-          Hashtbl.replace outcomes (Fingerprint.to_hex fp) (Error reason))
+          Hashtbl.replace outcomes (Fingerprint.to_hex fp) (Error err))
     planned;
   (* Phase 5: rebuild kernels for every request, in input order. *)
   List.map
@@ -244,13 +374,14 @@ let run ?(jobs = 1) ?cache ?metrics ?(config = Chimera.Config.default)
       let result =
         match slot with
         | Unresolved e -> Error e
-        | Pending { fp; p_config; p_machine; p_chain; hit } -> (
+        | Pending { fp; p_config; p_machine; p_chain; hit; _ } -> (
             let build source seconds entry =
               Result.map
                 (fun compiled ->
                   {
                     fingerprint = fp;
                     source;
+                    rung = entry.Plan_cache.rung;
                     degraded = entry.Plan_cache.degrade_reason;
                     compiled;
                     seconds;
@@ -263,8 +394,9 @@ let run ?(jobs = 1) ?cache ?metrics ?(config = Chimera.Config.default)
             | None -> (
                 match Hashtbl.find_opt outcomes (Fingerprint.to_hex fp) with
                 | Some (Ok (entry, dt)) -> build Compiled dt entry
-                | Some (Error reason) -> Error reason
-                | None -> Error "internal: request was never planned"))
+                | Some (Error err) -> Error err
+                | None ->
+                    Error (Error.Internal "request was never planned")))
       in
       note_response metrics result;
       (req, result))

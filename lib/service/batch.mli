@@ -4,9 +4,28 @@
     Requests are deduplicated by {!Fingerprint}; cache misses are
     planned in parallel across OCaml 5 domains (plans are pure data, so
     domains share nothing and the result is bit-identical to sequential
-    compilation); and each request is failure-isolated — a chain whose
-    fused solve raises degrades to the unfused [split_stages] path and
-    is reported as such, rather than poisoning the batch. *)
+    compilation); and each request is failure-isolated — {e any}
+    exception one request's planning raises (a solver bug, an injected
+    fault, a deadline expiry) is contained to that request, which walks
+    the degradation ladder or maps to a typed {!Error.t}, rather than
+    poisoning the batch or killing the domain carrying it.
+
+    {2 The degradation ladder}
+
+    A cache miss is planned at the highest rung that succeeds:
+    + {!Plan_cache.Fused} — one analytically planned kernel for the
+      whole chain (skipped when the config disables fusion — starting
+      unfused by request is not a degradation);
+    + {!Plan_cache.Split} — one analytically planned kernel per stage;
+    + {!Plan_cache.Heuristic} — one kernel per stage with
+      {!Chimera.Advisor.heuristic_unit_plan}'s uniform tiling: no
+      planner solve, not subject to the deadline, so the service can
+      always answer.
+
+    A response below the requested rung carries the failure trail in
+    [degraded].  [Error] means even the last rung produced nothing; if
+    the budget expired along the way it is reported as
+    [Deadline_exceeded] (the retryable cause). *)
 
 type source =
   | Cache  (** plans came from the plan cache; zero solves. *)
@@ -15,27 +34,33 @@ type source =
 type response = {
   fingerprint : Fingerprint.t;
   source : source;
+  rung : Plan_cache.rung;
+      (** which rung of the degradation ladder answered. *)
   degraded : string option;
-      (** [Some reason] when the fused solve failed and the unfused
-          fallback was compiled instead. *)
+      (** [Some trail] when a higher rung was requested but failed;
+          [None] when the entry sits at the requested rung. *)
   compiled : Chimera.Compiler.compiled;
   seconds : float;  (** planning wall-clock (0 for cache hits). *)
 }
 
 val compile :
   ?cache:Plan_cache.t -> ?metrics:Metrics.t -> ?config:Chimera.Config.t ->
-  machine:Arch.Machine.t -> Ir.Chain.t -> (response, string) result
-(** Compile one chain through the cache: lookup by fingerprint,
-    plan on miss (degrading to unfused on a fused-solve failure), store,
-    and rebuild kernels from the plans.  [Error] only when even the
-    unfused fallback cannot be planned. *)
+  ?deadline:Deadline.t -> machine:Arch.Machine.t -> Ir.Chain.t ->
+  (response, Error.t) result
+(** Compile one chain through the cache: lookup by fingerprint, plan on
+    miss (walking the ladder above, under [deadline] when given),
+    store, and rebuild kernels from the plans. *)
 
 val run :
   ?jobs:int -> ?cache:Plan_cache.t -> ?metrics:Metrics.t ->
-  ?config:Chimera.Config.t -> Request.t list ->
-  (Request.t * (response, string) result) list
+  ?config:Chimera.Config.t -> ?deadline_ms:float -> Request.t list ->
+  (Request.t * (response, Error.t) result) list
 (** Compile a request list, in input order.  Duplicate fingerprints are
     planned once.  [jobs] (default 1) caps the domains used for the
-    cache-miss planning fan-out; hits never spawn a domain.  Requests
-    that fail to resolve or to plan map to [Error] without affecting
-    the rest of the batch. *)
+    cache-miss planning fan-out; hits never spawn a domain.
+    [deadline_ms] is the per-request budget for requests that do not
+    carry their own; each clock starts when that request's planning
+    starts.  Deadlines are not part of the fingerprint, so duplicates
+    plan once under the first occurrence's budget.  Requests that fail
+    to resolve or to plan map to [Error] without affecting the rest of
+    the batch. *)

@@ -1,0 +1,16 @@
+type t = { expires_at : float }
+
+exception Expired
+
+let after ~seconds = { expires_at = Unix.gettimeofday () +. seconds }
+let of_ms ms = after ~seconds:(ms /. 1e3)
+let expired t = Unix.gettimeofday () >= t.expires_at
+let remaining t = t.expires_at -. Unix.gettimeofday ()
+
+let expired_opt = function None -> false | Some t -> expired t
+
+let raise_if_expired t = if expired t then raise Expired
+
+let checker = function
+  | None -> None
+  | Some t -> Some (fun () -> raise_if_expired t)

@@ -1,0 +1,37 @@
+(** Per-request wall-clock budgets for planning.
+
+    A deadline is an absolute expiry instant.  The planner and tuner
+    search loops accept a cooperative cancellation callback
+    ([?check:(unit -> unit)]); {!checker} builds that callback from a
+    deadline, raising {!Expired} once the budget is spent.  The batch
+    compiler catches {!Expired} and walks down the degradation ladder
+    instead of hanging — a solve can overshoot only by the granularity
+    of the innermost check (one candidate order / descent sweep /
+    tuner trial). *)
+
+type t
+
+exception Expired
+(** Raised by the {!checker} callback inside a search loop. *)
+
+val after : seconds:float -> t
+(** A deadline [seconds] from now. *)
+
+val of_ms : float -> t
+(** A deadline the given number of milliseconds from now. *)
+
+val expired : t -> bool
+
+val remaining : t -> float
+(** Seconds until expiry (negative once expired). *)
+
+val expired_opt : t option -> bool
+(** [false] for [None] (no deadline). *)
+
+val raise_if_expired : t -> unit
+(** Raise {!Expired} when the budget is spent. *)
+
+val checker : t option -> (unit -> unit) option
+(** The cooperative check to thread into
+    [Analytical.Planner] / [Chimera.Tuner] loops; [None] stays [None]
+    (no checking overhead without a deadline). *)

@@ -1,0 +1,65 @@
+type t =
+  | Invalid_request of { field : string; reason : string }
+  | No_feasible_tiling of string
+  | Deadline_exceeded of string
+  | Cache_corrupt of string
+  | Internal of string
+
+let code = function
+  | Invalid_request _ -> "invalid_request"
+  | No_feasible_tiling _ -> "no_feasible_tiling"
+  | Deadline_exceeded _ -> "deadline_exceeded"
+  | Cache_corrupt _ -> "cache_corrupt"
+  | Internal _ -> "internal"
+
+(* A retryable error may succeed on resubmission (transient fault,
+   tighter budget than needed, recoverable state); a non-retryable one
+   is deterministic in the request itself. *)
+let retryable = function
+  | Invalid_request _ | No_feasible_tiling _ -> false
+  | Deadline_exceeded _ | Cache_corrupt _ | Internal _ -> true
+
+let message = function
+  | Invalid_request { field; reason } ->
+      Printf.sprintf "invalid %S: %s" field reason
+  | No_feasible_tiling what -> what
+  | Deadline_exceeded what ->
+      Printf.sprintf "deadline exceeded while planning %s" what
+  | Cache_corrupt what -> Printf.sprintf "cache corrupt: %s" what
+  | Internal what -> what
+
+let to_string e = Printf.sprintf "%s: %s" (code e) (message e)
+
+let of_exn = function
+  | Deadline.Expired -> Deadline_exceeded "request"
+  | Failpoint.Injected site -> Internal ("injected fault at " ^ site)
+  | Failure msg ->
+      (* Planner.optimize reports infeasibility via [failwith]. *)
+      let is_infeasible =
+        let sub = "no feasible tiling" in
+        let n = String.length sub and m = String.length msg in
+        let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+        go 0
+      in
+      if is_infeasible then No_feasible_tiling msg else Internal msg
+  | Sys_error msg -> Internal ("I/O error: " ^ msg)
+  | Invalid_argument msg -> Invalid_request { field = "request"; reason = msg }
+  | e -> Internal (Printexc.to_string e)
+
+let to_json ?id e =
+  let open Util.Json in
+  let id_field = match id with Some v -> [ ("id", v) ] | None -> [] in
+  let field_field =
+    match e with
+    | Invalid_request { field; _ } -> [ ("field", String field) ]
+    | _ -> []
+  in
+  Obj
+    (id_field
+    @ [
+        ("ok", Bool false);
+        ("error", String (message e));
+        ("code", String (code e));
+        ("retryable", Bool (retryable e));
+      ]
+    @ field_field)

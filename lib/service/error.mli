@@ -1,0 +1,46 @@
+(** The service's typed error taxonomy.
+
+    Every failing request is answered with one of these, each carrying
+    a stable machine-readable {!code} (emitted in JSONL responses and
+    safe for clients to match on) and a {!retryable} flag telling the
+    caller whether resubmission can help:
+
+    {v
+    code                retryable   meaning
+    invalid_request     no          the request itself is malformed
+    no_feasible_tiling  no          no rung of the ladder found a plan
+    deadline_exceeded   yes         the planning budget ran out
+    cache_corrupt       yes         a persisted cache file was discarded
+    internal            yes         unexpected failure (bug or injected)
+    v} *)
+
+type t =
+  | Invalid_request of { field : string; reason : string }
+      (** [field] names the offending request field. *)
+  | No_feasible_tiling of string
+  | Deadline_exceeded of string
+  | Cache_corrupt of string
+  | Internal of string
+
+val code : t -> string
+(** The stable wire code (see the table above). *)
+
+val retryable : t -> bool
+(** Whether resubmitting the same request can succeed. *)
+
+val message : t -> string
+(** Human-readable detail. *)
+
+val to_string : t -> string
+(** ["<code>: <message>"], for logs and CLI output. *)
+
+val of_exn : exn -> t
+(** Classify an escaped exception: [Deadline.Expired] becomes
+    {!Deadline_exceeded}, [Failpoint.Injected] and unknown exceptions
+    become {!Internal}, the planner's [Failure "... no feasible tiling
+    ..."] becomes {!No_feasible_tiling}. *)
+
+val to_json : ?id:Util.Json.t -> t -> Util.Json.t
+(** The JSONL error response:
+    [{"id"?, "ok": false, "error": msg, "code": code,
+      "retryable": bool, "field"?: name}]. *)

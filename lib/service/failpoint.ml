@@ -1,0 +1,212 @@
+exception Injected of string
+
+type action =
+  | Raise
+  | Io
+  | Delay of float (* seconds *)
+  | Prob of float (* raise with this probability, deterministically *)
+
+type rule = {
+  r_site : string;
+  r_ctx : string option;
+  r_action : action;
+  r_nth : int option; (* fire only on the Nth matching hit (1-based) *)
+  mutable r_matches : int;
+  r_prng : Util.Prng.t option; (* Prob rules draw from their own stream *)
+}
+
+(* One mutex guards all failpoint state; hits can come from any domain
+   of a parallel batch.  The empty-rules fast path reads a single ref
+   without taking the lock, so inactive failpoints cost one load. *)
+let mutex = Mutex.create ()
+let rules : rule list ref = ref []
+let hit_counts : (string, int) Hashtbl.t = Hashtbl.create 16
+let fired_counts : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let env_var = "CHIMERA_FAILPOINTS"
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  if n = 0 then true
+  else begin
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Spec parsing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_action site s =
+  (* action [@ nth] *)
+  let action_str, nth =
+    match String.index_opt s '@' with
+    | None -> (s, None)
+    | Some i -> (
+        let head = String.sub s 0 i in
+        let tail = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt tail with
+        | Some n when n >= 1 -> (head, Some n)
+        | _ -> (s, None) (* reported below as an unknown action *))
+  in
+  let split_colon str =
+    String.split_on_char ':' str |> List.map String.trim
+  in
+  match split_colon action_str with
+  | [ "raise" ] -> Ok (Raise, nth, None)
+  | [ "io" ] -> Ok (Io, nth, None)
+  | [ "delay"; ms ] -> (
+      match float_of_string_opt ms with
+      | Some v when v >= 0.0 -> Ok (Delay (v /. 1e3), nth, None)
+      | _ -> Error (Printf.sprintf "%s: bad delay %S (milliseconds)" site ms))
+  | [ "prob"; p; seed ] -> (
+      match (float_of_string_opt p, int_of_string_opt seed) with
+      | Some p, Some seed when p >= 0.0 && p <= 1.0 ->
+          Ok (Prob p, nth, Some (Util.Prng.create ~seed))
+      | _ ->
+          Error
+            (Printf.sprintf "%s: bad prob spec %S (want prob:P:SEED)" site
+               action_str))
+  | _ ->
+      Error
+        (Printf.sprintf
+           "%s: unknown action %S (raise | io | delay:MS | prob:P:SEED, \
+            optionally @N)"
+           site s)
+
+let parse_entry entry =
+  match String.index_opt entry '=' with
+  | None -> Error (Printf.sprintf "missing '=' in %S" entry)
+  | Some i -> (
+      let lhs = String.trim (String.sub entry 0 i) in
+      let rhs =
+        String.trim (String.sub entry (i + 1) (String.length entry - i - 1))
+      in
+      let site, ctx =
+        match (String.index_opt lhs '(', String.rindex_opt lhs ')') with
+        | Some o, Some c when o < c ->
+            ( String.trim (String.sub lhs 0 o),
+              Some (String.sub lhs (o + 1) (c - o - 1)) )
+        | _ -> (lhs, None)
+      in
+      if site = "" then Error (Printf.sprintf "empty site in %S" entry)
+      else
+        match parse_action site rhs with
+        | Error e -> Error e
+        | Ok (r_action, r_nth, r_prng) ->
+            Ok { r_site = site; r_ctx = ctx; r_action; r_nth; r_matches = 0; r_prng })
+
+let parse spec =
+  let entries =
+    String.split_on_char ';' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest -> (
+        match parse_entry e with
+        | Ok r -> go (r :: acc) rest
+        | Error _ as err -> err)
+  in
+  go [] entries
+
+(* ------------------------------------------------------------------ *)
+(* Activation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let configure spec =
+  match parse spec with
+  | Error _ as e -> e
+  | Ok parsed ->
+      locked (fun () ->
+          rules := parsed;
+          Hashtbl.reset hit_counts;
+          Hashtbl.reset fired_counts);
+      Ok ()
+
+let clear () =
+  locked (fun () ->
+      rules := [];
+      Hashtbl.reset hit_counts;
+      Hashtbl.reset fired_counts)
+
+let configure_from_env () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" ->
+      clear ();
+      Ok ()
+  | Some spec -> configure spec
+
+let active () = !rules <> []
+
+(* ------------------------------------------------------------------ *)
+(* Trigger sites                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let bump table key =
+  Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
+
+let hit ?ctx site =
+  if !rules <> [] then begin
+    let outcome =
+      locked (fun () ->
+          bump hit_counts site;
+          (* First matching rule wins; decide under the lock (counters
+             and PRNG draws are stateful), act after releasing it. *)
+          List.find_map
+            (fun r ->
+              let ctx_matches =
+                match (r.r_ctx, ctx) with
+                | None, _ -> true
+                | Some _, None -> false
+                | Some want, Some have -> contains ~sub:want have
+              in
+              if r.r_site <> site || not ctx_matches then None
+              else begin
+                r.r_matches <- r.r_matches + 1;
+                let due =
+                  match r.r_nth with
+                  | None -> true
+                  | Some n -> r.r_matches = n
+                in
+                if not due then None
+                else
+                  match r.r_action with
+                  | Raise -> Some `Raise
+                  | Io -> Some `Io
+                  | Delay s -> Some (`Delay s)
+                  | Prob p ->
+                      let prng = Option.get r.r_prng in
+                      if Util.Prng.float prng < p then Some `Raise else None
+              end)
+            !rules)
+    in
+    match outcome with
+    | None -> ()
+    | Some fired -> (
+        locked (fun () -> bump fired_counts site);
+        match fired with
+        | `Raise -> raise (Injected site)
+        | `Io -> raise (Sys_error (Printf.sprintf "%s: injected I/O fault" site))
+        | `Delay s -> if s > 0.0 then Unix.sleepf s)
+  end
+
+let hits site =
+  locked (fun () -> Option.value ~default:0 (Hashtbl.find_opt hit_counts site))
+
+let fired site =
+  locked (fun () ->
+      Option.value ~default:0 (Hashtbl.find_opt fired_counts site))
+
+(* Pick up CHIMERA_FAILPOINTS at program start; a malformed spec is a
+   loud no-op rather than a crash (the resilience layer must not itself
+   take the service down). *)
+let () =
+  match configure_from_env () with
+  | Ok () -> ()
+  | Error e -> Printf.eprintf "chimera: ignoring %s: %s\n%!" env_var e

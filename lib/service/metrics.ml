@@ -5,7 +5,13 @@ type t = {
   mutable evictions : int;
   mutable planner_solves : int;
   mutable degraded : int;
+  mutable heuristic : int;
   mutable failed : int;
+  mutable invalid_requests : int;
+  mutable deadline_exceeded : int;
+  mutable internal_errors : int;
+  mutable cache_corrupt : int;
+  mutable cache_io_retries : int;
   mutable compile_seconds : float;
 }
 
@@ -17,7 +23,13 @@ let create () =
     evictions = 0;
     planner_solves = 0;
     degraded = 0;
+    heuristic = 0;
     failed = 0;
+    invalid_requests = 0;
+    deadline_exceeded = 0;
+    internal_errors = 0;
+    cache_corrupt = 0;
+    cache_io_retries = 0;
     compile_seconds = 0.0;
   }
 
@@ -28,7 +40,13 @@ let reset t =
   t.evictions <- 0;
   t.planner_solves <- 0;
   t.degraded <- 0;
+  t.heuristic <- 0;
   t.failed <- 0;
+  t.invalid_requests <- 0;
+  t.deadline_exceeded <- 0;
+  t.internal_errors <- 0;
+  t.cache_corrupt <- 0;
+  t.cache_io_retries <- 0;
   t.compile_seconds <- 0.0
 
 let fields t =
@@ -39,7 +57,13 @@ let fields t =
     ("evictions", float_of_int t.evictions);
     ("planner_solves", float_of_int t.planner_solves);
     ("degraded", float_of_int t.degraded);
+    ("heuristic", float_of_int t.heuristic);
     ("failed", float_of_int t.failed);
+    ("invalid_requests", float_of_int t.invalid_requests);
+    ("deadline_exceeded", float_of_int t.deadline_exceeded);
+    ("internal_errors", float_of_int t.internal_errors);
+    ("cache_corrupt", float_of_int t.cache_corrupt);
+    ("cache_io_retries", float_of_int t.cache_io_retries);
     ("compile_seconds", t.compile_seconds);
   ]
 

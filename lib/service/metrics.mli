@@ -3,7 +3,8 @@
     One mutable record shared by the plan cache, the batch compiler and
     the serve loop; printable as a table and dumpable as JSON so both
     interactive runs and tests can assert on service behaviour (e.g.
-    "a warm batch performs zero planner solves"). *)
+    "a warm batch performs zero planner solves", "the injected fault
+    was counted, not fatal"). *)
 
 type t = {
   mutable requests : int;  (** optimization requests processed. *)
@@ -14,9 +15,26 @@ type t = {
       (** sub-chains actually planned (planner or tuner invocations);
           stays 0 across a fully warm batch. *)
   mutable degraded : int;
-      (** requests served by the unfused fallback after the fused
-          solve failed. *)
+      (** requests served below the requested rung of the degradation
+          ladder (fused solve failed, or split planning fell back to
+          heuristic tiling). *)
+  mutable heuristic : int;
+      (** requests served by the last rung: per-operator heuristic
+          tiling with no planner solve. *)
   mutable failed : int;  (** requests that produced no plan at all. *)
+  mutable invalid_requests : int;
+      (** requests rejected by validation ([invalid_request]). *)
+  mutable deadline_exceeded : int;
+      (** requests whose planning budget expired (whether they then
+          degraded successfully or failed). *)
+  mutable internal_errors : int;
+      (** unexpected exceptions answered as [internal] (serve-loop
+          catch-all, injected faults, failed cache persistence). *)
+  mutable cache_corrupt : int;
+      (** persisted cache files discarded on load (corrupt, truncated
+          or version-mismatched). *)
+  mutable cache_io_retries : int;
+      (** cache-persistence attempts retried after an I/O fault. *)
   mutable compile_seconds : float;
       (** wall-clock spent planning cache misses. *)
 }

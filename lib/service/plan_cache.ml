@@ -1,5 +1,12 @@
+type rung = Fused | Split | Heuristic
+
+let rung_to_string = function
+  | Fused -> "fused"
+  | Split -> "split"
+  | Heuristic -> "heuristic"
+
 type entry = {
-  fused : bool;
+  rung : rung;
   degrade_reason : string option;
   units : Chimera.Compiler.unit_plan list;
 }
@@ -25,7 +32,8 @@ type t = {
   mutable is_dirty : bool;
 }
 
-let file_version = 1
+(* v2: entries record the degradation rung instead of a fused flag. *)
+let file_version = 2
 
 let create ?(capacity = 512) ?metrics () =
   if capacity <= 0 then invalid_arg "Plan_cache.create: non-positive capacity";
@@ -134,6 +142,7 @@ let entries_oldest_first t =
 let save t ~dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let path = cache_file ~dir in
+  Failpoint.hit ~ctx:path "cache.save";
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   Fun.protect
@@ -148,31 +157,76 @@ let save t ~dir =
 
 let save_if_dirty t ~dir = if t.is_dirty then save t ~dir
 
+let save_with_retry ?(attempts = 3) ?(backoff_s = 0.01) t ~dir =
+  if attempts <= 0 then invalid_arg "Plan_cache.save_with_retry: attempts";
+  let rec go n backoff =
+    match save t ~dir with
+    | () -> Ok ()
+    | exception e ->
+        let msg =
+          match e with
+          | Sys_error m -> m
+          | Failpoint.Injected site -> "injected fault at " ^ site
+          | e -> Printexc.to_string e
+        in
+        if n >= attempts then
+          Error (Printf.sprintf "cache save failed after %d attempts: %s"
+                   attempts msg)
+        else begin
+          Option.iter
+            (fun (m : Metrics.t) ->
+              m.cache_io_retries <- m.cache_io_retries + 1)
+            t.metrics;
+          Unix.sleepf backoff;
+          go (n + 1) (backoff *. 2.0)
+        end
+  in
+  go 1 backoff_s
+
+type load_outcome = Loaded of int | Absent | Discarded of string
+
+let discard t reason =
+  Option.iter
+    (fun (m : Metrics.t) -> m.cache_corrupt <- m.cache_corrupt + 1)
+    t.metrics;
+  Discarded reason
+
 let load t ~dir =
   let path = cache_file ~dir in
-  if not (Sys.file_exists path) then 0
+  if not (Sys.file_exists path) then Absent
   else
-    let ic = open_in_bin path in
-    let loaded =
+    match
+      Failpoint.hit ~ctx:path "cache.load";
+      let ic = open_in_bin path in
       Fun.protect
         ~finally:(fun () -> close_in_noerr ic)
         (fun () ->
           match input_line ic with
-          | exception End_of_file -> []
+          | exception End_of_file -> Error "empty file"
           | line ->
               if line ^ "\n" <> header () then
                 (* Different file format or fingerprint scheme: every
                    persisted key could mean something else now, so the
                    whole file is invalid. *)
-                []
+                Error (Printf.sprintf "header mismatch (%S)" line)
               else begin
                 match
                   (Marshal.from_channel ic : (string * entry) list)
                 with
-                | entries -> entries
-                | exception _ -> []
+                | entries -> Ok entries
+                | exception e ->
+                    Error
+                      (Printf.sprintf "unreadable payload (%s)"
+                         (Printexc.to_string e))
               end)
-    in
-    List.iter (fun (key, entry) -> add_keyed t key entry) loaded;
-    t.is_dirty <- false;
-    List.length loaded
+    with
+    | Ok loaded ->
+        List.iter (fun (key, entry) -> add_keyed t key entry) loaded;
+        t.is_dirty <- false;
+        Loaded (List.length loaded)
+    | Error reason -> discard t (path ^ ": " ^ reason)
+    | exception Sys_error msg -> discard t msg
+    | exception Failpoint.Injected site ->
+        discard t (path ^ ": injected fault at " ^ site)
+
+let loaded_count = function Loaded n -> n | Absent | Discarded _ -> 0

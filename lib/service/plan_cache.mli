@@ -13,17 +13,26 @@
     one-line text header [CHIMERA-PLAN-CACHE <file_version>
     <fingerprint scheme_version>] followed by the marshalled entries in
     recency order.  [load] restores it at startup; any header mismatch
-    (file format change, fingerprint scheme change) or unreadable
-    payload discards the file wholesale — a cold cache is always safe,
-    a stale plan never is. *)
+    (file format change, fingerprint scheme change), truncated or
+    unreadable payload discards the file wholesale — a cold cache is
+    always safe, a stale plan never is.  Discards are counted in
+    [Metrics.cache_corrupt]; {!save_with_retry} bounds transient I/O
+    faults with exponential backoff. *)
+
+type rung = Fused | Split | Heuristic
+(** The degradation ladder: [Fused] — one kernel for the whole chain;
+    [Split] — one analytically planned kernel per stage; [Heuristic] —
+    one kernel per stage with a cheap always-feasible uniform tiling
+    (no planner solve).  See docs/SERVICE.md. *)
+
+val rung_to_string : rung -> string
+(** ["fused" | "split" | "heuristic"], the wire spelling. *)
 
 type entry = {
-  fused : bool;
-      (** whether the plans cover the whole chain as one kernel
-          ([false]: one plan per [split_stages] sub-chain). *)
+  rung : rung;  (** the ladder rung the plans were produced at. *)
   degrade_reason : string option;
-      (** [Some reason] when fusion was requested but the fused solve
-          failed and the entry holds the unfused fallback. *)
+      (** [Some reason] when the entry sits below the requested rung
+          (the higher rung's failure or deadline). *)
   units : Chimera.Compiler.unit_plan list;
       (** one per sub-chain, in execution order. *)
 }
@@ -31,12 +40,14 @@ type entry = {
 type t
 
 val file_version : int
-(** Bump on any change to the cache-file layout. *)
+(** Bump on any change to the cache-file layout (v2: entries carry the
+    degradation {!rung}). *)
 
 val create : ?capacity:int -> ?metrics:Metrics.t -> unit -> t
 (** An empty cache holding at most [capacity] entries (default 512).
-    When [metrics] is given, hits/misses/evictions are mirrored into
-    it.  Raises [Invalid_argument] on non-positive capacity. *)
+    When [metrics] is given, hits/misses/evictions/corruption are
+    mirrored into it.  Raises [Invalid_argument] on non-positive
+    capacity. *)
 
 val find : t -> Fingerprint.t -> entry option
 (** Lookup; refreshes recency and counts a hit or miss. *)
@@ -63,14 +74,34 @@ val clear : t -> unit
 val cache_file : dir:string -> string
 (** The persistence path used under a cache directory. *)
 
-val load : t -> dir:string -> int
+type load_outcome =
+  | Loaded of int  (** entries restored. *)
+  | Absent  (** no cache file — a clean cold start. *)
+  | Discarded of string
+      (** the file existed but was corrupt, truncated, unreadable or
+          version-mismatched; the reason is for logs.  Counted in
+          [Metrics.cache_corrupt]. *)
+
+val load : t -> dir:string -> load_outcome
 (** Load persisted entries into the cache (oldest first, so recency is
-    restored); returns the number of entries loaded, 0 when the file is
-    absent, unreadable or version-mismatched. *)
+    restored).  Never raises: I/O errors and injected [cache.load]
+    faults report as [Discarded]. *)
+
+val loaded_count : load_outcome -> int
+(** The [Loaded] payload, 0 otherwise. *)
 
 val save : t -> dir:string -> unit
 (** Persist all entries atomically (temp file + rename), creating [dir]
-    if needed; clears the dirty flag. *)
+    if needed; clears the dirty flag.  Raises [Sys_error] on I/O
+    failure (see {!save_with_retry} for the guarded form). *)
 
 val save_if_dirty : t -> dir:string -> unit
 (** [save] only when {!dirty}. *)
+
+val save_with_retry :
+  ?attempts:int -> ?backoff_s:float -> t -> dir:string ->
+  (unit, string) result
+(** [save] with up to [attempts] (default 3) tries, sleeping
+    [backoff_s] (default 0.01, doubling) between them.  Each retry is
+    counted in [Metrics.cache_io_retries]; [Error] after the final
+    attempt.  Never raises. *)

@@ -5,36 +5,108 @@ type t = {
   relu : bool;
   batch : int option;
   fusion : bool;
+  deadline_ms : float option;
 }
 
-let make ?(softmax = false) ?(relu = false) ?batch ?(fusion = true) ~workload
-    ~arch () =
-  { workload; arch; softmax; relu; batch; fusion }
+let make ?(softmax = false) ?(relu = false) ?batch ?(fusion = true)
+    ?deadline_ms ~workload ~arch () =
+  { workload; arch; softmax; relu; batch; fusion; deadline_ms }
+
+(* ------------------------------------------------------------------ *)
+(* Validation limits                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let max_stages = 64
+let max_axis_extent = 1 lsl 20
+
+let invalid field reason = Error (Error.Invalid_request { field; reason })
+
+let validate_chain (chain : Ir.Chain.t) =
+  let stages = Ir.Chain.stage_count chain in
+  if stages > max_stages then
+    invalid "workload"
+      (Printf.sprintf "chain %s has %d stages (limit %d)"
+         chain.Ir.Chain.name stages max_stages)
+  else
+    let rec check_axes = function
+      | [] -> Ok ()
+      | (axis : Ir.Axis.t) :: rest ->
+          if axis.extent <= 0 then
+            invalid "workload"
+              (Printf.sprintf "axis %s has non-positive extent %d" axis.name
+                 axis.extent)
+          else if axis.extent > max_axis_extent then
+            invalid "batch"
+              (Printf.sprintf "axis %s extent %d exceeds the limit %d"
+                 axis.name axis.extent max_axis_extent)
+          else check_axes rest
+    in
+    check_axes chain.Ir.Chain.axes
+
+let validate_fields t =
+  match t.batch with
+  | Some b when b <= 0 ->
+      invalid "batch" (Printf.sprintf "must be positive, got %d" b)
+  | Some b when b > max_axis_extent ->
+      invalid "batch"
+        (Printf.sprintf "%d exceeds the limit %d" b max_axis_extent)
+  | _ -> (
+      match t.deadline_ms with
+      | Some d when not (Float.is_finite d) || d <= 0.0 ->
+          invalid "deadline_ms" "must be a positive finite number"
+      | _ -> Ok ())
 
 let resolve t =
-  match Arch.Presets.by_name t.arch with
-  | None -> Error (Printf.sprintf "unknown arch %S (cpu|gpu|npu)" t.arch)
-  | Some machine -> (
-      match Workloads.Gemm_configs.by_name t.workload with
-      | Some c ->
-          Ok
-            ( Workloads.Gemm_configs.chain ~softmax:t.softmax
-                ?batch_override:t.batch c,
-              machine )
-      | None -> (
-          match Workloads.Conv_configs.by_name t.workload with
-          | Some c ->
-              Ok (Workloads.Conv_configs.chain ~relu:t.relu ?batch:t.batch c,
-                  machine)
+  match validate_fields t with
+  | Error _ as e -> e
+  | Ok () -> (
+      match Arch.Presets.by_name t.arch with
+      | None ->
+          invalid "arch" (Printf.sprintf "unknown arch %S (cpu|gpu|npu)" t.arch)
+      | Some machine -> (
+          let built =
+            (* Chain builders validate their own invariants with
+               [Invalid_argument]; surface that as a typed rejection
+               rather than letting it escape into the serve loop. *)
+            match Workloads.Gemm_configs.by_name t.workload with
+            | Some c ->
+                Some
+                  (try
+                     Ok
+                       (Workloads.Gemm_configs.chain ~softmax:t.softmax
+                          ?batch_override:t.batch c)
+                   with Invalid_argument reason -> invalid "batch" reason)
+            | None -> (
+                match Workloads.Conv_configs.by_name t.workload with
+                | Some c ->
+                    Some
+                      (try
+                         Ok
+                           (Workloads.Conv_configs.chain ~relu:t.relu
+                              ?batch:t.batch c)
+                       with Invalid_argument reason -> invalid "batch" reason)
+                | None -> None)
+          in
+          match built with
           | None ->
-              Error
+              invalid "workload"
                 (Printf.sprintf
                    "unknown workload %S (G1..G12 from Table IV, C1..C8 from \
                     Table V)"
-                   t.workload)))
+                   t.workload)
+          | Some (Error _ as e) -> e
+          | Some (Ok chain) -> (
+              match validate_chain chain with
+              | Error _ as e -> e
+              | Ok () -> Ok (chain, machine))))
 
 let config_of ?(base = Chimera.Config.default) t =
   { base with Chimera.Config.use_fusion = t.fusion }
+
+let deadline_of ?default_ms t =
+  match (t.deadline_ms, default_ms) with
+  | Some ms, _ | None, Some ms -> Some (Deadline.of_ms ms)
+  | None, None -> None
 
 (* ------------------------------------------------------------------ *)
 (* JSON wire form                                                      *)
@@ -62,6 +134,8 @@ let of_json json =
               relu = flag "relu" false;
               batch = Option.bind (member "batch" json) to_int_opt;
               fusion = flag "fusion" true;
+              deadline_ms =
+                Option.bind (member "deadline_ms" json) to_float_opt;
             })
   | _ -> Error "request must be a JSON object"
 
@@ -75,7 +149,11 @@ let to_json t =
        ("relu", Bool t.relu);
      ]
     @ (match t.batch with Some b -> [ ("batch", Int b) ] | None -> [])
-    @ [ ("fusion", Bool t.fusion) ])
+    @ [ ("fusion", Bool t.fusion) ]
+    @
+    match t.deadline_ms with
+    | Some d -> [ ("deadline_ms", Float d) ]
+    | None -> [])
 
 let all_gemm_x_arch () =
   List.concat_map

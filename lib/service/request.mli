@@ -1,15 +1,27 @@
 (** One optimization request, as submitted to [chimera batch] or the
     [chimera serve] JSONL loop: a workload from the paper's tables, a
-    target machine, and the knobs the CLI exposes.
+    target machine, the knobs the CLI exposes, and an optional planning
+    deadline.
 
     The JSON wire form (one object per line) is:
     {v
     {"workload": "G2", "arch": "cpu",
-     "softmax": false, "relu": false, "batch": 8, "fusion": true}
+     "softmax": false, "relu": false, "batch": 8, "fusion": true,
+     "deadline_ms": 250}
     v}
     [workload] and [arch] are required; the rest default as below.  An
     optional ["id"] field is echoed back by the serve loop but is not
-    part of the request identity. *)
+    part of the request identity.  [deadline_ms] bounds planning
+    wall-clock (see docs/SERVICE.md) and is likewise excluded from the
+    cache fingerprint.
+
+    {2 Validation}
+
+    {!resolve} enforces hard limits before any planning work:
+    [batch] and every axis extent must be positive and at most
+    {!max_axis_extent}; the chain may have at most {!max_stages}
+    stages; [deadline_ms] must be positive and finite.  Violations are
+    rejected as [Error.Invalid_request] naming the offending field. *)
 
 type t = {
   workload : string;  (** G1..G12 (Table IV) or C1..C8 (Table V). *)
@@ -18,26 +30,47 @@ type t = {
   relu : bool;  (** conv chains: ReLU after each convolution. *)
   batch : int option;  (** overrides the workload's batch size. *)
   fusion : bool;  (** [false] compiles one kernel per stage. *)
+  deadline_ms : float option;
+      (** planning budget in milliseconds; [None] means unbounded. *)
 }
+
+val max_stages : int
+(** Upper bound on a chain's stage count (64). *)
+
+val max_axis_extent : int
+(** Upper bound on any axis extent, including the batch override
+    (2{^20}). *)
 
 val make :
   ?softmax:bool -> ?relu:bool -> ?batch:int -> ?fusion:bool ->
-  workload:string -> arch:string -> unit -> t
-(** Defaults: no softmax, no relu, table batch size, fusion on. *)
+  ?deadline_ms:float -> workload:string -> arch:string -> unit -> t
+(** Defaults: no softmax, no relu, table batch size, fusion on, no
+    deadline. *)
 
-val resolve : t -> (Ir.Chain.t * Arch.Machine.t, string) result
-(** Build the chain and look up the machine preset; [Error] names the
-    unknown workload or arch. *)
+val resolve : t -> (Ir.Chain.t * Arch.Machine.t, Error.t) result
+(** Validate the request, build the chain and look up the machine
+    preset.  [Error] is always [Error.Invalid_request] with the
+    offending field named ([workload], [arch], [batch],
+    [deadline_ms]). *)
+
+val validate_chain : Ir.Chain.t -> (unit, Error.t) result
+(** The chain-shape half of validation (stage count, axis extents),
+    exposed for callers that build chains directly. *)
 
 val config_of : ?base:Chimera.Config.t -> t -> Chimera.Config.t
 (** The compiler configuration the request implies: [base] (default
     {!Chimera.Config.default}) with the fusion switch applied. *)
 
+val deadline_of : ?default_ms:float -> t -> Deadline.t option
+(** The planning deadline this request implies, started now: the
+    request's own [deadline_ms] when present, else [default_ms], else
+    none.  Call it when planning starts, not at decode time. *)
+
 val of_json : Util.Json.t -> (t, string) result
 (** Decode the wire form; unknown fields are ignored. *)
 
 val to_json : t -> Util.Json.t
-(** Encode the wire form ([batch] omitted when [None]). *)
+(** Encode the wire form ([batch]/[deadline_ms] omitted when [None]). *)
 
 val all_gemm_x_arch : unit -> t list
 (** Every Table-IV GEMM chain on every machine preset — G1–G12 x

@@ -28,6 +28,7 @@ let response_json ?id req (r : Batch.response) =
             (match r.Batch.source with
             | Batch.Cache -> "cache"
             | Batch.Compiled -> "compiled") );
+        ("rung", String (Plan_cache.rung_to_string r.Batch.rung));
         ( "degraded",
           match r.Batch.degraded with Some s -> String s | None -> Null );
         ("units", List (List.map response_of_unit
@@ -38,41 +39,107 @@ let response_json ?id req (r : Batch.response) =
         ("compile_ms", Float (r.Batch.seconds *. 1e3));
       ])
 
-let error_json ?id msg =
-  let open Util.Json in
-  let id_field = match id with Some v -> [ ("id", v) ] | None -> [] in
-  Obj (id_field @ [ ("ok", Bool false); ("error", String msg) ])
-
-let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir ic oc =
+let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir
+    ?default_deadline_ms ic oc =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let cache =
     match cache with
     | Some c -> c
     | None -> Plan_cache.create ~metrics ()
   in
-  Option.iter (fun dir -> ignore (Plan_cache.load cache ~dir)) cache_dir;
+  (* A discarded (corrupt/stale) cache file is a cold start, not a
+     failure; it is already counted in [metrics.cache_corrupt] and the
+     reason goes to stderr so operators can see it without a client
+     ever noticing. *)
+  Option.iter
+    (fun dir ->
+      match Plan_cache.load cache ~dir with
+      | Plan_cache.Loaded _ | Plan_cache.Absent -> ()
+      | Plan_cache.Discarded reason ->
+          Printf.eprintf "chimera serve: discarded plan cache: %s\n%!" reason)
+    cache_dir;
   let emit json =
     output_string oc (Util.Json.to_string json);
     output_char oc '\n';
     flush oc
   in
   let persist () =
-    Option.iter (fun dir -> Plan_cache.save_if_dirty cache ~dir) cache_dir
+    Option.iter
+      (fun dir ->
+        if Plan_cache.dirty cache then
+          match Plan_cache.save_with_retry cache ~dir with
+          | Ok () -> ()
+          | Error reason ->
+              (* Losing write-back costs warmth on restart, nothing
+                 else — log it, count it, keep serving. *)
+              metrics.Metrics.internal_errors <-
+                metrics.Metrics.internal_errors + 1;
+              Printf.eprintf "chimera serve: cache write-back failed: %s\n%!"
+                reason)
+      cache_dir
   in
   let handle_request ?id json =
     match Request.of_json json with
-    | Error e -> emit (error_json ?id e)
+    | Error reason ->
+        metrics.Metrics.invalid_requests <-
+          metrics.Metrics.invalid_requests + 1;
+        emit (Error.to_json ?id (Error.Invalid_request { field = "json"; reason }))
     | Ok req -> (
         match Request.resolve req with
-        | Error e -> emit (error_json ?id e)
+        | Error e ->
+            (* resolve's rejections are counted by Batch via
+               [note_response] only on the batch path; here we answer
+               directly. *)
+            metrics.Metrics.requests <- metrics.Metrics.requests + 1;
+            metrics.Metrics.failed <- metrics.Metrics.failed + 1;
+            metrics.Metrics.invalid_requests <-
+              metrics.Metrics.invalid_requests + 1;
+            emit (Error.to_json ?id e)
         | Ok (chain, machine) -> (
             let config = Request.config_of ~base:config req in
-            match Batch.compile ~cache ~metrics ~config ~machine chain with
+            let deadline =
+              Request.deadline_of ?default_ms:default_deadline_ms req
+            in
+            match
+              Batch.compile ~cache ~metrics ~config ?deadline ~machine chain
+            with
             | Ok r ->
                 emit (response_json ?id req r);
                 (* Write-back on change so a restarted server is warm. *)
                 persist ()
-            | Error e -> emit (error_json ?id e)))
+            | Error e -> emit (Error.to_json ?id e)))
+  in
+  let handle_line line =
+    Failpoint.hit ~ctx:line "serve.handle";
+    match Util.Json.parse line with
+    | Error e ->
+        metrics.Metrics.invalid_requests <-
+          metrics.Metrics.invalid_requests + 1;
+        emit
+          (Error.to_json
+             (Error.Invalid_request { field = "json"; reason = e }));
+        `Continue
+    | Ok json -> (
+        let id = Util.Json.member "id" json in
+        match
+          Option.bind (Util.Json.member "cmd" json) Util.Json.to_string_opt
+        with
+        | Some "stats" -> emit (Metrics.to_json metrics); `Continue
+        | Some "quit" ->
+            emit (Util.Json.Obj [ ("ok", Util.Json.Bool true) ]);
+            `Stop
+        | Some other ->
+            metrics.Metrics.invalid_requests <-
+              metrics.Metrics.invalid_requests + 1;
+            emit
+              (Error.to_json ?id
+                 (Error.Invalid_request
+                    {
+                      field = "cmd";
+                      reason = Printf.sprintf "unknown cmd %S" other;
+                    }));
+            `Continue
+        | None -> handle_request ?id json; `Continue)
   in
   let stop = ref false in
   while not !stop do
@@ -80,20 +147,17 @@ let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir ic oc =
     | exception End_of_file -> stop := true
     | line when String.trim line = "" -> ()
     | line -> (
-        match Util.Json.parse line with
-        | Error e -> emit (error_json ("invalid JSON: " ^ e))
-        | Ok json -> (
-            let id = Util.Json.member "id" json in
-            match
-              Option.bind (Util.Json.member "cmd" json)
-                Util.Json.to_string_opt
-            with
-            | Some "stats" -> emit (Metrics.to_json metrics)
-            | Some "quit" ->
-                emit (Util.Json.Obj [ ("ok", Util.Json.Bool true) ]);
-                stop := true
-            | Some other ->
-                emit (error_json ?id (Printf.sprintf "unknown cmd %S" other))
-            | None -> handle_request ?id json))
+        (* The loop's last line of defence: whatever one line's handling
+           raises — a compiler bug, an injected fault — is answered as a
+           typed internal error and counted, never allowed to take the
+           server down.  (Emitting the answer can still fail if stdout
+           itself is gone, and then dying is correct.) *)
+        match handle_line line with
+        | `Continue -> ()
+        | `Stop -> stop := true
+        | exception e ->
+            metrics.Metrics.internal_errors <-
+              metrics.Metrics.internal_errors + 1;
+            emit (Error.to_json (Error.of_exn e)))
   done;
   persist ()

@@ -9,20 +9,34 @@
     ["id"] that is echoed back.  Two control forms exist:
     [{"cmd": "stats"}] answers with the {!Metrics} counters, and
     [{"cmd": "quit"}] acknowledges and ends the loop (EOF also ends
-    it).  Blank lines are ignored.  A malformed line answers
-    [{"ok": false, "error": ...}] — the loop never dies on bad input.
+    it).  Blank lines are ignored.
+
+    {2 Resilience}
+
+    The loop never dies on a request.  Malformed JSON, unknown
+    commands and invalid requests answer a typed error object
+    ([{"ok": false, "error", "code", "retryable", "field"?}], see
+    {!Error.to_json}); any exception that escapes one line's handling —
+    a compiler bug, an injected fault — is answered as
+    [code: "internal"] and counted in [Metrics.internal_errors].
+    Failures are visible in [stats], not fatal.
 
     Successful responses carry the request's fingerprint, whether the
-    plan came from the cache, the chosen block order and tiling per
-    kernel, predicted data movement, the estimated execution time, and
-    degradation status (see docs/SERVICE.md for the full schema).
+    plan came from the cache, the degradation-ladder [rung] that
+    answered, the chosen block order and tiling per kernel, predicted
+    data movement, and the estimated execution time (see
+    docs/SERVICE.md for the full schema).
 
     When [cache_dir] is given the plan cache is loaded from it at
-    startup and written back whenever a response added a new plan, so a
-    restarted server stays warm. *)
+    startup (a corrupt or stale file is discarded and counted — a cold
+    start, never a crash) and written back with bounded retries
+    whenever a response added a new plan, so a restarted server stays
+    warm.  [default_deadline_ms] bounds planning for requests that do
+    not carry their own [deadline_ms]. *)
 
 val run :
   ?cache:Plan_cache.t -> ?metrics:Metrics.t -> ?config:Chimera.Config.t ->
-  ?cache_dir:string -> in_channel -> out_channel -> unit
+  ?cache_dir:string -> ?default_deadline_ms:float ->
+  in_channel -> out_channel -> unit
 (** Serve until EOF or [{"cmd": "quit"}].  Output is flushed after
     every line. *)

@@ -40,6 +40,17 @@ let rm_rf dir =
     Sys.rmdir dir
   end
 
+let err_str = Service.Error.to_string
+
+(* Activate a fault-injection spec for the duration of [f] only; the
+   global failpoint table is always restored to empty, so suites stay
+   independent. *)
+let with_failpoints spec f =
+  (match Service.Failpoint.configure spec with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "failpoint spec %S: %s" spec e);
+  Fun.protect ~finally:Service.Failpoint.clear f
+
 (* ------------------------------------------------------------------ *)
 (* Util.Json                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -150,7 +161,7 @@ let request_tests =
     case "wire form round trips" (fun () ->
         let r =
           make ~workload:"G3" ~arch:"gpu" ~softmax:true ~batch:4
-            ~fusion:false ()
+            ~fusion:false ~deadline_ms:250.0 ()
         in
         check_true "round trip" (of_json (to_json r) = Ok r);
         let plain = make ~workload:"C1" ~arch:"npu" () in
@@ -182,7 +193,7 @@ let request_tests =
           (fun r ->
             match resolve r with
             | Ok _ -> ()
-            | Error e -> Alcotest.failf "%s: %s" (describe r) e)
+            | Error e -> Alcotest.failf "%s: %s" (describe r) (err_str e))
           reqs);
     case "describe flags the non-defaults" (fun () ->
         check_string "softmax" "G2@cpu+softmax"
@@ -201,7 +212,11 @@ let request_tests =
 (* ------------------------------------------------------------------ *)
 
 let dummy_entry =
-  { Service.Plan_cache.fused = true; degrade_reason = None; units = [] }
+  {
+    Service.Plan_cache.rung = Service.Plan_cache.Fused;
+    degrade_reason = None;
+    units = [];
+  }
 
 let cache_tests =
   let open Service.Plan_cache in
@@ -239,7 +254,7 @@ let cache_tests =
         let chain = small_gemm_chain () in
         (match Service.Batch.compile ~cache ~machine:cpu chain with
         | Ok _ -> ()
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (err_str e));
         let key = fp chain in
         let entry = Option.get (find cache key) in
         let bytes = Marshal.to_string entry [] in
@@ -247,7 +262,7 @@ let cache_tests =
         save cache ~dir;
         check_false "dirty cleared" (dirty cache);
         let cache2 = create () in
-        check_int "loaded" 1 (load cache2 ~dir);
+        check_int "loaded" 1 (loaded_count (load cache2 ~dir));
         let entry2 = Option.get (find cache2 key) in
         check_true "bit-identical entry"
           (String.equal bytes (Marshal.to_string entry2 []));
@@ -259,7 +274,7 @@ let cache_tests =
         let dir = fresh_dir () in
         save cache ~dir;
         let cache2 = create ~capacity:2 () in
-        check_int "loaded" 2 (load cache2 ~dir);
+        check_int "loaded" 2 (loaded_count (load cache2 ~dir));
         (* fp_m 11 was most recent; adding one more must evict fp_m 10. *)
         add cache2 (fp_m 12) dummy_entry;
         check_false "oldest evicted first" (mem cache2 (fp_m 10));
@@ -282,7 +297,9 @@ let cache_tests =
           (String.sub data body_start (String.length data - body_start));
         close_out oc;
         let cache2 = create () in
-        check_int "discarded" 0 (load cache2 ~dir);
+        (match load cache2 ~dir with
+        | Discarded _ -> ()
+        | Loaded _ | Absent -> Alcotest.fail "expected Discarded");
         check_int "stays empty" 0 (length cache2);
         rm_rf dir);
     case "corrupt payload discards the file wholesale" (fun () ->
@@ -294,12 +311,17 @@ let cache_tests =
         Printf.fprintf oc "CHIMERA-PLAN-CACHE %d %d\nnot marshal data"
           file_version Service.Fingerprint.scheme_version;
         close_out oc;
-        let cache2 = create () in
-        check_int "discarded" 0 (load cache2 ~dir);
+        let metrics = Service.Metrics.create () in
+        let cache2 = create ~metrics () in
+        (match load cache2 ~dir with
+        | Discarded _ -> ()
+        | Loaded _ | Absent -> Alcotest.fail "expected Discarded");
+        check_int "corruption counted" 1
+          metrics.Service.Metrics.cache_corrupt;
         rm_rf dir);
-    case "loading a missing file is a clean zero" (fun () ->
+    case "loading a missing file is a clean cold start" (fun () ->
         let cache = create () in
-        check_int "nothing" 0 (load cache ~dir:(fresh_dir ())));
+        check_true "absent" (load cache ~dir:(fresh_dir ()) = Absent));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -390,7 +412,8 @@ let batch_tests =
                   (Service.Request.describe req ^ " freshly compiled")
                   (r.Service.Batch.source = Service.Batch.Compiled)
             | Error e ->
-                Alcotest.failf "%s: %s" (Service.Request.describe req) e)
+                Alcotest.failf "%s: %s" (Service.Request.describe req)
+                  (err_str e))
           results;
         check_int "requests" 36 metrics.Service.Metrics.requests;
         check_int "misses" 36 metrics.Service.Metrics.misses;
@@ -412,7 +435,8 @@ let batch_tests =
                   (Service.Request.describe req ^ " from cache")
                   (r.Service.Batch.source = Service.Batch.Cache)
             | Error e ->
-                Alcotest.failf "%s: %s" (Service.Request.describe req) e)
+                Alcotest.failf "%s: %s" (Service.Request.describe req)
+                  (err_str e))
           results;
         check_int "zero planner solves" 0
           metrics.Service.Metrics.planner_solves;
@@ -449,7 +473,7 @@ let batch_tests =
           (fun (_, r) ->
             match r with
             | Ok _ -> ()
-            | Error e -> Alcotest.fail e)
+            | Error e -> Alcotest.fail (err_str e))
           results;
         (* All three probe the cache before any plan lands, so each
            counts a miss — but the fused chain is solved exactly once. *)
@@ -465,8 +489,14 @@ let batch_tests =
           ]
         in
         match Service.Batch.run ~metrics reqs with
-        | [ (_, Ok _); (_, Error _); (_, Error _) ] ->
-            check_int "failed counted" 2 metrics.Service.Metrics.failed
+        | [ (_, Ok _); (_, Error e1); (_, Error e2) ] ->
+            check_int "failed counted" 2 metrics.Service.Metrics.failed;
+            check_int "typed as invalid" 2
+              metrics.Service.Metrics.invalid_requests;
+            check_string "workload named" "invalid_request"
+              (Service.Error.code e1);
+            check_string "arch named" "invalid_request"
+              (Service.Error.code e2)
         | _ -> Alcotest.fail "expected [Ok; Error; Error] in order");
   ]
 
@@ -506,31 +536,38 @@ let degradation_tests =
             let r =
               match Service.Batch.compile ~cache ~metrics ~machine chain with
               | Ok r -> r
-              | Error e -> Alcotest.fail e
+              | Error e -> Alcotest.fail (err_str e)
             in
             check_true "reported degraded"
               (r.Service.Batch.degraded <> None);
+            check_true "below the fused rung"
+              (r.Service.Batch.rung <> Service.Plan_cache.Fused);
             check_int "one kernel per stage"
               (List.length (Chimera.Compiler.split_stages chain))
               (List.length r.Service.Batch.compiled.Chimera.Compiler.units);
             check_int "counted" 1 metrics.Service.Metrics.degraded;
-            (* The degraded entry is cached with its reason. *)
+            (* The degraded entry is cached with its reason and rung. *)
             let r2 =
               match Service.Batch.compile ~cache ~metrics ~machine chain with
               | Ok r -> r
-              | Error e -> Alcotest.fail e
+              | Error e -> Alcotest.fail (err_str e)
             in
             check_true "warm hit"
               (r2.Service.Batch.source = Service.Batch.Cache);
+            check_true "rung persisted"
+              (r2.Service.Batch.rung = r.Service.Batch.rung);
             check_true "reason persisted"
               (r2.Service.Batch.degraded = r.Service.Batch.degraded));
-    case "total infeasibility is an error, not an exception" (fun () ->
+    case "total infeasibility is a typed error, not an exception" (fun () ->
         let metrics = Service.Metrics.create () in
         match
           Service.Batch.compile ~metrics ~machine:(tiny_machine 8)
             (small_gemm_chain ())
         with
-        | Error _ -> check_int "failed counted" 1 metrics.Service.Metrics.failed
+        | Error e ->
+            check_string "typed" "no_feasible_tiling" (Service.Error.code e);
+            check_false "not retryable" (Service.Error.retryable e);
+            check_int "failed counted" 1 metrics.Service.Metrics.failed
         | Ok _ -> Alcotest.fail "8 bytes of scratchpad should not compile");
   ]
 
@@ -597,18 +634,28 @@ let serve_tests =
               (jfield "id" first = Util.Json.String "a");
             check_true "first compiled"
               (jfield "source" first = Util.Json.String "compiled");
+            check_true "rung reported"
+              (jfield "rung" first = Util.Json.String "fused");
             check_true "second from cache"
               (jfield "source" second = Util.Json.String "cache");
             check_true "same fingerprint"
               (jfield "fingerprint" first = jfield "fingerprint" second);
             check_true "bad json flagged"
               (jfield "ok" bad_json = Util.Json.Bool false);
+            check_true "bad json is typed"
+              (jfield "code" bad_json = Util.Json.String "invalid_request");
             check_true "unknown workload flagged"
               (jfield "ok" bad_workload = Util.Json.Bool false);
+            check_true "unknown workload names its field"
+              (jfield "field" bad_workload = Util.Json.String "workload");
             check_true "unknown cmd flagged"
               (jfield "ok" bad_cmd = Util.Json.Bool false);
-            check_true "stats counted both requests"
-              (jfield "requests" stats = Util.Json.Int 2);
+            check_true "unknown cmd is typed"
+              (jfield "code" bad_cmd = Util.Json.String "invalid_request");
+            check_true "stats counted the three requests"
+              (jfield "requests" stats = Util.Json.Int 3);
+            check_true "stats counted the invalid lines"
+              (jfield "invalid_requests" stats = Util.Json.Int 3);
             check_true "stats saw the cache hit"
               (jfield "cache_hits" stats = Util.Json.Int 1);
             check_true "quit acknowledged"
@@ -665,6 +712,502 @@ let metrics_tests =
         check_int "reset" 0 m.Service.Metrics.requests);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Error taxonomy                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let error_tests =
+  let open Service.Error in
+  [
+    case "codes are stable wire strings" (fun () ->
+        check_string "invalid" "invalid_request"
+          (code (Invalid_request { field = "batch"; reason = "x" }));
+        check_string "infeasible" "no_feasible_tiling"
+          (code (No_feasible_tiling "x"));
+        check_string "deadline" "deadline_exceeded"
+          (code (Deadline_exceeded "x"));
+        check_string "corrupt" "cache_corrupt" (code (Cache_corrupt "x"));
+        check_string "internal" "internal" (code (Internal "x")));
+    case "retryability separates transient from deterministic" (fun () ->
+        check_false "invalid"
+          (retryable (Invalid_request { field = "f"; reason = "r" }));
+        check_false "infeasible" (retryable (No_feasible_tiling "x"));
+        check_true "deadline" (retryable (Deadline_exceeded "x"));
+        check_true "corrupt" (retryable (Cache_corrupt "x"));
+        check_true "internal" (retryable (Internal "x")));
+    case "of_exn classifies the service's exceptions" (fun () ->
+        check_string "expired" "deadline_exceeded"
+          (code (of_exn Service.Deadline.Expired));
+        check_string "injected" "internal"
+          (code (of_exn (Service.Failpoint.Injected "x")));
+        check_string "planner infeasibility" "no_feasible_tiling"
+          (code (of_exn (Failure "G1: no feasible tiling at L1")));
+        check_string "other failure" "internal" (code (of_exn (Failure "boom")));
+        check_string "io" "internal" (code (of_exn (Sys_error "disk gone")));
+        check_string "invalid argument" "invalid_request"
+          (code (of_exn (Invalid_argument "negative extent"))));
+    case "the error json carries code, retryable and field" (fun () ->
+        let j =
+          to_json ~id:(Util.Json.String "r1")
+            (Invalid_request { field = "batch"; reason = "must be positive" })
+        in
+        check_true "id echoed" (jfield "id" j = Util.Json.String "r1");
+        check_true "not ok" (jfield "ok" j = Util.Json.Bool false);
+        check_true "code"
+          (jfield "code" j = Util.Json.String "invalid_request");
+        check_true "retryable" (jfield "retryable" j = Util.Json.Bool false);
+        check_true "field" (jfield "field" j = Util.Json.String "batch");
+        let j2 = to_json (Internal "boom") in
+        check_true "no id" (Util.Json.member "id" j2 = None);
+        check_true "no field" (Util.Json.member "field" j2 = None);
+        check_true "internal is retryable"
+          (jfield "retryable" j2 = Util.Json.Bool true));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Failpoints                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let failpoint_tests =
+  let open Service.Failpoint in
+  [
+    case "malformed specs are rejected with the reason" (fun () ->
+        let bad s =
+          match configure s with
+          | Error _ -> ()
+          | Ok () ->
+              clear ();
+              Alcotest.failf "expected a parse error for %S" s
+        in
+        bad "nonsense";
+        bad "site=frob";
+        bad "site=delay:xx";
+        bad "site=prob:2.0:1";
+        bad "=raise");
+    case "raise fires, is counted, and clears" (fun () ->
+        Fun.protect ~finally:clear (fun () ->
+            (match configure "t.a=raise" with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail e);
+            check_true "active" (active ());
+            (match hit "t.a" with
+            | () -> Alcotest.fail "expected Injected"
+            | exception Injected site -> check_string "site" "t.a" site);
+            hit "t.other";
+            check_int "hits" 1 (hits "t.a");
+            check_int "fired" 1 (fired "t.a");
+            check_int "other never fired" 0 (fired "t.other"));
+        check_false "cleared" (active ());
+        (* a hit on a cleared table is a free no-op *)
+        hit "t.a");
+    case "io injects a Sys_error" (fun () ->
+        Fun.protect ~finally:clear (fun () ->
+            (match configure "t.io=io" with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail e);
+            match hit "t.io" with
+            | () -> Alcotest.fail "expected Sys_error"
+            | exception Sys_error _ -> ()));
+    case "@N fires on exactly the nth matching hit" (fun () ->
+        Fun.protect ~finally:clear (fun () ->
+            (match configure "t.n=raise@2" with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail e);
+            hit "t.n";
+            (match hit "t.n" with
+            | () -> Alcotest.fail "the second hit should fire"
+            | exception Injected _ -> ());
+            hit "t.n";
+            check_int "fired once" 1 (fired "t.n")));
+    case "ctx substring selects the target" (fun () ->
+        Fun.protect ~finally:clear (fun () ->
+            (match configure "plan.solve(G5)=raise" with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail e);
+            hit ~ctx:"G1" "plan.solve";
+            hit "plan.solve";
+            (match hit ~ctx:"G5.mm1" "plan.solve" with
+            | () -> Alcotest.fail "a matching ctx should fire"
+            | exception Injected _ -> ());
+            check_int "fired for the ctx match only" 1 (fired "plan.solve")));
+    case "prob draws are deterministic per seed" (fun () ->
+        let draw () =
+          Fun.protect ~finally:clear (fun () ->
+              (match configure "t.p=prob:0.5:42" with
+              | Ok () -> ()
+              | Error e -> Alcotest.fail e);
+              List.init 32 (fun _ ->
+                  match hit "t.p" with
+                  | () -> false
+                  | exception Injected _ -> true))
+        in
+        let a = draw () and b = draw () in
+        check_true "identical fire pattern" (a = b);
+        check_true "some fired" (List.mem true a);
+        check_true "some passed" (List.mem false a));
+    case "delay waits without failing" (fun () ->
+        Fun.protect ~finally:clear (fun () ->
+            (match configure "t.d=delay:5" with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail e);
+            let t0 = Unix.gettimeofday () in
+            hit "t.d";
+            check_true "slept" (Unix.gettimeofday () -. t0 >= 0.004)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Request validation limits                                           *)
+(* ------------------------------------------------------------------ *)
+
+let validation_tests =
+  let open Service.Request in
+  let rejects ~field:want req =
+    match resolve req with
+    | Ok _ -> Alcotest.failf "%s: expected a rejection" (describe req)
+    | Error e -> (
+        check_string "code" "invalid_request" (Service.Error.code e);
+        check_false "not retryable" (Service.Error.retryable e);
+        match e with
+        | Service.Error.Invalid_request { field; _ } ->
+            check_string "field" want field
+        | e -> Alcotest.failf "expected invalid_request, got %s" (err_str e))
+  in
+  [
+    case "batch must be positive" (fun () ->
+        rejects ~field:"batch" (make ~workload:"G1" ~arch:"cpu" ~batch:0 ());
+        rejects ~field:"batch"
+          (make ~workload:"G1" ~arch:"cpu" ~batch:(-2) ()));
+    case "batch is bounded" (fun () ->
+        rejects ~field:"batch"
+          (make ~workload:"G1" ~arch:"cpu" ~batch:(max_axis_extent + 1) ()));
+    case "deadline must be positive and finite" (fun () ->
+        rejects ~field:"deadline_ms"
+          (make ~workload:"G1" ~arch:"cpu" ~deadline_ms:0.0 ());
+        rejects ~field:"deadline_ms"
+          (make ~workload:"G1" ~arch:"cpu" ~deadline_ms:(-10.0) ());
+        rejects ~field:"deadline_ms"
+          (make ~workload:"G1" ~arch:"cpu" ~deadline_ms:Float.infinity ()));
+    case "unknown names carry their field" (fun () ->
+        rejects ~field:"workload" (make ~workload:"G99" ~arch:"cpu" ());
+        rejects ~field:"arch" (make ~workload:"G1" ~arch:"xpu" ()));
+    case "valid requests still resolve" (fun () ->
+        match
+          resolve
+            (make ~workload:"G1" ~arch:"cpu" ~batch:4 ~deadline_ms:50.0 ())
+        with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail (err_str e));
+    slow_case "the serve loop answers a zero batch instead of dying"
+      (fun () ->
+        let out =
+          serve
+            [
+              "{\"workload\":\"G1\",\"arch\":\"cpu\",\"batch\":0,\"id\":\"z\"}";
+              "{\"cmd\":\"quit\"}";
+            ]
+        in
+        match out with
+        | [ rejected; quit ] ->
+            check_true "flagged" (jfield "ok" rejected = Util.Json.Bool false);
+            check_true "typed"
+              (jfield "code" rejected = Util.Json.String "invalid_request");
+            check_true "field named"
+              (jfield "field" rejected = Util.Json.String "batch");
+            check_true "id echoed"
+              (jfield "id" rejected = Util.Json.String "z");
+            check_true "loop survived to quit"
+              (jfield "ok" quit = Util.Json.Bool true)
+        | _ -> Alcotest.failf "expected 2 responses, got %d" (List.length out));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let deadline_tests =
+  [
+    case "the checker raises once expired" (fun () ->
+        let d = Service.Deadline.after ~seconds:(-1.0) in
+        check_true "expired" (Service.Deadline.expired d);
+        check_true "remaining negative" (Service.Deadline.remaining d < 0.0);
+        (match Service.Deadline.checker (Some d) with
+        | None -> Alcotest.fail "expected a checker"
+        | Some check -> (
+            match check () with
+            | () -> Alcotest.fail "expected Expired"
+            | exception Service.Deadline.Expired -> ()));
+        check_true "no deadline, no checker"
+          (Service.Deadline.checker None = None);
+        check_false "no deadline never expires"
+          (Service.Deadline.expired_opt None));
+    slow_case "an expired budget degrades to the heuristic rung" (fun () ->
+        let metrics = Service.Metrics.create () in
+        let t0 = Unix.gettimeofday () in
+        let r =
+          match
+            Service.Batch.compile ~metrics ~machine:cpu
+              ~deadline:(Service.Deadline.after ~seconds:(-1.0))
+              (small_gemm_chain ())
+          with
+          | Ok r -> r
+          | Error e -> Alcotest.fail (err_str e)
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        check_true "heuristic rung"
+          (r.Service.Batch.rung = Service.Plan_cache.Heuristic);
+        check_true "degradation explained" (r.Service.Batch.degraded <> None);
+        check_int "deadline hit counted" 1
+          metrics.Service.Metrics.deadline_exceeded;
+        check_int "heuristic counted" 1 metrics.Service.Metrics.heuristic;
+        check_int "degraded counted" 1 metrics.Service.Metrics.degraded;
+        check_int "no planner solves" 0 metrics.Service.Metrics.planner_solves;
+        check_true "answered within budget plus slack" (wall < 5.0));
+    case "an infeasible heuristic under deadline is the deadline error"
+      (fun () ->
+        let metrics = Service.Metrics.create () in
+        match
+          Service.Batch.compile ~metrics ~machine:(tiny_machine 8)
+            ~deadline:(Service.Deadline.after ~seconds:(-1.0))
+            (small_gemm_chain ())
+        with
+        | Ok _ -> Alcotest.fail "8 bytes should not fit even heuristically"
+        | Error e ->
+            check_string "code" "deadline_exceeded" (Service.Error.code e);
+            check_true "retryable" (Service.Error.retryable e);
+            check_int "counted once" 1
+              metrics.Service.Metrics.deadline_exceeded);
+    slow_case "a wire deadline_ms reaches the batch path" (fun () ->
+        let req =
+          Service.Request.make ~workload:"G1" ~arch:"cpu"
+            ~deadline_ms:0.000001 ()
+        in
+        match Service.Batch.run [ req ] with
+        | [ (_, Ok r) ] ->
+            check_true "degraded below fused"
+              (r.Service.Batch.rung <> Service.Plan_cache.Fused)
+        | [ (_, Error e) ] -> Alcotest.fail (err_str e)
+        | _ -> Alcotest.fail "expected exactly one response");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery: corrupt cache files and bounded persistence retries  *)
+(* ------------------------------------------------------------------ *)
+
+let recovery_tests =
+  let open Service.Plan_cache in
+  let fp_m m = fp (gemm ~m ()) in
+  [
+    case "a truncated cache file is discarded and counted" (fun () ->
+        let dir = fresh_dir () in
+        let cache = create () in
+        add cache (fp_m 10) dummy_entry;
+        add cache (fp_m 11) dummy_entry;
+        save cache ~dir;
+        let file = cache_file ~dir in
+        let ic = open_in_bin file in
+        let len = in_channel_length ic in
+        let data = really_input_string ic (len - (len / 3)) in
+        close_in ic;
+        let oc = open_out_bin file in
+        output_string oc data;
+        close_out oc;
+        let metrics = Service.Metrics.create () in
+        let cache2 = create ~metrics () in
+        (match load cache2 ~dir with
+        | Discarded _ -> ()
+        | Loaded n -> Alcotest.failf "loaded %d entries from a truncated file" n
+        | Absent -> Alcotest.fail "the file exists");
+        check_int "corruption counted" 1
+          metrics.Service.Metrics.cache_corrupt;
+        check_int "cold" 0 (length cache2);
+        rm_rf dir);
+    case "a bit-flipped payload is discarded, not unmarshalled" (fun () ->
+        let dir = fresh_dir () in
+        let cache = create () in
+        add cache (fp_m 10) dummy_entry;
+        save cache ~dir;
+        let file = cache_file ~dir in
+        let ic = open_in_bin file in
+        let data = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        (* Flip a byte of the Marshal header, the bytes right after the
+           text line — guaranteed to be detected, unlike a flip deep in
+           the payload. *)
+        let body_start = String.index data '\n' + 1 in
+        let b = Bytes.of_string data in
+        Bytes.set b body_start
+          (Char.chr (Char.code (Bytes.get b body_start) lxor 0xff));
+        let oc = open_out_bin file in
+        output_bytes oc b;
+        close_out oc;
+        let metrics = Service.Metrics.create () in
+        let cache2 = create ~metrics () in
+        (match load cache2 ~dir with
+        | Discarded _ -> ()
+        | Loaded _ | Absent -> Alcotest.fail "expected Discarded");
+        check_int "corruption counted" 1
+          metrics.Service.Metrics.cache_corrupt;
+        rm_rf dir);
+    case "save retries through a transient I/O fault" (fun () ->
+        with_failpoints "cache.save=io@1" (fun () ->
+            let dir = fresh_dir () in
+            let metrics = Service.Metrics.create () in
+            let cache = create ~metrics () in
+            add cache (fp_m 10) dummy_entry;
+            (match save_with_retry ~backoff_s:0.001 cache ~dir with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail e);
+            check_int "one retry" 1 metrics.Service.Metrics.cache_io_retries;
+            check_false "dirty cleared" (dirty cache);
+            let cache2 = create () in
+            check_int "second attempt persisted" 1
+              (loaded_count (load cache2 ~dir));
+            rm_rf dir));
+    case "a persistent I/O fault is a bounded error" (fun () ->
+        with_failpoints "cache.save=io" (fun () ->
+            let dir = fresh_dir () in
+            let metrics = Service.Metrics.create () in
+            let cache = create ~metrics () in
+            add cache (fp_m 10) dummy_entry;
+            (match save_with_retry ~attempts:3 ~backoff_s:0.001 cache ~dir with
+            | Error _ -> ()
+            | Ok () -> Alcotest.fail "every attempt should fail");
+            check_int "two retries before giving up" 2
+              metrics.Service.Metrics.cache_io_retries;
+            check_true "still dirty" (dirty cache);
+            rm_rf dir));
+    case "an injected load fault is a cold start, not a crash" (fun () ->
+        let dir = fresh_dir () in
+        let cache = create () in
+        add cache (fp_m 10) dummy_entry;
+        save cache ~dir;
+        with_failpoints "cache.load=io" (fun () ->
+            let metrics = Service.Metrics.create () in
+            let cache2 = create ~metrics () in
+            match load cache2 ~dir with
+            | Discarded _ ->
+                check_int "counted" 1 metrics.Service.Metrics.cache_corrupt
+            | Loaded _ | Absent -> Alcotest.fail "expected Discarded");
+        rm_rf dir);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection in batches                                          *)
+(* ------------------------------------------------------------------ *)
+
+let injection_workloads = [ "G1"; "G2"; "G4"; "G5"; "G6" ]
+
+let injection_requests () =
+  List.map
+    (fun w -> Service.Request.make ~workload:w ~arch:"cpu" ())
+    injection_workloads
+
+let injection_tests =
+  [
+    slow_case "one poisoned request degrades alone in a parallel batch"
+      (fun () ->
+        (* Baseline first, without faults, so "unaffected" is checked
+           against what these requests actually produce. *)
+        let baseline = Service.Batch.run ~jobs:1 (injection_requests ()) in
+        with_failpoints "plan.solve(G5)=raise" (fun () ->
+            let metrics = Service.Metrics.create () in
+            let results =
+              Service.Batch.run ~jobs:4 ~metrics (injection_requests ())
+            in
+            check_int "all answered" 5 (List.length results);
+            List.iter2
+              (fun ((req : Service.Request.t), result) (_, base) ->
+                match (result, base) with
+                | Error e, _ ->
+                    Alcotest.failf "%s: %s"
+                      (Service.Request.describe req)
+                      (err_str e)
+                | Ok r, Ok b ->
+                    if req.Service.Request.workload = "G5" then begin
+                      check_true "G5 degraded below fused"
+                        (r.Service.Batch.rung <> Service.Plan_cache.Fused);
+                      check_true "G5 carries the injected reason"
+                        (r.Service.Batch.degraded <> None)
+                    end
+                    else
+                      check_true
+                        (req.Service.Request.workload ^ " matches baseline")
+                        (response_signature r = response_signature b)
+                | Ok _, Error e ->
+                    Alcotest.failf "baseline %s: %s"
+                      (Service.Request.describe req)
+                      (err_str e))
+              results baseline;
+            check_int "no failures" 0 metrics.Service.Metrics.failed;
+            check_true "the degradation was counted"
+              (metrics.Service.Metrics.degraded >= 1)));
+    slow_case "a fully poisoned request is a typed error, alone" (fun () ->
+        with_failpoints "plan.solve(G5)=raise;plan.heuristic(G5)=raise"
+          (fun () ->
+            let metrics = Service.Metrics.create () in
+            let results =
+              Service.Batch.run ~jobs:4 ~metrics (injection_requests ())
+            in
+            List.iter
+              (fun ((req : Service.Request.t), result) ->
+                match (req.Service.Request.workload, result) with
+                | "G5", Error e ->
+                    check_string "typed" "internal" (Service.Error.code e);
+                    check_true "retryable" (Service.Error.retryable e)
+                | "G5", Ok _ ->
+                    Alcotest.fail "G5 should fail on every rung"
+                | w, Error e -> Alcotest.failf "%s: %s" w (err_str e)
+                | _, Ok _ -> ())
+              results;
+            check_int "exactly one failure" 1 metrics.Service.Metrics.failed;
+            check_int "counted as internal" 1
+              metrics.Service.Metrics.internal_errors));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Serve-loop resilience marathon                                      *)
+(* ------------------------------------------------------------------ *)
+
+let marathon_tests =
+  [
+    slow_case "a 1k-line hostile session answers every line and survives"
+      (fun () ->
+        with_failpoints "serve.handle=raise@17" (fun () ->
+            let line i =
+              match i mod 5 with
+              | 0 -> "{\"workload\":\"G1\",\"arch\":\"cpu\"}"
+              | 1 -> Printf.sprintf "not json %d" i
+              | 2 -> "{\"cmd\":\"bogus\"}"
+              | 3 -> "{\"workload\":\"G99\",\"arch\":\"cpu\"}"
+              | _ -> "{\"workload\":\"G1\",\"arch\":\"cpu\",\"batch\":0}"
+            in
+            let lines =
+              List.init 1000 line
+              @ [ "{\"cmd\":\"stats\"}"; "{\"cmd\":\"quit\"}" ]
+            in
+            let out = serve lines in
+            check_int "one response per line" 1002 (List.length out);
+            (* every request line got a definite answer *)
+            List.iteri
+              (fun i j ->
+                if i < 1000 && Util.Json.member "ok" j = None then
+                  Alcotest.failf "line %d: response lacks \"ok\"" i)
+              out;
+            let stats = List.nth out 1000 in
+            check_true "the injected crash was answered as internal"
+              (jfield "internal_errors" stats = Util.Json.Int 1);
+            check_true "invalid lines were counted"
+              (match jfield "invalid_requests" stats with
+              | Util.Json.Int n -> n >= 500
+              | _ -> false);
+            check_true "valid lines kept compiling"
+              (match jfield "cache_hits" stats with
+              | Util.Json.Int n -> n >= 190
+              | _ -> false);
+            check_true "still alive at quit"
+              (jfield "ok" (List.nth out 1001) = Util.Json.Bool true)));
+  ]
+
 let suites =
   [
     ("service.json", json_tests);
@@ -676,4 +1219,11 @@ let suites =
     ("service.degradation", degradation_tests);
     ("service.serve", serve_tests);
     ("service.metrics", metrics_tests);
+    ("service.errors", error_tests);
+    ("service.failpoint", failpoint_tests);
+    ("service.validation", validation_tests);
+    ("service.deadline", deadline_tests);
+    ("service.recovery", recovery_tests);
+    ("service.injection", injection_tests);
+    ("service.marathon", marathon_tests);
   ]
