@@ -3,9 +3,11 @@
    chimera optimize --workload G2 --arch cpu [--softmax] [--source]
    chimera run      --workload C3 --arch gpu [--relu]
    chimera compare  --workload G2 --arch cpu
+   chimera lint     [--workload W|all] [--arch A|all] [--strict] [--json]
    chimera batch    --requests FILE|all [--jobs N] [--cache-dir DIR]
-                    [--deadline-ms MS] [--failpoints SPEC]
+                    [--deadline-ms MS] [--failpoints SPEC] [--verify MODE]
    chimera serve    [--cache-dir DIR] [--deadline-ms MS] [--failpoints SPEC]
+                    [--verify MODE]
    chimera list *)
 
 open Cmdliner
@@ -244,6 +246,101 @@ let graph_cmd arch =
         machine.Arch.Machine.name;
       Ok ()
 
+(* ---------------- static-analysis lint ---------------- *)
+
+let lint_targets workload =
+  if workload = "all" then
+    Ok
+      (List.map
+         (fun (c : Workloads.Gemm_configs.t) ->
+           (c.name, Workloads.Gemm_configs.chain ~softmax:false c))
+         Workloads.Gemm_configs.all
+      @ List.map
+          (fun (c : Workloads.Conv_configs.t) ->
+            (c.name, Workloads.Conv_configs.chain ~relu:false c))
+          Workloads.Conv_configs.all)
+  else
+    Result.map
+      (fun chain -> [ (workload, chain) ])
+      (lookup_chain ~workload ~softmax:false ~relu:false ~batch:None)
+
+let lint_machines arch =
+  if arch = "all" then Ok Arch.Presets.all
+  else Result.map (fun m -> [ (arch, m) ]) (lookup_machine arch)
+
+let lint_cmd workload arch strict json_out =
+  match
+    Result.bind (lint_machines arch) (fun machines ->
+        Result.map (fun ts -> (machines, ts)) (lint_targets workload))
+  with
+  | Error e -> Error e
+  | Ok (machines, targets) ->
+      let error_count = ref 0 and warning_count = ref 0 in
+      let emit_json name aname fields =
+        print_endline
+          (Util.Json.to_string
+             (Util.Json.Obj
+                (("workload", Util.Json.String name)
+                 :: ("arch", Util.Json.String aname)
+                 :: fields)))
+      in
+      List.iter
+        (fun (aname, machine) ->
+          List.iter
+            (fun (name, chain) ->
+              match Chimera.Compiler.optimize ~machine chain with
+              | exception e ->
+                  (* A workload the compiler cannot plan at all is a lint
+                     failure too: the verifier never got to look at it. *)
+                  incr error_count;
+                  if json_out then
+                    emit_json name aname
+                      [
+                        ("ok", Util.Json.Bool false);
+                        ( "error",
+                          Util.Json.String (Printexc.to_string e) );
+                      ]
+                  else
+                    Printf.printf "%-4s x %-4s FAILED to compile: %s\n" name
+                      aname (Printexc.to_string e)
+              | compiled ->
+                  let ds = Verify.Driver.check_compiled compiled in
+                  let errs = List.length (Verify.Diagnostic.errors ds) in
+                  error_count := !error_count + errs;
+                  warning_count :=
+                    !warning_count + (List.length ds - errs);
+                  if json_out then
+                    emit_json name aname
+                      [
+                        ("ok", Util.Json.Bool (Verify.Diagnostic.ok ds));
+                        ( "diagnostics",
+                          Util.Json.List
+                            (List.map Verify.Diagnostic.to_json ds) );
+                      ]
+                  else if ds = [] then
+                    Printf.printf "%-4s x %-4s clean\n" name aname
+                  else begin
+                    Printf.printf "%-4s x %-4s %s\n" name aname
+                      (Verify.Diagnostic.summary ds);
+                    List.iter
+                      (fun d ->
+                        Printf.printf "  %s\n" (Verify.Diagnostic.to_string d))
+                      ds
+                  end)
+            targets)
+        machines;
+      if not json_out then
+        Printf.printf "linted %d workload(s) x %d machine(s): %d error(s), \
+                       %d warning(s)\n"
+          (List.length targets) (List.length machines) !error_count
+          !warning_count;
+      if strict && !error_count > 0 then
+        Error
+          (`Msg
+             (Printf.sprintf "lint found %d error-severity diagnostic(s)"
+                !error_count))
+      else Ok ()
+
 (* ---------------- compilation service ---------------- *)
 
 let load_requests path =
@@ -280,7 +377,7 @@ let configure_failpoints = function
       | Ok () -> Ok ()
       | Error e -> Error (`Msg ("bad --failpoints spec: " ^ e)))
 
-let batch_cmd requests_path jobs cache_dir deadline_ms failpoints =
+let batch_cmd requests_path jobs cache_dir deadline_ms failpoints verify =
   match
     Result.bind (configure_failpoints failpoints) (fun () ->
         load_requests requests_path)
@@ -301,7 +398,7 @@ let batch_cmd requests_path jobs cache_dir deadline_ms failpoints =
         cache_dir;
       let t0 = Unix.gettimeofday () in
       let results =
-        Service.Batch.run ~jobs ~cache ~metrics ?deadline_ms requests
+        Service.Batch.run ~jobs ~cache ~metrics ?deadline_ms ~verify requests
       in
       let wall = Unix.gettimeofday () -. t0 in
       Option.iter
@@ -364,12 +461,12 @@ let batch_cmd requests_path jobs cache_dir deadline_ms failpoints =
         Error
           (`Msg (Printf.sprintf "%d request(s) failed" (List.length failures)))
 
-let serve_cmd cache_dir deadline_ms failpoints =
+let serve_cmd cache_dir deadline_ms failpoints verify =
   match configure_failpoints failpoints with
   | Error e -> Error e
   | Ok () ->
-      Service.Serve.run ?cache_dir ?default_deadline_ms:deadline_ms stdin
-        stdout;
+      Service.Serve.run ?cache_dir ?default_deadline_ms:deadline_ms ~verify
+        stdin stdout;
       Ok ()
 
 let list_cmd () =
@@ -472,6 +569,25 @@ let failpoints_arg =
   in
   Arg.(value & opt (some string) None & info [ "failpoints" ] ~doc)
 
+let verify_arg =
+  let doc =
+    "Run the static-analysis verifier on every successful response: \
+     $(b,off) (default), $(b,warn) attaches the diagnostics, $(b,strict) \
+     additionally rejects responses whose plans carry error-severity \
+     diagnostics (guards against corrupt or stale cache entries)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("off", Service.Batch.Verify_off);
+             ("warn", Service.Batch.Verify_warn);
+             ("strict", Service.Batch.Verify_strict);
+           ])
+        Service.Batch.Verify_off
+    & info [ "verify" ] ~doc)
+
 let batch_t =
   Cmd.v
     (Cmd.info "batch"
@@ -481,7 +597,7 @@ let batch_t =
     Term.(
       term_result
         (const batch_cmd $ requests_arg $ jobs_arg $ cache_dir_arg
-       $ deadline_arg $ failpoints_arg))
+       $ deadline_arg $ failpoints_arg $ verify_arg))
 
 let serve_t =
   Cmd.v
@@ -491,7 +607,41 @@ let serve_t =
           by the plan cache")
     Term.(
       term_result
-        (const serve_cmd $ cache_dir_arg $ deadline_arg $ failpoints_arg))
+        (const serve_cmd $ cache_dir_arg $ deadline_arg $ failpoints_arg
+       $ verify_arg))
+
+let lint_workload_arg =
+  let doc =
+    "Workload to lint: G1..G12, C1..C8, or $(b,all) (the default) for every \
+     shipped workload."
+  in
+  Arg.(value & opt string "all" & info [ "w"; "workload" ] ~doc)
+
+let lint_arch_arg =
+  let doc =
+    "Machine preset to lint against: cpu, gpu, npu, or $(b,all) (the \
+     default) for all three."
+  in
+  Arg.(value & opt string "all" & info [ "a"; "arch" ] ~doc)
+
+let strict_arg =
+  let doc = "Exit non-zero when any error-severity diagnostic is found." in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let json_arg =
+  let doc = "Emit one JSON object per workload/machine pair (JSONL)." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let lint_t =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the IR / plan / differential-model / codegen static-analysis \
+          passes over compiled workloads")
+    Term.(
+      term_result
+        (const lint_cmd $ lint_workload_arg $ lint_arch_arg $ strict_arg
+       $ json_arg))
 
 let list_t =
   Cmd.v
@@ -507,4 +657,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ optimize_t; run_t; compare_t; advise_t; breakdown_t; graph_t;
-         batch_t; serve_t; list_t ]))
+         lint_t; batch_t; serve_t; list_t ]))

@@ -28,6 +28,22 @@ let make chain assoc =
   in
   { axes; sizes }
 
+let unchecked chain assoc =
+  let axes = chain.Ir.Chain.axes in
+  List.iter
+    (fun (name, _) ->
+      if Ir.Axis.find_opt axes name = None then
+        invalid_arg (Printf.sprintf "Tiling.unchecked: unknown axis %s" name))
+    assoc;
+  {
+    axes;
+    sizes =
+      List.map
+        (fun (a : Ir.Axis.t) ->
+          (a.name, Option.value ~default:1 (List.assoc_opt a.name assoc)))
+        axes;
+  }
+
 let ones chain =
   make chain []
 

@@ -9,6 +9,13 @@ val make : Ir.Chain.t -> (string * int) list -> t
     default to tile size 1.  Every size is clamped into [1, extent].
     Raises [Invalid_argument] for names that are not chain axes. *)
 
+val unchecked : Ir.Chain.t -> (string * int) list -> t
+(** Like {!make} but without the clamp: sizes outside [1, extent] are
+    stored verbatim (unknown axis names still raise).  This exists for
+    the verifier's test fixtures, which must forge the out-of-range
+    tilings a marshalled plan-cache entry could resurrect — never use
+    it to build real plans. *)
+
 val ones : Ir.Chain.t -> t
 (** Every axis tiled at 1. *)
 

@@ -10,6 +10,40 @@ let dialect_of (machine : Arch.Machine.t) =
       { comment = "//"; indent_unit = "  " }
   | Arch.Machine.Npu -> { comment = "#"; indent_unit = "  " }
 
+(* The structural view of the kernel text: everything the emitter is
+   about to print, as data.  Built first, then pretty-printed, so a
+   linter can check the very same loops/buffers/calls the text shows. *)
+
+type loop = {
+  axis : string;
+  var : string;
+  lo : string;  (** lower bound: a literal or an enclosing variable. *)
+  hi : string;  (** upper bound expression. *)
+  step : int;
+}
+
+type buffer = {
+  buf_name : string;
+  tensor : string;
+  elems : int;
+  intermediate : bool;
+}
+
+type call = {
+  call_stage : string;
+  out_tensor : string;
+  in_tensors : string list;  (** in operand order. *)
+  guard : string option;
+}
+
+type structure = {
+  loops : loop list;  (** emission order, outermost first. *)
+  buffers : buffer list;  (** declaration order. *)
+  calls : call list;  (** stage execution order. *)
+}
+
+let buffer_name tensor = lower tensor ^ "_tile"
+
 (* The loop nest: one level of loops per memory-level plan (outermost
    plan's order outside, sub-block orders within), matching the
    hierarchical execution the simulator replays.  Loop variables are
@@ -32,8 +66,6 @@ let loop_plan (kernel : Kernel.t) =
   let extent =
     Analytical.Tiling.extent_of (snd (List.hd levels))
   in
-  (* (axis, var_name, lo_expr, hi_expr, step) in emission order, plus a
-     map axis -> innermost var. *)
   let innermost : (string, string) Hashtbl.t = Hashtbl.create 8 in
   let enclosing : (string, int * string) Hashtbl.t = Hashtbl.create 8 in
   (* enclosing: axis -> (block span, variable of the enclosing loop) *)
@@ -57,7 +89,7 @@ let loop_plan (kernel : Kernel.t) =
                   ( v,
                     Printf.sprintf "min(%d, %s + %d)" (extent axis) v span )
             in
-            loops := (axis, var, lo, hi, tile) :: !loops;
+            loops := { axis; var; lo; hi; step = tile } :: !loops;
             Hashtbl.replace enclosing axis (tile, var);
             Hashtbl.replace innermost axis var
           end)
@@ -100,85 +132,107 @@ let stage_guard (kernel : Kernel.t) (stage : Ir.Chain.stage) =
   in
   match conds with [] -> None | cs -> Some (String.concat " && " cs)
 
-let buffer_declarations (kernel : Kernel.t) add =
+let structure (kernel : Kernel.t) =
   let chain = kernel.Kernel.chain in
+  let loops, _ = loop_plan kernel in
   let tile_of = Analytical.Tiling.tile_of kernel.Kernel.tiling in
   let seen = Hashtbl.create 8 in
+  let buffers = ref [] in
   List.iter
     (fun (stage : Ir.Chain.stage) ->
       List.iter
         (fun (r : Ir.Operator.tensor_ref) ->
-          if not (Hashtbl.mem seen r.tensor) then begin
-            Hashtbl.add seen r.tensor ();
-            let elems = Ir.Operator.tile_footprint_elems r ~tile_of in
-            let role =
-              if Ir.Chain.is_intermediate chain r.tensor then
-                "intermediate, resident on chip"
-              else "staging tile"
-            in
-            add
-              (spf "half %s_tile[%d];  %s %s" (lower r.tensor) elems
-                 (dialect_of kernel.Kernel.machine).comment role)
+          if not (Hashtbl.mem seen r.Ir.Operator.tensor) then begin
+            Hashtbl.add seen r.Ir.Operator.tensor ();
+            buffers :=
+              {
+                buf_name = buffer_name r.Ir.Operator.tensor;
+                tensor = r.Ir.Operator.tensor;
+                elems = Ir.Operator.tile_footprint_elems r ~tile_of;
+                intermediate = Ir.Chain.is_intermediate chain r.Ir.Operator.tensor;
+              }
+              :: !buffers
           end)
         (Ir.Operator.all_refs stage.Ir.Chain.op))
-    chain.Ir.Chain.stages
+    chain.Ir.Chain.stages;
+  let calls =
+    List.map
+      (fun (stage : Ir.Chain.stage) ->
+        let op = stage.Ir.Chain.op in
+        {
+          call_stage = op.Ir.Operator.name;
+          out_tensor = op.Ir.Operator.output.Ir.Operator.tensor;
+          in_tensors =
+            List.map
+              (fun (r : Ir.Operator.tensor_ref) -> r.Ir.Operator.tensor)
+              op.Ir.Operator.inputs;
+          guard = stage_guard kernel stage;
+        })
+      chain.Ir.Chain.stages
+  in
+  { loops; buffers = List.rev !buffers; calls }
 
-let emit_loops (kernel : Kernel.t) buf ~body =
+let buffer_declarations (kernel : Kernel.t) s add =
   let d = dialect_of kernel.Kernel.machine in
-  let loops, _ = loop_plan kernel in
+  List.iter
+    (fun b ->
+      let role =
+        if b.intermediate then "intermediate, resident on chip"
+        else "staging tile"
+      in
+      add (spf "half %s[%d];  %s %s" b.buf_name b.elems d.comment role))
+    s.buffers
+
+let emit_loops (kernel : Kernel.t) s buf ~body =
+  let d = dialect_of kernel.Kernel.machine in
   let depth = ref 0 in
-  let add s =
+  let add line =
     for _ = 1 to !depth do
       Buffer.add_string buf d.indent_unit
     done;
-    Buffer.add_string buf (s ^ "\n")
+    Buffer.add_string buf (line ^ "\n")
   in
   (match kernel.Kernel.machine.Arch.Machine.backend with
   | Arch.Machine.Cpu -> add "#pragma omp parallel for collapse(2)"
   | Arch.Machine.Gpu -> add (d.comment ^ " grid-mapped: blockIdx.x")
   | Arch.Machine.Npu -> add (d.comment ^ " block-dispatched across AI cores"));
   List.iter
-    (fun (_, var, lo, hi, step) ->
-      add (spf "for (int %s = %s; %s < %s; %s += %d) {" var lo var hi var step);
+    (fun l ->
+      add
+        (spf "for (int %s = %s; %s < %s; %s += %d) {" l.var l.lo l.var l.hi
+           l.var l.step);
       incr depth)
-    loops;
+    s.loops;
   body add;
   List.iter
     (fun _ ->
       decr depth;
       add "}")
-    (List.rev loops)
+    (List.rev s.loops)
 
-let stage_body (kernel : Kernel.t) (stage : Ir.Chain.stage) add =
+let stage_body (kernel : Kernel.t) (stage : Ir.Chain.stage) (c : call) add =
   let d = dialect_of kernel.Kernel.machine in
   let op = stage.Ir.Chain.op in
-  let out = op.Ir.Operator.output in
   let m, n, k = Kernel.matmul_block_dims kernel op in
-  let fetches =
-    List.map
-      (fun (r : Ir.Operator.tensor_ref) -> r.Ir.Operator.tensor)
-      op.Ir.Operator.inputs
-  in
-  (match stage_guard kernel stage with
+  (match c.guard with
   | Some cond -> add (spf "if (%s) {" cond)
   | None -> add "{");
   add
-    (spf "%s %s: stage tiles of %s into on-chip memory" d.comment
-       op.Ir.Operator.name
-       (String.concat ", " fetches));
+    (spf "%s %s: stage tiles of %s into on-chip memory" d.comment c.call_stage
+       (String.concat ", " c.in_tensors));
   add
     (spf "%s replaceable micro kernel \"matmul\" -> %s" d.comment
        kernel.Kernel.micro.Microkernel.Kernel_sig.id);
   add
-    (spf "micro_matmul_%dx%dx%d(%s_tile, %s);" m n k
-       (lower out.Ir.Operator.tensor)
-       (String.concat ", " (List.map (fun t -> lower t ^ "_tile") fetches)));
+    (spf "micro_matmul_%dx%dx%d(%s, %s);" m n k
+       (buffer_name c.out_tensor)
+       (String.concat ", " (List.map buffer_name c.in_tensors)));
   (match stage.Ir.Chain.epilogue with
   | Ir.Chain.Identity -> ()
   | Ir.Chain.Relu ->
       add
-        (spf "if (last_reduction_block) relu_inplace(%s_tile);"
-           (lower out.Ir.Operator.tensor))
+        (spf "if (last_reduction_block) relu_inplace(%s);"
+           (buffer_name c.out_tensor))
   | Ir.Chain.Softmax { axis } ->
       add
         (spf "%s softmax fused: exp on the completed tile; the row-sum is"
@@ -188,20 +242,21 @@ let stage_body (kernel : Kernel.t) (stage : Ir.Chain.stage) add =
               it"
            d.comment);
       add "if (last_reduction_block) {";
-      add (spf "  exp_inplace(%s_tile);" (lower out.Ir.Operator.tensor));
+      add (spf "  exp_inplace(%s);" (buffer_name c.out_tensor));
       add
-        (spf "  rowsum_accumulate(softmax_sum, %s_tile /* along %s */);"
-           (lower out.Ir.Operator.tensor)
+        (spf "  rowsum_accumulate(softmax_sum, %s /* along %s */);"
+           (buffer_name c.out_tensor)
            axis);
       add "}");
   add "}"
 
 let emit_loop_nest kernel =
+  let s = structure kernel in
   let buf = Buffer.create 4096 in
-  emit_loops kernel buf ~body:(fun add ->
-      List.iter
-        (fun stage -> stage_body kernel stage add)
-        kernel.Kernel.chain.Ir.Chain.stages);
+  emit_loops kernel s buf ~body:(fun add ->
+      List.iter2
+        (fun stage c -> stage_body kernel stage c add)
+        kernel.Kernel.chain.Ir.Chain.stages s.calls);
   Buffer.contents buf
 
 let has_softmax (kernel : Kernel.t) =
@@ -212,8 +267,9 @@ let has_softmax (kernel : Kernel.t) =
 
 let emit kernel =
   let d = dialect_of kernel.Kernel.machine in
+  let s = structure kernel in
   let buf = Buffer.create 8192 in
-  let add s = Buffer.add_string buf (s ^ "\n") in
+  let add line = Buffer.add_string buf (line ^ "\n") in
   let machine = kernel.Kernel.machine in
   add (spf "%s === Chimera generated kernel: %s ===" d.comment kernel.Kernel.name);
   add (spf "%s target: %s" d.comment machine.Arch.Machine.name);
@@ -237,7 +293,7 @@ let emit kernel =
            /. 1e6)))
     kernel.Kernel.level_plans;
   add "";
-  buffer_declarations kernel add;
+  buffer_declarations kernel s add;
   if has_softmax kernel then
     add "float softmax_sum[/* rows of the softmax operand */];";
   add "";

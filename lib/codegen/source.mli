@@ -7,7 +7,48 @@
     last-reduction guards, epilogue handling (including the softmax
     sum-merge and div-swap rewrite), and the substituted low-level micro
     kernel body.  The dialect follows the target backend: C with OpenMP
-    for CPU, CUDA for GPU, a pragma-annotated Python DSL for NPU. *)
+    for CPU, CUDA for GPU, a pragma-annotated Python DSL for NPU.
+
+    Emission is structured in two steps: {!structure} builds a typed
+    view of everything that will be printed — the loop nest, the buffer
+    declarations and the per-stage calls — and {!emit} pretty-prints it.
+    Static checks (the [Verify.Codegen_check] lint) run on the
+    structure, so they see exactly what the text shows. *)
+
+type loop = {
+  axis : string;  (** the chain axis this loop blocks. *)
+  var : string;  (** emitted variable name, e.g. ["m0"]. *)
+  lo : string;  (** lower bound: a literal or an enclosing variable. *)
+  hi : string;  (** upper bound expression. *)
+  step : int;  (** the level's tile size; the loop increment. *)
+}
+
+type buffer = {
+  buf_name : string;  (** emitted identifier, e.g. ["c_tile"]. *)
+  tensor : string;  (** the IR tensor it stages. *)
+  elems : int;  (** declared element count (primary-level footprint). *)
+  intermediate : bool;  (** resident on chip, never spilled. *)
+}
+
+type call = {
+  call_stage : string;  (** operator name. *)
+  out_tensor : string;
+  in_tensors : string list;  (** in operand order. *)
+  guard : string option;
+      (** first-visit / last-reduction condition, when one is needed. *)
+}
+
+type structure = {
+  loops : loop list;  (** emission order, outermost first. *)
+  buffers : buffer list;  (** declaration order. *)
+  calls : call list;  (** stage execution order. *)
+}
+
+val buffer_name : string -> string
+(** The identifier a tensor's staging buffer is declared under. *)
+
+val structure : Kernel.t -> structure
+(** The typed view of the kernel the emitter prints. *)
 
 val emit : Kernel.t -> string
 (** Full kernel source, ending with the micro kernel body. *)

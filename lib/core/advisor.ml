@@ -72,10 +72,28 @@ let heuristic_plan ~machine (sub_chain : Ir.Chain.t) =
           (Analytical.Tiling.ones sub_chain)
           axes
       in
-      let free = List.filter (fun a -> not (List.mem a full_tile)) axes in
+      (* Axes of extent 1 carry no tiling choice: keeping them out of
+         the search means [max_extent] — and with it the number of
+         Movement analyses — is driven only by axes that can grow, and
+         an all-unit chain skips the search entirely. *)
+      let free =
+        List.filter
+          (fun a -> (not (List.mem a full_tile)) && extent a > 1)
+          axes
+      in
       let at s =
+        (* Snap the uniform cap to a balanced split of each axis:
+           tile = ceil(e / ceil(e/s)) keeps the block count of the
+           naive [min s e] cap but evens the blocks out, so a prime
+           extent like 127 capped at 100 becomes 64/63 blocks rather
+           than 100 + 27.  The snap never exceeds the cap and is
+           monotone in [s], so the binary search below stays valid. *)
         List.fold_left
-          (fun t a -> Analytical.Tiling.set t a (min s (extent a)))
+          (fun t a ->
+            let e = extent a in
+            let cap = min s e in
+            let trips = (e + cap - 1) / cap in
+            Analytical.Tiling.set t a ((e + trips - 1) / trips))
           base free
       in
       let analyze t = Analytical.Movement.analyze sub_chain ~perm ~tiling:t in
@@ -99,7 +117,9 @@ let heuristic_plan ~machine (sub_chain : Ir.Chain.t) =
             if feasible (at mid) then bsearch mid hi else bsearch lo (mid - 1)
           end
         in
-        let tiling = at (bsearch 1 max_extent) in
+        let tiling =
+          if free = [] then base else at (bsearch 1 max_extent)
+        in
         Ok
           {
             Analytical.Planner.perm;

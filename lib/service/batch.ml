@@ -1,5 +1,7 @@
 type source = Cache | Compiled
 
+type verify_mode = Verify_off | Verify_warn | Verify_strict
+
 type response = {
   fingerprint : Fingerprint.t;
   source : source;
@@ -7,6 +9,7 @@ type response = {
   degraded : string option;
   compiled : Chimera.Compiler.compiled;
   seconds : float;
+  verification : Verify.Diagnostic.t list;
 }
 
 let now () = Unix.gettimeofday ()
@@ -174,9 +177,10 @@ let note_response metrics (r : (response, Error.t) result) =
               m.invalid_requests <- m.invalid_requests + 1
           | Error.Internal _ -> m.internal_errors <- m.internal_errors + 1
           | Error.No_feasible_tiling _ | Error.Deadline_exceeded _
-          | Error.Cache_corrupt _ ->
+          | Error.Cache_corrupt _ | Error.Verify_failed _ ->
               (* deadline hits are counted once per planned request by
-                 [note_deadline_hit], success or failure alike. *)
+                 [note_deadline_hit]; verification failures by
+                 [apply_verify] — success or failure alike. *)
               ()))
 
 let note_deadline_hit metrics hit =
@@ -191,6 +195,47 @@ let note_solves metrics solves =
 let note_seconds metrics dt =
   bump metrics (fun (m : Metrics.t) ->
       m.compile_seconds <- m.compile_seconds +. dt)
+
+(* ------------------------------------------------------------------ *)
+(* Verification                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Run the static-analysis passes over a successful response — fresh
+   plans and cache hits alike, because marshalled cache entries bypass
+   every constructor check, so a corrupt or stale cache file is exactly
+   what this catches.  Strict mode rejects responses carrying error
+   diagnostics; warn mode annotates them.  The verifier itself is
+   contained like any other per-request step: an exception inside it
+   never poisons the batch. *)
+let apply_verify ~verify metrics (r : (response, Error.t) result) =
+  match (verify, r) with
+  | Verify_off, _ | _, Error _ -> r
+  | (Verify_warn | Verify_strict), Ok resp -> (
+      bump metrics (fun (m : Metrics.t) ->
+          m.verify_runs <- m.verify_runs + 1);
+      match Verify.Driver.check_compiled resp.compiled with
+      | exception e -> (
+          match verify with
+          | Verify_strict ->
+              Error
+                (Error.Verify_failed
+                   ("verifier raised: " ^ Printexc.to_string e))
+          | _ -> r)
+      | ds ->
+          if Verify.Diagnostic.ok ds then begin
+            if ds <> [] then
+              bump metrics (fun (m : Metrics.t) ->
+                  m.verify_warnings <- m.verify_warnings + 1);
+            Ok { resp with verification = ds }
+          end
+          else begin
+            bump metrics (fun (m : Metrics.t) ->
+                m.verify_failures <- m.verify_failures + 1);
+            match verify with
+            | Verify_strict ->
+                Error (Error.Verify_failed (Verify.Diagnostic.summary ds))
+            | _ -> Ok { resp with verification = ds }
+          end)
 
 (* The batch must survive anything planning throws, including faults
    injected below [plan_subs]'s own containment (e.g. in
@@ -207,7 +252,7 @@ let guarded_plan_entry ?deadline ~config ~machine chain =
 (* ------------------------------------------------------------------ *)
 
 let compile ?cache ?metrics ?(config = Chimera.Config.default) ?deadline
-    ~machine chain =
+    ?(verify = Verify_off) ~machine chain =
   bump metrics (fun (m : Metrics.t) -> m.requests <- m.requests + 1);
   let cache =
     match cache with Some c -> c | None -> Plan_cache.create ?metrics ()
@@ -223,6 +268,7 @@ let compile ?cache ?metrics ?(config = Chimera.Config.default) ?deadline
           degraded = entry.Plan_cache.degrade_reason;
           compiled;
           seconds;
+          verification = [];
         })
       (materialize ~config ~machine chain entry)
   in
@@ -246,6 +292,7 @@ let compile ?cache ?metrics ?(config = Chimera.Config.default) ?deadline
             Plan_cache.add cache fp entry;
             build Compiled dt entry)
   in
+  let result = apply_verify ~verify metrics result in
   note_response metrics result;
   result
 
@@ -265,7 +312,7 @@ type pending = {
 type slot = Unresolved of Error.t | Pending of pending
 
 let run ?(jobs = 1) ?cache ?metrics ?(config = Chimera.Config.default)
-    ?deadline_ms requests =
+    ?deadline_ms ?(verify = Verify_off) requests =
   let cache =
     match cache with Some c -> c | None -> Plan_cache.create ?metrics ()
   in
@@ -385,6 +432,7 @@ let run ?(jobs = 1) ?cache ?metrics ?(config = Chimera.Config.default)
                     degraded = entry.Plan_cache.degrade_reason;
                     compiled;
                     seconds;
+                    verification = [];
                   })
                 (materialize ~config:p_config ~machine:p_machine p_chain
                    entry)
@@ -398,6 +446,7 @@ let run ?(jobs = 1) ?cache ?metrics ?(config = Chimera.Config.default)
                 | None ->
                     Error (Error.Internal "request was never planned")))
       in
+      let result = apply_verify ~verify metrics result in
       note_response metrics result;
       (req, result))
     slots

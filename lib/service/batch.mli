@@ -31,6 +31,17 @@ type source =
   | Cache  (** plans came from the plan cache; zero solves. *)
   | Compiled  (** plans were computed by this batch. *)
 
+type verify_mode =
+  | Verify_off  (** no verification (the default). *)
+  | Verify_warn
+      (** run the {!Verify} passes on every successful response — fresh
+          plans and cache hits alike — and attach the diagnostics. *)
+  | Verify_strict
+      (** like [Verify_warn], but a response carrying error-severity
+          diagnostics is rejected as {!Error.Verify_failed}.  This is
+          the guard against corrupt or stale cache entries: marshalled
+          plans bypass every constructor check. *)
+
 type response = {
   fingerprint : Fingerprint.t;
   source : source;
@@ -41,20 +52,26 @@ type response = {
           [None] when the entry sits at the requested rung. *)
   compiled : Chimera.Compiler.compiled;
   seconds : float;  (** planning wall-clock (0 for cache hits). *)
+  verification : Verify.Diagnostic.t list;
+      (** findings of the static-analysis passes; [[]] when verification
+          is off (or when strict verification rejected the response —
+          the summary then travels in the error). *)
 }
 
 val compile :
   ?cache:Plan_cache.t -> ?metrics:Metrics.t -> ?config:Chimera.Config.t ->
-  ?deadline:Deadline.t -> machine:Arch.Machine.t -> Ir.Chain.t ->
-  (response, Error.t) result
+  ?deadline:Deadline.t -> ?verify:verify_mode -> machine:Arch.Machine.t ->
+  Ir.Chain.t -> (response, Error.t) result
 (** Compile one chain through the cache: lookup by fingerprint, plan on
     miss (walking the ladder above, under [deadline] when given),
-    store, and rebuild kernels from the plans. *)
+    store, rebuild kernels from the plans, and — under [verify]
+    (default {!Verify_off}) — run the static-analysis passes over the
+    result. *)
 
 val run :
   ?jobs:int -> ?cache:Plan_cache.t -> ?metrics:Metrics.t ->
-  ?config:Chimera.Config.t -> ?deadline_ms:float -> Request.t list ->
-  (Request.t * (response, Error.t) result) list
+  ?config:Chimera.Config.t -> ?deadline_ms:float -> ?verify:verify_mode ->
+  Request.t list -> (Request.t * (response, Error.t) result) list
 (** Compile a request list, in input order.  Duplicate fingerprints are
     planned once.  [jobs] (default 1) caps the domains used for the
     cache-miss planning fan-out; hits never spawn a domain.

@@ -3,6 +3,7 @@ type t =
   | No_feasible_tiling of string
   | Deadline_exceeded of string
   | Cache_corrupt of string
+  | Verify_failed of string
   | Internal of string
 
 let code = function
@@ -10,13 +11,15 @@ let code = function
   | No_feasible_tiling _ -> "no_feasible_tiling"
   | Deadline_exceeded _ -> "deadline_exceeded"
   | Cache_corrupt _ -> "cache_corrupt"
+  | Verify_failed _ -> "verify_failed"
   | Internal _ -> "internal"
 
 (* A retryable error may succeed on resubmission (transient fault,
    tighter budget than needed, recoverable state); a non-retryable one
-   is deterministic in the request itself. *)
+   is deterministic in the request itself.  A verification failure is
+   deterministic: the same plan fails the same checks on every retry. *)
 let retryable = function
-  | Invalid_request _ | No_feasible_tiling _ -> false
+  | Invalid_request _ | No_feasible_tiling _ | Verify_failed _ -> false
   | Deadline_exceeded _ | Cache_corrupt _ | Internal _ -> true
 
 let message = function
@@ -26,6 +29,7 @@ let message = function
   | Deadline_exceeded what ->
       Printf.sprintf "deadline exceeded while planning %s" what
   | Cache_corrupt what -> Printf.sprintf "cache corrupt: %s" what
+  | Verify_failed what -> Printf.sprintf "verification failed: %s" what
   | Internal what -> what
 
 let to_string e = Printf.sprintf "%s: %s" (code e) (message e)

@@ -11,6 +11,7 @@
     no_feasible_tiling  no          no rung of the ladder found a plan
     deadline_exceeded   yes         the planning budget ran out
     cache_corrupt       yes         a persisted cache file was discarded
+    verify_failed       no          strict verification rejected the plan
     internal            yes         unexpected failure (bug or injected)
     v} *)
 
@@ -20,6 +21,9 @@ type t =
   | No_feasible_tiling of string
   | Deadline_exceeded of string
   | Cache_corrupt of string
+  | Verify_failed of string
+      (** the static-analysis passes found errors and the request ran
+          with [--verify strict]; carries the diagnostic summary. *)
   | Internal of string
 
 val code : t -> string

@@ -12,6 +12,9 @@ type t = {
   mutable internal_errors : int;
   mutable cache_corrupt : int;
   mutable cache_io_retries : int;
+  mutable verify_runs : int;
+  mutable verify_warnings : int;
+  mutable verify_failures : int;
   mutable compile_seconds : float;
 }
 
@@ -30,6 +33,9 @@ let create () =
     internal_errors = 0;
     cache_corrupt = 0;
     cache_io_retries = 0;
+    verify_runs = 0;
+    verify_warnings = 0;
+    verify_failures = 0;
     compile_seconds = 0.0;
   }
 
@@ -47,6 +53,9 @@ let reset t =
   t.internal_errors <- 0;
   t.cache_corrupt <- 0;
   t.cache_io_retries <- 0;
+  t.verify_runs <- 0;
+  t.verify_warnings <- 0;
+  t.verify_failures <- 0;
   t.compile_seconds <- 0.0
 
 let fields t =
@@ -64,6 +73,9 @@ let fields t =
     ("internal_errors", float_of_int t.internal_errors);
     ("cache_corrupt", float_of_int t.cache_corrupt);
     ("cache_io_retries", float_of_int t.cache_io_retries);
+    ("verify_runs", float_of_int t.verify_runs);
+    ("verify_warnings", float_of_int t.verify_warnings);
+    ("verify_failures", float_of_int t.verify_failures);
     ("compile_seconds", t.compile_seconds);
   ]
 

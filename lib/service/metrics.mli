@@ -35,6 +35,14 @@ type t = {
           or version-mismatched). *)
   mutable cache_io_retries : int;
       (** cache-persistence attempts retried after an I/O fault. *)
+  mutable verify_runs : int;
+      (** responses run through the static-analysis passes (verify mode
+          warn or strict; both fresh plans and cache hits). *)
+  mutable verify_warnings : int;
+      (** verified responses that produced diagnostics but no errors. *)
+  mutable verify_failures : int;
+      (** verified responses with at least one error-severity
+          diagnostic (rejected under strict, annotated under warn). *)
   mutable compile_seconds : float;
       (** wall-clock spent planning cache misses. *)
 }

@@ -37,10 +37,20 @@ let response_json ?id req (r : Batch.response) =
           Float
             (Chimera.Compiler.total_time_seconds r.Batch.compiled *. 1e6) );
         ("compile_ms", Float (r.Batch.seconds *. 1e3));
-      ])
+      ]
+    @
+    (* The verification field only appears when the passes ran, so
+       clients that never ask for verification see an unchanged schema. *)
+    match r.Batch.verification with
+    | [] -> []
+    | ds ->
+        [
+          ( "verification",
+            List (List.map Verify.Diagnostic.to_json ds) );
+        ])
 
 let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir
-    ?default_deadline_ms ic oc =
+    ?default_deadline_ms ?(verify = Batch.Verify_off) ic oc =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let cache =
     match cache with
@@ -101,7 +111,8 @@ let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir
               Request.deadline_of ?default_ms:default_deadline_ms req
             in
             match
-              Batch.compile ~cache ~metrics ~config ?deadline ~machine chain
+              Batch.compile ~cache ~metrics ~config ?deadline ~verify
+                ~machine chain
             with
             | Ok r ->
                 emit (response_json ?id req r);

@@ -32,11 +32,18 @@
     start, never a crash) and written back with bounded retries
     whenever a response added a new plan, so a restarted server stays
     warm.  [default_deadline_ms] bounds planning for requests that do
-    not carry their own [deadline_ms]. *)
+    not carry their own [deadline_ms].
+
+    [verify] (default {!Batch.Verify_off}) runs the static-analysis
+    passes on every successful response; diagnostics are attached as a
+    ["verification"] array (omitted when empty, so the schema is
+    unchanged for clients that never opt in), and under
+    {!Batch.Verify_strict} a failing response answers
+    [code: "verify_failed"]. *)
 
 val run :
   ?cache:Plan_cache.t -> ?metrics:Metrics.t -> ?config:Chimera.Config.t ->
   ?cache_dir:string -> ?default_deadline_ms:float ->
-  in_channel -> out_channel -> unit
+  ?verify:Batch.verify_mode -> in_channel -> out_channel -> unit
 (** Serve until EOF or [{"cmd": "quit"}].  Output is flushed after
     every line. *)

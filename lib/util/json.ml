@@ -28,7 +28,11 @@ let escape_string buf s =
   Buffer.add_char buf '"'
 
 let float_literal f =
-  if Float.is_integer f && Float.abs f < 1e15 then
+  (* JSON has no literal for nan or the infinities; emitting "nan"
+     would produce a line no parser accepts.  The guard lives here —
+     not only in [write] — so every emission path is covered. *)
+  if Float.is_nan f || Float.abs f = infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
     Printf.sprintf "%.1f" f
   else
     (* Shortest representation that round-trips a double. *)
@@ -39,10 +43,7 @@ let rec write buf = function
   | Null -> Buffer.add_string buf "null"
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
   | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float f ->
-      if Float.is_nan f || Float.abs f = infinity then
-        Buffer.add_string buf "null"
-      else Buffer.add_string buf (float_literal f)
+  | Float f -> Buffer.add_string buf (float_literal f)
   | String s -> escape_string buf s
   | List xs ->
       Buffer.add_char buf '[';

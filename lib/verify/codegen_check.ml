@@ -1,0 +1,138 @@
+let spf = Printf.sprintf
+
+let duplicates names =
+  let rec go seen acc = function
+    | [] -> List.rev acc
+    | x :: rest ->
+        if List.mem x seen then
+          go seen (if List.mem x acc then acc else x :: acc) rest
+        else go (x :: seen) acc rest
+  in
+  go [] [] names
+
+let check_structure ~unit_name (chain : Ir.Chain.t)
+    (s : Codegen.Source.structure) =
+  let l ?part () = Diagnostic.loc ?part unit_name in
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  (* CHIM035: each buffer declared exactly once. *)
+  List.iter
+    (fun name ->
+      add
+        (Diagnostic.errorf ~code:"CHIM035"
+           (l ~part:(spf "buffer %s" name) ())
+           "buffer is declared more than once"))
+    (duplicates
+       (List.map (fun b -> b.Codegen.Source.buf_name) s.Codegen.Source.buffers));
+  (* CHIM031: loop variables are unique down the nest. *)
+  List.iter
+    (fun var ->
+      add
+        (Diagnostic.errorf ~code:"CHIM031"
+           (l ~part:(spf "loop %s" var) ())
+           "loop variable shadows an enclosing loop's"))
+    (duplicates (List.map (fun lp -> lp.Codegen.Source.var) s.Codegen.Source.loops));
+  (* CHIM033: degenerate loops.  Bounds are expressions; only literal
+     pairs can be compared, but a non-positive step is always wrong. *)
+  List.iter
+    (fun (lp : Codegen.Source.loop) ->
+      if lp.step <= 0 then
+        add
+          (Diagnostic.errorf ~code:"CHIM033"
+             (l ~part:(spf "loop %s" lp.var) ())
+             "loop step %d is not positive" lp.step)
+      else
+        match (int_of_string_opt lp.lo, int_of_string_opt lp.hi) with
+        | Some lo, Some hi when hi <= lo ->
+            add
+              (Diagnostic.errorf ~code:"CHIM033"
+                 (l ~part:(spf "loop %s" lp.var) ())
+                 "loop bounds [%d, %d) never execute" lo hi)
+        | _ -> ())
+    s.Codegen.Source.loops;
+  (* CHIM030: every referenced buffer is declared. *)
+  let declared =
+    List.map (fun b -> b.Codegen.Source.buf_name) s.Codegen.Source.buffers
+  in
+  let check_tensor stage tensor =
+    let name = Codegen.Source.buffer_name tensor in
+    if not (List.mem name declared) then
+      add
+        (Diagnostic.errorf ~code:"CHIM030"
+           (l ~part:(spf "stage %s" stage) ())
+           "references buffer %s, which is never declared" name)
+  in
+  List.iter
+    (fun (c : Codegen.Source.call) ->
+      check_tensor c.call_stage c.out_tensor;
+      List.iter (check_tensor c.call_stage) c.in_tensors)
+    s.Codegen.Source.calls;
+  (* CHIM034: intermediates must be produced before they are consumed. *)
+  let produced = Hashtbl.create 4 in
+  List.iter
+    (fun (c : Codegen.Source.call) ->
+      List.iter
+        (fun t ->
+          if Ir.Chain.is_intermediate chain t && not (Hashtbl.mem produced t)
+          then
+            add
+              (Diagnostic.errorf ~code:"CHIM034"
+                 (l ~part:(spf "stage %s" c.call_stage) ())
+                 "consumes intermediate %s before any stage produces it" t))
+        c.in_tensors;
+      Hashtbl.replace produced c.out_tensor ())
+    s.Codegen.Source.calls;
+  List.rev !ds
+
+let check (kernel : Codegen.Kernel.t) =
+  let chain = kernel.Codegen.Kernel.chain in
+  let unit_name = kernel.Codegen.Kernel.name in
+  let s = Codegen.Source.structure kernel in
+  let structural = check_structure ~unit_name chain s in
+  (* CHIM032: at every hierarchy level, each stage's tile of a tensor
+     must fit the buffer declared for it (sized at the primary level —
+     inner levels only shrink tiles when the plans nest). *)
+  let capacity_of tensor =
+    List.find_opt
+      (fun b -> b.Codegen.Source.tensor = tensor)
+      s.Codegen.Source.buffers
+  in
+  let tilings =
+    (Some "primary", kernel.Codegen.Kernel.tiling)
+    :: List.map
+         (fun (lp : Analytical.Planner.level_plan) ->
+           ( Some lp.Analytical.Planner.level.Arch.Level.name,
+             lp.Analytical.Planner.plan.Analytical.Planner.tiling ))
+         kernel.Codegen.Kernel.level_plans
+  in
+  let overruns = ref [] in
+  List.iter
+    (fun (level_name, tiling) ->
+      let tile_of = Analytical.Tiling.tile_of tiling in
+      List.iter
+        (fun (stage : Ir.Chain.stage) ->
+          List.iter
+            (fun (r : Ir.Operator.tensor_ref) ->
+              match capacity_of r.Ir.Operator.tensor with
+              | None -> () (* already a CHIM030 *)
+              | Some b ->
+                  let need = Ir.Operator.tile_footprint_elems r ~tile_of in
+                  if need > b.Codegen.Source.elems then
+                    overruns :=
+                      Diagnostic.errorf ~code:"CHIM032"
+                        (Diagnostic.loc
+                           ~part:
+                             (spf "buffer %s%s" b.Codegen.Source.buf_name
+                                (match level_name with
+                                | Some lv -> spf " (level %s)" lv
+                                | None -> ""))
+                           unit_name)
+                        "stage %s tiles %d element(s) into a buffer declared \
+                         for %d"
+                        stage.Ir.Chain.op.Ir.Operator.name need
+                        b.Codegen.Source.elems
+                      :: !overruns)
+            (Ir.Operator.all_refs stage.Ir.Chain.op))
+        chain.Ir.Chain.stages)
+    tilings;
+  structural @ List.rev !overruns

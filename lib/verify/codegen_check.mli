@@ -1,0 +1,20 @@
+(** Pass 4: codegen lint.
+
+    Structural checks on {!Codegen.Source.structure} — the typed view of
+    exactly what the emitter prints — before pretty-printing: every
+    buffer a stage call references must be declared (and declared once),
+    loop variables must not shadow an enclosing loop's, loop bounds must
+    be non-degenerate, every staged tile must provably fit the buffer
+    declared for it at every hierarchy level, and an intermediate must
+    be produced by an earlier stage before any stage consumes it.
+    Codes CHIM030..CHIM039. *)
+
+val check_structure :
+  unit_name:string -> Ir.Chain.t -> Codegen.Source.structure ->
+  Diagnostic.t list
+(** Check a pre-built structural view (buffer/loop/call shape only). *)
+
+val check : Codegen.Kernel.t -> Diagnostic.t list
+(** Build the kernel's structure and check it, plus the per-level
+    buffer-capacity comparison (CHIM032), which needs the kernel's
+    level plans. *)

@@ -1,0 +1,126 @@
+type severity = Info | Warning | Error
+
+type loc = { unit_name : string; part : string option }
+
+type t = { code : string; severity : severity; loc : loc; message : string }
+
+let loc ?part unit_name = { unit_name; part }
+
+let make severity ~code loc message = { code; severity; loc; message }
+let error ~code loc message = make Error ~code loc message
+let warning ~code loc message = make Warning ~code loc message
+let info ~code loc message = make Info ~code loc message
+
+let errorf ~code loc fmt = Printf.ksprintf (error ~code loc) fmt
+let warningf ~code loc fmt = Printf.ksprintf (warning ~code loc) fmt
+let infof ~code loc fmt = Printf.ksprintf (info ~code loc) fmt
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+(* The stable code registry.  Append-only: codes are matched by
+   clients and CI, so a shipped code is never renumbered or reused. *)
+let registry =
+  [
+    (* IR well-formedness (CHIM001-009) *)
+    ("CHIM001", "access references an axis that is not a chain axis");
+    ("CHIM002", "axis extent is not positive");
+    ("CHIM003", "access rank disagrees with the declared tensor rank");
+    ("CHIM004", "producer and consumer declare incompatible tensor shapes");
+    ("CHIM005", "operator axis set is inconsistent with the chain");
+    ("CHIM006", "operator output is indexed by one of its reduction axes");
+    ("CHIM007", "declared tensor extent is never spanned by any access");
+    ("CHIM008", "the same tensor is declared with differing dtypes");
+    ("CHIM009", "declared tensor dimension is not positive");
+    (* Plan checking (CHIM010-019) *)
+    ("CHIM010", "tile size falls outside [1, axis extent]");
+    ("CHIM011", "block order is not a permutation of the fused axes");
+    ("CHIM012", "recomputed block memory usage exceeds the level capacity");
+    ("CHIM013", "stored MU disagrees with first-principles recomputation");
+    ("CHIM014", "stored DV disagrees with a fresh Algorithm-1 analysis");
+    ("CHIM015", "inner-level tiles do not nest inside the parent level's");
+    ("CHIM016", "full-tile (window) axis is not tiled at its full extent");
+    ("CHIM017", "plan capacity disagrees with the target level's capacity");
+    ("CHIM018", "nothing to verify: the unit was tuned by sampling");
+    (* Differential model checking (CHIM020-029) *)
+    ("CHIM020", "block-walk data movement diverges from the analytical DV");
+    ("CHIM021", "block-walk peak footprint diverges from the analytical MU");
+    ("CHIM022", "edge-aware simulated DV falls outside the stated tolerance");
+    ("CHIM023", "differential check skipped: block budget exceeded");
+    ("CHIM024", "closed-form DV prediction violates its approximation bound");
+    (* Codegen lint (CHIM030-039) *)
+    ("CHIM030", "kernel references a buffer that is never declared");
+    ("CHIM031", "loop variable shadows an enclosing loop variable");
+    ("CHIM032", "staged tile provably overruns its declared buffer");
+    ("CHIM033", "loop bounds are degenerate or the step is not positive");
+    ("CHIM034", "intermediate tile is consumed before any producer writes it");
+    ("CHIM035", "buffer is declared more than once");
+  ]
+
+let describe_code code = List.assoc_opt code registry
+
+let is_error d = d.severity = Error
+let errors ds = List.filter is_error ds
+
+let max_severity = function
+  | [] -> None
+  | ds ->
+      let rank = function Info -> 0 | Warning -> 1 | Error -> 2 in
+      Some
+        (List.fold_left
+           (fun acc s -> if rank s > rank acc then s else acc)
+           Info
+           (List.map (fun d -> d.severity) ds))
+
+let ok ds = errors ds = []
+
+let summary = function
+  | [] -> "clean"
+  | ds ->
+      let count sev = List.length (List.filter (fun d -> d.severity = sev) ds) in
+      let part n what = if n = 0 then [] else [ Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s") ] in
+      let counts =
+        String.concat ", "
+          (part (count Error) "error"
+          @ part (count Warning) "warning"
+          @ part (count Info) "info")
+      in
+      let codes =
+        List.sort_uniq compare (List.map (fun d -> d.code) ds)
+      in
+      Printf.sprintf "%s (%s)" counts (String.concat ", " codes)
+
+let loc_to_string l =
+  match l.part with
+  | None -> l.unit_name
+  | Some p -> l.unit_name ^ "/" ^ p
+
+let to_string d =
+  Printf.sprintf "%s %s %s: %s" d.code
+    (severity_to_string d.severity)
+    (loc_to_string d.loc) d.message
+
+let to_json d =
+  let open Util.Json in
+  Obj
+    ([
+       ("code", String d.code);
+       ("severity", String (severity_to_string d.severity));
+       ("unit", String d.loc.unit_name);
+     ]
+    @ (match d.loc.part with
+      | Some p -> [ ("part", String p) ]
+      | None -> [])
+    @ [ ("message", String d.message) ])
+
+let report_json ds =
+  let open Util.Json in
+  Obj
+    [
+      ("ok", Bool (ok ds));
+      ("diagnostics", List (List.map to_json ds));
+    ]
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)

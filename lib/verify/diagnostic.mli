@@ -1,0 +1,76 @@
+(** The shared diagnostics core of the static-analysis verifier.
+
+    Every check in [lib/verify] reports through this module: a stable
+    machine-readable code (CHIM001..), a severity, a source location
+    inside the artifact being checked (which chain / stage / tensor /
+    plan level the finding points at), and a human-readable message.
+    Codes are part of the tool's wire contract — clients, CI greps and
+    the service's [verify_failed] responses match on them — so a code is
+    never renumbered or reused once shipped. *)
+
+type severity = Info | Warning | Error
+
+type loc = {
+  unit_name : string;  (** the chain / kernel / plan being checked. *)
+  part : string option;
+      (** the element within it, e.g. ["stage gemm2"], ["tensor A"],
+          ["axis m"], ["level L2"]. *)
+}
+
+type t = {
+  code : string;  (** stable code, e.g. ["CHIM012"]. *)
+  severity : severity;
+  loc : loc;
+  message : string;
+}
+
+val loc : ?part:string -> string -> loc
+(** [loc ?part unit_name]. *)
+
+val error : code:string -> loc -> string -> t
+val warning : code:string -> loc -> string -> t
+val info : code:string -> loc -> string -> t
+
+val errorf :
+  code:string -> loc -> ('a, unit, string, t) format4 -> 'a
+val warningf :
+  code:string -> loc -> ('a, unit, string, t) format4 -> 'a
+val infof : code:string -> loc -> ('a, unit, string, t) format4 -> 'a
+
+val severity_to_string : severity -> string
+(** ["info" | "warning" | "error"], the wire spelling. *)
+
+val registry : (string * string) list
+(** Every stable code paired with its one-line meaning, in code order —
+    the authoritative list rendered into docs/VERIFY.md. *)
+
+val describe_code : string -> string option
+(** The registry entry for a code. *)
+
+val is_error : t -> bool
+
+val errors : t list -> t list
+(** The [Error]-severity subset. *)
+
+val max_severity : t list -> severity option
+(** The worst severity present, [None] for an empty report. *)
+
+val ok : t list -> bool
+(** True when the report carries no [Error] (warnings and infos pass). *)
+
+val summary : t list -> string
+(** e.g. ["2 errors, 1 warning (CHIM012, CHIM014, CHIM016)"]; ["clean"]
+    for an empty report. *)
+
+val to_string : t -> string
+(** One human-readable line:
+    ["CHIM012 error chain/part: message"]. *)
+
+val to_json : t -> Util.Json.t
+(** [{"code", "severity", "unit", "part"?, "message"}]. *)
+
+val report_json : t list -> Util.Json.t
+(** [{"ok": bool, "diagnostics": [...]}] — the [chimera lint --json]
+    record body. *)
+
+val pp : Format.formatter -> t -> unit

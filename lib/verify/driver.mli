@@ -1,0 +1,26 @@
+(** The verifier entry point: run every applicable pass over a chain or
+    a compiled unit and return the combined findings.
+
+    Pass order and gating: IR well-formedness first — a malformed chain
+    makes the later passes meaningless (and some would raise), so IR
+    errors short-circuit.  Plan checking next; the differential
+    block-walk only runs when the decomposition carries no errors (a
+    broken one cannot be simulated).  The codegen lint is structural
+    and always runs.  Units tuned by the sampling fallback carry no
+    analytical plan; they get a CHIM018 note, a decomposition check,
+    and a differential check against a fresh analysis instead. *)
+
+val check_chain : Ir.Chain.t -> Diagnostic.t list
+(** Pass 1 only — for workloads that have not been planned yet. *)
+
+val check_unit :
+  ?max_blocks:int -> ?dv_tolerance:float -> Chimera.Compiler.unit_ ->
+  Diagnostic.t list
+(** All four passes over one compiled unit, plus — for canonical
+    two-GEMM chains — the closed-form cross-check (CHIM024) at the
+    machine's primary on-chip capacity. *)
+
+val check_compiled :
+  ?max_blocks:int -> ?dv_tolerance:float -> Chimera.Compiler.compiled ->
+  Diagnostic.t list
+(** {!check_unit} over every unit of a compilation, in order. *)

@@ -1,0 +1,163 @@
+let spf = Printf.sprintf
+
+(* The maximum index an access dimension can produce at full extents:
+   offset + sum of coeff * (extent - 1).  Negative offsets (padding)
+   lower the minimum instead and are expected for windows. *)
+let max_index extents (d : Ir.Access.dim) =
+  List.fold_left
+    (fun acc (t : Ir.Access.term) ->
+      match List.assoc_opt t.Ir.Access.axis extents with
+      | Some e -> acc + (t.Ir.Access.coeff * (e - 1))
+      | None -> acc)
+    d.Ir.Access.offset d.Ir.Access.terms
+
+let check_ref ~unit_name ~chain_axes ~extents ~op_axes (op : Ir.Operator.t)
+    (r : Ir.Operator.tensor_ref) =
+  let l =
+    Diagnostic.loc
+      ~part:(spf "stage %s/tensor %s" op.Ir.Operator.name r.Ir.Operator.tensor)
+      unit_name
+  in
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  (* CHIM003: rank agreement between the access map and declaration. *)
+  let rank_access = List.length r.access in
+  let rank_dims = List.length r.dims in
+  if rank_access <> rank_dims then
+    add
+      (Diagnostic.errorf ~code:"CHIM003" l
+         "access has rank %d but the tensor declares %d dimension(s)"
+         rank_access rank_dims);
+  (* CHIM009: declared dimensions must be positive. *)
+  List.iteri
+    (fun i d ->
+      if d <= 0 then
+        add
+          (Diagnostic.errorf ~code:"CHIM009" l
+             "declared dimension %d has non-positive extent %d" i d))
+    r.dims;
+  (* CHIM001 / CHIM005: every referenced axis must resolve. *)
+  List.iter
+    (fun axis ->
+      if not (List.mem axis chain_axes) then
+        add
+          (Diagnostic.errorf ~code:"CHIM001" l
+             "access references %S, which is not a chain axis" axis)
+      else if not (List.mem axis op_axes) then
+        add
+          (Diagnostic.errorf ~code:"CHIM005" l
+             "access references %S, which is not in the operator's loop nest"
+             axis))
+    (Ir.Access.axes_used r.access);
+  (* CHIM007: a declared extent no access dimension can ever span.
+     Only under-coverage is flagged; overshoot is expected for padded
+     windows. *)
+  if rank_access = rank_dims then
+    List.iteri
+      (fun i (d : Ir.Access.dim) ->
+        let declared = List.nth r.dims i in
+        if declared > 0 && d.Ir.Access.terms <> [] then begin
+          let reach = max_index extents d in
+          if reach < declared - 1 then
+            add
+              (Diagnostic.warningf ~code:"CHIM007" l
+                 "dimension %d declares extent %d but the access never \
+                  indexes past %d"
+                 i declared reach)
+        end)
+      r.access;
+  List.rev !ds
+
+let check (chain : Ir.Chain.t) =
+  let unit_name = chain.Ir.Chain.name in
+  let l ?part () = Diagnostic.loc ?part unit_name in
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let chain_axes = Ir.Axis.names chain.Ir.Chain.axes in
+  let extents =
+    List.map
+      (fun (a : Ir.Axis.t) -> (a.Ir.Axis.name, a.Ir.Axis.extent))
+      chain.Ir.Chain.axes
+  in
+  (* CHIM002: axis extents. *)
+  List.iter
+    (fun (a : Ir.Axis.t) ->
+      if a.Ir.Axis.extent <= 0 then
+        add
+          (Diagnostic.errorf ~code:"CHIM002"
+             (l ~part:(spf "axis %s" a.Ir.Axis.name) ())
+             "axis extent %d is not positive" a.Ir.Axis.extent))
+    chain.Ir.Chain.axes;
+  (* Per-stage checks. *)
+  List.iter
+    (fun (stage : Ir.Chain.stage) ->
+      let op = stage.Ir.Chain.op in
+      let sloc = l ~part:(spf "stage %s" op.Ir.Operator.name) () in
+      let op_axes = op.Ir.Operator.axes in
+      (* CHIM005: operator axes resolve against the chain; reductions
+         against the operator. *)
+      List.iter
+        (fun a ->
+          if not (List.mem a chain_axes) then
+            add
+              (Diagnostic.errorf ~code:"CHIM005" sloc
+                 "operator axis %S is not a chain axis" a))
+        op_axes;
+      List.iter
+        (fun a ->
+          if not (List.mem a op_axes) then
+            add
+              (Diagnostic.errorf ~code:"CHIM005" sloc
+                 "reduction axis %S is not an operator axis" a))
+        op.Ir.Operator.reduction_axes;
+      (* CHIM006: the output tile must be invariant under reductions. *)
+      List.iter
+        (fun a ->
+          if Ir.Access.uses_axis op.Ir.Operator.output.Ir.Operator.access a
+          then
+            add
+              (Diagnostic.errorf ~code:"CHIM006" sloc
+                 "output %s is indexed by reduction axis %S"
+                 op.Ir.Operator.output.Ir.Operator.tensor a))
+        op.Ir.Operator.reduction_axes;
+      List.iter
+        (fun r ->
+          List.iter add
+            (check_ref ~unit_name ~chain_axes ~extents ~op_axes op r))
+        (Ir.Operator.all_refs op))
+    chain.Ir.Chain.stages;
+  (* Cross-stage tensor consistency: the producer's declaration and
+     every consumer's must agree (CHIM004 shapes, CHIM008 dtypes). *)
+  let first_seen : (string, Ir.Operator.tensor_ref * string) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (stage : Ir.Chain.stage) ->
+      let op = stage.Ir.Chain.op in
+      List.iter
+        (fun (r : Ir.Operator.tensor_ref) ->
+          match Hashtbl.find_opt first_seen r.tensor with
+          | None -> Hashtbl.add first_seen r.tensor (r, op.Ir.Operator.name)
+          | Some (first, owner) ->
+              let tloc =
+                l
+                  ~part:
+                    (spf "tensor %s (%s vs %s)" r.tensor owner
+                       op.Ir.Operator.name)
+                  ()
+              in
+              if first.dims <> r.dims then
+                add
+                  (Diagnostic.errorf ~code:"CHIM004" tloc
+                     "declared as [%s] by %s but [%s] by %s"
+                     (String.concat "," (List.map string_of_int first.dims))
+                     owner
+                     (String.concat "," (List.map string_of_int r.dims))
+                     op.Ir.Operator.name);
+              if first.dtype <> r.dtype then
+                add
+                  (Diagnostic.errorf ~code:"CHIM008" tloc
+                     "declared with differing dtypes across stages"))
+        (Ir.Operator.all_refs op))
+    chain.Ir.Chain.stages;
+  List.rev !ds

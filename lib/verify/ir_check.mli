@@ -1,0 +1,12 @@
+(** Pass 1: IR well-formedness.
+
+    Checks a chain independently of any plan: every access axis
+    reference resolves, extents and declared tensor dimensions are
+    positive, operator axis sets are internally consistent, outputs are
+    not indexed by reduction loops, and every reference to the same
+    tensor (the producer's output and each consumer's input) declares
+    the same shape and dtype.  Codes CHIM001..CHIM009. *)
+
+val check : Ir.Chain.t -> Diagnostic.t list
+(** All findings, in chain order (stages outermost-first, refs in
+    declaration order).  An empty list means the chain is well-formed. *)

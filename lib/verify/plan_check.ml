@@ -1,0 +1,180 @@
+let spf = Printf.sprintf
+
+(* First-principles MU: one block holds a data tile of every operand of
+   the stage it is executing, so the peak working set is the largest
+   per-stage sum of tile footprints.  This deliberately bypasses
+   [Movement.analyze] — it is the invariant the analytical model's MU
+   output must agree with. *)
+let recompute_mu_bytes (chain : Ir.Chain.t) ~tiling =
+  let tile_of = Analytical.Tiling.tile_of tiling in
+  List.fold_left
+    (fun acc (stage : Ir.Chain.stage) ->
+      let working_set =
+        List.fold_left
+          (fun sum r -> sum + Ir.Operator.tile_footprint_bytes r ~tile_of)
+          0
+          (Ir.Operator.all_refs stage.Ir.Chain.op)
+      in
+      max acc working_set)
+    0 chain.Ir.Chain.stages
+
+let rel_close a b =
+  let scale = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) <= 1e-9 *. scale
+
+let check_perm ~l (chain : Ir.Chain.t) perm =
+  let fused = Analytical.Movement.fused_axes chain in
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let sorted_perm = List.sort compare perm in
+  let dupes =
+    let rec go = function
+      | a :: (b :: _ as rest) -> if a = b then a :: go rest else go rest
+      | _ -> []
+    in
+    List.sort_uniq compare (go sorted_perm)
+  in
+  List.iter
+    (fun a ->
+      add
+        (Diagnostic.errorf ~code:"CHIM011" l
+           "axis %S appears more than once in the block order" a))
+    dupes;
+  if dupes = [] && sorted_perm <> List.sort compare fused then
+    add
+      (Diagnostic.errorf ~code:"CHIM011" l
+         "block order [%s] is not a reordering of the fused axes [%s]"
+         (String.concat "," perm)
+         (String.concat "," fused));
+  List.rev !ds
+
+(* CHIM010 / CHIM011 / CHIM016: the decomposition itself — tiles and
+   block order — independent of any capacity or stored analysis.  Also
+   the safety gate: only a decomposition with no errors can be fed to
+   [Movement.analyze] without raising. *)
+let check_decomposition (chain : Ir.Chain.t) ~perm ~tiling =
+  let unit_name = chain.Ir.Chain.name in
+  let l ?part () = Diagnostic.loc ?part unit_name in
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  List.iter
+    (fun (axis, tile) ->
+      let extent = Analytical.Tiling.extent_of tiling axis in
+      if tile < 1 || tile > extent then
+        add
+          (Diagnostic.errorf ~code:"CHIM010"
+             (l ~part:(spf "axis %s" axis) ())
+             "tile size %d falls outside [1, %d]" tile extent))
+    (Analytical.Tiling.bindings tiling);
+  List.iter add (check_perm ~l:(l ~part:"order" ()) chain perm);
+  List.iter
+    (fun axis ->
+      let extent = Analytical.Tiling.extent_of tiling axis in
+      let tile = Analytical.Tiling.get tiling axis in
+      if tile <> extent then
+        add
+          (Diagnostic.warningf ~code:"CHIM016"
+             (l ~part:(spf "axis %s" axis) ())
+             "window axis is tiled at %d, not its full extent %d" tile extent))
+    (Analytical.Permutations.full_tile_axes chain);
+  List.rev !ds
+
+let check_plan ?level (chain : Ir.Chain.t) (plan : Analytical.Planner.plan) =
+  let unit_name = chain.Ir.Chain.name in
+  let l ?part () = Diagnostic.loc ?part unit_name in
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let deco = check_decomposition chain ~perm:plan.perm ~tiling:plan.tiling in
+  List.iter add deco;
+  (* Capacity checks, against the level when known. *)
+  let capacity, cap_what =
+    match level with
+    | Some (lv : Arch.Level.t) ->
+        (lv.Arch.Level.capacity_bytes, spf "level %s" lv.Arch.Level.name)
+    | None -> (plan.capacity_bytes, "the plan's recorded budget")
+  in
+  (match level with
+  | Some (lv : Arch.Level.t)
+    when plan.capacity_bytes <> lv.Arch.Level.capacity_bytes ->
+      add
+        (Diagnostic.warningf ~code:"CHIM017"
+           (l ~part:(spf "level %s" lv.Arch.Level.name) ())
+           "plan was solved for %d bytes but the level holds %d"
+           plan.capacity_bytes lv.Arch.Level.capacity_bytes)
+  | _ -> ());
+  let mu = recompute_mu_bytes chain ~tiling:plan.tiling in
+  if mu > capacity then
+    add
+      (Diagnostic.errorf ~code:"CHIM012" (l ())
+         "recomputed block memory usage %d bytes exceeds %s (%d bytes)" mu
+         cap_what capacity);
+  (* CHIM013: the stored MU must match the recomputation. *)
+  if mu <> plan.movement.Analytical.Movement.mu_bytes then
+    add
+      (Diagnostic.errorf ~code:"CHIM013" (l ())
+         "stored MU %d bytes disagrees with recomputed %d bytes"
+         plan.movement.Analytical.Movement.mu_bytes mu);
+  (* CHIM014: the stored DV must match a fresh Algorithm-1 analysis.
+     Only meaningful once the order and tiles themselves check out. *)
+  if Diagnostic.ok deco then begin
+    let fresh =
+      Analytical.Movement.analyze chain ~perm:plan.perm ~tiling:plan.tiling
+    in
+    if
+      not
+        (rel_close fresh.Analytical.Movement.dv_bytes
+           plan.movement.Analytical.Movement.dv_bytes)
+    then
+      add
+        (Diagnostic.errorf ~code:"CHIM014" (l ())
+           "stored DV %.6g bytes disagrees with recomputed %.6g bytes"
+           plan.movement.Analytical.Movement.dv_bytes
+           fresh.Analytical.Movement.dv_bytes)
+  end;
+  List.rev !ds
+
+let check_level_plans (chain : Ir.Chain.t)
+    (lps : Analytical.Planner.level_plan list) =
+  let unit_name = chain.Ir.Chain.name in
+  let per_level =
+    List.concat_map
+      (fun (lp : Analytical.Planner.level_plan) ->
+        check_plan ~level:lp.Analytical.Planner.level chain
+          lp.Analytical.Planner.plan)
+      lps
+  in
+  (* CHIM015: sub-block nesting — walking innermost to outermost, each
+     level's tiles must fit inside the next-outer level's. *)
+  let rec nesting acc = function
+    | (inner : Analytical.Planner.level_plan)
+      :: (outer :: _ as rest) ->
+        let violations =
+          List.filter_map
+            (fun axis ->
+              let ti =
+                Analytical.Tiling.get
+                  inner.Analytical.Planner.plan.Analytical.Planner.tiling axis
+              in
+              let to_ =
+                Analytical.Tiling.get
+                  outer.Analytical.Planner.plan.Analytical.Planner.tiling axis
+              in
+              if ti > to_ then
+                Some
+                  (Diagnostic.errorf ~code:"CHIM015"
+                     (Diagnostic.loc
+                        ~part:
+                          (spf "level %s/axis %s"
+                             inner.Analytical.Planner.level.Arch.Level.name
+                             axis)
+                        unit_name)
+                     "inner tile %d does not nest inside the parent level \
+                      %s's tile %d"
+                     ti outer.Analytical.Planner.level.Arch.Level.name to_)
+              else None)
+            (Analytical.Movement.fused_axes chain)
+        in
+        nesting (acc @ violations) rest
+    | _ -> acc
+  in
+  per_level @ nesting [] lps

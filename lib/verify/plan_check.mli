@@ -1,0 +1,40 @@
+(** Pass 2: plan checking.
+
+    Validates a planner decision against the chain and the machine it
+    was solved for, from first principles: tile sizes must respect the
+    axis extents, the chosen block order must be a valid reordering of
+    the fused axes, and the per-level memory usage — recomputed here
+    directly from the block footprints, not read from the stored
+    [Movement.result] — must fit each level's capacity.  The stored
+    analysis is then cross-checked against a fresh one, so a plan that
+    was corrupted in the cache (or produced by a buggy solver) fails
+    loudly.  Codes CHIM010..CHIM018. *)
+
+val recompute_mu_bytes :
+  Ir.Chain.t -> tiling:Analytical.Tiling.t -> int
+(** Peak per-block working set, recomputed from the footprint rule
+    alone: the max over stages of the sum of every operand tile's
+    bytes.  Independent of [Movement.analyze]'s code path. *)
+
+val check_decomposition :
+  Ir.Chain.t -> perm:string list -> tiling:Analytical.Tiling.t ->
+  Diagnostic.t list
+(** Just the decomposition: tiles within their extents (CHIM010), the
+    block order a valid reordering of the fused axes (CHIM011), window
+    axes at full extent (CHIM016).  When this returns no errors the
+    pair is safe to feed to [Movement.analyze].  Used directly for
+    sampling-tuned units, which carry no [Planner.plan]. *)
+
+val check_plan :
+  ?level:Arch.Level.t -> Ir.Chain.t -> Analytical.Planner.plan ->
+  Diagnostic.t list
+(** Check one single-level plan.  When [level] is given, the plan's
+    recorded capacity is compared against the level's (CHIM017) and the
+    recomputed MU against the level capacity (CHIM012); otherwise the
+    plan's own [capacity_bytes] is the budget. *)
+
+val check_level_plans :
+  Ir.Chain.t -> Analytical.Planner.level_plan list -> Diagnostic.t list
+(** Check a multi-level plan (innermost first): every level's plan
+    individually, plus the sub-block nesting constraint — each inner
+    level's tiles must fit inside its parent level's (CHIM015). *)

@@ -58,4 +58,81 @@ let tests =
            go 0));
   ]
 
-let suites = [ ("chimera.advisor", tests) ]
+(* The heuristic planner (the service's last degradation rung): the
+   binary search must cope with the shapes the issue calls out —
+   extent-1 axes and prime extents. *)
+let heuristic_tests =
+  [
+    case "extent-1 axes stay at tile 1 without throttling the search"
+      (fun () ->
+        let chain =
+          Ir.Chain.single_batch_gemm ~name:"n1" ~batch:1 ~m:64 ~n:1 ~k:64 ()
+        in
+        match Chimera.Advisor.heuristic_plan ~machine:cpu chain with
+        | Error msg -> Alcotest.failf "heuristic plan failed: %s" msg
+        | Ok plan ->
+            let open Analytical.Planner in
+            check_int "n tiled at 1" 1 (Analytical.Tiling.get plan.tiling "n");
+            check_true "m tile grew past 1"
+              (Analytical.Tiling.get plan.tiling "m" > 1);
+            check_true "fits capacity"
+              (plan.movement.Analytical.Movement.mu_bytes
+              <= plan.capacity_bytes));
+    case "an all-unit chain needs no search at all" (fun () ->
+        let chain =
+          Ir.Chain.single_batch_gemm ~name:"unit" ~batch:1 ~m:1 ~n:1 ~k:1 ()
+        in
+        match Chimera.Advisor.heuristic_plan ~machine:cpu chain with
+        | Error msg -> Alcotest.failf "heuristic plan failed: %s" msg
+        | Ok plan ->
+            let open Analytical.Planner in
+            check_float "single block" 1.0
+              (Analytical.Tiling.total_blocks plan.tiling));
+    case "prime extents get balanced blocks, not a ragged remainder"
+      (fun () ->
+        let chain =
+          Ir.Chain.single_batch_gemm ~name:"p127" ~batch:1 ~m:127 ~n:127
+            ~k:127 ()
+        in
+        match Chimera.Advisor.heuristic_plan ~machine:cpu chain with
+        | Error msg -> Alcotest.failf "heuristic plan failed: %s" msg
+        | Ok plan ->
+            let open Analytical.Planner in
+            check_true "fits capacity"
+              (plan.movement.Analytical.Movement.mu_bytes
+              <= plan.capacity_bytes);
+            List.iter
+              (fun (axis, tile) ->
+                let e = Analytical.Tiling.extent_of plan.tiling axis in
+                if e > 1 then begin
+                  let trips = Analytical.Tiling.trip_count plan.tiling axis in
+                  (* The balanced-split identity: the tile is the
+                     smallest that covers the extent in [trips] blocks,
+                     so 127 splits 64/63 rather than 100/27. *)
+                  check_int
+                    (Printf.sprintf "axis %s balanced (tile %d)" axis tile)
+                    ((e + trips - 1) / trips)
+                    tile
+                end)
+              (Analytical.Tiling.bindings plan.tiling));
+    case "heuristic plans verify clean on every machine" (fun () ->
+        List.iter
+          (fun (_, machine) ->
+            List.iter
+              (fun chain ->
+                match Chimera.Advisor.heuristic_plan ~machine chain with
+                | Error msg -> Alcotest.failf "heuristic failed: %s" msg
+                | Ok plan ->
+                    check_true "verifier clean"
+                      (Verify.Diagnostic.ok
+                         (Verify.Plan_check.check_plan chain plan)))
+              [
+                small_gemm_chain ();
+                Ir.Chain.single_batch_gemm ~name:"p" ~batch:2 ~m:127 ~n:1
+                  ~k:13 ();
+              ])
+          Arch.Presets.all);
+  ]
+
+let suites =
+  [ ("chimera.advisor", tests); ("chimera.advisor.heuristic", heuristic_tests) ]

@@ -257,6 +257,53 @@ let permutation_tests =
         List.iter
           (fun perm -> Analytical.Movement.validate_perm chain perm)
           (Analytical.Permutations.candidates chain));
+    case "candidates are duplicate-free" (fun () ->
+        List.iter
+          (fun chain ->
+            let cs = Analytical.Permutations.candidates chain in
+            check_int
+              (chain.Ir.Chain.name ^ ": no duplicate orders")
+              (List.length cs)
+              (List.length (List.sort_uniq compare cs)))
+          [
+            figure2_chain ();
+            small_gemm_chain ~softmax:true ();
+            small_conv_chain ();
+            Ir.Chain.batch_gemm_chain3 ~name:"p3" ~batch:2 ~m:8 ~k:8 ~l:8
+              ~n:8 ~p:8 ();
+          ]);
+    case "count is (movable)! on every shipped workload (n <= 6)" (fun () ->
+        let factorial n =
+          let rec go acc i = if i <= 1 then acc else go (acc * i) (i - 1) in
+          go 1 n
+        in
+        let check_chain (chain : Ir.Chain.t) =
+          let c = Analytical.Permutations.classify chain in
+          let n = List.length c.Analytical.Permutations.movable in
+          check_true (chain.name ^ ": at most 6 movable axes") (n <= 6);
+          check_int
+            (Printf.sprintf "%s: count = %d!" chain.name n)
+            (factorial n)
+            (Analytical.Permutations.count chain);
+          check_int
+            (chain.name ^ ": count matches the materialised list")
+            (Analytical.Permutations.count chain)
+            (List.length (Analytical.Permutations.candidates chain))
+        in
+        List.iter
+          (fun (c : Workloads.Gemm_configs.t) ->
+            check_chain (Workloads.Gemm_configs.chain ~softmax:false c))
+          Workloads.Gemm_configs.all;
+        List.iter
+          (fun (c : Workloads.Conv_configs.t) ->
+            check_chain (Workloads.Conv_configs.chain ~relu:false c))
+          Workloads.Conv_configs.all;
+        (* The degenerate end of the n <= 6 range: every axis pinned. *)
+        let unit_chain =
+          Ir.Chain.single_batch_gemm ~name:"unit" ~batch:1 ~m:1 ~n:1 ~k:1 ()
+        in
+        check_int "all-unit chain has exactly one order" 1
+          (Analytical.Permutations.count unit_chain));
   ]
 
 let closed_form_tests =

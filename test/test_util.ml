@@ -241,9 +241,39 @@ let table_tests =
           && String.sub (List.nth lines 2) 0 5 = "first"));
   ]
 
+let json_tests =
+  [
+    case "non-finite floats emit null, never nan/inf tokens" (fun () ->
+        let open Util.Json in
+        check_string "nan" "null" (to_string (Float nan));
+        check_string "inf" "null" (to_string (Float infinity));
+        check_string "-inf" "null" (to_string (Float neg_infinity));
+        check_string "nested in an object"
+          {|{"x":null,"y":1.5}|}
+          (to_string (Obj [ ("x", Float nan); ("y", Float 1.5) ]));
+        check_string "nested in a list" "[null,2.0]"
+          (to_string (List [ Float infinity; Float 2.0 ])));
+    case "a non-finite emission still parses back" (fun () ->
+        let open Util.Json in
+        let s = to_string (Obj [ ("dv", Float (0.0 /. 0.0)) ]) in
+        match parse s with
+        | Error e -> Alcotest.failf "own output rejected: %s" e
+        | Ok json -> check_true "null member" (member "dv" json = Some Null));
+    case "finite floats round-trip" (fun () ->
+        let open Util.Json in
+        List.iter
+          (fun f ->
+            match parse (to_string (Float f)) with
+            | Ok (Float g) -> check_float "round-trip" f g
+            | Ok (Int i) -> check_float "as int" f (float_of_int i)
+            | _ -> Alcotest.fail "did not parse as a number")
+          [ 0.0; -1.5; 3.14159265358979; 1e-300; 1.7976931348623157e308 ]);
+  ]
+
 let suites =
   [
     ("util.ints", ints_tests);
+    ("util.json", json_tests);
     ("util.perm", perm_tests);
     ("util.prng", prng_tests);
     ("util.stats", stats_tests);
