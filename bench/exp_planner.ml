@@ -1,0 +1,132 @@
+(* Planner performance: cold-plan latency of the compiled-evaluator +
+   branch-and-bound planner against the pre-compilation reference path
+   (full Movement.analyze per evaluation, no pruning), over every
+   workload and machine preset.  Both paths choose identical plans —
+   the equivalence suite asserts it — so this section is purely about
+   time and model-evaluation counts. *)
+
+let presets = [ "cpu"; "gpu"; "npu" ]
+
+let chains () =
+  List.map
+    (fun (c : Workloads.Gemm_configs.t) ->
+      (c.name, "gemm", Workloads.Gemm_configs.chain ~softmax:false c))
+    Workloads.Gemm_configs.all
+  @ List.map
+      (fun (c : Workloads.Conv_configs.t) ->
+        (c.name, "conv", Workloads.Conv_configs.chain ~relu:false c))
+      Workloads.Conv_configs.all
+
+let sum_plans f level_plans =
+  List.fold_left
+    (fun acc (lp : Analytical.Planner.level_plan) ->
+      acc + f lp.Analytical.Planner.plan)
+    0 level_plans
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1e3)
+
+let run () =
+  Common.section "planner"
+    "Cold-plan latency: compiled evaluators + pruning vs reference path";
+  let pool = Util.Pool.global () in
+  Printf.printf "domain pool: %d lane(s)\n" (Util.Pool.size pool);
+  let table =
+    Util.Table.create
+      ~columns:
+        [
+          "preset"; "config"; "ref (ms)"; "fast (ms)"; "speedup";
+          "ref evals"; "fast evals"; "pruned";
+        ]
+  in
+  let all_ratios = ref [] in
+  let family_ratios : (string, float list ref) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  List.iter
+    (fun preset ->
+      let machine = Option.get (Arch.Presets.by_name preset) in
+      List.iter
+        (fun (name, family, chain) ->
+          (* Warm the (memoised) order enumeration for both paths, so
+             the comparison isolates the solve itself. *)
+          ignore (Analytical.Permutations.candidates chain);
+          let ref_plans, ref_ms =
+            timed (fun () ->
+                Analytical.Planner.optimize_multilevel ~prune:false
+                  ~engine:`Reference chain ~machine)
+          in
+          let fast_plans, fast_ms =
+            timed (fun () ->
+                Analytical.Planner.optimize_multilevel ~pool chain ~machine)
+          in
+          let ref_evals =
+            sum_plans
+              (fun (p : Analytical.Planner.plan) -> p.solver_evals)
+              ref_plans
+          in
+          let fast_evals =
+            sum_plans
+              (fun (p : Analytical.Planner.plan) -> p.solver_evals)
+              fast_plans
+          in
+          let pruned =
+            sum_plans
+              (fun (p : Analytical.Planner.plan) -> p.perms_pruned)
+              fast_plans
+          in
+          let speedup = ref_ms /. fast_ms in
+          all_ratios := speedup :: !all_ratios;
+          let bucket =
+            match Hashtbl.find_opt family_ratios family with
+            | Some r -> r
+            | None ->
+                let r = ref [] in
+                Hashtbl.add family_ratios family r;
+                r
+          in
+          bucket := speedup :: !bucket;
+          Util.Table.add_row table
+            [
+              preset; name;
+              Printf.sprintf "%.1f" ref_ms;
+              Printf.sprintf "%.1f" fast_ms;
+              Printf.sprintf "%.1fx" speedup;
+              string_of_int ref_evals;
+              string_of_int fast_evals;
+              string_of_int pruned;
+            ];
+          Common.record_json
+            (Printf.sprintf "%s/%s" preset name)
+            [
+              ("preset", Util.Json.String preset);
+              ("config", Util.Json.String name);
+              ("family", Util.Json.String family);
+              ("ref_ms", Util.Json.Float ref_ms);
+              ("fast_ms", Util.Json.Float fast_ms);
+              ("speedup", Util.Json.Float speedup);
+              ("ref_evals", Util.Json.Int ref_evals);
+              ("fast_evals", Util.Json.Int fast_evals);
+              ("perms_pruned", Util.Json.Int pruned);
+            ])
+        (chains ()))
+    presets;
+  Common.print_table table;
+  let gm = Util.Stats.geomean !all_ratios in
+  Printf.printf "geomean cold-plan speedup: %.1fx" gm;
+  Hashtbl.iter
+    (fun family ratios ->
+      Printf.printf "  (%s %.1fx)" family (Util.Stats.geomean !ratios))
+    family_ratios;
+  print_newline ();
+  Common.record_json "summary"
+    (("geomean_speedup", Util.Json.Float gm)
+    :: ("pool_lanes", Util.Json.Int (Util.Pool.size pool))
+    :: List.of_seq
+         (Seq.map
+            (fun (family, ratios) ->
+              ( "geomean_" ^ family,
+                Util.Json.Float (Util.Stats.geomean !ratios) ))
+            (Hashtbl.to_seq family_ratios)))

@@ -23,6 +23,7 @@ let sections : (string * string * (unit -> unit)) list =
     ("figure9", "end-to-end networks", Exp_e2e.run);
     ("figure10", "ablation study", Exp_ablation.run);
     ("overhead", "optimization overhead", fun () -> Exp_overhead.run ());
+    ("planner", "cold-plan latency: fast vs reference planner", Exp_planner.run);
     ("plancache", "plan cache cold vs warm batch", Exp_service.run);
     ("internals", "reproduction design-choice ablations", Exp_internals.run);
     ("bechamel", "framework micro-benchmarks", Bechamel_suite.run);

@@ -107,13 +107,14 @@ let optimize_cmd workload arch softmax relu batch source no_fusion =
       Printf.printf "target: %s\n" machine.Arch.Machine.name;
       Printf.printf "optimization took %.2f s\n\n" dt;
       (* Why this order: the top of the explored space. *)
-      let ranked, total =
+      let ranked, stats =
         Analytical.Planner.explore chain
           ~capacity_bytes:
             (Arch.Machine.primary_on_chip machine).Arch.Level.capacity_bytes
           ()
       in
-      Printf.printf "explored %d block execution orders; best five:\n" total;
+      Printf.printf "explored %d block execution orders; best five:\n"
+        stats.Analytical.Planner.evaluated;
       List.iteri
         (fun i (c : Analytical.Planner.candidate) ->
           if i < 5 then

@@ -114,6 +114,237 @@ let analyze ?(charge_intermediates = false) (chain : Ir.Chain.t) ~perm ~tiling =
     per_op_mu = List.rev !per_op_mu;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Compiled evaluators                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything in Algorithm 1 except the arithmetic on tile sizes is a
+   function of the (chain, perm) pair alone: which loops are active at
+   each stage (observation 3's producer-private filtering), which of
+   them an operator iterates, which index each tensor's access, and the
+   per-dimension footprint terms.  [compile] runs that symbolic part
+   once and freezes it into flat integer arrays; [eval_array] then
+   reproduces [analyze]'s DV/MU — bit-exactly, the float operations
+   happen in the identical order — from a plain tile-size vector with
+   no list or string traffic.  The solver's coordinate descent calls it
+   thousands of times per permutation. *)
+
+type eref = {
+  e_charged : bool;  (* contributes to DV (an IO tensor) *)
+  e_dtype_bytes : int;
+  e_dims : (int * (int * int) array) array;
+      (* per tensor dimension: (dim bound, [(axis index, coeff)]) *)
+  e_loops : (int * bool) array;
+      (* the stage's op-used active loops, innermost first:
+         (axis index, access uses the axis) *)
+}
+
+type estage = { e_refs : eref array }
+
+type evaluator = {
+  e_axes : string array;  (* chain axes, defining eval_array's indexing *)
+  e_extents : int array;
+  e_stages : estage array;
+}
+
+let compile ?(charge_intermediates = false) (chain : Ir.Chain.t) ~perm =
+  validate_perm chain perm;
+  let axes = chain.Ir.Chain.axes in
+  let e_axes = Array.of_list (List.map (fun a -> a.Ir.Axis.name) axes) in
+  let e_extents = Array.of_list (List.map (fun a -> a.Ir.Axis.extent) axes) in
+  let index name =
+    let rec go i =
+      if i >= Array.length e_axes then
+        invalid_arg (Printf.sprintf "Movement.compile: unknown axis %s" name)
+      else if e_axes.(i) = name then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let io =
+    if charge_intermediates then Ir.Chain.tensor_names chain
+    else Ir.Chain.io_names chain
+  in
+  let active = ref (List.rev perm) in
+  let stages =
+    List.map
+      (fun (stage : Ir.Chain.stage) ->
+        let op = stage.op in
+        let loops_of (r : Ir.Operator.tensor_ref) =
+          (* [analyze] walks every active loop but acts only on the ones
+             the operator uses; keeping just those preserves both the
+             order and the exact multiplication sequence. *)
+          Array.of_list
+            (List.filter_map
+               (fun l ->
+                 if Ir.Operator.uses_axis op l then
+                   Some (index l, Ir.Access.uses_axis r.access l)
+                 else None)
+               !active)
+        in
+        let compile_ref (r : Ir.Operator.tensor_ref) =
+          {
+            e_charged = List.mem r.tensor io;
+            e_dtype_bytes = Tensor.Dtype.bytes r.dtype;
+            e_dims =
+              Array.of_list
+                (List.map2
+                   (fun (d : Ir.Access.dim) bound ->
+                     ( bound,
+                       Array.of_list
+                         (List.map
+                            (fun (t : Ir.Access.term) -> (index t.axis, t.coeff))
+                            d.terms) ))
+                   r.access r.dims);
+            e_loops = loops_of r;
+          }
+        in
+        let refs =
+          Array.of_list (List.map compile_ref (Ir.Operator.all_refs op))
+        in
+        active :=
+          List.filter
+            (fun l ->
+              not
+                (Ir.Operator.uses_axis op l && Ir.Chain.axis_is_private chain l))
+            !active;
+        { e_refs = refs })
+      chain.stages
+  in
+  { e_axes; e_extents; e_stages = Array.of_list stages }
+
+let axis_names ev = Array.copy ev.e_axes
+
+let eval_array ev tiles =
+  let n = Array.length ev.e_axes in
+  if Array.length tiles <> n then
+    invalid_arg "Movement.eval_array: tile vector has the wrong arity";
+  let trips = Array.make n 1 in
+  for i = 0 to n - 1 do
+    trips.(i) <- Util.Ints.ceil_div ev.e_extents.(i) tiles.(i)
+  done;
+  let dv = ref 0.0 in
+  let mu = ref 0 in
+  Array.iter
+    (fun st ->
+      let total_df = ref 0 in
+      Array.iter
+        (fun r ->
+          let elems = ref 1 in
+          Array.iter
+            (fun (bound, terms) ->
+              let span = ref 1 in
+              Array.iter
+                (fun (ai, coeff) -> span := !span + (coeff * (tiles.(ai) - 1)))
+                terms;
+              elems := !elems * min !span bound)
+            r.e_dims;
+          let df = !elems * r.e_dtype_bytes in
+          total_df := !total_df + df;
+          if r.e_charged then begin
+            let dm = ref (float_of_int df) in
+            let keep_reuse = ref true in
+            Array.iter
+              (fun (ai, uses) ->
+                let t = trips.(ai) in
+                if uses && t > 1 then keep_reuse := false;
+                if not !keep_reuse then dm := !dm *. float_of_int t)
+              r.e_loops;
+            dv := !dv +. !dm
+          end)
+        st.e_refs;
+      mu := max !mu !total_df)
+    ev.e_stages;
+  (!dv, !mu)
+
+let eval ev ~tiling =
+  let tiles =
+    Array.map (fun name -> Tiling.get tiling name) ev.e_axes
+  in
+  eval_array ev tiles
+
+(* Certified DV lower bound over a tiling search box.
+
+   The box is [1, bounds.(i)] per axis, except axes with [fixed.(i)]
+   which sit at exactly bounds.(i) in every point the solver evaluates
+   (full-tile axes, and axes whose bound is 1).  The bound evaluates DV
+   at the all-upper-bounds corner, but multiplies each *varying*
+   reuse-breaking loop by the real ratio extent/bound instead of
+   ceil(extent/bound): for a dense access, the per-axis product
+   min(span(t), D) * ceil(E/t) is minimised at t = bound where it is at
+   least min(span(b), D) * E/b — span(t)/t is non-increasing when the
+   axis step is covered by the span the fixed terms guarantee.  Breaks
+   can only move inward as tiles shrink (trip counts grow), so the
+   upper-bound corner's multiplier set is a subset of any point's.
+
+   Density precondition (checked here, [None] when violated): each
+   varying axis's stride must not exceed 1 + the span contributed by the
+   fixed terms of the same dimension, and a varying axis must touch at
+   most one dimension of a reference.  A strided conv with stride >
+   kernel (gaps between touched rows) fails it: there, small tiles touch
+   *less* data than the full-tile footprint suggests and no cheap corner
+   evaluation bounds DV from below. *)
+let dv_lower_bound ev ~bounds ~fixed =
+  let n = Array.length ev.e_axes in
+  if Array.length bounds <> n || Array.length fixed <> n then
+    invalid_arg "Movement.dv_lower_bound: vector has the wrong arity";
+  let varies = Array.make n false in
+  let trips = Array.make n 1 in
+  let ratio = Array.make n 1.0 in
+  for i = 0 to n - 1 do
+    varies.(i) <- (not fixed.(i)) && bounds.(i) > 1;
+    trips.(i) <- Util.Ints.ceil_div ev.e_extents.(i) bounds.(i);
+    ratio.(i) <-
+      (if varies.(i) then
+         float_of_int ev.e_extents.(i) /. float_of_int bounds.(i)
+       else float_of_int trips.(i))
+  done;
+  let sound = ref true in
+  let lb = ref 0.0 in
+  let dims_touched = Array.make n 0 in
+  Array.iter
+    (fun st ->
+      Array.iter
+        (fun r ->
+          if r.e_charged then begin
+            Array.fill dims_touched 0 n 0;
+            let elems = ref 1 in
+            Array.iter
+              (fun (bound, terms) ->
+                let fixed_span = ref 1 in
+                Array.iter
+                  (fun (ai, coeff) ->
+                    if not varies.(ai) then
+                      fixed_span := !fixed_span + (coeff * (bounds.(ai) - 1)))
+                  terms;
+                let span = ref 1 in
+                Array.iter
+                  (fun (ai, coeff) ->
+                    if varies.(ai) then begin
+                      dims_touched.(ai) <- dims_touched.(ai) + 1;
+                      if coeff > !fixed_span || dims_touched.(ai) > 1 then
+                        sound := false
+                    end;
+                    span := !span + (coeff * (bounds.(ai) - 1)))
+                  terms;
+                elems := !elems * min !span bound)
+              r.e_dims;
+            let dm = ref (float_of_int (!elems * r.e_dtype_bytes)) in
+            let keep_reuse = ref true in
+            Array.iter
+              (fun (ai, uses) ->
+                if uses && trips.(ai) > 1 then keep_reuse := false;
+                if not !keep_reuse then dm := !dm *. ratio.(ai))
+              r.e_loops;
+            lb := !lb +. !dm
+          end)
+        st.e_refs)
+    ev.e_stages;
+  (* Shave a relative epsilon so float rounding in the products above can
+     never lift the bound past a DV it must stay under; the margin is six
+     orders beyond accumulated ulp error yet far below any real DV gap. *)
+  if !sound then Some (!lb *. (1.0 -. 1e-9)) else None
+
 let owning_op (chain : Ir.Chain.t) tensor =
   let refs_tensor (s : Ir.Chain.stage) =
     List.exists

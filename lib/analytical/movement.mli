@@ -36,6 +36,47 @@ val analyze :
     [charge_intermediates] prices the intermediates as if they spilled —
     the no-reuse configuration of Figure 8f. *)
 
+type evaluator
+(** Algorithm 1 with the symbolic part pre-computed for one
+    (chain, perm) pair: the reuse/active-loop structure and per-tensor
+    footprint terms are frozen into flat arrays at {!compile} time, so
+    each evaluation is pure integer/float arithmetic.  DV and MU are
+    bit-exact with {!analyze} — the float operations happen in the
+    identical order — which the property suite asserts with [=]. *)
+
+val compile :
+  ?charge_intermediates:bool -> Ir.Chain.t -> perm:string list -> evaluator
+(** Compile the evaluator for one block execution order.  Same
+    validation and [charge_intermediates] semantics as {!analyze}. *)
+
+val eval : evaluator -> tiling:Tiling.t -> float * int
+(** [(dv_bytes, mu_bytes)] for a tiling — equal to the corresponding
+    fields of {!analyze} on the same inputs. *)
+
+val eval_array : evaluator -> int array -> float * int
+(** The allocation-light entry point the solver descends on: tile sizes
+    as a plain vector indexed like {!axis_names} (every chain axis, in
+    chain declaration order).  Sizes are expected in [1, extent] — the
+    caller owns the clamping {!Tiling.make} would have done. *)
+
+val axis_names : evaluator -> string array
+(** The axis order {!eval_array} expects (the chain's axes). *)
+
+val dv_lower_bound :
+  evaluator -> bounds:int array -> fixed:bool array -> float option
+(** A certified lower bound on DV over a tiling search box, for the
+    solver's branch-and-bound gate.  The box is [1, bounds.(i)] per
+    axis; axes with [fixed.(i)] sit at exactly [bounds.(i)] in every
+    point the solver evaluates (full-tile axes, bound-1 axes).  The
+    bound is DV at the all-upper-bounds corner with each varying
+    reuse-breaking loop priced at the real ratio extent/bound rather
+    than its ceiling — sound because a dense access's footprint-times-
+    trips product per axis is minimised at the bound, and reuse breaks
+    only move inward as tiles shrink.  Returns [None] when the density
+    precondition fails (an access with gaps, e.g. conv stride > kernel:
+    there small tiles can move {e less} than the corner suggests), in
+    which case the caller must not prune. *)
+
 val reuse_axes : Ir.Chain.t -> perm:string list -> tensor:string -> string list
 (** The axes along which the named IO tensor is *reused* under [perm]:
     scanning from the innermost loop outward within the owning operator's

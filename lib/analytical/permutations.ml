@@ -14,7 +14,61 @@ let indexes_every_io_tensor (chain : Ir.Chain.t) axis =
       Ir.Access.uses_axis r.Ir.Operator.access axis)
     io
 
-let classify chain =
+(* ------------------------------------------------------------------ *)
+(* Memoization                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Classification and enumeration are pure functions of the chain's
+   axis structure, yet every explore call — and every verify pass —
+   recomputed them.  The key encodes everything the functions below
+   read: axis names/extents, each stage's operator shape, and which
+   axes index each tensor (for [indexes_every_io_tensor] and the
+   producer/consumer layout behind [io_names]).  Chain name alone would
+   under-key: property tests forge many same-named chains. *)
+let structure_key (chain : Ir.Chain.t) =
+  let b = Buffer.create 128 in
+  Buffer.add_string b chain.name;
+  List.iter
+    (fun (a : Ir.Axis.t) ->
+      Buffer.add_string b (Printf.sprintf "|%s=%d" a.name a.extent))
+    chain.axes;
+  List.iter
+    (fun (s : Ir.Chain.stage) ->
+      let op = s.op in
+      Buffer.add_string b ("||" ^ op.Ir.Operator.name);
+      Buffer.add_string b ("/" ^ String.concat "," op.Ir.Operator.axes);
+      Buffer.add_string b ("/" ^ String.concat "," op.Ir.Operator.reduction_axes);
+      List.iter
+        (fun (r : Ir.Operator.tensor_ref) ->
+          Buffer.add_string b
+            (Printf.sprintf "/%s:%s" r.tensor
+               (String.concat "," (Ir.Access.axes_used r.access))))
+        (Ir.Operator.all_refs op))
+    chain.stages;
+  Buffer.contents b
+
+let memo_mutex = Mutex.create ()
+let classify_cache : (string, t) Hashtbl.t = Hashtbl.create 16
+let candidates_cache : (string, string list list) Hashtbl.t = Hashtbl.create 16
+
+let memoized cache key compute =
+  Mutex.lock memo_mutex;
+  match Hashtbl.find_opt cache key with
+  | Some v ->
+      Mutex.unlock memo_mutex;
+      v
+  | None ->
+      Mutex.unlock memo_mutex;
+      (* Compute outside the lock (it can be slow and can raise); a
+         racing duplicate computation is harmless — the values are
+         structurally equal. *)
+      let v = compute () in
+      Mutex.lock memo_mutex;
+      Hashtbl.replace cache key v;
+      Mutex.unlock memo_mutex;
+      v
+
+let classify_uncached chain =
   let fused = Movement.fused_axes chain in
   let extent = Ir.Chain.extent_of chain in
   let pinned_inner =
@@ -31,9 +85,13 @@ let classify chain =
   in
   { movable; pinned_outer; pinned_inner }
 
+let classify chain =
+  memoized classify_cache (structure_key chain) (fun () ->
+      classify_uncached chain)
+
 let full_tile_axes chain = (classify chain).pinned_inner
 
-let candidates chain =
+let candidates_uncached chain =
   let { movable; pinned_outer; pinned_inner } = classify chain in
   if List.length movable > 7 then
     invalid_arg
@@ -44,6 +102,10 @@ let candidates chain =
   List.map
     (fun p -> pinned_outer @ p @ pinned_inner)
     (Util.Perm.all movable)
+
+let candidates chain =
+  memoized candidates_cache (structure_key chain) (fun () ->
+      candidates_uncached chain)
 
 let count chain =
   Util.Perm.factorial (List.length (classify chain).movable)

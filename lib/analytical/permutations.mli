@@ -12,7 +12,13 @@
       sits, so outermost is optimal and it is pinned there.
 
     What remains matches the paper's counts: 4 movable axes (24 orders)
-    for the GEMM chain, at most 6 for convolution chains. *)
+    for the GEMM chain, at most 6 for convolution chains.
+
+    {!classify} and {!candidates} are memoized per chain structure
+    (axis names/extents, operator shapes, tensor accesses — not the
+    chain name alone), so repeated explores and verify passes over the
+    same chain pay the enumeration once per process.  The caches are
+    mutex-guarded and safe to hit from pool workers. *)
 
 type t = {
   movable : string list;  (** axes actually permuted. *)

@@ -4,6 +4,8 @@ type plan = {
   movement : Movement.result;
   capacity_bytes : int;
   candidates_evaluated : int;
+  perms_pruned : int;
+  solver_evals : int;
 }
 
 (* Seed the descent with the paper's closed-form point when the chain has
@@ -38,35 +40,87 @@ type candidate = {
   c_dv_bytes : float;
 }
 
-let explore chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check () =
+type explore_stats = { evaluated : int; pruned : int; evals : int }
+
+(* Lower the shared best-so-far DV; CAS-loop because pool workers race
+   on it (the value read is passed back verbatim, so the physical
+   comparison in [compare_and_set] is sound). *)
+let rec atomic_min cell v =
+  let cur = Atomic.get cell in
+  if v < cur && not (Atomic.compare_and_set cell cur v) then atomic_min cell v
+
+let explore chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check
+    ?(prune = false) ?(engine = `Compiled) ?pool () =
   let perms =
     match perms with Some p -> p | None -> Permutations.candidates chain
   in
   let full_tile = Permutations.full_tile_axes chain in
   let extra_starts = closed_form_starts chain ~capacity_bytes in
+  let best = Atomic.make infinity in
+  let solve_one perm =
+    let prune_above = if prune then Some (Atomic.get best) else None in
+    let verdict, evals =
+      Solver.solve chain ~perm ~capacity_bytes ~full_tile ?max_tile ?min_tile
+        ~extra_starts ?check ~engine ?prune_above ()
+    in
+    (match verdict with
+    | Solver.Feasible sol ->
+        atomic_min best sol.Solver.movement.Movement.dv_bytes
+    | Solver.Infeasible | Solver.Pruned -> ());
+    (verdict, evals)
+  in
+  let outcomes =
+    (* Workers race only on the prune bound, which is monotone and only
+       ever skips orders that can neither win nor tie — so the pooled
+       fan-out and the serial loop select the same best plan.  Results
+       are reassembled in enumeration order before ranking. *)
+    match pool with
+    | Some pool when Util.Pool.size pool > 1 && List.length perms > 1 ->
+        let perms_arr = Array.of_list perms in
+        Array.to_list
+          (Util.Pool.run pool
+             (fun i -> solve_one perms_arr.(i))
+             (Array.length perms_arr))
+    | _ -> List.map solve_one perms
+  in
+  let stats =
+    List.fold_left
+      (fun acc (verdict, evals) ->
+        {
+          acc with
+          pruned =
+            (acc.pruned + match verdict with Solver.Pruned -> 1 | _ -> 0);
+          evals = acc.evals + evals;
+        })
+      { evaluated = List.length perms; pruned = 0; evals = 0 }
+      outcomes
+  in
+  (* Outcomes are in enumeration order, so the stable sort below keeps
+     the pre-pruning tie-break: the earliest-enumerated minimum-DV
+     order wins. *)
   let candidates =
-    List.filter_map
-      (fun perm ->
-        match
-          Solver.solve_for_perm chain ~perm ~capacity_bytes ~full_tile
-            ?max_tile ?min_tile ~extra_starts ?check ()
-        with
-        | None -> None
-        | Some sol ->
-            Some
-              {
-                c_perm = perm;
-                c_tiling = sol.Solver.tiling;
-                c_dv_bytes = sol.Solver.movement.Movement.dv_bytes;
-              })
-      perms
+    List.rev
+      (List.fold_left2
+         (fun acc perm (verdict, _) ->
+           match verdict with
+           | Solver.Feasible sol ->
+               {
+                 c_perm = perm;
+                 c_tiling = sol.Solver.tiling;
+                 c_dv_bytes = sol.Solver.movement.Movement.dv_bytes;
+               }
+               :: acc
+           | Solver.Infeasible | Solver.Pruned -> acc)
+         [] perms outcomes)
   in
   ( List.sort (fun a b -> compare a.c_dv_bytes b.c_dv_bytes) candidates,
-    List.length perms )
+    stats )
 
-let optimize chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check () =
-  let ranked, evaluated =
-    explore chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check ()
+let optimize chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check
+    ?(prune = true) ?engine ?pool () =
+  let ranked, stats =
+    explore chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check ~prune
+      ?engine ?pool ()
   in
   match ranked with
   | [] ->
@@ -81,12 +135,18 @@ let optimize chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check () =
         movement =
           Movement.analyze chain ~perm:best.c_perm ~tiling:best.c_tiling;
         capacity_bytes;
-        candidates_evaluated = evaluated;
+        candidates_evaluated = stats.evaluated;
+        perms_pruned = stats.pruned;
+        solver_evals = stats.evals;
       }
 
 let refine_for_parallelism chain plan ~min_blocks ?(slack = 4.0)
     ?min_tile ?(check = fun () -> ()) () =
   let base_dv = plan.movement.Movement.dv_bytes in
+  (* One compiled evaluator serves every trial halving below; its DV is
+     bit-exact with [Movement.analyze], so the split chosen matches the
+     reference path's. *)
+  let ev = Movement.compile chain ~perm:plan.perm in
   (* Split until the parallel tasks keep [min_blocks] cores ~90% busy
      under LPT scheduling, not merely until there are enough of them. *)
   let balanced t =
@@ -112,15 +172,14 @@ let refine_for_parallelism chain plan ~min_blocks ?(slack = 4.0)
               let trial =
                 Tiling.set tiling axis (max floor_of ((size + 1) / 2))
               in
-              let m = Movement.analyze chain ~perm:plan.perm ~tiling:trial in
-              if m.Movement.dv_bytes <= slack *. base_dv then
-                Some (m.Movement.dv_bytes, trial, m)
-              else None)
+              let dv, _ = Movement.eval ev ~tiling:trial in
+              if dv <= slack *. base_dv then Some (dv, trial) else None)
           (Tiling.bindings tiling)
       in
-      match List.sort (fun (a, _, _) (b, _, _) -> compare a b) candidates with
+      match List.sort (fun (a, _) (b, _) -> compare a b) candidates with
       | [] -> (tiling, movement)
-      | (_, trial, m) :: _ -> refine trial m
+      | (_, trial) :: _ ->
+          refine trial (Movement.analyze chain ~perm:plan.perm ~tiling:trial)
     end
   in
   let tiling, movement = refine plan.tiling plan.movement in
@@ -133,7 +192,8 @@ type level_plan = {
   cost_seconds : float;
 }
 
-let optimize_multilevel ?min_blocks ?min_tile ?check chain ~machine =
+let optimize_multilevel ?min_blocks ?min_tile ?check ?prune ?engine ?pool
+    chain ~machine =
   let on_chip = Arch.Machine.on_chip_levels machine in
   (* Outer levels feed from the next-outer link; outermost feeds from
      DRAM. *)
@@ -158,7 +218,7 @@ let optimize_multilevel ?min_blocks ?min_tile ?check chain ~machine =
         in
         let plan =
           optimize chain ~capacity_bytes:level.Arch.Level.capacity_bytes
-            ?max_tile ?min_tile ?check ()
+            ?max_tile ?min_tile ?check ?prune ?engine ?pool ()
         in
         let plan =
           (* Occupancy refinement applies at the outermost level, where
@@ -189,9 +249,10 @@ let bottleneck = function
 let memory_time_seconds level_plans = (bottleneck level_plans).cost_seconds
 
 let pp_plan fmt p =
-  Format.fprintf fmt "order=%s tiles=%s DV=%.3e MB MU=%.1f KiB (%d orders)"
+  Format.fprintf fmt
+    "order=%s tiles=%s DV=%.3e MB MU=%.1f KiB (%d orders, %d pruned, %d evals)"
     (String.concat "" p.perm)
     (Tiling.to_string p.tiling)
     (p.movement.Movement.dv_bytes /. 1e6)
     (float_of_int p.movement.Movement.mu_bytes /. 1024.0)
-    p.candidates_evaluated
+    p.candidates_evaluated p.perms_pruned p.solver_evals

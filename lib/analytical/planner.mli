@@ -9,6 +9,10 @@ type plan = {
   movement : Movement.result;  (** Algorithm-1 analysis of the choice. *)
   capacity_bytes : int;  (** the memory budget the plan was solved for. *)
   candidates_evaluated : int;  (** size of the explored order space. *)
+  perms_pruned : int;
+      (** orders skipped by branch-and-bound before any descent. *)
+  solver_evals : int;
+      (** total DV/MU model evaluations spent choosing this plan. *)
 }
 
 type candidate = {
@@ -18,24 +22,48 @@ type candidate = {
 }
 (** One explored block execution order with its best tiling. *)
 
+type explore_stats = {
+  evaluated : int;  (** orders considered (the whole candidate space). *)
+  pruned : int;  (** of those, skipped by the branch-and-bound gate. *)
+  evals : int;  (** DV/MU model evaluations across all solves. *)
+}
+
 val explore :
   Ir.Chain.t -> capacity_bytes:int -> ?max_tile:(string -> int) ->
   ?min_tile:(string -> int) -> ?perms:string list list ->
-  ?check:(unit -> unit) -> unit -> candidate list * int
+  ?check:(unit -> unit) -> ?prune:bool -> ?engine:Solver.engine ->
+  ?pool:Util.Pool.t -> unit -> candidate list * explore_stats
 (** Solve every candidate order and return them ranked by data movement
-    volume (plus the number of orders evaluated) — the paper's Figure 2
-    view of the search space, used by diagnostics.
+    volume (plus exploration statistics) — the paper's Figure 2 view of
+    the search space, used by diagnostics.
+
+    [prune] (default off, so diagnostic listings stay complete) turns on
+    branch-and-bound: a best-so-far DV is threaded to every solve as
+    {!Solver.solve}'s [prune_above], skipping orders whose DV lower
+    bound cannot win or tie.  Pruning never changes the ranked head —
+    only strictly-worse orders are dropped from the tail.
+
+    [pool] fans the per-order solves across a shared domain pool; the
+    best-so-far bound lives in an atomic so workers prune against each
+    other's results.  Results are reassembled in enumeration order, so
+    the (stable) ranking — and therefore the chosen plan — is identical
+    to the serial path's; only [explore_stats.pruned]/[evals] may vary
+    run to run under the pool.
 
     [check] is the cooperative cancellation hook threaded into every
-    per-order solve (see {!Solver.solve_for_perm}); deadline-bounded
-    callers make it raise, bounding the whole exploration. *)
+    per-order solve (see {!Solver.solve}); deadline-bounded callers
+    make it raise, bounding the whole exploration. *)
 
 val optimize :
   Ir.Chain.t -> capacity_bytes:int -> ?max_tile:(string -> int) ->
   ?min_tile:(string -> int) -> ?perms:string list list ->
-  ?check:(unit -> unit) -> unit -> plan
-(** Single-level optimization.  [perms] overrides the enumerated
-    candidate orders (used by tests and by fixed-order baselines).
+  ?check:(unit -> unit) -> ?prune:bool -> ?engine:Solver.engine ->
+  ?pool:Util.Pool.t -> unit -> plan
+(** Single-level optimization: {!explore} with pruning on (default;
+    [~prune:false] restores the exhaustive pre-pruning behaviour for
+    benchmarks and equivalence tests), keeping the minimum-DV order.
+    [perms] overrides the enumerated candidate
+    orders (used by tests and by fixed-order baselines).
     For chains with the canonical [b/m/n/k/l] axes the closed-form GEMM
     solution is seeded as a descent start.  Raises [Failure] if no
     candidate order admits a feasible tiling; propagates whatever
@@ -49,7 +77,10 @@ val refine_for_parallelism :
     greedily halving the tile whose split costs the least extra data
     movement and stopping when the DV would exceed [slack] (default 4.0)
     times the optimum.  Mirrors the occupancy constraint every real
-    backend imposes on top of the locality objective. *)
+    backend imposes on top of the locality objective.  Trial halvings
+    are priced through a compiled evaluator; the accepted split is
+    re-analyzed in full, so the stored movement matches
+    {!Movement.analyze} exactly. *)
 
 type level_plan = {
   level : Arch.Level.t;  (** the on-chip level the plan targets. *)
@@ -62,12 +93,14 @@ type level_plan = {
 
 val optimize_multilevel :
   ?min_blocks:int -> ?min_tile:(string -> int) -> ?check:(unit -> unit) ->
-  Ir.Chain.t -> machine:Arch.Machine.t -> level_plan list
+  ?prune:bool -> ?engine:Solver.engine -> ?pool:Util.Pool.t -> Ir.Chain.t ->
+  machine:Arch.Machine.t -> level_plan list
 (** One plan per on-chip level, innermost first.  The outermost on-chip
     level is planned against full problem extents (and, when
     [min_blocks] is given, refined for parallelism); each inner level's
     tiles are constrained to nest inside its parent's (sub-block
-    decomposition). *)
+    decomposition).  [pool] parallelizes each level's order
+    exploration. *)
 
 val bottleneck : level_plan list -> level_plan
 (** The level with the largest movement cost — the max of Equation 3. *)
@@ -76,4 +109,4 @@ val memory_time_seconds : level_plan list -> float
 (** The Equation-3 objective value: the bottleneck level's cost. *)
 
 val pp_plan : Format.formatter -> plan -> unit
-(** One-line summary: order, tiles, DV, MU. *)
+(** One-line summary: order, tiles, DV, MU, search counters. *)

@@ -1,5 +1,9 @@
 type solution = { tiling : Tiling.t; movement : Movement.result }
 
+type engine = [ `Compiled | `Reference ]
+
+type verdict = Feasible of solution | Infeasible | Pruned
+
 let candidate_sizes extent =
   if extent <= 0 then invalid_arg "Solver.candidate_sizes: bad extent";
   let rec pows acc p =
@@ -15,169 +19,315 @@ let better a b =
   || a.movement.Movement.dv_bytes = b.movement.Movement.dv_bytes
      && Tiling.total_blocks a.tiling < Tiling.total_blocks b.tiling
 
-let rec solve_for_perm chain ~perm ~capacity_bytes ?(full_tile = [])
-    ?max_tile ?min_tile ?(extra_starts = []) ?(boundary_grow = true)
-    ?(uniform_start = true) ?(check = fun () -> ()) () =
+(* The search state is a plain tile-size vector indexed by chain-axis
+   position; (DV, total blocks) rides along so the [better] order can be
+   applied without rebuilding a Tiling.  [blocks] replays
+   [Tiling.total_blocks]'s fold (same axis order, same float ops) so
+   tie-breaks agree bit-for-bit with the record-based path. *)
+
+let solve chain ~perm ~capacity_bytes ?(full_tile = []) ?max_tile ?min_tile
+    ?(extra_starts = []) ?(boundary_grow = true) ?(uniform_start = true)
+    ?(check = fun () -> ()) ?(engine = `Compiled) ?prune_above () =
   Movement.validate_perm chain perm;
   check ();
-  let bound axis =
-    let extent = Ir.Chain.extent_of chain axis in
-    match max_tile with
-    | None -> extent
-    | Some f -> Util.Ints.clamp ~lo:1 ~hi:extent (f axis)
+  let axes_l = chain.Ir.Chain.axes in
+  let names = Array.of_list (List.map (fun (a : Ir.Axis.t) -> a.name) axes_l) in
+  let extents =
+    Array.of_list (List.map (fun (a : Ir.Axis.t) -> a.extent) axes_l)
   in
-  let floor_of axis =
-    match min_tile with
-    | None -> 1
-    | Some f -> Util.Ints.clamp ~lo:1 ~hi:(bound axis) (f axis)
+  let n = Array.length names in
+  let idx name =
+    let rec go i =
+      if i >= n then invalid_arg (Printf.sprintf "Solver: unknown axis %s" name)
+      else if names.(i) = name then i
+      else go (i + 1)
+    in
+    go 0
   in
-  let axes = Movement.fused_axes chain in
-  let base =
-    List.fold_left
-      (fun t axis ->
-        if List.mem axis full_tile then Tiling.set t axis (bound axis)
-        else Tiling.set t axis (floor_of axis))
-      (Tiling.ones chain) axes
-  in
-  let free =
-    List.filter (fun a -> (not (List.mem a full_tile)) && bound a > 1) axes
-  in
-  let clamp_start t =
-    (* Force the full-tile axes, floors and per-axis bounds onto a seed. *)
-    List.fold_left
-      (fun acc axis ->
-        let v =
-          if List.mem axis full_tile then bound axis
-          else
-            Util.Ints.clamp ~lo:(floor_of axis) ~hi:(bound axis)
-              (Tiling.get t axis)
-        in
-        Tiling.set acc axis v)
-      base axes
-  in
-  let eval tiling =
-    let movement = Movement.analyze chain ~perm ~tiling in
-    { tiling; movement }
-  in
-  let feasible s = s.movement.Movement.mu_bytes <= capacity_bytes in
-  let base_sol = eval base in
-  if not (feasible base_sol) then
-    (* The micro-kernel floors do not fit this budget: relax them rather
-       than fail (the micro kernel will pay the tail penalty instead). *)
-    if min_tile <> None then
-      solve_for_perm chain ~perm ~capacity_bytes ~full_tile ?max_tile
-        ~extra_starts ~boundary_grow ~uniform_start ~check ()
-    else None
-  else begin
-    let candidates_for axis =
-      List.filter (fun v -> v <= bound axis && v >= floor_of axis)
-        (candidate_sizes (Ir.Chain.extent_of chain axis))
-    in
-    let descend start =
-      let current = ref (eval start) in
-      if not (feasible !current) then current := base_sol;
-      let improved = ref true in
-      let sweeps = ref 0 in
-      while !improved && !sweeps < 20 do
-        check ();
-        improved := false;
-        incr sweeps;
-        List.iter
-          (fun axis ->
-            List.iter
-              (fun v ->
-                if v <> Tiling.get !current.tiling axis then begin
-                  let trial = eval (Tiling.set !current.tiling axis v) in
-                  if feasible trial && better trial !current then begin
-                    current := trial;
-                    improved := true
-                  end
-                end)
-              (candidates_for axis))
-          free
-      done;
-      !current
-    in
-    (* Push each tile to the capacity boundary: the Lagrange optimum sits
-       on MU = MemoryCapacity, usually between two grid points.  Binary
-       search the largest feasible size per axis (MU is monotone in each
-       tile) and keep it when it does not hurt DV. *)
-    let grow sol =
-      let current = ref sol in
-      let improved = ref true in
-      let passes = ref 0 in
-      while !improved && !passes < 3 do
-        check ();
-        improved := false;
-        incr passes;
-        List.iter
-          (fun axis ->
-            let lo = Tiling.get !current.tiling axis in
-            let rec bsearch lo hi =
-              (* invariant: lo feasible, hi+1 infeasible or hi = bound *)
-              if hi <= lo then lo
-              else begin
-                let mid = (lo + hi + 1) / 2 in
-                let trial = eval (Tiling.set !current.tiling axis mid) in
-                if feasible trial then bsearch mid hi else bsearch lo (mid - 1)
-              end
-            in
-            let v_max = bsearch lo (bound axis) in
-            let extent = Ir.Chain.extent_of chain axis in
-            List.iter
-              (fun v ->
-                if v > Tiling.get !current.tiling axis then begin
-                  let trial = eval (Tiling.set !current.tiling axis v) in
-                  if feasible trial && not (better !current trial) then begin
-                    current := trial;
-                    improved := true
-                  end
-                end)
-              [ v_max; Util.Ints.round_down_to_divisor extent v_max ])
-          free
-      done;
-      !current
-    in
-    let mid_start =
-      List.fold_left (fun t a -> Tiling.set t a 8) base free
-    in
-    (* A balanced start: the largest uniform tile size that fits, the
-       discrete analogue of the symmetric Lagrange saddle point. *)
-    let make_uniform_start () =
-      let at s =
-        List.fold_left
-          (fun t a -> Tiling.set t a (min s (bound a)))
-          base free
-      in
-      let max_extent =
-        List.fold_left (fun acc a -> max acc (bound a)) 1 free
-      in
-      let rec bsearch lo hi =
-        if hi <= lo then lo
-        else begin
-          let mid = (lo + hi + 1) / 2 in
-          if feasible (eval (at mid)) then bsearch mid hi
-          else bsearch lo (mid - 1)
-        end
-      in
-      at (bsearch 1 max_extent)
-    in
-    let starts =
-      (base :: clamp_start mid_start
-      :: (if uniform_start then [ make_uniform_start () ] else []))
-      @ List.map clamp_start extra_starts
-    in
-    let best =
-      List.fold_left
-        (fun best start ->
-          let sol =
-            let s = descend start in
-            if boundary_grow then grow s else s
+  let evals = ref 0 in
+  let evaluator = lazy (Movement.compile chain ~perm) in
+  let eval =
+    match engine with
+    | `Compiled ->
+        let ev = Lazy.force evaluator in
+        fun tiles ->
+          incr evals;
+          Movement.eval_array ev tiles
+    | `Reference ->
+        (* The pre-compilation reference path: a full Algorithm-1 run per
+           evaluation.  Kept selectable so benches can measure the
+           speedup and tests can cross-check plan equivalence. *)
+        fun tiles ->
+          incr evals;
+          let assoc =
+            Array.to_list (Array.mapi (fun i v -> (names.(i), v)) tiles)
           in
-          match best with
-          | None -> Some sol
-          | Some b -> if better sol b then Some sol else best)
-        None starts
+          let m =
+            Movement.analyze chain ~perm ~tiling:(Tiling.make chain assoc)
+          in
+          (m.Movement.dv_bytes, m.Movement.mu_bytes)
+  in
+  let blocks_of tiles =
+    let acc = ref 1.0 in
+    for i = 0 to n - 1 do
+      acc := !acc *. float_of_int (Util.Ints.ceil_div extents.(i) tiles.(i))
+    done;
+    !acc
+  in
+  let fused = Array.of_list (List.map idx (Movement.fused_axes chain)) in
+  let is_full_tile = Array.make n false in
+  List.iter (fun a -> is_full_tile.(idx a) <- true) full_tile;
+  let bound = Array.make n 1 in
+  Array.iter
+    (fun i ->
+      bound.(i) <-
+        (match max_tile with
+        | None -> extents.(i)
+        | Some f -> Util.Ints.clamp ~lo:1 ~hi:extents.(i) (f names.(i))))
+    fused;
+  let finish tiles =
+    let tiling =
+      Tiling.make chain
+        (Array.to_list (Array.mapi (fun i v -> (names.(i), v)) tiles))
     in
-    best
+    Feasible { tiling; movement = Movement.analyze chain ~perm ~tiling }
+  in
+  (* Branch-and-bound gate: a certified DV lower bound over this
+     order's whole search box ({!Movement.dv_lower_bound} — the
+     capacity-relaxed all-upper-bounds corner with varying trip counts
+     priced at their real ratios).  Strictly above the caller's
+     incumbent means no tiling in the box can win or tie, so the whole
+     permutation is skipped for the cost of one evaluation.  When the
+     bound cannot be certified (a gapped access, e.g. conv stride >
+     kernel), the gate stays open and the descent runs normally. *)
+  let pruned =
+    match prune_above with
+    | None -> false
+    | Some best ->
+        let ub = Array.make n 1 in
+        let fixed = Array.make n true in
+        Array.iter
+          (fun i ->
+            ub.(i) <- bound.(i);
+            fixed.(i) <- is_full_tile.(i) || bound.(i) <= 1)
+          fused;
+        incr evals;
+        (match
+           Movement.dv_lower_bound (Lazy.force evaluator) ~bounds:ub ~fixed
+         with
+        | Some lb_dv -> lb_dv > best
+        | None -> false)
+  in
+  if pruned then (Pruned, !evals)
+  else begin
+    let rec attempt ~use_floors =
+      let floor_ = Array.make n 1 in
+      (if use_floors then
+         match min_tile with
+         | None -> ()
+         | Some f ->
+             Array.iter
+               (fun i ->
+                 floor_.(i) <- Util.Ints.clamp ~lo:1 ~hi:bound.(i) (f names.(i)))
+               fused);
+      let base = Array.make n 1 in
+      Array.iter
+        (fun i ->
+          base.(i) <- (if is_full_tile.(i) then bound.(i) else floor_.(i)))
+        fused;
+      let base_dv, base_mu = eval base in
+      if base_mu > capacity_bytes then
+        (* The micro-kernel floors do not fit this budget: relax them
+           rather than fail (the micro kernel pays the tail penalty). *)
+        if use_floors && min_tile <> None then attempt ~use_floors:false
+        else Infeasible
+      else begin
+        let base_blocks = blocks_of base in
+        let free =
+          Array.of_list
+            (List.filter
+               (fun i -> (not is_full_tile.(i)) && bound.(i) > 1)
+               (Array.to_list fused))
+        in
+        (* Hoisted out of the descent sweeps: the candidate grid per free
+           axis never changes within a solve. *)
+        let cands =
+          Array.map
+            (fun i ->
+              Array.of_list
+                (List.filter
+                   (fun v -> v <= bound.(i) && v >= floor_.(i))
+                   (candidate_sizes extents.(i))))
+            free
+        in
+        let clamp_start get =
+          let t = Array.copy base in
+          Array.iter
+            (fun i ->
+              t.(i) <-
+                (if is_full_tile.(i) then bound.(i)
+                 else
+                   Util.Ints.clamp ~lo:floor_.(i) ~hi:bound.(i)
+                     (get names.(i))))
+            fused;
+          t
+        in
+        (* Mutable search point: tiles + its (dv, mu-feasibility, blocks). *)
+        let cur = Array.copy base in
+        let cur_dv = ref base_dv in
+        let cur_blocks = ref base_blocks in
+        let load tiles dv blocks =
+          Array.blit tiles 0 cur 0 n;
+          cur_dv := dv;
+          cur_blocks := blocks
+        in
+        let better_than_cur dv blocks =
+          dv < !cur_dv || (dv = !cur_dv && blocks < !cur_blocks)
+        in
+        let descend start =
+          let sdv, smu = eval start in
+          if smu <= capacity_bytes then load start sdv (blocks_of start)
+          else load base base_dv base_blocks;
+          let improved = ref true in
+          let sweeps = ref 0 in
+          while !improved && !sweeps < 20 do
+            check ();
+            improved := false;
+            incr sweeps;
+            Array.iteri
+              (fun j i ->
+                Array.iter
+                  (fun v ->
+                    if v <> cur.(i) then begin
+                      let prev = cur.(i) in
+                      cur.(i) <- v;
+                      let dv, mu = eval cur in
+                      if mu <= capacity_bytes && better_than_cur dv (blocks_of cur)
+                      then begin
+                        cur_dv := dv;
+                        cur_blocks := blocks_of cur;
+                        improved := true
+                      end
+                      else cur.(i) <- prev
+                    end)
+                  cands.(j))
+              free
+          done
+        in
+        (* Push each tile to the capacity boundary: the Lagrange optimum
+           sits on MU = MemoryCapacity, usually between two grid points.
+           Binary search the largest feasible size per axis (MU is
+           monotone in each tile) and keep it when it does not hurt DV. *)
+        let grow () =
+          let improved = ref true in
+          let passes = ref 0 in
+          while !improved && !passes < 3 do
+            check ();
+            improved := false;
+            incr passes;
+            Array.iter
+              (fun i ->
+                let feasible_at v =
+                  let prev = cur.(i) in
+                  cur.(i) <- v;
+                  let _, mu = eval cur in
+                  cur.(i) <- prev;
+                  mu <= capacity_bytes
+                in
+                let rec bsearch lo hi =
+                  (* invariant: lo feasible, hi+1 infeasible or hi = bound *)
+                  if hi <= lo then lo
+                  else begin
+                    let mid = (lo + hi + 1) / 2 in
+                    if feasible_at mid then bsearch mid hi
+                    else bsearch lo (mid - 1)
+                  end
+                in
+                let v_max = bsearch cur.(i) bound.(i) in
+                List.iter
+                  (fun v ->
+                    if v > cur.(i) then begin
+                      let prev = cur.(i) in
+                      cur.(i) <- v;
+                      let dv, mu = eval cur in
+                      let blocks = blocks_of cur in
+                      (* adopt unless the incumbent is strictly better *)
+                      if
+                        mu <= capacity_bytes
+                        && not
+                             (!cur_dv < dv
+                             || (!cur_dv = dv && !cur_blocks < blocks))
+                      then begin
+                        cur_dv := dv;
+                        cur_blocks := blocks;
+                        improved := true
+                      end
+                      else cur.(i) <- prev
+                    end)
+                  [ v_max; Util.Ints.round_down_to_divisor extents.(i) v_max ])
+              free
+          done
+        in
+        let mid_start =
+          let t = Array.copy base in
+          Array.iter
+            (fun i -> t.(i) <- Util.Ints.clamp ~lo:1 ~hi:extents.(i) 8)
+            free;
+          clamp_start (fun name -> t.(idx name))
+        in
+        (* A balanced start: the largest uniform tile size that fits, the
+           discrete analogue of the symmetric Lagrange saddle point. *)
+        let make_uniform_start () =
+          let at s =
+            let t = Array.copy base in
+            Array.iter (fun i -> t.(i) <- min s bound.(i)) free;
+            t
+          in
+          let max_extent = Array.fold_left (fun acc i -> max acc bound.(i)) 1 free in
+          let rec bsearch lo hi =
+            if hi <= lo then lo
+            else begin
+              let mid = (lo + hi + 1) / 2 in
+              let _, mu = eval (at mid) in
+              if mu <= capacity_bytes then bsearch mid hi
+              else bsearch lo (mid - 1)
+            end
+          in
+          at (bsearch 1 max_extent)
+        in
+        let starts =
+          (base :: mid_start
+          :: (if uniform_start then [ make_uniform_start () ] else []))
+          @ List.map (fun t -> clamp_start (Tiling.get t)) extra_starts
+        in
+        let best = ref None in
+        List.iter
+          (fun start ->
+            descend start;
+            if boundary_grow then grow ();
+            let adopt =
+              match !best with
+              | None -> true
+              | Some (_, bdv, bblocks) ->
+                  !cur_dv < bdv || (!cur_dv = bdv && !cur_blocks < bblocks)
+            in
+            if adopt then best := Some (Array.copy cur, !cur_dv, !cur_blocks))
+          starts;
+        match !best with
+        | Some (tiles, _, _) -> finish tiles
+        | None -> Infeasible
+      end
+    in
+    let verdict = attempt ~use_floors:true in
+    (verdict, !evals)
   end
+
+let solve_for_perm chain ~perm ~capacity_bytes ?(full_tile = []) ?max_tile
+    ?min_tile ?(extra_starts = []) ?(boundary_grow = true)
+    ?(uniform_start = true) ?(check = fun () -> ()) ?(engine = `Compiled) () =
+  match
+    solve chain ~perm ~capacity_bytes ~full_tile ?max_tile ?min_tile
+      ~extra_starts ~boundary_grow ~uniform_start ~check ~engine ()
+  with
+  | Feasible s, _ -> Some s
+  | (Infeasible | Pruned), _ -> None

@@ -8,24 +8,51 @@
     integer tile sizes.  DV is non-increasing and MU non-decreasing in
     every tile size, so descent under the feasibility constraint walks to
     the capacity boundary exactly like the Lagrange solution; the
-    closed-form point (when available) is injected as an extra start. *)
+    closed-form point (when available) is injected as an extra start.
+
+    The descent evaluates DV/MU through a {!Movement.evaluator} compiled
+    once per (chain, perm) — flat arithmetic on a tile-size vector — so
+    the thousands of model evaluations per solve cost nanoseconds, not
+    a re-derivation of the symbolic analysis (see docs/PERF.md). *)
 
 type solution = { tiling : Tiling.t; movement : Movement.result }
 (** A feasible tiling and its Algorithm-1 analysis. *)
+
+type engine = [ `Compiled | `Reference ]
+(** [`Compiled] (default) descends on {!Movement.compile}'s evaluator;
+    [`Reference] re-runs the full {!Movement.analyze} per evaluation —
+    the pre-compilation behaviour, kept for benchmarks and for the
+    equivalence tests that prove both engines pick identical plans. *)
+
+type verdict =
+  | Feasible of solution
+  | Infeasible  (** even the minimal tiling exceeds the capacity. *)
+  | Pruned
+      (** skipped by branch-and-bound: the order's DV lower bound
+          already exceeds the caller's incumbent ([prune_above]). *)
 
 val candidate_sizes : int -> int list
 (** The tile-size grid for an axis of the given extent: powers of two up
     to the extent, merged with the extent's halvings
     [extent, ceil(extent/2), ceil(extent/4), ...], sorted, deduplicated. *)
 
-val solve_for_perm :
+val solve :
   Ir.Chain.t -> perm:string list -> capacity_bytes:int ->
   ?full_tile:string list -> ?max_tile:(string -> int) ->
   ?min_tile:(string -> int) -> ?extra_starts:Tiling.t list ->
   ?boundary_grow:bool -> ?uniform_start:bool -> ?check:(unit -> unit) ->
-  unit -> solution option
-(** Best feasible tiling for one permutation, or [None] when even the
-    minimal tiling exceeds [capacity_bytes].
+  ?engine:engine -> ?prune_above:float -> unit -> verdict * int
+(** Best feasible tiling for one permutation, plus the number of DV/MU
+    model evaluations spent.
+
+    [prune_above] is the branch-and-bound incumbent: before descending,
+    {!Movement.dv_lower_bound} certifies a DV lower bound over the whole
+    search box (the capacity-relaxed all-upper-bounds corner, varying
+    trip counts priced at their real ratios), and when that bound is
+    *strictly* above the incumbent the order is {!Pruned} for the cost
+    of a single evaluation.  Strictness preserves ties, and accesses the
+    bound cannot certify (gaps: conv stride > kernel) leave the gate
+    open, so the caller's ranked selection is unchanged by pruning.
 
     [check] (default a no-op) is a cooperative cancellation hook,
     called at entry and before every descent sweep and boundary-grow
@@ -43,6 +70,15 @@ val solve_for_perm :
     [uniform_start] (the balanced Lagrange-like seed) are both on by
     default; the internals ablation bench switches them off to show
     their contribution. *)
+
+val solve_for_perm :
+  Ir.Chain.t -> perm:string list -> capacity_bytes:int ->
+  ?full_tile:string list -> ?max_tile:(string -> int) ->
+  ?min_tile:(string -> int) -> ?extra_starts:Tiling.t list ->
+  ?boundary_grow:bool -> ?uniform_start:bool -> ?check:(unit -> unit) ->
+  ?engine:engine -> unit -> solution option
+(** {!solve} without pruning, collapsed to an option — [None] when even
+    the minimal tiling exceeds [capacity_bytes]. *)
 
 val better : solution -> solution -> bool
 (** [better a b] when [a] strictly improves on [b]: smaller DV, or equal

@@ -127,6 +127,8 @@ let heuristic_plan ~machine (sub_chain : Ir.Chain.t) =
             movement = analyze tiling;
             capacity_bytes = capacity;
             candidates_evaluated = 1;
+            perms_pruned = 0;
+            solver_evals = 0;
           }
       end
 

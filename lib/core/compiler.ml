@@ -47,7 +47,7 @@ type unit_plan = {
 
 exception No_feasible_tiling of string
 
-let plan_unit ?check (config : Config.t) ~machine ~registry sub_chain =
+let plan_unit ?check ?pool (config : Config.t) ~machine ~registry sub_chain =
   let min_blocks =
     if config.Config.parallel_refinement then Some machine.Arch.Machine.cores
     else None
@@ -60,14 +60,14 @@ let plan_unit ?check (config : Config.t) ~machine ~registry sub_chain =
     let level_plans =
       if config.Config.multilevel then
         Analytical.Planner.optimize_multilevel ?min_blocks ~min_tile ?check
-          sub_chain ~machine
+          ?pool sub_chain ~machine
       else begin
         let capacity =
           (Arch.Machine.primary_on_chip machine).Arch.Level.capacity_bytes
         in
         let plan =
           Analytical.Planner.optimize sub_chain ~capacity_bytes:capacity
-            ~min_tile ?check ()
+            ~min_tile ?check ?pool ()
         in
         let plan =
           match min_blocks with

@@ -53,8 +53,8 @@ exception No_feasible_tiling of string
     sampling fallback finds no feasible tiling. *)
 
 val plan_unit :
-  ?check:(unit -> unit) -> Config.t -> machine:Arch.Machine.t ->
-  registry:Microkernel.Registry.t -> Ir.Chain.t ->
+  ?check:(unit -> unit) -> ?pool:Util.Pool.t -> Config.t ->
+  machine:Arch.Machine.t -> registry:Microkernel.Registry.t -> Ir.Chain.t ->
   (unit_plan, [ `No_feasible_tiling ]) result
 (** Run the expensive half of {!optimize} for one sub-chain: the
     analytical planner (or the sampling tuner when [use_cost_model] is
@@ -62,7 +62,10 @@ val plan_unit :
     admits a feasible tiling, exactly as {!Analytical.Planner.optimize}
     does.  [check] is the cooperative cancellation hook threaded into
     every planner and tuner search loop; the compilation service uses
-    it to enforce per-request deadlines, catching whatever it raises. *)
+    it to enforce per-request deadlines, catching whatever it raises.
+    [pool] fans the planner's per-order solves across a shared domain
+    pool ({!Analytical.Planner.optimize}'s [pool]); the chosen plan is
+    identical to the serial one. *)
 
 val kernel_of_unit_plan :
   machine:Arch.Machine.t -> registry:Microkernel.Registry.t ->

@@ -72,6 +72,8 @@ let search chain ~machine ~trials_per_order ~seed ?perms
               movement;
               capacity_bytes = capacity;
               candidates_evaluated = List.length perms;
+              perms_pruned = 0;
+              solver_evals = !trials_run;
             };
           trials_run = !trials_run;
           measured_dram_bytes = measured;

@@ -23,14 +23,15 @@ let now () = Unix.gettimeofday ()
    is the cooperative deadline check; any exception a sub-chain's solve
    raises is contained here, so one poisoned request can never escape
    into the surrounding batch or domain. *)
-let plan_subs ?(check = fun () -> ()) config ~machine ~registry subs =
+let plan_subs ?(check = fun () -> ()) ?pool config ~machine ~registry subs =
   let rec go acc solves = function
     | [] -> Ok (List.rev acc, solves)
     | (sub : Ir.Chain.t) :: rest -> (
         match
           check ();
           Failpoint.hit ~ctx:sub.Ir.Chain.name "plan.solve";
-          Chimera.Compiler.plan_unit ~check config ~machine ~registry sub
+          Chimera.Compiler.plan_unit ~check ?pool config ~machine ~registry
+            sub
         with
         | Ok up -> go (up :: acc) (solves + 1) rest
         | Error `No_feasible_tiling ->
@@ -73,7 +74,7 @@ let combine_reasons earlier later =
    Returns the entry, the solve count, and whether any rung was cut
    short by the deadline — the caller counts deadline hits even when a
    lower rung then answered successfully. *)
-let plan_entry ?deadline ~config ~machine chain =
+let plan_entry ?deadline ?pool ~config ~machine chain =
   let registry = Chimera.Compiler.registry_for config in
   let check =
     Option.value (Deadline.checker deadline) ~default:(fun () -> ())
@@ -100,7 +101,7 @@ let plan_entry ?deadline ~config ~machine chain =
         ~solves
     end
     else
-      match plan_subs ~check config ~machine ~registry split with
+      match plan_subs ~check ?pool config ~machine ~registry split with
       | Ok (units, s) ->
           Ok ({ Plan_cache.rung = Split; degrade_reason; units }, solves + s)
       | Error (e, s) ->
@@ -112,7 +113,7 @@ let plan_entry ?deadline ~config ~machine chain =
   in
   let result =
     if config.Chimera.Config.use_fusion then
-      match plan_subs ~check config ~machine ~registry [ chain ] with
+      match plan_subs ~check ?pool config ~machine ~registry [ chain ] with
       | Ok (units, s) ->
           Ok ({ Plan_cache.rung = Fused; degrade_reason = None; units }, s)
       | Error (e, s) ->
@@ -196,6 +197,35 @@ let note_seconds metrics dt =
   bump metrics (fun (m : Metrics.t) ->
       m.compile_seconds <- m.compile_seconds +. dt)
 
+(* Model evaluations and pruned orders accumulated while planning an
+   entry: every level plan of every unit carries the counters the
+   planner recorded; the tuner path reports its trials as evaluations. *)
+let entry_search_stats (entry : Plan_cache.entry) =
+  List.fold_left
+    (fun acc (up : Chimera.Compiler.unit_plan) ->
+      let evals, pruned =
+        List.fold_left
+          (fun (e, p) (lp : Analytical.Planner.level_plan) ->
+            ( e + lp.Analytical.Planner.plan.Analytical.Planner.solver_evals,
+              p + lp.Analytical.Planner.plan.Analytical.Planner.perms_pruned
+            ))
+          acc up.Chimera.Compiler.level_plans
+      in
+      match up.Chimera.Compiler.tuner_result with
+      | Some r -> (evals + r.Chimera.Tuner.trials_run, pruned)
+      | None -> (evals, pruned))
+    (0, 0) entry.Plan_cache.units
+
+let note_plan_search metrics dt planned =
+  bump metrics (fun (m : Metrics.t) ->
+      m.plan_solve_ms_total <- m.plan_solve_ms_total +. (dt *. 1000.0);
+      match planned with
+      | Ok ((entry : Plan_cache.entry), _) ->
+          let evals, pruned = entry_search_stats entry in
+          m.plan_evals_total <- m.plan_evals_total + evals;
+          m.plan_perms_pruned_total <- m.plan_perms_pruned_total + pruned
+      | Error _ -> ())
+
 (* ------------------------------------------------------------------ *)
 (* Verification                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -240,8 +270,8 @@ let apply_verify ~verify metrics (r : (response, Error.t) result) =
 (* The batch must survive anything planning throws, including faults
    injected below [plan_subs]'s own containment (e.g. in
    [registry_for]). *)
-let guarded_plan_entry ?deadline ~config ~machine chain =
-  try plan_entry ?deadline ~config ~machine chain
+let guarded_plan_entry ?deadline ?pool ~config ~machine chain =
+  try plan_entry ?deadline ?pool ~config ~machine chain
   with e ->
     let err = Error.of_exn e in
     let hit = match err with Error.Deadline_exceeded _ -> true | _ -> false in
@@ -252,7 +282,7 @@ let guarded_plan_entry ?deadline ~config ~machine chain =
 (* ------------------------------------------------------------------ *)
 
 let compile ?cache ?metrics ?(config = Chimera.Config.default) ?deadline
-    ?(verify = Verify_off) ~machine chain =
+    ?pool ?(verify = Verify_off) ~machine chain =
   bump metrics (fun (m : Metrics.t) -> m.requests <- m.requests + 1);
   let cache =
     match cache with Some c -> c | None -> Plan_cache.create ?metrics ()
@@ -278,10 +308,11 @@ let compile ?cache ?metrics ?(config = Chimera.Config.default) ?deadline
     | None -> (
         let t0 = now () in
         let planned, deadline_hit =
-          guarded_plan_entry ?deadline ~config ~machine chain
+          guarded_plan_entry ?deadline ?pool ~config ~machine chain
         in
         let dt = now () -. t0 in
         note_seconds metrics dt;
+        note_plan_search metrics dt planned;
         note_deadline_hit metrics deadline_hit;
         match planned with
         | Error (err, solves) ->
@@ -312,7 +343,7 @@ type pending = {
 type slot = Unresolved of Error.t | Pending of pending
 
 let run ?(jobs = 1) ?cache ?metrics ?(config = Chimera.Config.default)
-    ?deadline_ms ?(verify = Verify_off) requests =
+    ?deadline_ms ?pool ?(verify = Verify_off) requests =
   let cache =
     match cache with Some c -> c | None -> Plan_cache.create ?metrics ()
   in
@@ -366,45 +397,44 @@ let run ?(jobs = 1) ?cache ?metrics ?(config = Chimera.Config.default)
         | _ -> None)
       slots
   in
-  (* Phase 3: plan the misses, in parallel when asked to.  Planning is
+  (* Phase 3: plan the misses on the shared domain pool.  Planning is
      pure — results are committed on the main domain afterwards, so
      parallel and sequential batches produce identical plans and the
      cache/metrics never race.  [guarded_plan_entry] contains every
      exception, so a poisoned request degrades (or errors) on its own
-     and never kills the domain carrying its chunk. *)
+     and never kills the lane carrying it.
+
+     [jobs] caps the lanes planning across requests.  At [jobs = 1]
+     (the default) the fan-out runs inline and the pool stays free, so
+     the planner parallelizes *within* each request — across candidate
+     block orders — instead: a batch of one still uses every lane.  At
+     [jobs > 1] the pool is held by the cross-request job and nested
+     per-order fan-outs fall back inline on their lane. *)
+  let pool = match pool with Some p -> p | None -> Util.Pool.global () in
   let plan_miss p =
     let t0 = now () in
     let deadline = Option.map Deadline.of_ms p.p_deadline_ms in
     let planned, deadline_hit =
-      guarded_plan_entry ?deadline ~config:p.p_config ~machine:p.p_machine
-        p.p_chain
+      guarded_plan_entry ?deadline ~pool ~config:p.p_config
+        ~machine:p.p_machine p.p_chain
     in
     (p.fp, planned, deadline_hit, now () -. t0)
   in
   let n_misses = List.length misses in
-  let n_domains = Util.Ints.clamp ~lo:1 ~hi:(max 1 n_misses) jobs in
+  let n_jobs = Util.Ints.clamp ~lo:1 ~hi:(max 1 n_misses) jobs in
   let planned =
-    if n_domains = 1 then List.map plan_miss misses
-    else begin
-      (* Round-robin the misses over the domains (the task-partitioning
-         idiom of Sim.Parallel_exec). *)
-      let chunks = Array.make n_domains [] in
-      List.iteri
-        (fun i m -> chunks.(i mod n_domains) <- m :: chunks.(i mod n_domains))
-        misses;
-      let work chunk () = List.map plan_miss chunk in
-      let spawned =
-        Array.to_list
-          (Array.map (fun chunk -> Domain.spawn (work chunk)) chunks)
-      in
-      List.concat_map Domain.join spawned
-    end
+    let arr = Array.of_list misses in
+    Array.to_list
+      (Util.Pool.run ~max_workers:n_jobs pool
+         (fun i -> plan_miss arr.(i))
+         (Array.length arr))
   in
   (* Phase 4: commit plans to the cache and metrics on the main domain. *)
   let outcomes = Hashtbl.create 32 in
   List.iter
     (fun (fp, planned, deadline_hit, dt) ->
       note_seconds metrics dt;
+      note_plan_search metrics dt planned;
       note_deadline_hit metrics deadline_hit;
       match planned with
       | Ok (entry, solves) ->

@@ -60,21 +60,27 @@ type response = {
 
 val compile :
   ?cache:Plan_cache.t -> ?metrics:Metrics.t -> ?config:Chimera.Config.t ->
-  ?deadline:Deadline.t -> ?verify:verify_mode -> machine:Arch.Machine.t ->
-  Ir.Chain.t -> (response, Error.t) result
+  ?deadline:Deadline.t -> ?pool:Util.Pool.t -> ?verify:verify_mode ->
+  machine:Arch.Machine.t -> Ir.Chain.t -> (response, Error.t) result
 (** Compile one chain through the cache: lookup by fingerprint, plan on
     miss (walking the ladder above, under [deadline] when given),
     store, rebuild kernels from the plans, and — under [verify]
     (default {!Verify_off}) — run the static-analysis passes over the
-    result. *)
+    result.  [pool] parallelizes the planner's per-order solves, so a
+    single request uses every lane; the chosen plan is identical to the
+    serial one. *)
 
 val run :
   ?jobs:int -> ?cache:Plan_cache.t -> ?metrics:Metrics.t ->
-  ?config:Chimera.Config.t -> ?deadline_ms:float -> ?verify:verify_mode ->
-  Request.t list -> (Request.t * (response, Error.t) result) list
+  ?config:Chimera.Config.t -> ?deadline_ms:float -> ?pool:Util.Pool.t ->
+  ?verify:verify_mode -> Request.t list ->
+  (Request.t * (response, Error.t) result) list
 (** Compile a request list, in input order.  Duplicate fingerprints are
-    planned once.  [jobs] (default 1) caps the domains used for the
-    cache-miss planning fan-out; hits never spawn a domain.
+    planned once.  Cache-miss planning runs on [pool] (default the
+    process-wide {!Util.Pool.global}; hits never touch it): [jobs]
+    (default 1) caps the lanes planning across requests, and at the
+    default the whole pool instead parallelizes each request's
+    candidate-order exploration, so a batch of one is still multicore.
     [deadline_ms] is the per-request budget for requests that do not
     carry their own; each clock starts when that request's planning
     starts.  Deadlines are not part of the fingerprint, so duplicates

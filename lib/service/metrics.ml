@@ -16,6 +16,9 @@ type t = {
   mutable verify_warnings : int;
   mutable verify_failures : int;
   mutable compile_seconds : float;
+  mutable plan_solve_ms_total : float;
+  mutable plan_evals_total : int;
+  mutable plan_perms_pruned_total : int;
 }
 
 let create () =
@@ -37,6 +40,9 @@ let create () =
     verify_warnings = 0;
     verify_failures = 0;
     compile_seconds = 0.0;
+    plan_solve_ms_total = 0.0;
+    plan_evals_total = 0;
+    plan_perms_pruned_total = 0;
   }
 
 let reset t =
@@ -56,7 +62,10 @@ let reset t =
   t.verify_runs <- 0;
   t.verify_warnings <- 0;
   t.verify_failures <- 0;
-  t.compile_seconds <- 0.0
+  t.compile_seconds <- 0.0;
+  t.plan_solve_ms_total <- 0.0;
+  t.plan_evals_total <- 0;
+  t.plan_perms_pruned_total <- 0
 
 let fields t =
   [
@@ -77,14 +86,19 @@ let fields t =
     ("verify_warnings", float_of_int t.verify_warnings);
     ("verify_failures", float_of_int t.verify_failures);
     ("compile_seconds", t.compile_seconds);
+    ("plan_solve_ms_total", t.plan_solve_ms_total);
+    ("plan_evals_total", float_of_int t.plan_evals_total);
+    ("plan_perms_pruned_total", float_of_int t.plan_perms_pruned_total);
   ]
+
+let float_valued = [ "compile_seconds"; "plan_solve_ms_total" ]
 
 let to_table t =
   let table = Util.Table.create ~columns:[ "counter"; "value" ] in
   List.iter
     (fun (name, v) ->
       let cell =
-        if name = "compile_seconds" then Printf.sprintf "%.3f" v
+        if List.mem name float_valued then Printf.sprintf "%.3f" v
         else string_of_int (int_of_float v)
       in
       Util.Table.add_row table [ name; cell ])
@@ -95,7 +109,7 @@ let to_json t =
   Util.Json.Obj
     (List.map
        (fun (name, v) ->
-         if name = "compile_seconds" then (name, Util.Json.Float v)
+         if List.mem name float_valued then (name, Util.Json.Float v)
          else (name, Util.Json.Int (int_of_float v)))
        (fields t))
 

@@ -45,6 +45,14 @@ type t = {
           diagnostic (rejected under strict, annotated under warn). *)
   mutable compile_seconds : float;
       (** wall-clock spent planning cache misses. *)
+  mutable plan_solve_ms_total : float;
+      (** wall-clock milliseconds spent inside planner solves (the
+          planning phase of cache misses; excludes codegen). *)
+  mutable plan_evals_total : int;
+      (** DV/MU model evaluations across all planner solves. *)
+  mutable plan_perms_pruned_total : int;
+      (** block execution orders skipped by the planner's
+          branch-and-bound gate. *)
 }
 
 val create : unit -> t

@@ -32,8 +32,10 @@ type t = {
   mutable is_dirty : bool;
 }
 
-(* v2: entries record the degradation rung instead of a fused flag. *)
-let file_version = 2
+(* v2: entries record the degradation rung instead of a fused flag.
+   v3: Planner.plan grew search counters (perms_pruned, solver_evals),
+   changing the marshalled layout. *)
+let file_version = 3
 
 let create ?(capacity = 512) ?metrics () =
   if capacity <= 0 then invalid_arg "Plan_cache.create: non-positive capacity";

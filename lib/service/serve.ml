@@ -50,8 +50,12 @@ let response_json ?id req (r : Batch.response) =
         ])
 
 let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir
-    ?default_deadline_ms ?(verify = Batch.Verify_off) ic oc =
+    ?default_deadline_ms ?pool ?(verify = Batch.Verify_off) ic oc =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  (* Every request is planned on the shared pool: the per-order solves
+     of a single request fan across the lanes, so the serve loop is
+     multicore even at its natural batch size of one. *)
+  let pool = match pool with Some p -> p | None -> Util.Pool.global () in
   let cache =
     match cache with
     | Some c -> c
@@ -111,7 +115,7 @@ let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir
               Request.deadline_of ?default_ms:default_deadline_ms req
             in
             match
-              Batch.compile ~cache ~metrics ~config ?deadline ~verify
+              Batch.compile ~cache ~metrics ~config ?deadline ~pool ~verify
                 ~machine chain
             with
             | Ok r ->

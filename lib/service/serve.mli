@@ -43,7 +43,10 @@
 
 val run :
   ?cache:Plan_cache.t -> ?metrics:Metrics.t -> ?config:Chimera.Config.t ->
-  ?cache_dir:string -> ?default_deadline_ms:float ->
+  ?cache_dir:string -> ?default_deadline_ms:float -> ?pool:Util.Pool.t ->
   ?verify:Batch.verify_mode -> in_channel -> out_channel -> unit
 (** Serve until EOF or [{"cmd": "quit"}].  Output is flushed after
-    every line. *)
+    every line.  Requests are planned on [pool] (default the
+    process-wide {!Util.Pool.global}, sized by [CHIMERA_DOMAINS]): each
+    request's candidate-order solves fan across the lanes, so a single
+    in-flight request is already multicore. *)

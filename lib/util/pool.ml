@@ -1,0 +1,180 @@
+type job = {
+  id : int;
+  run_task : int -> unit;  (* never raises; captures into the results *)
+  next : int Atomic.t;
+  n : int;
+  helpers : int Atomic.t;  (* worker-join tickets left for this job *)
+  mutable completed : int;  (* guarded by the pool mutex *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  have_job : Condition.t;
+  job_done : Condition.t;
+  mutable job : job option;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+  lanes : int;
+  mutable next_id : int;
+}
+
+(* Pull tasks off the shared counter until it runs dry.  Both the
+   caller and any joined workers execute this; whoever completes the
+   last task wakes the caller. *)
+let exec_job pool job =
+  let rec loop () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.n then begin
+      job.run_task i;
+      Mutex.lock pool.mutex;
+      job.completed <- job.completed + 1;
+      if job.completed = job.n then Condition.broadcast pool.job_done;
+      Mutex.unlock pool.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let worker_main pool () =
+  let last = ref (-1) in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    while
+      (not pool.stopping)
+      && (match pool.job with None -> true | Some j -> j.id = !last)
+    do
+      Condition.wait pool.have_job pool.mutex
+    done;
+    if pool.stopping then begin
+      running := false;
+      Mutex.unlock pool.mutex
+    end
+    else begin
+      match pool.job with
+      | Some j when j.id <> !last ->
+          last := j.id;
+          (* Claim a helper ticket; jobs capped below the pool width
+             leave the surplus workers parked. *)
+          if Atomic.fetch_and_add j.helpers (-1) > 0 then begin
+            Mutex.unlock pool.mutex;
+            exec_job pool j
+          end
+          else Mutex.unlock pool.mutex
+      | _ -> Mutex.unlock pool.mutex
+    end
+  done
+
+let create ?domains () =
+  let lanes =
+    match domains with
+    | Some d -> max 1 d
+    | None -> max 1 (Domain.recommended_domain_count ())
+  in
+  let pool =
+    {
+      mutex = Mutex.create ();
+      have_job = Condition.create ();
+      job_done = Condition.create ();
+      job = None;
+      stopping = false;
+      workers = [];
+      lanes;
+      next_id = 0;
+    }
+  in
+  pool.workers <-
+    List.init (lanes - 1) (fun _ -> Domain.spawn (worker_main pool));
+  pool
+
+let size t = t.lanes
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let workers = t.workers in
+  t.stopping <- true;
+  t.workers <- [];
+  Condition.broadcast t.have_job;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join workers
+
+let run ?max_workers t f n =
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let run_task i =
+      match f i with
+      | v -> results.(i) <- Some v
+      | exception e -> errors.(i) <- Some e
+    in
+    let lanes =
+      let cap = match max_workers with None -> t.lanes | Some m -> m in
+      Ints.clamp ~lo:1 ~hi:t.lanes (min cap n)
+    in
+    Mutex.lock t.mutex;
+    if t.job <> None || t.stopping || lanes = 1 then begin
+      (* Busy (possibly a nested run from one of our own tasks), shut
+         down, or nothing to parallelize: run inline — never blocks. *)
+      Mutex.unlock t.mutex;
+      for i = 0 to n - 1 do
+        run_task i
+      done
+    end
+    else begin
+      t.next_id <- t.next_id + 1;
+      let job =
+        {
+          id = t.next_id;
+          run_task;
+          next = Atomic.make 0;
+          n;
+          helpers = Atomic.make (lanes - 1);
+          completed = 0;
+        }
+      in
+      t.job <- Some job;
+      Condition.broadcast t.have_job;
+      Mutex.unlock t.mutex;
+      exec_job t job;
+      Mutex.lock t.mutex;
+      while job.completed < job.n do
+        Condition.wait t.job_done t.mutex
+      done;
+      t.job <- None;
+      Mutex.unlock t.mutex
+    end;
+    (match Array.find_opt Option.is_some errors with
+    | Some (Some e) -> raise e
+    | _ -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The process-wide pool                                               *)
+(* ------------------------------------------------------------------ *)
+
+let global_mutex = Mutex.create ()
+let global_pool = ref None
+
+let global_lanes () =
+  match Sys.getenv_opt "CHIMERA_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> d
+      | _ -> max 1 (Domain.recommended_domain_count ()))
+  | None -> max 1 (Domain.recommended_domain_count ())
+
+let global () =
+  Mutex.lock global_mutex;
+  let pool =
+    match !global_pool with
+    | Some p -> p
+    | None ->
+        let p = create ~domains:(global_lanes ()) () in
+        global_pool := Some p;
+        at_exit (fun () -> shutdown p);
+        p
+  in
+  Mutex.unlock global_mutex;
+  pool

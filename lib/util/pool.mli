@@ -1,0 +1,44 @@
+(** A shared, persistent domain pool.
+
+    OCaml domains are heavyweight (each owns a minor heap and a slice of
+    the GC); spawning a fresh set per batch — the idiom this module
+    replaces — costs milliseconds per spawn and oversubscribes the
+    machine when callers nest.  A pool spawns its worker domains once
+    and reuses them for every {!run}; the process-wide {!global} pool is
+    what the service layer shares.
+
+    Scheduling is deliberately simple: one job at a time, tasks handed
+    out by an atomic counter (self-scheduling), the calling domain
+    participating as a worker.  If a job is already in flight — which
+    includes any {!run} issued from inside a task of the same pool —
+    the new job runs inline on the caller, so nesting can never
+    deadlock. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** A pool giving [domains] total lanes of parallelism (the caller of
+    {!run} counts as one lane, so [domains - 1] worker domains are
+    spawned).  Default: {!Domain.recommended_domain_count}.  [domains
+    <= 1] spawns nothing and every {!run} executes inline. *)
+
+val global : unit -> t
+(** The process-wide shared pool, created on first use.  Its size is
+    [CHIMERA_DOMAINS] when that environment variable holds a positive
+    integer, otherwise {!Domain.recommended_domain_count}.  Shut down
+    automatically at exit. *)
+
+val size : t -> int
+(** Total lanes of parallelism (worker domains + the caller). *)
+
+val run : ?max_workers:int -> t -> (int -> 'a) -> int -> 'a array
+(** [run pool f n] evaluates [f 0 .. f (n-1)] — in parallel when lanes
+    are free — and returns the results in index order.  [max_workers]
+    caps the lanes used by this job (default: all of them).  If any
+    task raises, the first raising index's exception is re-raised after
+    all started tasks settle.  Reentrant: a [run] from inside a task
+    falls back to inline sequential execution. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Subsequent {!run}s execute inline;
+    idempotent.  Must not be called from inside a task. *)

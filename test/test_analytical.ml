@@ -555,10 +555,10 @@ let planner_tests =
     case "explore ranks orders by DV and agrees with optimize" (fun () ->
         let chain = figure2_chain () in
         let capacity = 256 * 1024 in
-        let ranked, evaluated =
+        let ranked, stats =
           Analytical.Planner.explore chain ~capacity_bytes:capacity ()
         in
-        check_int "24 orders" 24 evaluated;
+        check_int "24 orders" 24 stats.Analytical.Planner.evaluated;
         check_true "all feasible orders present" (List.length ranked >= 1);
         let rec sorted = function
           | (a : Analytical.Planner.candidate)

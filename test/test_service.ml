@@ -710,6 +710,41 @@ let metrics_tests =
           (jfield "compile_seconds" json = Util.Json.Float 0.5);
         Service.Metrics.reset m;
         check_int "reset" 0 m.Service.Metrics.requests);
+    case "plan search counters track cold solves only" (fun () ->
+        let metrics = Service.Metrics.create () in
+        let cache = Service.Plan_cache.create ~metrics () in
+        let chain = gemm () in
+        (match Service.Batch.compile ~cache ~metrics ~machine:cpu chain with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail (err_str e));
+        check_true "cold solve spent time"
+          (metrics.Service.Metrics.plan_solve_ms_total > 0.0);
+        check_true "cold solve evaluated the model"
+          (metrics.Service.Metrics.plan_evals_total > 0);
+        check_true "pruned counter is sane"
+          (metrics.Service.Metrics.plan_perms_pruned_total >= 0);
+        let ms = metrics.Service.Metrics.plan_solve_ms_total in
+        let evals = metrics.Service.Metrics.plan_evals_total in
+        let pruned = metrics.Service.Metrics.plan_perms_pruned_total in
+        (* A warm hit performs zero solves, so the counters freeze. *)
+        (match Service.Batch.compile ~cache ~metrics ~machine:cpu chain with
+        | Ok r ->
+            check_true "hit" (r.Service.Batch.source = Service.Batch.Cache)
+        | Error e -> Alcotest.fail (err_str e));
+        check_float "hit adds no solve time" ms
+          metrics.Service.Metrics.plan_solve_ms_total;
+        check_int "hit adds no evals" evals
+          metrics.Service.Metrics.plan_evals_total;
+        check_int "hit prunes nothing" pruned
+          metrics.Service.Metrics.plan_perms_pruned_total;
+        (* The counters travel on the stats wire. *)
+        let json = Service.Metrics.to_json metrics in
+        check_true "solve ms on the wire"
+          (jfield "plan_solve_ms_total" json = Util.Json.Float ms);
+        check_true "evals on the wire"
+          (jfield "plan_evals_total" json = Util.Json.Int evals);
+        check_true "pruned on the wire"
+          (jfield "plan_perms_pruned_total" json = Util.Json.Int pruned));
   ]
 
 (* ------------------------------------------------------------------ *)
