@@ -1,0 +1,113 @@
+(* Tracing overhead: what instrumentation costs when it is off, and
+   what a live trace costs when it is on.
+
+   The disabled context makes [Obs.Trace.span] a single match branch,
+   so the honest way to bound disabled-mode overhead is to measure that
+   branch directly (ns per call), count how many span call sites one
+   cold plan actually executes (the span count of a live trace of the
+   same plan), and compare their product against the plan's wall time.
+   That estimate does not depend on run-to-run planner noise, which is
+   far larger than the overhead being measured.  The enabled-mode cost
+   is measured the ordinary way: cold plan with a live trace vs cold
+   plan with the disabled context, min of [reps]. *)
+
+let reps = 5
+
+let timed_ms f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1e3)
+
+let min_ms f =
+  ignore (f ()); (* warmup *)
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let _, ms = timed_ms f in
+    if ms < !best then best := ms
+  done;
+  !best
+
+(* ns per disabled [span] call, the empty-closure-call cost
+   subtracted so only the instrumentation's branch is counted. *)
+let disabled_span_ns () =
+  let n = 1_000_000 in
+  let sink = ref 0 in
+  let bare () =
+    for i = 1 to n do
+      sink := !sink + (fun () -> i) ()
+    done
+  in
+  let spanned () =
+    for i = 1 to n do
+      sink := !sink + Obs.Trace.span Obs.Trace.none "bench" (fun _ -> i)
+    done
+  in
+  let bare_ms = min_ms bare in
+  let span_ms = min_ms spanned in
+  Float.max 0.0 ((span_ms -. bare_ms) *. 1e6 /. float_of_int n)
+
+let workloads () =
+  List.filter_map
+    (fun name ->
+      Option.map
+        (fun c -> (name, Workloads.Gemm_configs.chain ~softmax:false c))
+        (Workloads.Gemm_configs.by_name name))
+    [ "G2"; "G6" ]
+
+let run () =
+  Common.section "obs" "tracing overhead: disabled branch vs live trace";
+  let span_ns = disabled_span_ns () in
+  Printf.printf "disabled span call: %.1f ns/op\n\n" span_ns;
+  Common.record_json "span_disabled"
+    [ ("ns_per_op", Util.Json.Float span_ns) ];
+  let machine = Option.get (Arch.Presets.by_name "cpu") in
+  let table =
+    Util.Table.create
+      ~columns:
+        [
+          "workload"; "off ms"; "on ms"; "on ovh %"; "spans";
+          "off ovh % (est)";
+        ]
+  in
+  List.iter
+    (fun (name, chain) ->
+      let off_ms =
+        min_ms (fun () ->
+            Analytical.Planner.optimize_multilevel chain ~machine)
+      in
+      (* A fresh trace per rep: retained spans must not accumulate. *)
+      let on_ms =
+        min_ms (fun () ->
+            let t = Obs.Trace.make ~label:name () in
+            Analytical.Planner.optimize_multilevel
+              ~obs:(Obs.Trace.ctx t) chain ~machine)
+      in
+      let trace = Obs.Trace.make ~label:name () in
+      ignore
+        (Analytical.Planner.optimize_multilevel ~obs:(Obs.Trace.ctx trace)
+           chain ~machine);
+      let spans = List.length (Obs.Trace.spans trace) in
+      let on_pct = (on_ms -. off_ms) /. off_ms *. 100.0 in
+      let off_pct =
+        float_of_int spans *. span_ns *. 1e-6 /. off_ms *. 100.0
+      in
+      Util.Table.add_row table
+        [
+          name;
+          Printf.sprintf "%.2f" off_ms;
+          Printf.sprintf "%.2f" on_ms;
+          Printf.sprintf "%+.1f" on_pct;
+          string_of_int spans;
+          Printf.sprintf "%.3f" off_pct;
+        ];
+      Common.record_json "overhead"
+        [
+          ("workload", Util.Json.String name);
+          ("disabled_ms", Util.Json.Float off_ms);
+          ("enabled_ms", Util.Json.Float on_ms);
+          ("enabled_overhead_pct", Util.Json.Float on_pct);
+          ("spans", Util.Json.Int spans);
+          ("disabled_overhead_pct", Util.Json.Float off_pct);
+        ])
+    (workloads ());
+  Common.print_table ~name:"obs_overhead" table

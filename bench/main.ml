@@ -26,6 +26,7 @@ let sections : (string * string * (unit -> unit)) list =
     ("planner", "cold-plan latency: fast vs reference planner", Exp_planner.run);
     ("plancache", "plan cache cold vs warm batch", Exp_service.run);
     ("internals", "reproduction design-choice ablations", Exp_internals.run);
+    ("obs", "tracing overhead: disabled branch vs live trace", Exp_obs.run);
     ("bechamel", "framework micro-benchmarks", Bechamel_suite.run);
   ]
 

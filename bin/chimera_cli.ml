@@ -6,8 +6,12 @@
    chimera lint     [--workload W|all] [--arch A|all] [--strict] [--json]
    chimera batch    --requests FILE|all [--jobs N] [--cache-dir DIR]
                     [--deadline-ms MS] [--failpoints SPEC] [--verify MODE]
+                    [--trace FILE]
    chimera serve    [--cache-dir DIR] [--deadline-ms MS] [--failpoints SPEC]
                     [--verify MODE]
+   chimera trace    [REQUESTS.jsonl] | [--workload G2 --arch cpu ...]
+                    [-o trace.json] [--verify MODE]
+   chimera metrics  --requests FILE|all [--prom]
    chimera list *)
 
 open Cmdliner
@@ -378,10 +382,30 @@ let configure_failpoints = function
       | Ok () -> Ok ()
       | Error e -> Error (`Msg ("bad --failpoints spec: " ^ e)))
 
-let batch_cmd requests_path jobs cache_dir deadline_ms failpoints verify =
+let configure_log_level = function
+  | None -> Ok () (* CHIMERA_LOG, read lazily by Obs.Log, stays in charge *)
+  | Some "off" -> Obs.Log.set_level None; Ok ()
+  | Some s -> (
+      match Obs.Log.level_of_string s with
+      | Some l -> Obs.Log.set_level (Some l); Ok ()
+      | None ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "bad --log-level %S (off|error|warn|info|debug)" s)))
+
+let write_json_file path json =
+  let oc = open_out path in
+  output_string oc (Util.Json.to_string json);
+  output_char oc '\n';
+  close_out oc
+
+let batch_cmd requests_path jobs cache_dir deadline_ms failpoints verify
+    log_level trace_out =
   match
-    Result.bind (configure_failpoints failpoints) (fun () ->
-        load_requests requests_path)
+    Result.bind (configure_log_level log_level) (fun () ->
+        Result.bind (configure_failpoints failpoints) (fun () ->
+            load_requests requests_path))
   with
   | Error e -> Error e
   | Ok requests ->
@@ -454,6 +478,27 @@ let batch_cmd requests_path jobs cache_dir deadline_ms failpoints verify =
       Printf.printf "\nbatch of %d requests in %.2f s (%d jobs)\n"
         (List.length requests) wall jobs;
       Service.Metrics.print metrics;
+      Option.iter
+        (fun path ->
+          (* Deduplicate by trace id: responses answered by the same
+             planning representative share nothing, but be safe. *)
+          let seen = Hashtbl.create 16 in
+          let traces =
+            List.filter_map
+              (fun (_, result) ->
+                match result with
+                | Ok (r : Service.Batch.response) -> (
+                    match r.trace with
+                    | Some t when not (Hashtbl.mem seen (Obs.Trace.id t)) ->
+                        Hashtbl.add seen (Obs.Trace.id t) ();
+                        Some t
+                    | _ -> None)
+                | Error _ -> None)
+              results
+          in
+          write_json_file path (Obs.Export.chrome_json traces);
+          Printf.printf "wrote %d trace(s) to %s\n" (List.length traces) path)
+        trace_out;
       let failures =
         List.filter (fun (_, r) -> Result.is_error r) results
       in
@@ -462,13 +507,103 @@ let batch_cmd requests_path jobs cache_dir deadline_ms failpoints verify =
         Error
           (`Msg (Printf.sprintf "%d request(s) failed" (List.length failures)))
 
-let serve_cmd cache_dir deadline_ms failpoints verify =
-  match configure_failpoints failpoints with
+let serve_cmd cache_dir deadline_ms failpoints verify log_level =
+  match
+    Result.bind (configure_log_level log_level) (fun () ->
+        configure_failpoints failpoints)
+  with
   | Error e -> Error e
   | Ok () ->
       Service.Serve.run ?cache_dir ?default_deadline_ms:deadline_ms ~verify
         stdin stdout;
       Ok ()
+
+(* ---------------- tracing & metrics commands ---------------- *)
+
+let trace_requests requests_file workload softmax relu batch tuner arch =
+  match (requests_file, workload) with
+  | Some path, None -> load_requests path
+  | None, Some w ->
+      Ok
+        [
+          Service.Request.make ~softmax ~relu ?batch ~tuner ~workload:w
+            ~arch ();
+        ]
+  | Some _, Some _ ->
+      Error (`Msg "give either a requests file or --workload, not both")
+  | None, None ->
+      Error (`Msg "nothing to trace: give a requests file or --workload")
+
+let trace_cmd requests_file workload arch softmax relu batch tuner verify
+    log_level output =
+  match
+    Result.bind (configure_log_level log_level) (fun () ->
+        trace_requests requests_file workload softmax relu batch tuner arch)
+  with
+  | Error e -> Error e
+  | Ok requests ->
+      let metrics = Service.Metrics.create () in
+      let results = Service.Batch.run ~metrics ~verify requests in
+      let table =
+        Util.Table.create
+          ~columns:[ "request"; "trace"; "spans"; "status"; "compile ms" ]
+      in
+      let traces = ref [] and failures = ref 0 in
+      List.iter
+        (fun (req, result) ->
+          match result with
+          | Ok (r : Service.Batch.response) ->
+              let spans, tid =
+                match r.trace with
+                | Some t ->
+                    traces := t :: !traces;
+                    ( string_of_int (List.length (Obs.Trace.spans t)),
+                      Obs.Trace.id t )
+                | None -> ("-", "-")
+              in
+              Util.Table.add_row table
+                [
+                  Service.Request.describe req; tid; spans;
+                  (match r.source with
+                  | Service.Batch.Cache -> "cached"
+                  | Service.Batch.Compiled -> "compiled");
+                  Printf.sprintf "%.1f" (r.seconds *. 1e3);
+                ]
+          | Error e ->
+              incr failures;
+              Util.Table.add_row table
+                [
+                  Service.Request.describe req; "-"; "-"; "FAILED";
+                  Service.Error.to_string e;
+                ])
+        results;
+      Util.Table.print table;
+      let traces = List.rev !traces in
+      write_json_file output (Obs.Export.chrome_json traces);
+      Printf.printf
+        "\nwrote %d trace(s) to %s (load in chrome://tracing or Perfetto)\n"
+        (List.length traces) output;
+      if !failures = 0 then Ok ()
+      else Error (`Msg (Printf.sprintf "%d request(s) failed" !failures))
+
+let metrics_cmd requests_path jobs verify prom log_level =
+  match
+    Result.bind (configure_log_level log_level) (fun () ->
+        load_requests requests_path)
+  with
+  | Error e -> Error e
+  | Ok requests ->
+      let metrics = Service.Metrics.create () in
+      let results = Service.Batch.run ~jobs ~metrics ~verify requests in
+      if prom then print_string (Service.Metrics.to_prometheus metrics)
+      else print_endline (Util.Json.to_string (Service.Metrics.to_json metrics));
+      let failures =
+        List.filter (fun (_, r) -> Result.is_error r) results
+      in
+      if failures = [] then Ok ()
+      else
+        Error
+          (`Msg (Printf.sprintf "%d request(s) failed" (List.length failures)))
 
 let list_cmd () =
   print_endline "batch-GEMM chains (Table IV):";
@@ -589,6 +724,21 @@ let verify_arg =
         Service.Batch.Verify_off
     & info [ "verify" ] ~doc)
 
+let log_level_arg =
+  let doc =
+    "Structured-log threshold on stderr: $(b,off), $(b,error), $(b,warn), \
+     $(b,info) or $(b,debug).  Overrides the $(b,CHIMERA_LOG) environment \
+     variable."
+  in
+  Arg.(value & opt (some string) None & info [ "log-level" ] ~doc)
+
+let batch_trace_arg =
+  let doc =
+    "Also write every response's trace as Chrome trace_event JSON to this \
+     file (load in chrome://tracing or Perfetto)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+
 let batch_t =
   Cmd.v
     (Cmd.info "batch"
@@ -598,7 +748,8 @@ let batch_t =
     Term.(
       term_result
         (const batch_cmd $ requests_arg $ jobs_arg $ cache_dir_arg
-       $ deadline_arg $ failpoints_arg $ verify_arg))
+       $ deadline_arg $ failpoints_arg $ verify_arg $ log_level_arg
+       $ batch_trace_arg))
 
 let serve_t =
   Cmd.v
@@ -609,7 +760,54 @@ let serve_t =
     Term.(
       term_result
         (const serve_cmd $ cache_dir_arg $ deadline_arg $ failpoints_arg
-       $ verify_arg))
+       $ verify_arg $ log_level_arg))
+
+let trace_requests_file_arg =
+  let doc =
+    "JSONL requests file to trace (one request object per line) or the \
+     literal $(b,all); alternatively give $(b,--workload)."
+  in
+  Arg.(value & pos 0 (some string) None & info [] ~doc ~docv:"REQUESTS")
+
+let trace_workload_arg =
+  let doc = "Trace a single workload: G1..G12 or C1..C8." in
+  Arg.(value & opt (some string) None & info [ "w"; "workload" ] ~doc)
+
+let tuner_arg =
+  let doc = "Plan with the sampling tuner instead of the cost model." in
+  Arg.(value & flag & info [ "tuner" ] ~doc)
+
+let trace_output_arg =
+  let doc = "Output file for the Chrome trace_event JSON." in
+  Arg.(value & opt string "trace.json" & info [ "o"; "output" ] ~doc)
+
+let trace_t =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Compile requests with tracing on and export Chrome trace_event \
+          JSON covering fingerprint, cache, solve, tuner, codegen and \
+          verify spans")
+    Term.(
+      term_result
+        (const trace_cmd $ trace_requests_file_arg $ trace_workload_arg
+       $ arch_arg $ softmax_arg $ relu_arg $ batch_arg $ tuner_arg
+       $ verify_arg $ log_level_arg $ trace_output_arg))
+
+let prom_arg =
+  let doc = "Emit Prometheus text exposition format instead of JSON." in
+  Arg.(value & flag & info [ "prom" ] ~doc)
+
+let metrics_t =
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Compile a request list and print the service counters and latency \
+          histograms (JSON, or Prometheus text with $(b,--prom))")
+    Term.(
+      term_result
+        (const metrics_cmd $ requests_arg $ jobs_arg $ verify_arg $ prom_arg
+       $ log_level_arg))
 
 let lint_workload_arg =
   let doc =
@@ -658,4 +856,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ optimize_t; run_t; compare_t; advise_t; breakdown_t; graph_t;
-         lint_t; batch_t; serve_t; list_t ]))
+         lint_t; batch_t; serve_t; trace_t; metrics_t; list_t ]))

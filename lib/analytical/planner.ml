@@ -50,7 +50,7 @@ let rec atomic_min cell v =
   if v < cur && not (Atomic.compare_and_set cell cur v) then atomic_min cell v
 
 let explore chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check
-    ?(prune = false) ?(engine = `Compiled) ?pool () =
+    ?(prune = false) ?(engine = `Compiled) ?pool ?(obs = Obs.Trace.none) () =
   let perms =
     match perms with Some p -> p | None -> Permutations.candidates chain
   in
@@ -58,16 +58,35 @@ let explore chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check
   let extra_starts = closed_form_starts chain ~capacity_bytes in
   let best = Atomic.make infinity in
   let solve_one perm =
-    let prune_above = if prune then Some (Atomic.get best) else None in
-    let verdict, evals =
-      Solver.solve chain ~perm ~capacity_bytes ~full_tile ?max_tile ?min_tile
-        ~extra_starts ?check ~engine ?prune_above ()
-    in
-    (match verdict with
-    | Solver.Feasible sol ->
-        atomic_min best sol.Solver.movement.Movement.dv_bytes
-    | Solver.Infeasible | Solver.Pruned -> ());
-    (verdict, evals)
+    (* [obs] is captured into pool-worker closures below: the per-order
+       span records the worker domain as its tid while keeping the
+       caller's span as parent — cross-domain parenting is just value
+       capture.  Attribute strings are only built when tracing is on. *)
+    Obs.Trace.span obs "order"
+      ~attrs:
+        (if Obs.Trace.enabled obs then [ ("perm", String.concat "" perm) ]
+         else [])
+      (fun obs ->
+        let prune_above = if prune then Some (Atomic.get best) else None in
+        let verdict, evals =
+          Solver.solve chain ~perm ~capacity_bytes ~full_tile ?max_tile
+            ?min_tile ~extra_starts ?check ~engine ?prune_above ~obs ()
+        in
+        (match verdict with
+        | Solver.Feasible sol ->
+            atomic_min best sol.Solver.movement.Movement.dv_bytes
+        | Solver.Infeasible | Solver.Pruned -> ());
+        if Obs.Trace.enabled obs then
+          Obs.Trace.annot obs
+            [
+              ( "verdict",
+                match verdict with
+                | Solver.Feasible _ -> "feasible"
+                | Solver.Infeasible -> "infeasible"
+                | Solver.Pruned -> "pruned" );
+              ("evals", string_of_int evals);
+            ];
+        (verdict, evals))
   in
   let outcomes =
     (* Workers race only on the prune bound, which is monotone and only
@@ -117,10 +136,10 @@ let explore chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check
     stats )
 
 let optimize chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check
-    ?(prune = true) ?engine ?pool () =
+    ?(prune = true) ?engine ?pool ?obs () =
   let ranked, stats =
     explore chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check ~prune
-      ?engine ?pool ()
+      ?engine ?pool ?obs ()
   in
   match ranked with
   | [] ->
@@ -141,7 +160,8 @@ let optimize chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check
       }
 
 let refine_for_parallelism chain plan ~min_blocks ?(slack = 4.0)
-    ?min_tile ?(check = fun () -> ()) () =
+    ?min_tile ?(check = fun () -> ()) ?(obs = Obs.Trace.none) () =
+  Obs.Trace.span obs "planner.refine" (fun _ ->
   let base_dv = plan.movement.Movement.dv_bytes in
   (* One compiled evaluator serves every trial halving below; its DV is
      bit-exact with [Movement.analyze], so the split chosen matches the
@@ -183,7 +203,7 @@ let refine_for_parallelism chain plan ~min_blocks ?(slack = 4.0)
     end
   in
   let tiling, movement = refine plan.tiling plan.movement in
-  { plan with tiling; movement }
+  { plan with tiling; movement })
 
 type level_plan = {
   level : Arch.Level.t;
@@ -193,7 +213,7 @@ type level_plan = {
 }
 
 let optimize_multilevel ?min_blocks ?min_tile ?check ?prune ?engine ?pool
-    chain ~machine =
+    ?(obs = Obs.Trace.none) chain ~machine =
   let on_chip = Arch.Machine.on_chip_levels machine in
   (* Outer levels feed from the next-outer link; outermost feeds from
      DRAM. *)
@@ -217,17 +237,24 @@ let optimize_multilevel ?min_blocks ?min_tile ?check ?prune ?engine ?pool
           | Some (p : plan) -> Some (fun axis -> Tiling.get p.tiling axis)
         in
         let plan =
-          optimize chain ~capacity_bytes:level.Arch.Level.capacity_bytes
-            ?max_tile ?min_tile ?check ?prune ?engine ?pool ()
-        in
-        let plan =
-          (* Occupancy refinement applies at the outermost level, where
-             blocks are distributed over cores. *)
-          match (parent, min_blocks) with
-          | None, Some min_blocks ->
-              refine_for_parallelism chain plan ~min_blocks ?min_tile ?check
-                ()
-          | _ -> plan
+          Obs.Trace.span obs "planner.level"
+            ~attrs:
+              (if Obs.Trace.enabled obs then
+                 [ ("level", level.Arch.Level.name) ]
+               else [])
+            (fun obs ->
+              let plan =
+                optimize chain
+                  ~capacity_bytes:level.Arch.Level.capacity_bytes ?max_tile
+                  ?min_tile ?check ?prune ?engine ?pool ~obs ()
+              in
+              (* Occupancy refinement applies at the outermost level,
+                 where blocks are distributed over cores. *)
+              match (parent, min_blocks) with
+              | None, Some min_blocks ->
+                  refine_for_parallelism chain plan ~min_blocks ?min_tile
+                    ?check ~obs ()
+              | _ -> plan)
         in
         let cost_seconds =
           plan.movement.Movement.dv_bytes /. (feed *. 1e9)

@@ -32,10 +32,17 @@ val explore :
   Ir.Chain.t -> capacity_bytes:int -> ?max_tile:(string -> int) ->
   ?min_tile:(string -> int) -> ?perms:string list list ->
   ?check:(unit -> unit) -> ?prune:bool -> ?engine:Solver.engine ->
-  ?pool:Util.Pool.t -> unit -> candidate list * explore_stats
+  ?pool:Util.Pool.t -> ?obs:Obs.Trace.ctx -> unit ->
+  candidate list * explore_stats
 (** Solve every candidate order and return them ranked by data movement
     volume (plus exploration statistics) — the paper's Figure 2 view of
     the search space, used by diagnostics.
+
+    [obs] (default disabled) wraps each per-order solve in an ["order"]
+    span carrying the permutation and its verdict.  The context is
+    captured into the pool workers' closures, so under a pooled fan-out
+    the spans land on the same trace with the caller's span as parent
+    and the worker domain as [tid] — cross-domain parenting for free.
 
     [prune] (default off, so diagnostic listings stay complete) turns on
     branch-and-bound: a best-so-far DV is threaded to every solve as
@@ -58,7 +65,7 @@ val optimize :
   Ir.Chain.t -> capacity_bytes:int -> ?max_tile:(string -> int) ->
   ?min_tile:(string -> int) -> ?perms:string list list ->
   ?check:(unit -> unit) -> ?prune:bool -> ?engine:Solver.engine ->
-  ?pool:Util.Pool.t -> unit -> plan
+  ?pool:Util.Pool.t -> ?obs:Obs.Trace.ctx -> unit -> plan
 (** Single-level optimization: {!explore} with pruning on (default;
     [~prune:false] restores the exhaustive pre-pruning behaviour for
     benchmarks and equivalence tests), keeping the minimum-DV order.
@@ -71,7 +78,8 @@ val optimize :
 
 val refine_for_parallelism :
   Ir.Chain.t -> plan -> min_blocks:int -> ?slack:float ->
-  ?min_tile:(string -> int) -> ?check:(unit -> unit) -> unit -> plan
+  ?min_tile:(string -> int) -> ?check:(unit -> unit) ->
+  ?obs:Obs.Trace.ctx -> unit -> plan
 (** Split tiles along the safely-parallel axes ({!Parallelism}) until
     the tasks keep [min_blocks] cores ~90% busy under LPT scheduling,
     greedily halving the tile whose split costs the least extra data
@@ -93,14 +101,17 @@ type level_plan = {
 
 val optimize_multilevel :
   ?min_blocks:int -> ?min_tile:(string -> int) -> ?check:(unit -> unit) ->
-  ?prune:bool -> ?engine:Solver.engine -> ?pool:Util.Pool.t -> Ir.Chain.t ->
+  ?prune:bool -> ?engine:Solver.engine -> ?pool:Util.Pool.t ->
+  ?obs:Obs.Trace.ctx -> Ir.Chain.t ->
   machine:Arch.Machine.t -> level_plan list
 (** One plan per on-chip level, innermost first.  The outermost on-chip
     level is planned against full problem extents (and, when
     [min_blocks] is given, refined for parallelism); each inner level's
     tiles are constrained to nest inside its parent's (sub-block
     decomposition).  [pool] parallelizes each level's order
-    exploration. *)
+    exploration.  Each level is traced as a ["planner.level"] span on
+    [obs] (with ["order"] children per explored permutation and a
+    ["planner.refine"] child at the outermost level). *)
 
 val bottleneck : level_plan list -> level_plan
 (** The level with the largest movement cost — the max of Equation 3. *)

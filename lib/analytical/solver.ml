@@ -25,9 +25,10 @@ let better a b =
    [Tiling.total_blocks]'s fold (same axis order, same float ops) so
    tie-breaks agree bit-for-bit with the record-based path. *)
 
-let solve chain ~perm ~capacity_bytes ?(full_tile = []) ?max_tile ?min_tile
-    ?(extra_starts = []) ?(boundary_grow = true) ?(uniform_start = true)
-    ?(check = fun () -> ()) ?(engine = `Compiled) ?prune_above () =
+let solve_impl chain ~perm ~capacity_bytes ?(full_tile = []) ?max_tile
+    ?min_tile ?(extra_starts = []) ?(boundary_grow = true)
+    ?(uniform_start = true) ?(check = fun () -> ()) ?(engine = `Compiled)
+    ?prune_above () =
   Movement.validate_perm chain perm;
   check ();
   let axes_l = chain.Ir.Chain.axes in
@@ -321,6 +322,22 @@ let solve chain ~perm ~capacity_bytes ?(full_tile = []) ?max_tile ?min_tile
     let verdict = attempt ~use_floors:true in
     (verdict, !evals)
   end
+
+(* The traced entry point.  The descent itself stays untouched — its
+   hot loop carries no tracing code at all; one span brackets the whole
+   per-order solve and records the evaluation count on close. *)
+let solve chain ~perm ~capacity_bytes ?full_tile ?max_tile ?min_tile
+    ?extra_starts ?boundary_grow ?uniform_start ?check ?engine ?prune_above
+    ?(obs = Obs.Trace.none) () =
+  Obs.Trace.span obs "solver.descent" (fun obs ->
+      let ((_, evals) as result) =
+        solve_impl chain ~perm ~capacity_bytes ?full_tile ?max_tile ?min_tile
+          ?extra_starts ?boundary_grow ?uniform_start ?check ?engine
+          ?prune_above ()
+      in
+      if Obs.Trace.enabled obs then
+        Obs.Trace.annot obs [ ("evals", string_of_int evals) ];
+      result)
 
 let solve_for_perm chain ~perm ~capacity_bytes ?(full_tile = []) ?max_tile
     ?min_tile ?(extra_starts = []) ?(boundary_grow = true)

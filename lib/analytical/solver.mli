@@ -41,9 +41,15 @@ val solve :
   ?full_tile:string list -> ?max_tile:(string -> int) ->
   ?min_tile:(string -> int) -> ?extra_starts:Tiling.t list ->
   ?boundary_grow:bool -> ?uniform_start:bool -> ?check:(unit -> unit) ->
-  ?engine:engine -> ?prune_above:float -> unit -> verdict * int
+  ?engine:engine -> ?prune_above:float -> ?obs:Obs.Trace.ctx -> unit ->
+  verdict * int
 (** Best feasible tiling for one permutation, plus the number of DV/MU
     model evaluations spent.
+
+    [obs] (default disabled) brackets the solve in a ["solver.descent"]
+    span recording the evaluation count; the descent loop itself is
+    never instrumented, so a disabled context costs one branch per
+    solve.
 
     [prune_above] is the branch-and-bound incumbent: before descending,
     {!Movement.dv_lower_bound} certifies a DV lower bound over the whole

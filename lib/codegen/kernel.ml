@@ -8,17 +8,24 @@ type t = {
   level_plans : Analytical.Planner.level_plan list;
 }
 
-let of_plan ~name ~chain ~machine ~registry ~plan ?(level_plans = []) () =
-  let micro = Microkernel.Registry.lower registry ~name:"matmul" ~machine in
-  {
-    name;
-    chain;
-    machine;
-    micro;
-    perm = plan.Analytical.Planner.perm;
-    tiling = plan.Analytical.Planner.tiling;
-    level_plans;
-  }
+let of_plan ~name ~chain ~machine ~registry ~plan ?(level_plans = [])
+    ?(obs = Obs.Trace.none) () =
+  Obs.Trace.span obs "codegen.unit"
+    ~attrs:
+      (if Obs.Trace.enabled obs then [ ("kernel", name) ] else [])
+    (fun _ ->
+      let micro =
+        Microkernel.Registry.lower registry ~name:"matmul" ~machine
+      in
+      {
+        name;
+        chain;
+        machine;
+        micro;
+        perm = plan.Analytical.Planner.perm;
+        tiling = plan.Analytical.Planner.tiling;
+        level_plans;
+      })
 
 let primary_movement t =
   match List.rev t.level_plans with

@@ -20,9 +20,11 @@ type t = {
 val of_plan :
   name:string -> chain:Ir.Chain.t -> machine:Arch.Machine.t ->
   registry:Microkernel.Registry.t -> plan:Analytical.Planner.plan ->
-  ?level_plans:Analytical.Planner.level_plan list -> unit -> t
+  ?level_plans:Analytical.Planner.level_plan list -> ?obs:Obs.Trace.ctx ->
+  unit -> t
 (** Pair a single-level plan (and optionally its multi-level refinement)
-    with the machine's registered micro kernel. *)
+    with the machine's registered micro kernel.  Traced as a
+    ["codegen.unit"] span on [obs] (default disabled). *)
 
 val predicted_dv_bytes : t -> float
 (** The DRAM-facing data movement volume of the plan. *)

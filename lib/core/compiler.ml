@@ -47,64 +47,78 @@ type unit_plan = {
 
 exception No_feasible_tiling of string
 
-let plan_unit ?check ?pool (config : Config.t) ~machine ~registry sub_chain =
-  let min_blocks =
-    if config.Config.parallel_refinement then Some machine.Arch.Machine.cores
-    else None
-  in
-  (* The intra-block stage's native-tile floors, from the micro kernel
-     that will be substituted. *)
-  let micro = Microkernel.Registry.lower registry ~name:"matmul" ~machine in
-  let min_tile = Codegen.Kernel.min_tile_floor ~micro sub_chain in
-  if config.Config.use_cost_model then begin
-    let level_plans =
-      if config.Config.multilevel then
-        Analytical.Planner.optimize_multilevel ?min_blocks ~min_tile ?check
-          ?pool sub_chain ~machine
-      else begin
-        let capacity =
-          (Arch.Machine.primary_on_chip machine).Arch.Level.capacity_bytes
+let plan_unit ?check ?pool ?(obs = Obs.Trace.none) (config : Config.t)
+    ~machine ~registry sub_chain =
+  Obs.Trace.span obs "plan.unit"
+    ~attrs:
+      (if Obs.Trace.enabled obs then
+         [ ("chain", sub_chain.Ir.Chain.name) ]
+       else [])
+    (fun obs ->
+      let min_blocks =
+        if config.Config.parallel_refinement then
+          Some machine.Arch.Machine.cores
+        else None
+      in
+      (* The intra-block stage's native-tile floors, from the micro
+         kernel that will be substituted. *)
+      let micro =
+        Microkernel.Registry.lower registry ~name:"matmul" ~machine
+      in
+      let min_tile = Codegen.Kernel.min_tile_floor ~micro sub_chain in
+      if config.Config.use_cost_model then begin
+        let level_plans =
+          if config.Config.multilevel then
+            Analytical.Planner.optimize_multilevel ?min_blocks ~min_tile
+              ?check ?pool ~obs sub_chain ~machine
+          else begin
+            let capacity =
+              (Arch.Machine.primary_on_chip machine).Arch.Level.capacity_bytes
+            in
+            let plan =
+              Analytical.Planner.optimize sub_chain ~capacity_bytes:capacity
+                ~min_tile ?check ?pool ~obs ()
+            in
+            let plan =
+              match min_blocks with
+              | Some min_blocks ->
+                  Analytical.Planner.refine_for_parallelism sub_chain plan
+                    ~min_blocks ~min_tile ?check ~obs ()
+              | None -> plan
+            in
+            [
+              {
+                Analytical.Planner.level =
+                  Arch.Machine.primary_on_chip machine;
+                plan;
+                feed_bandwidth_gbps =
+                  Arch.Machine.dram_bandwidth_gbps machine;
+                cost_seconds =
+                  plan.Analytical.Planner.movement
+                    .Analytical.Movement.dv_bytes
+                  /. (Arch.Machine.dram_bandwidth_gbps machine *. 1e9);
+              };
+            ]
+          end
         in
-        let plan =
-          Analytical.Planner.optimize sub_chain ~capacity_bytes:capacity
-            ~min_tile ?check ?pool ()
-        in
-        let plan =
-          match min_blocks with
-          | Some min_blocks ->
-              Analytical.Planner.refine_for_parallelism sub_chain plan
-                ~min_blocks ~min_tile ?check ()
-          | None -> plan
-        in
-        [
-          {
-            Analytical.Planner.level = Arch.Machine.primary_on_chip machine;
-            plan;
-            feed_bandwidth_gbps = Arch.Machine.dram_bandwidth_gbps machine;
-            cost_seconds =
-              plan.Analytical.Planner.movement.Analytical.Movement.dv_bytes
-              /. (Arch.Machine.dram_bandwidth_gbps machine *. 1e9);
-          };
-        ]
+        Ok { level_plans; tuner_result = None }
       end
-    in
-    Ok { level_plans; tuner_result = None }
-  end
-  else
-    match
-      Tuner.search sub_chain ~machine
-        ~trials_per_order:config.Config.tuning_trials
-        ~seed:config.Config.seed ?check ()
-    with
-    | Ok result -> Ok { level_plans = []; tuner_result = Some result }
-    | Error `No_feasible_tiling -> Error `No_feasible_tiling
+      else
+        match
+          Tuner.search sub_chain ~machine
+            ~trials_per_order:config.Config.tuning_trials
+            ~seed:config.Config.seed ?check ~obs ()
+        with
+        | Ok result -> Ok { level_plans = []; tuner_result = Some result }
+        | Error `No_feasible_tiling -> Error `No_feasible_tiling)
 
-let kernel_of_unit_plan ~machine ~registry sub_chain up =
+let kernel_of_unit_plan ?(obs = Obs.Trace.none) ~machine ~registry sub_chain
+    up =
   match up.tuner_result with
   | Some result ->
       let kernel =
         Codegen.Kernel.of_plan ~name:sub_chain.Ir.Chain.name ~chain:sub_chain
-          ~machine ~registry ~plan:result.Tuner.plan ()
+          ~machine ~registry ~plan:result.Tuner.plan ~obs ()
       in
       { sub_chain; kernel; tuner = Some result }
   | None ->
@@ -115,7 +129,7 @@ let kernel_of_unit_plan ~machine ~registry sub_chain up =
       in
       let kernel =
         Codegen.Kernel.of_plan ~name:sub_chain.Ir.Chain.name ~chain:sub_chain
-          ~machine ~registry ~plan:primary ~level_plans:up.level_plans ()
+          ~machine ~registry ~plan:primary ~level_plans:up.level_plans ~obs ()
       in
       { sub_chain; kernel; tuner = None }
 

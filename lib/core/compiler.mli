@@ -53,7 +53,8 @@ exception No_feasible_tiling of string
     sampling fallback finds no feasible tiling. *)
 
 val plan_unit :
-  ?check:(unit -> unit) -> ?pool:Util.Pool.t -> Config.t ->
+  ?check:(unit -> unit) -> ?pool:Util.Pool.t -> ?obs:Obs.Trace.ctx ->
+  Config.t ->
   machine:Arch.Machine.t -> registry:Microkernel.Registry.t -> Ir.Chain.t ->
   (unit_plan, [ `No_feasible_tiling ]) result
 (** Run the expensive half of {!optimize} for one sub-chain: the
@@ -65,9 +66,12 @@ val plan_unit :
     it to enforce per-request deadlines, catching whatever it raises.
     [pool] fans the planner's per-order solves across a shared domain
     pool ({!Analytical.Planner.optimize}'s [pool]); the chosen plan is
-    identical to the serial one. *)
+    identical to the serial one.  [obs] traces the whole decision as a
+    ["plan.unit"] span (children: ["planner.level"] / ["order"] /
+    ["tuner.search"]). *)
 
 val kernel_of_unit_plan :
+  ?obs:Obs.Trace.ctx ->
   machine:Arch.Machine.t -> registry:Microkernel.Registry.t ->
   Ir.Chain.t -> unit_plan -> unit_
 (** The cheap half: pair a previously computed {!unit_plan} with the

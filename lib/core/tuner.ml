@@ -26,7 +26,8 @@ let random_tiling chain ~prng ~full_tile =
     axes
 
 let search chain ~machine ~trials_per_order ~seed ?perms
-    ?(check = fun () -> ()) () =
+    ?(check = fun () -> ()) ?(obs = Obs.Trace.none) () =
+  Obs.Trace.span obs "tuner.search" (fun obs ->
   let perms =
     match perms with
     | Some p -> p
@@ -52,7 +53,19 @@ let search chain ~machine ~trials_per_order ~seed ?perms
         in
         if feasible && small_enough then begin
           incr trials_run;
-          let stats = Sim.Trace.measure_chain chain ~levels ~perm ~tiling () in
+          (* Only the simulator measurement is per-trial traced — the
+             random candidate generation above is noise by comparison,
+             and heavy tuner runs rely on the trace's span cap for
+             bounded memory. *)
+          let stats =
+            Obs.Trace.span obs "tuner.trial"
+              ~attrs:
+                (if Obs.Trace.enabled obs then
+                   [ ("perm", String.concat "" perm) ]
+                 else [])
+              (fun _ ->
+                Sim.Trace.measure_chain chain ~levels ~perm ~tiling ())
+          in
           let measured = stats.Sim.Trace.dram_bytes in
           match !best with
           | Some (best_measured, _, _, _) when measured >= best_measured -> ()
@@ -77,4 +90,4 @@ let search chain ~machine ~trials_per_order ~seed ?perms
             };
           trials_run = !trials_run;
           measured_dram_bytes = measured;
-        }
+        })

@@ -19,7 +19,8 @@ val max_blocks_per_trial : float
 
 val search :
   Ir.Chain.t -> machine:Arch.Machine.t -> trials_per_order:int ->
-  seed:int -> ?perms:string list list -> ?check:(unit -> unit) -> unit ->
+  seed:int -> ?perms:string list list -> ?check:(unit -> unit) ->
+  ?obs:Obs.Trace.ctx -> unit ->
   (result, error) Stdlib.result
 (** Sample [trials_per_order] random feasible tilings per candidate
     order and measure each on the simulator.  Returns
@@ -28,7 +29,9 @@ val search :
     degrade gracefully instead of matching on exception strings.
     [check] (default a no-op) is called before every trial; a
     deadline-bounded caller makes it raise, and the exception
-    propagates out of the search. *)
+    propagates out of the search.  [obs] traces the search as a
+    ["tuner.search"] span with one ["tuner.trial"] child per simulator
+    measurement (candidate generation is untraced). *)
 
 val random_tiling :
   Ir.Chain.t -> prng:Util.Prng.t -> full_tile:string list ->

@@ -1,0 +1,26 @@
+(* Microsecond clock for spans and logs.
+
+   [Unix.gettimeofday] is the only wall source the baked-in libraries
+   offer, and it can step backwards under NTP adjustment.  Span
+   durations and Chrome-trace timestamps must be monotone, so we wrap
+   it in an atomic max: a reading below the last published value
+   re-publishes the last value instead.  The result is a monotone,
+   process-relative microsecond counter. *)
+
+let epoch_us =
+  (* Captured once at module init; all timestamps are relative to it so
+     they fit comfortably in an int and read naturally in traces. *)
+  Int64.of_float (Unix.gettimeofday () *. 1e6)
+
+let last : int Atomic.t = Atomic.make 0
+
+let rec publish candidate =
+  let seen = Atomic.get last in
+  if candidate <= seen then seen
+  else if Atomic.compare_and_set last seen candidate then candidate
+  else publish candidate
+
+let now_us () =
+  let raw = Int64.of_float (Unix.gettimeofday () *. 1e6) in
+  let rel = Int64.to_int (Int64.sub raw epoch_us) in
+  publish (max 0 rel)

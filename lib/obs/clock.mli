@@ -1,0 +1,10 @@
+(** Monotone process-relative microsecond clock.
+
+    Backed by [Unix.gettimeofday] with an atomic max so readings never
+    go backwards, even across domains or under wall-clock steps.  All
+    span timestamps and log lines use this clock. *)
+
+val now_us : unit -> int
+(** Microseconds since process start.  Monotone non-decreasing across
+    all domains: for any two calls that happen-before each other, the
+    later call returns a value [>=] the earlier one. *)

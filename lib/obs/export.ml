@@ -1,0 +1,69 @@
+(* Chrome trace_event exporter.
+
+   One process (pid) per trace, one thread (tid) per domain that ran
+   spans.  Each span becomes a B/E duration-event pair.  Events are
+   emitted in per-trace sequence order: within a (pid, tid) pair that
+   order is exactly the domain's open/close order, so the array order
+   satisfies the trace_event stack discipline (every E matches the
+   innermost open B, timestamps non-decreasing) — which is what both
+   Perfetto and scripts/validate_trace.py check. *)
+
+let us_json v = Util.Json.Int v
+
+let meta_event ~pid ~name ~value =
+  Util.Json.Obj
+    [
+      ("name", Util.Json.String name);
+      ("ph", Util.Json.String "M");
+      ("pid", Util.Json.Int pid);
+      ("tid", Util.Json.Int 0);
+      ("args", Util.Json.Obj [ ("name", Util.Json.String value) ]);
+    ]
+
+let span_events ~pid (s : Trace.span) =
+  let base ph ts =
+    [
+      ("name", Util.Json.String s.Trace.name);
+      ("ph", Util.Json.String ph);
+      ("ts", us_json ts);
+      ("pid", Util.Json.Int pid);
+      ("tid", Util.Json.Int s.Trace.tid);
+    ]
+  in
+  let args =
+    match s.Trace.attrs with
+    | [] -> []
+    | attrs ->
+        [
+          ( "args",
+            Util.Json.Obj
+              (List.map (fun (k, v) -> (k, Util.Json.String v)) attrs) );
+        ]
+  in
+  let b = Util.Json.Obj (base "B" s.Trace.start_us @ args) in
+  let e = Util.Json.Obj (base "E" (s.Trace.start_us + s.Trace.dur_us)) in
+  [ (s.Trace.open_seq, b); (s.Trace.close_seq, e) ]
+
+let trace_events ~pid trace =
+  let label =
+    let l = Trace.label trace in
+    let id = Trace.id trace in
+    if l = "" then id else Printf.sprintf "%s [%s]" l id
+  in
+  let events =
+    Trace.spans trace
+    |> List.concat_map (span_events ~pid)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map snd
+  in
+  meta_event ~pid ~name:"process_name" ~value:label :: events
+
+let chrome_json traces =
+  let events =
+    List.concat (List.mapi (fun pid t -> trace_events ~pid t) traces)
+  in
+  Util.Json.Obj
+    [
+      ("traceEvents", Util.Json.List events);
+      ("displayTimeUnit", Util.Json.String "ms");
+    ]

@@ -1,0 +1,11 @@
+(** Chrome [trace_event] exporter.
+
+    {!chrome_json} renders traces as the JSON Object Format understood
+    by [chrome://tracing] and Perfetto: each trace becomes a process
+    (with a [process_name] metadata event carrying the label and trace
+    id), each domain a thread, each span a matched B/E duration-event
+    pair with microsecond timestamps and the span's attributes as
+    [args].  Event array order satisfies per-thread stack discipline,
+    so validators may scan it linearly. *)
+
+val chrome_json : Trace.t list -> Util.Json.t

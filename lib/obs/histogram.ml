@@ -1,0 +1,135 @@
+(* Fixed-bucket log-scale latency histograms.
+
+   Bucket upper bounds are lo * 10^((i+1)/per_decade) for i = 0..n-1,
+   plus one overflow bucket.  With the default lo = 1e-3 ms (1 us),
+   9 decades and 6 buckets per decade the top regular bound is 1e6 ms
+   (~17 min) and adjacent bounds differ by a factor of 10^(1/6), about
+   1.468 — so any quantile estimate is within that ratio of the true
+   value (see [quantile]).  All histograms built with the same
+   parameters share bucket bounds, which makes [merge] an exact
+   element-wise add: merging per-domain histograms loses nothing.
+
+   Not thread-safe: callers observe from one domain (the service
+   records on the main domain after pooled work joins). *)
+
+type t = {
+  lo_ms : float;
+  per_decade : int;
+  bounds : float array;  (* upper bounds, strictly increasing *)
+  counts : int array;  (* length = Array.length bounds + 1 (overflow) *)
+  mutable count : int;
+  mutable sum_ms : float;
+  mutable min_ms : float;
+  mutable max_ms : float;
+}
+
+let create ?(lo_ms = 1e-3) ?(decades = 9) ?(per_decade = 6) () =
+  if lo_ms <= 0.0 then invalid_arg "Histogram.create: lo_ms must be > 0";
+  if decades < 1 || per_decade < 1 then
+    invalid_arg "Histogram.create: decades and per_decade must be >= 1";
+  let n = decades * per_decade in
+  let bounds =
+    Array.init n (fun i ->
+        lo_ms *. (10.0 ** (float_of_int (i + 1) /. float_of_int per_decade)))
+  in
+  {
+    lo_ms;
+    per_decade;
+    bounds;
+    counts = Array.make (n + 1) 0;
+    count = 0;
+    sum_ms = 0.0;
+    min_ms = infinity;
+    max_ms = neg_infinity;
+  }
+
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.count <- 0;
+  t.sum_ms <- 0.0;
+  t.min_ms <- infinity;
+  t.max_ms <- neg_infinity
+
+(* Smallest i with v <= bounds.(i); n if v exceeds the last bound.
+   Binary search keeps boundary values exact (no log round-trip). *)
+let bucket_index t v =
+  let n = Array.length t.bounds in
+  if v > t.bounds.(n - 1) then n
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if v <= t.bounds.(mid) then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+let observe t ms =
+  let ms = if Float.is_nan ms || ms < 0.0 then 0.0 else ms in
+  let i = bucket_index t ms in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.count <- t.count + 1;
+  t.sum_ms <- t.sum_ms +. ms;
+  if ms < t.min_ms then t.min_ms <- ms;
+  if ms > t.max_ms then t.max_ms <- ms
+
+let count t = t.count
+let sum_ms t = t.sum_ms
+let max_ms t = if t.count = 0 then 0.0 else t.max_ms
+let bounds t = Array.copy t.bounds
+let counts t = Array.copy t.counts
+
+let merge ~into src =
+  if
+    into.lo_ms <> src.lo_ms
+    || into.per_decade <> src.per_decade
+    || Array.length into.bounds <> Array.length src.bounds
+  then invalid_arg "Histogram.merge: incompatible bucket layouts";
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
+  into.count <- into.count + src.count;
+  into.sum_ms <- into.sum_ms +. src.sum_ms;
+  if src.count > 0 then begin
+    if src.min_ms < into.min_ms then into.min_ms <- src.min_ms;
+    if src.max_ms > into.max_ms then into.max_ms <- src.max_ms
+  end
+
+(* Representative value for bucket i: the geometric midpoint of its
+   bounds, clamped into the observed [min, max] range so degenerate
+   histograms (a single value) answer exactly. *)
+let representative t i =
+  let n = Array.length t.bounds in
+  let raw =
+    if i >= n then t.max_ms
+    else
+      let upper = t.bounds.(i) in
+      let lower =
+        if i = 0 then upper /. (10.0 ** (1.0 /. float_of_int t.per_decade))
+        else t.bounds.(i - 1)
+      in
+      sqrt (lower *. upper)
+  in
+  Float.min t.max_ms (Float.max t.min_ms raw)
+
+let quantile t q =
+  if t.count = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int t.count))) in
+    let i = ref 0 and cum = ref t.counts.(0) in
+    while !cum < rank do
+      incr i;
+      cum := !cum + t.counts.(!i)
+    done;
+    representative t !i
+  end
+
+let summary_json t =
+  Util.Json.Obj
+    [
+      ("count", Util.Json.Int t.count);
+      ("sum_ms", Util.Json.Float t.sum_ms);
+      ("p50_ms", Util.Json.Float (quantile t 0.5));
+      ("p90_ms", Util.Json.Float (quantile t 0.9));
+      ("p99_ms", Util.Json.Float (quantile t 0.99));
+      ("max_ms", Util.Json.Float (max_ms t));
+    ]

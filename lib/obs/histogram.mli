@@ -1,0 +1,51 @@
+(** Fixed-bucket log-scale latency histograms (milliseconds).
+
+    Buckets are logarithmic: upper bounds [lo_ms * 10^((i+1)/per_decade)]
+    plus one overflow bucket.  The defaults (1 us lower bound, 9
+    decades, 6 buckets per decade, 55 buckets total) cover sub-
+    microsecond cache probes through 17-minute solves with adjacent
+    bounds a factor of [10^(1/6) ~ 1.468] apart — every quantile
+    estimate is within that multiplicative ratio of the true value.
+
+    Histograms with identical parameters share bucket bounds exactly,
+    so {!merge} (element-wise count add) is lossless: merging
+    per-domain histograms equals observing the pooled stream.
+
+    Not thread-safe — confine each instance to one domain. *)
+
+type t
+
+val create : ?lo_ms:float -> ?decades:int -> ?per_decade:int -> unit -> t
+(** Empty histogram.  Defaults: [lo_ms = 1e-3], [decades = 9],
+    [per_decade = 6].  Raises [Invalid_argument] on non-positive
+    parameters. *)
+
+val reset : t -> unit
+val observe : t -> float -> unit
+(** Record one latency in ms.  Negative and NaN observations clamp
+    to 0 (into the lowest bucket). *)
+
+val count : t -> int
+val sum_ms : t -> float
+val max_ms : t -> float
+(** Largest observation; [0.0] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0, 1] (clamped): a representative value
+    of the bucket holding the rank-[ceil q*n] observation, clamped to
+    the observed min/max.  Within one bucket ratio of the exact
+    quantile; [0.0] when empty. *)
+
+val merge : into:t -> t -> unit
+(** Element-wise add of [src] into [into].  Raises [Invalid_argument]
+    if the bucket layouts differ. *)
+
+val bounds : t -> float array
+(** Copy of the upper bucket bounds (excluding overflow), for the
+    Prometheus exposition's [le] labels. *)
+
+val counts : t -> int array
+(** Copy of per-bucket counts; last entry is the overflow bucket. *)
+
+val summary_json : t -> Util.Json.t
+(** [{count, sum_ms, p50_ms, p90_ms, p99_ms, max_ms}]. *)

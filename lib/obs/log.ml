@@ -1,0 +1,78 @@
+(* Structured JSONL logging to stderr, keyed by trace id.
+
+   Level resolution: [set_level] wins; otherwise the CHIMERA_LOG
+   environment variable (off|error|warn|info|debug), read once on
+   first use; otherwise logging is off.  Emission is mutex-guarded so
+   concurrent domains never interleave half-lines. *)
+
+type level = Error | Warn | Info | Debug
+
+let severity = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+
+let level_name = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "error" -> Some Error
+  | "warn" | "warning" -> Some Warn
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+let env_level () =
+  match Sys.getenv_opt "CHIMERA_LOG" with
+  | None -> None
+  | Some s -> level_of_string s
+
+(* None = uninitialized (fall back to env); Some None = explicitly off. *)
+let current : level option option ref = ref None
+let mutex = Mutex.create ()
+let out : out_channel ref = ref stderr
+
+let set_level l = Mutex.protect mutex (fun () -> current := Some l)
+let set_output oc = Mutex.protect mutex (fun () -> out := oc)
+
+let resolved () =
+  match !current with
+  | Some l -> l
+  | None ->
+      let l = env_level () in
+      current := Some l;
+      l
+
+let enabled lvl =
+  match Mutex.protect mutex resolved with
+  | None -> false
+  | Some threshold -> severity lvl <= severity threshold
+
+let field_json (k, v) = (k, v)
+
+let emit ?trace lvl event fields =
+  if enabled lvl then begin
+    let obj =
+      Util.Json.Obj
+        ([
+           ("ts_us", Util.Json.Int (Clock.now_us ()));
+           ("level", Util.Json.String (level_name lvl));
+           ("event", Util.Json.String event);
+         ]
+        @ (match trace with
+          | Some id -> [ ("trace", Util.Json.String id) ]
+          | None -> [])
+        @ List.map field_json fields)
+    in
+    let line = Util.Json.to_string obj in
+    Mutex.protect mutex (fun () ->
+        output_string !out line;
+        output_char !out '\n';
+        flush !out)
+  end
+
+let error ?trace event fields = emit ?trace Error event fields
+let warn ?trace event fields = emit ?trace Warn event fields
+let info ?trace event fields = emit ?trace Info event fields
+let debug ?trace event fields = emit ?trace Debug event fields

@@ -1,0 +1,36 @@
+(** Structured logging: one JSON object per line, to stderr.
+
+    Every line carries [ts_us] (monotone {!Clock} microseconds),
+    [level], [event], the owning [trace] id when known, and any extra
+    fields.  Levels are resolved as: {!set_level} if called, else the
+    [CHIMERA_LOG] environment variable ([off], [error], [warn],
+    [info], [debug]; read once), else off.  Disabled emission is one
+    mutex-free check per call site after initialization. *)
+
+type level = Error | Warn | Info | Debug
+
+val level_of_string : string -> level option
+(** Case-insensitive; accepts ["warning"] for [Warn].  [None] for
+    unrecognized strings (including ["off"] — treat that as
+    [set_level None]). *)
+
+val level_name : level -> string
+
+val set_level : level option -> unit
+(** [Some l] enables levels up to [l]; [None] disables logging.
+    Overrides [CHIMERA_LOG]. *)
+
+val set_output : out_channel -> unit
+(** Redirect emission (default [stderr]).  For tests. *)
+
+val enabled : level -> bool
+
+val emit : ?trace:string -> level -> string -> (string * Util.Json.t) list -> unit
+(** [emit ~trace lvl event fields] writes one JSONL line if [lvl] is
+    enabled.  [event] is a stable dotted name (["cache.discarded"],
+    ["request.done"]). *)
+
+val error : ?trace:string -> string -> (string * Util.Json.t) list -> unit
+val warn : ?trace:string -> string -> (string * Util.Json.t) list -> unit
+val info : ?trace:string -> string -> (string * Util.Json.t) list -> unit
+val debug : ?trace:string -> string -> (string * Util.Json.t) list -> unit

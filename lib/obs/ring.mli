@@ -1,0 +1,18 @@
+(** Fixed-capacity ring buffer, thread-safe, oldest-evicted.
+
+    Serve mode keeps the last N request traces in one of these so a
+    ["traces"] command can dump recent activity with bounded memory. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** Raises [Invalid_argument] on capacity < 1. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** Appends, evicting the oldest entry when full. *)
+
+val to_list : 'a t -> 'a list
+(** Retained entries, oldest first. *)

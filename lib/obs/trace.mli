@@ -1,0 +1,79 @@
+(** Spans, trace ids and explicit trace contexts.
+
+    A {!t} is one request's trace: a process-unique id, a label, and a
+    bag of closed spans.  Code under instrumentation never sees the
+    trace directly — it receives a {!ctx} and wraps phases with
+    {!span}, which times the callback on the monotone {!Clock} and
+    records the span on the owning trace when the callback returns
+    (or raises: an abandoned span is closed with an ["error"]
+    attribute and the exception is re-raised, so span trees stay
+    well-nested under failpoints and deadline aborts).
+
+    Contexts are plain values, safe to capture into closures that run
+    on other domains ({!Util.Pool} fan-out): the child span records the
+    worker's domain as its [tid] while keeping the caller's span as
+    its parent.  The disabled context {!none} makes [span] a single
+    match branch — hot paths take a [ctx] unconditionally and cost
+    nothing when tracing is off. *)
+
+type t
+(** A single trace (one request). Thread-safe. *)
+
+type span = private {
+  sid : int;  (** unique within the trace *)
+  parent : int option;  (** parent span's [sid] *)
+  name : string;
+  tid : int;  (** domain id that ran the span *)
+  start_us : int;  (** {!Clock.now_us} at open *)
+  mutable dur_us : int;
+  mutable attrs : (string * string) list;
+  mutable err : bool;  (** closed by an exception *)
+  open_seq : int;  (** per-trace sequence number taken at open *)
+  mutable close_seq : int;  (** sequence number taken at close *)
+}
+
+type ctx
+(** Either disabled, or a position (trace + current parent span). *)
+
+val none : ctx
+(** The disabled context: [span none name f] is [f none]. *)
+
+val enabled : ctx -> bool
+(** [false] exactly for {!none}.  Use to skip building costly
+    attribute strings on instrumented hot-ish paths. *)
+
+val make : ?id:string -> ?label:string -> ?max_spans:int -> unit -> t
+(** Fresh trace.  [id] defaults to a generated 16-hex-digit id unique
+    within the process (and overwhelmingly likely across processes);
+    pass it explicitly only in tests.  At most [max_spans] (default
+    4096) spans are retained; further spans are counted in
+    {!dropped} and discarded, bounding memory per trace. *)
+
+val ctx : t -> ctx
+(** Root context for [t]: spans opened through it have no parent. *)
+
+val id : t -> string
+val label : t -> string
+
+val dropped : t -> int
+(** Spans discarded because the trace hit [max_spans]. *)
+
+val span : ?attrs:(string * string) list -> ctx -> string -> (ctx -> 'a) -> 'a
+(** [span ctx name f] times [f] as a span called [name].  [f] receives
+    a context whose parent is the new span, so nested calls build the
+    tree.  On a disabled context this is a single branch calling [f]. *)
+
+val annot : ctx -> (string * string) list -> unit
+(** Append attributes to the context's current span (the innermost
+    enclosing {!span}).  No-op on a disabled or root context. *)
+
+val spans : t -> span list
+(** Closed spans in open order.  Still-open spans are not included. *)
+
+val phase_totals_ms : t -> (string * float) list
+(** Total duration per span name, in first-seen order — the payload of
+    the serve response's ["timings_ms"] object. *)
+
+val to_json : t -> Util.Json.t
+(** Full structural dump: trace id, label and every span with parent
+    links — the payload of the serve ["traces"] verb. *)

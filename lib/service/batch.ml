@@ -10,6 +10,7 @@ type response = {
   compiled : Chimera.Compiler.compiled;
   seconds : float;
   verification : Verify.Diagnostic.t list;
+  trace : Obs.Trace.t option;
 }
 
 let now () = Unix.gettimeofday ()
@@ -23,15 +24,16 @@ let now () = Unix.gettimeofday ()
    is the cooperative deadline check; any exception a sub-chain's solve
    raises is contained here, so one poisoned request can never escape
    into the surrounding batch or domain. *)
-let plan_subs ?(check = fun () -> ()) ?pool config ~machine ~registry subs =
+let plan_subs ?(check = fun () -> ()) ?pool ?(obs = Obs.Trace.none) config
+    ~machine ~registry subs =
   let rec go acc solves = function
     | [] -> Ok (List.rev acc, solves)
     | (sub : Ir.Chain.t) :: rest -> (
         match
           check ();
           Failpoint.hit ~ctx:sub.Ir.Chain.name "plan.solve";
-          Chimera.Compiler.plan_unit ~check ?pool config ~machine ~registry
-            sub
+          Chimera.Compiler.plan_unit ~check ?pool ~obs config ~machine
+            ~registry sub
         with
         | Ok up -> go (up :: acc) (solves + 1) rest
         | Error `No_feasible_tiling ->
@@ -48,13 +50,17 @@ let plan_subs ?(check = fun () -> ()) ?pool config ~machine ~registry subs =
 (* The ladder's last rung: per-operator heuristic tiling, no planner
    solve and no deadline check — cheap enough that it always runs to
    completion, which is what "always answer" means. *)
-let heuristic_units ~machine subs =
+let heuristic_units ?(obs = Obs.Trace.none) ~machine subs =
   let rec go acc = function
     | [] -> Ok (List.rev acc)
     | (sub : Ir.Chain.t) :: rest -> (
         match
           Failpoint.hit ~ctx:sub.Ir.Chain.name "plan.heuristic";
-          Chimera.Advisor.heuristic_unit_plan ~machine sub
+          Obs.Trace.span obs "plan.heuristic"
+            ~attrs:
+              (if Obs.Trace.enabled obs then [ ("chain", sub.Ir.Chain.name) ]
+               else [])
+            (fun _ -> Chimera.Advisor.heuristic_unit_plan ~machine sub)
         with
         | Ok up -> go (up :: acc) rest
         | Error reason -> Error (Error.No_feasible_tiling reason)
@@ -74,7 +80,8 @@ let combine_reasons earlier later =
    Returns the entry, the solve count, and whether any rung was cut
    short by the deadline — the caller counts deadline hits even when a
    lower rung then answered successfully. *)
-let plan_entry ?deadline ?pool ~config ~machine chain =
+let plan_entry ?deadline ?pool ?(obs = Obs.Trace.none) ~config ~machine chain
+    =
   let registry = Chimera.Compiler.registry_for config in
   let check =
     Option.value (Deadline.checker deadline) ~default:(fun () -> ())
@@ -86,7 +93,7 @@ let plan_entry ?deadline ?pool ~config ~machine chain =
   in
   let split = Chimera.Compiler.split_stages chain in
   let heuristic ~degrade_reason ~solves =
-    match heuristic_units ~machine split with
+    match heuristic_units ~obs ~machine split with
     | Ok units ->
         Ok ({ Plan_cache.rung = Heuristic; degrade_reason; units }, solves)
     | Error e -> Error (e, solves)
@@ -101,7 +108,7 @@ let plan_entry ?deadline ?pool ~config ~machine chain =
         ~solves
     end
     else
-      match plan_subs ~check ?pool config ~machine ~registry split with
+      match plan_subs ~check ?pool ~obs config ~machine ~registry split with
       | Ok (units, s) ->
           Ok ({ Plan_cache.rung = Split; degrade_reason; units }, solves + s)
       | Error (e, s) ->
@@ -113,7 +120,8 @@ let plan_entry ?deadline ?pool ~config ~machine chain =
   in
   let result =
     if config.Chimera.Config.use_fusion then
-      match plan_subs ~check ?pool config ~machine ~registry [ chain ] with
+      match plan_subs ~check ?pool ~obs config ~machine ~registry [ chain ]
+      with
       | Ok (units, s) ->
           Ok ({ Plan_cache.rung = Fused; degrade_reason = None; units }, s)
       | Error (e, s) ->
@@ -136,7 +144,8 @@ let plan_entry ?deadline ?pool ~config ~machine chain =
 (* Kernel reconstruction                                               *)
 (* ------------------------------------------------------------------ *)
 
-let materialize ~config ~machine chain (entry : Plan_cache.entry) =
+let materialize ?(obs = Obs.Trace.none) ~config ~machine chain
+    (entry : Plan_cache.entry) =
   let registry = Chimera.Compiler.registry_for config in
   let subs =
     match entry.Plan_cache.rung with
@@ -148,16 +157,17 @@ let materialize ~config ~machine chain (entry : Plan_cache.entry) =
     Error
       (Error.Internal "cached entry does not match the chain's decomposition")
   else
-    Ok
-      {
-        Chimera.Compiler.chain;
-        machine;
-        config;
-        units =
-          List.map2
-            (Chimera.Compiler.kernel_of_unit_plan ~machine ~registry)
-            subs entry.Plan_cache.units;
-      }
+    Obs.Trace.span obs "codegen" (fun obs ->
+        Ok
+          {
+            Chimera.Compiler.chain;
+            machine;
+            config;
+            units =
+              List.map2
+                (Chimera.Compiler.kernel_of_unit_plan ~obs ~machine ~registry)
+                subs entry.Plan_cache.units;
+          })
 
 (* ------------------------------------------------------------------ *)
 (* Metrics plumbing                                                    *)
@@ -193,10 +203,6 @@ let note_solves metrics solves =
   bump metrics (fun (m : Metrics.t) ->
       m.planner_solves <- m.planner_solves + solves)
 
-let note_seconds metrics dt =
-  bump metrics (fun (m : Metrics.t) ->
-      m.compile_seconds <- m.compile_seconds +. dt)
-
 (* Model evaluations and pruned orders accumulated while planning an
    entry: every level plan of every unit carries the counters the
    planner recorded; the tuner path reports its trials as evaluations. *)
@@ -216,15 +222,22 @@ let entry_search_stats (entry : Plan_cache.entry) =
       | None -> (evals, pruned))
     (0, 0) entry.Plan_cache.units
 
-let note_plan_search metrics dt planned =
+let note_plan_search metrics planned =
   bump metrics (fun (m : Metrics.t) ->
-      m.plan_solve_ms_total <- m.plan_solve_ms_total +. (dt *. 1000.0);
       match planned with
       | Ok ((entry : Plan_cache.entry), _) ->
           let evals, pruned = entry_search_stats entry in
           m.plan_evals_total <- m.plan_evals_total + evals;
           m.plan_perms_pruned_total <- m.plan_perms_pruned_total + pruned
       | Error _ -> ())
+
+(* Latency attribution: fold each request's finished trace into the
+   metrics histograms exactly once, on the main domain.  Wall-clock
+   totals (compile_seconds / plan_solve_ms_total) are derived from the
+   solve histogram's sum, which observes the same interval the old
+   float counters accumulated. *)
+let note_trace metrics trace =
+  bump metrics (fun (m : Metrics.t) -> Metrics.observe_trace m trace)
 
 (* ------------------------------------------------------------------ *)
 (* Verification                                                        *)
@@ -237,13 +250,17 @@ let note_plan_search metrics dt planned =
    diagnostics; warn mode annotates them.  The verifier itself is
    contained like any other per-request step: an exception inside it
    never poisons the batch. *)
-let apply_verify ~verify metrics (r : (response, Error.t) result) =
+let apply_verify ?(obs = Obs.Trace.none) ~verify metrics
+    (r : (response, Error.t) result) =
   match (verify, r) with
   | Verify_off, _ | _, Error _ -> r
   | (Verify_warn | Verify_strict), Ok resp -> (
       bump metrics (fun (m : Metrics.t) ->
           m.verify_runs <- m.verify_runs + 1);
-      match Verify.Driver.check_compiled resp.compiled with
+      match
+        Obs.Trace.span obs "verify" (fun obs ->
+            Verify.Driver.check_compiled ~obs resp.compiled)
+      with
       | exception e -> (
           match verify with
           | Verify_strict ->
@@ -270,8 +287,8 @@ let apply_verify ~verify metrics (r : (response, Error.t) result) =
 (* The batch must survive anything planning throws, including faults
    injected below [plan_subs]'s own containment (e.g. in
    [registry_for]). *)
-let guarded_plan_entry ?deadline ?pool ~config ~machine chain =
-  try plan_entry ?deadline ?pool ~config ~machine chain
+let guarded_plan_entry ?deadline ?pool ?obs ~config ~machine chain =
+  try plan_entry ?deadline ?pool ?obs ~config ~machine chain
   with e ->
     let err = Error.of_exn e in
     let hit = match err with Error.Deadline_exceeded _ -> true | _ -> false in
@@ -282,48 +299,79 @@ let guarded_plan_entry ?deadline ?pool ~config ~machine chain =
 (* ------------------------------------------------------------------ *)
 
 let compile ?cache ?metrics ?(config = Chimera.Config.default) ?deadline
-    ?pool ?(verify = Verify_off) ~machine chain =
+    ?pool ?(verify = Verify_off) ?obs ~machine chain =
   bump metrics (fun (m : Metrics.t) -> m.requests <- m.requests + 1);
   let cache =
     match cache with Some c -> c | None -> Plan_cache.create ?metrics ()
   in
-  let fp = Fingerprint.of_request ~chain ~machine ~config in
-  let build source seconds entry =
-    Result.map
-      (fun compiled ->
-        {
-          fingerprint = fp;
-          source;
-          rung = entry.Plan_cache.rung;
-          degraded = entry.Plan_cache.degrade_reason;
-          compiled;
-          seconds;
-          verification = [];
-        })
-      (materialize ~config ~machine chain entry)
+  (* Every compile is traced — callers that pass no trace still get
+     their latencies attributed in the metrics histograms.  Library
+     callers that want zero tracing overhead use the planner directly
+     (see bench/exp_obs.ml for the cost of this trade). *)
+  let trace =
+    match obs with
+    | Some t -> t
+    | None -> Obs.Trace.make ~label:chain.Ir.Chain.name ()
   in
   let result =
-    match Plan_cache.find cache fp with
-    | Some entry -> build Cache 0.0 entry
-    | None -> (
-        let t0 = now () in
-        let planned, deadline_hit =
-          guarded_plan_entry ?deadline ?pool ~config ~machine chain
+    Obs.Trace.span (Obs.Trace.ctx trace) "request" (fun ctx ->
+        let fp =
+          Obs.Trace.span ctx "fingerprint" (fun _ ->
+              Fingerprint.of_request ~chain ~machine ~config)
         in
-        let dt = now () -. t0 in
-        note_seconds metrics dt;
-        note_plan_search metrics dt planned;
-        note_deadline_hit metrics deadline_hit;
-        match planned with
-        | Error (err, solves) ->
-            note_solves metrics solves;
-            Error err
-        | Ok (entry, solves) ->
-            note_solves metrics solves;
-            Plan_cache.add cache fp entry;
-            build Compiled dt entry)
+        let build source seconds entry =
+          Result.map
+            (fun compiled ->
+              {
+                fingerprint = fp;
+                source;
+                rung = entry.Plan_cache.rung;
+                degraded = entry.Plan_cache.degrade_reason;
+                compiled;
+                seconds;
+                verification = [];
+                trace = Some trace;
+              })
+            (materialize ~obs:ctx ~config ~machine chain entry)
+        in
+        let result =
+          match
+            Obs.Trace.span ctx "cache.lookup" (fun ctx ->
+                let hit = Plan_cache.find cache fp in
+                Obs.Trace.annot ctx
+                  [ ("hit", if hit = None then "false" else "true") ];
+                hit)
+          with
+          | Some entry -> build Cache 0.0 entry
+          | None ->
+              Obs.Trace.span ctx "solve" (fun ctx ->
+                  let t0 = now () in
+                  let planned, deadline_hit =
+                    guarded_plan_entry ?deadline ?pool ~obs:ctx ~config
+                      ~machine chain
+                  in
+                  let dt = now () -. t0 in
+                  note_plan_search metrics planned;
+                  note_deadline_hit metrics deadline_hit;
+                  match planned with
+                  | Error (err, solves) ->
+                      note_solves metrics solves;
+                      Obs.Trace.annot ctx
+                        [ ("outcome", Error.code err) ];
+                      Error err
+                  | Ok (entry, solves) ->
+                      note_solves metrics solves;
+                      Obs.Trace.annot ctx
+                        [
+                          ("rung", Plan_cache.rung_to_string entry.Plan_cache.rung);
+                          ("solves", string_of_int solves);
+                        ];
+                      Plan_cache.add cache fp entry;
+                      build Compiled dt entry)
+        in
+        apply_verify ~obs:ctx ~verify metrics result)
   in
-  let result = apply_verify ~verify metrics result in
+  note_trace metrics trace;
   note_response metrics result;
   result
 
@@ -337,6 +385,7 @@ type pending = {
   p_machine : Arch.Machine.t;
   p_chain : Ir.Chain.t;
   p_deadline_ms : float option;
+  p_trace : Obs.Trace.t;
   hit : Plan_cache.entry option;
 }
 
@@ -347,7 +396,10 @@ let run ?(jobs = 1) ?cache ?metrics ?(config = Chimera.Config.default)
   let cache =
     match cache with Some c -> c | None -> Plan_cache.create ?metrics ()
   in
-  (* Phase 1: resolve, fingerprint and probe the cache, in order. *)
+  (* Phase 1: resolve, fingerprint and probe the cache, in order.  Each
+     resolvable request gets its own trace; batch phases interleave
+     across requests, so a request's spans are recorded as siblings on
+     its trace rather than under a single root. *)
   let slots =
     List.map
       (fun req ->
@@ -355,11 +407,20 @@ let run ?(jobs = 1) ?cache ?metrics ?(config = Chimera.Config.default)
         match Request.resolve req with
         | Error e -> (req, Unresolved e)
         | Ok (chain, machine) ->
+            let p_trace = Obs.Trace.make ~label:(Request.describe req) () in
+            let ctx = Obs.Trace.ctx p_trace in
             let p_config = Request.config_of ~base:config req in
             let fp =
-              Fingerprint.of_request ~chain ~machine ~config:p_config
+              Obs.Trace.span ctx "fingerprint" (fun _ ->
+                  Fingerprint.of_request ~chain ~machine ~config:p_config)
             in
-            let hit = Plan_cache.find cache fp in
+            let hit =
+              Obs.Trace.span ctx "cache.lookup" (fun ctx ->
+                  let hit = Plan_cache.find cache fp in
+                  Obs.Trace.annot ctx
+                    [ ("hit", if hit = None then "false" else "true") ];
+                  hit)
+            in
             let p_deadline_ms =
               (* the request's own budget wins over the batch default;
                  the clock starts when its planning starts, not here. *)
@@ -375,13 +436,14 @@ let run ?(jobs = 1) ?cache ?metrics ?(config = Chimera.Config.default)
                   p_machine = machine;
                   p_chain = chain;
                   p_deadline_ms;
+                  p_trace;
                   hit;
                 } ))
       requests
   in
   (* Phase 2: deduplicate the misses by fingerprint.  Deadlines are not
      part of the fingerprint: duplicates plan once, under the budget of
-     the first occurrence. *)
+     the first occurrence (whose trace carries the solve spans). *)
   let seen = Hashtbl.create 32 in
   let misses =
     List.filter_map
@@ -412,13 +474,23 @@ let run ?(jobs = 1) ?cache ?metrics ?(config = Chimera.Config.default)
      per-order fan-outs fall back inline on their lane. *)
   let pool = match pool with Some p -> p | None -> Util.Pool.global () in
   let plan_miss p =
-    let t0 = now () in
-    let deadline = Option.map Deadline.of_ms p.p_deadline_ms in
-    let planned, deadline_hit =
-      guarded_plan_entry ?deadline ~pool ~config:p.p_config
-        ~machine:p.p_machine p.p_chain
-    in
-    (p.fp, planned, deadline_hit, now () -. t0)
+    let ctx = Obs.Trace.ctx p.p_trace in
+    Obs.Trace.span ctx "solve" (fun ctx ->
+        let t0 = now () in
+        let deadline = Option.map Deadline.of_ms p.p_deadline_ms in
+        let planned, deadline_hit =
+          guarded_plan_entry ?deadline ~pool ~obs:ctx ~config:p.p_config
+            ~machine:p.p_machine p.p_chain
+        in
+        (match planned with
+        | Ok (entry, solves) ->
+            Obs.Trace.annot ctx
+              [
+                ("rung", Plan_cache.rung_to_string entry.Plan_cache.rung);
+                ("solves", string_of_int solves);
+              ]
+        | Error (err, _) -> Obs.Trace.annot ctx [ ("outcome", Error.code err) ]);
+        (p.fp, planned, deadline_hit, now () -. t0))
   in
   let n_misses = List.length misses in
   let n_jobs = Util.Ints.clamp ~lo:1 ~hi:(max 1 n_misses) jobs in
@@ -433,8 +505,7 @@ let run ?(jobs = 1) ?cache ?metrics ?(config = Chimera.Config.default)
   let outcomes = Hashtbl.create 32 in
   List.iter
     (fun (fp, planned, deadline_hit, dt) ->
-      note_seconds metrics dt;
-      note_plan_search metrics dt planned;
+      note_plan_search metrics planned;
       note_deadline_hit metrics deadline_hit;
       match planned with
       | Ok (entry, solves) ->
@@ -445,13 +516,17 @@ let run ?(jobs = 1) ?cache ?metrics ?(config = Chimera.Config.default)
           note_solves metrics solves;
           Hashtbl.replace outcomes (Fingerprint.to_hex fp) (Error err))
     planned;
-  (* Phase 5: rebuild kernels for every request, in input order. *)
+  (* Phase 5: rebuild kernels for every request, in input order.  Each
+     slot's trace is folded into the metrics histograms here, once —
+     deduplicated requests have distinct traces (only the planning
+     representative's carries solve spans), so nothing double-counts. *)
   List.map
     (fun (req, slot) ->
       let result =
         match slot with
         | Unresolved e -> Error e
-        | Pending { fp; p_config; p_machine; p_chain; hit; _ } -> (
+        | Pending { fp; p_config; p_machine; p_chain; p_trace; hit; _ } -> (
+            let ctx = Obs.Trace.ctx p_trace in
             let build source seconds entry =
               Result.map
                 (fun compiled ->
@@ -463,20 +538,27 @@ let run ?(jobs = 1) ?cache ?metrics ?(config = Chimera.Config.default)
                     compiled;
                     seconds;
                     verification = [];
+                    trace = Some p_trace;
                   })
-                (materialize ~config:p_config ~machine:p_machine p_chain
-                   entry)
+                (materialize ~obs:ctx ~config:p_config ~machine:p_machine
+                   p_chain entry)
             in
-            match hit with
-            | Some entry -> build Cache 0.0 entry
-            | None -> (
-                match Hashtbl.find_opt outcomes (Fingerprint.to_hex fp) with
-                | Some (Ok (entry, dt)) -> build Compiled dt entry
-                | Some (Error err) -> Error err
-                | None ->
-                    Error (Error.Internal "request was never planned")))
+            let result =
+              match hit with
+              | Some entry -> build Cache 0.0 entry
+              | None -> (
+                  match
+                    Hashtbl.find_opt outcomes (Fingerprint.to_hex fp)
+                  with
+                  | Some (Ok (entry, dt)) -> build Compiled dt entry
+                  | Some (Error err) -> Error err
+                  | None ->
+                      Error (Error.Internal "request was never planned"))
+            in
+            let result = apply_verify ~obs:ctx ~verify metrics result in
+            note_trace metrics p_trace;
+            result)
       in
-      let result = apply_verify ~verify metrics result in
       note_response metrics result;
       (req, result))
     slots

@@ -56,11 +56,16 @@ type response = {
       (** findings of the static-analysis passes; [[]] when verification
           is off (or when strict verification rejected the response —
           the summary then travels in the error). *)
+  trace : Obs.Trace.t option;
+      (** the request's trace (fingerprint / cache.lookup / solve /
+          codegen / verify spans and their children); always [Some] on
+          responses produced by {!compile} and {!run}. *)
 }
 
 val compile :
   ?cache:Plan_cache.t -> ?metrics:Metrics.t -> ?config:Chimera.Config.t ->
   ?deadline:Deadline.t -> ?pool:Util.Pool.t -> ?verify:verify_mode ->
+  ?obs:Obs.Trace.t ->
   machine:Arch.Machine.t -> Ir.Chain.t -> (response, Error.t) result
 (** Compile one chain through the cache: lookup by fingerprint, plan on
     miss (walking the ladder above, under [deadline] when given),
@@ -68,7 +73,12 @@ val compile :
     (default {!Verify_off}) — run the static-analysis passes over the
     result.  [pool] parallelizes the planner's per-order solves, so a
     single request uses every lane; the chosen plan is identical to the
-    serial one. *)
+    serial one.
+
+    The request is traced onto [obs] (a fresh trace when omitted) under
+    a root ["request"] span, and the finished trace is folded into
+    [metrics]' latency histograms — so per-phase latency attribution
+    works even for callers that never look at a trace. *)
 
 val run :
   ?jobs:int -> ?cache:Plan_cache.t -> ?metrics:Metrics.t ->

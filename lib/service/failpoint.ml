@@ -209,4 +209,9 @@ let fired site =
 let () =
   match configure_from_env () with
   | Ok () -> ()
-  | Error e -> Printf.eprintf "chimera: ignoring %s: %s\n%!" env_var e
+  | Error e ->
+      Obs.Log.warn "failpoint.ignored"
+        [
+          ("env", Util.Json.String env_var);
+          ("reason", Util.Json.String e);
+        ]

@@ -15,10 +15,14 @@ type t = {
   mutable verify_runs : int;
   mutable verify_warnings : int;
   mutable verify_failures : int;
-  mutable compile_seconds : float;
-  mutable plan_solve_ms_total : float;
   mutable plan_evals_total : int;
   mutable plan_perms_pruned_total : int;
+  solve_ms : Obs.Histogram.t;
+  cache_lookup_ms : Obs.Histogram.t;
+  perm_solve_ms : Obs.Histogram.t;
+  tuner_trial_ms : Obs.Histogram.t;
+  codegen_ms : Obs.Histogram.t;
+  verify_ms : Obs.Histogram.t;
 }
 
 let create () =
@@ -39,10 +43,14 @@ let create () =
     verify_runs = 0;
     verify_warnings = 0;
     verify_failures = 0;
-    compile_seconds = 0.0;
-    plan_solve_ms_total = 0.0;
     plan_evals_total = 0;
     plan_perms_pruned_total = 0;
+    solve_ms = Obs.Histogram.create ();
+    cache_lookup_ms = Obs.Histogram.create ();
+    perm_solve_ms = Obs.Histogram.create ();
+    tuner_trial_ms = Obs.Histogram.create ();
+    codegen_ms = Obs.Histogram.create ();
+    verify_ms = Obs.Histogram.create ();
   }
 
 let reset t =
@@ -62,44 +70,88 @@ let reset t =
   t.verify_runs <- 0;
   t.verify_warnings <- 0;
   t.verify_failures <- 0;
-  t.compile_seconds <- 0.0;
-  t.plan_solve_ms_total <- 0.0;
   t.plan_evals_total <- 0;
-  t.plan_perms_pruned_total <- 0
+  t.plan_perms_pruned_total <- 0;
+  Obs.Histogram.reset t.solve_ms;
+  Obs.Histogram.reset t.cache_lookup_ms;
+  Obs.Histogram.reset t.perm_solve_ms;
+  Obs.Histogram.reset t.tuner_trial_ms;
+  Obs.Histogram.reset t.codegen_ms;
+  Obs.Histogram.reset t.verify_ms
+
+(* The value type is part of each metric's registration: renderers
+   dispatch on the constructor, so renaming a metric can't silently
+   switch its formatting (the old [float_valued] name-list bug). *)
+type value =
+  | Counter of int
+  | Gauge of float
+  | Hist of Obs.Histogram.t
 
 let fields t =
   [
-    ("requests", float_of_int t.requests);
-    ("cache_hits", float_of_int t.hits);
-    ("cache_misses", float_of_int t.misses);
-    ("evictions", float_of_int t.evictions);
-    ("planner_solves", float_of_int t.planner_solves);
-    ("degraded", float_of_int t.degraded);
-    ("heuristic", float_of_int t.heuristic);
-    ("failed", float_of_int t.failed);
-    ("invalid_requests", float_of_int t.invalid_requests);
-    ("deadline_exceeded", float_of_int t.deadline_exceeded);
-    ("internal_errors", float_of_int t.internal_errors);
-    ("cache_corrupt", float_of_int t.cache_corrupt);
-    ("cache_io_retries", float_of_int t.cache_io_retries);
-    ("verify_runs", float_of_int t.verify_runs);
-    ("verify_warnings", float_of_int t.verify_warnings);
-    ("verify_failures", float_of_int t.verify_failures);
-    ("compile_seconds", t.compile_seconds);
-    ("plan_solve_ms_total", t.plan_solve_ms_total);
-    ("plan_evals_total", float_of_int t.plan_evals_total);
-    ("plan_perms_pruned_total", float_of_int t.plan_perms_pruned_total);
+    ("requests", Counter t.requests);
+    ("cache_hits", Counter t.hits);
+    ("cache_misses", Counter t.misses);
+    ("evictions", Counter t.evictions);
+    ("planner_solves", Counter t.planner_solves);
+    ("degraded", Counter t.degraded);
+    ("heuristic", Counter t.heuristic);
+    ("failed", Counter t.failed);
+    ("invalid_requests", Counter t.invalid_requests);
+    ("deadline_exceeded", Counter t.deadline_exceeded);
+    ("internal_errors", Counter t.internal_errors);
+    ("cache_corrupt", Counter t.cache_corrupt);
+    ("cache_io_retries", Counter t.cache_io_retries);
+    ("verify_runs", Counter t.verify_runs);
+    ("verify_warnings", Counter t.verify_warnings);
+    ("verify_failures", Counter t.verify_failures);
+    ("plan_evals_total", Counter t.plan_evals_total);
+    ("plan_perms_pruned_total", Counter t.plan_perms_pruned_total);
+    ("solve_ms", Hist t.solve_ms);
+    ("cache_lookup_ms", Hist t.cache_lookup_ms);
+    ("perm_solve_ms", Hist t.perm_solve_ms);
+    ("tuner_trial_ms", Hist t.tuner_trial_ms);
+    ("codegen_ms", Hist t.codegen_ms);
+    ("verify_ms", Hist t.verify_ms);
+    (* Deprecated: float totals derived from the solve histogram, kept
+       for one version so existing tooling keeps reading them. *)
+    ("compile_seconds", Gauge (Obs.Histogram.sum_ms t.solve_ms /. 1000.0));
+    ("plan_solve_ms_total", Gauge (Obs.Histogram.sum_ms t.solve_ms));
   ]
 
-let float_valued = [ "compile_seconds"; "plan_solve_ms_total" ]
+let compile_seconds t = Obs.Histogram.sum_ms t.solve_ms /. 1000.0
+let plan_solve_ms_total t = Obs.Histogram.sum_ms t.solve_ms
+
+(* Route a finished request trace into the latency histograms.  Called
+   exactly once per trace, on the main domain, after pooled planning
+   has joined. *)
+let observe_trace t trace =
+  List.iter
+    (fun (s : Obs.Trace.span) ->
+      let ms = float_of_int s.Obs.Trace.dur_us /. 1000.0 in
+      match s.Obs.Trace.name with
+      | "solve" -> Obs.Histogram.observe t.solve_ms ms
+      | "cache.lookup" -> Obs.Histogram.observe t.cache_lookup_ms ms
+      | "order" -> Obs.Histogram.observe t.perm_solve_ms ms
+      | "tuner.trial" -> Obs.Histogram.observe t.tuner_trial_ms ms
+      | "codegen" -> Obs.Histogram.observe t.codegen_ms ms
+      | "verify" -> Obs.Histogram.observe t.verify_ms ms
+      | _ -> ())
+    (Obs.Trace.spans trace)
 
 let to_table t =
   let table = Util.Table.create ~columns:[ "counter"; "value" ] in
   List.iter
     (fun (name, v) ->
       let cell =
-        if List.mem name float_valued then Printf.sprintf "%.3f" v
-        else string_of_int (int_of_float v)
+        match v with
+        | Counter n -> string_of_int n
+        | Gauge f -> Printf.sprintf "%.3f" f
+        | Hist h ->
+            Printf.sprintf "n=%d p50=%.3fms p99=%.3fms"
+              (Obs.Histogram.count h)
+              (Obs.Histogram.quantile h 0.5)
+              (Obs.Histogram.quantile h 0.99)
       in
       Util.Table.add_row table [ name; cell ])
     (fields t);
@@ -109,8 +161,42 @@ let to_json t =
   Util.Json.Obj
     (List.map
        (fun (name, v) ->
-         if List.mem name float_valued then (name, Util.Json.Float v)
-         else (name, Util.Json.Int (int_of_float v)))
+         match v with
+         | Counter n -> (name, Util.Json.Int n)
+         | Gauge f -> (name, Util.Json.Float f)
+         | Hist h -> (name, Obs.Histogram.summary_json h))
        (fields t))
+
+(* Prometheus text exposition.  Counters become [chimera_<name>],
+   histograms the conventional _bucket{le=...}/_sum/_count triple with
+   cumulative bucket counts. *)
+let to_prometheus t =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (name, v) ->
+      let metric = "chimera_" ^ name in
+      match v with
+      | Counter n ->
+          line "# TYPE %s counter" metric;
+          line "%s %d" metric n
+      | Gauge f ->
+          line "# TYPE %s gauge" metric;
+          line "%s %s" metric (Printf.sprintf "%.6f" f)
+      | Hist h ->
+          line "# TYPE %s histogram" metric;
+          let bounds = Obs.Histogram.bounds h in
+          let counts = Obs.Histogram.counts h in
+          let cum = ref 0 in
+          Array.iteri
+            (fun i upper ->
+              cum := !cum + counts.(i);
+              line "%s_bucket{le=\"%.9g\"} %d" metric upper !cum)
+            bounds;
+          line "%s_bucket{le=\"+Inf\"} %d" metric (Obs.Histogram.count h);
+          line "%s_sum %.6f" metric (Obs.Histogram.sum_ms h);
+          line "%s_count %d" metric (Obs.Histogram.count h))
+    (fields t);
+  Buffer.contents buf
 
 let print t = Util.Table.print (to_table t)

@@ -1,10 +1,11 @@
-(** Counters for the compilation service.
+(** Counters and latency histograms for the compilation service.
 
     One mutable record shared by the plan cache, the batch compiler and
-    the serve loop; printable as a table and dumpable as JSON so both
-    interactive runs and tests can assert on service behaviour (e.g.
-    "a warm batch performs zero planner solves", "the injected fault
-    was counted, not fatal"). *)
+    the serve loop; printable as a table, dumpable as JSON, and
+    renderable as a Prometheus text exposition.  Integer counters stay
+    plain mutable fields (tests assert on them directly); latencies
+    live in {!Obs.Histogram} fields fed from request traces by
+    {!observe_trace}. *)
 
 type t = {
   mutable requests : int;  (** optimization requests processed. *)
@@ -43,28 +44,64 @@ type t = {
   mutable verify_failures : int;
       (** verified responses with at least one error-severity
           diagnostic (rejected under strict, annotated under warn). *)
-  mutable compile_seconds : float;
-      (** wall-clock spent planning cache misses. *)
-  mutable plan_solve_ms_total : float;
-      (** wall-clock milliseconds spent inside planner solves (the
-          planning phase of cache misses; excludes codegen). *)
   mutable plan_evals_total : int;
       (** DV/MU model evaluations across all planner solves. *)
   mutable plan_perms_pruned_total : int;
       (** block execution orders skipped by the planner's
           branch-and-bound gate. *)
+  solve_ms : Obs.Histogram.t;
+      (** end-to-end planning latency of cache misses (the ["solve"]
+          span: ladder descent, all levels, tuner included). *)
+  cache_lookup_ms : Obs.Histogram.t;  (** plan-cache probe latency. *)
+  perm_solve_ms : Obs.Histogram.t;
+      (** per-execution-order solver descents (["order"] spans),
+          including cross-domain fan-out. *)
+  tuner_trial_ms : Obs.Histogram.t;
+      (** per-trial simulator measurement inside {!Chimera.Tuner}. *)
+  codegen_ms : Obs.Histogram.t;  (** kernel materialization. *)
+  verify_ms : Obs.Histogram.t;  (** static-analysis verification. *)
 }
 
 val create : unit -> t
-(** All counters zero. *)
+(** All counters zero, all histograms empty. *)
 
 val reset : t -> unit
 
+(** Every metric registers its value type; renderers dispatch on the
+    constructor, so a renamed metric can never be misformatted. *)
+type value =
+  | Counter of int
+  | Gauge of float  (** derived/deprecated float totals *)
+  | Hist of Obs.Histogram.t
+
+val fields : t -> (string * value) list
+(** All metrics in render order.  Includes the deprecated
+    [compile_seconds] / [plan_solve_ms_total] gauges, derived from the
+    solve histogram's sum, kept for one version. *)
+
+val compile_seconds : t -> float
+(** Deprecated alias: [sum(solve_ms) / 1000]. *)
+
+val plan_solve_ms_total : t -> float
+(** Deprecated alias: [sum(solve_ms)]. *)
+
+val observe_trace : t -> Obs.Trace.t -> unit
+(** Fold a finished request trace into the latency histograms (span
+    names [solve], [cache.lookup], [order], [tuner.trial], [codegen],
+    [verify]).  Call exactly once per trace, from one domain. *)
+
 val to_table : t -> Util.Table.t
-(** Two-column (counter, value) rendering. *)
+(** Two-column (counter, value) rendering; histograms shown as
+    [n/p50/p99]. *)
 
 val to_json : t -> Util.Json.t
-(** Flat object, one field per counter. *)
+(** One field per metric: counters as ints, deprecated gauges as
+    floats, histograms as [{count, sum_ms, p50_ms, p90_ms, p99_ms,
+    max_ms}] objects. *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition: [chimera_]-prefixed counters and
+    cumulative [_bucket{le=...}]/[_sum]/[_count] histogram series. *)
 
 val print : t -> unit
 (** {!to_table} to stdout. *)

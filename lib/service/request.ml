@@ -5,12 +5,14 @@ type t = {
   relu : bool;
   batch : int option;
   fusion : bool;
+  tuner : bool;
   deadline_ms : float option;
+  timings : bool;
 }
 
 let make ?(softmax = false) ?(relu = false) ?batch ?(fusion = true)
-    ?deadline_ms ~workload ~arch () =
-  { workload; arch; softmax; relu; batch; fusion; deadline_ms }
+    ?(tuner = false) ?deadline_ms ?(timings = false) ~workload ~arch () =
+  { workload; arch; softmax; relu; batch; fusion; tuner; deadline_ms; timings }
 
 (* ------------------------------------------------------------------ *)
 (* Validation limits                                                   *)
@@ -101,7 +103,13 @@ let resolve t =
               | Ok () -> Ok (chain, machine))))
 
 let config_of ?(base = Chimera.Config.default) t =
-  { base with Chimera.Config.use_fusion = t.fusion }
+  {
+    base with
+    Chimera.Config.use_fusion = t.fusion;
+    (* [tuner] forces the sampling path; it never turns the cost model
+       back on when the base config already disables it. *)
+    use_cost_model = base.Chimera.Config.use_cost_model && not t.tuner;
+  }
 
 let deadline_of ?default_ms t =
   match (t.deadline_ms, default_ms) with
@@ -134,8 +142,10 @@ let of_json json =
               relu = flag "relu" false;
               batch = Option.bind (member "batch" json) to_int_opt;
               fusion = flag "fusion" true;
+              tuner = flag "tuner" false;
               deadline_ms =
                 Option.bind (member "deadline_ms" json) to_float_opt;
+              timings = flag "timings" false;
             })
   | _ -> Error "request must be a JSON object"
 
@@ -150,10 +160,11 @@ let to_json t =
      ]
     @ (match t.batch with Some b -> [ ("batch", Int b) ] | None -> [])
     @ [ ("fusion", Bool t.fusion) ]
-    @
-    match t.deadline_ms with
-    | Some d -> [ ("deadline_ms", Float d) ]
-    | None -> [])
+    @ (if t.tuner then [ ("tuner", Bool true) ] else [])
+    @ (match t.deadline_ms with
+      | Some d -> [ ("deadline_ms", Float d) ]
+      | None -> [])
+    @ if t.timings then [ ("timings", Bool true) ] else [])
 
 let all_gemm_x_arch () =
   List.concat_map
@@ -170,3 +181,4 @@ let describe t =
     (if t.relu then "+relu" else "")
     (match t.batch with Some b -> Printf.sprintf "+batch=%d" b | None -> "")
     (if t.fusion then "" else "+nofusion")
+    ^ if t.tuner then "+tuner" else ""

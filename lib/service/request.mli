@@ -7,7 +7,7 @@
     {v
     {"workload": "G2", "arch": "cpu",
      "softmax": false, "relu": false, "batch": 8, "fusion": true,
-     "deadline_ms": 250}
+     "tuner": false, "deadline_ms": 250, "timings": false}
     v}
     [workload] and [arch] are required; the rest default as below.  An
     optional ["id"] field is echoed back by the serve loop but is not
@@ -30,8 +30,18 @@ type t = {
   relu : bool;  (** conv chains: ReLU after each convolution. *)
   batch : int option;  (** overrides the workload's batch size. *)
   fusion : bool;  (** [false] compiles one kernel per stage. *)
+  tuner : bool;
+      (** [true] plans with the sampling tuner instead of the
+          analytical cost model ({!config_of} clears
+          [use_cost_model]).  Part of the request identity: it changes
+          the config, hence the cache fingerprint. *)
   deadline_ms : float option;
       (** planning budget in milliseconds; [None] means unbounded. *)
+  timings : bool;
+      (** [true] asks the serve loop to attach a ["timings_ms"] object
+          (per-phase totals from the request's trace) to the response.
+          Response-shape only: excluded from the cache fingerprint
+          because it never affects planning. *)
 }
 
 val max_stages : int
@@ -43,9 +53,10 @@ val max_axis_extent : int
 
 val make :
   ?softmax:bool -> ?relu:bool -> ?batch:int -> ?fusion:bool ->
-  ?deadline_ms:float -> workload:string -> arch:string -> unit -> t
-(** Defaults: no softmax, no relu, table batch size, fusion on, no
-    deadline. *)
+  ?tuner:bool -> ?deadline_ms:float -> ?timings:bool ->
+  workload:string -> arch:string -> unit -> t
+(** Defaults: no softmax, no relu, table batch size, fusion on,
+    analytical cost model (no tuner), no deadline, no timings. *)
 
 val resolve : t -> (Ir.Chain.t * Arch.Machine.t, Error.t) result
 (** Validate the request, build the chain and look up the machine
@@ -59,7 +70,8 @@ val validate_chain : Ir.Chain.t -> (unit, Error.t) result
 
 val config_of : ?base:Chimera.Config.t -> t -> Chimera.Config.t
 (** The compiler configuration the request implies: [base] (default
-    {!Chimera.Config.default}) with the fusion switch applied. *)
+    {!Chimera.Config.default}) with the fusion switch applied and the
+    cost model cleared when [tuner] is set. *)
 
 val deadline_of : ?default_ms:float -> t -> Deadline.t option
 (** The planning deadline this request implies, started now: the
@@ -70,7 +82,9 @@ val of_json : Util.Json.t -> (t, string) result
 (** Decode the wire form; unknown fields are ignored. *)
 
 val to_json : t -> Util.Json.t
-(** Encode the wire form ([batch]/[deadline_ms] omitted when [None]). *)
+(** Encode the wire form ([batch]/[deadline_ms] omitted when [None];
+    [tuner]/[timings] omitted when false, keeping pre-existing encodings
+    byte-identical). *)
 
 val all_gemm_x_arch : unit -> t list
 (** Every Table-IV GEMM chain on every machine preset — G1–G12 x

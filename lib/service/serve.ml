@@ -13,7 +13,13 @@ let response_of_unit (u : Chimera.Compiler.unit_) =
       ("mu_bytes", Int (Codegen.Kernel.predicted_mu_bytes u.kernel));
     ]
 
-let response_json ?id req (r : Batch.response) =
+let timings_json trace =
+  Util.Json.Obj
+    (List.map
+       (fun (name, ms) -> (name, Util.Json.Float ms))
+       (Obs.Trace.phase_totals_ms trace))
+
+let response_json ?id ?timings_of req (r : Batch.response) =
   let open Util.Json in
   let id_field = match id with Some v -> [ ("id", v) ] | None -> [] in
   Obj
@@ -38,6 +44,15 @@ let response_json ?id req (r : Batch.response) =
             (Chimera.Compiler.total_time_seconds r.Batch.compiled *. 1e6) );
         ("compile_ms", Float (r.Batch.seconds *. 1e3));
       ]
+    (* trace_id and timings_ms only appear when the request opted in
+       ("timings": true), so existing clients see an unchanged schema. *)
+    @ (match timings_of with
+      | Some trace ->
+          [
+            ("trace_id", String (Obs.Trace.id trace));
+            ("timings_ms", timings_json trace);
+          ]
+      | None -> [])
     @
     (* The verification field only appears when the passes ran, so
        clients that never ask for verification see an unchanged schema. *)
@@ -49,8 +64,11 @@ let response_json ?id req (r : Batch.response) =
             List (List.map Verify.Diagnostic.to_json ds) );
         ])
 
+let default_trace_ring = 32
+
 let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir
-    ?default_deadline_ms ?pool ?(verify = Batch.Verify_off) ic oc =
+    ?default_deadline_ms ?pool ?(verify = Batch.Verify_off)
+    ?(trace_ring = default_trace_ring) ic oc =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   (* Every request is planned on the shared pool: the per-order solves
      of a single request fan across the lanes, so the serve loop is
@@ -61,16 +79,20 @@ let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir
     | Some c -> c
     | None -> Plan_cache.create ~metrics ()
   in
+  (* The last N request traces, dumpable with {"cmd": "traces"} —
+     bounded memory however long the server runs. *)
+  let ring : Obs.Trace.t Obs.Ring.t = Obs.Ring.create trace_ring in
   (* A discarded (corrupt/stale) cache file is a cold start, not a
      failure; it is already counted in [metrics.cache_corrupt] and the
-     reason goes to stderr so operators can see it without a client
-     ever noticing. *)
+     reason goes to the structured log so operators can see it without
+     a client ever noticing. *)
   Option.iter
     (fun dir ->
       match Plan_cache.load cache ~dir with
       | Plan_cache.Loaded _ | Plan_cache.Absent -> ()
       | Plan_cache.Discarded reason ->
-          Printf.eprintf "chimera serve: discarded plan cache: %s\n%!" reason)
+          Obs.Log.warn "cache.discarded"
+            [ ("reason", Util.Json.String reason) ])
     cache_dir;
   let emit json =
     output_string oc (Util.Json.to_string json);
@@ -88,8 +110,8 @@ let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir
                  else — log it, count it, keep serving. *)
               metrics.Metrics.internal_errors <-
                 metrics.Metrics.internal_errors + 1;
-              Printf.eprintf "chimera serve: cache write-back failed: %s\n%!"
-                reason)
+              Obs.Log.error "cache.writeback_failed"
+                [ ("reason", Util.Json.String reason) ])
       cache_dir
   in
   let handle_request ?id json =
@@ -108,21 +130,54 @@ let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir
             metrics.Metrics.failed <- metrics.Metrics.failed + 1;
             metrics.Metrics.invalid_requests <-
               metrics.Metrics.invalid_requests + 1;
+            Obs.Log.warn "request.rejected"
+              [
+                ("request", Util.Json.String (Request.describe req));
+                ("error", Util.Json.String (Error.to_string e));
+              ];
             emit (Error.to_json ?id e)
         | Ok (chain, machine) -> (
             let config = Request.config_of ~base:config req in
             let deadline =
               Request.deadline_of ?default_ms:default_deadline_ms req
             in
-            match
+            let trace = Obs.Trace.make ~label:(Request.describe req) () in
+            let result =
               Batch.compile ~cache ~metrics ~config ?deadline ~pool ~verify
-                ~machine chain
-            with
+                ~obs:trace ~machine chain
+            in
+            (* Failed requests keep their trace too: the ring is a
+               debugging aid, and failures are what it is for. *)
+            Obs.Ring.push ring trace;
+            match result with
             | Ok r ->
-                emit (response_json ?id req r);
+                Obs.Log.info ~trace:(Obs.Trace.id trace) "request.done"
+                  [
+                    ("request", Util.Json.String (Request.describe req));
+                    ( "source",
+                      Util.Json.String
+                        (match r.Batch.source with
+                        | Batch.Cache -> "cache"
+                        | Batch.Compiled -> "compiled") );
+                    ( "rung",
+                      Util.Json.String (Plan_cache.rung_to_string r.Batch.rung)
+                    );
+                    ("compile_ms", Util.Json.Float (r.Batch.seconds *. 1e3));
+                  ];
+                emit
+                  (response_json ?id
+                     ?timings_of:(if req.Request.timings then Some trace
+                                  else None)
+                     req r);
                 (* Write-back on change so a restarted server is warm. *)
                 persist ()
-            | Error e -> emit (Error.to_json ?id e)))
+            | Error e ->
+                Obs.Log.warn ~trace:(Obs.Trace.id trace) "request.failed"
+                  [
+                    ("request", Util.Json.String (Request.describe req));
+                    ("error", Util.Json.String (Error.to_string e));
+                  ];
+                emit (Error.to_json ?id e)))
   in
   let handle_line line =
     Failpoint.hit ~ctx:line "serve.handle";
@@ -140,6 +195,17 @@ let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir
           Option.bind (Util.Json.member "cmd" json) Util.Json.to_string_opt
         with
         | Some "stats" -> emit (Metrics.to_json metrics); `Continue
+        | Some "traces" ->
+            let traces = Obs.Ring.to_list ring in
+            emit
+              (Util.Json.Obj
+                 [
+                   ("ok", Util.Json.Bool true);
+                   ("count", Util.Json.Int (List.length traces));
+                   ( "traces",
+                     Util.Json.List (List.map Obs.Trace.to_json traces) );
+                 ]);
+            `Continue
         | Some "quit" ->
             emit (Util.Json.Obj [ ("ok", Util.Json.Bool true) ]);
             `Stop
@@ -173,6 +239,8 @@ let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir
         | exception e ->
             metrics.Metrics.internal_errors <-
               metrics.Metrics.internal_errors + 1;
+            Obs.Log.error "serve.internal"
+              [ ("error", Util.Json.String (Printexc.to_string e)) ];
             emit (Error.to_json (Error.of_exn e)))
   done;
   persist ()

@@ -6,10 +6,24 @@
     dependency.
 
     Request lines are {!Request} wire objects, optionally carrying an
-    ["id"] that is echoed back.  Two control forms exist:
-    [{"cmd": "stats"}] answers with the {!Metrics} counters, and
-    [{"cmd": "quit"}] acknowledges and ends the loop (EOF also ends
-    it).  Blank lines are ignored.
+    ["id"] that is echoed back.  Three control forms exist:
+    [{"cmd": "stats"}] answers with the {!Metrics} counters and latency
+    histograms, [{"cmd": "traces"}] dumps the in-process ring of recent
+    request traces (see {!Obs.Trace.to_json}), and [{"cmd": "quit"}]
+    acknowledges and ends the loop (EOF also ends it).  Blank lines are
+    ignored.
+
+    {2 Observability}
+
+    Every request is compiled under its own {!Obs.Trace}; the last
+    [trace_ring] traces (default 32, success and failure alike) are
+    kept in a bounded ring buffer for the ["traces"] verb.  A request
+    carrying ["timings": true] gets two extra response fields —
+    ["trace_id"] and ["timings_ms"], per-phase wall-clock totals from
+    its trace — while requests that never opt in see an unchanged
+    schema.  Request outcomes and cache lifecycle events go to the
+    structured JSONL log on stderr ({!Obs.Log}, enabled with
+    [CHIMERA_LOG] or [--log-level]).
 
     {2 Resilience}
 
@@ -44,7 +58,8 @@
 val run :
   ?cache:Plan_cache.t -> ?metrics:Metrics.t -> ?config:Chimera.Config.t ->
   ?cache_dir:string -> ?default_deadline_ms:float -> ?pool:Util.Pool.t ->
-  ?verify:Batch.verify_mode -> in_channel -> out_channel -> unit
+  ?verify:Batch.verify_mode -> ?trace_ring:int -> in_channel ->
+  out_channel -> unit
 (** Serve until EOF or [{"cmd": "quit"}].  Output is flushed after
     every line.  Requests are planned on [pool] (default the
     process-wide {!Util.Pool.global}, sized by [CHIMERA_DOMAINS]): each

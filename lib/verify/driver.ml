@@ -21,7 +21,14 @@ let closed_form_check (chain : Ir.Chain.t) ~(machine : Arch.Machine.t) =
   end
   else []
 
-let check_unit ?max_blocks ?dv_tolerance (u : Chimera.Compiler.unit_) =
+let check_unit ?max_blocks ?dv_tolerance ?(obs = Obs.Trace.none)
+    (u : Chimera.Compiler.unit_) =
+  Obs.Trace.span obs "verify.unit"
+    ~attrs:
+      (if Obs.Trace.enabled obs then
+         [ ("chain", u.Chimera.Compiler.sub_chain.Ir.Chain.name) ]
+       else [])
+  @@ fun _ ->
   let chain = u.Chimera.Compiler.sub_chain in
   let kernel = u.Chimera.Compiler.kernel in
   let ir = Ir_check.check chain in
@@ -61,7 +68,8 @@ let check_unit ?max_blocks ?dv_tolerance (u : Chimera.Compiler.unit_) =
     ir @ plan_ds @ diff_ds @ cf_ds @ cg_ds
   end
 
-let check_compiled ?max_blocks ?dv_tolerance (c : Chimera.Compiler.compiled) =
+let check_compiled ?max_blocks ?dv_tolerance ?obs
+    (c : Chimera.Compiler.compiled) =
   List.concat_map
-    (check_unit ?max_blocks ?dv_tolerance)
+    (check_unit ?max_blocks ?dv_tolerance ?obs)
     c.Chimera.Compiler.units

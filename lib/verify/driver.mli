@@ -14,13 +14,16 @@ val check_chain : Ir.Chain.t -> Diagnostic.t list
 (** Pass 1 only — for workloads that have not been planned yet. *)
 
 val check_unit :
-  ?max_blocks:int -> ?dv_tolerance:float -> Chimera.Compiler.unit_ ->
+  ?max_blocks:int -> ?dv_tolerance:float -> ?obs:Obs.Trace.ctx ->
+  Chimera.Compiler.unit_ ->
   Diagnostic.t list
 (** All four passes over one compiled unit, plus — for canonical
     two-GEMM chains — the closed-form cross-check (CHIM024) at the
     machine's primary on-chip capacity. *)
 
 val check_compiled :
-  ?max_blocks:int -> ?dv_tolerance:float -> Chimera.Compiler.compiled ->
+  ?max_blocks:int -> ?dv_tolerance:float -> ?obs:Obs.Trace.ctx ->
+  Chimera.Compiler.compiled ->
   Diagnostic.t list
-(** {!check_unit} over every unit of a compilation, in order. *)
+(** {!check_unit} over every unit of a compilation, in order.  [obs]
+    (default disabled) traces each unit as a ["verify.unit"] span. *)

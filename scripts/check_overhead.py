@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Assert the disabled-tracing overhead bound from the obs bench JSON.
+
+Reads the JSON written by `dune exec bench/main.exe -- obs --json FILE`
+and fails if any workload's estimated disabled-mode overhead
+(span-call count x measured ns-per-disabled-call / plan wall time)
+exceeds the budget (default 2%).
+
+Usage: check_overhead.py obs-bench.json [--max-pct 2.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("bench_json")
+    ap.add_argument("--max-pct", type=float, default=2.0)
+    args = ap.parse_args()
+
+    with open(args.bench_json) as f:
+        doc = json.load(f)
+
+    records = [
+        r
+        for r in doc.get("records", [])
+        if r.get("section") == "obs" and r.get("name") == "overhead"
+    ]
+    if not records:
+        print("check_overhead: FAIL: no obs overhead records", file=sys.stderr)
+        sys.exit(1)
+
+    bad = False
+    for r in records:
+        pct = r["disabled_overhead_pct"]
+        verdict = "OK" if pct < args.max_pct else "FAIL"
+        bad = bad or pct >= args.max_pct
+        print(
+            f"check_overhead: {verdict}: {r['workload']}: "
+            f"disabled overhead {pct:.4f}% "
+            f"({r['spans']} span sites over {r['disabled_ms']:.2f} ms) "
+            f"< {args.max_pct}%"
+        )
+    sys.exit(1 if bad else 0)
+
+
+if __name__ == "__main__":
+    main()

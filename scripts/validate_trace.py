@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by `chimera trace`.
+
+Checks, per (pid, tid) event stream:
+  * the file is well-formed JSON with a `traceEvents` array;
+  * B/E events obey stack discipline (every E matches the name of the
+    innermost open B, nothing left open at the end);
+  * timestamps are non-negative and non-decreasing in array order;
+  * the span names the compilation pipeline is expected to emit are all
+    present (fingerprint, cache lookup, solve, codegen, verify).
+
+Usage: validate_trace.py trace.json [--require NAME ...]
+Exit code 0 on success, 1 with a diagnostic on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_REQUIRED = [
+    "fingerprint",
+    "cache.lookup",
+    "solve",
+    "order",
+    "codegen",
+    "verify",
+]
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument(
+        "--require",
+        action="append",
+        default=None,
+        help="span name that must appear (repeatable); "
+        "defaults to the pipeline phases",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {args.trace}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("no traceEvents array")
+
+    stacks = {}  # (pid, tid) -> [name, ...]
+    last_ts = {}  # (pid, tid) -> ts
+    names = set()
+    n_spans = 0
+
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        if ph not in ("B", "E"):
+            fail(f"event {i}: unexpected phase {ph!r}")
+        for field in ("ts", "pid", "tid", "name"):
+            if field not in ev:
+                fail(f"event {i}: missing {field!r}")
+        key = (ev["pid"], ev["tid"])
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"event {i}: bad ts {ts!r}")
+        if ts < last_ts.get(key, 0):
+            fail(
+                f"event {i}: ts went backwards on pid={key[0]} tid={key[1]} "
+                f"({last_ts[key]} -> {ts})"
+            )
+        last_ts[key] = ts
+        stack = stacks.setdefault(key, [])
+        if ph == "B":
+            stack.append(ev["name"])
+            names.add(ev["name"])
+            n_spans += 1
+        else:
+            if not stack:
+                fail(f"event {i}: E {ev['name']!r} with no open B")
+            top = stack.pop()
+            if top != ev["name"]:
+                fail(
+                    f"event {i}: E {ev['name']!r} closes B {top!r} "
+                    f"(not well-nested)"
+                )
+
+    for key, stack in stacks.items():
+        if stack:
+            fail(f"pid={key[0]} tid={key[1]}: spans left open: {stack}")
+
+    required = args.require if args.require is not None else DEFAULT_REQUIRED
+    missing = [n for n in required if n not in names]
+    if missing:
+        fail(f"required span name(s) absent: {missing} (have {sorted(names)})")
+
+    print(
+        f"validate_trace: OK: {n_spans} spans, "
+        f"{len(stacks)} thread(s), names {sorted(names)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

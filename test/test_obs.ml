@@ -1,0 +1,425 @@
+(* The observability subsystem: log-scale latency histograms, span
+   traces (single-domain nesting, cross-domain pool fan-out, exception
+   aborts), the Chrome trace_event exporter, structured logging and the
+   bounded trace ring. *)
+
+open Helpers
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Adjacent bucket bounds are a factor of 10^(1/per_decade) apart, so a
+   quantile estimate can be off by at most that ratio. *)
+let bucket_ratio per_decade = 10.0 ** (1.0 /. float_of_int per_decade)
+
+let histogram_tests =
+  [
+    case "exact bounds land in their own bucket" (fun () ->
+        (* With per_decade = 1 the bounds are exact powers of ten, so
+           boundary semantics are testable without float fuzz. *)
+        let h = Obs.Histogram.create ~lo_ms:1.0 ~decades:2 ~per_decade:1 () in
+        let bounds = Obs.Histogram.bounds h in
+        check_int "two bounds" 2 (Array.length bounds);
+        check_float "first bound" 10.0 bounds.(0);
+        check_float "second bound" 100.0 bounds.(1);
+        Obs.Histogram.observe h 10.0;
+        Obs.Histogram.observe h 10.0000001;
+        Obs.Histogram.observe h 100.0;
+        Obs.Histogram.observe h 101.0;
+        Obs.Histogram.observe h 0.2;
+        let counts = Obs.Histogram.counts h in
+        check_int "boundary value in its bucket" 2 counts.(0);
+        check_int "just past the boundary in the next" 2 counts.(1);
+        check_int "past the last bound overflows" 1 counts.(2);
+        check_int "count" 5 (Obs.Histogram.count h);
+        check_float "max" 101.0 (Obs.Histogram.max_ms h));
+    case "every default bound is exact too" (fun () ->
+        let h = Obs.Histogram.create () in
+        let bounds = Obs.Histogram.bounds h in
+        Array.iter (fun b -> Obs.Histogram.observe h b) bounds;
+        let counts = Obs.Histogram.counts h in
+        Array.iteri
+          (fun i _ ->
+            Alcotest.(check int)
+              (Printf.sprintf "bucket %d holds its own bound" i)
+              1 counts.(i))
+          bounds;
+        check_int "no overflow" 0 counts.(Array.length counts - 1));
+    case "negative and NaN clamp to the lowest bucket" (fun () ->
+        let h = Obs.Histogram.create () in
+        Obs.Histogram.observe h (-3.0);
+        Obs.Histogram.observe h Float.nan;
+        check_int "both counted" 2 (Obs.Histogram.count h);
+        check_int "lowest bucket" 2 (Obs.Histogram.counts h).(0);
+        check_float "clamped sum" 0.0 (Obs.Histogram.sum_ms h));
+    case "empty histogram answers zeros" (fun () ->
+        let h = Obs.Histogram.create () in
+        check_int "count" 0 (Obs.Histogram.count h);
+        check_float "quantile" 0.0 (Obs.Histogram.quantile h 0.5);
+        check_float "max" 0.0 (Obs.Histogram.max_ms h));
+    case "merge rejects mismatched layouts" (fun () ->
+        let a = Obs.Histogram.create () in
+        let b = Obs.Histogram.create ~per_decade:3 () in
+        check_raises_invalid "layout mismatch" (fun () ->
+            Obs.Histogram.merge ~into:a b));
+    case "summary json carries the quantile keys" (fun () ->
+        let h = Obs.Histogram.create () in
+        Obs.Histogram.observe h 2.5;
+        match Obs.Histogram.summary_json h with
+        | Util.Json.Obj fields ->
+            List.iter
+              (fun k ->
+                check_true (k ^ " present") (List.mem_assoc k fields))
+              [ "count"; "sum_ms"; "p50_ms"; "p90_ms"; "p99_ms"; "max_ms" ];
+            check_true "count is 1"
+              (List.assoc "count" fields = Util.Json.Int 1)
+        | _ -> Alcotest.fail "summary is not an object");
+    (let gen =
+       QCheck.make
+         ~print:QCheck.Print.(pair (list float) float)
+         QCheck.Gen.(
+           pair
+             (list_size (int_range 1 200) (float_range 0.01 5000.0))
+             (float_range 0.0 1.0))
+     in
+     qcheck
+       (QCheck.Test.make ~count:200
+          ~name:"quantile is within one bucket ratio of exact" gen
+          (fun (values, q) ->
+            let h = Obs.Histogram.create () in
+            List.iter (Obs.Histogram.observe h) values;
+            let sorted = List.sort compare values in
+            let n = List.length sorted in
+            let rank =
+              max 1 (int_of_float (Float.ceil (q *. float_of_int n)))
+            in
+            let exact = List.nth sorted (rank - 1) in
+            let approx = Obs.Histogram.quantile h q in
+            let ratio = bucket_ratio 6 *. 1.0001 in
+            approx > 0.0
+            && approx /. exact <= ratio
+            && exact /. approx <= ratio)));
+    (let gen =
+       QCheck.make
+         ~print:QCheck.Print.(pair (list float) (list float))
+         QCheck.Gen.(
+           let vals = list_size (int_range 0 100) (float_range 0.0 1e4) in
+           pair vals vals)
+     in
+     qcheck
+       (QCheck.Test.make ~count:200
+          ~name:"merge equals observing the pooled stream" gen
+          (fun (xs, ys) ->
+            let a = Obs.Histogram.create () in
+            let b = Obs.Histogram.create () in
+            let pooled = Obs.Histogram.create () in
+            List.iter (Obs.Histogram.observe a) xs;
+            List.iter (Obs.Histogram.observe b) ys;
+            List.iter (Obs.Histogram.observe pooled) (xs @ ys);
+            Obs.Histogram.merge ~into:a b;
+            Obs.Histogram.counts a = Obs.Histogram.counts pooled
+            && Obs.Histogram.count a = Obs.Histogram.count pooled
+            && Obs.Histogram.max_ms a = Obs.Histogram.max_ms pooled
+            && Float.abs
+                 (Obs.Histogram.sum_ms a -. Obs.Histogram.sum_ms pooled)
+               <= 1e-6 *. Float.max 1.0 (Obs.Histogram.sum_ms pooled))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Traces                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let find_spans t name =
+  List.filter
+    (fun (s : Obs.Trace.span) -> s.Obs.Trace.name = name)
+    (Obs.Trace.spans t)
+
+(* Per-tid stack discipline over the exported event array — the same
+   property scripts/validate_trace.py asserts in CI. *)
+let check_chrome_nesting json =
+  let events =
+    match json with
+    | Util.Json.Obj fields -> (
+        match List.assoc "traceEvents" fields with
+        | Util.Json.List evs -> evs
+        | _ -> Alcotest.fail "traceEvents is not a list")
+    | _ -> Alcotest.fail "chrome trace is not an object"
+  in
+  let stacks : (int * int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  let str j = match j with Util.Json.String s -> s | _ -> "" in
+  let int_of j =
+    match j with Util.Json.Int i -> i | _ -> Alcotest.fail "not an int"
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Util.Json.Obj fields -> (
+          let ph = str (List.assoc "ph" fields) in
+          if ph = "B" || ph = "E" then begin
+            let key =
+              ( int_of (List.assoc "pid" fields),
+                int_of (List.assoc "tid" fields) )
+            in
+            let name = str (List.assoc "name" fields) in
+            let stack =
+              match Hashtbl.find_opt stacks key with
+              | Some s -> s
+              | None ->
+                  let s = ref [] in
+                  Hashtbl.add stacks key s;
+                  s
+            in
+            if ph = "B" then stack := name :: !stack
+            else
+              match !stack with
+              | top :: rest ->
+                  check_string "E closes the innermost B" top name;
+                  stack := rest
+              | [] -> Alcotest.failf "E %S with no open B" name
+          end)
+      | _ -> Alcotest.fail "event is not an object")
+    events;
+  Hashtbl.iter
+    (fun (pid, tid) stack ->
+      if !stack <> [] then
+        Alcotest.failf "pid=%d tid=%d left spans open" pid tid)
+    stacks
+
+let trace_tests =
+  [
+    case "nested spans build a well-formed tree" (fun () ->
+        let t = Obs.Trace.make ~label:"unit" () in
+        let result =
+          Obs.Trace.span (Obs.Trace.ctx t) "outer" (fun ctx ->
+              Obs.Trace.annot ctx [ ("k", "v") ];
+              Obs.Trace.span ctx "inner" (fun _ -> 41) + 1)
+        in
+        check_int "span returns the callback's value" 42 result;
+        let outer = List.hd (find_spans t "outer") in
+        let inner = List.hd (find_spans t "inner") in
+        check_true "outer is a root" (outer.Obs.Trace.parent = None);
+        check_true "inner nests under outer"
+          (inner.Obs.Trace.parent = Some outer.Obs.Trace.sid);
+        check_true "annot reached the open span"
+          (List.mem_assoc "k" outer.Obs.Trace.attrs);
+        check_true "inner closed before outer"
+          (inner.Obs.Trace.close_seq < outer.Obs.Trace.close_seq);
+        check_true "durations are sane"
+          (inner.Obs.Trace.dur_us <= outer.Obs.Trace.dur_us);
+        check_chrome_nesting (Obs.Export.chrome_json [ t ]));
+    case "disabled context records nothing" (fun () ->
+        let r =
+          Obs.Trace.span Obs.Trace.none "ghost" (fun ctx ->
+              check_false "ctx stays disabled" (Obs.Trace.enabled ctx);
+              Obs.Trace.annot ctx [ ("k", "v") ];
+              7)
+        in
+        check_int "value still flows" 7 r);
+    case "an exception closes the span and re-raises" (fun () ->
+        let t = Obs.Trace.make ~label:"boom" () in
+        (match
+           Obs.Trace.span (Obs.Trace.ctx t) "outer" (fun ctx ->
+               Obs.Trace.span ctx "failing" (fun _ -> failwith "abort"))
+         with
+        | exception Failure m -> check_string "re-raised" "abort" m
+        | _ -> Alcotest.fail "exception swallowed");
+        let failing = List.hd (find_spans t "failing") in
+        let outer = List.hd (find_spans t "outer") in
+        check_true "failing span flagged" failing.Obs.Trace.err;
+        check_true "outer flagged too (it also aborted)"
+          outer.Obs.Trace.err;
+        check_true "error attribute recorded"
+          (List.mem_assoc "error" failing.Obs.Trace.attrs);
+        check_chrome_nesting (Obs.Export.chrome_json [ t ]));
+    case "failpoint aborts stay well-nested" (fun () ->
+        (match Service.Failpoint.configure "obs.test=raise" with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+        Fun.protect ~finally:Service.Failpoint.clear (fun () ->
+            let t = Obs.Trace.make ~label:"fp" () in
+            (match
+               Obs.Trace.span (Obs.Trace.ctx t) "guarded" (fun _ ->
+                   Service.Failpoint.hit "obs.test")
+             with
+            | exception _ -> ()
+            | () -> Alcotest.fail "failpoint did not fire");
+            let guarded = List.hd (find_spans t "guarded") in
+            check_true "span closed with err" guarded.Obs.Trace.err;
+            check_chrome_nesting (Obs.Export.chrome_json [ t ])));
+    case "pool fan-out keeps the caller's span as parent" (fun () ->
+        let pool = Util.Pool.create ~domains:4 () in
+        Fun.protect
+          ~finally:(fun () -> Util.Pool.shutdown pool)
+          (fun () ->
+            let t = Obs.Trace.make ~label:"pool" () in
+            Obs.Trace.span (Obs.Trace.ctx t) "root" (fun ctx ->
+                ignore
+                  (Util.Pool.run pool
+                     (fun i -> Obs.Trace.span ctx "work" (fun _ -> i))
+                     8));
+            let root = List.hd (find_spans t "root") in
+            let work = find_spans t "work" in
+            check_int "all eight children recorded" 8 (List.length work);
+            List.iter
+              (fun (s : Obs.Trace.span) ->
+                check_true "parented across domains"
+                  (s.Obs.Trace.parent = Some root.Obs.Trace.sid))
+              work;
+            (* The exported stream stays well-nested even when workers
+               interleave across domains. *)
+            check_chrome_nesting (Obs.Export.chrome_json [ t ])));
+    case "max_spans bounds memory and counts drops" (fun () ->
+        let t = Obs.Trace.make ~max_spans:2 () in
+        for i = 1 to 5 do
+          Obs.Trace.span (Obs.Trace.ctx t) (Printf.sprintf "s%d" i)
+            (fun _ -> ())
+        done;
+        check_int "only two retained" 2 (List.length (Obs.Trace.spans t));
+        check_int "three dropped" 3 (Obs.Trace.dropped t));
+    case "phase totals sum by span name" (fun () ->
+        let t = Obs.Trace.make () in
+        Obs.Trace.span (Obs.Trace.ctx t) "a" (fun _ -> ());
+        Obs.Trace.span (Obs.Trace.ctx t) "b" (fun _ -> ());
+        Obs.Trace.span (Obs.Trace.ctx t) "a" (fun _ -> ());
+        let totals = Obs.Trace.phase_totals_ms t in
+        check_int "two names" 2 (List.length totals);
+        check_string "first-seen order" "a" (fst (List.hd totals));
+        check_true "totals are non-negative"
+          (List.for_all (fun (_, ms) -> ms >= 0.0) totals));
+    case "trace ids are unique and 16 hex digits" (fun () ->
+        let a = Obs.Trace.make () and b = Obs.Trace.make () in
+        check_true "distinct" (Obs.Trace.id a <> Obs.Trace.id b);
+        check_int "16 digits" 16 (String.length (Obs.Trace.id a));
+        String.iter
+          (fun c ->
+            check_true "hex digit"
+              ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+          (Obs.Trace.id a));
+    case "clock is monotone" (fun () ->
+        let prev = ref (Obs.Clock.now_us ()) in
+        for _ = 1 to 1000 do
+          let t = Obs.Clock.now_us () in
+          check_true "non-decreasing" (t >= !prev);
+          prev := t
+        done);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Structured logging                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let with_log_capture level f =
+  let path = Filename.temp_file "chimera-log" ".jsonl" in
+  let oc = open_out path in
+  Obs.Log.set_output oc;
+  Obs.Log.set_level level;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.set_output stderr;
+      Obs.Log.set_level None;
+      close_out_noerr oc;
+      Sys.remove path)
+    (fun () ->
+      f ();
+      flush oc;
+      let ic = open_in path in
+      let rec read acc =
+        match input_line ic with
+        | l -> read (l :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      let lines = read [] in
+      close_in ic;
+      lines)
+
+let log_tests =
+  [
+    case "lines are JSONL with the standard keys" (fun () ->
+        let lines =
+          with_log_capture (Some Obs.Log.Info) (fun () ->
+              Obs.Log.info ~trace:"deadbeefdeadbeef" "test.event"
+                [ ("k", Util.Json.String "v") ];
+              Obs.Log.debug "test.hidden" [])
+        in
+        match lines with
+        | [ line ] -> (
+            match Util.Json.parse line with
+            | Error e -> Alcotest.failf "unparsable log line: %s" e
+            | Ok (Util.Json.Obj fields) ->
+                check_true "level"
+                  (List.assoc "level" fields = Util.Json.String "info");
+                check_true "event"
+                  (List.assoc "event" fields = Util.Json.String "test.event");
+                check_true "trace id"
+                  (List.assoc "trace" fields
+                  = Util.Json.String "deadbeefdeadbeef");
+                check_true "extra field"
+                  (List.assoc "k" fields = Util.Json.String "v");
+                check_true "timestamp"
+                  (match List.assoc "ts_us" fields with
+                  | Util.Json.Int t -> t >= 0
+                  | _ -> false)
+            | Ok _ -> Alcotest.fail "log line is not an object")
+        | ls -> Alcotest.failf "expected 1 line, got %d" (List.length ls));
+    case "levels filter: warn admits error, drops info" (fun () ->
+        let lines =
+          with_log_capture (Some Obs.Log.Warn) (fun () ->
+              Obs.Log.error "e" [];
+              Obs.Log.warn "w" [];
+              Obs.Log.info "i" [];
+              Obs.Log.debug "d" [])
+        in
+        check_int "two lines" 2 (List.length lines));
+    case "disabled logging emits nothing" (fun () ->
+        let lines =
+          with_log_capture None (fun () ->
+              Obs.Log.error "e" [];
+              check_false "error disabled" (Obs.Log.enabled Obs.Log.Error))
+        in
+        check_int "no lines" 0 (List.length lines));
+    case "level_of_string accepts the documented names" (fun () ->
+        check_true "warn" (Obs.Log.level_of_string "warn" = Some Obs.Log.Warn);
+        check_true "warning"
+          (Obs.Log.level_of_string "WARNING" = Some Obs.Log.Warn);
+        check_true "debug"
+          (Obs.Log.level_of_string "debug" = Some Obs.Log.Debug);
+        check_true "off is not a level"
+          (Obs.Log.level_of_string "off" = None));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let ring_tests =
+  [
+    case "keeps the last N in arrival order" (fun () ->
+        let r = Obs.Ring.create 3 in
+        check_int "capacity" 3 (Obs.Ring.capacity r);
+        List.iter (Obs.Ring.push r) [ 1; 2; 3; 4; 5 ];
+        check_int "length" 3 (Obs.Ring.length r);
+        check_true "oldest first" (Obs.Ring.to_list r = [ 3; 4; 5 ]));
+    case "zero capacity is rejected" (fun () ->
+        check_raises_invalid "capacity must be >= 1" (fun () ->
+            Obs.Ring.create 0));
+    case "capacity one keeps only the newest" (fun () ->
+        let r = Obs.Ring.create 1 in
+        Obs.Ring.push r "a";
+        Obs.Ring.push r "b";
+        check_true "only the newest" (Obs.Ring.to_list r = [ "b" ]));
+    case "empty ring lists nothing" (fun () ->
+        let r = Obs.Ring.create 4 in
+        check_int "empty" 0 (Obs.Ring.length r);
+        check_true "no elements" (Obs.Ring.to_list (r : int Obs.Ring.t) = []));
+  ]
+
+let suites =
+  [
+    ("obs.histogram", histogram_tests);
+    ("obs.trace", trace_tests);
+    ("obs.log", log_tests);
+    ("obs.ring", ring_tests);
+  ]

@@ -443,7 +443,7 @@ let batch_tests =
         check_int "all hits" 36 metrics.Service.Metrics.hits;
         check_int "no misses" 0 metrics.Service.Metrics.misses;
         check_float "no planning time" 0.0
-          metrics.Service.Metrics.compile_seconds);
+          (Service.Metrics.compile_seconds metrics));
     slow_case "parallel batch matches sequential plans exactly" (fun () ->
         let _, _, sequential = Lazy.force cold_sequential in
         let metrics = Service.Metrics.create () in
@@ -702,14 +702,29 @@ let metrics_tests =
         let m = Service.Metrics.create () in
         m.Service.Metrics.requests <- 3;
         m.Service.Metrics.hits <- 2;
-        m.Service.Metrics.compile_seconds <- 0.5;
+        (* The legacy float totals are now derived from the solve-latency
+           histogram's sum, but keep their old wire keys. *)
+        Obs.Histogram.observe m.Service.Metrics.solve_ms 500.0;
+        check_float "derived seconds" 0.5 (Service.Metrics.compile_seconds m);
         let json = Service.Metrics.to_json m in
         check_true "requests" (jfield "requests" json = Util.Json.Int 3);
         check_true "hits" (jfield "cache_hits" json = Util.Json.Int 2);
         check_true "seconds"
           (jfield "compile_seconds" json = Util.Json.Float 0.5);
+        (* The histogram itself is on the wire as a summary object. *)
+        (match jfield "solve_ms" json with
+        | Util.Json.Obj fields ->
+            check_true "histogram count"
+              (List.assoc "count" fields = Util.Json.Int 1);
+            check_true "histogram p50"
+              (match List.assoc "p50_ms" fields with
+              | Util.Json.Float p -> p > 0.0
+              | _ -> false)
+        | _ -> Alcotest.fail "solve_ms is not a summary object");
         Service.Metrics.reset m;
-        check_int "reset" 0 m.Service.Metrics.requests);
+        check_int "reset" 0 m.Service.Metrics.requests;
+        check_float "reset clears histograms" 0.0
+          (Service.Metrics.compile_seconds m));
     case "plan search counters track cold solves only" (fun () ->
         let metrics = Service.Metrics.create () in
         let cache = Service.Plan_cache.create ~metrics () in
@@ -718,12 +733,12 @@ let metrics_tests =
         | Ok _ -> ()
         | Error e -> Alcotest.fail (err_str e));
         check_true "cold solve spent time"
-          (metrics.Service.Metrics.plan_solve_ms_total > 0.0);
+          (Service.Metrics.plan_solve_ms_total metrics > 0.0);
         check_true "cold solve evaluated the model"
           (metrics.Service.Metrics.plan_evals_total > 0);
         check_true "pruned counter is sane"
           (metrics.Service.Metrics.plan_perms_pruned_total >= 0);
-        let ms = metrics.Service.Metrics.plan_solve_ms_total in
+        let ms = Service.Metrics.plan_solve_ms_total metrics in
         let evals = metrics.Service.Metrics.plan_evals_total in
         let pruned = metrics.Service.Metrics.plan_perms_pruned_total in
         (* A warm hit performs zero solves, so the counters freeze. *)
@@ -732,7 +747,7 @@ let metrics_tests =
             check_true "hit" (r.Service.Batch.source = Service.Batch.Cache)
         | Error e -> Alcotest.fail (err_str e));
         check_float "hit adds no solve time" ms
-          metrics.Service.Metrics.plan_solve_ms_total;
+          (Service.Metrics.plan_solve_ms_total metrics);
         check_int "hit adds no evals" evals
           metrics.Service.Metrics.plan_evals_total;
         check_int "hit prunes nothing" pruned
@@ -1243,6 +1258,183 @@ let marathon_tests =
               (jfield "ok" (List.nth out 1001) = Util.Json.Bool true)));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Observability: timings on the wire, trace ring, histograms           *)
+(* ------------------------------------------------------------------ *)
+
+let observability_tests =
+  [
+    slow_case "timings appear only when the request opts in" (fun () ->
+        let out =
+          serve
+            [
+              "{\"workload\":\"G1\",\"arch\":\"cpu\",\"timings\":true,\
+               \"id\":\"t\"}";
+              "{\"workload\":\"G1\",\"arch\":\"cpu\",\"id\":\"p\"}";
+              "{\"cmd\":\"quit\"}";
+            ]
+        in
+        match out with
+        | [ timed; plain; _quit ] ->
+            check_true "timed ok" (jfield "ok" timed = Util.Json.Bool true);
+            (match jfield "trace_id" timed with
+            | Util.Json.String tid -> check_int "trace id" 16 (String.length tid)
+            | _ -> Alcotest.fail "trace_id missing or not a string");
+            (match jfield "timings_ms" timed with
+            | Util.Json.Obj phases ->
+                check_true "cold compile has a solve phase"
+                  (List.mem_assoc "solve" phases);
+                check_true "fingerprint phase present"
+                  (List.mem_assoc "fingerprint" phases);
+                List.iter
+                  (fun (_, v) ->
+                    check_true "phase totals are floats"
+                      (match v with Util.Json.Float f -> f >= 0.0 | _ -> false))
+                  phases
+            | _ -> Alcotest.fail "timings_ms missing or not an object");
+            check_true "plain response has no timings"
+              (Util.Json.member "timings_ms" plain = None);
+            check_true "plain response has no trace id"
+              (Util.Json.member "trace_id" plain = None)
+        | _ -> Alcotest.failf "expected 3 lines, got %d" (List.length out));
+    slow_case "the traces verb dumps the bounded ring" (fun () ->
+        let out =
+          serve
+            [
+              "{\"workload\":\"G1\",\"arch\":\"cpu\"}";
+              "{\"workload\":\"G99\",\"arch\":\"cpu\"}";
+              "{\"cmd\":\"traces\"}";
+              "{\"cmd\":\"quit\"}";
+            ]
+        in
+        match out with
+        | [ _ok; _bad; traces; _quit ] ->
+            check_true "verb ok" (jfield "ok" traces = Util.Json.Bool true);
+            (* The invalid workload was rejected before compilation, so
+               only the successful request left a trace. *)
+            check_true "one trace in the ring"
+              (jfield "count" traces = Util.Json.Int 1);
+            (match jfield "traces" traces with
+            | Util.Json.List [ t ] ->
+                check_true "trace carries spans"
+                  (match Util.Json.member "spans" t with
+                  | Some (Util.Json.List (_ :: _)) -> true
+                  | _ -> false)
+            | _ -> Alcotest.fail "traces is not a one-element list")
+        | _ -> Alcotest.failf "expected 4 lines, got %d" (List.length out));
+    slow_case "stats report latency histograms with quantiles" (fun () ->
+        let out =
+          serve
+            [
+              "{\"workload\":\"G1\",\"arch\":\"cpu\"}";
+              "{\"workload\":\"G1\",\"arch\":\"cpu\"}";
+              "{\"cmd\":\"stats\"}";
+              "{\"cmd\":\"quit\"}";
+            ]
+        in
+        match out with
+        | [ _a; _b; stats; _quit ] ->
+            (match jfield "solve_ms" stats with
+            | Util.Json.Obj fields ->
+                check_true "one cold solve"
+                  (List.assoc "count" fields = Util.Json.Int 1);
+                List.iter
+                  (fun k ->
+                    check_true (k ^ " quantile present")
+                      (List.mem_assoc k fields))
+                  [ "p50_ms"; "p90_ms"; "p99_ms" ]
+            | _ -> Alcotest.fail "solve_ms is not a histogram summary");
+            (match jfield "cache_lookup_ms" stats with
+            | Util.Json.Obj fields ->
+                check_true "both lookups observed"
+                  (List.assoc "count" fields = Util.Json.Int 2)
+            | _ -> Alcotest.fail "cache_lookup_ms is not a histogram summary")
+        | _ -> Alcotest.failf "expected 4 lines, got %d" (List.length out));
+    case "prometheus exposition covers counters and histograms" (fun () ->
+        let m = Service.Metrics.create () in
+        m.Service.Metrics.requests <- 2;
+        Obs.Histogram.observe m.Service.Metrics.solve_ms 3.0;
+        let text = Service.Metrics.to_prometheus m in
+        let contains needle =
+          let nl = String.length needle and hl = String.length text in
+          let rec go i =
+            i + nl <= hl && (String.sub text i nl = needle || go (i + 1))
+          in
+          go 0
+        in
+        List.iter
+          (fun needle ->
+            check_true (Printf.sprintf "exposition has %S" needle)
+              (contains needle))
+          [
+            "# TYPE chimera_requests counter";
+            "chimera_requests 2";
+            "# TYPE chimera_solve_ms histogram";
+            "chimera_solve_ms_bucket{le=\"+Inf\"} 1";
+            "chimera_solve_ms_sum";
+            "chimera_solve_ms_count 1";
+          ]);
+    case "the tuner request flag disables the cost model" (fun () ->
+        let req =
+          match
+            Result.bind
+              (Util.Json.parse
+                 "{\"workload\":\"G1\",\"arch\":\"cpu\",\"tuner\":true}")
+              Service.Request.of_json
+          with
+          | Ok r -> r
+          | Error e -> Alcotest.fail e
+        in
+        check_true "flag parsed" req.Service.Request.tuner;
+        let config = Service.Request.config_of ~base:default req in
+        check_false "cost model off" config.Chimera.Config.use_cost_model;
+        check_true "describe names the tuner"
+          (String.ends_with ~suffix:"+tuner" (Service.Request.describe req));
+        (* The flag changes planning, so it must change the fingerprint;
+           timings is response-shaping only, so it must not. *)
+        let plain = Service.Request.make ~workload:"G1" ~arch:"cpu" () in
+        let timed =
+          Service.Request.make ~timings:true ~workload:"G1" ~arch:"cpu" ()
+        in
+        let fp_of r =
+          match Service.Request.resolve r with
+          | Ok (chain, machine) ->
+              Service.Fingerprint.of_request ~chain ~machine
+                ~config:(Service.Request.config_of ~base:default r)
+          | Error e -> Alcotest.fail (err_str e)
+        in
+        check_true "tuner changes the fingerprint" (fp_of req <> fp_of plain);
+        check_true "timings does not" (fp_of timed = fp_of plain);
+        (* Round-trip: the flag survives to_json / of_json. *)
+        match
+          Result.bind
+            (Util.Json.parse
+               (Util.Json.to_string (Service.Request.to_json req)))
+            Service.Request.of_json
+        with
+        | Ok r2 -> check_true "round-trips" r2.Service.Request.tuner
+        | Error e -> Alcotest.fail e);
+    slow_case "a tuner compile traces tuner.search spans" (fun () ->
+        let metrics = Service.Metrics.create () in
+        let cache = Service.Plan_cache.create ~metrics () in
+        let config = { default with Chimera.Config.use_cost_model = false } in
+        let trace = Obs.Trace.make ~label:"tuner" () in
+        (match
+           Service.Batch.compile ~cache ~metrics ~config ~obs:trace
+             ~machine:cpu (gemm ())
+         with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail (err_str e));
+        let names =
+          List.map (fun (s : Obs.Trace.span) -> s.Obs.Trace.name)
+            (Obs.Trace.spans trace)
+        in
+        check_true "tuner.search span present"
+          (List.mem "tuner.search" names);
+        check_true "tuner trials observed in the histogram"
+          (Obs.Histogram.count metrics.Service.Metrics.tuner_trial_ms > 0));
+  ]
+
 let suites =
   [
     ("service.json", json_tests);
@@ -1254,6 +1446,7 @@ let suites =
     ("service.degradation", degradation_tests);
     ("service.serve", serve_tests);
     ("service.metrics", metrics_tests);
+    ("service.observability", observability_tests);
     ("service.errors", error_tests);
     ("service.failpoint", failpoint_tests);
     ("service.validation", validation_tests);
