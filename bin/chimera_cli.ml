@@ -518,6 +518,249 @@ let serve_cmd cache_dir deadline_ms failpoints verify log_level =
         stdin stdout;
       Ok ()
 
+(* ---------------- fleet commands ---------------- *)
+
+let verify_flag_of = function
+  | Service.Batch.Verify_off -> "off"
+  | Service.Batch.Verify_warn -> "warn"
+  | Service.Batch.Verify_strict -> "strict"
+
+(* The worker argv: this very binary, running the unchanged serve loop.
+   A shared [cache_dir] gives the fleet its common on-disk cache tier
+   (safe under contention — Plan_cache takes the directory lock). *)
+let worker_argv ~cache_dir ~deadline_ms ~verify ~log_level =
+  let argv = ref [] in
+  let push x = argv := x :: !argv in
+  push Sys.executable_name;
+  push "serve";
+  Option.iter (fun d -> push "--cache-dir"; push d) cache_dir;
+  Option.iter (fun ms -> push "--deadline-ms"; push (string_of_float ms))
+    deadline_ms;
+  (match verify with
+  | Service.Batch.Verify_off -> ()
+  | v -> push "--verify"; push (verify_flag_of v));
+  Option.iter (fun l -> push "--log-level"; push l) log_level;
+  Array.of_list (List.rev !argv)
+
+let fleet_config ~queue_depth ~soft_depth =
+  {
+    Fleet.Router.default_config with
+    Fleet.Router.queue_depth;
+    soft_depth = (match soft_depth with Some d -> d | None -> queue_depth / 2);
+  }
+
+let make_router ~n ~queue_depth ~soft_depth ~cache_dir ~deadline_ms ~verify
+    ~log_level =
+  if n <= 0 then Error (`Msg "need at least one worker")
+  else begin
+    let cmd = worker_argv ~cache_dir ~deadline_ms ~verify ~log_level in
+    Ok
+      (Fleet.Router.create
+         ~cfg:(fleet_config ~queue_depth ~soft_depth)
+         (Array.make n cmd))
+  end
+
+let prewarm_router router mix_name arch =
+  match mix_name with
+  | None -> Ok ()
+  | Some name -> (
+      match Fleet.Traffic.by_name ~arch name with
+      | None -> Error (`Msg (Printf.sprintf "unknown traffic mix %S" name))
+      | Some mix ->
+          let reqs = Fleet.Traffic.unique_requests mix in
+          let warmed = Fleet.Router.prewarm router reqs in
+          Printf.eprintf "fleet: prewarmed %d/%d plans from mix %s\n%!" warmed
+            (List.length reqs) name;
+          Ok ())
+
+let health_status_json (wid, st) =
+  Util.Json.Obj
+    ([ ("worker", Util.Json.Int wid) ]
+    @
+    match st with
+    | `Ok json -> [ ("status", Util.Json.String "ok"); ("health", json) ]
+    | `Unanswered -> [ ("status", Util.Json.String "unanswered") ]
+    | `Restarted -> [ ("status", Util.Json.String "restarted") ])
+
+let fleet_health_json ?id router results =
+  Util.Json.Obj
+    ((match id with Some v -> [ ("id", v) ] | None -> [])
+    @ [
+        ("ok", Util.Json.Bool true);
+        ("workers", Util.Json.Int (Fleet.Router.size router));
+        ("statuses", Util.Json.List (List.map health_status_json results));
+      ])
+
+(* The fleet's own JSONL loop: client lines in on stdin, answers out on
+   stdout.  Request lines are routed (and answered out of arrival order
+   — clients correlate by their [id] field, as docs/FLEET.md warns);
+   [cmd:stats] and [cmd:health] are answered fleet-wide. *)
+let fleet_bridge ?(health_interval_s = 5.0) router =
+  let emit json =
+    print_string (Util.Json.to_string json);
+    print_newline ();
+    flush stdout
+  in
+  let stop = ref false and eof = ref false and inflight = ref 0 in
+  let deliver_events () =
+    List.iter
+      (fun (ev : Fleet.Router.event) ->
+        decr inflight;
+        match ev.Fleet.Router.outcome with
+        | Fleet.Router.Reply { line; _ } ->
+            print_string line;
+            print_newline ();
+            flush stdout
+        | Fleet.Router.Dropped e ->
+            emit (Service.Error.to_json ?id:ev.Fleet.Router.client_id e))
+      (Fleet.Router.poll router)
+  in
+  let handle_line line =
+    if String.trim line <> "" then
+      match Util.Json.parse line with
+      | Error reason ->
+          emit
+            (Service.Error.to_json
+               (Service.Error.Invalid_request { field = "request"; reason }))
+      | Ok json -> (
+          let id = Util.Json.member "id" json in
+          match
+            Option.bind (Util.Json.member "cmd" json) Util.Json.to_string_opt
+          with
+          | Some "stats" ->
+              let merged, per_worker = Fleet.Router.collect_stats router in
+              emit (Fleet.Router.stats_json ?id router ~merged ~per_worker)
+          | Some "health" ->
+              let results = Fleet.Router.check_health router in
+              emit (fleet_health_json ?id router results)
+          | Some "quit" ->
+              emit
+                (Util.Json.Obj
+                   ((match id with Some v -> [ ("id", v) ] | None -> [])
+                   @ [ ("ok", Util.Json.Bool true) ]));
+              stop := true
+          | Some other ->
+              emit
+                (Service.Error.to_json ?id
+                   (Service.Error.Invalid_request
+                      {
+                        field = "cmd";
+                        reason = Printf.sprintf "unknown command %S" other;
+                      }))
+          | None -> (
+              match Service.Request.of_json json with
+              | Error reason ->
+                  emit
+                    (Service.Error.to_json ?id
+                       (Service.Error.Invalid_request
+                          { field = "request"; reason }))
+              | Ok req -> (
+                  match Fleet.Router.submit ?id ~raw:json router req with
+                  | Fleet.Router.Answered j -> emit j
+                  | Fleet.Router.Routed _ -> incr inflight)))
+  in
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let read_stdin () =
+    match Unix.read Unix.stdin chunk 0 (Bytes.length chunk) with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) -> ()
+    | 0 -> eof := true
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        let data = Buffer.contents buf in
+        Buffer.clear buf;
+        let start = ref 0 in
+        String.iteri
+          (fun i c ->
+            if c = '\n' then begin
+              handle_line (String.sub data !start (i - !start));
+              start := i + 1
+            end)
+          data;
+        Buffer.add_substring buf data !start (String.length data - !start)
+  in
+  let last_health = ref (Unix.gettimeofday ()) in
+  while not !stop do
+    deliver_events ();
+    if !eof then begin
+      (* No more input: drain what is in flight, then leave. *)
+      if !inflight <= 0 then stop := true
+      else ignore (Unix.select [] [] [] 0.01)
+    end
+    else begin
+      match Unix.select [ Unix.stdin ] [] [] 0.02 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> read_stdin ()
+    end;
+    if
+      health_interval_s > 0.0
+      && Unix.gettimeofday () -. !last_health > health_interval_s
+    then begin
+      last_health := Unix.gettimeofday ();
+      ignore (Fleet.Router.check_health router)
+    end
+  done;
+  deliver_events ();
+  Fleet.Router.shutdown router
+
+let fleet_cmd n cache_dir deadline_ms verify log_level queue_depth soft_depth
+    prewarm_mix arch health_interval_s =
+  match configure_log_level log_level with
+  | Error e -> Error e
+  | Ok () -> (
+      match
+        make_router ~n ~queue_depth ~soft_depth ~cache_dir ~deadline_ms
+          ~verify ~log_level
+      with
+      | Error e -> Error e
+      | Ok router -> (
+          match prewarm_router router prewarm_mix arch with
+          | Error e ->
+              Fleet.Router.shutdown router;
+              Error e
+          | Ok () ->
+              fleet_bridge ~health_interval_s router;
+              Ok ()))
+
+let loadgen_cmd rps duration_s n mix_name arch seed batch_jitter prewarm
+    queue_depth soft_depth cache_dir deadline_ms verify log_level json
+    prom_out =
+  match configure_log_level log_level with
+  | Error e -> Error e
+  | Ok () -> (
+      match Fleet.Traffic.by_name ~arch mix_name with
+      | None -> Error (`Msg (Printf.sprintf "unknown traffic mix %S" mix_name))
+      | Some mix -> (
+          match
+            make_router ~n ~queue_depth ~soft_depth ~cache_dir ~deadline_ms
+              ~verify ~log_level
+          with
+          | Error e -> Error e
+          | Ok router ->
+              let report =
+                Fleet.Loadgen.run ~seed ~batch_jitter ~prewarm ~mix ~rps
+                  ~duration_s router
+              in
+              Option.iter
+                (fun path ->
+                  let oc = open_out path in
+                  output_string oc
+                    (Fleet.Loadgen.report_prometheus router report);
+                  close_out oc)
+                prom_out;
+              Fleet.Router.shutdown router;
+              if json then
+                print_endline
+                  (Util.Json.to_string (Fleet.Loadgen.report_json report))
+              else print_endline (Fleet.Loadgen.report_text report);
+              if report.Fleet.Loadgen.unanswered > 0 then
+                Error
+                  (`Msg
+                    (Printf.sprintf "%d request(s) never answered"
+                       report.Fleet.Loadgen.unanswered))
+              else Ok ()))
+
 (* ---------------- tracing & metrics commands ---------------- *)
 
 let trace_requests requests_file workload softmax relu batch tuner arch =
@@ -762,6 +1005,108 @@ let serve_t =
         (const serve_cmd $ cache_dir_arg $ deadline_arg $ failpoints_arg
        $ verify_arg $ log_level_arg))
 
+let workers_arg =
+  let doc = "Number of worker processes in the fleet." in
+  Arg.(value & opt int 4 & info [ "n"; "workers" ] ~doc)
+
+let queue_depth_arg =
+  let doc =
+    "Hard admission band: shed a request with the retryable \
+     $(b,overloaded) error when its worker already has this many \
+     outstanding."
+  in
+  Arg.(value & opt int 32 & info [ "queue-depth" ] ~doc)
+
+let soft_depth_arg =
+  let doc =
+    "Soft admission band: from this queue depth, requests without a \
+     deadline get a tight one injected, forcing the degradation ladder. \
+     Defaults to half the hard band."
+  in
+  Arg.(value & opt (some int) None & info [ "soft-depth" ] ~doc)
+
+let mix_arg =
+  let doc =
+    "Traffic mix: a Figure 9 network name (e.g. $(b,Bert-Base)) or \
+     $(b,all) for the union of all nine."
+  in
+  Arg.(value & opt string "all" & info [ "mix" ] ~doc)
+
+let prewarm_mix_arg =
+  let doc =
+    "Prewarm the fleet's caches from this traffic mix before serving \
+     (a network name or $(b,all))."
+  in
+  Arg.(value & opt (some string) None & info [ "prewarm" ] ~doc ~docv:"MIX")
+
+let health_interval_arg =
+  let doc =
+    "Seconds between background health sweeps (unresponsive workers are \
+     restarted); 0 disables."
+  in
+  Arg.(value & opt float 5.0 & info [ "health-interval" ] ~doc)
+
+let fleet_t =
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Serve the JSONL protocol through a sharded fleet: N serve \
+          workers behind a consistent-hash router with admission control \
+          and a shared cache tier")
+    Term.(
+      term_result
+        (const fleet_cmd $ workers_arg $ cache_dir_arg $ deadline_arg
+       $ verify_arg $ log_level_arg $ queue_depth_arg $ soft_depth_arg
+       $ prewarm_mix_arg $ arch_arg $ health_interval_arg))
+
+let rps_arg =
+  let doc = "Offered load in requests per second (Poisson arrivals)." in
+  Arg.(value & opt float 50.0 & info [ "rps" ] ~doc)
+
+let duration_arg =
+  let doc = "Run length in seconds." in
+  Arg.(value & opt float 10.0 & info [ "duration" ] ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed (arrivals and mix draws are deterministic)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let batch_jitter_arg =
+  let doc =
+    "Add a uniform 0..N-1 to each request's batch so fingerprints stay \
+     distinct, defeating both cache tiers (load tests that must keep \
+     workers planning cold)."
+  in
+  Arg.(value & opt int 0 & info [ "batch-jitter" ] ~doc ~docv:"N")
+
+let loadgen_prewarm_arg =
+  let doc = "Push the mix's unique requests through the fleet first." in
+  Arg.(value & flag & info [ "prewarm" ] ~doc)
+
+let loadgen_json_arg =
+  let doc = "Print the report as one JSON object instead of text." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let prom_out_arg =
+  let doc =
+    "Also write the fleet-wide Prometheus exposition (merged + \
+     per-worker + router + loadgen series) to this file."
+  in
+  Arg.(value & opt (some string) None & info [ "prom-out" ] ~doc ~docv:"FILE")
+
+let loadgen_t =
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a fleet with open-loop Poisson traffic and report p50/p90/p99 \
+          latency plus shed and degrade rates")
+    Term.(
+      term_result
+        (const loadgen_cmd $ rps_arg $ duration_arg $ workers_arg $ mix_arg
+       $ arch_arg $ seed_arg $ batch_jitter_arg $ loadgen_prewarm_arg
+       $ queue_depth_arg $ soft_depth_arg $ cache_dir_arg $ deadline_arg
+       $ verify_arg $ log_level_arg $ loadgen_json_arg $ prom_out_arg))
+
 let trace_requests_file_arg =
   let doc =
     "JSONL requests file to trace (one request object per line) or the \
@@ -856,4 +1201,5 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ optimize_t; run_t; compare_t; advise_t; breakdown_t; graph_t;
+         fleet_t; loadgen_t;
          lint_t; batch_t; serve_t; trace_t; metrics_t; list_t ]))

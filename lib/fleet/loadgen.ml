@@ -1,0 +1,245 @@
+(* Open-loop load generator.
+
+   Arrivals are a Poisson process scheduled on the global clock:
+   exponential interarrival gaps are added to the *previous scheduled*
+   arrival time, never to "now", so a slow fleet does not push the
+   offered load back — the defining property of an open-loop generator,
+   and the reason saturation shows up as shedding and queueing rather
+   than as a silently reduced request rate.
+
+   Between arrivals the generator polls the router and classifies every
+   answer by its typed wire form: [ok:true] with a null [degraded]
+   field is a full fused answer, a non-null [degraded] is a ladder
+   rung, the [overloaded] error code is a shed, anything else typed is
+   a failure.  Latency is measured submit-to-answer at the client side
+   and recorded in the same fixed-bucket histogram the service uses, so
+   loadgen p50/p99 and worker-side solve quantiles share a scale. *)
+
+type report = {
+  mix : string;
+  target_rps : float;
+  duration_s : float;
+  wall_s : float;
+  offered : int;
+  answered : int;
+  ok : int;
+  degraded : int;
+  shed : int;
+  rejected : int;
+  failed : int;
+  unanswered : int;
+  latency : Obs.Histogram.t;
+  merged : Service.Metrics.t;
+  per_worker : (int * Service.Metrics.t) list;
+  router : (string * int) list;
+}
+
+type counts = {
+  mutable c_ok : int;
+  mutable c_degraded : int;
+  mutable c_shed : int;
+  mutable c_rejected : int;
+  mutable c_failed : int;
+  mutable c_answered : int;
+}
+
+let classify json =
+  match Util.Json.member "ok" json with
+  | Some (Util.Json.Bool true) -> (
+      match Util.Json.member "degraded" json with
+      | Some Util.Json.Null | None -> `Ok
+      | Some _ -> `Degraded)
+  | _ -> (
+      match Util.Json.member "code" json with
+      | Some (Util.Json.String "overloaded") -> `Shed
+      | Some (Util.Json.String "invalid_request") -> `Rejected
+      | _ -> `Failed)
+
+let count counts = function
+  | `Ok -> counts.c_ok <- counts.c_ok + 1
+  | `Degraded -> counts.c_degraded <- counts.c_degraded + 1
+  | `Shed -> counts.c_shed <- counts.c_shed + 1
+  | `Rejected -> counts.c_rejected <- counts.c_rejected + 1
+  | `Failed -> counts.c_failed <- counts.c_failed + 1
+
+let now () = Unix.gettimeofday ()
+
+let interarrival prng rps =
+  (* Inverse-CDF exponential draw; [1.0 -. u] keeps the log argument
+     strictly positive. *)
+  -.log (1.0 -. Util.Prng.float prng) /. rps
+
+let run ?(seed = 42) ?(batch_jitter = 0) ?(prewarm = false)
+    ?(drain_timeout_s = 10.0) ~mix ~rps ~duration_s router =
+  if rps <= 0.0 then invalid_arg "Loadgen.run: rps must be positive";
+  if duration_s <= 0.0 then invalid_arg "Loadgen.run: duration must be positive";
+  if prewarm then
+    ignore (Router.prewarm router (Traffic.unique_requests mix));
+  let prng = Util.Prng.create ~seed in
+  let latency = Obs.Histogram.create () in
+  let pending = Hashtbl.create 1024 in
+  let counts =
+    { c_ok = 0; c_degraded = 0; c_shed = 0; c_rejected = 0; c_failed = 0;
+      c_answered = 0 }
+  in
+  let offered = ref 0 in
+  let handle_events evs =
+    List.iter
+      (fun (ev : Router.event) ->
+        match Hashtbl.find_opt pending ev.Router.seq with
+        | None -> ()
+        | Some sent_at -> (
+            Hashtbl.remove pending ev.Router.seq;
+            counts.c_answered <- counts.c_answered + 1;
+            Obs.Histogram.observe latency ((now () -. sent_at) *. 1000.0);
+            match ev.Router.outcome with
+            | Router.Reply { json; _ } -> count counts (classify json)
+            | Router.Dropped (Service.Error.Overloaded _) ->
+                count counts `Shed
+            | Router.Dropped _ -> count counts `Failed))
+      evs
+  in
+  let t0 = now () in
+  let fin = t0 +. duration_s in
+  let next = ref (t0 +. interarrival prng rps) in
+  while now () < fin do
+    let nw = now () in
+    if nw >= !next then begin
+      incr offered;
+      let req = Traffic.sample ~batch_jitter prng mix in
+      (match Router.submit router req with
+      | Router.Answered json ->
+          counts.c_answered <- counts.c_answered + 1;
+          Obs.Histogram.observe latency 0.0;
+          count counts (classify json)
+      | Router.Routed { seq; _ } -> Hashtbl.replace pending seq nw);
+      (* Schedule from the schedule: open loop. *)
+      next := !next +. interarrival prng rps
+    end
+    else
+      handle_events
+        (Router.poll router
+           ~timeout_s:(Float.max 0.0 (Float.min (!next -. nw) (fin -. nw))))
+  done;
+  let drain_end = now () +. drain_timeout_s in
+  while Hashtbl.length pending > 0 && now () < drain_end do
+    handle_events (Router.poll router ~timeout_s:0.1)
+  done;
+  let merged, per_worker = Router.collect_stats router in
+  {
+    mix = Traffic.name mix;
+    target_rps = rps;
+    duration_s;
+    wall_s = now () -. t0;
+    offered = !offered;
+    answered = counts.c_answered;
+    ok = counts.c_ok;
+    degraded = counts.c_degraded;
+    shed = counts.c_shed;
+    rejected = counts.c_rejected;
+    failed = counts.c_failed;
+    unanswered = Hashtbl.length pending;
+    latency;
+    merged;
+    per_worker;
+    router = Router.counters router;
+  }
+
+let report_json r =
+  let q p = Util.Json.Float (Obs.Histogram.quantile r.latency p) in
+  Util.Json.Obj
+    [
+      ("ok", Util.Json.Bool true);
+      ("mix", Util.Json.String r.mix);
+      ("target_rps", Util.Json.Float r.target_rps);
+      ("duration_s", Util.Json.Float r.duration_s);
+      ("wall_s", Util.Json.Float r.wall_s);
+      ("offered", Util.Json.Int r.offered);
+      ( "achieved_rps",
+        Util.Json.Float
+          (if r.wall_s > 0.0 then float_of_int r.offered /. r.wall_s else 0.0)
+      );
+      ("answered", Util.Json.Int r.answered);
+      ("ok_full", Util.Json.Int r.ok);
+      ("degraded", Util.Json.Int r.degraded);
+      ("shed", Util.Json.Int r.shed);
+      ("rejected", Util.Json.Int r.rejected);
+      ("failed", Util.Json.Int r.failed);
+      ("unanswered", Util.Json.Int r.unanswered);
+      ( "latency_ms",
+        Util.Json.Obj
+          [
+            ("p50", q 0.5);
+            ("p90", q 0.9);
+            ("p99", q 0.99);
+            ("max", Util.Json.Float (Obs.Histogram.max_ms r.latency));
+            ("count", Util.Json.Int (Obs.Histogram.count r.latency));
+          ] );
+      ( "router",
+        Util.Json.Obj (List.map (fun (k, v) -> (k, Util.Json.Int v)) r.router)
+      );
+      ("merged", Service.Metrics.to_json r.merged);
+    ]
+
+let pr = Printf.sprintf
+
+let report_text r =
+  let q p = Obs.Histogram.quantile r.latency p in
+  let pct n =
+    if r.answered = 0 then 0.0
+    else 100.0 *. float_of_int n /. float_of_int r.answered
+  in
+  String.concat "\n"
+    [
+      pr "mix %s  target %.1f rps  wall %.1fs  offered %d (%.1f rps achieved)"
+        r.mix r.target_rps r.wall_s r.offered
+        (if r.wall_s > 0.0 then float_of_int r.offered /. r.wall_s else 0.0);
+      pr "answered %d  full %d (%.1f%%)  degraded %d (%.1f%%)  shed %d \
+          (%.1f%%)  rejected %d  failed %d  unanswered %d"
+        r.answered r.ok (pct r.ok) r.degraded (pct r.degraded) r.shed
+        (pct r.shed) r.rejected r.failed r.unanswered;
+      pr "latency ms  p50 %.2f  p90 %.2f  p99 %.2f  max %.2f" (q 0.5) (q 0.9)
+        (q 0.99)
+        (Obs.Histogram.max_ms r.latency);
+    ]
+
+(* Prometheus exposition of one run: the fleet's merged + per-worker
+   series, the router counters, and the client-side latency histogram
+   under chimera_loadgen_*. *)
+let report_prometheus router r =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf
+    (Router.prometheus router ~merged:r.merged ~per_worker:r.per_worker);
+  let bounds = Obs.Histogram.bounds r.latency in
+  let cnts = Obs.Histogram.counts r.latency in
+  Buffer.add_string buf "# TYPE chimera_loadgen_latency_ms histogram\n";
+  let cum = ref 0 in
+  Array.iteri
+    (fun i c ->
+      cum := !cum + c;
+      let le =
+        if i < Array.length bounds then pr "%g" bounds.(i) else "+Inf"
+      in
+      Buffer.add_string buf
+        (pr "chimera_loadgen_latency_ms_bucket{le=\"%s\"} %d\n" le !cum))
+    cnts;
+  Buffer.add_string buf
+    (pr "chimera_loadgen_latency_ms_sum %g\n" (Obs.Histogram.sum_ms r.latency));
+  Buffer.add_string buf
+    (pr "chimera_loadgen_latency_ms_count %d\n" (Obs.Histogram.count r.latency));
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string buf
+        (pr "# TYPE chimera_loadgen_%s counter\nchimera_loadgen_%s %d\n" name
+           name v))
+    [
+      ("offered", r.offered);
+      ("answered", r.answered);
+      ("ok_full", r.ok);
+      ("degraded", r.degraded);
+      ("shed", r.shed);
+      ("rejected", r.rejected);
+      ("failed", r.failed);
+      ("unanswered", r.unanswered);
+    ];
+  Buffer.contents buf

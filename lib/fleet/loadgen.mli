@@ -1,0 +1,46 @@
+(** Open-loop Poisson load generator for the fleet.
+
+    Arrivals are scheduled on the global clock (each gap added to the
+    previous scheduled arrival, never to "now"), so a saturated fleet
+    cannot push the offered load back — overload surfaces as shedding
+    and degradation, which is what the fleet is supposed to do under
+    it.  Deterministic for a given seed. *)
+
+type report = {
+  mix : string;
+  target_rps : float;
+  duration_s : float;
+  wall_s : float;
+  offered : int;  (** arrivals submitted. *)
+  answered : int;  (** typed answers received (incl. synchronous). *)
+  ok : int;  (** full fused answers. *)
+  degraded : int;  (** answers off a degradation-ladder rung. *)
+  shed : int;  (** [overloaded] answers (router or synthesized). *)
+  rejected : int;  (** [invalid_request] answers. *)
+  failed : int;  (** any other typed error. *)
+  unanswered : int;  (** still pending when the drain timeout hit. *)
+  latency : Obs.Histogram.t;  (** client-side submit-to-answer ms. *)
+  merged : Service.Metrics.t;  (** fleet-wide merged worker metrics. *)
+  per_worker : (int * Service.Metrics.t) list;
+  router : (string * int) list;  (** router counters at end of run. *)
+}
+
+val run :
+  ?seed:int -> ?batch_jitter:int -> ?prewarm:bool ->
+  ?drain_timeout_s:float -> mix:Traffic.t -> rps:float ->
+  duration_s:float -> Router.t -> report
+(** Drive [mix] at [rps] for [duration_s], then wait up to
+    [drain_timeout_s] for stragglers and scrape the fleet.
+    [prewarm] pushes the mix's unique requests through first;
+    [batch_jitter] defeats the caches (see {!Traffic.sample}). *)
+
+val classify :
+  Util.Json.t -> [ `Ok | `Degraded | `Shed | `Rejected | `Failed ]
+(** How one wire answer counts (exposed for tests). *)
+
+val report_json : report -> Util.Json.t
+val report_text : report -> string
+
+val report_prometheus : Router.t -> report -> string
+(** Full fleet exposition plus the client-side latency histogram and
+    run counters under [chimera_loadgen_*]. *)

@@ -1,0 +1,83 @@
+(* Consistent-hash ring over worker ids.
+
+   Each worker owns [vnodes] pseudo-random points on a 64-bit circle
+   (the first eight bytes of an MD5 digest of "worker:<id>#<replica>");
+   a key routes to the owner of the first point at or clockwise after
+   the key's own digest position.  Removing a worker deletes only its
+   points, so the keys that move are exactly the ones it owned —
+   ~1/N of the keyspace — while every other key keeps its worker (the
+   property the fleet's cache warmth depends on).  With the default
+   128 vnodes per worker the per-worker share of a uniform keyspace
+   concentrates tightly around 1/N (see test/test_fleet.ml for the
+   asserted bound). *)
+
+type t = {
+  vnodes : int;
+  (* (position, worker) sorted by unsigned position; ties broken by
+     worker id so construction order never matters. *)
+  points : (int64 * int) array;
+  workers : int array; (* distinct, ascending *)
+}
+
+let position key =
+  let d = Digest.string key in
+  let acc = ref 0L in
+  for i = 0 to 7 do
+    acc := Int64.logor (Int64.shift_left !acc 8)
+             (Int64.of_int (Char.code d.[i]))
+  done;
+  !acc
+
+let compare_points (p1, w1) (p2, w2) =
+  match Int64.unsigned_compare p1 p2 with
+  | 0 -> compare w1 w2
+  | c -> c
+
+let create ?(vnodes = 128) workers =
+  if vnodes <= 0 then invalid_arg "Ring.create: vnodes must be positive";
+  if workers = [] then invalid_arg "Ring.create: no workers";
+  let distinct = List.sort_uniq compare workers in
+  if List.length distinct <> List.length workers then
+    invalid_arg "Ring.create: duplicate worker ids";
+  let workers = Array.of_list distinct in
+  let points =
+    Array.init
+      (Array.length workers * vnodes)
+      (fun i ->
+        let w = workers.(i / vnodes) and r = i mod vnodes in
+        (position (Printf.sprintf "worker:%d#%d" w r), w))
+  in
+  Array.sort compare_points points;
+  { vnodes; points; workers }
+
+let workers t = Array.to_list t.workers
+let size t = Array.length t.workers
+let vnodes t = t.vnodes
+
+let remove t worker =
+  match List.filter (fun w -> w <> worker) (workers t) with
+  | [] -> invalid_arg "Ring.remove: cannot remove the last worker"
+  | rest -> create ~vnodes:t.vnodes rest
+
+(* First point with position >= h, wrapping to points.(0). *)
+let lookup t key =
+  let h = position key in
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let p, _ = t.points.(mid) in
+    if Int64.unsigned_compare p h < 0 then lo := mid + 1 else hi := mid
+  done;
+  let i = if !lo = n then 0 else !lo in
+  snd t.points.(i)
+
+let spread t keys =
+  let counts = Hashtbl.create 8 in
+  Array.iter (fun w -> Hashtbl.replace counts w 0) t.workers;
+  List.iter
+    (fun key ->
+      let w = lookup t key in
+      Hashtbl.replace counts w (Hashtbl.find counts w + 1))
+    keys;
+  List.map (fun w -> (w, Hashtbl.find counts w)) (workers t)

@@ -1,0 +1,41 @@
+(** Consistent-hash ring routing fingerprint keys onto workers.
+
+    Each worker owns [vnodes] (default 128) pseudo-random points on a
+    64-bit circle derived from MD5 digests; {!lookup} routes a key to
+    the owner of the first point clockwise from the key's position.
+    The two properties the fleet depends on, both asserted in
+    test/test_fleet.ml:
+
+    - {b balance}: over a large uniform key set every worker's share
+      stays close to 1/N (documented bound: within a factor of 1.35 of
+      the fair share at 128 vnodes, 2–8 workers);
+    - {b stability}: {!remove} moves only the keys the removed worker
+      owned (~1/N) — every other key keeps its worker, so the other
+      workers' plan caches stay warm through membership changes.
+
+    Deterministic: the same workers and vnodes always produce the same
+    ring, on every run and every machine. *)
+
+type t
+
+val create : ?vnodes:int -> int list -> t
+(** Ring over the given distinct worker ids.  Raises
+    [Invalid_argument] on an empty or duplicated list or non-positive
+    [vnodes]. *)
+
+val lookup : t -> string -> int
+(** The worker owning a key (any string; the fleet uses
+    {!Service.Fingerprint.to_hex} keys). *)
+
+val remove : t -> int -> t
+(** The ring without one worker; its keys redistribute over the rest.
+    Raises [Invalid_argument] when removing the last worker. *)
+
+val workers : t -> int list
+(** Member ids, ascending. *)
+
+val size : t -> int
+val vnodes : t -> int
+
+val spread : t -> string list -> (int * int) list
+(** Keys-per-worker histogram for a key set (diagnostics and tests). *)

@@ -1,0 +1,586 @@
+(* The fleet front-end: consistent-hash routing of fingerprint keys
+   onto N worker processes, admission control with load shedding,
+   router-side hot-entry replication, and fleet-level stats
+   aggregation.
+
+   The router is single-threaded and event-driven: [submit] makes the
+   admission decision synchronously (reject, answer from the hot cache,
+   degrade, or route), [poll]/[pump] move bytes.  Workers are plain
+   [chimera serve] loops behind pipes (see {!Worker}); because each
+   worker answers strictly in order, per-worker FIFO ticket queues are
+   the whole correlation story.
+
+   Admission control reuses the service's existing machinery instead of
+   inventing new states: past [soft_depth] queued requests the router
+   stamps a small [deadline_ms] onto requests that carry none, which
+   makes the worker's own deadline + degradation ladder answer quickly
+   (typically at the heuristic rung); past [queue_depth] it fast-fails
+   with the typed retryable [overloaded] error.  Every request gets a
+   typed answer — fused, degraded, or overloaded — never a hang. *)
+
+type config = {
+  vnodes : int;
+  queue_depth : int;
+  soft_depth : int;
+  degrade_deadline_ms : float;
+  replicate_after : int;
+  hot_capacity : int;
+  health_timeout_s : float;
+  restart_after : int;
+}
+
+let default_config =
+  {
+    vnodes = 128;
+    queue_depth = 32;
+    soft_depth = 16;
+    degrade_deadline_ms = 25.0;
+    replicate_after = 2;
+    hot_capacity = 256;
+    health_timeout_s = 2.0;
+    restart_after = 3;
+  }
+
+type hot_entry = { mutable hits : int; mutable stored : Util.Json.t option }
+
+type event = {
+  seq : int;
+  worker : int;
+  client_id : Util.Json.t option;
+  outcome : outcome;
+}
+
+and outcome =
+  | Reply of { line : string; json : Util.Json.t }
+  | Dropped of Service.Error.t
+
+type t = {
+  cfg : config;
+  base_config : Chimera.Config.t;
+  workers : Worker.t array;
+  ring : Ring.t;
+  events : event Queue.t;
+  hot : (string, hot_entry) Hashtbl.t;
+  hot_order : string Queue.t;
+  mutable hot_stored : int;
+  mutable force_replicate : bool;
+  health_replies : (int, Util.Json.t) Hashtbl.t;
+  stats_replies : (int, Util.Json.t) Hashtbl.t;
+  mutable seq : int;
+  (* router-level counters, exposed by [counters] *)
+  mutable received : int;
+  mutable routed : int;
+  mutable shed : int;
+  mutable rejected_invalid : int;
+  mutable hot_hits : int;
+  mutable admission_degraded : int;
+  mutable protocol_errors : int;
+  mutable worker_restarts : int;
+  mutable health_probes : int;
+  mutable health_failures : int;
+}
+
+let now () = Unix.gettimeofday ()
+
+let create ?(cfg = default_config) ?(base_config = Chimera.Config.default)
+    cmds =
+  let n = Array.length cmds in
+  if n = 0 then invalid_arg "Router.create: no workers";
+  if cfg.queue_depth <= 0 || cfg.soft_depth < 0 then
+    invalid_arg "Router.create: bad queue depths";
+  {
+    cfg;
+    base_config;
+    workers = Array.init n (fun id -> Worker.spawn ~id ~cmd:cmds.(id));
+    ring = Ring.create ~vnodes:cfg.vnodes (List.init n Fun.id);
+    events = Queue.create ();
+    hot = Hashtbl.create 1024;
+    hot_order = Queue.create ();
+    hot_stored = 0;
+    force_replicate = false;
+    health_replies = Hashtbl.create 8;
+    stats_replies = Hashtbl.create 8;
+    seq = 0;
+    received = 0;
+    routed = 0;
+    shed = 0;
+    rejected_invalid = 0;
+    hot_hits = 0;
+    admission_degraded = 0;
+    protocol_errors = 0;
+    worker_restarts = 0;
+    health_probes = 0;
+    health_failures = 0;
+  }
+
+let size t = Array.length t.workers
+let worker_pid t id = t.workers.(id).Worker.pid
+let worker_restarts_of t id = t.workers.(id).Worker.restarts
+let ring t = t.ring
+
+(* ------------------------------------------------------------------ *)
+(* JSON field surgery (ids and injected deadlines)                      *)
+(* ------------------------------------------------------------------ *)
+
+let without_field key = function
+  | Util.Json.Obj fields ->
+      Util.Json.Obj (List.filter (fun (k, _) -> k <> key) fields)
+  | j -> j
+
+let with_field key value = function
+  | Util.Json.Obj fields ->
+      Util.Json.Obj
+        (List.filter (fun (k, _) -> k <> key) fields @ [ (key, value) ])
+  | j -> j
+
+let with_id ?id json =
+  match id with None -> json | Some v -> with_field "id" v json
+
+(* ------------------------------------------------------------------ *)
+(* Hot-entry replication                                                *)
+(* ------------------------------------------------------------------ *)
+
+let hot_lookup t key =
+  match Hashtbl.find_opt t.hot key with
+  | Some ({ stored = Some resp; _ } as entry) ->
+      entry.hits <- entry.hits + 1;
+      Some resp
+  | _ -> None
+
+let hot_note_response t key json =
+  if t.cfg.replicate_after > 0 then
+    match Util.Json.member "ok" json with
+    | Some (Util.Json.Bool true) ->
+        let entry =
+          match Hashtbl.find_opt t.hot key with
+          | Some e -> e
+          | None ->
+              (* Bound the hit-count table itself, not just the stored
+                 responses: under a hostile keyspace the counts would
+                 otherwise grow without limit. *)
+              if Hashtbl.length t.hot > 16384 then
+                Hashtbl.iter
+                  (fun k e -> if e.stored = None then Hashtbl.remove t.hot k)
+                  (Hashtbl.copy t.hot);
+              let e = { hits = 0; stored = None } in
+              Hashtbl.replace t.hot key e;
+              e
+        in
+        entry.hits <- entry.hits + 1;
+        if
+          entry.stored = None
+          && (t.force_replicate || entry.hits >= t.cfg.replicate_after)
+        then begin
+          entry.stored <- Some (without_field "id" json);
+          Queue.add key t.hot_order;
+          t.hot_stored <- t.hot_stored + 1;
+          while t.hot_stored > t.cfg.hot_capacity do
+            let victim = Queue.take t.hot_order in
+            (match Hashtbl.find_opt t.hot victim with
+            | Some e -> e.stored <- None
+            | None -> ());
+            t.hot_stored <- t.hot_stored - 1
+          done
+        end
+    | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Worker lifecycle                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Answer every queued client with a typed retryable error, then bring
+   a fresh process up in the same slot (the ring — and therefore key
+   ownership — never changes on restart). *)
+let restart_worker t (w : Worker.t) ~reason =
+  List.iter
+    (fun (ticket : Worker.ticket) ->
+      match ticket.Worker.kind with
+      | Worker.Request { client_id; _ } ->
+          Queue.add
+            {
+              seq = ticket.Worker.seq;
+              worker = w.Worker.id;
+              client_id;
+              outcome =
+                Dropped
+                  (Service.Error.Overloaded
+                     (Printf.sprintf "worker %d restarted (%s)" w.Worker.id
+                        reason));
+            }
+            t.events
+      | Worker.Probe_health | Worker.Probe_stats -> ())
+    (Worker.drain_pending w);
+  Worker.respawn w;
+  t.worker_restarts <- t.worker_restarts + 1;
+  Obs.Log.warn "fleet.worker_restarted"
+    [
+      ("worker", Util.Json.Int w.Worker.id);
+      ("reason", Util.Json.String reason);
+      ("pid", Util.Json.Int w.Worker.pid);
+    ]
+
+let handle_line t (w : Worker.t) line =
+  w.Worker.answered <- w.Worker.answered + 1;
+  w.Worker.last_reply_at <- now ();
+  match Worker.pop_ticket w with
+  | None ->
+      (* An answer nobody asked for: protocol violation. *)
+      t.protocol_errors <- t.protocol_errors + 1
+  | Some ticket -> (
+      match Util.Json.parse line with
+      | Error _ -> (
+          t.protocol_errors <- t.protocol_errors + 1;
+          match ticket.Worker.kind with
+          | Worker.Request { client_id; _ } ->
+              Queue.add
+                {
+                  seq = ticket.Worker.seq;
+                  worker = w.Worker.id;
+                  client_id;
+                  outcome =
+                    Dropped
+                      (Service.Error.Internal
+                         (Printf.sprintf "worker %d: unparseable reply"
+                            w.Worker.id));
+                }
+                t.events
+          | Worker.Probe_health | Worker.Probe_stats -> ())
+      | Ok json -> (
+          w.Worker.consecutive_failures <- 0;
+          match ticket.Worker.kind with
+          | Worker.Request { key; client_id } ->
+              hot_note_response t key json;
+              Queue.add
+                {
+                  seq = ticket.Worker.seq;
+                  worker = w.Worker.id;
+                  client_id;
+                  outcome = Reply { line; json };
+                }
+                t.events
+          | Worker.Probe_health ->
+              Hashtbl.replace t.health_replies w.Worker.id json
+          | Worker.Probe_stats ->
+              Hashtbl.replace t.stats_replies w.Worker.id json))
+
+(* Move bytes without draining the event queue: select over worker
+   stdout pipes, read what is there, restart workers that died. *)
+let pump ?(timeout_s = 0.0) t =
+  let alive =
+    Array.to_list t.workers
+    |> List.filter (fun (w : Worker.t) -> w.Worker.alive)
+  in
+  let fds = List.map (fun (w : Worker.t) -> w.Worker.stdout_fd) alive in
+  match Unix.select fds [] [] timeout_s with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | readable, _, _ ->
+      List.iter
+        (fun (w : Worker.t) ->
+          if List.memq w.Worker.stdout_fd readable then
+            match Worker.read_lines w with
+            | `Eof -> restart_worker t w ~reason:"process died"
+            | `Lines lines -> List.iter (handle_line t w) lines)
+        alive
+
+let poll ?(timeout_s = 0.0) t =
+  pump ~timeout_s t;
+  let evs = List.of_seq (Queue.to_seq t.events) in
+  Queue.clear t.events;
+  evs
+
+(* ------------------------------------------------------------------ *)
+(* Admission + routing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type submit_outcome =
+  | Routed of { worker : int; seq : int }
+  | Answered of Util.Json.t
+
+let overloaded_json ?id what =
+  Service.Error.to_json ?id (Service.Error.Overloaded what)
+
+let submit ?id ?raw t (req : Service.Request.t) =
+  t.received <- t.received + 1;
+  match Service.Request.resolve req with
+  | Error e ->
+      (* Validation at the front door: an invalid request never costs a
+         worker round-trip or a queue slot. *)
+      t.rejected_invalid <- t.rejected_invalid + 1;
+      Answered (Service.Error.to_json ?id e)
+  | Ok (chain, machine) -> (
+      let config = Service.Request.config_of ~base:t.base_config req in
+      let fp = Service.Fingerprint.of_request ~chain ~machine ~config in
+      let key = Service.Fingerprint.to_hex fp in
+      match hot_lookup t key with
+      | Some resp ->
+          t.hot_hits <- t.hot_hits + 1;
+          Answered (with_id ?id resp)
+      | None ->
+          let w = t.workers.(Ring.lookup t.ring key) in
+          let depth = Worker.depth w in
+          if depth >= t.cfg.queue_depth then begin
+            t.shed <- t.shed + 1;
+            Answered
+              (overloaded_json ?id
+                 (Printf.sprintf "worker %d queue full (%d inflight)"
+                    w.Worker.id depth))
+          end
+          else begin
+            let json =
+              with_id ?id
+                (match raw with
+                | Some j -> j
+                | None -> Service.Request.to_json req)
+            in
+            (* The soft band: stamp a tight planning budget onto
+               requests that carry none, so the worker's deadline +
+               degradation ladder answers fast instead of queueing
+               work it cannot afford. *)
+            let json =
+              if depth >= t.cfg.soft_depth && req.Service.Request.deadline_ms = None
+              then begin
+                t.admission_degraded <- t.admission_degraded + 1;
+                with_field "deadline_ms"
+                  (Util.Json.Float t.cfg.degrade_deadline_ms) json
+              end
+              else json
+            in
+            t.seq <- t.seq + 1;
+            let seq = t.seq in
+            if Worker.send_line w (Util.Json.to_string json) then begin
+              Worker.enqueue w ~seq ~kind:(Worker.Request { key; client_id = id });
+              t.routed <- t.routed + 1;
+              Routed { worker = w.Worker.id; seq }
+            end
+            else begin
+              (* The pipe died under us: restart the slot and shed this
+                 request (retryable — the fresh worker will take it). *)
+              restart_worker t w ~reason:"write failed";
+              t.shed <- t.shed + 1;
+              Answered
+                (overloaded_json ?id
+                   (Printf.sprintf "worker %d restarting" w.Worker.id))
+            end
+          end)
+
+(* ------------------------------------------------------------------ *)
+(* Health checking                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let probe_json = {|{"cmd": "health"}|}
+let stats_json_line = {|{"cmd": "stats", "full": true}|}
+
+(* Synchronous in-band health sweep.  The serve loop is serial, so the
+   reply arriving at all is the liveness signal; a worker that answers
+   nothing within [health_timeout_s] scores a consecutive failure, and
+   [restart_after] of those restarts the slot.  Request events arriving
+   meanwhile stay queued for the caller's next [poll]. *)
+let check_health ?timeout_s t =
+  let timeout_s =
+    match timeout_s with Some s -> s | None -> t.cfg.health_timeout_s
+  in
+  Hashtbl.reset t.health_replies;
+  let probed =
+    Array.to_list t.workers
+    |> List.filter_map (fun (w : Worker.t) ->
+           if not w.Worker.alive then None
+           else begin
+             t.health_probes <- t.health_probes + 1;
+             if Worker.send_line w probe_json then begin
+               t.seq <- t.seq + 1;
+               Worker.enqueue w ~seq:t.seq ~kind:Worker.Probe_health;
+               Some w
+             end
+             else begin
+               restart_worker t w ~reason:"health probe write failed";
+               None
+             end
+           end)
+  in
+  let deadline = now () +. timeout_s in
+  let all_replied () =
+    List.for_all
+      (fun (w : Worker.t) -> Hashtbl.mem t.health_replies w.Worker.id)
+      probed
+  in
+  while (not (all_replied ())) && now () < deadline do
+    pump ~timeout_s:(Float.max 0.01 (Float.min 0.05 (deadline -. now ()))) t
+  done;
+  List.map
+    (fun (w : Worker.t) ->
+      match Hashtbl.find_opt t.health_replies w.Worker.id with
+      | Some json -> (w.Worker.id, `Ok json)
+      | None ->
+          t.health_failures <- t.health_failures + 1;
+          w.Worker.consecutive_failures <- w.Worker.consecutive_failures + 1;
+          if w.Worker.consecutive_failures >= t.cfg.restart_after then begin
+            restart_worker t w ~reason:"unresponsive to health probes";
+            (w.Worker.id, `Restarted)
+          end
+          else (w.Worker.id, `Unanswered))
+    probed
+
+(* ------------------------------------------------------------------ *)
+(* Fleet-level stats                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Ask every worker for its lossless wire metrics and merge them:
+   counters add, histograms merge bucket-by-bucket (Obs.Histogram), so
+   fleet p50/p99 are computed from the pooled stream, not averaged
+   quantiles.  Workers that answer nothing within the timeout are
+   simply absent from this scrape. *)
+let collect_stats ?(timeout_s = 5.0) t =
+  Hashtbl.reset t.stats_replies;
+  let probed =
+    Array.to_list t.workers
+    |> List.filter_map (fun (w : Worker.t) ->
+           if w.Worker.alive && Worker.send_line w stats_json_line then begin
+             t.seq <- t.seq + 1;
+             Worker.enqueue w ~seq:t.seq ~kind:Worker.Probe_stats;
+             Some w
+           end
+           else None)
+  in
+  let deadline = now () +. timeout_s in
+  let all_replied () =
+    List.for_all
+      (fun (w : Worker.t) -> Hashtbl.mem t.stats_replies w.Worker.id)
+      probed
+  in
+  while (not (all_replied ())) && now () < deadline do
+    pump ~timeout_s:(Float.max 0.01 (Float.min 0.05 (deadline -. now ()))) t
+  done;
+  let per_worker =
+    List.filter_map
+      (fun (w : Worker.t) ->
+        match Hashtbl.find_opt t.stats_replies w.Worker.id with
+        | None -> None
+        | Some json -> (
+            match Service.Metrics.of_wire_json json with
+            | Ok m -> Some (w.Worker.id, m)
+            | Error _ ->
+                t.protocol_errors <- t.protocol_errors + 1;
+                None))
+      probed
+  in
+  let merged = Service.Metrics.create () in
+  List.iter (fun (_, m) -> Service.Metrics.merge ~into:merged m) per_worker;
+  (merged, per_worker)
+
+let counters t =
+  [
+    ("received", t.received);
+    ("routed", t.routed);
+    ("shed", t.shed);
+    ("rejected_invalid", t.rejected_invalid);
+    ("hot_hits", t.hot_hits);
+    ("admission_degraded", t.admission_degraded);
+    ("protocol_errors", t.protocol_errors);
+    ("worker_restarts", t.worker_restarts);
+    ("health_probes", t.health_probes);
+    ("health_failures", t.health_failures);
+  ]
+
+let stats_json ?id t ~merged ~per_worker =
+  Util.Json.Obj
+    ((match id with Some v -> [ ("id", v) ] | None -> [])
+    @ [
+        ("ok", Util.Json.Bool true);
+        ("workers", Util.Json.Int (size t));
+        ("workers_reporting", Util.Json.Int (List.length per_worker));
+        ( "router",
+          Util.Json.Obj
+            (List.map (fun (k, v) -> (k, Util.Json.Int v)) (counters t)) );
+        ("merged", Service.Metrics.to_json merged);
+      ])
+
+(* One text exposition for the whole fleet: merged unlabelled series
+   (true fleet-wide quantiles via histogram merge), per-worker series
+   carrying a [worker] label, and the router's own counters under a
+   [chimera_fleet_] prefix. *)
+let prometheus t ~merged ~per_worker =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf (Service.Metrics.to_prometheus merged);
+  List.iter
+    (fun (id, m) ->
+      Buffer.add_string buf
+        (Service.Metrics.to_prometheus
+           ~labels:[ ("worker", string_of_int id) ]
+           m))
+    per_worker;
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "# TYPE chimera_fleet_%s counter\nchimera_fleet_%s %d\n"
+           name name v))
+    (counters t);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "# TYPE chimera_fleet_workers gauge\nchimera_fleet_workers %d\n"
+       (size t));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Prewarm                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Push a request list (typically a traffic mix's unique requests)
+   through the fleet before opening the doors: every worker's plan
+   cache — and the shared on-disk tier, when configured — ends up
+   holding the plans its keys hash to, and each answer is replicated
+   into the router's hot cache immediately.  Returns the number of
+   requests answered in time. *)
+let prewarm ?(timeout_s = 120.0) t reqs =
+  t.force_replicate <- true;
+  let outstanding = Hashtbl.create 64 in
+  let done_count = ref 0 in
+  List.iter
+    (fun req ->
+      match submit t req with
+      | Answered _ -> incr done_count
+      | Routed { seq; _ } -> Hashtbl.replace outstanding seq ())
+    reqs;
+  let deadline = now () +. timeout_s in
+  while Hashtbl.length outstanding > 0 && now () < deadline do
+    List.iter
+      (fun (ev : event) ->
+        if Hashtbl.mem outstanding ev.seq then begin
+          Hashtbl.remove outstanding ev.seq;
+          incr done_count
+        end)
+      (poll ~timeout_s:0.05 t)
+  done;
+  t.force_replicate <- false;
+  !done_count
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let shutdown ?(timeout_s = 2.0) t =
+  Array.iter
+    (fun (w : Worker.t) ->
+      if w.Worker.alive then
+        ignore (Worker.send_line w {|{"cmd": "quit"}|}))
+    t.workers;
+  let deadline = now () +. timeout_s in
+  Array.iter
+    (fun (w : Worker.t) ->
+      if w.Worker.alive then begin
+        let rec wait () =
+          match Unix.waitpid [ Unix.WNOHANG ] w.Worker.pid with
+          | 0, _ ->
+              if now () < deadline then begin
+                Unix.sleepf 0.01;
+                wait ()
+              end
+              else Worker.kill w
+          | _, _ | (exception Unix.Unix_error _) ->
+              (* Exited (or already reaped): just release the pipes. *)
+              w.Worker.alive <- false;
+              (try Unix.close w.Worker.stdin_fd with Unix.Unix_error _ -> ());
+              (try Unix.close w.Worker.stdout_fd with Unix.Unix_error _ -> ())
+        in
+        wait ()
+      end)
+    t.workers

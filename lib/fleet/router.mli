@@ -1,0 +1,132 @@
+(** The fleet front-end: consistent-hash routing onto N worker
+    processes with admission control, hot-entry replication, health
+    checking, and lossless fleet-wide stats aggregation.
+
+    The router is single-threaded and event-driven.  {!submit} makes
+    the admission decision synchronously and either answers on the spot
+    (invalid request, hot-cache hit, shed) or routes the line to the
+    owning worker; {!poll} moves bytes and returns the answers that
+    arrived.  Workers are unchanged [chimera serve] loops behind pipes;
+    nothing on the wire is rewritten beyond the optional injected
+    [deadline_ms] (soft-band degradation) and the client ["id"].
+
+    Every request gets a typed answer: a fused plan, a degraded one, a
+    validation error, or the retryable [overloaded] error — never a
+    hang.  See docs/FLEET.md. *)
+
+type config = {
+  vnodes : int;  (** ring points per worker (default 128). *)
+  queue_depth : int;
+      (** hard band: at this many outstanding requests on the owning
+          worker, shed with [Error.Overloaded] (default 32). *)
+  soft_depth : int;
+      (** soft band: from this depth, requests without a deadline get
+          [degrade_deadline_ms] stamped on, forcing the worker's
+          degradation ladder to answer fast (default 16). *)
+  degrade_deadline_ms : float;  (** injected budget (default 25). *)
+  replicate_after : int;
+      (** hot replication: store a response router-side after this many
+          successful answers for its fingerprint; 0 disables
+          (default 2). *)
+  hot_capacity : int;  (** max stored hot responses (default 256). *)
+  health_timeout_s : float;  (** per-sweep probe budget (default 2). *)
+  restart_after : int;
+      (** restart a worker after this many consecutive unanswered
+          health probes (default 3). *)
+}
+
+val default_config : config
+
+type t
+
+type event = {
+  seq : int;  (** the [Routed] sequence number this answers. *)
+  worker : int;
+  client_id : Util.Json.t option;
+  outcome : outcome;
+}
+
+and outcome =
+  | Reply of { line : string; json : Util.Json.t }
+      (** the worker's answer, verbatim. *)
+  | Dropped of Service.Error.t
+      (** synthesized failure: the worker died or broke protocol while
+          this request was queued ([Overloaded] — retryable — or
+          [Internal]). *)
+
+val create :
+  ?cfg:config -> ?base_config:Chimera.Config.t -> string array array -> t
+(** Spawn one worker per argv and build the ring.  [base_config] seeds
+    {!Service.Request.config_of} for fingerprinting (it must match what
+    the workers themselves plan with, or hot-cache keys and worker
+    cache keys disagree — harmlessly, but replication stops helping).
+    Raises [Invalid_argument] on an empty fleet or nonsensical
+    depths. *)
+
+type submit_outcome =
+  | Routed of { worker : int; seq : int }
+      (** forwarded; the answer arrives as an {!event} with this
+          [seq]. *)
+  | Answered of Util.Json.t
+      (** answered synchronously: validation error, hot-cache hit, or
+          shed. *)
+
+val submit : ?id:Util.Json.t -> ?raw:Util.Json.t -> t -> Service.Request.t -> submit_outcome
+(** Admit one request.  [raw] is the client's original JSON object; it
+    is forwarded verbatim when given (so unknown fields survive the
+    trip), otherwise the request is re-encoded.  [id] is echoed in
+    every answer, synchronous or not. *)
+
+val poll : ?timeout_s:float -> t -> event list
+(** Wait up to [timeout_s] (default 0: just drain what's ready) for
+    worker output and return completed events, in arrival order.
+    Worker deaths are handled here: queued clients get [Dropped]
+    events and the slot respawns. *)
+
+val check_health : ?timeout_s:float -> t ->
+  (int * [ `Ok of Util.Json.t | `Unanswered | `Restarted ]) list
+(** Probe every worker with [cmd:health] and wait for the replies.  A
+    worker that answers nothing scores a consecutive failure;
+    [restart_after] of those restarts the slot (clients queued on it
+    get [Dropped] events on the next {!poll}).  Request traffic keeps
+    flowing during the sweep. *)
+
+val collect_stats : ?timeout_s:float -> t ->
+  Service.Metrics.t * (int * Service.Metrics.t) list
+(** Scrape every worker's lossless wire metrics ([cmd:stats full]) and
+    merge: counters add, histograms merge bucket-by-bucket, so the
+    merged quantiles are computed over the pooled latency stream.
+    Returns (merged, per-worker); non-reporting workers are absent. *)
+
+val prewarm : ?timeout_s:float -> t -> Service.Request.t list -> int
+(** Push requests through the fleet before opening the doors: each
+    worker's plan cache fills with the plans its keys hash to, and
+    every answer replicates into the router's hot cache immediately.
+    Returns how many were answered in time. *)
+
+val counters : t -> (string * int) list
+(** Router-level counters: received, routed, shed, rejected_invalid,
+    hot_hits, admission_degraded, protocol_errors, worker_restarts,
+    health_probes, health_failures. *)
+
+val stats_json :
+  ?id:Util.Json.t -> t -> merged:Service.Metrics.t ->
+  per_worker:(int * Service.Metrics.t) list -> Util.Json.t
+(** The fleet's [cmd:stats] answer: router counters plus the merged
+    worker metrics. *)
+
+val prometheus :
+  t -> merged:Service.Metrics.t ->
+  per_worker:(int * Service.Metrics.t) list -> string
+(** One text exposition for the whole fleet: merged series unlabelled,
+    per-worker series with a [worker] label, router counters under
+    [chimera_fleet_*]. *)
+
+val size : t -> int
+val ring : t -> Ring.t
+val worker_pid : t -> int -> int
+val worker_restarts_of : t -> int -> int
+
+val shutdown : ?timeout_s:float -> t -> unit
+(** Ask every worker to quit ([cmd:quit]), wait up to [timeout_s],
+    then SIGKILL stragglers.  The router is unusable afterwards. *)

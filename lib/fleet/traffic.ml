@@ -1,0 +1,119 @@
+(* Traffic mixes for the fleet's load generator and prewarmer, derived
+   from the nine Networks encoders.
+
+   Each network's attention BMM chain matches one of the named Table IV
+   workloads by geometry — (m, n, k, l) identical, batch differing only
+   by head count, which a [batch] override expresses.  A mix weights
+   that request by the network's layer count and splits it 70/30
+   between the softmax (fused attention) and plain variants, so a run
+   exercises both the epilogue path and the bare chain.  The mapping is
+   exact: [of_network] raises if a network's attention shape stops
+   matching any named workload, and test/test_fleet.ml pins all
+   nine. *)
+
+type entry = { request : Service.Request.t; weight : float }
+type t = { name : string; entries : entry array; total_weight : float }
+
+let name t = t.name
+
+(* The named workload whose (m, n, k, l) equals the network's attention
+   shape, with the batch overridden when head counts differ. *)
+let attention_request ?(softmax = true) ~arch (net : Workloads.Networks.t) =
+  let a = Workloads.Networks.attention_config net in
+  match
+    List.find_opt
+      (fun (g : Workloads.Gemm_configs.t) ->
+        g.m = a.m && g.n = a.n && g.k = a.k && g.l = a.l)
+      Workloads.Gemm_configs.all
+  with
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Traffic.attention_request: %s attention shape matches no named \
+            workload"
+           net.name)
+  | Some g ->
+      let batch = if a.batch = g.batch then None else Some a.batch in
+      Service.Request.make ~softmax ?batch ~workload:g.Workloads.Gemm_configs.name
+        ~arch ()
+
+let of_network ?(arch = "cpu") (net : Workloads.Networks.t) =
+  let layers = float_of_int net.layers in
+  let entries =
+    [|
+      { request = attention_request ~softmax:true ~arch net;
+        weight = 0.7 *. layers };
+      { request = attention_request ~softmax:false ~arch net;
+        weight = 0.3 *. layers };
+    |]
+  in
+  {
+    name = net.name;
+    entries;
+    total_weight = Array.fold_left (fun s e -> s +. e.weight) 0.0 entries;
+  }
+
+let all ?(arch = "cpu") () =
+  List.map (of_network ~arch) Workloads.Networks.all
+
+let union ~name mixes =
+  let entries = Array.concat (List.map (fun m -> m.entries) mixes) in
+  {
+    name;
+    entries;
+    total_weight = Array.fold_left (fun s e -> s +. e.weight) 0.0 entries;
+  }
+
+let by_name ?(arch = "cpu") name =
+  if String.lowercase_ascii name = "all" then Some (union ~name:"all" (all ~arch ()))
+  else
+    Option.map (of_network ~arch) (Workloads.Networks.by_name name)
+
+(* Weighted pick; [batch_jitter] adds a uniform 0..jitter-1 to the
+   effective batch so successive fingerprints stay distinct — the knob
+   the CI smoke uses to defeat both cache tiers and keep workers
+   planning cold. *)
+let sample ?(batch_jitter = 0) prng t =
+  let x = Util.Prng.float prng *. t.total_weight in
+  let acc = ref 0.0 and chosen = ref t.entries.(0) in
+  (try
+     Array.iter
+       (fun e ->
+         acc := !acc +. e.weight;
+         if x < !acc then begin
+           chosen := e;
+           raise Exit
+         end)
+       t.entries
+   with Exit -> ());
+  let req = !chosen.request in
+  if batch_jitter <= 0 then req
+  else
+    let base =
+      match req.Service.Request.batch with
+      | Some b -> b
+      | None -> (
+          match Workloads.Gemm_configs.by_name req.Service.Request.workload with
+          | Some g -> g.Workloads.Gemm_configs.batch
+          | None -> 1)
+    in
+    { req with Service.Request.batch =
+        Some (base + Util.Prng.int prng ~bound:batch_jitter) }
+
+(* The distinct requests of a mix (for prewarming: one plan per
+   fingerprint, so duplicates are pointless). *)
+let unique_requests t =
+  let seen = Hashtbl.create 32 in
+  Array.fold_left
+    (fun acc e ->
+      let key = Util.Json.to_string (Service.Request.to_json e.request) in
+      if Hashtbl.mem seen key then acc
+      else begin
+        Hashtbl.replace seen key ();
+        e.request :: acc
+      end)
+    [] t.entries
+  |> List.rev
+
+let entries t =
+  Array.to_list t.entries |> List.map (fun e -> (e.request, e.weight))

@@ -1,0 +1,37 @@
+(** Traffic mixes for the load generator and prewarmer.
+
+    A mix is a weighted set of service requests derived from one of the
+    nine {!Workloads.Networks} encoders (or their union): the network's
+    attention BMM chain expressed as its matching named Table IV
+    workload (batch override = head count where they differ), weighted
+    by layer count and split 70/30 between softmax-fused and plain
+    variants. *)
+
+type t
+
+val name : t -> string
+
+val of_network : ?arch:string -> Workloads.Networks.t -> t
+(** The mix of one network ([arch] defaults to ["cpu"]).  Raises
+    [Invalid_argument] if the network's attention shape matches no
+    named workload (pinned for all nine in test/test_fleet.ml). *)
+
+val all : ?arch:string -> unit -> t list
+(** One mix per Figure 9 network. *)
+
+val union : name:string -> t list -> t
+
+val by_name : ?arch:string -> string -> t option
+(** A network's mix by name, or the union of all nine for ["all"]
+    (case-insensitive). *)
+
+val sample : ?batch_jitter:int -> Util.Prng.t -> t -> Service.Request.t
+(** Weighted draw.  [batch_jitter > 0] adds a uniform 0..jitter-1 to
+    the effective batch, keeping successive fingerprints distinct (the
+    cache-defeating knob for load tests). *)
+
+val unique_requests : t -> Service.Request.t list
+(** The mix's distinct requests, for {!Router.prewarm}. *)
+
+val entries : t -> (Service.Request.t * float) list
+(** The weighted entries (diagnostics and tests). *)

@@ -1,0 +1,159 @@
+(* A worker process handle: an unchanged [chimera serve] loop (or any
+   JSONL-speaking command) behind a pair of Unix pipes.
+
+   The router owns one of these per fleet slot.  Requests are written
+   as lines to the child's stdin; because the serve loop is strictly
+   serial and answers one line per line in order, correlation is a FIFO
+   ticket queue — no id rewriting on the wire.  Reads are raw [Unix]
+   reads driven by the router's [select] loop, split into complete
+   lines here; a zero-byte read is the child's EOF (death), which the
+   router turns into a restart. *)
+
+type kind =
+  | Request of { key : string; client_id : Util.Json.t option }
+      (** a routed request: [key] is the fingerprint hex (for the
+          router's hot-entry replication), [client_id] the caller's
+          ["id"] field if any (echoed in synthesized failures). *)
+  | Probe_health
+  | Probe_stats
+
+type ticket = { seq : int; kind : kind; sent_at : float }
+
+type t = {
+  id : int;
+  cmd : string array;
+  mutable pid : int;
+  mutable stdin_fd : Unix.file_descr;
+  mutable stdout_fd : Unix.file_descr;
+  mutable alive : bool;
+  rbuf : Buffer.t;
+  pending : ticket Queue.t;
+  mutable consecutive_failures : int;
+  mutable restarts : int;
+  mutable sent : int;
+  mutable answered : int;
+  mutable spawned_at : float;
+  mutable last_reply_at : float;
+}
+
+let ignore_sigpipe_once =
+  (* A write into a dead worker's pipe must surface as EPIPE for the
+     router to handle, not kill the whole fleet process. *)
+  lazy (Sys.set_signal Sys.sigpipe Sys.Signal_ignore)
+
+let launch cmd =
+  let from_child_r, from_child_w = Unix.pipe ~cloexec:false () in
+  let to_child_r, to_child_w = Unix.pipe ~cloexec:false () in
+  Unix.set_close_on_exec to_child_w;
+  Unix.set_close_on_exec from_child_r;
+  let pid =
+    Unix.create_process cmd.(0) cmd to_child_r from_child_w Unix.stderr
+  in
+  Unix.close to_child_r;
+  Unix.close from_child_w;
+  (pid, to_child_w, from_child_r)
+
+let spawn ~id ~cmd =
+  Lazy.force ignore_sigpipe_once;
+  if Array.length cmd = 0 then invalid_arg "Worker.spawn: empty command";
+  let pid, stdin_fd, stdout_fd = launch cmd in
+  {
+    id;
+    cmd;
+    pid;
+    stdin_fd;
+    stdout_fd;
+    alive = true;
+    rbuf = Buffer.create 4096;
+    pending = Queue.create ();
+    consecutive_failures = 0;
+    restarts = 0;
+    sent = 0;
+    answered = 0;
+    spawned_at = Unix.gettimeofday ();
+    last_reply_at = Unix.gettimeofday ();
+  }
+
+let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let reap pid =
+  (* The child may already have been collected (EOF path after a
+     crash); ECHILD is fine. *)
+  try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+let kill t =
+  if t.alive then begin
+    t.alive <- false;
+    (try Unix.kill t.pid Sys.sigkill with Unix.Unix_error _ -> ());
+    close_noerr t.stdin_fd;
+    close_noerr t.stdout_fd;
+    reap t.pid
+  end
+
+(* Drop every queued ticket (the caller answers their clients first)
+   and bring up a fresh process in the same slot.  The ring is
+   untouched: a restarted worker keeps its keys, it just starts cold —
+   or warm, when the fleet shares an on-disk cache directory. *)
+let respawn t =
+  kill t;
+  Queue.clear t.pending;
+  Buffer.clear t.rbuf;
+  let pid, stdin_fd, stdout_fd = launch t.cmd in
+  t.pid <- pid;
+  t.stdin_fd <- stdin_fd;
+  t.stdout_fd <- stdout_fd;
+  t.alive <- true;
+  t.restarts <- t.restarts + 1;
+  t.spawned_at <- Unix.gettimeofday ();
+  t.last_reply_at <- Unix.gettimeofday ()
+
+(* Write one line; false when the pipe is gone (the router restarts the
+   worker and re-answers the caller). *)
+let send_line t line =
+  let payload = Bytes.of_string (line ^ "\n") in
+  match
+    let n = Bytes.length payload in
+    let written = ref 0 in
+    while !written < n do
+      written :=
+        !written + Unix.write t.stdin_fd payload !written (n - !written)
+    done
+  with
+  | () -> true
+  | exception Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) -> false
+
+let enqueue t ~seq ~kind =
+  Queue.add { seq; kind; sent_at = Unix.gettimeofday () } t.pending;
+  t.sent <- t.sent + 1
+
+let depth t = Queue.length t.pending
+let pop_ticket t = Queue.take_opt t.pending
+let drain_pending t =
+  let all = List.of_seq (Queue.to_seq t.pending) in
+  Queue.clear t.pending;
+  all
+
+(* Called when [select] reported the child's stdout readable: pull what
+   is there and return the complete lines.  [`Eof] means the child died
+   (or closed stdout, which for a serve loop is the same thing). *)
+let read_lines t =
+  let chunk = Bytes.create 65536 in
+  match Unix.read t.stdout_fd chunk 0 (Bytes.length chunk) with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) -> `Lines []
+  | exception Unix.Unix_error _ -> `Eof
+  | 0 -> `Eof
+  | n ->
+      Buffer.add_subbytes t.rbuf chunk 0 n;
+      let data = Buffer.contents t.rbuf in
+      let lines = ref [] in
+      let start = ref 0 in
+      String.iteri
+        (fun i c ->
+          if c = '\n' then begin
+            lines := String.sub data !start (i - !start) :: !lines;
+            start := i + 1
+          end)
+        data;
+      Buffer.clear t.rbuf;
+      Buffer.add_substring t.rbuf data !start (String.length data - !start);
+      `Lines (List.rev !lines)

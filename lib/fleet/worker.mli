@@ -1,0 +1,65 @@
+(** A worker process behind Unix pipes, speaking the JSONL serve
+    protocol.
+
+    Workers are unchanged [chimera serve] loops (any argv speaking the
+    protocol works — tests use shell stand-ins): one JSON line in, one
+    JSON line out, strictly in order.  That ordering makes correlation
+    a FIFO {!ticket} queue per worker; nothing on the wire is
+    rewritten.  The router drives reads from its [select] loop via
+    {!read_lines} and turns [`Eof] into {!respawn}. *)
+
+type kind =
+  | Request of { key : string; client_id : Util.Json.t option }
+  | Probe_health
+  | Probe_stats
+
+type ticket = { seq : int; kind : kind; sent_at : float }
+
+type t = {
+  id : int;  (** fleet slot, stable across restarts. *)
+  cmd : string array;
+  mutable pid : int;
+  mutable stdin_fd : Unix.file_descr;
+  mutable stdout_fd : Unix.file_descr;
+  mutable alive : bool;
+  rbuf : Buffer.t;
+  pending : ticket Queue.t;
+  mutable consecutive_failures : int;
+      (** health probes failed in a row; reset by any reply. *)
+  mutable restarts : int;
+  mutable sent : int;
+  mutable answered : int;
+  mutable spawned_at : float;
+  mutable last_reply_at : float;
+}
+
+val spawn : id:int -> cmd:string array -> t
+(** Launch the process with piped stdin/stdout (stderr inherited).
+    Also ignores [SIGPIPE] process-wide, once — a dead worker's pipe
+    must answer [EPIPE], not kill the fleet. *)
+
+val respawn : t -> unit
+(** Kill (SIGKILL + reap) and relaunch in the same slot, dropping any
+    queued tickets — callers must {!drain_pending} first to answer
+    their clients.  Increments [restarts]. *)
+
+val kill : t -> unit
+(** Kill and reap without relaunching; idempotent. *)
+
+val send_line : t -> string -> bool
+(** Write one line to the worker's stdin; [false] if the pipe is gone
+    ([EPIPE]/[EBADF]), in which case the caller restarts the worker. *)
+
+val enqueue : t -> seq:int -> kind:kind -> unit
+(** Record the FIFO ticket for a line just sent. *)
+
+val depth : t -> int
+(** Outstanding tickets — the router's admission-control signal. *)
+
+val pop_ticket : t -> ticket option
+val drain_pending : t -> ticket list
+(** Remove and return all outstanding tickets (worker death path). *)
+
+val read_lines : t -> [ `Lines of string list | `Eof ]
+(** Pull available output (call when [select] reports readability) and
+    return the complete lines; [`Eof] when the child died. *)

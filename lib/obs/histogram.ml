@@ -123,6 +123,62 @@ let quantile t q =
     representative t !i
   end
 
+(* Full-fidelity wire form: every per-bucket count plus the scalar
+   moments, enough to reconstruct an identical histogram on the other
+   side of a pipe.  min/max are omitted when empty (their sentinels are
+   infinities, which JSON cannot carry). *)
+let to_wire_json t =
+  let open Util.Json in
+  Obj
+    ([
+       ("lo_ms", Float t.lo_ms);
+       ("per_decade", Int t.per_decade);
+       ("counts", List (Array.to_list (Array.map (fun c -> Int c) t.counts)));
+       ("sum_ms", Float t.sum_ms);
+     ]
+    @
+    if t.count = 0 then []
+    else [ ("min_ms", Float t.min_ms); ("max_ms", Float t.max_ms) ])
+
+let of_wire_json json =
+  let open Util.Json in
+  let num key = Option.bind (member key json) to_float_opt in
+  match (num "lo_ms", Option.bind (member "per_decade" json) to_int_opt) with
+  | None, _ | _, None -> Error "histogram: missing lo_ms or per_decade"
+  | Some lo_ms, Some per_decade -> (
+      if lo_ms <= 0.0 || per_decade < 1 then
+        Error "histogram: bad lo_ms or per_decade"
+      else
+        match member "counts" json with
+        | Some (List items) -> (
+            let n = List.length items - 1 in
+            if n < 1 || n mod per_decade <> 0 then
+              Error "histogram: counts length does not fit the layout"
+            else
+              match
+                List.map
+                  (fun item ->
+                    match to_int_opt item with
+                    | Some c when c >= 0 -> c
+                    | _ -> raise Exit)
+                  items
+              with
+              | exception Exit -> Error "histogram: non-integer bucket count"
+              | counts ->
+                  let t =
+                    create ~lo_ms ~decades:(n / per_decade) ~per_decade ()
+                  in
+                  List.iteri (fun i c -> t.counts.(i) <- c) counts;
+                  t.count <- List.fold_left ( + ) 0 counts;
+                  t.sum_ms <- Option.value (num "sum_ms") ~default:0.0;
+                  (match (num "min_ms", num "max_ms") with
+                  | Some mn, Some mx when t.count > 0 ->
+                      t.min_ms <- mn;
+                      t.max_ms <- mx
+                  | _ -> ());
+                  Ok t)
+        | _ -> Error "histogram: missing counts array")
+
 let summary_json t =
   Util.Json.Obj
     [

@@ -49,3 +49,14 @@ val counts : t -> int array
 
 val summary_json : t -> Util.Json.t
 (** [{count, sum_ms, p50_ms, p90_ms, p99_ms, max_ms}]. *)
+
+val to_wire_json : t -> Util.Json.t
+(** Full-fidelity serialization: bucket layout parameters, every
+    per-bucket count (overflow last), [sum_ms] and — when non-empty —
+    [min_ms]/[max_ms].  {!of_wire_json} reconstructs an identical
+    histogram, so a merge of wire-decoded worker histograms equals
+    observing the pooled stream (the fleet aggregation path). *)
+
+val of_wire_json : Util.Json.t -> (t, string) result
+(** Inverse of {!to_wire_json}; [Error] on a malformed or
+    layout-inconsistent object, never an exception. *)

@@ -188,7 +188,8 @@ let note_response metrics (r : (response, Error.t) result) =
               m.invalid_requests <- m.invalid_requests + 1
           | Error.Internal _ -> m.internal_errors <- m.internal_errors + 1
           | Error.No_feasible_tiling _ | Error.Deadline_exceeded _
-          | Error.Cache_corrupt _ | Error.Verify_failed _ ->
+          | Error.Cache_corrupt _ | Error.Verify_failed _
+          | Error.Overloaded _ ->
               (* deadline hits are counted once per planned request by
                  [note_deadline_hit]; verification failures by
                  [apply_verify] — success or failure alike. *)

@@ -4,6 +4,7 @@ type t =
   | Deadline_exceeded of string
   | Cache_corrupt of string
   | Verify_failed of string
+  | Overloaded of string
   | Internal of string
 
 let code = function
@@ -12,6 +13,7 @@ let code = function
   | Deadline_exceeded _ -> "deadline_exceeded"
   | Cache_corrupt _ -> "cache_corrupt"
   | Verify_failed _ -> "verify_failed"
+  | Overloaded _ -> "overloaded"
   | Internal _ -> "internal"
 
 (* A retryable error may succeed on resubmission (transient fault,
@@ -20,7 +22,7 @@ let code = function
    deterministic: the same plan fails the same checks on every retry. *)
 let retryable = function
   | Invalid_request _ | No_feasible_tiling _ | Verify_failed _ -> false
-  | Deadline_exceeded _ | Cache_corrupt _ | Internal _ -> true
+  | Deadline_exceeded _ | Cache_corrupt _ | Overloaded _ | Internal _ -> true
 
 let message = function
   | Invalid_request { field; reason } ->
@@ -30,6 +32,7 @@ let message = function
       Printf.sprintf "deadline exceeded while planning %s" what
   | Cache_corrupt what -> Printf.sprintf "cache corrupt: %s" what
   | Verify_failed what -> Printf.sprintf "verification failed: %s" what
+  | Overloaded what -> Printf.sprintf "overloaded: %s" what
   | Internal what -> what
 
 let to_string e = Printf.sprintf "%s: %s" (code e) (message e)

@@ -12,6 +12,7 @@
     deadline_exceeded   yes         the planning budget ran out
     cache_corrupt       yes         a persisted cache file was discarded
     verify_failed       no          strict verification rejected the plan
+    overloaded          yes         admission control shed the request
     internal            yes         unexpected failure (bug or injected)
     v} *)
 
@@ -24,6 +25,11 @@ type t =
   | Verify_failed of string
       (** the static-analysis passes found errors and the request ran
           with [--verify strict]; carries the diagnostic summary. *)
+  | Overloaded of string
+      (** admission control fast-rejected the request instead of
+          queueing past the configured depth (fleet router load
+          shedding); always retryable — backing off and resubmitting
+          is exactly what the client should do. *)
   | Internal of string
 
 val code : t -> string

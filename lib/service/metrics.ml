@@ -122,6 +122,104 @@ let fields t =
 let compile_seconds t = Obs.Histogram.sum_ms t.solve_ms /. 1000.0
 let plan_solve_ms_total t = Obs.Histogram.sum_ms t.solve_ms
 
+(* ------------------------------------------------------------------ *)
+(* Fleet aggregation: merge and the lossless wire form                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Counter addition plus lossless histogram merge (identical bucket
+   layouts, see Obs.Histogram.merge): aggregating N workers' metrics
+   equals one worker having served the pooled stream. *)
+let merge ~into src =
+  into.requests <- into.requests + src.requests;
+  into.hits <- into.hits + src.hits;
+  into.misses <- into.misses + src.misses;
+  into.evictions <- into.evictions + src.evictions;
+  into.planner_solves <- into.planner_solves + src.planner_solves;
+  into.degraded <- into.degraded + src.degraded;
+  into.heuristic <- into.heuristic + src.heuristic;
+  into.failed <- into.failed + src.failed;
+  into.invalid_requests <- into.invalid_requests + src.invalid_requests;
+  into.deadline_exceeded <- into.deadline_exceeded + src.deadline_exceeded;
+  into.internal_errors <- into.internal_errors + src.internal_errors;
+  into.cache_corrupt <- into.cache_corrupt + src.cache_corrupt;
+  into.cache_io_retries <- into.cache_io_retries + src.cache_io_retries;
+  into.verify_runs <- into.verify_runs + src.verify_runs;
+  into.verify_warnings <- into.verify_warnings + src.verify_warnings;
+  into.verify_failures <- into.verify_failures + src.verify_failures;
+  into.plan_evals_total <- into.plan_evals_total + src.plan_evals_total;
+  into.plan_perms_pruned_total <-
+    into.plan_perms_pruned_total + src.plan_perms_pruned_total;
+  Obs.Histogram.merge ~into:into.solve_ms src.solve_ms;
+  Obs.Histogram.merge ~into:into.cache_lookup_ms src.cache_lookup_ms;
+  Obs.Histogram.merge ~into:into.perm_solve_ms src.perm_solve_ms;
+  Obs.Histogram.merge ~into:into.tuner_trial_ms src.tuner_trial_ms;
+  Obs.Histogram.merge ~into:into.codegen_ms src.codegen_ms;
+  Obs.Histogram.merge ~into:into.verify_ms src.verify_ms
+
+(* The wire form a worker answers to {"cmd": "stats", "full": true}:
+   counters as ints, histograms in their full-bucket wire form (see
+   Obs.Histogram.to_wire_json).  The derived gauges are omitted — the
+   receiver re-derives them from the merged solve histogram. *)
+let to_wire_json t =
+  Util.Json.Obj
+    (List.filter_map
+       (fun (name, v) ->
+         match v with
+         | Counter n -> Some (name, Util.Json.Int n)
+         | Gauge _ -> None
+         | Hist h -> Some (name, Obs.Histogram.to_wire_json h))
+       (fields t))
+
+let of_wire_json json =
+  let t = create () in
+  let counter name set =
+    match Option.bind (Util.Json.member name json) Util.Json.to_int_opt with
+    | Some n when n >= 0 -> Ok (set n)
+    | Some _ -> Error (Printf.sprintf "metrics: negative counter %s" name)
+    | None -> Error (Printf.sprintf "metrics: missing counter %s" name)
+  in
+  let hist name into =
+    match Util.Json.member name json with
+    | None -> Error (Printf.sprintf "metrics: missing histogram %s" name)
+    | Some j -> (
+        match Obs.Histogram.of_wire_json j with
+        | Error e -> Error (Printf.sprintf "metrics: %s: %s" name e)
+        | Ok h -> (
+            match Obs.Histogram.merge ~into h with
+            | () -> Ok ()
+            | exception Invalid_argument e ->
+                Error (Printf.sprintf "metrics: %s: %s" name e)))
+  in
+  let ( let* ) = Result.bind in
+  let* () = counter "requests" (fun n -> t.requests <- n) in
+  let* () = counter "cache_hits" (fun n -> t.hits <- n) in
+  let* () = counter "cache_misses" (fun n -> t.misses <- n) in
+  let* () = counter "evictions" (fun n -> t.evictions <- n) in
+  let* () = counter "planner_solves" (fun n -> t.planner_solves <- n) in
+  let* () = counter "degraded" (fun n -> t.degraded <- n) in
+  let* () = counter "heuristic" (fun n -> t.heuristic <- n) in
+  let* () = counter "failed" (fun n -> t.failed <- n) in
+  let* () = counter "invalid_requests" (fun n -> t.invalid_requests <- n) in
+  let* () = counter "deadline_exceeded" (fun n -> t.deadline_exceeded <- n) in
+  let* () = counter "internal_errors" (fun n -> t.internal_errors <- n) in
+  let* () = counter "cache_corrupt" (fun n -> t.cache_corrupt <- n) in
+  let* () = counter "cache_io_retries" (fun n -> t.cache_io_retries <- n) in
+  let* () = counter "verify_runs" (fun n -> t.verify_runs <- n) in
+  let* () = counter "verify_warnings" (fun n -> t.verify_warnings <- n) in
+  let* () = counter "verify_failures" (fun n -> t.verify_failures <- n) in
+  let* () = counter "plan_evals_total" (fun n -> t.plan_evals_total <- n) in
+  let* () =
+    counter "plan_perms_pruned_total" (fun n ->
+        t.plan_perms_pruned_total <- n)
+  in
+  let* () = hist "solve_ms" t.solve_ms in
+  let* () = hist "cache_lookup_ms" t.cache_lookup_ms in
+  let* () = hist "perm_solve_ms" t.perm_solve_ms in
+  let* () = hist "tuner_trial_ms" t.tuner_trial_ms in
+  let* () = hist "codegen_ms" t.codegen_ms in
+  let* () = hist "verify_ms" t.verify_ms in
+  Ok t
+
 (* Route a finished request trace into the latency histograms.  Called
    exactly once per trace, on the main domain, after pooled planning
    has joined. *)
@@ -169,8 +267,31 @@ let to_json t =
 
 (* Prometheus text exposition.  Counters become [chimera_<name>],
    histograms the conventional _bucket{le=...}/_sum/_count triple with
-   cumulative bucket counts. *)
-let to_prometheus t =
+   cumulative bucket counts.  [labels] (e.g. [("worker", "3")]) are
+   attached to every series, so a fleet can expose per-worker series
+   alongside the merged unlabelled ones without name collisions. *)
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let to_prometheus ?(labels = []) t =
+  let label_body extra =
+    match
+      List.map
+        (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+        (labels @ extra)
+    with
+    | [] -> ""
+    | parts -> "{" ^ String.concat "," parts ^ "}"
+  in
+  let plain = label_body [] in
   let buf = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
   List.iter
@@ -179,10 +300,10 @@ let to_prometheus t =
       match v with
       | Counter n ->
           line "# TYPE %s counter" metric;
-          line "%s %d" metric n
+          line "%s%s %d" metric plain n
       | Gauge f ->
           line "# TYPE %s gauge" metric;
-          line "%s %s" metric (Printf.sprintf "%.6f" f)
+          line "%s%s %s" metric plain (Printf.sprintf "%.6f" f)
       | Hist h ->
           line "# TYPE %s histogram" metric;
           let bounds = Obs.Histogram.bounds h in
@@ -191,11 +312,15 @@ let to_prometheus t =
           Array.iteri
             (fun i upper ->
               cum := !cum + counts.(i);
-              line "%s_bucket{le=\"%.9g\"} %d" metric upper !cum)
+              line "%s_bucket%s %d" metric
+                (label_body [ ("le", Printf.sprintf "%.9g" upper) ])
+                !cum)
             bounds;
-          line "%s_bucket{le=\"+Inf\"} %d" metric (Obs.Histogram.count h);
-          line "%s_sum %.6f" metric (Obs.Histogram.sum_ms h);
-          line "%s_count %d" metric (Obs.Histogram.count h))
+          line "%s_bucket%s %d" metric
+            (label_body [ ("le", "+Inf") ])
+            (Obs.Histogram.count h);
+          line "%s_sum%s %.6f" metric plain (Obs.Histogram.sum_ms h);
+          line "%s_count%s %d" metric plain (Obs.Histogram.count h))
     (fields t);
   Buffer.contents buf
 

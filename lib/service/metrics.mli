@@ -99,9 +99,30 @@ val to_json : t -> Util.Json.t
     floats, histograms as [{count, sum_ms, p50_ms, p90_ms, p99_ms,
     max_ms}] objects. *)
 
-val to_prometheus : t -> string
+val to_prometheus : ?labels:(string * string) list -> t -> string
 (** Prometheus text exposition: [chimera_]-prefixed counters and
-    cumulative [_bucket{le=...}]/[_sum]/[_count] histogram series. *)
+    cumulative [_bucket{le=...}]/[_sum]/[_count] histogram series.
+    [labels] (e.g. [[("worker", "3")]]) are attached to every series —
+    values are escaped per the exposition format — letting a fleet
+    expose per-worker series next to merged unlabelled ones. *)
+
+val merge : into:t -> t -> unit
+(** Add [src]'s counters into [into] and losslessly merge its latency
+    histograms ({!Obs.Histogram.merge}): the aggregate of N workers'
+    metrics equals one worker having served the pooled stream.  Raises
+    [Invalid_argument] only on incompatible histogram layouts (never
+    between two {!create}d instances). *)
+
+val to_wire_json : t -> Util.Json.t
+(** Full-fidelity serialization for fleet aggregation: counters as
+    ints, histograms in their per-bucket wire form
+    ({!Obs.Histogram.to_wire_json}).  The derived gauges are omitted;
+    the receiver re-derives them after merging.  This is what a worker
+    answers to [{"cmd": "stats", "full": true}]. *)
+
+val of_wire_json : Util.Json.t -> (t, string) result
+(** Inverse of {!to_wire_json}; [Error] on any missing or malformed
+    field, never an exception. *)
 
 val print : t -> unit
 (** {!to_table} to stdout. *)

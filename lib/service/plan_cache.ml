@@ -128,6 +128,7 @@ let clear t =
 
 let magic = "CHIMERA-PLAN-CACHE"
 let cache_file ~dir = Filename.concat dir "plan_cache.bin"
+let lock_file ~dir = Filename.concat dir "plan_cache.lock"
 
 let header () =
   Printf.sprintf "%s %d %d\n" magic file_version Fingerprint.scheme_version
@@ -141,20 +142,91 @@ let entries_oldest_first t =
   in
   walk [] t.head
 
+(* Read the persisted entry list without touching any cache state;
+   shared by [load] and the merge step of [save]. *)
+let read_payload path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      match input_line ic with
+      | exception End_of_file -> Error "empty file"
+      | line ->
+          if line ^ "\n" <> header () then
+            (* Different file format or fingerprint scheme: every
+               persisted key could mean something else now, so the
+               whole file is invalid. *)
+            Error (Printf.sprintf "header mismatch (%S)" line)
+          else begin
+            match (Marshal.from_channel ic : (string * entry) list) with
+            | entries -> Ok entries
+            | exception e ->
+                Error
+                  (Printf.sprintf "unreadable payload (%s)"
+                     (Printexc.to_string e))
+          end)
+
+(* Hold an exclusive advisory lock on <dir>/plan_cache.lock for the
+   duration of [f].  The lock serializes writers across processes (the
+   fleet's workers all persist into one shared directory); readers need
+   no lock because the final rename is atomic. *)
+let with_dir_lock ~dir f =
+  let fd =
+    Unix.openfile (lock_file ~dir) [ Unix.O_CREAT; Unix.O_RDWR ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+      Unix.close fd)
+    (fun () ->
+      Unix.lockf fd Unix.F_LOCK 0;
+      f ())
+
+(* Multi-process safety, in two layers.  (1) The temp file carries the
+   writer's pid, so two workers persisting concurrently can never
+   interleave bytes into one file; each rename publishes a complete,
+   self-consistent image.  (2) The whole read-merge-write runs under an
+   exclusive flock on the directory, and the on-disk entries are folded
+   in under this cache's own (fresher) ones — so the shared file
+   converges to the union of every worker's plans instead of
+   last-writer-wins dropping the others' work.  The shared tier is thus
+   bounded by the sum of the workers' in-memory caps; each loader still
+   enforces its own LRU capacity on the way back in. *)
 let save t ~dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let path = cache_file ~dir in
   Failpoint.hit ~ctx:path "cache.save";
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc (header ());
-      Marshal.to_channel oc
-        (entries_oldest_first t : (string * entry) list)
-        []);
-  Sys.rename tmp path;
+  with_dir_lock ~dir (fun () ->
+      let ours = entries_oldest_first t in
+      let mine = Hashtbl.create (List.length ours) in
+      List.iter (fun (k, _) -> Hashtbl.replace mine k ()) ours;
+      let disk_only =
+        if not (Sys.file_exists path) then []
+        else
+          match read_payload path with
+          | Ok entries ->
+              List.filter (fun (k, _) -> not (Hashtbl.mem mine k)) entries
+          | Error _ ->
+              (* A corrupt or stale shared file heals on the next save:
+                 nothing in it is trustworthy, so write only our own. *)
+              []
+      in
+      let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+      let oc = open_out_bin tmp in
+      (match
+         Fun.protect
+           ~finally:(fun () -> close_out_noerr oc)
+           (fun () ->
+             output_string oc (header ());
+             Marshal.to_channel oc
+               (disk_only @ ours : (string * entry) list)
+               [])
+       with
+      | () -> ()
+      | exception e ->
+          (try Sys.remove tmp with Sys_error _ -> ());
+          raise e);
+      Sys.rename tmp path);
   t.is_dirty <- false
 
 let save_if_dirty t ~dir = if t.is_dirty then save t ~dir
@@ -199,28 +271,7 @@ let load t ~dir =
   else
     match
       Failpoint.hit ~ctx:path "cache.load";
-      let ic = open_in_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () ->
-          match input_line ic with
-          | exception End_of_file -> Error "empty file"
-          | line ->
-              if line ^ "\n" <> header () then
-                (* Different file format or fingerprint scheme: every
-                   persisted key could mean something else now, so the
-                   whole file is invalid. *)
-                Error (Printf.sprintf "header mismatch (%S)" line)
-              else begin
-                match
-                  (Marshal.from_channel ic : (string * entry) list)
-                with
-                | entries -> Ok entries
-                | exception e ->
-                    Error
-                      (Printf.sprintf "unreadable payload (%s)"
-                         (Printexc.to_string e))
-              end)
+      read_payload path
     with
     | Ok loaded ->
         List.iter (fun (key, entry) -> add_keyed t key entry) loaded;

@@ -17,7 +17,15 @@
     unreadable payload discards the file wholesale — a cold cache is
     always safe, a stale plan never is.  Discards are counted in
     [Metrics.cache_corrupt]; {!save_with_retry} bounds transient I/O
-    faults with exponential backoff. *)
+    faults with exponential backoff.
+
+    A cache directory may be shared by many processes (the fleet's
+    shared tier): writers serialize on an advisory {!lock_file} lock
+    and merge with the on-disk entries before an atomic pid-unique
+    temp-file-then-rename publish, so contention can neither corrupt
+    the file nor silently drop another worker's plans.  Loads take no
+    lock — rename atomicity means a reader sees a complete old or new
+    image, never a torn one. *)
 
 type rung = Fused | Split | Heuristic
 (** The degradation ladder: [Fused] — one kernel for the whole chain;
@@ -74,6 +82,10 @@ val clear : t -> unit
 val cache_file : dir:string -> string
 (** The persistence path used under a cache directory. *)
 
+val lock_file : dir:string -> string
+(** The advisory lock file serializing cross-process writers under a
+    shared cache directory. *)
+
 type load_outcome =
   | Loaded of int  (** entries restored. *)
   | Absent  (** no cache file — a clean cold start. *)
@@ -91,9 +103,17 @@ val loaded_count : load_outcome -> int
 (** The [Loaded] payload, 0 otherwise. *)
 
 val save : t -> dir:string -> unit
-(** Persist all entries atomically (temp file + rename), creating [dir]
-    if needed; clears the dirty flag.  Raises [Sys_error] on I/O
-    failure (see {!save_with_retry} for the guarded form). *)
+(** Persist all entries atomically, creating [dir] if needed; clears
+    the dirty flag.  Safe under multi-process contention (the fleet's
+    workers share one cache directory): the write happens to a
+    pid-unique temp file then renames into place, and the whole
+    read-merge-write runs under an exclusive lock on {!lock_file} — so
+    concurrent savers can never interleave a corrupt image, and entries
+    already on disk that this cache does not hold are preserved (the
+    shared file converges to the union of every worker's plans, bounded
+    by the sum of their in-memory caps).  A corrupt existing file is
+    overwritten rather than merged.  Raises [Sys_error] on I/O failure
+    (see {!save_with_retry} for the guarded form). *)
 
 val save_if_dirty : t -> dir:string -> unit
 (** [save] only when {!dirty}. *)

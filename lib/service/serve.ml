@@ -99,6 +99,15 @@ let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir
     output_char oc '\n';
     flush oc
   in
+  (* Health-check state for the fleet router: when the worker started,
+     and the last error it answered (any kind — invalid request,
+     failed planning, internal).  [cmd:health] reports both. *)
+  let started_at = Unix.gettimeofday () in
+  let last_error = ref None in
+  let emit_error ?id e =
+    last_error := Some (Error.to_string e);
+    emit (Error.to_json ?id e)
+  in
   let persist () =
     Option.iter
       (fun dir ->
@@ -119,7 +128,7 @@ let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir
     | Error reason ->
         metrics.Metrics.invalid_requests <-
           metrics.Metrics.invalid_requests + 1;
-        emit (Error.to_json ?id (Error.Invalid_request { field = "json"; reason }))
+        emit_error ?id (Error.Invalid_request { field = "json"; reason })
     | Ok req -> (
         match Request.resolve req with
         | Error e ->
@@ -135,7 +144,7 @@ let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir
                 ("request", Util.Json.String (Request.describe req));
                 ("error", Util.Json.String (Error.to_string e));
               ];
-            emit (Error.to_json ?id e)
+            emit_error ?id e
         | Ok (chain, machine) -> (
             let config = Request.config_of ~base:config req in
             let deadline =
@@ -177,7 +186,7 @@ let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir
                     ("request", Util.Json.String (Request.describe req));
                     ("error", Util.Json.String (Error.to_string e));
                   ];
-                emit (Error.to_json ?id e)))
+                emit_error ?id e))
   in
   let handle_line line =
     Failpoint.hit ~ctx:line "serve.handle";
@@ -185,16 +194,53 @@ let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir
     | Error e ->
         metrics.Metrics.invalid_requests <-
           metrics.Metrics.invalid_requests + 1;
-        emit
-          (Error.to_json
-             (Error.Invalid_request { field = "json"; reason = e }));
+        emit_error (Error.Invalid_request { field = "json"; reason = e });
         `Continue
     | Ok json -> (
         let id = Util.Json.member "id" json in
         match
           Option.bind (Util.Json.member "cmd" json) Util.Json.to_string_opt
         with
-        | Some "stats" -> emit (Metrics.to_json metrics); `Continue
+        | Some "stats" ->
+            (* "full": true answers the lossless wire form (per-bucket
+               histogram counts) that the fleet router merges across
+               workers; the default stays the human-oriented summary. *)
+            let full =
+              Option.bind (Util.Json.member "full" json)
+                Util.Json.to_bool_opt
+              = Some true
+            in
+            emit
+              (if full then Metrics.to_wire_json metrics
+               else Metrics.to_json metrics);
+            `Continue
+        | Some "health" ->
+            (* Liveness for the fleet router: a wedged worker answers
+               nothing (the loop is serial), so merely getting this
+               reply is the health signal; the payload is for
+               dashboards and restart forensics.  [inflight] counts
+               requests being handled as this is answered — zero by
+               construction here; the router tracks queued depth from
+               its side. *)
+            emit
+              (Util.Json.Obj
+                 [
+                   ("ok", Util.Json.Bool true);
+                   ("pid", Util.Json.Int (Unix.getpid ()));
+                   ( "uptime_s",
+                     Util.Json.Float (Unix.gettimeofday () -. started_at) );
+                   ("cache_entries", Util.Json.Int (Plan_cache.length cache));
+                   ( "cache_capacity",
+                     Util.Json.Int (Plan_cache.capacity cache) );
+                   ("inflight", Util.Json.Int 0);
+                   ("requests", Util.Json.Int metrics.Metrics.requests);
+                   ("failed", Util.Json.Int metrics.Metrics.failed);
+                   ( "last_error",
+                     match !last_error with
+                     | Some e -> Util.Json.String e
+                     | None -> Util.Json.Null );
+                 ]);
+            `Continue
         | Some "traces" ->
             let traces = Obs.Ring.to_list ring in
             emit
@@ -212,13 +258,12 @@ let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir
         | Some other ->
             metrics.Metrics.invalid_requests <-
               metrics.Metrics.invalid_requests + 1;
-            emit
-              (Error.to_json ?id
-                 (Error.Invalid_request
-                    {
-                      field = "cmd";
-                      reason = Printf.sprintf "unknown cmd %S" other;
-                    }));
+            emit_error ?id
+              (Error.Invalid_request
+                 {
+                   field = "cmd";
+                   reason = Printf.sprintf "unknown cmd %S" other;
+                 });
             `Continue
         | None -> handle_request ?id json; `Continue)
   in
@@ -241,6 +286,6 @@ let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir
               metrics.Metrics.internal_errors + 1;
             Obs.Log.error "serve.internal"
               [ ("error", Util.Json.String (Printexc.to_string e)) ];
-            emit (Error.to_json (Error.of_exn e)))
+            emit_error (Error.of_exn e))
   done;
   persist ()

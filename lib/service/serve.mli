@@ -6,12 +6,18 @@
     dependency.
 
     Request lines are {!Request} wire objects, optionally carrying an
-    ["id"] that is echoed back.  Three control forms exist:
+    ["id"] that is echoed back.  Four control forms exist:
     [{"cmd": "stats"}] answers with the {!Metrics} counters and latency
-    histograms, [{"cmd": "traces"}] dumps the in-process ring of recent
-    request traces (see {!Obs.Trace.to_json}), and [{"cmd": "quit"}]
-    acknowledges and ends the loop (EOF also ends it).  Blank lines are
-    ignored.
+    histograms ([{"cmd": "stats", "full": true}] answers the lossless
+    per-bucket wire form of {!Metrics.to_wire_json}, which the fleet
+    router merges across workers), [{"cmd": "health"}] answers a
+    liveness/forensics object ([pid], [uptime_s], [cache_entries],
+    [cache_capacity], [inflight], [requests], [failed], [last_error] —
+    the loop is serial, so receiving the reply at all is the liveness
+    signal and [inflight] is zero by construction), [{"cmd": "traces"}]
+    dumps the in-process ring of recent request traces (see
+    {!Obs.Trace.to_json}), and [{"cmd": "quit"}] acknowledges and ends
+    the loop (EOF also ends it).  Blank lines are ignored.
 
     {2 Observability}
 
