@@ -414,8 +414,10 @@ let batch_cmd requests_path jobs cache_dir deadline_ms failpoints verify
       Option.iter
         (fun dir ->
           match Service.Plan_cache.load cache ~dir with
-          | Service.Plan_cache.Loaded n ->
-              Printf.printf "loaded %d cached plans from %s\n" n dir
+          | Service.Plan_cache.Loaded { entries; skipped } ->
+              Printf.printf "loaded %d cached plans from %s%s\n" entries dir
+                (if skipped = 0 then ""
+                 else Printf.sprintf " (%d corrupt entries skipped)" skipped)
           | Service.Plan_cache.Absent -> ()
           | Service.Plan_cache.Discarded reason ->
               Printf.printf "discarded stale plan cache in %s: %s\n" dir
@@ -525,13 +527,16 @@ let verify_flag_of = function
   | Service.Batch.Verify_warn -> "warn"
   | Service.Batch.Verify_strict -> "strict"
 
-(* The worker argv: this very binary, running the unchanged serve loop.
-   A shared [cache_dir] gives the fleet its common on-disk cache tier
-   (safe under contention — Plan_cache takes the directory lock). *)
-let worker_argv ~cache_dir ~deadline_ms ~verify ~log_level =
+(* The worker argv: this very binary (unless [--worker-exe] overrides
+   it), running the unchanged serve loop.  A shared [cache_dir] gives
+   the fleet its common on-disk cache tier (safe under contention —
+   Plan_cache takes the directory lock).  [failpoints] carries the
+   chaos schedule's per-worker torn-save spec. *)
+let worker_argv ?exe ?failpoints ~cache_dir ~deadline_ms ~verify ~log_level ()
+    =
   let argv = ref [] in
   let push x = argv := x :: !argv in
-  push Sys.executable_name;
+  push (Option.value exe ~default:Sys.executable_name);
   push "serve";
   Option.iter (fun d -> push "--cache-dir"; push d) cache_dir;
   Option.iter (fun ms -> push "--deadline-ms"; push (string_of_float ms))
@@ -540,25 +545,56 @@ let worker_argv ~cache_dir ~deadline_ms ~verify ~log_level =
   | Service.Batch.Verify_off -> ()
   | v -> push "--verify"; push (verify_flag_of v));
   Option.iter (fun l -> push "--log-level"; push l) log_level;
+  Option.iter (fun fp -> push "--failpoints"; push fp) failpoints;
   Array.of_list (List.rev !argv)
 
-let fleet_config ~queue_depth ~soft_depth =
+let fleet_config ~queue_depth ~soft_depth ~response_deadline_s =
   {
     Fleet.Router.default_config with
     Fleet.Router.queue_depth;
     soft_depth = (match soft_depth with Some d -> d | None -> queue_depth / 2);
+    response_deadline_s;
   }
 
-let make_router ~n ~queue_depth ~soft_depth ~cache_dir ~deadline_ms ~verify
-    ~log_level =
+(* [chaos] is the parsed [(spec, seed)] of [--chaos]/[--chaos-seed];
+   its torn-save probability rides into each worker as a failpoint with
+   a per-worker derived seed.  A worker binary that cannot launch is a
+   startup error with a clear reason and a non-zero exit, not a restart
+   loop. *)
+let make_router ~n ~queue_depth ~soft_depth ~response_deadline_s ~cache_dir
+    ~deadline_ms ~verify ~log_level ~worker_exe ~chaos =
   if n <= 0 then Error (`Msg "need at least one worker")
   else begin
-    let cmd = worker_argv ~cache_dir ~deadline_ms ~verify ~log_level in
-    Ok
-      (Fleet.Router.create
-         ~cfg:(fleet_config ~queue_depth ~soft_depth)
-         (Array.make n cmd))
+    let cmds =
+      Array.init n (fun i ->
+          let failpoints =
+            Option.bind chaos (fun (spec, seed) ->
+                Fleet.Chaos.torn_failpoint spec ~seed ~worker:i)
+          in
+          worker_argv ?exe:worker_exe ?failpoints ~cache_dir ~deadline_ms
+            ~verify ~log_level ())
+    in
+    match
+      Fleet.Router.create
+        ~cfg:(fleet_config ~queue_depth ~soft_depth ~response_deadline_s)
+        cmds
+    with
+    | router -> Ok router
+    | exception Fleet.Worker.Spawn_failed { cmd; reason } ->
+        Error
+          (`Msg
+            (Printf.sprintf "fleet: worker binary %S failed to spawn: %s" cmd
+               reason))
   end
+
+let parse_chaos ~chaos_spec ~chaos_seed =
+  match chaos_spec with
+  | None -> Ok None
+  | Some "default" -> Ok (Some (Fleet.Chaos.default_spec, chaos_seed))
+  | Some s -> (
+      match Fleet.Chaos.parse_spec s with
+      | Ok spec -> Ok (Some (spec, chaos_seed))
+      | Error e -> Error (`Msg e))
 
 let prewarm_router router mix_name arch =
   match mix_name with
@@ -589,13 +625,23 @@ let fleet_health_json ?id router results =
         ("ok", Util.Json.Bool true);
         ("workers", Util.Json.Int (Fleet.Router.size router));
         ("statuses", Util.Json.List (List.map health_status_json results));
+        ( "worker_states",
+          Util.Json.List
+            (List.map Fleet.Router.worker_state_json
+               (Fleet.Router.worker_states router)) );
       ])
 
 (* The fleet's own JSONL loop: client lines in on stdin, answers out on
    stdout.  Request lines are routed (and answered out of arrival order
    — clients correlate by their [id] field, as docs/FLEET.md warns);
    [cmd:stats] and [cmd:health] are answered fleet-wide. *)
-let fleet_bridge ?(health_interval_s = 5.0) router =
+let fleet_bridge ?(health_interval_s = 5.0) ?chaos router =
+  let tick_chaos () =
+    Option.iter
+      (fun c ->
+        List.iter (Fleet.Router.inject router) (Fleet.Chaos.advance c))
+      chaos
+  in
   let emit json =
     print_string (Util.Json.to_string json);
     print_newline ();
@@ -655,6 +701,7 @@ let fleet_bridge ?(health_interval_s = 5.0) router =
                        (Service.Error.Invalid_request
                           { field = "request"; reason }))
               | Ok req -> (
+                  tick_chaos ();
                   match Fleet.Router.submit ?id ~raw:json router req with
                   | Fleet.Router.Answered j -> emit j
                   | Fleet.Router.Routed _ -> incr inflight)))
@@ -705,13 +752,17 @@ let fleet_bridge ?(health_interval_s = 5.0) router =
   Fleet.Router.shutdown router
 
 let fleet_cmd n cache_dir deadline_ms verify log_level queue_depth soft_depth
-    prewarm_mix arch health_interval_s =
-  match configure_log_level log_level with
+    prewarm_mix arch health_interval_s response_deadline_s chaos_spec
+    chaos_seed worker_exe =
+  match
+    Result.bind (configure_log_level log_level) (fun () ->
+        parse_chaos ~chaos_spec ~chaos_seed)
+  with
   | Error e -> Error e
-  | Ok () -> (
+  | Ok chaos -> (
       match
-        make_router ~n ~queue_depth ~soft_depth ~cache_dir ~deadline_ms
-          ~verify ~log_level
+        make_router ~n ~queue_depth ~soft_depth ~response_deadline_s
+          ~cache_dir ~deadline_ms ~verify ~log_level ~worker_exe ~chaos
       with
       | Error e -> Error e
       | Ok router -> (
@@ -720,27 +771,52 @@ let fleet_cmd n cache_dir deadline_ms verify log_level queue_depth soft_depth
               Fleet.Router.shutdown router;
               Error e
           | Ok () ->
-              fleet_bridge ~health_interval_s router;
+              let chaos =
+                Option.map
+                  (fun (spec, seed) ->
+                    Fleet.Chaos.create ~spec ~seed ~workers:n ())
+                  chaos
+              in
+              fleet_bridge ~health_interval_s ?chaos router;
               Ok ()))
+
+let loadgen_report_errors report =
+  let open Fleet.Loadgen in
+  if report.unanswered > 0 then
+    Error
+      (`Msg
+        (Printf.sprintf "%d request(s) never answered" report.unanswered))
+  else Ok ()
 
 let loadgen_cmd rps duration_s n mix_name arch seed batch_jitter prewarm
     queue_depth soft_depth cache_dir deadline_ms verify log_level json
-    prom_out =
-  match configure_log_level log_level with
+    prom_out response_deadline_s chaos_spec chaos_seed worker_exe retries
+    retry_backoff_ms drain_timeout_s =
+  match
+    Result.bind (configure_log_level log_level) (fun () ->
+        parse_chaos ~chaos_spec ~chaos_seed)
+  with
   | Error e -> Error e
-  | Ok () -> (
+  | Ok chaos -> (
       match Fleet.Traffic.by_name ~arch mix_name with
       | None -> Error (`Msg (Printf.sprintf "unknown traffic mix %S" mix_name))
       | Some mix -> (
           match
-            make_router ~n ~queue_depth ~soft_depth ~cache_dir ~deadline_ms
-              ~verify ~log_level
+            make_router ~n ~queue_depth ~soft_depth ~response_deadline_s
+              ~cache_dir ~deadline_ms ~verify ~log_level ~worker_exe ~chaos
           with
           | Error e -> Error e
           | Ok router ->
+              let chaos =
+                Option.map
+                  (fun (spec, seed) ->
+                    Fleet.Chaos.create ~spec ~seed ~workers:n ())
+                  chaos
+              in
               let report =
-                Fleet.Loadgen.run ~seed ~batch_jitter ~prewarm ~mix ~rps
-                  ~duration_s router
+                Fleet.Loadgen.run ~seed ~batch_jitter ~prewarm
+                  ~drain_timeout_s ?chaos ~retries ~retry_backoff_ms ~mix
+                  ~rps ~duration_s router
               in
               Option.iter
                 (fun path ->
@@ -754,12 +830,7 @@ let loadgen_cmd rps duration_s n mix_name arch seed batch_jitter prewarm
                 print_endline
                   (Util.Json.to_string (Fleet.Loadgen.report_json report))
               else print_endline (Fleet.Loadgen.report_text report);
-              if report.Fleet.Loadgen.unanswered > 0 then
-                Error
-                  (`Msg
-                    (Printf.sprintf "%d request(s) never answered"
-                       report.Fleet.Loadgen.unanswered))
-              else Ok ()))
+              loadgen_report_errors report))
 
 (* ---------------- tracing & metrics commands ---------------- *)
 
@@ -1046,6 +1117,36 @@ let health_interval_arg =
   in
   Arg.(value & opt float 5.0 & info [ "health-interval" ] ~doc)
 
+let response_deadline_arg =
+  let doc =
+    "Answer every request a worker has sat on for this many seconds with \
+     the retryable $(b,deadline_exceeded) error and restart the worker \
+     (catches hung processes between health sweeps); 0 disables."
+  in
+  Arg.(value & opt float 60.0 & info [ "response-deadline" ] ~doc ~docv:"S")
+
+let chaos_arg =
+  let doc =
+    "Inject a deterministic fault schedule into the fleet: \
+     $(b,kill:R;hang:R;slow:R;garbage:R;torn:P) with R the mean gap in \
+     requests between faults of that kind (0 disables the kind) and P \
+     the per-save torn-write probability, or the literal $(b,default). \
+     Replays exactly for a given $(b,--chaos-seed) (docs/CHAOS.md)."
+  in
+  Arg.(value & opt (some string) None & info [ "chaos" ] ~doc ~docv:"SPEC")
+
+let chaos_seed_arg =
+  let doc = "Seed for the chaos schedule (independent of $(b,--seed))." in
+  Arg.(value & opt int 1 & info [ "chaos-seed" ] ~doc)
+
+let worker_exe_arg =
+  let doc =
+    "Worker binary to spawn instead of this executable (it must speak \
+     the serve JSONL protocol).  A binary that fails to launch is a \
+     startup error, not a restart loop."
+  in
+  Arg.(value & opt (some string) None & info [ "worker-exe" ] ~doc ~docv:"PATH")
+
 let fleet_t =
   Cmd.v
     (Cmd.info "fleet"
@@ -1057,7 +1158,9 @@ let fleet_t =
       term_result
         (const fleet_cmd $ workers_arg $ cache_dir_arg $ deadline_arg
        $ verify_arg $ log_level_arg $ queue_depth_arg $ soft_depth_arg
-       $ prewarm_mix_arg $ arch_arg $ health_interval_arg))
+       $ prewarm_mix_arg $ arch_arg $ health_interval_arg
+       $ response_deadline_arg $ chaos_arg $ chaos_seed_arg
+       $ worker_exe_arg))
 
 let rps_arg =
   let doc = "Offered load in requests per second (Poisson arrivals)." in
@@ -1094,6 +1197,27 @@ let prom_out_arg =
   in
   Arg.(value & opt (some string) None & info [ "prom-out" ] ~doc ~docv:"FILE")
 
+let retries_arg =
+  let doc =
+    "Resubmit answers whose $(b,retryable) flag is true up to this many \
+     times per request, after a jittered exponential backoff."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~doc)
+
+let retry_backoff_arg =
+  let doc =
+    "Base client retry backoff in milliseconds (doubles per attempt, \
+     jittered by a uniform 0.5..1.5 factor)."
+  in
+  Arg.(value & opt float 25.0 & info [ "retry-backoff-ms" ] ~doc)
+
+let drain_timeout_arg =
+  let doc =
+    "Seconds to wait for in-flight requests (and pending retries) after \
+     the offered-load window closes."
+  in
+  Arg.(value & opt float 10.0 & info [ "drain-timeout" ] ~doc ~docv:"S")
+
 let loadgen_t =
   Cmd.v
     (Cmd.info "loadgen"
@@ -1105,7 +1229,9 @@ let loadgen_t =
         (const loadgen_cmd $ rps_arg $ duration_arg $ workers_arg $ mix_arg
        $ arch_arg $ seed_arg $ batch_jitter_arg $ loadgen_prewarm_arg
        $ queue_depth_arg $ soft_depth_arg $ cache_dir_arg $ deadline_arg
-       $ verify_arg $ log_level_arg $ loadgen_json_arg $ prom_out_arg))
+       $ verify_arg $ log_level_arg $ loadgen_json_arg $ prom_out_arg
+       $ response_deadline_arg $ chaos_arg $ chaos_seed_arg $ worker_exe_arg
+       $ retries_arg $ retry_backoff_arg $ drain_timeout_arg))
 
 let trace_requests_file_arg =
   let doc =

@@ -1,0 +1,185 @@
+(* Deterministic fault schedule on a virtual event clock.
+
+   One tick = one submitted request.  Each fault kind owns a child PRNG
+   seeded from (seed, kind index), and pre-draws its next occurrence:
+   an exponential gap in tick space plus a uniform target worker.  The
+   whole stream is therefore a pure function of (spec, seed, workers) —
+   advancing the clock merely reveals it.  Keeping per-kind generators
+   independent means adding, say, garbage events to a spec does not
+   shift where the kills land, so a seed that reproduced a kill-related
+   bug keeps reproducing it while the spec is tuned. *)
+
+type kind =
+  | Kill
+  | Hang
+  | Slow of { stall_ms : float }
+  | Garbage
+
+type event = { tick : int; worker : int; kind : kind }
+
+type spec = {
+  kill_gap : float;
+  hang_gap : float;
+  slow_gap : float;
+  garbage_gap : float;
+  torn_prob : float;
+}
+
+let none =
+  { kill_gap = 0.0; hang_gap = 0.0; slow_gap = 0.0; garbage_gap = 0.0;
+    torn_prob = 0.0 }
+
+(* Lively but survivable: with the smoke test's ~600-request runs each
+   kind fires a handful of times and at least one save tears. *)
+let default_spec =
+  { kill_gap = 120.0; hang_gap = 250.0; slow_gap = 60.0; garbage_gap = 150.0;
+    torn_prob = 0.25 }
+
+let kind_to_string = function
+  | Kill -> "kill"
+  | Hang -> "hang"
+  | Slow _ -> "slow"
+  | Garbage -> "garbage"
+
+let event_to_string ev =
+  let detail =
+    match ev.kind with
+    | Slow { stall_ms } -> Printf.sprintf " (%.0fms)" stall_ms
+    | Kill | Hang | Garbage -> ""
+  in
+  Printf.sprintf "tick %d: %s worker %d%s" ev.tick (kind_to_string ev.kind)
+    ev.worker detail
+
+(* ------------------------------------------------------------------ *)
+(* Spec grammar                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let parse_spec s =
+  let parse_clause spec clause =
+    match String.index_opt clause ':' with
+    | None -> Error (Printf.sprintf "chaos clause %S: expected kind:value" clause)
+    | Some i -> (
+        let kind = String.sub clause 0 i in
+        let value = String.sub clause (i + 1) (String.length clause - i - 1) in
+        match float_of_string_opt value with
+        | None ->
+            Error (Printf.sprintf "chaos clause %S: %S is not a number" clause value)
+        | Some v when v < 0.0 ->
+            Error (Printf.sprintf "chaos clause %S: negative value" clause)
+        | Some v -> (
+            match kind with
+            | "kill" -> Ok { spec with kill_gap = v }
+            | "hang" -> Ok { spec with hang_gap = v }
+            | "slow" -> Ok { spec with slow_gap = v }
+            | "garbage" -> Ok { spec with garbage_gap = v }
+            | "torn" ->
+                if v > 1.0 then
+                  Error
+                    (Printf.sprintf
+                       "chaos clause %S: torn is a probability in [0, 1]" clause)
+                else Ok { spec with torn_prob = v }
+            | _ ->
+                Error
+                  (Printf.sprintf
+                     "chaos clause %S: unknown kind (kill|hang|slow|garbage|torn)"
+                     clause)))
+  in
+  String.split_on_char ';' s
+  |> List.map String.trim
+  |> List.filter (fun c -> c <> "")
+  |> List.fold_left
+       (fun acc clause ->
+         match acc with Error _ -> acc | Ok spec -> parse_clause spec clause)
+       (Ok none)
+
+let spec_to_string spec =
+  let clauses =
+    List.filter_map
+      (fun (name, v) -> if v > 0.0 then Some (Printf.sprintf "%s:%g" name v) else None)
+      [
+        ("kill", spec.kill_gap);
+        ("hang", spec.hang_gap);
+        ("slow", spec.slow_gap);
+        ("garbage", spec.garbage_gap);
+        ("torn", spec.torn_prob);
+      ]
+  in
+  String.concat ";" clauses
+
+(* ------------------------------------------------------------------ *)
+(* Schedule                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type source = {
+  mk : Util.Prng.t -> int -> kind;  (* draws any per-event detail *)
+  gap : float;
+  prng : Util.Prng.t;
+  mutable next_tick : int;
+  mutable count : int;
+}
+
+type t = {
+  workers : int;
+  torn_prob : float;
+  sources : (string * source) list;  (* fixed order: deterministic *)
+  mutable clock : int;
+}
+
+let exp_gap prng mean =
+  (* Inverse-CDF exponential draw, floored at one tick so a tiny mean
+     cannot wedge the clock. *)
+  max 1 (int_of_float (Float.ceil (-.mean *. log (1.0 -. Util.Prng.float prng))))
+
+let make_source ~seed ~index ~gap mk =
+  (* Child seed mixes the kind index with large odd constants so the
+     per-kind streams are unrelated; SplitMix64 whitens the rest. *)
+  let prng = Util.Prng.create ~seed:(seed + ((index + 1) * 0x9E3779B1)) in
+  let s = { mk; gap; prng; next_tick = 0; count = 0 } in
+  if gap > 0.0 then s.next_tick <- exp_gap prng gap;
+  s
+
+let create ?(spec = default_spec) ~seed ~workers () =
+  if workers <= 0 then invalid_arg "Chaos.create: workers must be positive";
+  let sources =
+    [
+      ("kill", make_source ~seed ~index:0 ~gap:spec.kill_gap (fun _ _ -> Kill));
+      ("hang", make_source ~seed ~index:1 ~gap:spec.hang_gap (fun _ _ -> Hang));
+      ( "slow",
+        make_source ~seed ~index:2 ~gap:spec.slow_gap (fun prng _ ->
+            Slow { stall_ms = Util.Prng.uniform prng ~lo:20.0 ~hi:150.0 }) );
+      ( "garbage",
+        make_source ~seed ~index:3 ~gap:spec.garbage_gap (fun _ _ -> Garbage) );
+    ]
+  in
+  { workers; torn_prob = spec.torn_prob; sources; clock = 0 }
+
+let tick t = t.clock
+
+let advance t =
+  t.clock <- t.clock + 1;
+  let due = ref [] in
+  List.iter
+    (fun (_, s) ->
+      if s.gap > 0.0 then
+        while s.next_tick <= t.clock do
+          let at = s.next_tick in
+          let worker = Util.Prng.int s.prng ~bound:t.workers in
+          let kind = s.mk s.prng worker in
+          due := { tick = at; worker; kind } :: !due;
+          s.count <- s.count + 1;
+          s.next_tick <- at + exp_gap s.prng s.gap
+        done)
+    t.sources;
+  List.sort (fun a b -> compare a.tick b.tick) (List.rev !due)
+
+let fired t =
+  List.map (fun (name, s) -> (name, s.count)) t.sources
+  @ [ ("ticks", t.clock) ]
+
+let torn_failpoint (spec : spec) ~seed ~worker =
+  if spec.torn_prob <= 0.0 then None
+  else
+    (* Per-worker seed so workers tear independently but each replays;
+       keep it positive — the failpoint grammar parses it with %d. *)
+    let wseed = abs ((seed * 1_000_003) + ((worker + 1) * 7919)) in
+    Some (Printf.sprintf "cache.save.torn=prob:%g:%d" spec.torn_prob wseed)

@@ -1,0 +1,92 @@
+(** Deterministic process-level fault injection for the fleet.
+
+    A chaos schedule is a pure function of [(spec, seed, workers)]: a
+    stream of fault events on a {e virtual event clock} that ticks once
+    per submitted request.  Re-running with the same [--chaos-seed]
+    replays exactly the same faults at exactly the same points in the
+    request stream, regardless of wall-clock speed — which is what
+    makes a chaos failure in CI reproducible on a laptop.
+
+    The module only {e decides} faults; applying them is
+    {!Router.inject}'s job, and wiring the two together is the
+    driver's ({!Loadgen.run} or the CLI fleet bridge).  Keeping the
+    schedule free of any process handles also keeps it trivially
+    testable.
+
+    Five fault kinds (see docs/CHAOS.md for the taxonomy):
+    - [Kill] — SIGKILL a worker mid-stream; queued requests must be
+      re-answered, the supervisor must restart (or give up on) the slot.
+    - [Hang] — SIGSTOP without resume; only response deadlines and the
+      health sweep can recover.
+    - [Slow of stall_ms] — SIGSTOP with a scheduled SIGCONT: the
+      worker is late, not dead, and must {e not} lose its queue.
+    - [Garbage] — a malformed line on the worker's reply stream; FIFO
+      correlation is untrustworthy afterwards, so the router restarts.
+    - Torn cache saves are not scheduled events: they are a
+      probability-per-save, injected inside the worker via the
+      [cache.save.torn] failpoint (see {!torn_failpoint}). *)
+
+type kind =
+  | Kill
+  | Hang
+  | Slow of { stall_ms : float }
+  | Garbage
+
+type event = { tick : int; worker : int; kind : kind }
+
+type spec = {
+  kill_gap : float;  (** mean ticks between kills; 0 disables. *)
+  hang_gap : float;
+  slow_gap : float;
+  garbage_gap : float;
+  torn_prob : float;
+      (** probability each cache save publishes a torn file; 0
+          disables. *)
+}
+
+val none : spec
+(** All faults disabled. *)
+
+val default_spec : spec
+(** A lively but survivable mix, tuned for the chaos smoke test. *)
+
+val parse_spec : string -> (spec, string) result
+(** Grammar: semicolon-separated [kind:value] clauses over {!none},
+    e.g. ["kill:120;hang:200;slow:40;garbage:150;torn:0.25"].  For
+    [kill]/[hang]/[slow]/[garbage] the value is the {e mean gap in
+    ticks} between events of that kind (exponentially distributed);
+    for [torn] it is the per-save probability in [\[0, 1\]].  Empty
+    clauses are ignored; unknown kinds and malformed numbers are
+    [Error]. *)
+
+val spec_to_string : spec -> string
+(** Round-trips through {!parse_spec}; omits disabled kinds. *)
+
+type t
+
+val create : ?spec:spec -> seed:int -> workers:int -> unit -> t
+(** A fresh schedule.  Each fault kind draws gaps and target workers
+    from its own seeded child generator, so the full event stream is
+    fixed at creation no matter how the clock is advanced.  Raises
+    [Invalid_argument] on [workers <= 0]. *)
+
+val tick : t -> int
+(** The current virtual time (requests submitted so far). *)
+
+val advance : t -> event list
+(** Move the clock one tick and return the events due at it, oldest
+    first.  Call exactly once per submitted request. *)
+
+val fired : t -> (string * int) list
+(** How many events of each kind have been emitted so far, plus
+    ["ticks"] — for end-of-run reports and the replay log. *)
+
+val torn_failpoint : spec -> seed:int -> worker:int -> string option
+(** The failpoint spec clause to put in worker [worker]'s environment:
+    [Some "cache.save.torn=prob:P:S"] with a per-worker seed [S]
+    derived from the chaos [seed] (so workers tear independently but
+    reproducibly), or [None] when [torn_prob = 0]. *)
+
+val kind_to_string : kind -> string
+val event_to_string : event -> string
+(** ["tick 42: kill worker 3"] — the replay log line. *)

@@ -28,10 +28,14 @@ type report = {
   rejected : int;
   failed : int;
   unanswered : int;
+  retried : int;
+  recovered : int;
+  gave_up : int;
   latency : Obs.Histogram.t;
   merged : Service.Metrics.t;
   per_worker : (int * Service.Metrics.t) list;
   router : (string * int) list;
+  chaos : (string * int) list;
 }
 
 type counts = {
@@ -41,6 +45,9 @@ type counts = {
   mutable c_rejected : int;
   mutable c_failed : int;
   mutable c_answered : int;
+  mutable c_retried : int;
+  mutable c_recovered : int;
+  mutable c_gave_up : int;
 }
 
 let classify json =
@@ -69,61 +76,136 @@ let interarrival prng rps =
      strictly positive. *)
   -.log (1.0 -. Util.Prng.float prng) /. rps
 
+(* One logical request, across all its attempts.  Latency is measured
+   first-submit to terminal answer — a recovered request pays for its
+   retries in the histogram, as a real client would. *)
+type inflight = {
+  req : Service.Request.t;
+  first_sent : float;
+  attempts : int;  (* submissions so far, >= 1 once in flight *)
+}
+
 let run ?(seed = 42) ?(batch_jitter = 0) ?(prewarm = false)
-    ?(drain_timeout_s = 10.0) ~mix ~rps ~duration_s router =
+    ?(drain_timeout_s = 10.0) ?chaos ?(retries = 0)
+    ?(retry_backoff_ms = 25.0) ~mix ~rps ~duration_s router =
   if rps <= 0.0 then invalid_arg "Loadgen.run: rps must be positive";
   if duration_s <= 0.0 then invalid_arg "Loadgen.run: duration must be positive";
+  if retries < 0 then invalid_arg "Loadgen.run: retries must be >= 0";
   if prewarm then
     ignore (Router.prewarm router (Traffic.unique_requests mix));
   let prng = Util.Prng.create ~seed in
   let latency = Obs.Histogram.create () in
-  let pending = Hashtbl.create 1024 in
+  let pending : (int, inflight) Hashtbl.t = Hashtbl.create 1024 in
+  (* Retries waiting for their backoff to elapse: (due, inflight),
+     unsorted — it stays tiny. *)
+  let retry_queue : (float * inflight) list ref = ref [] in
   let counts =
     { c_ok = 0; c_degraded = 0; c_shed = 0; c_rejected = 0; c_failed = 0;
-      c_answered = 0 }
+      c_answered = 0; c_retried = 0; c_recovered = 0; c_gave_up = 0 }
   in
   let offered = ref 0 in
+  let terminal infl cls =
+    counts.c_answered <- counts.c_answered + 1;
+    Obs.Histogram.observe latency ((now () -. infl.first_sent) *. 1000.0);
+    if infl.attempts > 1 && (cls = `Ok || cls = `Degraded) then
+      counts.c_recovered <- counts.c_recovered + 1;
+    count counts cls
+  in
+  let schedule_retry infl =
+    (* Jittered exponential backoff: base * 2^(attempt-1), scaled by a
+       uniform [0.5, 1.5) draw so synchronized failures do not retry in
+       lockstep. *)
+    let backoff_ms =
+      retry_backoff_ms
+      *. (2.0 ** float_of_int (infl.attempts - 1))
+      *. Util.Prng.uniform prng ~lo:0.5 ~hi:1.5
+    in
+    retry_queue := (now () +. (backoff_ms /. 1000.0), infl) :: !retry_queue
+  in
+  (* A terminal answer or a retry decision for one attempt's outcome.
+     [retryable] honors the wire flag — the whole point of the typed
+     taxonomy is that clients can act on it mechanically. *)
+  let rec handle_answer infl json =
+    let cls = classify json in
+    match cls with
+    | `Ok | `Degraded -> terminal infl cls
+    | `Shed | `Rejected | `Failed ->
+        let retryable =
+          Util.Json.member "retryable" json = Some (Util.Json.Bool true)
+        in
+        if retryable && infl.attempts <= retries then schedule_retry infl
+        else begin
+          if retryable && retries > 0 then
+            counts.c_gave_up <- counts.c_gave_up + 1;
+          terminal infl cls
+        end
+
+  and submit_inflight infl =
+    (* The virtual event clock: chaos ticks once per submission, so a
+       given seed lands the same faults at the same points in the
+       request stream on every run. *)
+    (match chaos with
+    | Some c -> List.iter (Router.inject router) (Chaos.advance c)
+    | None -> ());
+    if infl.attempts > 0 then counts.c_retried <- counts.c_retried + 1;
+    let infl = { infl with attempts = infl.attempts + 1 } in
+    match Router.submit router infl.req with
+    | Router.Answered json -> handle_answer infl json
+    | Router.Routed { seq; _ } -> Hashtbl.replace pending seq infl
+  in
   let handle_events evs =
     List.iter
       (fun (ev : Router.event) ->
         match Hashtbl.find_opt pending ev.Router.seq with
         | None -> ()
-        | Some sent_at -> (
+        | Some infl -> (
             Hashtbl.remove pending ev.Router.seq;
-            counts.c_answered <- counts.c_answered + 1;
-            Obs.Histogram.observe latency ((now () -. sent_at) *. 1000.0);
             match ev.Router.outcome with
-            | Router.Reply { json; _ } -> count counts (classify json)
-            | Router.Dropped (Service.Error.Overloaded _) ->
-                count counts `Shed
-            | Router.Dropped _ -> count counts `Failed))
+            | Router.Reply { json; _ } -> handle_answer infl json
+            | Router.Dropped e -> handle_answer infl (Service.Error.to_json e)))
       evs
+  in
+  let fire_due_retries () =
+    let nw = now () in
+    let due, waiting = List.partition (fun (at, _) -> nw >= at) !retry_queue in
+    retry_queue := waiting;
+    List.iter (fun (_, infl) -> submit_inflight infl) due
   in
   let t0 = now () in
   let fin = t0 +. duration_s in
   let next = ref (t0 +. interarrival prng rps) in
   while now () < fin do
+    fire_due_retries ();
     let nw = now () in
     if nw >= !next then begin
       incr offered;
-      let req = Traffic.sample ~batch_jitter prng mix in
-      (match Router.submit router req with
-      | Router.Answered json ->
-          counts.c_answered <- counts.c_answered + 1;
-          Obs.Histogram.observe latency 0.0;
-          count counts (classify json)
-      | Router.Routed { seq; _ } -> Hashtbl.replace pending seq nw);
+      submit_inflight
+        { req = Traffic.sample ~batch_jitter prng mix;
+          first_sent = nw;
+          attempts = 0 };
       (* Schedule from the schedule: open loop. *)
       next := !next +. interarrival prng rps
     end
-    else
+    else begin
+      let next_retry =
+        List.fold_left (fun acc (at, _) -> Float.min acc at) infinity
+          !retry_queue
+      in
       handle_events
         (Router.poll router
-           ~timeout_s:(Float.max 0.0 (Float.min (!next -. nw) (fin -. nw))))
+           ~timeout_s:
+             (Float.max 0.0
+                (Float.min (Float.min (!next -. nw) (fin -. nw))
+                   (Float.max 0.0 (next_retry -. nw)))))
+    end
   done;
   let drain_end = now () +. drain_timeout_s in
-  while Hashtbl.length pending > 0 && now () < drain_end do
-    handle_events (Router.poll router ~timeout_s:0.1)
+  while
+    (Hashtbl.length pending > 0 || !retry_queue <> [])
+    && now () < drain_end
+  do
+    fire_due_retries ();
+    handle_events (Router.poll router ~timeout_s:0.05)
   done;
   let merged, per_worker = Router.collect_stats router in
   {
@@ -138,11 +220,15 @@ let run ?(seed = 42) ?(batch_jitter = 0) ?(prewarm = false)
     shed = counts.c_shed;
     rejected = counts.c_rejected;
     failed = counts.c_failed;
-    unanswered = Hashtbl.length pending;
+    unanswered = Hashtbl.length pending + List.length !retry_queue;
+    retried = counts.c_retried;
+    recovered = counts.c_recovered;
+    gave_up = counts.c_gave_up;
     latency;
     merged;
     per_worker;
     router = Router.counters router;
+    chaos = (match chaos with Some c -> Chaos.fired c | None -> []);
   }
 
 let report_json r =
@@ -166,6 +252,12 @@ let report_json r =
       ("rejected", Util.Json.Int r.rejected);
       ("failed", Util.Json.Int r.failed);
       ("unanswered", Util.Json.Int r.unanswered);
+      ("retried", Util.Json.Int r.retried);
+      ("recovered", Util.Json.Int r.recovered);
+      ("gave_up", Util.Json.Int r.gave_up);
+      ( "chaos",
+        Util.Json.Obj
+          (List.map (fun (k, v) -> (k, Util.Json.Int v)) r.chaos) );
       ( "latency_ms",
         Util.Json.Obj
           [
@@ -198,6 +290,13 @@ let report_text r =
           (%.1f%%)  rejected %d  failed %d  unanswered %d"
         r.answered r.ok (pct r.ok) r.degraded (pct r.degraded) r.shed
         (pct r.shed) r.rejected r.failed r.unanswered;
+      pr "retries %d  recovered %d  gave_up %d%s" r.retried r.recovered
+        r.gave_up
+        (if r.chaos = [] then ""
+         else
+           "  chaos "
+           ^ String.concat " "
+               (List.map (fun (k, v) -> pr "%s:%d" k v) r.chaos));
       pr "latency ms  p50 %.2f  p90 %.2f  p99 %.2f  max %.2f" (q 0.5) (q 0.9)
         (q 0.99)
         (Obs.Histogram.max_ms r.latency);
@@ -241,5 +340,16 @@ let report_prometheus router r =
       ("rejected", r.rejected);
       ("failed", r.failed);
       ("unanswered", r.unanswered);
+      ("retried", r.retried);
+      ("recovered", r.recovered);
+      ("gave_up", r.gave_up);
     ];
+  List.iter
+    (fun (kind, v) ->
+      Buffer.add_string buf
+        (pr
+           "# TYPE chimera_chaos_events counter\n\
+            chimera_chaos_events{kind=\"%s\"} %d\n"
+           kind v))
+    (List.filter (fun (k, _) -> k <> "ticks") r.chaos);
   Buffer.contents buf

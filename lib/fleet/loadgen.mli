@@ -17,22 +17,44 @@ type report = {
   degraded : int;  (** answers off a degradation-ladder rung. *)
   shed : int;  (** [overloaded] answers (router or synthesized). *)
   rejected : int;  (** [invalid_request] answers. *)
-  failed : int;  (** any other typed error. *)
+  failed : int;  (** any other typed error (terminal). *)
   unanswered : int;  (** still pending when the drain timeout hit. *)
-  latency : Obs.Histogram.t;  (** client-side submit-to-answer ms. *)
+  retried : int;  (** resubmissions of retryable errors. *)
+  recovered : int;
+      (** logical requests that succeeded after at least one retry. *)
+  gave_up : int;
+      (** retryable errors answered terminally because the retry
+          budget was exhausted (0 when retries are off). *)
+  latency : Obs.Histogram.t;
+      (** client-side first-submit-to-terminal-answer ms (a recovered
+          request pays for its retries here). *)
   merged : Service.Metrics.t;  (** fleet-wide merged worker metrics. *)
   per_worker : (int * Service.Metrics.t) list;
   router : (string * int) list;  (** router counters at end of run. *)
+  chaos : (string * int) list;
+      (** per-kind fault counts from the chaos schedule ([] without
+          one). *)
 }
 
 val run :
   ?seed:int -> ?batch_jitter:int -> ?prewarm:bool ->
-  ?drain_timeout_s:float -> mix:Traffic.t -> rps:float ->
+  ?drain_timeout_s:float -> ?chaos:Chaos.t -> ?retries:int ->
+  ?retry_backoff_ms:float -> mix:Traffic.t -> rps:float ->
   duration_s:float -> Router.t -> report
 (** Drive [mix] at [rps] for [duration_s], then wait up to
     [drain_timeout_s] for stragglers and scrape the fleet.
     [prewarm] pushes the mix's unique requests through first;
-    [batch_jitter] defeats the caches (see {!Traffic.sample}). *)
+    [batch_jitter] defeats the caches (see {!Traffic.sample}).
+
+    [chaos] injects that schedule's faults, advancing its virtual
+    clock once per submission (retries included).  [retries] (default
+    0) resubmits answers whose wire [retryable] flag is true, up to
+    that many times per logical request, after a jittered exponential
+    backoff starting at [retry_backoff_ms] (default 25, doubling per
+    attempt, scaled by a uniform [0.5, 1.5) draw).  Non-retryable
+    errors are always terminal — under chaos every logical request
+    ends in a success, a typed non-retryable error, or an exhausted
+    retry budget; nothing hangs. *)
 
 val classify :
   Util.Json.t -> [ `Ok | `Degraded | `Shed | `Rejected | `Failed ]

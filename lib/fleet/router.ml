@@ -27,6 +27,12 @@ type config = {
   hot_capacity : int;
   health_timeout_s : float;
   restart_after : int;
+  restart_backoff_s : float;
+  restart_backoff_max_s : float;
+  breaker_restarts : int;
+  breaker_window_s : float;
+  response_deadline_s : float;
+  spawn_grace_s : float;
 }
 
 let default_config =
@@ -39,6 +45,12 @@ let default_config =
     hot_capacity = 256;
     health_timeout_s = 2.0;
     restart_after = 3;
+    restart_backoff_s = 0.25;
+    restart_backoff_max_s = 5.0;
+    breaker_restarts = 8;
+    breaker_window_s = 20.0;
+    response_deadline_s = 60.0;
+    spawn_grace_s = 0.05;
   }
 
 type hot_entry = { mutable hits : int; mutable stored : Util.Json.t option }
@@ -58,7 +70,7 @@ type t = {
   cfg : config;
   base_config : Chimera.Config.t;
   workers : Worker.t array;
-  ring : Ring.t;
+  mutable ring : Ring.t;
   events : event Queue.t;
   hot : (string, hot_entry) Hashtbl.t;
   hot_order : string Queue.t;
@@ -78,6 +90,9 @@ type t = {
   mutable worker_restarts : int;
   mutable health_probes : int;
   mutable health_failures : int;
+  mutable workers_down : int;
+  mutable deadline_drops : int;
+  mutable chaos_injected : int;
 }
 
 let now () = Unix.gettimeofday ()
@@ -88,10 +103,27 @@ let create ?(cfg = default_config) ?(base_config = Chimera.Config.default)
   if n = 0 then invalid_arg "Router.create: no workers";
   if cfg.queue_depth <= 0 || cfg.soft_depth < 0 then
     invalid_arg "Router.create: bad queue depths";
+  let workers = Array.init n (fun id -> Worker.spawn ~id ~cmd:cmds.(id)) in
+  (* Dead-on-arrival check: create_process cannot report exec failures
+     (the child exits 127), so give the fleet a moment and ask.  A
+     worker that could not even start is a typed startup error, not an
+     endless restart loop. *)
+  if cfg.spawn_grace_s > 0.0 then begin
+    Unix.sleepf cfg.spawn_grace_s;
+    Array.iter
+      (fun (w : Worker.t) ->
+        match Worker.early_exit w with
+        | None -> ()
+        | Some reason ->
+            Array.iter Worker.kill workers;
+            raise
+              (Worker.Spawn_failed { cmd = w.Worker.cmd.(0); reason }))
+      workers
+  end;
   {
     cfg;
     base_config;
-    workers = Array.init n (fun id -> Worker.spawn ~id ~cmd:cmds.(id));
+    workers;
     ring = Ring.create ~vnodes:cfg.vnodes (List.init n Fun.id);
     events = Queue.create ();
     hot = Hashtbl.create 1024;
@@ -111,6 +143,9 @@ let create ?(cfg = default_config) ?(base_config = Chimera.Config.default)
     worker_restarts = 0;
     health_probes = 0;
     health_failures = 0;
+    workers_down = 0;
+    deadline_drops = 0;
+    chaos_injected = 0;
   }
 
 let size t = Array.length t.workers
@@ -185,52 +220,127 @@ let hot_note_response t key json =
     | _ -> ()
 
 (* ------------------------------------------------------------------ *)
-(* Worker lifecycle                                                     *)
+(* Worker lifecycle: the supervisor                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Answer every queued client with a typed retryable error, then bring
-   a fresh process up in the same slot (the ring — and therefore key
-   ownership — never changes on restart). *)
-let restart_worker t (w : Worker.t) ~reason =
-  List.iter
-    (fun (ticket : Worker.ticket) ->
+(* A failing worker goes through [fail_worker]: every queued client is
+   answered with a typed retryable error, the process is killed, and a
+   respawn is scheduled.  The first strike respawns immediately (a
+   single crash should cost nothing but the queued requests); repeated
+   strikes within [breaker_window_s] back off exponentially, and
+   [breaker_restarts] of them trip the circuit breaker — the slot goes
+   permanently down and its ring points are removed, so its keys
+   redistribute (~1/N each) over the surviving workers instead of
+   feeding a crash loop. *)
+
+let strikes_in_window t (w : Worker.t) ~at =
+  List.filter
+    (fun ts -> at -. ts <= t.cfg.breaker_window_s)
+    w.Worker.restart_strikes
+
+let rec revive t (w : Worker.t) =
+  match Worker.respawn w with
+  | () ->
+      t.worker_restarts <- t.worker_restarts + 1;
+      Obs.Log.warn "fleet.worker_restarted"
+        [
+          ("worker", Util.Json.Int w.Worker.id);
+          ("pid", Util.Json.Int w.Worker.pid);
+          ("restarts", Util.Json.Int w.Worker.restarts);
+        ]
+  | exception Worker.Spawn_failed { reason; _ } ->
+      (* The binary vanished mid-run: that is a strike too. *)
+      note_strike t w ~reason
+
+and note_strike t (w : Worker.t) ~reason =
+  let at = now () in
+  w.Worker.restart_strikes <- at :: strikes_in_window t w ~at;
+  let strikes = List.length w.Worker.restart_strikes in
+  if strikes >= t.cfg.breaker_restarts && Ring.size t.ring > 1 then begin
+    w.Worker.permanently_down <- true;
+    t.ring <- Ring.remove t.ring w.Worker.id;
+    t.workers_down <- t.workers_down + 1;
+    Obs.Log.error "fleet.worker_down"
+      [
+        ("worker", Util.Json.Int w.Worker.id);
+        ("reason", Util.Json.String reason);
+        ("strikes", Util.Json.Int strikes);
+        ("remaining_workers", Util.Json.Int (Ring.size t.ring));
+      ]
+  end
+  else begin
+    let delay =
+      if strikes <= 1 then 0.0
+      else
+        Float.min t.cfg.restart_backoff_max_s
+          (t.cfg.restart_backoff_s *. (2.0 ** float_of_int (strikes - 2)))
+    in
+    w.Worker.down_until <- at +. delay;
+    if delay <= 0.0 then revive t w
+    else
+      Obs.Log.warn "fleet.worker_backoff"
+        [
+          ("worker", Util.Json.Int w.Worker.id);
+          ("reason", Util.Json.String reason);
+          ("strikes", Util.Json.Int strikes);
+          ("delay_s", Util.Json.Float delay);
+        ]
+  end
+
+(* Take a worker down: answer its queue, kill it, let the supervisor
+   decide when (whether) it comes back.  [first_error], when given,
+   answers the head-of-queue ticket — the request the worker was
+   actually busy with — more precisely than the blanket [Overloaded]. *)
+let fail_worker ?first_error t (w : Worker.t) ~reason =
+  let tickets = Worker.drain_pending w in
+  List.iteri
+    (fun i (ticket : Worker.ticket) ->
       match ticket.Worker.kind with
       | Worker.Request { client_id; _ } ->
+          let err =
+            match first_error with
+            | Some e when i = 0 -> e
+            | _ ->
+                Service.Error.Overloaded
+                  (Printf.sprintf "worker %d restarted (%s)" w.Worker.id
+                     reason)
+          in
           Queue.add
             {
               seq = ticket.Worker.seq;
               worker = w.Worker.id;
               client_id;
-              outcome =
-                Dropped
-                  (Service.Error.Overloaded
-                     (Printf.sprintf "worker %d restarted (%s)" w.Worker.id
-                        reason));
+              outcome = Dropped err;
             }
             t.events
       | Worker.Probe_health | Worker.Probe_stats -> ())
-    (Worker.drain_pending w);
-  Worker.respawn w;
-  t.worker_restarts <- t.worker_restarts + 1;
-  Obs.Log.warn "fleet.worker_restarted"
-    [
-      ("worker", Util.Json.Int w.Worker.id);
-      ("reason", Util.Json.String reason);
-      ("pid", Util.Json.Int w.Worker.pid);
-    ]
+    tickets;
+  Worker.kill w;
+  note_strike t w ~reason
+
+(* Kept under its old name for the call sites whose semantics did not
+   change: fail, then (on a first strike) respawn immediately. *)
+let restart_worker t (w : Worker.t) ~reason = fail_worker t w ~reason
 
 let handle_line t (w : Worker.t) line =
   w.Worker.answered <- w.Worker.answered + 1;
   w.Worker.last_reply_at <- now ();
   match Worker.pop_ticket w with
   | None ->
-      (* An answer nobody asked for: protocol violation. *)
-      t.protocol_errors <- t.protocol_errors + 1
+      (* An answer nobody asked for: protocol violation.  FIFO
+         correlation is the whole answer-matching story, so a stream
+         that produces unsolicited lines cannot be trusted to pair the
+         next reply with the right client — restart it. *)
+      t.protocol_errors <- t.protocol_errors + 1;
+      fail_worker t w ~reason:"unsolicited reply"
   | Some ticket -> (
       match Util.Json.parse line with
-      | Error _ -> (
+      | Error _ ->
+          (* One malformed line desynchronizes the FIFO: this ticket is
+             answered [Internal] (retryable), the rest of the queue is
+             drained with [Overloaded], and the process is replaced. *)
           t.protocol_errors <- t.protocol_errors + 1;
-          match ticket.Worker.kind with
+          (match ticket.Worker.kind with
           | Worker.Request { client_id; _ } ->
               Queue.add
                 {
@@ -244,7 +354,8 @@ let handle_line t (w : Worker.t) line =
                             w.Worker.id));
                 }
                 t.events
-          | Worker.Probe_health | Worker.Probe_stats -> ())
+          | Worker.Probe_health | Worker.Probe_stats -> ());
+          fail_worker t w ~reason:"unparseable reply"
       | Ok json -> (
           w.Worker.consecutive_failures <- 0;
           match ticket.Worker.kind with
@@ -263,9 +374,42 @@ let handle_line t (w : Worker.t) line =
           | Worker.Probe_stats ->
               Hashtbl.replace t.stats_replies w.Worker.id json))
 
+(* The supervisor's periodic duties, run on every pump: resume workers
+   whose chaos stall elapsed, respawn workers whose backoff elapsed,
+   and fail workers whose head-of-queue request outlived the response
+   deadline (the hung-worker recovery path — a SIGSTOPped or wedged
+   process never EOFs, so nothing else would notice). *)
+let supervise t =
+  let nw = now () in
+  Array.iter
+    (fun (w : Worker.t) ->
+      (match w.Worker.resume_at with
+      | Some at when nw >= at ->
+          Worker.sigcont w;
+          w.Worker.resume_at <- None
+      | _ -> ());
+      if
+        (not w.Worker.alive)
+        && (not w.Worker.permanently_down)
+        && nw >= w.Worker.down_until
+      then revive t w;
+      if t.cfg.response_deadline_s > 0.0 && w.Worker.alive then
+        match Queue.peek_opt w.Worker.pending with
+        | Some (ticket : Worker.ticket)
+          when nw -. ticket.Worker.sent_at > t.cfg.response_deadline_s ->
+            t.deadline_drops <- t.deadline_drops + 1;
+            fail_worker t w ~reason:"response deadline exceeded"
+              ~first_error:
+                (Service.Error.Deadline_exceeded
+                   (Printf.sprintf "worker %d answered nothing for %.1fs"
+                      w.Worker.id t.cfg.response_deadline_s))
+        | _ -> ())
+    t.workers
+
 (* Move bytes without draining the event queue: select over worker
    stdout pipes, read what is there, restart workers that died. *)
 let pump ?(timeout_s = 0.0) t =
+  supervise t;
   let alive =
     Array.to_list t.workers
     |> List.filter (fun (w : Worker.t) -> w.Worker.alive)
@@ -278,8 +422,14 @@ let pump ?(timeout_s = 0.0) t =
         (fun (w : Worker.t) ->
           if List.memq w.Worker.stdout_fd readable then
             match Worker.read_lines w with
-            | `Eof -> restart_worker t w ~reason:"process died"
-            | `Lines lines -> List.iter (handle_line t w) lines)
+            | `Eof -> fail_worker t w ~reason:"process died"
+            | `Lines lines ->
+                (* A line can fail the worker (garbage); anything after
+                   it in the same read belongs to a dead process. *)
+                List.iter
+                  (fun line ->
+                    if w.Worker.alive then handle_line t w line)
+                  lines)
         alive
 
 let poll ?(timeout_s = 0.0) t =
@@ -317,6 +467,16 @@ let submit ?id ?raw t (req : Service.Request.t) =
           Answered (with_id ?id resp)
       | None ->
           let w = t.workers.(Ring.lookup t.ring key) in
+          if not w.Worker.alive then begin
+            (* The owner is in restart backoff: shed (retryable) rather
+               than queue onto a corpse.  Permanently-down workers never
+               reach here — the breaker removed them from the ring. *)
+            t.shed <- t.shed + 1;
+            Answered
+              (overloaded_json ?id
+                 (Printf.sprintf "worker %d restarting" w.Worker.id))
+          end
+          else
           let depth = Worker.depth w in
           if depth >= t.cfg.queue_depth then begin
             t.shed <- t.shed + 1;
@@ -479,7 +639,82 @@ let counters t =
     ("worker_restarts", t.worker_restarts);
     ("health_probes", t.health_probes);
     ("health_failures", t.health_failures);
+    ("workers_down", t.workers_down);
+    ("deadline_drops", t.deadline_drops);
+    ("chaos_injected", t.chaos_injected);
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-worker lifecycle (cmd:health / cmd:stats / Prometheus)           *)
+(* ------------------------------------------------------------------ *)
+
+type worker_state = {
+  ws_id : int;
+  ws_pid : int;
+  ws_alive : bool;
+  ws_permanently_down : bool;
+  ws_restarts : int;
+  ws_consecutive_health_failures : int;
+  ws_depth : int;
+}
+
+let worker_states t =
+  Array.to_list t.workers
+  |> List.map (fun (w : Worker.t) ->
+         {
+           ws_id = w.Worker.id;
+           ws_pid = w.Worker.pid;
+           ws_alive = w.Worker.alive;
+           ws_permanently_down = w.Worker.permanently_down;
+           ws_restarts = w.Worker.restarts;
+           ws_consecutive_health_failures = w.Worker.consecutive_failures;
+           ws_depth = Worker.depth w;
+         })
+
+let worker_state_json ws =
+  Util.Json.Obj
+    [
+      ("worker", Util.Json.Int ws.ws_id);
+      ("pid", Util.Json.Int ws.ws_pid);
+      ("alive", Util.Json.Bool ws.ws_alive);
+      ("permanently_down", Util.Json.Bool ws.ws_permanently_down);
+      ("restarts", Util.Json.Int ws.ws_restarts);
+      ( "consecutive_health_failures",
+        Util.Json.Int ws.ws_consecutive_health_failures );
+      ("depth", Util.Json.Int ws.ws_depth);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Chaos                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Apply one scheduled fault.  Recovery is deliberately left to the
+   regular machinery — EOF handling, response deadlines, the health
+   sweep, the supervisor — because that is precisely what chaos runs
+   exist to exercise. *)
+let inject t (ev : Chaos.event) =
+  t.chaos_injected <- t.chaos_injected + 1;
+  let w = t.workers.(ev.Chaos.worker mod Array.length t.workers) in
+  Obs.Log.warn "fleet.chaos_inject"
+    [
+      ("event", Util.Json.String (Chaos.event_to_string ev));
+      ("pid", Util.Json.Int w.Worker.pid);
+      ("alive", Util.Json.Bool w.Worker.alive);
+    ];
+  if w.Worker.alive then
+    match ev.Chaos.kind with
+    | Chaos.Kill -> (
+        (* Death surfaces as EOF on the next pump; queued clients are
+           answered there. *)
+        try Unix.kill w.Worker.pid Sys.sigkill with Unix.Unix_error _ -> ())
+    | Chaos.Hang -> Worker.sigstop w
+    | Chaos.Slow { stall_ms } ->
+        Worker.sigstop w;
+        w.Worker.resume_at <- Some (now () +. (stall_ms /. 1000.0))
+    | Chaos.Garbage ->
+        (* As if the worker emitted a malformed line: feeds the same
+           protocol-error path a real corruption would. *)
+        handle_line t w "{chaos garbage, not json"
 
 let stats_json ?id t ~merged ~per_worker =
   Util.Json.Obj
@@ -491,6 +726,8 @@ let stats_json ?id t ~merged ~per_worker =
         ( "router",
           Util.Json.Obj
             (List.map (fun (k, v) -> (k, Util.Json.Int v)) (counters t)) );
+        ( "worker_states",
+          Util.Json.List (List.map worker_state_json (worker_states t)) );
         ("merged", Service.Metrics.to_json merged);
       ])
 
@@ -518,6 +755,34 @@ let prometheus t ~merged ~per_worker =
     (Printf.sprintf
        "# TYPE chimera_fleet_workers gauge\nchimera_fleet_workers %d\n"
        (size t));
+  (* Per-worker lifecycle series, labelled like the per-worker metric
+     series above. *)
+  Buffer.add_string buf
+    "# TYPE chimera_fleet_worker_restarts_total counter\n";
+  List.iter
+    (fun ws ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "chimera_fleet_worker_restarts_total{worker=\"%d\"} %d\n" ws.ws_id
+           ws.ws_restarts))
+    (worker_states t);
+  Buffer.add_string buf "# TYPE chimera_fleet_worker_up gauge\n";
+  List.iter
+    (fun ws ->
+      Buffer.add_string buf
+        (Printf.sprintf "chimera_fleet_worker_up{worker=\"%d\"} %d\n" ws.ws_id
+           (if ws.ws_alive then 1 else 0)))
+    (worker_states t);
+  Buffer.add_string buf
+    "# TYPE chimera_fleet_worker_permanently_down gauge\n";
+  List.iter
+    (fun ws ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "chimera_fleet_worker_permanently_down{worker=\"%d\"} %d\n"
+           ws.ws_id
+           (if ws.ws_permanently_down then 1 else 0)))
+    (worker_states t);
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -560,8 +825,11 @@ let prewarm ?(timeout_s = 120.0) t reqs =
 let shutdown ?(timeout_s = 2.0) t =
   Array.iter
     (fun (w : Worker.t) ->
-      if w.Worker.alive then
-        ignore (Worker.send_line w {|{"cmd": "quit"}|}))
+      if w.Worker.alive then begin
+        (* A chaos-stopped worker cannot process quit; wake it first. *)
+        Worker.sigcont w;
+        ignore (Worker.send_line w {|{"cmd": "quit"}|})
+      end)
     t.workers;
   let deadline = now () +. timeout_s in
   Array.iter

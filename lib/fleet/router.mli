@@ -33,6 +33,23 @@ type config = {
   restart_after : int;
       (** restart a worker after this many consecutive unanswered
           health probes (default 3). *)
+  restart_backoff_s : float;
+      (** supervisor backoff base: the first strike in a window
+          respawns immediately, the second waits this long, then
+          doubling (default 0.25). *)
+  restart_backoff_max_s : float;  (** backoff ceiling (default 5). *)
+  breaker_restarts : int;
+      (** circuit breaker: this many strikes within [breaker_window_s]
+          takes the slot permanently down and removes its ring points
+          (default 8).  Never trips on the last live worker. *)
+  breaker_window_s : float;  (** breaker evidence window (default 20). *)
+  response_deadline_s : float;
+      (** fail a worker whose head-of-queue request has waited this
+          long — the hung-worker recovery path; 0 disables
+          (default 60). *)
+  spawn_grace_s : float;
+      (** dead-on-arrival check delay at {!create}; 0 disables
+          (default 0.05). *)
 }
 
 val default_config : config
@@ -60,8 +77,10 @@ val create :
     {!Service.Request.config_of} for fingerprinting (it must match what
     the workers themselves plan with, or hot-cache keys and worker
     cache keys disagree — harmlessly, but replication stops helping).
-    Raises [Invalid_argument] on an empty fleet or nonsensical
-    depths. *)
+    Raises [Invalid_argument] on an empty fleet or nonsensical depths,
+    and {!Worker.Spawn_failed} when a worker binary is missing, not
+    executable, or dead on arrival (checked after [spawn_grace_s]) —
+    the whole fleet is torn down before the raise. *)
 
 type submit_outcome =
   | Routed of { worker : int; seq : int }
@@ -107,7 +126,32 @@ val prewarm : ?timeout_s:float -> t -> Service.Request.t list -> int
 val counters : t -> (string * int) list
 (** Router-level counters: received, routed, shed, rejected_invalid,
     hot_hits, admission_degraded, protocol_errors, worker_restarts,
-    health_probes, health_failures. *)
+    health_probes, health_failures, workers_down, deadline_drops,
+    chaos_injected. *)
+
+type worker_state = {
+  ws_id : int;
+  ws_pid : int;
+  ws_alive : bool;
+  ws_permanently_down : bool;
+  ws_restarts : int;
+  ws_consecutive_health_failures : int;
+  ws_depth : int;
+}
+
+val worker_states : t -> worker_state list
+(** Per-worker lifecycle snapshot, in slot order — what [cmd:health],
+    [cmd:stats] and the per-worker Prometheus series report. *)
+
+val worker_state_json : worker_state -> Util.Json.t
+
+val inject : t -> Chaos.event -> unit
+(** Apply one scheduled chaos fault to its target worker: [Kill] sends
+    SIGKILL (recovery via the EOF path), [Hang] SIGSTOPs with no
+    resume (recovery via response deadline or health sweep), [Slow]
+    SIGSTOPs and schedules a SIGCONT, [Garbage] feeds a malformed line
+    into the reply stream (recovery via the protocol-error restart).
+    No-op on a worker that is already down. *)
 
 val stats_json :
   ?id:Util.Json.t -> t -> merged:Service.Metrics.t ->

@@ -34,14 +34,48 @@ type t = {
   mutable answered : int;
   mutable spawned_at : float;
   mutable last_reply_at : float;
+  (* supervisor state, owned by the router *)
+  mutable permanently_down : bool;
+  mutable down_until : float;
+  mutable restart_strikes : float list;
+  mutable resume_at : float option;
 }
+
+exception Spawn_failed of { cmd : string; reason : string }
 
 let ignore_sigpipe_once =
   (* A write into a dead worker's pipe must surface as EPIPE for the
      router to handle, not kill the whole fleet process. *)
   lazy (Sys.set_signal Sys.sigpipe Sys.Signal_ignore)
 
+(* [Unix.create_process] forks and then execs: an exec failure happens
+   in the child, which exits 127 — the parent never sees an error.  So
+   an unlaunchable binary is checked for up front, where it can be a
+   typed exception instead of a mysteriously short-lived worker. *)
+let executable_error cmd0 =
+  let runnable path =
+    Sys.file_exists path
+    && (not (Sys.is_directory path))
+    &&
+    match Unix.access path [ Unix.X_OK ] with
+    | () -> true
+    | exception Unix.Unix_error _ -> false
+  in
+  if String.contains cmd0 '/' then
+    if runnable cmd0 then None
+    else Some (Printf.sprintf "%S is not an executable file" cmd0)
+  else
+    let path = try Sys.getenv "PATH" with Not_found -> "/usr/bin:/bin" in
+    if
+      String.split_on_char ':' path
+      |> List.exists (fun d -> d <> "" && runnable (Filename.concat d cmd0))
+    then None
+    else Some (Printf.sprintf "%S not found on PATH" cmd0)
+
 let launch cmd =
+  (match executable_error cmd.(0) with
+  | Some reason -> raise (Spawn_failed { cmd = cmd.(0); reason })
+  | None -> ());
   let from_child_r, from_child_w = Unix.pipe ~cloexec:false () in
   let to_child_r, to_child_w = Unix.pipe ~cloexec:false () in
   Unix.set_close_on_exec to_child_w;
@@ -72,6 +106,10 @@ let spawn ~id ~cmd =
     answered = 0;
     spawned_at = Unix.gettimeofday ();
     last_reply_at = Unix.gettimeofday ();
+    permanently_down = false;
+    down_until = 0.0;
+    restart_strikes = [];
+    resume_at = None;
   }
 
 let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
@@ -84,6 +122,7 @@ let reap pid =
 let kill t =
   if t.alive then begin
     t.alive <- false;
+    t.resume_at <- None;
     (try Unix.kill t.pid Sys.sigkill with Unix.Unix_error _ -> ());
     close_noerr t.stdin_fd;
     close_noerr t.stdout_fd;
@@ -106,6 +145,35 @@ let respawn t =
   t.restarts <- t.restarts + 1;
   t.spawned_at <- Unix.gettimeofday ();
   t.last_reply_at <- Unix.gettimeofday ()
+
+(* Chaos hooks: a SIGSTOPped worker keeps its pipes and its queue — it
+   is late, not dead — which is exactly the failure mode per-ticket
+   response deadlines exist for. *)
+let sigstop t =
+  if t.alive then try Unix.kill t.pid Sys.sigstop with Unix.Unix_error _ -> ()
+
+let sigcont t =
+  if t.alive then try Unix.kill t.pid Sys.sigcont with Unix.Unix_error _ -> ()
+
+let describe_status = function
+  | Unix.WEXITED n -> Printf.sprintf "exited with status %d before serving" n
+  | Unix.WSIGNALED s -> Printf.sprintf "killed by signal %d before serving" s
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %d before serving" s
+
+(* Dead-on-arrival check: exec failures happen in the child (exit 127),
+   so after a short grace the router asks whether the process is still
+   there at all.  Reaps and releases the pipes when it is not. *)
+let early_exit t =
+  if not t.alive then Some "already dead"
+  else
+    match Unix.waitpid [ Unix.WNOHANG ] t.pid with
+    | 0, _ -> None
+    | _, status ->
+        t.alive <- false;
+        close_noerr t.stdin_fd;
+        close_noerr t.stdout_fd;
+        Some (describe_status status)
+    | exception Unix.Unix_error _ -> None
 
 (* Write one line; false when the pipe is gone (the router restarts the
    worker and re-answers the caller). *)

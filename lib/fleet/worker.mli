@@ -31,17 +31,48 @@ type t = {
   mutable answered : int;
   mutable spawned_at : float;
   mutable last_reply_at : float;
+  mutable permanently_down : bool;
+      (** the supervisor's circuit breaker tripped: the slot is out of
+          the ring and will never respawn. *)
+  mutable down_until : float;
+      (** when a deferred (backed-off) respawn is due; meaningful only
+          while [alive = false] and not [permanently_down]. *)
+  mutable restart_strikes : float list;
+      (** recent failure timestamps, newest first — the circuit
+          breaker's evidence window (pruned by the router). *)
+  mutable resume_at : float option;
+      (** a scheduled [SIGCONT] (chaos [Slow] fault), served by the
+          router's pump. *)
 }
+
+exception Spawn_failed of { cmd : string; reason : string }
+(** The worker binary cannot launch: not found, not executable, or
+    (via {!early_exit}) dead on arrival. *)
 
 val spawn : id:int -> cmd:string array -> t
 (** Launch the process with piped stdin/stdout (stderr inherited).
-    Also ignores [SIGPIPE] process-wide, once — a dead worker's pipe
-    must answer [EPIPE], not kill the fleet. *)
+    Raises {!Spawn_failed} when [cmd.(0)] is not an executable (checked
+    up front — exec failures otherwise vanish into a child exiting
+    127).  Also ignores [SIGPIPE] process-wide, once — a dead worker's
+    pipe must answer [EPIPE], not kill the fleet. *)
 
 val respawn : t -> unit
 (** Kill (SIGKILL + reap) and relaunch in the same slot, dropping any
     queued tickets — callers must {!drain_pending} first to answer
-    their clients.  Increments [restarts]. *)
+    their clients.  Increments [restarts].  Raises {!Spawn_failed} if
+    the binary has vanished since the original spawn. *)
+
+val sigstop : t -> unit
+(** Stop (freeze) the process; pipes and queue survive.  Chaos hook. *)
+
+val sigcont : t -> unit
+(** Resume a stopped process. *)
+
+val early_exit : t -> string option
+(** [Some reason] when the process has already exited — the
+    dead-on-arrival probe run shortly after {!spawn} (exec failures
+    surface as a child exiting 127, invisible to [create_process]).
+    Reaps the corpse and releases the pipes when it fires. *)
 
 val kill : t -> unit
 (** Kill and reap without relaunching; idempotent. *)

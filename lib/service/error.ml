@@ -53,6 +53,65 @@ let of_exn = function
   | Invalid_argument msg -> Invalid_request { field = "request"; reason = msg }
   | e -> Internal (Printexc.to_string e)
 
+(* Inverse of [to_json], for clients (the fleet load generator's retry
+   logic) and round-trip tests.  [message] decorates payloads with
+   per-constructor prefixes; stripping them here makes the round trip
+   exact: [of_json (to_json e) = Ok e].  A message that lacks the
+   expected prefix (a foreign producer) is kept whole — the code and
+   retryable flag, the fields clients act on, are authoritative
+   anyway. *)
+let strip_prefix ~prefix s =
+  let n = String.length prefix in
+  if String.length s >= n && String.sub s 0 n = prefix then
+    String.sub s n (String.length s - n)
+  else s
+
+let of_json json =
+  match json with
+  | Util.Json.Obj _ -> (
+      match Util.Json.member "ok" json with
+      | Some (Util.Json.Bool true) -> Error "not an error response (ok: true)"
+      | _ -> (
+          match Util.Json.member "code" json with
+          | Some (Util.Json.String code) -> (
+              let msg =
+                match Util.Json.member "error" json with
+                | Some (Util.Json.String m) -> m
+                | _ -> ""
+              in
+              match code with
+              | "invalid_request" ->
+                  let field =
+                    match Util.Json.member "field" json with
+                    | Some (Util.Json.String f) -> f
+                    | _ -> "request"
+                  in
+                  let reason =
+                    strip_prefix
+                      ~prefix:(Printf.sprintf "invalid %S: " field)
+                      msg
+                  in
+                  Ok (Invalid_request { field; reason })
+              | "no_feasible_tiling" -> Ok (No_feasible_tiling msg)
+              | "deadline_exceeded" ->
+                  Ok
+                    (Deadline_exceeded
+                       (strip_prefix
+                          ~prefix:"deadline exceeded while planning " msg))
+              | "cache_corrupt" ->
+                  Ok (Cache_corrupt (strip_prefix ~prefix:"cache corrupt: " msg))
+              | "verify_failed" ->
+                  Ok
+                    (Verify_failed
+                       (strip_prefix ~prefix:"verification failed: " msg))
+              | "overloaded" ->
+                  Ok (Overloaded (strip_prefix ~prefix:"overloaded: " msg))
+              | "internal" -> Ok (Internal msg)
+              | other -> Error (Printf.sprintf "unknown error code %S" other))
+          | Some _ -> Error "error code is not a string"
+          | None -> Error "no error code"))
+  | _ -> Error "error response is not an object"
+
 let to_json ?id e =
   let open Util.Json in
   let id_field = match id with Some v -> [ ("id", v) ] | None -> [] in

@@ -54,3 +54,9 @@ val to_json : ?id:Util.Json.t -> t -> Util.Json.t
 (** The JSONL error response:
     [{"id"?, "ok": false, "error": msg, "code": code,
       "retryable": bool, "field"?: name}]. *)
+
+val of_json : Util.Json.t -> (t, string) result
+(** Parse a wire error response back into the taxonomy — what a
+    retrying client does.  Exact inverse of {!to_json}:
+    [of_json (to_json e) = Ok e].  [Error] on non-objects, [ok: true]
+    responses, missing or unknown codes; never an exception. *)

@@ -11,6 +11,7 @@ type t = {
   mutable deadline_exceeded : int;
   mutable internal_errors : int;
   mutable cache_corrupt : int;
+  mutable cache_entries_skipped : int;
   mutable cache_io_retries : int;
   mutable verify_runs : int;
   mutable verify_warnings : int;
@@ -39,6 +40,7 @@ let create () =
     deadline_exceeded = 0;
     internal_errors = 0;
     cache_corrupt = 0;
+    cache_entries_skipped = 0;
     cache_io_retries = 0;
     verify_runs = 0;
     verify_warnings = 0;
@@ -66,6 +68,7 @@ let reset t =
   t.deadline_exceeded <- 0;
   t.internal_errors <- 0;
   t.cache_corrupt <- 0;
+  t.cache_entries_skipped <- 0;
   t.cache_io_retries <- 0;
   t.verify_runs <- 0;
   t.verify_warnings <- 0;
@@ -101,6 +104,7 @@ let fields t =
     ("deadline_exceeded", Counter t.deadline_exceeded);
     ("internal_errors", Counter t.internal_errors);
     ("cache_corrupt", Counter t.cache_corrupt);
+    ("cache_entries_skipped", Counter t.cache_entries_skipped);
     ("cache_io_retries", Counter t.cache_io_retries);
     ("verify_runs", Counter t.verify_runs);
     ("verify_warnings", Counter t.verify_warnings);
@@ -142,6 +146,8 @@ let merge ~into src =
   into.deadline_exceeded <- into.deadline_exceeded + src.deadline_exceeded;
   into.internal_errors <- into.internal_errors + src.internal_errors;
   into.cache_corrupt <- into.cache_corrupt + src.cache_corrupt;
+  into.cache_entries_skipped <-
+    into.cache_entries_skipped + src.cache_entries_skipped;
   into.cache_io_retries <- into.cache_io_retries + src.cache_io_retries;
   into.verify_runs <- into.verify_runs + src.verify_runs;
   into.verify_warnings <- into.verify_warnings + src.verify_warnings;
@@ -203,6 +209,9 @@ let of_wire_json json =
   let* () = counter "deadline_exceeded" (fun n -> t.deadline_exceeded <- n) in
   let* () = counter "internal_errors" (fun n -> t.internal_errors <- n) in
   let* () = counter "cache_corrupt" (fun n -> t.cache_corrupt <- n) in
+  let* () =
+    counter "cache_entries_skipped" (fun n -> t.cache_entries_skipped <- n)
+  in
   let* () = counter "cache_io_retries" (fun n -> t.cache_io_retries <- n) in
   let* () = counter "verify_runs" (fun n -> t.verify_runs <- n) in
   let* () = counter "verify_warnings" (fun n -> t.verify_warnings <- n) in

@@ -34,6 +34,10 @@ type t = {
   mutable cache_corrupt : int;
       (** persisted cache files discarded on load (corrupt, truncated
           or version-mismatched). *)
+  mutable cache_entries_skipped : int;
+      (** individual cache-file frames dropped on load because their
+          CRC failed or the file was torn mid-frame; the rest of the
+          file still loaded (see {!Plan_cache}). *)
   mutable cache_io_retries : int;
       (** cache-persistence attempts retried after an I/O fault. *)
   mutable verify_runs : int;

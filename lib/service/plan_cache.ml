@@ -34,8 +34,12 @@ type t = {
 
 (* v2: entries record the degradation rung instead of a fused flag.
    v3: Planner.plan grew search counters (perms_pruned, solver_evals),
-   changing the marshalled layout. *)
-let file_version = 3
+   changing the marshalled layout.
+   v4: entries are individually framed (length + CRC-32 + marshalled
+   bytes) instead of one monolithic marshal, so a torn or bit-flipped
+   entry is skipped-and-counted on load rather than discarding the
+   whole file — crash consistency for the fleet's shared tier. *)
+let file_version = 4
 
 let create ?(capacity = 512) ?metrics () =
   if capacity <= 0 then invalid_arg "Plan_cache.create: non-positive capacity";
@@ -142,6 +146,67 @@ let entries_oldest_first t =
   in
   walk [] t.head
 
+(* ------------------------------------------------------------------ *)
+(* Entry framing                                                       *)
+(*                                                                     *)
+(* Each entry is written as its own frame:                             *)
+(*   4 bytes   payload length (big-endian, output_binary_int)          *)
+(*   4 bytes   CRC-32 of the payload                                   *)
+(*   N bytes   Marshal.to_string (key, entry)                          *)
+(* A reader validates every frame independently, so one torn or        *)
+(* bit-flipped entry costs exactly that entry, never the file.  The    *)
+(* save path does not fsync before its rename — after a power cut the  *)
+(* published file can legitimately hold a truncated tail, and the      *)
+(* frames are what make that survivable.                               *)
+(* ------------------------------------------------------------------ *)
+
+(* An entry any larger than this is itself evidence of corruption (a
+   bit-flipped length field): real plans marshal to a few KB. *)
+let max_frame_bytes = 16 * 1024 * 1024
+
+let write_frame oc kv =
+  let payload = Marshal.to_string (kv : string * entry) [] in
+  output_binary_int oc (String.length payload);
+  output_binary_int oc (Util.Crc32.string payload);
+  output_string oc payload
+
+(* Read frames until EOF.  Returns the decodable entries plus how many
+   frames were skipped as corrupt.  A bad CRC with intact framing skips
+   just that entry and keeps going; a torn or nonsensical length means
+   everything after it is untrustworthy, so the remainder counts as one
+   skip and reading stops. *)
+let read_frames ic =
+  let entries = ref [] and skipped = ref 0 in
+  let rec go () =
+    match input_binary_int ic with
+    | exception End_of_file ->
+        (* Clean EOF at a frame boundary... unless the file ends with a
+           partial length word, which [input_binary_int] also reports as
+           End_of_file — indistinguishable, and harmless either way. *)
+        ()
+    | len ->
+        if len <= 0 || len > max_frame_bytes then incr skipped
+        else begin
+          match
+            let crc = input_binary_int ic land 0xFFFFFFFF in
+            let payload = really_input_string ic len in
+            (crc, payload)
+          with
+          | exception End_of_file ->
+              (* Torn tail: the frame promises more bytes than exist. *)
+              incr skipped
+          | crc, payload ->
+              (if Util.Crc32.string payload <> crc then incr skipped
+               else
+                 match (Marshal.from_string payload 0 : string * entry) with
+                 | kv -> entries := kv :: !entries
+                 | exception _ -> incr skipped);
+              go ()
+        end
+  in
+  go ();
+  (List.rev !entries, !skipped)
+
 (* Read the persisted entry list without touching any cache state;
    shared by [load] and the merge step of [save]. *)
 let read_payload path =
@@ -157,14 +222,7 @@ let read_payload path =
                persisted key could mean something else now, so the
                whole file is invalid. *)
             Error (Printf.sprintf "header mismatch (%S)" line)
-          else begin
-            match (Marshal.from_channel ic : (string * entry) list) with
-            | entries -> Ok entries
-            | exception e ->
-                Error
-                  (Printf.sprintf "unreadable payload (%s)"
-                     (Printexc.to_string e))
-          end)
+          else Ok (read_frames ic))
 
 (* Hold an exclusive advisory lock on <dir>/plan_cache.lock for the
    duration of [f].  The lock serializes writers across processes (the
@@ -204,7 +262,9 @@ let save t ~dir =
         if not (Sys.file_exists path) then []
         else
           match read_payload path with
-          | Ok entries ->
+          | Ok (entries, _skipped) ->
+              (* Corrupt frames in the shared file simply fail to make
+                 it into the rewrite — the file heals on every save. *)
               List.filter (fun (k, _) -> not (Hashtbl.mem mine k)) entries
           | Error _ ->
               (* A corrupt or stale shared file heals on the next save:
@@ -218,14 +278,25 @@ let save t ~dir =
            ~finally:(fun () -> close_out_noerr oc)
            (fun () ->
              output_string oc (header ());
-             Marshal.to_channel oc
-               (disk_only @ ours : (string * entry) list)
-               [])
+             List.iter (write_frame oc) (disk_only @ ours))
        with
       | () -> ()
       | exception e ->
           (try Sys.remove tmp with Sys_error _ -> ());
           raise e);
+      (* The torn-save chaos site: a fired failpoint publishes a
+         truncated image — exactly what a crash between write and
+         fsync leaves behind — and the save still "succeeds", because
+         that is what the crashed writer believed too.  Loads recover
+         by skipping the torn tail frame-by-frame. *)
+      (try Failpoint.hit ~ctx:path "cache.save.torn"
+       with Failpoint.Injected _ ->
+         let size = (Unix.stat tmp).Unix.st_size in
+         let keep = max (String.length (header ())) (size * 3 / 5) in
+         let fd = Unix.openfile tmp [ Unix.O_WRONLY ] 0o644 in
+         Fun.protect
+           ~finally:(fun () -> Unix.close fd)
+           (fun () -> Unix.ftruncate fd keep));
       Sys.rename tmp path);
   t.is_dirty <- false
 
@@ -257,7 +328,10 @@ let save_with_retry ?(attempts = 3) ?(backoff_s = 0.01) t ~dir =
   in
   go 1 backoff_s
 
-type load_outcome = Loaded of int | Absent | Discarded of string
+type load_outcome =
+  | Loaded of { entries : int; skipped : int }
+  | Absent
+  | Discarded of string
 
 let discard t reason =
   Option.iter
@@ -273,13 +347,24 @@ let load t ~dir =
       Failpoint.hit ~ctx:path "cache.load";
       read_payload path
     with
-    | Ok loaded ->
+    | Ok (loaded, skipped) ->
         List.iter (fun (key, entry) -> add_keyed t key entry) loaded;
         t.is_dirty <- false;
-        Loaded (List.length loaded)
+        if skipped > 0 then
+          Option.iter
+            (fun (m : Metrics.t) ->
+              m.cache_entries_skipped <- m.cache_entries_skipped + skipped)
+            t.metrics;
+        Loaded { entries = List.length loaded; skipped }
     | Error reason -> discard t (path ^ ": " ^ reason)
     | exception Sys_error msg -> discard t msg
     | exception Failpoint.Injected site ->
         discard t (path ^ ": injected fault at " ^ site)
 
-let loaded_count = function Loaded n -> n | Absent | Discarded _ -> 0
+let loaded_count = function
+  | Loaded { entries; _ } -> entries
+  | Absent | Discarded _ -> 0
+
+let skipped_count = function
+  | Loaded { skipped; _ } -> skipped
+  | Absent | Discarded _ -> 0

@@ -11,13 +11,18 @@
 
     [save] writes the whole cache to [<dir>/plan_cache.bin]: a
     one-line text header [CHIMERA-PLAN-CACHE <file_version>
-    <fingerprint scheme_version>] followed by the marshalled entries in
-    recency order.  [load] restores it at startup; any header mismatch
-    (file format change, fingerprint scheme change), truncated or
-    unreadable payload discards the file wholesale — a cold cache is
-    always safe, a stale plan never is.  Discards are counted in
-    [Metrics.cache_corrupt]; {!save_with_retry} bounds transient I/O
-    faults with exponential backoff.
+    <fingerprint scheme_version>] followed by one {e frame} per entry
+    in recency order — a 4-byte payload length, a 4-byte CRC-32, then
+    the marshalled [(key, entry)] bytes.  [load] restores it at
+    startup and validates every frame independently: a torn tail (the
+    save path does not fsync, so a crash can publish a truncated
+    image) or a bit-flipped entry is {e skipped and counted}
+    ([Metrics.cache_entries_skipped]), never trusted and never fatal —
+    the surviving entries still load.  A header mismatch (file format
+    change, fingerprint scheme change) still discards the file
+    wholesale, counted in [Metrics.cache_corrupt]: a cold cache is
+    always safe, a stale plan never is.  {!save_with_retry} bounds
+    transient I/O faults with exponential backoff.
 
     A cache directory may be shared by many processes (the fleet's
     shared tier): writers serialize on an advisory {!lock_file} lock
@@ -49,7 +54,7 @@ type t
 
 val file_version : int
 (** Bump on any change to the cache-file layout (v2: entries carry the
-    degradation {!rung}). *)
+    degradation {!rung}; v4: per-entry CRC frames). *)
 
 val create : ?capacity:int -> ?metrics:Metrics.t -> unit -> t
 (** An empty cache holding at most [capacity] entries (default 512).
@@ -87,20 +92,26 @@ val lock_file : dir:string -> string
     shared cache directory. *)
 
 type load_outcome =
-  | Loaded of int  (** entries restored. *)
+  | Loaded of { entries : int; skipped : int }
+      (** [entries] restored; [skipped] frames were torn or corrupt and
+          were dropped (counted in [Metrics.cache_entries_skipped]). *)
   | Absent  (** no cache file — a clean cold start. *)
   | Discarded of string
-      (** the file existed but was corrupt, truncated, unreadable or
+      (** the file existed but its header was unreadable or
           version-mismatched; the reason is for logs.  Counted in
           [Metrics.cache_corrupt]. *)
 
 val load : t -> dir:string -> load_outcome
 (** Load persisted entries into the cache (oldest first, so recency is
     restored).  Never raises: I/O errors and injected [cache.load]
-    faults report as [Discarded]. *)
+    faults report as [Discarded]; per-entry corruption (torn tail,
+    bit flip) skips just the affected frames. *)
 
 val loaded_count : load_outcome -> int
-(** The [Loaded] payload, 0 otherwise. *)
+(** Entries restored by a [Loaded], 0 otherwise. *)
+
+val skipped_count : load_outcome -> int
+(** Corrupt frames skipped by a [Loaded], 0 otherwise. *)
 
 val save : t -> dir:string -> unit
 (** Persist all entries atomically, creating [dir] if needed; clears
@@ -113,7 +124,14 @@ val save : t -> dir:string -> unit
     shared file converges to the union of every worker's plans, bounded
     by the sum of their in-memory caps).  A corrupt existing file is
     overwritten rather than merged.  Raises [Sys_error] on I/O failure
-    (see {!save_with_retry} for the guarded form). *)
+    (see {!save_with_retry} for the guarded form).
+
+    Failpoints: [cache.save] fires before the write as before;
+    [cache.save.torn] fires just before the rename and, when it does,
+    truncates the temp file to ~60% before publishing — the on-disk
+    image a crash between write and fsync leaves behind.  The save
+    reports success (the crashed writer believed so too); the next
+    {!load} recovers frame-by-frame. *)
 
 val save_if_dirty : t -> dir:string -> unit
 (** [save] only when {!dirty}. *)

@@ -1,0 +1,24 @@
+(* CRC-32 (the IEEE 802.3 polynomial, as in zlib/PNG), table-driven.
+   Values fit untagged in OCaml's native int on 64-bit platforms, so
+   the whole computation is plain land/lxor/lsr on ints. *)
+
+let polynomial = 0xEDB88320
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then polynomial lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s =
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  String.iter
+    (fun ch -> c := t.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+let string s = update 0 s

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Assert the chaos-smoke invariants over a loadgen chaos report.
+
+Usage: check_chaos.py CHAOS_REPORT.json CHAOS.prom
+
+The report comes from an open-loop run against a multi-worker fleet
+with a fixed chaos schedule (--chaos ... --chaos-seed N) and client
+retries on.  The smoke asserts the chaos contract (docs/CHAOS.md):
+
+  * faults actually fired — a chaos smoke that injected nothing proves
+    nothing;
+  * every request was terminally answered: recovered via retry, shed
+    with a typed retryable error, or failed with a typed non-retryable
+    one — never stuck;
+  * workers really died and were respawned by the supervisor;
+  * the Prometheus exposition carries the per-worker lifecycle series
+    and the chaos event counts.
+
+The companion CI step then replays the surviving cache through
+`chimera batch --verify strict`, which exits non-zero if any corrupt
+plan was trusted.
+"""
+
+import json
+import re
+import sys
+
+
+def fail(msg):
+    print(f"check_chaos: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} CHAOS_REPORT CHAOS_PROM")
+    with open(sys.argv[1]) as f:
+        r = json.load(f)
+    with open(sys.argv[2]) as f:
+        prom = f.read()
+
+    if r["offered"] == 0:
+        fail("loadgen offered nothing")
+
+    # Chaos actually happened.
+    chaos = r.get("chaos", {})
+    fired = sum(v for k, v in chaos.items() if k != "ticks")
+    if fired == 0:
+        fail("no chaos events fired — the schedule never triggered")
+    if r["router"]["chaos_injected"] == 0:
+        fail("no fault injections reached the router")
+
+    # The terminal-answer invariant: nothing stuck, ever.
+    if r["unanswered"] != 0:
+        fail(f"{r['unanswered']} requests stuck without a terminal answer")
+    if r["answered"] != r["offered"]:
+        fail(f"{r['offered'] - r['answered']} requests unanswered")
+
+    # Recovery machinery actually engaged.
+    if r["router"]["worker_restarts"] == 0:
+        fail("chaos killed workers but the supervisor restarted none")
+    if r["retried"] == 0:
+        fail("no client retries despite retryable chaos errors")
+    if r["ok_full"] + r["degraded"] == 0:
+        fail("nothing was ever serviced under chaos")
+
+    # Lifecycle and chaos series reach the exposition.
+    for pat in (
+        r'chimera_fleet_worker_restarts_total\{worker="\d+"\}',
+        r'chimera_fleet_worker_up\{worker="\d+"\}',
+        r'chimera_fleet_worker_permanently_down\{worker="\d+"\}',
+        r'chimera_chaos_events\{kind="kill"\}',
+    ):
+        if not re.search(pat, prom):
+            fail(f"prometheus exposition lacks {pat}")
+
+    print(
+        "check_chaos: OK "
+        f"(offered {r['offered']}, answered {r['answered']}, "
+        f"retried {r['retried']}, recovered {r['recovered']}, "
+        f"gave_up {r['gave_up']}, restarts {r['router']['worker_restarts']}, "
+        f"faults {fired})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -783,6 +783,341 @@ let e2e_tests =
             match Fleet.Loadgen.report_json r with
             | Util.Json.Obj _ -> ()
             | _ -> Alcotest.fail "report_json should be an object"));
+    slow_case "a chaos run terminally answers every request" (fun () ->
+        let cfg =
+          {
+            Fleet.Router.default_config with
+            Fleet.Router.response_deadline_s = 3.0;
+            restart_backoff_s = 0.05;
+          }
+        in
+        with_router ~cfg [| real_worker; real_worker |] (fun router ->
+            let mix = Option.get (Fleet.Traffic.by_name "Bert-Base") in
+            let spec =
+              {
+                Fleet.Chaos.none with
+                Fleet.Chaos.kill_gap = 20.0;
+                slow_gap = 25.0;
+                garbage_gap = 30.0;
+              }
+            in
+            let chaos = Fleet.Chaos.create ~spec ~seed:5 ~workers:2 () in
+            let r =
+              Fleet.Loadgen.run ~seed:3 ~drain_timeout_s:60.0 ~chaos
+                ~retries:3 ~mix ~rps:40.0 ~duration_s:2.0 router
+            in
+            (* The chaos invariant: every request reaches a terminal
+               typed answer — recovered, shed, or given up — none stuck. *)
+            check_int "nothing unanswered" 0 r.Fleet.Loadgen.unanswered;
+            check_int "every request terminally answered"
+              r.Fleet.Loadgen.offered r.Fleet.Loadgen.answered;
+            check_true "faults actually fired"
+              (List.assoc "kill" r.Fleet.Loadgen.chaos > 0);
+            check_true "injections reached the router"
+              (counter router "chaos_injected" > 0)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Chaos schedules: deterministic fault streams                        *)
+(* ------------------------------------------------------------------ *)
+
+let collect_events ~spec ~seed ~workers n =
+  let c = Fleet.Chaos.create ~spec ~seed ~workers () in
+  let evs =
+    List.concat_map (fun _ -> Fleet.Chaos.advance c) (List.init n Fun.id)
+  in
+  (c, evs)
+
+let chaos_tests =
+  [
+    case "a schedule replays exactly from its seed" (fun () ->
+        let spec = Fleet.Chaos.default_spec in
+        let _, a = collect_events ~spec ~seed:7 ~workers:4 2000 in
+        let _, b = collect_events ~spec ~seed:7 ~workers:4 2000 in
+        check_true "some faults fired" (List.length a > 0);
+        check_true "identical replay" (a = b);
+        let _, c = collect_events ~spec ~seed:8 ~workers:4 2000 in
+        check_true "a different seed is a different schedule" (a <> c));
+    case "the virtual clock and fired counts reconcile" (fun () ->
+        let spec = Fleet.Chaos.default_spec in
+        let c, evs = collect_events ~spec ~seed:3 ~workers:2 1500 in
+        check_int "one tick per advance" 1500 (Fleet.Chaos.tick c);
+        let fired = Fleet.Chaos.fired c in
+        check_int "ticks reported" 1500 (List.assoc "ticks" fired);
+        let count k =
+          List.length
+            (List.filter
+               (fun (ev : Fleet.Chaos.event) ->
+                 Fleet.Chaos.kind_to_string ev.kind = k)
+               evs)
+        in
+        List.iter
+          (fun k -> check_int k (count k) (List.assoc k fired))
+          [ "kill"; "hang"; "slow"; "garbage" ];
+        List.iter
+          (fun (ev : Fleet.Chaos.event) ->
+            check_true "tick in range" (ev.tick >= 1 && ev.tick <= 1500);
+            check_true "worker in range" (ev.worker >= 0 && ev.worker < 2))
+          evs);
+    case "a zero gap disables the kind" (fun () ->
+        let spec = { Fleet.Chaos.none with Fleet.Chaos.kill_gap = 5.0 } in
+        let _, evs = collect_events ~spec ~seed:1 ~workers:3 500 in
+        check_true "kills fired" (List.length evs > 10);
+        List.iter
+          (fun (ev : Fleet.Chaos.event) ->
+            check_true "only kills" (ev.Fleet.Chaos.kind = Fleet.Chaos.Kill))
+          evs);
+    case "the spec grammar round-trips" (fun () ->
+        let spec = Fleet.Chaos.default_spec in
+        (match Fleet.Chaos.parse_spec (Fleet.Chaos.spec_to_string spec) with
+        | Ok s -> check_true "round trip" (s = spec)
+        | Error e -> Alcotest.fail e);
+        (match Fleet.Chaos.parse_spec "kill:40;torn:0.5" with
+        | Ok s ->
+            check_true "kill set" (s.Fleet.Chaos.kill_gap = 40.0);
+            check_true "torn set" (s.Fleet.Chaos.torn_prob = 0.5);
+            check_true "others off" (s.Fleet.Chaos.hang_gap = 0.0)
+        | Error e -> Alcotest.fail e);
+        check_true "unknown kinds are refused"
+          (Result.is_error (Fleet.Chaos.parse_spec "fire:3"));
+        check_true "non-numeric rates are refused"
+          (Result.is_error (Fleet.Chaos.parse_spec "kill:often"));
+        check_true "probabilities beyond 1 are refused"
+          (Result.is_error (Fleet.Chaos.parse_spec "torn:1.5")));
+    case "torn-save failpoints derive per worker" (fun () ->
+        let spec = Fleet.Chaos.default_spec in
+        check_true "off when torn:0"
+          (Fleet.Chaos.torn_failpoint Fleet.Chaos.none ~seed:1 ~worker:0
+          = None);
+        match
+          ( Fleet.Chaos.torn_failpoint spec ~seed:1 ~worker:0,
+            Fleet.Chaos.torn_failpoint spec ~seed:1 ~worker:0,
+            Fleet.Chaos.torn_failpoint spec ~seed:1 ~worker:1 )
+        with
+        | Some a, Some a', Some b ->
+            check_string "deterministic" a a';
+            check_true "distinct workers, distinct streams" (a <> b);
+            check_true "targets the torn failpoint"
+              (contains_sub a "cache.save.torn=prob:")
+        | _ -> Alcotest.fail "expected failpoint specs");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor: spawn failures, restarts, backoff, the breaker, and     *)
+(* injected faults                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let ev ?(tick = 1) worker kind = { Fleet.Chaos.tick; worker; kind }
+
+(* Pump the router until [pred] holds, failing after [timeout_s]. *)
+let wait_for ?(timeout_s = 10.0) ~what router pred =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if not (pred ()) then
+      if Unix.gettimeofday () > deadline then
+        Alcotest.failf "timed out waiting for %s" what
+      else begin
+        ignore (Fleet.Router.poll ~timeout_s:0.05 router);
+        go ()
+      end
+  in
+  go ()
+
+let supervisor_tests =
+  [
+    case "a missing worker binary is a typed spawn failure" (fun () ->
+        match Fleet.Router.create [| [| "/no/such/chimera-worker" |] |] with
+        | router ->
+            Fleet.Router.shutdown ~timeout_s:0.5 router;
+            Alcotest.fail "expected Spawn_failed"
+        | exception Fleet.Worker.Spawn_failed { cmd; reason } ->
+            check_string "names the binary" "/no/such/chimera-worker" cmd;
+            check_true "carries a reason" (String.length reason > 0));
+    case "a worker dying at startup is a spawn failure, not a restart loop"
+      (fun () ->
+        let cfg =
+          { Fleet.Router.default_config with Fleet.Router.spawn_grace_s = 0.5 }
+        in
+        match Fleet.Router.create ~cfg [| sh "exit 3" |] with
+        | router ->
+            Fleet.Router.shutdown ~timeout_s:0.5 router;
+            Alcotest.fail "expected Spawn_failed"
+        | exception Fleet.Worker.Spawn_failed { reason; _ } ->
+            check_true "reports the early exit"
+              (contains_sub reason "exit"));
+    case "a hung worker's queued request is answered at the deadline"
+      (fun () ->
+        let cfg =
+          {
+            Fleet.Router.default_config with
+            Fleet.Router.response_deadline_s = 0.3;
+          }
+        in
+        with_router ~cfg [| ok_worker |] (fun router ->
+            Fleet.Router.inject router (ev 0 Fleet.Chaos.Hang);
+            check_int "injection counted" 1 (counter router "chaos_injected");
+            (match Fleet.Router.submit router (g2 ()) with
+            | Fleet.Router.Routed _ -> ()
+            | Fleet.Router.Answered _ -> Alcotest.fail "unexpected answer");
+            (match poll_until router 1 with
+            | [ { outcome = Fleet.Router.Dropped e; _ } ] ->
+                check_string "typed deadline_exceeded" "deadline_exceeded"
+                  (Service.Error.code e);
+                check_true "retryable" (Service.Error.retryable e)
+            | _ -> Alcotest.fail "expected one dropped event");
+            check_int "deadline drop counted" 1
+              (counter router "deadline_drops");
+            check_int "the worker was restarted" 1
+              (Fleet.Router.worker_restarts_of router 0);
+            (* The respawned worker serves again. *)
+            match Fleet.Router.submit router (g2 ~batch:2 ()) with
+            | Fleet.Router.Routed _ -> ignore (poll_until router 1)
+            | Fleet.Router.Answered _ -> Alcotest.fail "slot should be open"));
+    case "a slow injection stalls the worker but loses nothing" (fun () ->
+        with_router [| ok_worker |] (fun router ->
+            Fleet.Router.inject router
+              (ev 0 (Fleet.Chaos.Slow { stall_ms = 150.0 }));
+            (match Fleet.Router.submit router (g2 ()) with
+            | Fleet.Router.Routed _ -> ()
+            | Fleet.Router.Answered _ -> Alcotest.fail "unexpected answer");
+            (match poll_until router 1 with
+            | [ { outcome = Fleet.Router.Reply { json; _ }; _ } ] ->
+                check_true "answered after the stall"
+                  (Util.Json.member "ok" json = Some (Util.Json.Bool true))
+            | _ -> Alcotest.fail "expected a reply");
+            check_int "no restart" 0
+              (Fleet.Router.worker_restarts_of router 0)));
+    case "garbage on the wire restarts the worker with typed answers"
+      (fun () ->
+        with_router [| silent_worker |] (fun router ->
+            (match Fleet.Router.submit router (g2 ()) with
+            | Fleet.Router.Routed _ -> ()
+            | Fleet.Router.Answered _ -> Alcotest.fail "unexpected answer");
+            Fleet.Router.inject router (ev 0 Fleet.Chaos.Garbage);
+            (match poll_until router 1 with
+            | [ { outcome = Fleet.Router.Dropped e; _ } ] ->
+                check_string "typed internal" "internal" (Service.Error.code e)
+            | _ -> Alcotest.fail "expected one dropped event");
+            check_int "protocol error counted" 1
+              (counter router "protocol_errors");
+            check_int "the worker was restarted" 1
+              (Fleet.Router.worker_restarts_of router 0)));
+    case "repeated kills strike out through the breaker and leave the ring"
+      (fun () ->
+        let cfg =
+          {
+            Fleet.Router.default_config with
+            Fleet.Router.breaker_restarts = 2;
+            breaker_window_s = 60.0;
+            restart_backoff_s = 0.02;
+          }
+        in
+        with_router ~cfg [| ok_worker; ok_worker |] (fun router ->
+            Fleet.Router.inject router (ev 1 Fleet.Chaos.Kill);
+            wait_for ~what:"first respawn" router (fun () ->
+                Fleet.Router.worker_restarts_of router 1 = 1);
+            Fleet.Router.inject router (ev 1 Fleet.Chaos.Kill);
+            wait_for ~what:"the breaker" router (fun () ->
+                List.exists
+                  (fun (ws : Fleet.Router.worker_state) ->
+                    ws.Fleet.Router.ws_id = 1
+                    && ws.Fleet.Router.ws_permanently_down)
+                  (Fleet.Router.worker_states router));
+            check_int "taken down once" 1 (counter router "workers_down");
+            (* Traffic keeps flowing through the survivor. *)
+            let n = 6 in
+            for b = 1 to n do
+              match Fleet.Router.submit router (g2 ~batch:b ()) with
+              | Fleet.Router.Routed _ -> ()
+              | Fleet.Router.Answered json ->
+                  Alcotest.failf "shed after ring removal: %s"
+                    (Util.Json.to_string json)
+            done;
+            List.iter
+              (fun (evt : Fleet.Router.event) ->
+                match evt.outcome with
+                | Fleet.Router.Reply { json; _ } ->
+                    check_true "survivor answers"
+                      (Util.Json.member "ok" json
+                      = Some (Util.Json.Bool true))
+                | Fleet.Router.Dropped e ->
+                    Alcotest.fail (Service.Error.to_string e))
+              (poll_until router n);
+            (* The stricken worker never comes back. *)
+            check_int "restarts stopped" 1
+              (Fleet.Router.worker_restarts_of router 1)));
+    case "worker lifecycle states reach stats and prometheus" (fun () ->
+        with_router [| ok_worker |] (fun router ->
+            (match Fleet.Router.worker_states router with
+            | [ ws ] ->
+                check_int "id" 0 ws.Fleet.Router.ws_id;
+                check_true "alive" ws.Fleet.Router.ws_alive;
+                check_true "not down"
+                  (not ws.Fleet.Router.ws_permanently_down);
+                check_int "no restarts" 0 ws.Fleet.Router.ws_restarts;
+                (match Fleet.Router.worker_state_json ws with
+                | Util.Json.Obj fields ->
+                    List.iter
+                      (fun k ->
+                        check_true k (List.mem_assoc k fields))
+                      [
+                        "worker"; "pid"; "alive"; "permanently_down";
+                        "restarts"; "consecutive_health_failures"; "depth";
+                      ]
+                | _ -> Alcotest.fail "worker state should be an object")
+            | l ->
+                Alcotest.failf "expected one worker state, got %d"
+                  (List.length l));
+            let merged = Service.Metrics.create () in
+            let text =
+              Fleet.Router.prometheus router ~merged ~per_worker:[]
+            in
+            check_true "restart series"
+              (contains_sub text
+                 {|chimera_fleet_worker_restarts_total{worker="0"} 0|});
+            check_true "up gauge"
+              (contains_sub text {|chimera_fleet_worker_up{worker="0"} 1|});
+            check_true "down gauge"
+              (contains_sub text
+                 {|chimera_fleet_worker_permanently_down{worker="0"} 0|})));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Ring stability across death/respawn cycles                          *)
+(* ------------------------------------------------------------------ *)
+
+let stability_tests =
+  [
+    case "assignment survives repeated death and respawn cycles" (fun () ->
+        let n = 4 in
+        let keys = uniform_keys 4000 in
+        let fresh = Fleet.Ring.create (List.init n Fun.id) in
+        let baseline = List.map (Fleet.Ring.lookup fresh) keys in
+        (* Each round a worker dies (leaves the ring) and respawns
+           under the same id (the ring is rebuilt over the full set,
+           exactly what the router does across a respawn).  Whatever
+           the history, the rebuilt ring must equal a fresh one. *)
+        let ring = ref fresh in
+        for round = 0 to 9 do
+          let victim = round mod n in
+          let removed = Fleet.Ring.remove !ring victim in
+          (* While the victim is out, only ~1/N of keys remap, and none
+             of them to the dead worker. *)
+          let remapped = ref 0 in
+          List.iter2
+            (fun key before ->
+              let after = Fleet.Ring.lookup removed key in
+              check_true "never the dead worker" (after <> victim);
+              if before <> victim then
+                check_int "survivors keep their keys" before after
+              else incr remapped)
+            keys baseline;
+          let frac = float_of_int !remapped /. 4000.0 in
+          check_true "remapped share near 1/N" (frac > 0.1 && frac < 0.45);
+          ring := Fleet.Ring.create (Fleet.Ring.workers removed @ [ victim ])
+        done;
+        check_true "ten cycles later the assignment is the fresh one"
+          (List.map (Fleet.Ring.lookup !ring) keys = baseline));
   ]
 
 let suites =
@@ -791,6 +1126,9 @@ let suites =
     ("fleet.traffic", traffic_tests);
     ("fleet.cache_contention", cache_contention_tests);
     ("fleet.router", router_tests);
+    ("fleet.chaos", chaos_tests);
+    ("fleet.supervisor", supervisor_tests);
+    ("fleet.stability", stability_tests);
     ("fleet.wire", wire_tests);
     ("fleet.e2e", e2e_tests);
   ]

@@ -302,22 +302,26 @@ let cache_tests =
         | Loaded _ | Absent -> Alcotest.fail "expected Discarded");
         check_int "stays empty" 0 (length cache2);
         rm_rf dir);
-    case "corrupt payload discards the file wholesale" (fun () ->
+    case "a garbage body yields zero trusted entries" (fun () ->
         let dir = fresh_dir () in
         let cache = create () in
         add cache (fp_m 10) dummy_entry;
         save cache ~dir;
         let oc = open_out_bin (cache_file ~dir) in
-        Printf.fprintf oc "CHIMERA-PLAN-CACHE %d %d\nnot marshal data"
+        Printf.fprintf oc "CHIMERA-PLAN-CACHE %d %d\nnot framed data"
           file_version Service.Fingerprint.scheme_version;
         close_out oc;
         let metrics = Service.Metrics.create () in
         let cache2 = create ~metrics () in
         (match load cache2 ~dir with
-        | Discarded _ -> ()
-        | Loaded _ | Absent -> Alcotest.fail "expected Discarded");
-        check_int "corruption counted" 1
-          metrics.Service.Metrics.cache_corrupt;
+        | Loaded { entries = 0; skipped } ->
+            check_true "the garbage is skipped" (skipped >= 1)
+        | Loaded { entries; _ } ->
+            Alcotest.failf "trusted %d entries of garbage" entries
+        | Discarded _ | Absent -> Alcotest.fail "expected a skipping load");
+        check_true "skips counted"
+          (metrics.Service.Metrics.cache_entries_skipped >= 1);
+        check_int "stays empty" 0 (length cache2);
         rm_rf dir);
     case "loading a missing file is a clean cold start" (fun () ->
         let cache = create () in
@@ -1047,7 +1051,8 @@ let recovery_tests =
   let open Service.Plan_cache in
   let fp_m m = fp (gemm ~m ()) in
   [
-    case "a truncated cache file is discarded and counted" (fun () ->
+    case "a truncated cache file skips torn frames, keeps the rest"
+      (fun () ->
         let dir = fresh_dir () in
         let cache = create () in
         add cache (fp_m 10) dummy_entry;
@@ -1064,14 +1069,19 @@ let recovery_tests =
         let metrics = Service.Metrics.create () in
         let cache2 = create ~metrics () in
         (match load cache2 ~dir with
-        | Discarded _ -> ()
-        | Loaded n -> Alcotest.failf "loaded %d entries from a truncated file" n
+        | Loaded { entries; skipped } ->
+            check_true "the torn tail is skipped" (skipped >= 1);
+            check_true "never more than what was saved"
+              (entries + skipped <= 2);
+            check_int "survivors restored" entries (length cache2)
+        | Discarded r -> Alcotest.failf "wholesale discard (%s)" r
         | Absent -> Alcotest.fail "the file exists");
-        check_int "corruption counted" 1
+        check_true "skips counted"
+          (metrics.Service.Metrics.cache_entries_skipped >= 1);
+        check_int "not a wholesale corruption" 0
           metrics.Service.Metrics.cache_corrupt;
-        check_int "cold" 0 (length cache2);
         rm_rf dir);
-    case "a bit-flipped payload is discarded, not unmarshalled" (fun () ->
+    case "a bit-flipped frame is skipped, not unmarshalled" (fun () ->
         let dir = fresh_dir () in
         let cache = create () in
         add cache (fp_m 10) dummy_entry;
@@ -1080,9 +1090,9 @@ let recovery_tests =
         let ic = open_in_bin file in
         let data = really_input_string ic (in_channel_length ic) in
         close_in ic;
-        (* Flip a byte of the Marshal header, the bytes right after the
-           text line — guaranteed to be detected, unlike a flip deep in
-           the payload. *)
+        (* Flip a byte of the first frame's length field, the bytes
+           right after the text header — the CRC/framing guards must
+           catch it before any Marshal.from_* runs. *)
         let body_start = String.index data '\n' + 1 in
         let b = Bytes.of_string data in
         Bytes.set b body_start
@@ -1093,10 +1103,44 @@ let recovery_tests =
         let metrics = Service.Metrics.create () in
         let cache2 = create ~metrics () in
         (match load cache2 ~dir with
-        | Discarded _ -> ()
-        | Loaded _ | Absent -> Alcotest.fail "expected Discarded");
-        check_int "corruption counted" 1
-          metrics.Service.Metrics.cache_corrupt;
+        | Loaded { entries = 0; skipped } ->
+            check_true "the flipped frame is skipped" (skipped >= 1)
+        | Loaded { entries; _ } ->
+            Alcotest.failf "trusted %d corrupt entries" entries
+        | Discarded _ | Absent -> Alcotest.fail "expected a skip, not a discard");
+        check_true "skips counted"
+          (metrics.Service.Metrics.cache_entries_skipped >= 1);
+        rm_rf dir);
+    case "a flip deep in a frame payload is caught by the CRC" (fun () ->
+        let dir = fresh_dir () in
+        let cache = create () in
+        add cache (fp_m 10) dummy_entry;
+        add cache (fp_m 11) dummy_entry;
+        save cache ~dir;
+        let file = cache_file ~dir in
+        let ic = open_in_bin file in
+        let data = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        (* Corrupt one byte in the middle of the second frame's payload
+           (past length+CRC of frame 1): the framing stays intact, so
+           the loader must skip exactly that entry and keep the other. *)
+        let b = Bytes.of_string data in
+        let pos = Bytes.length b - 8 in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x55));
+        let oc = open_out_bin file in
+        output_bytes oc b;
+        close_out oc;
+        let metrics = Service.Metrics.create () in
+        let cache2 = create ~metrics () in
+        (match load cache2 ~dir with
+        | Loaded { entries = 1; skipped = 1 } -> ()
+        | Loaded { entries; skipped } ->
+            Alcotest.failf "expected 1 kept / 1 skipped, got %d/%d" entries
+              skipped
+        | Discarded _ | Absent -> Alcotest.fail "expected a partial load");
+        check_int "the good entry still loads" 1 (length cache2);
+        check_int "skip counted" 1
+          metrics.Service.Metrics.cache_entries_skipped;
         rm_rf dir);
     case "save retries through a transient I/O fault" (fun () ->
         with_failpoints "cache.save=io@1" (fun () ->
@@ -1435,6 +1479,93 @@ let observability_tests =
           (Obs.Histogram.count metrics.Service.Metrics.tuner_trial_ms > 0));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Property fuzz: the error wire format round-trips, and no corruption  *)
+(* of the cache file ever escapes the loader                            *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let error_arb =
+  let open QCheck in
+  let msg = Gen.(string_size ~gen:printable (int_range 0 24)) in
+  make ~print:Service.Error.to_string
+    Gen.(
+      oneof
+        [
+          map2
+            (fun field reason ->
+              Service.Error.Invalid_request { field; reason })
+            msg msg;
+          map (fun m -> Service.Error.No_feasible_tiling m) msg;
+          map (fun m -> Service.Error.Deadline_exceeded m) msg;
+          map (fun m -> Service.Error.Cache_corrupt m) msg;
+          map (fun m -> Service.Error.Verify_failed m) msg;
+          map (fun m -> Service.Error.Overloaded m) msg;
+          map (fun m -> Service.Error.Internal m) msg;
+        ])
+
+(* (truncate?, position, flip mask) — how to damage the saved file. *)
+let corruption_arb =
+  QCheck.(triple bool (int_bound 100_000) (int_range 1 255))
+
+let fuzz_tests =
+  [
+    qcheck
+      (QCheck.Test.make ~count:500
+         ~name:"every typed error round-trips through the wire" error_arb
+         (fun e ->
+           let line = Util.Json.to_string (Service.Error.to_json e) in
+           match Util.Json.parse line with
+           | Error _ -> false
+           | Ok json -> Service.Error.of_json json = Ok e));
+    qcheck
+      (QCheck.Test.make ~count:60
+         ~name:"no cache-file corruption escapes the loader" corruption_arb
+         (fun (truncate, pos, mask) ->
+           let open Service.Plan_cache in
+           let dir = fresh_dir () in
+           let saved = 3 in
+           let cache = create () in
+           for m = 10 to 9 + saved do
+             add cache (fp (gemm ~m ())) dummy_entry
+           done;
+           save cache ~dir;
+           let file = cache_file ~dir in
+           let ic = open_in_bin file in
+           let data = really_input_string ic (in_channel_length ic) in
+           close_in ic;
+           let damaged =
+             if truncate then String.sub data 0 (pos mod (String.length data + 1))
+             else begin
+               let b = Bytes.of_string data in
+               let i = pos mod Bytes.length b in
+               Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor mask));
+               Bytes.to_string b
+             end
+           in
+           let oc = open_out_bin file in
+           output_string oc damaged;
+           close_out oc;
+           let cache2 = create () in
+           let ok =
+             match load cache2 ~dir with
+             | Loaded { entries; skipped } ->
+                 (* Only intact frames may be trusted; nothing fabricated.
+                    [skipped] is diagnostic only: a flipped length field
+                    can shred the remainder into several bogus frames,
+                    and a cut at an exact frame boundary reads as a clean
+                    (shorter) file. *)
+                 entries <= saved && entries = length cache2 && skipped >= 0
+             | Discarded _ ->
+                 (* A damaged header discards wholesale — still safe. *)
+                 length cache2 = 0
+             | Absent -> false
+           in
+           rm_rf dir;
+           ok));
+  ]
+
 let suites =
   [
     ("service.json", json_tests);
@@ -1452,6 +1583,7 @@ let suites =
     ("service.validation", validation_tests);
     ("service.deadline", deadline_tests);
     ("service.recovery", recovery_tests);
+    ("service.fuzz", fuzz_tests);
     ("service.injection", injection_tests);
     ("service.marathon", marathon_tests);
   ]
