@@ -273,7 +273,27 @@ let lint_machines arch =
   if arch = "all" then Ok Arch.Presets.all
   else Result.map (fun m -> [ (arch, m) ]) (lookup_machine arch)
 
-let lint_cmd workload arch strict json_out =
+(* The same verdict Batch.certificate_verdict computes for service
+   responses, re-derived here so lint output matches the wire. *)
+let certificate_verdict (compiled : Chimera.Compiler.compiled) ds =
+  let plans_of (u : Chimera.Compiler.unit_) =
+    u.Chimera.Compiler.kernel.Codegen.Kernel.level_plans
+  in
+  let units = compiled.Chimera.Compiler.units in
+  if
+    List.exists
+      (fun (d : Verify.Diagnostic.t) ->
+        Verify.Cert_check.error_code d.Verify.Diagnostic.code)
+      ds
+  then "failed"
+  else if
+    not (List.for_all (fun u -> Verify.Cert_check.certified (plans_of u)) units)
+  then "uncertified"
+  else if List.exists (fun u -> Verify.Cert_check.conditional (plans_of u)) units
+  then "conditional"
+  else "certified"
+
+let lint_cmd workload arch strict certify require_full json_out =
   match
     Result.bind (lint_machines arch) (fun machines ->
         Result.map (fun ts -> (machines, ts)) (lint_targets workload))
@@ -309,28 +329,72 @@ let lint_cmd workload arch strict json_out =
                     Printf.printf "%-4s x %-4s FAILED to compile: %s\n" name
                       aname (Printexc.to_string e)
               | compiled ->
-                  let ds = Verify.Driver.check_compiled compiled in
+                  let ds =
+                    Verify.Driver.check_compiled ~require_certificates:certify
+                      ~pool:(Util.Pool.global ()) compiled
+                  in
                   let errs = List.length (Verify.Diagnostic.errors ds) in
-                  error_count := !error_count + errs;
+                  (* --require-full upgrades the conditional-certificate
+                     and missing-certificate warnings (CHIM043/CHIM044)
+                     to failures: every plan must carry a whole-box
+                     optimality proof, not just an exhaustive search. *)
+                  let upgraded =
+                    if not (certify && require_full) then 0
+                    else
+                      List.length
+                        (List.filter
+                           (fun (d : Verify.Diagnostic.t) ->
+                             (d.Verify.Diagnostic.code
+                              = Verify.Cert_check.conditional_code
+                             || d.Verify.Diagnostic.code
+                                = Verify.Cert_check.missing_code)
+                             && not (Verify.Diagnostic.is_error d))
+                           ds)
+                  in
+                  error_count := !error_count + errs + upgraded;
                   warning_count :=
-                    !warning_count + (List.length ds - errs);
+                    !warning_count + (List.length ds - errs - upgraded);
+                  let verdict =
+                    if certify then Some (certificate_verdict compiled ds)
+                    else None
+                  in
+                  let cert_ok =
+                    match verdict with
+                    | Some "certified" | None -> true
+                    | Some "conditional" -> not require_full
+                    | Some _ -> false
+                  in
                   if json_out then
                     emit_json name aname
-                      [
-                        ("ok", Util.Json.Bool (Verify.Diagnostic.ok ds));
-                        ( "diagnostics",
-                          Util.Json.List
-                            (List.map Verify.Diagnostic.to_json ds) );
-                      ]
-                  else if ds = [] then
-                    Printf.printf "%-4s x %-4s clean\n" name aname
+                      ([ ("ok",
+                          Util.Json.Bool (Verify.Diagnostic.ok ds && cert_ok))
+                       ]
+                      @ (match verdict with
+                        | Some v -> [ ("certificate", Util.Json.String v) ]
+                        | None -> [])
+                      @ [
+                          ( "diagnostics",
+                            Util.Json.List
+                              (List.map Verify.Diagnostic.to_json ds) );
+                        ])
                   else begin
-                    Printf.printf "%-4s x %-4s %s\n" name aname
-                      (Verify.Diagnostic.summary ds);
-                    List.iter
-                      (fun d ->
-                        Printf.printf "  %s\n" (Verify.Diagnostic.to_string d))
-                      ds
+                    let cert_note =
+                      match verdict with
+                      | Some v -> Printf.sprintf " [%s]" v
+                      | None -> ""
+                    in
+                    if ds = [] then
+                      Printf.printf "%-4s x %-4s clean%s\n" name aname
+                        cert_note
+                    else begin
+                      Printf.printf "%-4s x %-4s %s%s\n" name aname
+                        (Verify.Diagnostic.summary ds) cert_note;
+                      List.iter
+                        (fun d ->
+                          Printf.printf "  %s\n"
+                            (Verify.Diagnostic.to_string d))
+                        ds
+                    end
                   end)
             targets)
         machines;
@@ -414,10 +478,14 @@ let batch_cmd requests_path jobs cache_dir deadline_ms failpoints verify
       Option.iter
         (fun dir ->
           match Service.Plan_cache.load cache ~dir with
-          | Service.Plan_cache.Loaded { entries; skipped } ->
-              Printf.printf "loaded %d cached plans from %s%s\n" entries dir
+          | Service.Plan_cache.Loaded { entries; skipped; migrated } ->
+              Printf.printf "loaded %d cached plans from %s%s%s\n" entries dir
                 (if skipped = 0 then ""
                  else Printf.sprintf " (%d corrupt entries skipped)" skipped)
+                (if migrated = 0 then ""
+                 else
+                   Printf.sprintf " (%d older-version entries migrated)"
+                     migrated)
           | Service.Plan_cache.Absent -> ()
           | Service.Plan_cache.Discarded reason ->
               Printf.printf "discarded stale plan cache in %s: %s\n" dir
@@ -1298,6 +1366,22 @@ let strict_arg =
   let doc = "Exit non-zero when any error-severity diagnostic is found." in
   Arg.(value & flag & info [ "strict" ] ~doc)
 
+let certify_arg =
+  let doc =
+    "Require optimality certificates: run the certificate checker \
+     (CHIM036-043) over every plan and flag analytical plans that carry \
+     none (CHIM044).  Adds a $(b,certificate) verdict per workload."
+  in
+  Arg.(value & flag & info [ "certify" ] ~doc)
+
+let require_full_arg =
+  let doc =
+    "With $(b,--certify): treat conditional certificates (CHIM043, no \
+     whole-box prune witness) and missing certificates (CHIM044) as \
+     errors, not warnings."
+  in
+  Arg.(value & flag & info [ "require-full" ] ~doc)
+
 let json_arg =
   let doc = "Emit one JSON object per workload/machine pair (JSONL)." in
   Arg.(value & flag & info [ "json" ] ~doc)
@@ -1311,7 +1395,7 @@ let lint_t =
     Term.(
       term_result
         (const lint_cmd $ lint_workload_arg $ lint_arch_arg $ strict_arg
-       $ json_arg))
+       $ certify_arg $ require_full_arg $ json_arg))
 
 let list_t =
   Cmd.v

@@ -1,0 +1,225 @@
+type outcome =
+  | Won of { dv_bytes : float }
+  | Solved of { dv_bytes : float; tiling : (string * int) list }
+  | Infeasible
+  | Pruned of { lb_dv_bytes : float }
+
+type entry = { perm : string list; outcome : outcome }
+
+type box_axis = { axis : string; bound : int; fixed : bool }
+
+type t = {
+  winner_perm : string list;
+  winner_tiling : (string * int) list;
+  winner_dv_bytes : float;
+  capacity_bytes : int;
+  box : box_axis list;
+  conditional : bool;
+  entries : entry list;
+}
+
+let wire_version = 1
+
+let entries_won c =
+  List.length
+    (List.filter (fun e -> match e.outcome with Won _ -> true | _ -> false)
+       c.entries)
+
+let count p c = List.length (List.filter p c.entries)
+
+let entries_solved =
+  count (fun e -> match e.outcome with Solved _ -> true | _ -> false)
+
+let entries_infeasible =
+  count (fun e -> match e.outcome with Infeasible -> true | _ -> false)
+
+let entries_pruned =
+  count (fun e -> match e.outcome with Pruned _ -> true | _ -> false)
+
+(* ---------------- wire form ---------------- *)
+
+module J = Util.Json
+
+let perm_to_json perm = J.List (List.map (fun a -> J.String a) perm)
+
+let tiling_to_json t =
+  J.Obj (List.map (fun (axis, size) -> (axis, J.Int size)) t)
+
+let outcome_to_json = function
+  | Won { dv_bytes } ->
+      J.Obj [ ("kind", J.String "won"); ("dv_bytes", J.Float dv_bytes) ]
+  | Solved { dv_bytes; tiling } ->
+      J.Obj
+        [
+          ("kind", J.String "solved");
+          ("dv_bytes", J.Float dv_bytes);
+          ("tiling", tiling_to_json tiling);
+        ]
+  | Infeasible -> J.Obj [ ("kind", J.String "infeasible") ]
+  | Pruned { lb_dv_bytes } ->
+      J.Obj
+        [ ("kind", J.String "pruned"); ("lb_dv_bytes", J.Float lb_dv_bytes) ]
+
+let to_json c =
+  J.Obj
+    [
+      ("version", J.Int wire_version);
+      ("winner_perm", perm_to_json c.winner_perm);
+      ("winner_tiling", tiling_to_json c.winner_tiling);
+      ("winner_dv_bytes", J.Float c.winner_dv_bytes);
+      ("capacity_bytes", J.Int c.capacity_bytes);
+      ( "box",
+        J.List
+          (List.map
+             (fun b ->
+               J.Obj
+                 [
+                   ("axis", J.String b.axis);
+                   ("bound", J.Int b.bound);
+                   ("fixed", J.Bool b.fixed);
+                 ])
+             c.box) );
+      ("conditional", J.Bool c.conditional);
+      ( "entries",
+        J.List
+          (List.map
+             (fun e ->
+               J.Obj
+                 [
+                   ("perm", perm_to_json e.perm);
+                   ("outcome", outcome_to_json e.outcome);
+                 ])
+             c.entries) );
+    ]
+
+(* Decoding is total: any structural surprise is an [Error], never an
+   exception — certificates cross process and file boundaries, so a
+   malformed one must surface as a diagnostic, not a crash. *)
+
+let ( let* ) = Result.bind
+
+let field name j =
+  match J.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "certificate: missing field %S" name)
+
+let as_ what conv j =
+  match conv j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "certificate: field is not %s" what)
+
+let perm_of_json j =
+  match j with
+  | J.List items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | J.String s :: rest -> go (s :: acc) rest
+        | _ -> Error "certificate: perm element is not a string"
+      in
+      go [] items
+  | _ -> Error "certificate: perm is not a list"
+
+let tiling_of_json j =
+  match j with
+  | J.Obj fields ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | (axis, J.Int size) :: rest -> go ((axis, size) :: acc) rest
+        | (axis, _) :: _ ->
+            Error
+              (Printf.sprintf "certificate: tile for %S is not an int" axis)
+      in
+      go [] fields
+  | _ -> Error "certificate: tiling is not an object"
+
+let outcome_of_json j =
+  let* kind = Result.bind (field "kind" j) (as_ "a string" J.to_string_opt) in
+  match kind with
+  | "won" ->
+      let* dv =
+        Result.bind (field "dv_bytes" j) (as_ "a number" J.to_float_opt)
+      in
+      Ok (Won { dv_bytes = dv })
+  | "solved" ->
+      let* dv =
+        Result.bind (field "dv_bytes" j) (as_ "a number" J.to_float_opt)
+      in
+      let* tiling = Result.bind (field "tiling" j) tiling_of_json in
+      Ok (Solved { dv_bytes = dv; tiling })
+  | "infeasible" -> Ok Infeasible
+  | "pruned" ->
+      let* lb =
+        Result.bind (field "lb_dv_bytes" j) (as_ "a number" J.to_float_opt)
+      in
+      Ok (Pruned { lb_dv_bytes = lb })
+  | k -> Error (Printf.sprintf "certificate: unknown outcome kind %S" k)
+
+let box_axis_of_json j =
+  let* axis = Result.bind (field "axis" j) (as_ "a string" J.to_string_opt) in
+  let* bound = Result.bind (field "bound" j) (as_ "an int" J.to_int_opt) in
+  let* fixed = Result.bind (field "fixed" j) (as_ "a bool" J.to_bool_opt) in
+  Ok { axis; bound; fixed }
+
+let list_of what conv j =
+  match j with
+  | J.List items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest ->
+            let* v = conv item in
+            go (v :: acc) rest
+      in
+      go [] items
+  | _ -> Error (Printf.sprintf "certificate: %s is not a list" what)
+
+let entry_of_json j =
+  let* perm = Result.bind (field "perm" j) perm_of_json in
+  let* outcome = Result.bind (field "outcome" j) outcome_of_json in
+  Ok { perm; outcome }
+
+let of_json j =
+  let* version =
+    Result.bind (field "version" j) (as_ "an int" J.to_int_opt)
+  in
+  if version <> wire_version then
+    Error
+      (Printf.sprintf "certificate: unsupported wire version %d (want %d)"
+         version wire_version)
+  else
+    let* winner_perm = Result.bind (field "winner_perm" j) perm_of_json in
+    let* winner_tiling =
+      Result.bind (field "winner_tiling" j) tiling_of_json
+    in
+    let* winner_dv_bytes =
+      Result.bind (field "winner_dv_bytes" j) (as_ "a number" J.to_float_opt)
+    in
+    let* capacity_bytes =
+      Result.bind (field "capacity_bytes" j) (as_ "an int" J.to_int_opt)
+    in
+    let* box = Result.bind (field "box" j) (list_of "box" box_axis_of_json) in
+    let* conditional =
+      Result.bind (field "conditional" j) (as_ "a bool" J.to_bool_opt)
+    in
+    let* entries =
+      Result.bind (field "entries" j) (list_of "entries" entry_of_json)
+    in
+    Ok
+      {
+        winner_perm;
+        winner_tiling;
+        winner_dv_bytes;
+        capacity_bytes;
+        box;
+        conditional;
+        entries;
+      }
+
+let summary c =
+  Printf.sprintf
+    "winner=%s dv=%.6e cap=%d orders=%d (solved %d, infeasible %d, pruned \
+     %d)%s"
+    (String.concat "" c.winner_perm)
+    c.winner_dv_bytes c.capacity_bytes
+    (List.length c.entries)
+    (entries_solved c) (entries_infeasible c) (entries_pruned c)
+    (if c.conditional then " conditional" else "")

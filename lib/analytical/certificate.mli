@@ -1,0 +1,80 @@
+(** Optimality certificates: the branch-and-bound evidence trail a
+    {!Planner.optimize} run leaves behind, packaged so an independent
+    checker (lib/verify's [Cert_check]) can re-establish — without
+    calling the solver — that the served plan really is the minimum-DV
+    choice over the candidate order space.
+
+    One {!entry} per candidate block execution order, in enumeration
+    order (the order {!Permutations.candidates} yields, which carries
+    the tie-break: the earliest-enumerated minimum-DV order wins):
+
+    - [Won] — the winning order, with its exact Algorithm-1 DV;
+    - [Solved] — the descent ran and lost; the recorded best tiling
+      makes the losing DV re-derivable by one [Movement.analyze];
+    - [Infeasible] — no tiling in the order's box fits the budget;
+      re-checkable at the box's minimum corner because MU is monotone
+      non-decreasing in every tile size;
+    - [Pruned] — the order was excluded wholesale by a certified DV
+      lower bound over its search box; [lb_dv_bytes] is the witness,
+      justified by [lb > winner] (the solver only prunes against an
+      incumbent that is itself >= the final winner, so the recorded
+      witness clears the winner no matter when the prune fired under
+      the pooled race).
+
+    The {!t.box} records the per-axis tile bounds every order was
+    solved under (outer-level constraints), so the checker can re-price
+    pruned witnesses from first principles and confirm the bound's
+    monotonicity preconditions.  When those preconditions fail for the
+    box (a gapped access the corner pricing cannot cover),
+    [conditional] is set: no order was pruned, the enumeration is
+    exhaustive, and the checker flags the certificate CHIM043 — the
+    optimality claim holds relative to the per-order descents, with no
+    independent whole-box witness available.  See docs/CERTIFY.md. *)
+
+type outcome =
+  | Won of { dv_bytes : float }
+  | Solved of { dv_bytes : float; tiling : (string * int) list }
+  | Infeasible
+  | Pruned of { lb_dv_bytes : float }
+
+type entry = { perm : string list; outcome : outcome }
+
+type box_axis = {
+  axis : string;
+  bound : int;  (** upper tile bound the solver searched under. *)
+  fixed : bool;
+      (** the axis sits at exactly [bound] in every evaluated point
+          (full-tile axes, and axes whose bound is 1). *)
+}
+
+type t = {
+  winner_perm : string list;
+  winner_tiling : (string * int) list;
+      (** the winning descent's tiling, {e before} any parallelism
+          refinement — the point whose DV is certified optimal. *)
+  winner_dv_bytes : float;
+  capacity_bytes : int;
+  box : box_axis list;  (** one per chain axis, in chain-axis order. *)
+  conditional : bool;
+  entries : entry list;  (** enumeration order; exactly one [Won]. *)
+}
+
+val wire_version : int
+(** Version stamp of the JSON wire form; {!of_json} rejects others. *)
+
+val entries_won : t -> int
+val entries_solved : t -> int
+val entries_infeasible : t -> int
+val entries_pruned : t -> int
+
+val to_json : t -> Util.Json.t
+(** Versioned wire form (used by tooling and the tamper-test suite;
+    inside the plan cache certificates travel marshalled with the rest
+    of the plan). *)
+
+val of_json : Util.Json.t -> (t, string) result
+(** Total decoder: structural surprises and unsupported versions are
+    [Error], never an exception. *)
+
+val summary : t -> string
+(** One line: winner, DV, capacity, entry census, conditional flag. *)

@@ -77,8 +77,9 @@ let analyze ?(charge_intermediates = false) (chain : Ir.Chain.t) ~perm ~tiling =
             ref_movement op r ~active_innermost_first:!active ~tiling
           in
           total_df := !total_df + df;
-          let dm = if List.mem r.tensor io then dm else 0.0 in
-          if List.mem r.tensor io then dv := !dv +. dm;
+          let charged = List.mem r.tensor io in
+          let dm = if charged then dm else 0.0 in
+          if charged then dv := !dv +. dm;
           (match Hashtbl.find_opt per_tensor r.tensor with
           | None ->
               Hashtbl.add per_tensor r.tensor
@@ -277,13 +278,24 @@ let eval ev ~tiling =
    can only move inward as tiles shrink (trip counts grow), so the
    upper-bound corner's multiplier set is a subset of any point's.
 
-   Density precondition (checked here, [None] when violated): each
-   varying axis's stride must not exceed 1 + the span contributed by the
-   fixed terms of the same dimension, and a varying axis must touch at
-   most one dimension of a reference.  A strided conv with stride >
-   kernel (gaps between touched rows) fails it: there, small tiles touch
-   *less* data than the full-tile footprint suggests and no cheap corner
-   evaluation bounds DV from below. *)
+   Gapped accesses (a varying axis whose stride exceeds 1 + the span the
+   same dimension's fixed terms guarantee — conv stride > kernel, rows
+   with holes between them): the dense per-axis argument above fails,
+   because small tiles touch *less* data than the full-tile footprint
+   suggests.  The bound still holds with a joint pricing: for tile t the
+   dimension contributes footprint min(c(t-1)+F, D) and the axis itself
+   multiplies by ceil(E/t) once reuse breaks (it always breaks at t < E:
+   the axis uses the access).  With c > F >= 1, (c(t-1)+F)*ceil(E/t) >=
+   F*t*(E/t) = E*F, and the D-clipped branch contributes >= D — so
+   min(E*F, D) lower-bounds the dimension-times-own-trips product at
+   every box point, and the axis's later ratio multiplier is replaced by
+   1.  This is what lets pruning fire on stride>kernel convs (e.g. C5)
+   instead of failing open.
+
+   Density precondition (checked here, [None] when violated): a varying
+   axis must touch at most one dimension of a reference — two gapped
+   dimensions sharing one axis would need a joint 2-D argument no cheap
+   corner evaluation supplies. *)
 let dv_lower_bound ev ~bounds ~fixed =
   let n = Array.length ev.e_axes in
   if Array.length bounds <> n || Array.length fixed <> n then
@@ -302,12 +314,16 @@ let dv_lower_bound ev ~bounds ~fixed =
   let sound = ref true in
   let lb = ref 0.0 in
   let dims_touched = Array.make n 0 in
+  (* Axes whose trip multiplier is already folded into a gapped
+     dimension's joint factor for the current reference. *)
+  let prepriced = Array.make n false in
   Array.iter
     (fun st ->
       Array.iter
         (fun r ->
           if r.e_charged then begin
             Array.fill dims_touched 0 n 0;
+            Array.fill prepriced 0 n false;
             let elems = ref 1 in
             Array.iter
               (fun (bound, terms) ->
@@ -318,23 +334,31 @@ let dv_lower_bound ev ~bounds ~fixed =
                       fixed_span := !fixed_span + (coeff * (bounds.(ai) - 1)))
                   terms;
                 let span = ref 1 in
+                let gapped = ref (-1) in
                 Array.iter
                   (fun (ai, coeff) ->
                     if varies.(ai) then begin
                       dims_touched.(ai) <- dims_touched.(ai) + 1;
-                      if coeff > !fixed_span || dims_touched.(ai) > 1 then
-                        sound := false
+                      if dims_touched.(ai) > 1 then sound := false;
+                      if coeff > !fixed_span then gapped := ai
                     end;
                     span := !span + (coeff * (bounds.(ai) - 1)))
                   terms;
-                elems := !elems * min !span bound)
+                if !gapped < 0 then elems := !elems * min !span bound
+                else begin
+                  let ai = !gapped in
+                  prepriced.(ai) <- true;
+                  elems :=
+                    !elems * min (ev.e_extents.(ai) * !fixed_span) bound
+                end)
               r.e_dims;
             let dm = ref (float_of_int (!elems * r.e_dtype_bytes)) in
             let keep_reuse = ref true in
             Array.iter
               (fun (ai, uses) ->
                 if uses && trips.(ai) > 1 then keep_reuse := false;
-                if not !keep_reuse then dm := !dm *. ratio.(ai))
+                if (not !keep_reuse) && not prepriced.(ai) then
+                  dm := !dm *. ratio.(ai))
               r.e_loops;
             lb := !lb +. !dm
           end)

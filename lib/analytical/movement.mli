@@ -72,10 +72,14 @@ val dv_lower_bound :
     reuse-breaking loop priced at the real ratio extent/bound rather
     than its ceiling — sound because a dense access's footprint-times-
     trips product per axis is minimised at the bound, and reuse breaks
-    only move inward as tiles shrink.  Returns [None] when the density
-    precondition fails (an access with gaps, e.g. conv stride > kernel:
-    there small tiles can move {e less} than the corner suggests), in
-    which case the caller must not prune. *)
+    only move inward as tiles shrink.  A gapped access (conv stride >
+    kernel, where small tiles touch less data than the corner footprint
+    suggests) is priced jointly instead: the dimension's factor and the
+    gapped axis's own trip multiplier collapse to min(extent x
+    fixed-span, dim bound), which lower-bounds their product at every
+    box point.  Returns [None] only when a varying axis touches more
+    than one dimension of a reference (no cheap corner evaluation
+    bounds that), in which case the caller must not prune. *)
 
 val reuse_axes : Ir.Chain.t -> perm:string list -> tensor:string -> string list
 (** The axes along which the named IO tensor is *reused* under [perm]:

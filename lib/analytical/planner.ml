@@ -6,6 +6,7 @@ type plan = {
   candidates_evaluated : int;
   perms_pruned : int;
   solver_evals : int;
+  certificate : Certificate.t option;
 }
 
 (* Seed the descent with the paper's closed-form point when the chain has
@@ -49,7 +50,10 @@ let rec atomic_min cell v =
   let cur = Atomic.get cell in
   if v < cur && not (Atomic.compare_and_set cell cur v) then atomic_min cell v
 
-let explore chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check
+(* Internal: solve every candidate order and keep the per-order verdicts
+   in enumeration order — the raw material for both the ranked view and
+   the optimality certificate. *)
+let explore_raw chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check
     ?(prune = false) ?(engine = `Compiled) ?pool ?(obs = Obs.Trace.none) () =
   let perms =
     match perms with Some p -> p | None -> Permutations.candidates chain
@@ -75,7 +79,7 @@ let explore chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check
         (match verdict with
         | Solver.Feasible sol ->
             atomic_min best sol.Solver.movement.Movement.dv_bytes
-        | Solver.Infeasible | Solver.Pruned -> ());
+        | Solver.Infeasible | Solver.Pruned _ -> ());
         if Obs.Trace.enabled obs then
           Obs.Trace.annot obs
             [
@@ -83,7 +87,7 @@ let explore chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check
                 match verdict with
                 | Solver.Feasible _ -> "feasible"
                 | Solver.Infeasible -> "infeasible"
-                | Solver.Pruned -> "pruned" );
+                | Solver.Pruned _ -> "pruned" );
               ("evals", string_of_int evals);
             ];
         (verdict, evals))
@@ -108,19 +112,22 @@ let explore chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check
         {
           acc with
           pruned =
-            (acc.pruned + match verdict with Solver.Pruned -> 1 | _ -> 0);
+            (acc.pruned + match verdict with Solver.Pruned _ -> 1 | _ -> 0);
           evals = acc.evals + evals;
         })
       { evaluated = List.length perms; pruned = 0; evals = 0 }
       outcomes
   in
-  (* Outcomes are in enumeration order, so the stable sort below keeps
-     the pre-pruning tie-break: the earliest-enumerated minimum-DV
-     order wins. *)
+  (perms, outcomes, stats)
+
+(* Outcomes are in enumeration order, so the stable sort below keeps
+   the pre-pruning tie-break: the earliest-enumerated minimum-DV
+   order wins. *)
+let rank perms outcomes =
   let candidates =
     List.rev
       (List.fold_left2
-         (fun acc perm (verdict, _) ->
+         (fun acc perm ((verdict : Solver.verdict), _) ->
            match verdict with
            | Solver.Feasible sol ->
                {
@@ -129,34 +136,128 @@ let explore chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check
                  c_dv_bytes = sol.Solver.movement.Movement.dv_bytes;
                }
                :: acc
-           | Solver.Infeasible | Solver.Pruned -> acc)
+           | Solver.Infeasible | Solver.Pruned _ -> acc)
          [] perms outcomes)
   in
-  ( List.sort (fun a b -> compare a.c_dv_bytes b.c_dv_bytes) candidates,
-    stats )
+  List.sort (fun a b -> compare a.c_dv_bytes b.c_dv_bytes) candidates
+
+let explore chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check ?prune
+    ?engine ?pool ?obs () =
+  let perms, outcomes, stats =
+    explore_raw chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check
+      ?prune ?engine ?pool ?obs ()
+  in
+  (rank perms outcomes, stats)
+
+(* The per-axis tile bounds every order's solve ran under — recorded in
+   the certificate so the checker can re-price pruned witnesses against
+   the same search box.  Mirrors the bound/fixed setup in
+   [Solver.solve_impl]; both are perm-independent. *)
+let search_box chain ?max_tile () =
+  let full_tile = Permutations.full_tile_axes chain in
+  let fused = Movement.fused_axes chain in
+  List.map
+    (fun (a : Ir.Axis.t) ->
+      if List.mem a.name fused then begin
+        let bound =
+          match max_tile with
+          | None -> a.extent
+          | Some f -> Util.Ints.clamp ~lo:1 ~hi:a.extent (f a.name)
+        in
+        {
+          Certificate.axis = a.name;
+          bound;
+          fixed = List.mem a.name full_tile || bound <= 1;
+        }
+      end
+      else { Certificate.axis = a.name; bound = 1; fixed = true })
+    chain.Ir.Chain.axes
+
+let certificate_of chain ~capacity_bytes ~box ~winner_perm ~winner_tiling
+    ~winner_dv perms outcomes =
+  (* Whether the lower-bound witness theory applies to this box is a
+     property of the accesses and the box alone, not of any loop order
+     — so one probe settles the [conditional] flag for every entry. *)
+  let conditional =
+    let ev = Movement.compile chain ~perm:winner_perm in
+    let names = Movement.axis_names ev in
+    let of_axis name =
+      List.find (fun (b : Certificate.box_axis) -> b.axis = name) box
+    in
+    let bounds = Array.map (fun n -> (of_axis n).Certificate.bound) names in
+    let fixed = Array.map (fun n -> (of_axis n).Certificate.fixed) names in
+    Movement.dv_lower_bound ev ~bounds ~fixed = None
+  in
+  let seen_winner = ref false in
+  let entries =
+    List.map2
+      (fun perm ((verdict : Solver.verdict), _) ->
+        let outcome =
+          match verdict with
+          | Solver.Feasible sol ->
+              let dv = sol.Solver.movement.Movement.dv_bytes in
+              if (not !seen_winner) && perm = winner_perm then begin
+                seen_winner := true;
+                Certificate.Won { dv_bytes = dv }
+              end
+              else
+                Certificate.Solved
+                  { dv_bytes = dv; tiling = Tiling.bindings sol.Solver.tiling }
+          | Solver.Infeasible -> Certificate.Infeasible
+          | Solver.Pruned { lb_dv } ->
+              Certificate.Pruned { lb_dv_bytes = lb_dv }
+        in
+        { Certificate.perm; outcome })
+      perms outcomes
+  in
+  {
+    Certificate.winner_perm;
+    winner_tiling = Tiling.bindings winner_tiling;
+    winner_dv_bytes = winner_dv;
+    capacity_bytes;
+    box;
+    conditional;
+    entries;
+  }
 
 let optimize chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check
     ?(prune = true) ?engine ?pool ?obs () =
-  let ranked, stats =
-    explore chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check ~prune
-      ?engine ?pool ?obs ()
+  let perms_overridden = perms <> None in
+  let perms, outcomes, stats =
+    explore_raw chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check
+      ~prune ?engine ?pool ?obs ()
   in
-  match ranked with
+  match rank perms outcomes with
   | [] ->
       failwith
         (Printf.sprintf
            "Planner.optimize: no feasible tiling for chain %s in %d bytes"
            chain.Ir.Chain.name capacity_bytes)
   | best :: _ ->
+      let movement =
+        Movement.analyze chain ~perm:best.c_perm ~tiling:best.c_tiling
+      in
+      let certificate =
+        (* A caller-supplied order list (tests, fixed-order baselines)
+           is not the canonical candidate space, so no optimality claim
+           — and therefore no certificate — can be made. *)
+        if perms_overridden then None
+        else
+          Some
+            (certificate_of chain ~capacity_bytes
+               ~box:(search_box chain ?max_tile ())
+               ~winner_perm:best.c_perm ~winner_tiling:best.c_tiling
+               ~winner_dv:movement.Movement.dv_bytes perms outcomes)
+      in
       {
         perm = best.c_perm;
         tiling = best.c_tiling;
-        movement =
-          Movement.analyze chain ~perm:best.c_perm ~tiling:best.c_tiling;
+        movement;
         capacity_bytes;
         candidates_evaluated = stats.evaluated;
         perms_pruned = stats.pruned;
         solver_evals = stats.evals;
+        certificate;
       }
 
 let refine_for_parallelism chain plan ~min_blocks ?(slack = 4.0)

@@ -13,6 +13,13 @@ type plan = {
       (** orders skipped by branch-and-bound before any descent. *)
   solver_evals : int;
       (** total DV/MU model evaluations spent choosing this plan. *)
+  certificate : Certificate.t option;
+      (** the optimality evidence trail {!optimize} assembled: one
+          entry per candidate order (won / solved / infeasible /
+          pruned-with-witness), independently checkable by
+          lib/verify's [Cert_check] (see docs/CERTIFY.md).  [None] for
+          plans outside the canonical order space — a caller-supplied
+          [perms] override, heuristic advisor plans, tuner plans. *)
 }
 
 type candidate = {
@@ -74,7 +81,14 @@ val optimize :
     For chains with the canonical [b/m/n/k/l] axes the closed-form GEMM
     solution is seeded as a descent start.  Raises [Failure] if no
     candidate order admits a feasible tiling; propagates whatever
-    [check] raises. *)
+    [check] raises.
+
+    Unless [perms] is overridden, the plan carries an optimality
+    {!Certificate.t} assembled from the per-order verdicts: the winner
+    with its exact DV, every losing descent with its best tiling, and
+    every pruned order with its lower-bound witness.  Emission costs
+    one extra evaluator compile (the witness-applicability probe) on
+    top of the exploration itself. *)
 
 val refine_for_parallelism :
   Ir.Chain.t -> plan -> min_blocks:int -> ?slack:float ->

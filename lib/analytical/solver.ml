@@ -2,7 +2,10 @@ type solution = { tiling : Tiling.t; movement : Movement.result }
 
 type engine = [ `Compiled | `Reference ]
 
-type verdict = Feasible of solution | Infeasible | Pruned
+type verdict =
+  | Feasible of solution
+  | Infeasible
+  | Pruned of { lb_dv : float }
 
 let candidate_sizes extent =
   if extent <= 0 then invalid_arg "Solver.candidate_sizes: bad extent";
@@ -103,7 +106,7 @@ let solve_impl chain ~perm ~capacity_bytes ?(full_tile = []) ?max_tile
      kernel), the gate stays open and the descent runs normally. *)
   let pruned =
     match prune_above with
-    | None -> false
+    | None -> None
     | Some best ->
         let ub = Array.make n 1 in
         let fixed = Array.make n true in
@@ -116,11 +119,12 @@ let solve_impl chain ~perm ~capacity_bytes ?(full_tile = []) ?max_tile
         (match
            Movement.dv_lower_bound (Lazy.force evaluator) ~bounds:ub ~fixed
          with
-        | Some lb_dv -> lb_dv > best
-        | None -> false)
+        | Some lb_dv when lb_dv > best -> Some lb_dv
+        | Some _ | None -> None)
   in
-  if pruned then (Pruned, !evals)
-  else begin
+  match pruned with
+  | Some lb_dv -> (Pruned { lb_dv }, !evals)
+  | None -> begin
     let rec attempt ~use_floors =
       let floor_ = Array.make n 1 in
       (if use_floors then
@@ -347,4 +351,4 @@ let solve_for_perm chain ~perm ~capacity_bytes ?(full_tile = []) ?max_tile
       ~extra_starts ~boundary_grow ~uniform_start ~check ~engine ()
   with
   | Feasible s, _ -> Some s
-  | (Infeasible | Pruned), _ -> None
+  | (Infeasible | Pruned _), _ -> None

@@ -27,9 +27,12 @@ type engine = [ `Compiled | `Reference ]
 type verdict =
   | Feasible of solution
   | Infeasible  (** even the minimal tiling exceeds the capacity. *)
-  | Pruned
-      (** skipped by branch-and-bound: the order's DV lower bound
-          already exceeds the caller's incumbent ([prune_above]). *)
+  | Pruned of { lb_dv : float }
+      (** skipped by branch-and-bound: [lb_dv], the order's certified
+          DV lower bound over its whole search box, already exceeds the
+          caller's incumbent ([prune_above]).  The witness value is
+          kept so the planner can record it in the plan's optimality
+          {!Certificate.t}. *)
 
 val candidate_sizes : int -> int list
 (** The tile-size grid for an axis of the given extent: powers of two up
@@ -57,8 +60,9 @@ val solve :
     trip counts priced at their real ratios), and when that bound is
     *strictly* above the incumbent the order is {!Pruned} for the cost
     of a single evaluation.  Strictness preserves ties, and accesses the
-    bound cannot certify (gaps: conv stride > kernel) leave the gate
-    open, so the caller's ranked selection is unchanged by pruning.
+    bound cannot certify (a varying axis touching two dimensions of one
+    reference) leave the gate open, so the caller's ranked selection is
+    unchanged by pruning.
 
     [check] (default a no-op) is a cooperative cancellation hook,
     called at entry and before every descent sweep and boundary-grow

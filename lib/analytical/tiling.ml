@@ -1,93 +1,132 @@
+(* Axis-indexed arrays rather than a (string * int) assoc list: every
+   hot path of the model — [Movement.analyze]'s footprint and trip-count
+   walks, the reference solver's coordinate descent, the certificate
+   checker's per-order re-analyses — funnels through [get]/[trip_count],
+   so the lookup is the constant that prices an evaluation.  The axis
+   names queried are almost always the very strings stored in the chain
+   (physical equality), which the scan below tests before falling back
+   to structural comparison; at the dozen-axis arity of real chains this
+   beats both an assoc walk and a hash lookup, and plain arrays keep the
+   value marshal-friendly for the plan cache. *)
+
 type t = {
-  axes : Ir.Axis.t list;  (* chain axes, for extents and ordering *)
-  sizes : (string * int) list;  (* tile per axis, same order as [axes] *)
+  names : string array;  (* chain axes, defining the indexing *)
+  extents : int array;
+  sizes : int array;  (* tile per axis *)
 }
 
-let clamp_size axes name size =
-  match Ir.Axis.find_opt axes name with
-  | None -> invalid_arg (Printf.sprintf "Tiling: unknown axis %s" name)
-  | Some a -> Util.Ints.clamp ~lo:1 ~hi:a.Ir.Axis.extent size
+let find_idx t name =
+  let n = Array.length t.names in
+  let rec go i =
+    if i >= n then -1
+    else if t.names.(i) == name || String.equal t.names.(i) name then i
+    else go (i + 1)
+  in
+  go 0
+
+let of_chain (chain : Ir.Chain.t) =
+  let axes = chain.Ir.Chain.axes in
+  {
+    names = Array.of_list (List.map (fun (a : Ir.Axis.t) -> a.Ir.Axis.name) axes);
+    extents =
+      Array.of_list (List.map (fun (a : Ir.Axis.t) -> a.Ir.Axis.extent) axes);
+    sizes = Array.make (List.length axes) 1;
+  }
+
+let check_known who t assoc =
+  List.iter
+    (fun (name, _) ->
+      if find_idx t name < 0 then
+        invalid_arg (Printf.sprintf "Tiling.%s: unknown axis %s" who name))
+    assoc
 
 let make chain assoc =
-  let axes = chain.Ir.Chain.axes in
+  let t = of_chain chain in
+  check_known "make" t assoc;
+  (* Reversed so a duplicated axis keeps its first binding, as the
+     assoc-lookup semantics this replaces did. *)
   List.iter
-    (fun (name, _) ->
-      if Ir.Axis.find_opt axes name = None then
-        invalid_arg (Printf.sprintf "Tiling.make: unknown axis %s" name))
-    assoc;
-  let sizes =
-    List.map
-      (fun (a : Ir.Axis.t) ->
-        let size =
-          match List.assoc_opt a.name assoc with
-          | None -> 1
-          | Some s -> clamp_size axes a.name s
-        in
-        (a.name, size))
-      axes
-  in
-  { axes; sizes }
+    (fun (name, size) ->
+      let i = find_idx t name in
+      t.sizes.(i) <- Util.Ints.clamp ~lo:1 ~hi:t.extents.(i) size)
+    (List.rev assoc);
+  t
 
 let unchecked chain assoc =
-  let axes = chain.Ir.Chain.axes in
+  let t = of_chain chain in
+  check_known "unchecked" t assoc;
   List.iter
-    (fun (name, _) ->
-      if Ir.Axis.find_opt axes name = None then
-        invalid_arg (Printf.sprintf "Tiling.unchecked: unknown axis %s" name))
-    assoc;
-  {
-    axes;
-    sizes =
-      List.map
-        (fun (a : Ir.Axis.t) ->
-          (a.name, Option.value ~default:1 (List.assoc_opt a.name assoc)))
-        axes;
-  }
+    (fun (name, size) -> t.sizes.(find_idx t name) <- size)
+    (List.rev assoc);
+  t
 
-let ones chain =
-  make chain []
+let ones chain = of_chain chain
 
 let full chain =
-  let axes = chain.Ir.Chain.axes in
-  {
-    axes;
-    sizes = List.map (fun (a : Ir.Axis.t) -> (a.name, a.extent)) axes;
-  }
+  let t = of_chain chain in
+  Array.blit t.extents 0 t.sizes 0 (Array.length t.extents);
+  t
+
+let rebind t assoc =
+  let sizes = Array.make (Array.length t.names) 1 in
+  (* Reversed so a duplicated axis keeps its first binding, matching
+     [make]. *)
+  List.iter
+    (fun (name, size) ->
+      let i = find_idx t name in
+      if i < 0 then
+        invalid_arg (Printf.sprintf "Tiling.rebind: unknown axis %s" name)
+      else sizes.(i) <- Util.Ints.clamp ~lo:1 ~hi:t.extents.(i) size)
+    (List.rev assoc);
+  { t with sizes }
 
 let get t name =
-  match List.assoc_opt name t.sizes with
-  | Some s -> s
-  | None -> invalid_arg (Printf.sprintf "Tiling.get: unknown axis %s" name)
+  let i = find_idx t name in
+  if i < 0 then invalid_arg (Printf.sprintf "Tiling.get: unknown axis %s" name)
+  else t.sizes.(i)
 
 let set t name size =
-  let size = clamp_size t.axes name size in
-  {
-    t with
-    sizes = List.map (fun (n, s) -> if n = name then (n, size) else (n, s)) t.sizes;
-  }
+  let i = find_idx t name in
+  if i < 0 then invalid_arg (Printf.sprintf "Tiling: unknown axis %s" name)
+  else begin
+    let sizes = Array.copy t.sizes in
+    sizes.(i) <- Util.Ints.clamp ~lo:1 ~hi:t.extents.(i) size;
+    { t with sizes }
+  end
 
 let tile_of = get
 
-let extent_of t name = (Ir.Axis.find t.axes name).Ir.Axis.extent
+let extent_of t name =
+  let i = find_idx t name in
+  if i < 0 then
+    invalid_arg (Printf.sprintf "Tiling.extent_of: unknown axis %s" name)
+  else t.extents.(i)
 
-let trip_count t name = Util.Ints.ceil_div (extent_of t name) (get t name)
+let trip_count t name =
+  let i = find_idx t name in
+  if i < 0 then
+    invalid_arg (Printf.sprintf "Tiling.trip_count: unknown axis %s" name)
+  else Util.Ints.ceil_div t.extents.(i) t.sizes.(i)
 
-let bindings t = t.sizes
+let bindings t =
+  Array.to_list (Array.mapi (fun i name -> (name, t.sizes.(i))) t.names)
 
 let total_blocks t =
-  List.fold_left
-    (fun acc (name, _) -> acc *. float_of_int (trip_count t name))
-    1.0 t.sizes
+  let acc = ref 1.0 in
+  Array.iteri
+    (fun i e -> acc := !acc *. float_of_int (Util.Ints.ceil_div e t.sizes.(i)))
+    t.extents;
+  !acc
 
-let equal a b = a.sizes = b.sizes
+let equal a b = a.names = b.names && a.sizes = b.sizes
 
 let to_string t =
-  let interesting =
-    List.filter (fun (name, _) -> extent_of t name > 1) t.sizes
-  in
-  "{"
-  ^ String.concat ", "
-      (List.map (fun (n, s) -> Printf.sprintf "%s=%d" n s) interesting)
-  ^ "}"
+  let interesting = ref [] in
+  Array.iteri
+    (fun i name ->
+      if t.extents.(i) > 1 then
+        interesting := Printf.sprintf "%s=%d" name t.sizes.(i) :: !interesting)
+    t.names;
+  "{" ^ String.concat ", " (List.rev !interesting) ^ "}"
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -19,6 +19,14 @@ val unchecked : Ir.Chain.t -> (string * int) list -> t
 val ones : Ir.Chain.t -> t
 (** Every axis tiled at 1. *)
 
+val rebind : t -> (string * int) list -> t
+(** [rebind t assoc] is {!make} over the same chain axes as [t] —
+    unmentioned axes default to 1, sizes clamp into [1, extent],
+    unknown names raise — without re-deriving the axis tables from the
+    chain.  For callers that build many tilings over one chain (the
+    certificate checker re-prices one recorded tiling per candidate
+    order). *)
+
 val full : Ir.Chain.t -> t
 (** Every axis tiled at its full extent (a single block). *)
 

@@ -129,6 +129,8 @@ let heuristic_plan ~machine (sub_chain : Ir.Chain.t) =
             candidates_evaluated = 1;
             perms_pruned = 0;
             solver_evals = 0;
+            (* A fixed-order uniform tiling claims no optimality. *)
+            certificate = None;
           }
       end
 

@@ -87,6 +87,9 @@ let search chain ~machine ~trials_per_order ~seed ?perms
               candidates_evaluated = List.length perms;
               perms_pruned = 0;
               solver_evals = !trials_run;
+              (* Sampling picks by measurement, not by the analytical
+                 model; there is no model-level optimality to certify. *)
+              certificate = None;
             };
           trials_run = !trials_run;
           measured_dram_bytes = measured;

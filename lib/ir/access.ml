@@ -26,7 +26,13 @@ let axes_used t =
   List.rev !out
 
 let uses_axis t name =
-  List.exists (fun { terms; _ } -> List.exists (fun u -> u.axis = name) terms) t
+  (* Physical equality first: the queried name is nearly always the
+     very string the access terms were built with, and this predicate
+     runs inside every loop of the movement walk. *)
+  List.exists
+    (fun { terms; _ } ->
+      List.exists (fun u -> u.axis == name || String.equal u.axis name) terms)
+    t
 
 let tile_extent t ~tile_of =
   List.map

@@ -55,8 +55,20 @@ let make ~name ~axes ~reduction_axes ~inputs ~output ?(flops_per_point = 2) ()
   { name; axes; reduction_axes; inputs; output; flops_per_point }
 
 let all_refs t = t.inputs @ [ t.output ]
-let uses_axis t name = List.mem name t.axes
-let is_reduction t name = List.mem name t.reduction_axes
+
+(* [List.mem] with a physical-equality fast path: this predicate sits
+   inside every loop of Algorithm 1's walk (and so inside every solver
+   evaluation and certificate re-check), and the queried name is nearly
+   always the same string value the operator was built with. *)
+let mem_name name l =
+  let rec go = function
+    | [] -> false
+    | a :: rest -> a == name || String.equal a name || go rest
+  in
+  go l
+
+let uses_axis t name = mem_name name t.axes
+let is_reduction t name = mem_name name t.reduction_axes
 
 let iteration_points t ~extent_of =
   List.fold_left (fun acc a -> acc *. float_of_int (extent_of a)) 1.0 t.axes

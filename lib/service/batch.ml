@@ -10,6 +10,7 @@ type response = {
   compiled : Chimera.Compiler.compiled;
   seconds : float;
   verification : Verify.Diagnostic.t list;
+  certificate : string option;
   trace : Obs.Trace.t option;
 }
 
@@ -244,6 +245,42 @@ let note_trace metrics trace =
 (* Verification                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* The optimality-certificate verdict for a verified response, from
+   the diagnostics plus the plans themselves.  Precedence: an actual
+   certificate error beats everything; a unit with no (or partial)
+   certificates makes the response uncertified; a conditional
+   certificate taints an otherwise fully certified response. *)
+let certificate_verdict (resp : response) ds =
+  let plans_of (u : Chimera.Compiler.unit_) =
+    u.Chimera.Compiler.kernel.Codegen.Kernel.level_plans
+  in
+  let units = resp.compiled.Chimera.Compiler.units in
+  if
+    List.exists
+      (fun (d : Verify.Diagnostic.t) ->
+        Verify.Cert_check.error_code d.Verify.Diagnostic.code)
+      ds
+  then "failed"
+  else if
+    not (List.for_all (fun u -> Verify.Cert_check.certified (plans_of u)) units)
+  then "uncertified"
+  else if List.exists (fun u -> Verify.Cert_check.conditional (plans_of u)) units
+  then "conditional"
+  else "certified"
+
+let note_certificate metrics verdict =
+  bump metrics (fun (m : Metrics.t) ->
+      match verdict with
+      | "certified" ->
+          m.verify_certified_total <- m.verify_certified_total + 1
+      | "conditional" ->
+          m.verify_conditional_total <- m.verify_conditional_total + 1
+      | "uncertified" ->
+          m.verify_uncertifiable_total <- m.verify_uncertifiable_total + 1
+      | _ ->
+          (* "failed" is already visible as verify_failures. *)
+          ())
+
 (* Run the static-analysis passes over a successful response — fresh
    plans and cache hits alike, because marshalled cache entries bypass
    every constructor check, so a corrupt or stale cache file is exactly
@@ -251,7 +288,7 @@ let note_trace metrics trace =
    diagnostics; warn mode annotates them.  The verifier itself is
    contained like any other per-request step: an exception inside it
    never poisons the batch. *)
-let apply_verify ?(obs = Obs.Trace.none) ~verify metrics
+let apply_verify ?(obs = Obs.Trace.none) ?pool ~verify metrics
     (r : (response, Error.t) result) =
   match (verify, r) with
   | Verify_off, _ | _, Error _ -> r
@@ -260,7 +297,7 @@ let apply_verify ?(obs = Obs.Trace.none) ~verify metrics
           m.verify_runs <- m.verify_runs + 1);
       match
         Obs.Trace.span obs "verify" (fun obs ->
-            Verify.Driver.check_compiled ~obs resp.compiled)
+            Verify.Driver.check_compiled ?pool ~obs resp.compiled)
       with
       | exception e -> (
           match verify with
@@ -270,6 +307,9 @@ let apply_verify ?(obs = Obs.Trace.none) ~verify metrics
                    ("verifier raised: " ^ Printexc.to_string e))
           | _ -> r)
       | ds ->
+          let verdict = certificate_verdict resp ds in
+          note_certificate metrics verdict;
+          let resp = { resp with certificate = Some verdict } in
           if Verify.Diagnostic.ok ds then begin
             if ds <> [] then
               bump metrics (fun (m : Metrics.t) ->
@@ -331,6 +371,7 @@ let compile ?cache ?metrics ?(config = Chimera.Config.default) ?deadline
                 compiled;
                 seconds;
                 verification = [];
+                certificate = None;
                 trace = Some trace;
               })
             (materialize ~obs:ctx ~config ~machine chain entry)
@@ -370,7 +411,7 @@ let compile ?cache ?metrics ?(config = Chimera.Config.default) ?deadline
                       Plan_cache.add cache fp entry;
                       build Compiled dt entry)
         in
-        apply_verify ~obs:ctx ~verify metrics result)
+        apply_verify ~obs:ctx ?pool ~verify metrics result)
   in
   note_trace metrics trace;
   note_response metrics result;
@@ -539,6 +580,7 @@ let run ?(jobs = 1) ?cache ?metrics ?(config = Chimera.Config.default)
                     compiled;
                     seconds;
                     verification = [];
+                    certificate = None;
                     trace = Some p_trace;
                   })
                 (materialize ~obs:ctx ~config:p_config ~machine:p_machine
@@ -556,7 +598,7 @@ let run ?(jobs = 1) ?cache ?metrics ?(config = Chimera.Config.default)
                   | None ->
                       Error (Error.Internal "request was never planned"))
             in
-            let result = apply_verify ~obs:ctx ~verify metrics result in
+            let result = apply_verify ~obs:ctx ~pool ~verify metrics result in
             note_trace metrics p_trace;
             result)
       in

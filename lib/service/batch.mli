@@ -56,6 +56,16 @@ type response = {
       (** findings of the static-analysis passes; [[]] when verification
           is off (or when strict verification rejected the response —
           the summary then travels in the error). *)
+  certificate : string option;
+      (** the optimality-certificate verdict, [Some] whenever
+          verification ran: ["certified"] — every analytical plan of
+          every unit carries a full certificate that checked;
+          ["conditional"] — certificates checked but at least one is
+          conditional (no whole-box prune witness, see docs/CERTIFY.md);
+          ["uncertified"] — at least one unit carries no certificate
+          (heuristic rung, tuner fallback, legacy cache entry);
+          ["failed"] — a certificate check produced an error diagnostic
+          (CHIM036-042).  [None] when verification is off. *)
   trace : Obs.Trace.t option;
       (** the request's trace (fingerprint / cache.lookup / solve /
           codegen / verify spans and their children); always [Some] on

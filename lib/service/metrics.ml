@@ -13,9 +13,13 @@ type t = {
   mutable cache_corrupt : int;
   mutable cache_entries_skipped : int;
   mutable cache_io_retries : int;
+  mutable cache_entries_migrated : int;
   mutable verify_runs : int;
   mutable verify_warnings : int;
   mutable verify_failures : int;
+  mutable verify_certified_total : int;
+  mutable verify_conditional_total : int;
+  mutable verify_uncertifiable_total : int;
   mutable plan_evals_total : int;
   mutable plan_perms_pruned_total : int;
   solve_ms : Obs.Histogram.t;
@@ -42,9 +46,13 @@ let create () =
     cache_corrupt = 0;
     cache_entries_skipped = 0;
     cache_io_retries = 0;
+    cache_entries_migrated = 0;
     verify_runs = 0;
     verify_warnings = 0;
     verify_failures = 0;
+    verify_certified_total = 0;
+    verify_conditional_total = 0;
+    verify_uncertifiable_total = 0;
     plan_evals_total = 0;
     plan_perms_pruned_total = 0;
     solve_ms = Obs.Histogram.create ();
@@ -70,9 +78,13 @@ let reset t =
   t.cache_corrupt <- 0;
   t.cache_entries_skipped <- 0;
   t.cache_io_retries <- 0;
+  t.cache_entries_migrated <- 0;
   t.verify_runs <- 0;
   t.verify_warnings <- 0;
   t.verify_failures <- 0;
+  t.verify_certified_total <- 0;
+  t.verify_conditional_total <- 0;
+  t.verify_uncertifiable_total <- 0;
   t.plan_evals_total <- 0;
   t.plan_perms_pruned_total <- 0;
   Obs.Histogram.reset t.solve_ms;
@@ -106,9 +118,13 @@ let fields t =
     ("cache_corrupt", Counter t.cache_corrupt);
     ("cache_entries_skipped", Counter t.cache_entries_skipped);
     ("cache_io_retries", Counter t.cache_io_retries);
+    ("cache_entries_migrated", Counter t.cache_entries_migrated);
     ("verify_runs", Counter t.verify_runs);
     ("verify_warnings", Counter t.verify_warnings);
     ("verify_failures", Counter t.verify_failures);
+    ("verify_certified_total", Counter t.verify_certified_total);
+    ("verify_conditional_total", Counter t.verify_conditional_total);
+    ("verify_uncertifiable_total", Counter t.verify_uncertifiable_total);
     ("plan_evals_total", Counter t.plan_evals_total);
     ("plan_perms_pruned_total", Counter t.plan_perms_pruned_total);
     ("solve_ms", Hist t.solve_ms);
@@ -149,9 +165,17 @@ let merge ~into src =
   into.cache_entries_skipped <-
     into.cache_entries_skipped + src.cache_entries_skipped;
   into.cache_io_retries <- into.cache_io_retries + src.cache_io_retries;
+  into.cache_entries_migrated <-
+    into.cache_entries_migrated + src.cache_entries_migrated;
   into.verify_runs <- into.verify_runs + src.verify_runs;
   into.verify_warnings <- into.verify_warnings + src.verify_warnings;
   into.verify_failures <- into.verify_failures + src.verify_failures;
+  into.verify_certified_total <-
+    into.verify_certified_total + src.verify_certified_total;
+  into.verify_conditional_total <-
+    into.verify_conditional_total + src.verify_conditional_total;
+  into.verify_uncertifiable_total <-
+    into.verify_uncertifiable_total + src.verify_uncertifiable_total;
   into.plan_evals_total <- into.plan_evals_total + src.plan_evals_total;
   into.plan_perms_pruned_total <-
     into.plan_perms_pruned_total + src.plan_perms_pruned_total;
@@ -213,9 +237,23 @@ let of_wire_json json =
     counter "cache_entries_skipped" (fun n -> t.cache_entries_skipped <- n)
   in
   let* () = counter "cache_io_retries" (fun n -> t.cache_io_retries <- n) in
+  let* () =
+    counter "cache_entries_migrated" (fun n -> t.cache_entries_migrated <- n)
+  in
   let* () = counter "verify_runs" (fun n -> t.verify_runs <- n) in
   let* () = counter "verify_warnings" (fun n -> t.verify_warnings <- n) in
   let* () = counter "verify_failures" (fun n -> t.verify_failures <- n) in
+  let* () =
+    counter "verify_certified_total" (fun n -> t.verify_certified_total <- n)
+  in
+  let* () =
+    counter "verify_conditional_total" (fun n ->
+        t.verify_conditional_total <- n)
+  in
+  let* () =
+    counter "verify_uncertifiable_total" (fun n ->
+        t.verify_uncertifiable_total <- n)
+  in
   let* () = counter "plan_evals_total" (fun n -> t.plan_evals_total <- n) in
   let* () =
     counter "plan_perms_pruned_total" (fun n ->

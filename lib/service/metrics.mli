@@ -40,6 +40,10 @@ type t = {
           file still loaded (see {!Plan_cache}). *)
   mutable cache_io_retries : int;
       (** cache-persistence attempts retried after an I/O fault. *)
+  mutable cache_entries_migrated : int;
+      (** entries from an older-but-known cache file version counted
+          and skipped on load (version-skew migration, never a hard
+          error; see {!Plan_cache}). *)
   mutable verify_runs : int;
       (** responses run through the static-analysis passes (verify mode
           warn or strict; both fresh plans and cache hits). *)
@@ -48,6 +52,17 @@ type t = {
   mutable verify_failures : int;
       (** verified responses with at least one error-severity
           diagnostic (rejected under strict, annotated under warn). *)
+  mutable verify_certified_total : int;
+      (** verified responses whose every analytical plan carried a
+          full (unconditional) optimality certificate that checked. *)
+  mutable verify_conditional_total : int;
+      (** verified responses served on a conditional certificate (no
+          whole-box prune witness; optimality rests on exhaustive
+          per-order descents). *)
+  mutable verify_uncertifiable_total : int;
+      (** verified responses with at least one analytical plan
+          carrying no certificate at all (heuristic rung, tuner, or
+          legacy cache entries). *)
   mutable plan_evals_total : int;
       (** DV/MU model evaluations across all planner solves. *)
   mutable plan_perms_pruned_total : int;

@@ -38,8 +38,18 @@ type t = {
    v4: entries are individually framed (length + CRC-32 + marshalled
    bytes) instead of one monolithic marshal, so a torn or bit-flipped
    entry is skipped-and-counted on load rather than discarding the
-   whole file — crash consistency for the fleet's shared tier. *)
-let file_version = 4
+   whole file — crash consistency for the fleet's shared tier.
+   v5: Planner.plan carries the optimality certificate, changing the
+   marshalled entry layout again. *)
+let file_version = 5
+
+(* Older-but-recognized file versions are migrated, not discarded: the
+   magic and fingerprint scheme still match, so the file is an honest
+   cache from a previous binary, just with entry layouts we can no
+   longer unmarshal safely.  A rolling fleet upgrade hits this on every
+   worker's first restart; treating it as corruption would fire the
+   cache_corrupt alarms fleet-wide for a planned event. *)
+let min_migratable_version = 2
 
 let create ?(capacity = 512) ?metrics () =
   if capacity <= 0 then invalid_arg "Plan_cache.create: non-positive capacity";
@@ -207,6 +217,50 @@ let read_frames ic =
   go ();
   (List.rev !entries, !skipped)
 
+(* Count the entries of an older-version file without unmarshalling
+   any of them — Marshal.from_string on a stale layout is undefined
+   behaviour, so migration only ever inspects framing.  v4 files share
+   the current frame format (length + CRC + payload): each CRC-valid
+   frame is one migrated entry.  v2/v3 files hold one monolithic
+   marshal; a non-empty body counts as a single migrated payload. *)
+let count_stale_entries ic ~version =
+  if version >= 4 then begin
+    let valid = ref 0 in
+    let rec go () =
+      match input_binary_int ic with
+      | exception End_of_file -> ()
+      | len ->
+          if len <= 0 || len > max_frame_bytes then ()
+          else begin
+            match
+              let crc = input_binary_int ic land 0xFFFFFFFF in
+              let payload = really_input_string ic len in
+              (crc, payload)
+            with
+            | exception End_of_file -> ()
+            | crc, payload ->
+                if Util.Crc32.string payload = crc then incr valid;
+                go ()
+          end
+    in
+    go ();
+    !valid
+  end
+  else match input_char ic with exception End_of_file -> 0 | _ -> 1
+
+type payload = {
+  payload_entries : (string * entry) list;
+  payload_skipped : int;  (** corrupt frames dropped *)
+  payload_migrated : int;  (** version-skewed entries counted and skipped *)
+}
+
+let parse_header line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ m; v; s ] when m = magic ->
+      Option.bind (int_of_string_opt v) (fun v ->
+          Option.map (fun s -> (v, s)) (int_of_string_opt s))
+  | _ -> None
+
 (* Read the persisted entry list without touching any cache state;
    shared by [load] and the merge step of [save]. *)
 let read_payload path =
@@ -216,13 +270,37 @@ let read_payload path =
     (fun () ->
       match input_line ic with
       | exception End_of_file -> Error "empty file"
-      | line ->
-          if line ^ "\n" <> header () then
-            (* Different file format or fingerprint scheme: every
-               persisted key could mean something else now, so the
-               whole file is invalid. *)
-            Error (Printf.sprintf "header mismatch (%S)" line)
-          else Ok (read_frames ic))
+      | line -> (
+          match parse_header line with
+          | None ->
+              (* Not a plan-cache file at all (or a garbled header):
+                 nothing in it is trustworthy. *)
+              Error (Printf.sprintf "header mismatch (%S)" line)
+          | Some (_, scheme) when scheme <> Fingerprint.scheme_version ->
+              (* Same container, different fingerprint scheme: every
+                 persisted key could mean something else now, so the
+                 whole file is invalid. *)
+              Error (Printf.sprintf "fingerprint scheme mismatch (%d)" scheme)
+          | Some (version, _) when version = file_version ->
+              let payload_entries, payload_skipped = read_frames ic in
+              Ok { payload_entries; payload_skipped; payload_migrated = 0 }
+          | Some (version, _)
+            when version >= min_migratable_version
+                 && version < file_version ->
+              (* Version skew (rolling upgrade): count what the old
+                 binary had persisted, adopt none of it, and let the
+                 next save rewrite the file at the current version.
+                 Never a hard error — the cache is a cache. *)
+              Ok
+                {
+                  payload_entries = [];
+                  payload_skipped = 0;
+                  payload_migrated = count_stale_entries ic ~version;
+                }
+          | Some (version, _) ->
+              (* Newer than us (or pre-history): refusing is safer than
+                 guessing at a layout from the future. *)
+              Error (Printf.sprintf "unsupported file version %d" version)))
 
 (* Hold an exclusive advisory lock on <dir>/plan_cache.lock for the
    duration of [f].  The lock serializes writers across processes (the
@@ -262,10 +340,13 @@ let save t ~dir =
         if not (Sys.file_exists path) then []
         else
           match read_payload path with
-          | Ok (entries, _skipped) ->
-              (* Corrupt frames in the shared file simply fail to make
-                 it into the rewrite — the file heals on every save. *)
-              List.filter (fun (k, _) -> not (Hashtbl.mem mine k)) entries
+          | Ok { payload_entries; _ } ->
+              (* Corrupt or version-skewed frames in the shared file
+                 simply fail to make it into the rewrite — the file
+                 heals (and upgrades) on every save. *)
+              List.filter
+                (fun (k, _) -> not (Hashtbl.mem mine k))
+                payload_entries
           | Error _ ->
               (* A corrupt or stale shared file heals on the next save:
                  nothing in it is trustworthy, so write only our own. *)
@@ -329,7 +410,7 @@ let save_with_retry ?(attempts = 3) ?(backoff_s = 0.01) t ~dir =
   go 1 backoff_s
 
 type load_outcome =
-  | Loaded of { entries : int; skipped : int }
+  | Loaded of { entries : int; skipped : int; migrated : int }
   | Absent
   | Discarded of string
 
@@ -347,7 +428,8 @@ let load t ~dir =
       Failpoint.hit ~ctx:path "cache.load";
       read_payload path
     with
-    | Ok (loaded, skipped) ->
+    | Ok { payload_entries = loaded; payload_skipped = skipped;
+           payload_migrated = migrated } ->
         List.iter (fun (key, entry) -> add_keyed t key entry) loaded;
         t.is_dirty <- false;
         if skipped > 0 then
@@ -355,7 +437,12 @@ let load t ~dir =
             (fun (m : Metrics.t) ->
               m.cache_entries_skipped <- m.cache_entries_skipped + skipped)
             t.metrics;
-        Loaded { entries = List.length loaded; skipped }
+        if migrated > 0 then
+          Option.iter
+            (fun (m : Metrics.t) ->
+              m.cache_entries_migrated <- m.cache_entries_migrated + migrated)
+            t.metrics;
+        Loaded { entries = List.length loaded; skipped; migrated }
     | Error reason -> discard t (path ^ ": " ^ reason)
     | exception Sys_error msg -> discard t msg
     | exception Failpoint.Injected site ->
@@ -367,4 +454,8 @@ let loaded_count = function
 
 let skipped_count = function
   | Loaded { skipped; _ } -> skipped
+  | Absent | Discarded _ -> 0
+
+let migrated_count = function
+  | Loaded { migrated; _ } -> migrated
   | Absent | Discarded _ -> 0

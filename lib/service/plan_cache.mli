@@ -54,7 +54,18 @@ type t
 
 val file_version : int
 (** Bump on any change to the cache-file layout (v2: entries carry the
-    degradation {!rung}; v4: per-entry CRC frames). *)
+    degradation {!rung}; v4: per-entry CRC frames; v5: plans carry
+    optimality certificates). *)
+
+val min_migratable_version : int
+(** Oldest file version {!load} recognizes as an honest cache from a
+    previous binary.  Files in
+    [\[min_migratable_version, file_version)] are {e migrated}: their
+    entries are counted ([Metrics.cache_entries_migrated]) and
+    skipped — never unmarshalled (the layout changed) and never
+    reported as corruption.  A rolling upgrade therefore restarts
+    cold but quiet; the next save rewrites the file at the current
+    version. *)
 
 val create : ?capacity:int -> ?metrics:Metrics.t -> unit -> t
 (** An empty cache holding at most [capacity] entries (default 512).
@@ -92,13 +103,17 @@ val lock_file : dir:string -> string
     shared cache directory. *)
 
 type load_outcome =
-  | Loaded of { entries : int; skipped : int }
+  | Loaded of { entries : int; skipped : int; migrated : int }
       (** [entries] restored; [skipped] frames were torn or corrupt and
-          were dropped (counted in [Metrics.cache_entries_skipped]). *)
+          were dropped (counted in [Metrics.cache_entries_skipped]);
+          [migrated] entries belonged to an older-but-recognized file
+          version and were counted-and-skipped (counted in
+          [Metrics.cache_entries_migrated]). *)
   | Absent  (** no cache file — a clean cold start. *)
   | Discarded of string
-      (** the file existed but its header was unreadable or
-          version-mismatched; the reason is for logs.  Counted in
+      (** the file existed but its header was unreadable, its
+          fingerprint scheme differed, or its version was newer than
+          this binary; the reason is for logs.  Counted in
           [Metrics.cache_corrupt]. *)
 
 val load : t -> dir:string -> load_outcome
@@ -112,6 +127,10 @@ val loaded_count : load_outcome -> int
 
 val skipped_count : load_outcome -> int
 (** Corrupt frames skipped by a [Loaded], 0 otherwise. *)
+
+val migrated_count : load_outcome -> int
+(** Version-skewed entries counted-and-skipped by a [Loaded], 0
+    otherwise. *)
 
 val save : t -> dir:string -> unit
 (** Persist all entries atomically, creating [dir] if needed; clears

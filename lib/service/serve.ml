@@ -54,6 +54,14 @@ let response_json ?id ?timings_of req (r : Batch.response) =
           ]
       | None -> [])
     @
+    (* The certificate verdict appears whenever verification ran
+       (even with zero diagnostics); like verification below, it is
+       omitted entirely when the passes were off, so clients that
+       never ask see an unchanged schema. *)
+    (match r.Batch.certificate with
+    | Some verdict -> [ ("certificate", String verdict) ]
+    | None -> [])
+    @
     (* The verification field only appears when the passes ran, so
        clients that never ask for verification see an unchanged schema. *)
     match r.Batch.verification with

@@ -1,0 +1,551 @@
+(* Independent optimality-certificate checking (CHIM036-044).
+
+   The planner's branch-and-bound run leaves an evidence trail — one
+   entry per candidate block execution order — packaged as an
+   [Analytical.Certificate.t] on the plan.  This pass re-establishes
+   the optimality claim without ever calling the solver:
+
+   - the winner and every solved loser are re-derived through the
+     reference [Movement.analyze] path at their recorded tilings;
+   - infeasibility claims are re-checked at the search box's minimum
+     corner (MU is monotone non-decreasing in every tile size, so a
+     corner that overflows proves the whole box does);
+   - pruned-order witnesses are re-priced from first principles by
+     [witness_lower_bound] below, a direct walk of the IR (accesses,
+     strides, loop order) that shares no code with
+     [Movement.dv_lower_bound] — including the monotonicity
+     preconditions that make the corner evaluation a true lower bound
+     over the box;
+   - coverage: the entry list must be exactly [Permutations.candidates]
+     in enumeration order, because that order carries the tie-break
+     (the earliest-enumerated minimum-DV order wins).
+
+   Pruned witnesses are position-independent even though the pruned
+   *set* varies run to run under the pooled exploration: the solver
+   only prunes when the witness strictly clears an incumbent, and every
+   incumbent is >= the final winner's DV — so [lb > winner] is the
+   check, regardless of when the prune fired.  See docs/CERTIFY.md. *)
+
+let spf = Printf.sprintf
+
+module C = Analytical.Certificate
+module Movement = Analytical.Movement
+module Tiling = Analytical.Tiling
+module Planner = Analytical.Planner
+
+let error_code code =
+  match code with
+  | "CHIM036" | "CHIM037" | "CHIM038" | "CHIM039" | "CHIM040" | "CHIM041"
+  | "CHIM042" ->
+      true
+  | _ -> false
+
+let conditional_code = "CHIM043"
+let missing_code = "CHIM044"
+
+let rel_close a b =
+  let scale = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) <= 1e-9 *. scale
+
+(* The witness re-pricing runs float products in a different order than
+   the emission side, so exact equality is not expected; anything past
+   ulp-drift scale is tampering or version skew. *)
+let loosely_close a b =
+  let scale = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) <= 1e-6 *. scale
+
+let ceil_div a b = (a + b - 1) / b
+
+(* ------------------------------------------------------------------ *)
+(* First-principles witness re-pricing                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A DV lower bound over the certificate's search box for one order,
+   derived from the IR alone.  The theory (mirrored independently from
+   the emission side; see Movement.dv_lower_bound's comment for the
+   proofs): DV at the all-upper-bounds corner, with every varying
+   reuse-breaking loop priced at the real ratio extent/bound; a gapped
+   dimension (term coefficient above the span its fixed terms
+   guarantee) collapses with its axis's own trip multiplier to
+   min(extent * fixed-span, dim bound).  Inapplicable — [Error] — when
+   a varying axis touches more than one dimension of a reference. *)
+let witness_lower_bound (chain : Ir.Chain.t) ~perm ~(box : C.box_axis list) =
+  let bound_of =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun (b : C.box_axis) -> Hashtbl.replace tbl b.axis b) box;
+    fun name -> Hashtbl.find tbl name
+  in
+  let extent_of = Ir.Chain.extent_of chain in
+  let varies name =
+    let b = bound_of name in
+    (not b.C.fixed) && b.C.bound > 1
+  in
+  let ratio name =
+    let b = (bound_of name).C.bound in
+    if varies name then float_of_int (extent_of name) /. float_of_int b
+    else float_of_int (ceil_div (extent_of name) b)
+  in
+  let io = Ir.Chain.io_names chain in
+  let active = ref (List.rev perm) in
+  let lb = ref 0.0 in
+  let err = ref None in
+  let fail reason = if !err = None then err := Some reason in
+  List.iter
+    (fun (stage : Ir.Chain.stage) ->
+      let op = stage.Ir.Chain.op in
+      List.iter
+        (fun (r : Ir.Operator.tensor_ref) ->
+          if List.mem r.tensor io then begin
+            let touched = Hashtbl.create 4 in
+            let prepriced = Hashtbl.create 4 in
+            let elems = ref 1 in
+            List.iter2
+              (fun (d : Ir.Access.dim) dim_bound ->
+                let fixed_span =
+                  List.fold_left
+                    (fun acc (t : Ir.Access.term) ->
+                      if varies t.axis then acc
+                      else acc + (t.coeff * ((bound_of t.axis).C.bound - 1)))
+                    1 d.Ir.Access.terms
+                in
+                let gapped = ref None in
+                List.iter
+                  (fun (t : Ir.Access.term) ->
+                    if varies t.axis then begin
+                      if Hashtbl.mem touched t.axis then
+                        fail
+                          (spf "axis %s touches two dimensions of %s" t.axis
+                             r.tensor)
+                      else Hashtbl.replace touched t.axis ();
+                      if t.coeff > fixed_span then gapped := Some t.axis
+                    end)
+                  d.Ir.Access.terms;
+                match !gapped with
+                | None ->
+                    let span =
+                      List.fold_left
+                        (fun acc (t : Ir.Access.term) ->
+                          acc + (t.coeff * ((bound_of t.axis).C.bound - 1)))
+                        1 d.Ir.Access.terms
+                    in
+                    elems := !elems * min span dim_bound
+                | Some axis ->
+                    Hashtbl.replace prepriced axis ();
+                    elems :=
+                      !elems * min (extent_of axis * fixed_span) dim_bound)
+              r.access r.dims;
+            let dm = ref (float_of_int (!elems * Tensor.Dtype.bytes r.dtype)) in
+            let keep_reuse = ref true in
+            List.iter
+              (fun l ->
+                if Ir.Operator.uses_axis op l then begin
+                  let trips = ceil_div (extent_of l) (bound_of l).C.bound in
+                  if Ir.Access.uses_axis r.access l && trips > 1 then
+                    keep_reuse := false;
+                  if (not !keep_reuse) && not (Hashtbl.mem prepriced l) then
+                    dm := !dm *. ratio l
+                end)
+              !active;
+            lb := !lb +. !dm
+          end)
+        (Ir.Operator.all_refs op);
+      active :=
+        List.filter
+          (fun l ->
+            not
+              (Ir.Operator.uses_axis op l && Ir.Chain.axis_is_private chain l))
+          !active)
+    chain.Ir.Chain.stages;
+  match !err with
+  | Some reason -> Error reason
+  | None -> Ok (!lb *. (1.0 -. 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Per-certificate checking                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fused_axes_of chain =
+  List.filter
+    (fun name ->
+      List.exists
+        (fun (s : Ir.Chain.stage) -> Ir.Operator.uses_axis s.op name)
+        chain.Ir.Chain.stages)
+    (Ir.Axis.names chain.Ir.Chain.axes)
+
+(* The per-axis bounds this level's orders were solved under,
+   reconstructed from the level nesting: the outermost level searches
+   up to the full extents, an inner level nests inside its parent
+   plan's tiles.  Anything else in a certificate's recorded box is
+   tampering or skew. *)
+let expected_box chain ~(parent : Planner.plan option) =
+  let full_tile = Analytical.Permutations.full_tile_axes chain in
+  let fused = fused_axes_of chain in
+  List.map
+    (fun (a : Ir.Axis.t) ->
+      if List.mem a.name fused then begin
+        let bound =
+          match parent with
+          | None -> a.extent
+          | Some p ->
+              let t = Tiling.get p.Planner.tiling a.name in
+              min a.extent (max 1 t)
+        in
+        {
+          C.axis = a.name;
+          bound;
+          fixed = List.mem a.name full_tile || bound <= 1;
+        }
+      end
+      else { C.axis = a.name; bound = 1; fixed = true })
+    chain.Ir.Chain.axes
+
+let min_corner_bindings (box : C.box_axis list) =
+  List.map
+    (fun (b : C.box_axis) -> (b.C.axis, if b.C.fixed then b.C.bound else 1))
+    box
+
+let tiling_in_range chain bindings =
+  let ok_axis (axis, size) =
+    match Ir.Axis.find_opt chain.Ir.Chain.axes axis with
+    | None -> Some (spf "unknown axis %s" axis)
+    | Some a ->
+        if size < 1 || size > a.Ir.Axis.extent then
+          Some (spf "tile %s=%d outside [1, %d]" axis size a.Ir.Axis.extent)
+        else None
+  in
+  List.find_map ok_axis bindings
+
+let check_certificate ?pool chain ~unit_name ~part
+    ~(parent : Planner.plan option) (plan : Planner.plan) (cert : C.t) =
+  let l ?(sub = "") () =
+    Diagnostic.loc ~part:(if sub = "" then part else part ^ "/" ^ sub)
+      unit_name
+  in
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let err ?sub ~code fmt =
+    Printf.ksprintf (fun m -> add (Diagnostic.error ~code (l ?sub ()) m)) fmt
+  in
+  let fused = fused_axes_of chain in
+  (* -- structural validity (CHIM042) ------------------------------- *)
+  let box_ok =
+    let expected = expected_box chain ~parent in
+    if
+      List.map (fun (b : C.box_axis) -> b.C.axis) cert.C.box
+      <> List.map (fun (a : Ir.Axis.t) -> a.Ir.Axis.name) chain.Ir.Chain.axes
+    then begin
+      err ~code:"CHIM042" "certificate box does not list the chain axes";
+      false
+    end
+    else begin
+      let ok = ref true in
+      List.iter2
+        (fun (got : C.box_axis) (want : C.box_axis) ->
+          if got.C.bound <> want.C.bound || got.C.fixed <> want.C.fixed then begin
+            ok := false;
+            err ~code:"CHIM042" ~sub:(spf "axis %s" got.C.axis)
+              "box records bound=%d fixed=%b but this level's constraints \
+               give bound=%d fixed=%b"
+              got.C.bound got.C.fixed want.C.bound want.C.fixed
+          end)
+        cert.C.box expected;
+      !ok
+    end
+  in
+  let perm_ok =
+    if List.sort compare cert.C.winner_perm <> List.sort compare fused then begin
+      err ~code:"CHIM042"
+        "winner order [%s] is not a permutation of the fused axes"
+        (String.concat "," cert.C.winner_perm);
+      false
+    end
+    else true
+  in
+  let winner_tiling_ok =
+    match tiling_in_range chain cert.C.winner_tiling with
+    | Some reason ->
+        err ~code:"CHIM042" "winner tiling is malformed: %s" reason;
+        false
+    | None -> true
+  in
+  let witness_applicability =
+    if perm_ok then witness_lower_bound chain ~perm:cert.C.winner_perm
+        ~box:cert.C.box
+    else Error "winner order is malformed"
+  in
+  (match witness_applicability with
+  | Error reason when not cert.C.conditional ->
+      err ~code:"CHIM042"
+        "certificate claims a full witness theory but the box admits none \
+         (%s)"
+        reason
+  | _ -> ());
+  if cert.C.conditional && C.entries_pruned cert > 0 then
+    err ~code:"CHIM042"
+      "conditional certificate records %d pruned order(s): nothing can be \
+       pruned without a witness theory"
+      (C.entries_pruned cert);
+  (* -- binding to the served plan (CHIM036) ------------------------- *)
+  if cert.C.capacity_bytes <> plan.Planner.capacity_bytes then
+    err ~code:"CHIM036" "certificate capacity %d <> plan capacity %d"
+      cert.C.capacity_bytes plan.Planner.capacity_bytes;
+  if cert.C.winner_perm <> plan.Planner.perm then
+    err ~code:"CHIM036" "certified winner order [%s] <> plan order [%s]"
+      (String.concat "," cert.C.winner_perm)
+      (String.concat "," plan.Planner.perm);
+  if winner_tiling_ok then begin
+    (* Parallelism refinement only ever shrinks tiles, so the served
+       tiling must nest inside the certified winner's — and its DV can
+       only be at or above the certified optimum. *)
+    List.iter
+      (fun (axis, certified) ->
+        let served = Tiling.get plan.Planner.tiling axis in
+        if served > certified then
+          err ~code:"CHIM036" ~sub:(spf "axis %s" axis)
+            "served tile %d exceeds the certified winner's %d" served
+            certified)
+      cert.C.winner_tiling;
+    if
+      plan.Planner.movement.Movement.dv_bytes < cert.C.winner_dv_bytes
+      && not
+           (rel_close plan.Planner.movement.Movement.dv_bytes
+              cert.C.winner_dv_bytes)
+    then
+      err ~code:"CHIM036"
+        "served plan DV %.6e is below the certified optimum %.6e"
+        plan.Planner.movement.Movement.dv_bytes cert.C.winner_dv_bytes
+  end;
+  (* -- winner re-derivation (CHIM037) ------------------------------- *)
+  (if perm_ok && winner_tiling_ok then
+     let tiling = Tiling.make chain cert.C.winner_tiling in
+     let fresh =
+       Movement.analyze chain ~perm:cert.C.winner_perm ~tiling
+     in
+     if not (rel_close fresh.Movement.dv_bytes cert.C.winner_dv_bytes) then
+       err ~code:"CHIM037"
+         "winner DV %.6e disagrees with fresh re-analysis %.6e"
+         cert.C.winner_dv_bytes fresh.Movement.dv_bytes;
+     if fresh.Movement.mu_bytes > cert.C.capacity_bytes then
+       err ~code:"CHIM037" "certified winner overflows its budget: MU %d > %d"
+         fresh.Movement.mu_bytes cert.C.capacity_bytes);
+  (* -- coverage of the candidate order space (CHIM040) -------------- *)
+  let candidates = Analytical.Permutations.candidates chain in
+  let entry_perms = List.map (fun (e : C.entry) -> e.C.perm) cert.C.entries in
+  if entry_perms <> candidates then
+    err ~code:"CHIM040"
+      "certificate covers %d order(s) but the candidate space enumerates %d \
+       (or the enumeration order differs, which breaks the tie-break)"
+      (List.length entry_perms) (List.length candidates);
+  (match C.entries_won cert with
+  | 1 ->
+      List.iter
+        (fun (e : C.entry) ->
+          match e.C.outcome with
+          | C.Won _ when e.C.perm <> cert.C.winner_perm ->
+              err ~code:"CHIM036"
+                "the winning entry's order [%s] is not the certified winner"
+                (String.concat "," e.C.perm)
+          | _ -> ())
+        cert.C.entries
+  | n -> err ~code:"CHIM040" "certificate records %d winning entries" n);
+  (* -- per-entry re-checks ------------------------------------------ *)
+  let winner_dv = cert.C.winner_dv_bytes in
+  let winner_index =
+    let rec go i = function
+      | [] -> max_int
+      | (e : C.entry) :: rest -> (
+          match e.C.outcome with C.Won _ -> i | _ -> go (i + 1) rest)
+    in
+    go 0 cert.C.entries
+  in
+  (if box_ok && perm_ok then
+     let min_corner = min_corner_bindings cert.C.box in
+     (* One axis-table derivation for all entries: each re-priced
+        tiling rebinds this template instead of re-walking the chain. *)
+     let template = Tiling.ones chain in
+     (* Axis-keyed tables shared (read-only) by every entry's check:
+        the per-entry range and box walks below run once per candidate
+        order, so list scans here would be quadratic in practice. *)
+     let extent_tbl = Hashtbl.create 16 in
+     List.iter
+       (fun (a : Ir.Axis.t) ->
+         Hashtbl.replace extent_tbl a.Ir.Axis.name a.Ir.Axis.extent)
+       chain.Ir.Chain.axes;
+     let bound_tbl = Hashtbl.create 16 in
+     List.iter
+       (fun (b : C.box_axis) -> Hashtbl.replace bound_tbl b.C.axis b.C.bound)
+       cert.C.box;
+     (* Same verdicts as [tiling_in_range]: every binding names a chain
+        axis and sits in [1, extent]. *)
+     let tiling_problem bindings =
+       List.find_map
+         (fun (axis, size) ->
+           match Hashtbl.find_opt extent_tbl axis with
+           | None -> Some (spf "unknown axis %s" axis)
+           | Some e when size < 1 || size > e ->
+               Some (spf "tile %s=%d outside [1, %d]" axis size e)
+           | Some _ -> None)
+         bindings
+     in
+     (* The box lists every chain axis and unmentioned axes default to
+        tile 1, so scanning the bindings against the bounds is the same
+        predicate as scanning the box against the bindings. *)
+     let outside_box bindings =
+       List.exists
+         (fun (axis, size) ->
+           match Hashtbl.find_opt bound_tbl axis with
+           | Some b -> size > b
+           | None -> false)
+         bindings
+     in
+     (* Each entry's re-check is a pure function of the chain and the
+        certificate, so the fan-out below is free to run them on any
+        lane; diagnostics are reassembled in entry order either way. *)
+     let check_entry i (e : C.entry) =
+       let sub = spf "order %s" (String.concat "" e.C.perm) in
+       let local = ref [] in
+       let err ~code fmt =
+         Printf.ksprintf
+           (fun m -> local := Diagnostic.error ~code (l ~sub ()) m :: !local)
+           fmt
+       in
+       let entry_perm_ok =
+         List.sort compare e.C.perm = List.sort compare fused
+       in
+       (if not entry_perm_ok then
+          err ~code:"CHIM042"
+            "entry order is not a permutation of the fused axes"
+        else
+          match e.C.outcome with
+          | C.Won _ -> ()
+          | C.Solved { dv_bytes; tiling } -> (
+              match tiling_problem tiling with
+              | Some reason ->
+                  err ~code:"CHIM042" "recorded tiling is malformed: %s"
+                    reason
+              | None ->
+                  if outside_box tiling then
+                    err ~code:"CHIM042"
+                      "recorded tiling falls outside the search box"
+                  else begin
+                    let fresh =
+                      Movement.analyze chain ~perm:e.C.perm
+                        ~tiling:(Tiling.rebind template tiling)
+                    in
+                    if not (rel_close fresh.Movement.dv_bytes dv_bytes) then
+                      err ~code:"CHIM038"
+                        "recorded DV %.6e disagrees with re-analysis %.6e"
+                        dv_bytes fresh.Movement.dv_bytes;
+                    if fresh.Movement.mu_bytes > cert.C.capacity_bytes then
+                      err ~code:"CHIM038"
+                        "recorded solution overflows the budget: MU %d > %d"
+                        fresh.Movement.mu_bytes cert.C.capacity_bytes;
+                    if
+                      fresh.Movement.dv_bytes < winner_dv
+                      && not (rel_close fresh.Movement.dv_bytes winner_dv)
+                    then
+                      err ~code:"CHIM041"
+                        "solved order beats the certified winner: %.6e < %.6e"
+                        fresh.Movement.dv_bytes winner_dv
+                    else if
+                      rel_close fresh.Movement.dv_bytes winner_dv
+                      && i < winner_index
+                    then
+                      err ~code:"CHIM041"
+                        "solved order ties the winner but enumerates earlier \
+                         — the tie-break selects it"
+                  end)
+          | C.Infeasible ->
+              let fresh =
+                Movement.analyze chain ~perm:e.C.perm
+                  ~tiling:(Tiling.rebind template min_corner)
+              in
+              if fresh.Movement.mu_bytes <= cert.C.capacity_bytes then
+                err ~code:"CHIM038"
+                  "claimed infeasible, but the box's minimum corner fits: \
+                   MU %d <= %d"
+                  fresh.Movement.mu_bytes cert.C.capacity_bytes
+          | C.Pruned { lb_dv_bytes } -> (
+              match witness_lower_bound chain ~perm:e.C.perm ~box:cert.C.box
+              with
+              | Error reason ->
+                  err ~code:"CHIM039"
+                    "no witness theory applies to this order's box (%s)"
+                    reason
+              | Ok lb ->
+                  if not (loosely_close lb lb_dv_bytes) then
+                    err ~code:"CHIM039"
+                      "claimed witness %.6e disagrees with re-pricing %.6e"
+                      lb_dv_bytes lb;
+                  if lb <= winner_dv then
+                    err ~code:"CHIM039"
+                      "re-priced witness %.6e does not strictly clear the \
+                       winner's DV %.6e — the order cannot be excluded"
+                      lb winner_dv));
+       List.rev !local
+     in
+     let entries = Array.of_list cert.C.entries in
+     let per_entry =
+       match pool with
+       | Some pool when Array.length entries > 1 ->
+           Util.Pool.run pool
+             (fun i -> check_entry i entries.(i))
+             (Array.length entries)
+       | _ -> Array.mapi check_entry entries
+     in
+     Array.iter (List.iter add) per_entry);
+  if cert.C.conditional then
+    add
+      (Diagnostic.warningf ~code:conditional_code (l ())
+         "conditional certificate: the box admits no lower-bound witness \
+          (gapped accesses) — optimality holds relative to the exhaustive \
+          per-order descents, with no independent whole-box exclusion");
+  List.rev !ds
+
+(* ------------------------------------------------------------------ *)
+(* Unit entry point                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let check_level_plans ?(require_certificates = false) ?pool chain
+    (lps : Planner.level_plan list) =
+  let unit_name = chain.Ir.Chain.name in
+  (* level_plans is innermost-first; each level's search box nests
+     inside the next-outer plan's tiles. *)
+  let outer_first = List.rev lps in
+  let rec walk parent acc = function
+    | [] -> List.rev acc
+    | (lp : Planner.level_plan) :: rest ->
+        let plan = lp.Planner.plan in
+        let part = spf "level %s" lp.Planner.level.Arch.Level.name in
+        let ds =
+          match plan.Planner.certificate with
+          | Some cert ->
+              check_certificate ?pool chain ~unit_name ~part ~parent plan cert
+          | None ->
+              if require_certificates then
+                [
+                  Diagnostic.warningf ~code:missing_code
+                    (Diagnostic.loc ~part unit_name)
+                    "analytical plan carries no optimality certificate \
+                     (legacy cache entry, perms override, or tampering)";
+                ]
+              else []
+        in
+        walk (Some plan) (List.rev_append ds acc) rest
+  in
+  walk None [] outer_first
+
+let certified (lps : Planner.level_plan list) =
+  lps <> []
+  && List.for_all
+       (fun (lp : Planner.level_plan) ->
+         lp.Planner.plan.Planner.certificate <> None)
+       lps
+
+let conditional (lps : Planner.level_plan list) =
+  List.exists
+    (fun (lp : Planner.level_plan) ->
+      match lp.Planner.plan.Planner.certificate with
+      | Some c -> c.C.conditional
+      | None -> false)
+    lps

@@ -50,13 +50,23 @@ let registry =
     ("CHIM022", "edge-aware simulated DV falls outside the stated tolerance");
     ("CHIM023", "differential check skipped: block budget exceeded");
     ("CHIM024", "closed-form DV prediction violates its approximation bound");
-    (* Codegen lint (CHIM030-039) *)
+    (* Codegen lint (CHIM030-035) *)
     ("CHIM030", "kernel references a buffer that is never declared");
     ("CHIM031", "loop variable shadows an enclosing loop variable");
     ("CHIM032", "staged tile provably overruns its declared buffer");
     ("CHIM033", "loop bounds are degenerate or the step is not positive");
     ("CHIM034", "intermediate tile is consumed before any producer writes it");
     ("CHIM035", "buffer is declared more than once");
+    (* Optimality certificates (CHIM036-044) *)
+    ("CHIM036", "certificate does not bind to the served plan");
+    ("CHIM037", "certified winner fails its Algorithm-1 re-derivation");
+    ("CHIM038", "certificate entry re-check fails (solved DV or infeasibility)");
+    ("CHIM039", "pruned-order witness fails first-principles re-pricing");
+    ("CHIM040", "incomplete certificate: candidate order space not covered");
+    ("CHIM041", "certified winner is not minimal in the ties-preserved order");
+    ("CHIM042", "malformed certificate: box, tiling, axes or wire version");
+    ("CHIM043", "conditional certificate: no whole-box witness for this box");
+    ("CHIM044", "analytical plan carries no optimality certificate");
   ]
 
 let describe_code code = List.assoc_opt code registry

@@ -21,8 +21,8 @@ let closed_form_check (chain : Ir.Chain.t) ~(machine : Arch.Machine.t) =
   end
   else []
 
-let check_unit ?max_blocks ?dv_tolerance ?(obs = Obs.Trace.none)
-    (u : Chimera.Compiler.unit_) =
+let check_unit ?max_blocks ?dv_tolerance ?require_certificates ?pool
+    ?(obs = Obs.Trace.none) (u : Chimera.Compiler.unit_) =
   Obs.Trace.span obs "verify.unit"
     ~attrs:
       (if Obs.Trace.enabled obs then
@@ -61,15 +61,23 @@ let check_unit ?max_blocks ?dv_tolerance ?(obs = Obs.Trace.none)
         Diff_check.check ?max_blocks ?dv_tolerance chain ~perm ~tiling
           ~movement
     in
+    let cert_ds =
+      (* Certificates re-analyze recorded tilings, so only a plan that
+         passed the structural checks above is safe to re-derive. *)
+      if not (Diagnostic.ok plan_ds) then []
+      else
+        Cert_check.check_level_plans ?require_certificates ?pool chain
+          kernel.Codegen.Kernel.level_plans
+    in
     let cf_ds =
       closed_form_check chain ~machine:kernel.Codegen.Kernel.machine
     in
     let cg_ds = Codegen_check.check kernel in
-    ir @ plan_ds @ diff_ds @ cf_ds @ cg_ds
+    ir @ plan_ds @ cert_ds @ diff_ds @ cf_ds @ cg_ds
   end
 
-let check_compiled ?max_blocks ?dv_tolerance ?obs
+let check_compiled ?max_blocks ?dv_tolerance ?require_certificates ?pool ?obs
     (c : Chimera.Compiler.compiled) =
   List.concat_map
-    (check_unit ?max_blocks ?dv_tolerance ?obs)
+    (check_unit ?max_blocks ?dv_tolerance ?require_certificates ?pool ?obs)
     c.Chimera.Compiler.units

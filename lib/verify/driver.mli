@@ -14,15 +14,24 @@ val check_chain : Ir.Chain.t -> Diagnostic.t list
 (** Pass 1 only — for workloads that have not been planned yet. *)
 
 val check_unit :
-  ?max_blocks:int -> ?dv_tolerance:float -> ?obs:Obs.Trace.ctx ->
+  ?max_blocks:int -> ?dv_tolerance:float -> ?require_certificates:bool ->
+  ?pool:Util.Pool.t -> ?obs:Obs.Trace.ctx ->
   Chimera.Compiler.unit_ ->
   Diagnostic.t list
-(** All four passes over one compiled unit, plus — for canonical
-    two-GEMM chains — the closed-form cross-check (CHIM024) at the
-    machine's primary on-chip capacity. *)
+(** All passes over one compiled unit, plus — for canonical two-GEMM
+    chains — the closed-form cross-check (CHIM024) at the machine's
+    primary on-chip capacity.  Plans carrying an optimality
+    certificate additionally get the {!Cert_check} pass
+    (CHIM036-043); [require_certificates] (default false) upgrades a
+    missing certificate on an analytical plan to a CHIM044 warning —
+    [chimera lint --certify]'s behaviour.  [pool] parallelizes the
+    certificate pass's per-order re-checks (see
+    {!Cert_check.check_level_plans}); findings are identical with or
+    without it. *)
 
 val check_compiled :
-  ?max_blocks:int -> ?dv_tolerance:float -> ?obs:Obs.Trace.ctx ->
+  ?max_blocks:int -> ?dv_tolerance:float -> ?require_certificates:bool ->
+  ?pool:Util.Pool.t -> ?obs:Obs.Trace.ctx ->
   Chimera.Compiler.compiled ->
   Diagnostic.t list
 (** {!check_unit} over every unit of a compilation, in order.  [obs]

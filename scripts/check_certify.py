@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Gate the certify job: every served plan must carry a checked
+optimality certificate.
+
+Usage: check_certify.py CERTIFY.jsonl [CERTIFY.prom]
+
+CERTIFY.jsonl is the output of
+`chimera lint --workload all --arch all --certify --strict --json`:
+one JSON object per workload x preset pair, each carrying an `ok`
+flag, a `certificate` verdict and a `diagnostics` array (see
+docs/CERTIFY.md).  The optional CERTIFY.prom is a Prometheus scrape
+from a `--verify strict` fleet/loadgen run, used to confirm the
+verdict counters are actually wired.
+
+Asserts:
+
+  * every row parsed, is ok, and carries a certificate verdict;
+  * every verdict is `certified` or `conditional` -- `failed` means a
+    forged/broken certificate shipped, `uncertified` means an
+    analytical plan lost its certificate somewhere in the pipeline;
+  * at least one row is fully `certified` (the gate is vacuous
+    otherwise);
+  * no row carries a certificate-error diagnostic (CHIM036-042) or a
+    coverage failure (CHIM040) at any severity;
+  * when a scrape is given: chimera_verify_certified_total > 0 and
+    chimera_verify_failures == 0.
+"""
+
+import json
+import re
+import sys
+
+CERT_ERROR = re.compile(r"^CHIM03[6-9]$|^CHIM04[0-2]$")
+
+
+def fail(msg):
+    print(f"check_certify: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_rows(path):
+    rows = []
+    with open(path) as f:
+        for i, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{i}: not JSON: {e}")
+    if not rows:
+        fail(f"{path}: no rows")
+
+    verdicts = {}
+    for row in rows:
+        tag = f"{row.get('workload')}/{row.get('arch')}"
+        if not row.get("ok", False):
+            fail(f"{tag}: not ok")
+        verdict = row.get("certificate")
+        if verdict is None:
+            fail(f"{tag}: no certificate verdict (was --certify passed?)")
+        if verdict not in ("certified", "conditional"):
+            fail(f"{tag}: certificate verdict {verdict!r}")
+        verdicts[verdict] = verdicts.get(verdict, 0) + 1
+        for d in row.get("diagnostics", []):
+            code = d.get("code", "")
+            if CERT_ERROR.match(code):
+                fail(f"{tag}: certificate diagnostic {code}: "
+                     f"{d.get('message', '')}")
+    if verdicts.get("certified", 0) == 0:
+        fail("no fully certified row at all")
+    return len(rows), verdicts
+
+
+def prom_value(text, name):
+    total = None
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        m = re.match(r"^(\w+)(\{[^}]*\})?\s+([0-9eE.+-]+)$", line.strip())
+        if m and m.group(1) == name:
+            total = (total or 0.0) + float(m.group(3))
+    return total
+
+
+def check_prom(path):
+    with open(path) as f:
+        text = f.read()
+    certified = prom_value(text, "chimera_verify_certified_total")
+    if certified is None:
+        fail(f"{path}: chimera_verify_certified_total missing")
+    if certified <= 0:
+        fail(f"{path}: chimera_verify_certified_total = {certified}")
+    failures = prom_value(text, "chimera_verify_failures")
+    if failures is not None and failures != 0:
+        fail(f"{path}: chimera_verify_failures = {failures}")
+    return certified
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        fail(f"usage: {sys.argv[0]} CERTIFY.jsonl [CERTIFY.prom]")
+    n, verdicts = check_rows(sys.argv[1])
+    census = ", ".join(f"{k}={v}" for k, v in sorted(verdicts.items()))
+    print(f"check_certify: OK: {n} rows ({census})")
+    if len(sys.argv) == 3:
+        certified = check_prom(sys.argv[2])
+        print(f"check_certify: OK: scrape certified_total = {certified:g}")
+
+
+if __name__ == "__main__":
+    main()

@@ -314,7 +314,7 @@ let cache_tests =
         let metrics = Service.Metrics.create () in
         let cache2 = create ~metrics () in
         (match load cache2 ~dir with
-        | Loaded { entries = 0; skipped } ->
+        | Loaded { entries = 0; skipped; _ } ->
             check_true "the garbage is skipped" (skipped >= 1)
         | Loaded { entries; _ } ->
             Alcotest.failf "trusted %d entries of garbage" entries
@@ -1069,7 +1069,7 @@ let recovery_tests =
         let metrics = Service.Metrics.create () in
         let cache2 = create ~metrics () in
         (match load cache2 ~dir with
-        | Loaded { entries; skipped } ->
+        | Loaded { entries; skipped; _ } ->
             check_true "the torn tail is skipped" (skipped >= 1);
             check_true "never more than what was saved"
               (entries + skipped <= 2);
@@ -1103,7 +1103,7 @@ let recovery_tests =
         let metrics = Service.Metrics.create () in
         let cache2 = create ~metrics () in
         (match load cache2 ~dir with
-        | Loaded { entries = 0; skipped } ->
+        | Loaded { entries = 0; skipped; _ } ->
             check_true "the flipped frame is skipped" (skipped >= 1)
         | Loaded { entries; _ } ->
             Alcotest.failf "trusted %d corrupt entries" entries
@@ -1133,8 +1133,8 @@ let recovery_tests =
         let metrics = Service.Metrics.create () in
         let cache2 = create ~metrics () in
         (match load cache2 ~dir with
-        | Loaded { entries = 1; skipped = 1 } -> ()
-        | Loaded { entries; skipped } ->
+        | Loaded { entries = 1; skipped = 1; _ } -> ()
+        | Loaded { entries; skipped; _ } ->
             Alcotest.failf "expected 1 kept / 1 skipped, got %d/%d" entries
               skipped
         | Discarded _ | Absent -> Alcotest.fail "expected a partial load");
@@ -1550,7 +1550,7 @@ let fuzz_tests =
            let cache2 = create () in
            let ok =
              match load cache2 ~dir with
-             | Loaded { entries; skipped } ->
+             | Loaded { entries; skipped; _ } ->
                  (* Only intact frames may be trusted; nothing fabricated.
                     [skipped] is diagnostic only: a flipped length field
                     can shred the remainder into several bogus frames,
