@@ -16,10 +16,13 @@
       non-decreasing in every tile size;
     - [Pruned] — the order was excluded wholesale by a certified DV
       lower bound over its search box; [lb_dv_bytes] is the witness,
-      justified by [lb > winner] (the solver only prunes against an
-      incumbent that is itself >= the final winner, so the recorded
-      witness clears the winner no matter when the prune fired under
-      the pooled race).
+      justified by [lb > winner], or by [lb = winner] when the entry
+      enumerates after the winning entry (every DV the order can
+      achieve then at least ties the winner, and the tie-break keeps
+      the earliest-enumerated minimum — the solver only prunes against
+      an incumbent that is itself >= the final winner, so the recorded
+      witness clears or ties the winner no matter when the prune fired
+      under the pooled race).
 
     The {!t.box} records the per-axis tile bounds every order was
     solved under (outer-level constraints), so the checker can re-price

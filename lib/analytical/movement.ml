@@ -148,46 +148,69 @@ type evaluator = {
   e_stages : estage array;
 }
 
-let compile ?(charge_intermediates = false) (chain : Ir.Chain.t) ~perm =
-  validate_perm chain perm;
+(* Everything but [e_loops] is a function of the chain alone, and the
+   planner compiles one evaluator per candidate order — hundreds per
+   level — while the certificate checker compiles one per re-checked
+   entry.  [compile_template] freezes the perm-independent part once
+   (the [tref] skeletons below are immutable and shared by every
+   specialized evaluator), so [compile_with] only rebuilds the active
+   loop lists: an int-indexed walk instead of a re-traversal of the
+   IR.  [compile] remains the one-shot composition. *)
+
+type tref = {
+  t_charged : bool;
+  t_dtype_bytes : int;
+  t_dims : (int * (int * int) array) array;  (* shared with evaluators *)
+  t_acc_uses : bool array;  (* axis id -> the access indexes the axis *)
+}
+
+type tstage = {
+  t_refs : tref array;
+  t_op_uses : bool array;  (* axis id -> the stage's op iterates it *)
+  t_drops : bool array;  (* axis id -> producer-private to this stage *)
+}
+
+type template = {
+  t_axes : string array;
+  t_extents : int array;
+  t_axis_id : (string, int) Hashtbl.t;
+  t_sorted_fused : string list;
+  t_fused : bool array;  (* axis id -> fused (some stage iterates it) *)
+  t_n_fused : int;
+  t_stages : tstage array;
+}
+
+let compile_template ?(charge_intermediates = false) (chain : Ir.Chain.t) =
   let axes = chain.Ir.Chain.axes in
-  let e_axes = Array.of_list (List.map (fun a -> a.Ir.Axis.name) axes) in
-  let e_extents = Array.of_list (List.map (fun a -> a.Ir.Axis.extent) axes) in
+  let t_axes = Array.of_list (List.map (fun a -> a.Ir.Axis.name) axes) in
+  let t_extents = Array.of_list (List.map (fun a -> a.Ir.Axis.extent) axes) in
+  let n = Array.length t_axes in
+  let t_axis_id = Hashtbl.create (2 * n) in
+  Array.iteri (fun i name -> Hashtbl.replace t_axis_id name i) t_axes;
   let index name =
-    let rec go i =
-      if i >= Array.length e_axes then
+    match Hashtbl.find_opt t_axis_id name with
+    | Some i -> i
+    | None ->
         invalid_arg (Printf.sprintf "Movement.compile: unknown axis %s" name)
-      else if e_axes.(i) = name then i
-      else go (i + 1)
-    in
-    go 0
   in
   let io =
     if charge_intermediates then Ir.Chain.tensor_names chain
     else Ir.Chain.io_names chain
   in
-  let active = ref (List.rev perm) in
   let stages =
     List.map
       (fun (stage : Ir.Chain.stage) ->
         let op = stage.op in
-        let loops_of (r : Ir.Operator.tensor_ref) =
-          (* [analyze] walks every active loop but acts only on the ones
-             the operator uses; keeping just those preserves both the
-             order and the exact multiplication sequence. *)
-          Array.of_list
-            (List.filter_map
-               (fun l ->
-                 if Ir.Operator.uses_axis op l then
-                   Some (index l, Ir.Access.uses_axis r.access l)
-                 else None)
-               !active)
-        in
         let compile_ref (r : Ir.Operator.tensor_ref) =
+          let acc_uses = Array.make n false in
+          Array.iteri
+            (fun i name ->
+              acc_uses.(i) <- Ir.Access.uses_axis r.access name)
+            t_axes;
           {
-            e_charged = List.mem r.tensor io;
-            e_dtype_bytes = Tensor.Dtype.bytes r.dtype;
-            e_dims =
+            t_charged = List.mem r.tensor io;
+            t_dtype_bytes = Tensor.Dtype.bytes r.dtype;
+            t_dims =
               Array.of_list
                 (List.map2
                    (fun (d : Ir.Access.dim) bound ->
@@ -197,22 +220,102 @@ let compile ?(charge_intermediates = false) (chain : Ir.Chain.t) ~perm =
                             (fun (t : Ir.Access.term) -> (index t.axis, t.coeff))
                             d.terms) ))
                    r.access r.dims);
-            e_loops = loops_of r;
+            t_acc_uses = acc_uses;
           }
         in
-        let refs =
-          Array.of_list (List.map compile_ref (Ir.Operator.all_refs op))
-        in
-        active :=
-          List.filter
-            (fun l ->
-              not
-                (Ir.Operator.uses_axis op l && Ir.Chain.axis_is_private chain l))
-            !active;
-        { e_refs = refs })
+        let t_op_uses = Array.make n false in
+        let t_drops = Array.make n false in
+        Array.iteri
+          (fun i name ->
+            t_op_uses.(i) <- Ir.Operator.uses_axis op name;
+            t_drops.(i) <-
+              t_op_uses.(i) && Ir.Chain.axis_is_private chain name)
+          t_axes;
+        {
+          t_refs =
+            Array.of_list (List.map compile_ref (Ir.Operator.all_refs op));
+          t_op_uses;
+          t_drops;
+        })
       chain.stages
   in
-  { e_axes; e_extents; e_stages = Array.of_list stages }
+  let fused = fused_axes chain in
+  let t_fused = Array.map (fun name -> List.mem name fused) t_axes in
+  {
+    t_axes;
+    t_extents;
+    t_axis_id;
+    t_sorted_fused = List.sort compare fused;
+    t_fused;
+    t_n_fused = List.length fused;
+    t_stages = Array.of_list stages;
+  }
+
+let compile_with (tpl : template) ~perm =
+  let bad () =
+    invalid_arg
+      (Printf.sprintf
+         "Movement: perm [%s] is not a permutation of the fused axes [%s]"
+         (String.concat "," perm)
+         (String.concat "," tpl.t_sorted_fused))
+  in
+  (* Distinct known fused axes of the right count is exactly
+     permutation-ness — no sorting, no polymorphic compares. *)
+  let np = List.length perm in
+  if np <> tpl.t_n_fused then bad ();
+  let active = Array.make np 0 in
+  let seen = Array.make (Array.length tpl.t_axes) false in
+  (* Innermost first, as [analyze] walks it; [perm] is outermost-first. *)
+  List.iteri
+    (fun i l ->
+      match Hashtbl.find_opt tpl.t_axis_id l with
+      | Some a when tpl.t_fused.(a) && not seen.(a) ->
+          seen.(a) <- true;
+          active.(np - 1 - i) <- a
+      | _ -> bad ())
+    perm;
+  let alive = Array.make np true in
+  let stages =
+    Array.map
+      (fun (ts : tstage) ->
+        let refs =
+          Array.map
+            (fun (tr : tref) ->
+              (* [analyze] walks every active loop but acts only on the
+                 ones the operator uses; keeping just those preserves
+                 both the order and the exact multiplication
+                 sequence. *)
+              let count = ref 0 in
+              for p = 0 to np - 1 do
+                if alive.(p) && ts.t_op_uses.(active.(p)) then incr count
+              done;
+              let loops = Array.make !count (0, false) in
+              let k = ref 0 in
+              for p = 0 to np - 1 do
+                if alive.(p) && ts.t_op_uses.(active.(p)) then begin
+                  let a = active.(p) in
+                  loops.(!k) <- (a, tr.t_acc_uses.(a));
+                  incr k
+                end
+              done;
+              {
+                e_charged = tr.t_charged;
+                e_dtype_bytes = tr.t_dtype_bytes;
+                e_dims = tr.t_dims;
+                e_loops = loops;
+              })
+            ts.t_refs
+        in
+        for p = 0 to np - 1 do
+          if alive.(p) && ts.t_drops.(active.(p)) then alive.(p) <- false
+        done;
+        { e_refs = refs })
+      tpl.t_stages
+  in
+  { e_axes = tpl.t_axes; e_extents = tpl.t_extents; e_stages = stages }
+
+let compile ?charge_intermediates (chain : Ir.Chain.t) ~perm =
+  compile_with (compile_template ?charge_intermediates chain) ~perm
 
 let axis_names ev = Array.copy ev.e_axes
 
@@ -296,7 +399,7 @@ let eval ev ~tiling =
    axis must touch at most one dimension of a reference — two gapped
    dimensions sharing one axis would need a joint 2-D argument no cheap
    corner evaluation supplies. *)
-let dv_lower_bound ev ~bounds ~fixed =
+let dv_lower_bound ?(shave = true) ev ~bounds ~fixed =
   let n = Array.length ev.e_axes in
   if Array.length bounds <> n || Array.length fixed <> n then
     invalid_arg "Movement.dv_lower_bound: vector has the wrong arity";
@@ -366,8 +469,304 @@ let dv_lower_bound ev ~bounds ~fixed =
     ev.e_stages;
   (* Shave a relative epsilon so float rounding in the products above can
      never lift the bound past a DV it must stay under; the margin is six
-     orders beyond accumulated ulp error yet far below any real DV gap. *)
-  if !sound then Some (!lb *. (1.0 -. 1e-9)) else None
+     orders beyond accumulated ulp error yet far below any real DV gap.
+     [~shave:false] returns the raw corner value for the solver's
+     tie-aware gate, which needs exact equality against an incumbent DV
+     (ties are exact there: at a tie the corner arithmetic is a sum of
+     exactly-representable integer products). *)
+  if !sound then Some (if shave then !lb *. (1.0 -. 1e-9) else !lb) else None
+
+(* ------------------------------------------------------------------ *)
+(* Batched frontier evaluation                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The solver's coordinate descent evaluates frontiers of candidates
+   that differ from the current point in exactly one coordinate (every
+   grid value of one axis).  [compile_batch] freezes the evaluator's
+   structure-of-arrays view once per (chain, perm) and adds per-axis
+   partial-product memoization over a loaded base point: a lane that
+   differs only in axis [i] reprices only the references axis [i] can
+   influence and re-runs the DV accumulation from the first affected
+   reference onward.
+
+   Bit-exactness with {!eval_array} is load-bearing (the zero-plan-drift
+   guarantee rides on it) and holds by construction:
+
+   - integer arithmetic (footprints, MU) is exact, so patching one
+     stage's footprint total is the same value [eval_array] computes;
+   - a reference axis [i] cannot influence keeps a bitwise-identical DM
+     (same floats, same op order as the base load);
+   - DV is a left fold of per-reference DMs in stage/reference order —
+     float addition is not associative, so the lane reuses the base
+     prefix sum up to the first affected reference and re-adds every
+     later DM in the identical order.  Same operand sequence, same
+     result bits.
+
+   The per-lane early exit ([cutoff]) relies only on monotonicity: DMs
+   are non-negative, and IEEE addition of a non-negative term never
+   decreases the accumulator, so a partial sum already above the cutoff
+   proves the final DV is too.  Cut lanes report [infinity]. *)
+
+type bref = {
+  br_charged : bool;
+  br_dtype_bytes : int;
+  br_dims : (int * (int * int) array) array;
+  br_loops : (int * bool) array;
+  br_fp_axes : bool array;  (* axis appears in a footprint term *)
+  br_dv_axes : bool array;  (* axis can change this ref's DM at all *)
+}
+
+(* All-float record: the field is stored flat, so writes never box.
+   [float ref] would allocate on every [:=] — fatal in the sweep's
+   per-lane loop, which the bench pins below 40 minor words/eval. *)
+type fcell = { mutable fc : float }
+
+type batch = {
+  bt_extents : int array;
+  bt_refs : bref array;  (* flattened, stage-major, ref order preserved *)
+  bt_stage_start : int array;  (* stage s owns refs [s, s+1) of this *)
+  bt_charged_refs : int array;  (* charged position -> flat ref index *)
+  bt_axis_first : int array;  (* axis -> first affected charged position *)
+  bt_axis_mu_stage : bool array array;  (* axis -> stage footprint dirty *)
+  (* Base-point state, rewritten by every [batch_load]. *)
+  bt_tiles : int array;
+  bt_trips : int array;
+  bt_ref_df : int array;
+  bt_stage_df : int array;
+  bt_dm : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  bt_prefix :
+    (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  (* Single-lane scratch for [batch_probe]. *)
+  bt_val1 : int array;
+  bt_dv1 : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  bt_mu1 : (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  (* Unboxed float scratch for the sweep's DM and accumulator. *)
+  bt_fdm : fcell;
+  bt_facc : fcell;
+}
+
+let compile_batch ev =
+  let n = Array.length ev.e_axes in
+  let refs = ref [] in
+  let stage_start = Array.make (Array.length ev.e_stages + 1) 0 in
+  Array.iteri
+    (fun s st ->
+      Array.iter
+        (fun (r : eref) ->
+          let fp = Array.make n false in
+          let dv = Array.make n false in
+          Array.iter
+            (fun (_, terms) ->
+              Array.iter (fun (ai, _) -> fp.(ai) <- true; dv.(ai) <- true) terms)
+            r.e_dims;
+          Array.iter (fun (ai, _) -> dv.(ai) <- true) r.e_loops;
+          refs :=
+            {
+              br_charged = r.e_charged;
+              br_dtype_bytes = r.e_dtype_bytes;
+              br_dims = r.e_dims;
+              br_loops = r.e_loops;
+              br_fp_axes = fp;
+              br_dv_axes = dv;
+            }
+            :: !refs)
+        st.e_refs;
+      stage_start.(s + 1) <- stage_start.(s) + Array.length st.e_refs)
+    ev.e_stages;
+  let refs = Array.of_list (List.rev !refs) in
+  let charged_refs =
+    let acc = ref [] in
+    Array.iteri (fun i r -> if r.br_charged then acc := i :: !acc) refs;
+    Array.of_list (List.rev !acc)
+  in
+  let nc = Array.length charged_refs in
+  let axis_first = Array.make n nc in
+  for k = nc - 1 downto 0 do
+    let r = refs.(charged_refs.(k)) in
+    for ai = 0 to n - 1 do
+      if r.br_dv_axes.(ai) then axis_first.(ai) <- k
+    done
+  done;
+  let ns = Array.length ev.e_stages in
+  let axis_mu_stage =
+    Array.init n (fun ai ->
+        Array.init ns (fun s ->
+            let dirty = ref false in
+            for ri = stage_start.(s) to stage_start.(s + 1) - 1 do
+              if refs.(ri).br_fp_axes.(ai) then dirty := true
+            done;
+            !dirty))
+  in
+  {
+    bt_extents = ev.e_extents;
+    bt_refs = refs;
+    bt_stage_start = stage_start;
+    bt_charged_refs = charged_refs;
+    bt_axis_first = axis_first;
+    bt_axis_mu_stage = axis_mu_stage;
+    bt_tiles = Array.make n 1;
+    bt_trips = Array.make n 1;
+    bt_ref_df = Array.make (max 1 (Array.length refs)) 0;
+    bt_stage_df = Array.make (max 1 ns) 0;
+    bt_dm = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (max 1 nc);
+    bt_prefix =
+      Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (nc + 1);
+    bt_val1 = Array.make 1 1;
+    bt_dv1 = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 1;
+    bt_mu1 = Bigarray.Array1.create Bigarray.int Bigarray.c_layout 1;
+    bt_fdm = { fc = 0.0 };
+    bt_facc = { fc = 0.0 };
+  }
+
+(* The lane kernels below are top-level tail recursions carrying
+   immediate (int/bool) accumulators, with float state kept in the
+   batch's [fcell] scratch.  [Array.iter] closures, [int ref]s and
+   especially [float ref]s (whose every store boxes) would otherwise
+   dominate the sweep's per-eval allocation budget. *)
+
+let rec span_terms terms nt t tiles ~axis ~v span =
+  if t >= nt then span
+  else begin
+    let ai, coeff = terms.(t) in
+    let tl = if ai = axis then v else tiles.(ai) in
+    span_terms terms nt (t + 1) tiles ~axis ~v (span + (coeff * (tl - 1)))
+  end
+
+let rec df_dims dims nd d tiles ~axis ~v elems =
+  if d >= nd then elems
+  else begin
+    let bound, terms = dims.(d) in
+    let span = span_terms terms (Array.length terms) 0 tiles ~axis ~v 1 in
+    df_dims dims nd (d + 1) tiles ~axis ~v (elems * min span bound)
+  end
+
+(* Footprint of one reference with axis [axis] overridden to tile [v];
+   [axis = -1] prices the base point.  Same integer op order as
+   [eval_array] (exact either way). *)
+let[@inline] lane_df b (r : bref) ~axis ~v =
+  df_dims r.br_dims (Array.length r.br_dims) 0 b.bt_tiles ~axis ~v 1
+  * r.br_dtype_bytes
+
+let rec dm_loops loops nl i trips ~axis ~tv keep (c : fcell) =
+  if i < nl then begin
+    let ai, uses = loops.(i) in
+    let t = if ai = axis then tv else trips.(ai) in
+    let keep = keep && not (uses && t > 1) in
+    if not keep then c.fc <- c.fc *. float_of_int t;
+    dm_loops loops nl (i + 1) trips ~axis ~tv keep c
+  end
+
+(* DM of one charged reference with axis [axis]'s trip count overridden
+   to [tv], left in [b.bt_fdm] (an unboxed store; returning the float
+   would box it at every call).  The multiplications run in
+   [eval_array]'s order. *)
+let[@inline] lane_dm b (r : bref) ~axis ~tv df =
+  b.bt_fdm.fc <- float_of_int df;
+  dm_loops r.br_loops (Array.length r.br_loops) 0 b.bt_trips ~axis ~tv true
+    b.bt_fdm
+
+let batch_load b tiles =
+  let n = Array.length b.bt_extents in
+  if Array.length tiles <> n then
+    invalid_arg "Movement.batch_load: tile vector has the wrong arity";
+  Array.blit tiles 0 b.bt_tiles 0 n;
+  for i = 0 to n - 1 do
+    b.bt_trips.(i) <- Util.Ints.ceil_div b.bt_extents.(i) tiles.(i)
+  done;
+  let mu = ref 0 in
+  let ns = Array.length b.bt_stage_df in
+  for s = 0 to ns - 1 do
+    let total = ref 0 in
+    for ri = b.bt_stage_start.(s) to b.bt_stage_start.(s + 1) - 1 do
+      let df = lane_df b b.bt_refs.(ri) ~axis:(-1) ~v:1 in
+      b.bt_ref_df.(ri) <- df;
+      total := !total + df
+    done;
+    b.bt_stage_df.(s) <- !total;
+    mu := max !mu !total
+  done;
+  let nc = Array.length b.bt_charged_refs in
+  b.bt_prefix.{0} <- 0.0;
+  for k = 0 to nc - 1 do
+    let ri = b.bt_charged_refs.(k) in
+    lane_dm b b.bt_refs.(ri) ~axis:(-1) ~tv:1 b.bt_ref_df.(ri);
+    let dm = b.bt_fdm.fc in
+    b.bt_dm.{k} <- dm;
+    b.bt_prefix.{k + 1} <- b.bt_prefix.{k} +. dm
+  done;
+  (b.bt_prefix.{nc}, !mu)
+
+(* MU with axis [axis] overridden: integer, order-free — patch only
+   stages whose footprint the axis can change. *)
+let rec sweep_stage_df b ~axis ~v ri stop total =
+  if ri >= stop then total
+  else begin
+    let r = b.bt_refs.(ri) in
+    let df =
+      if r.br_fp_axes.(axis) then lane_df b r ~axis ~v else b.bt_ref_df.(ri)
+    in
+    sweep_stage_df b ~axis ~v (ri + 1) stop (total + df)
+  end
+
+let rec sweep_mu b ~axis ~v mu_mask s ns m =
+  if s >= ns then m
+  else begin
+    let total =
+      if mu_mask.(s) then
+        sweep_stage_df b ~axis ~v b.bt_stage_start.(s)
+          b.bt_stage_start.(s + 1) 0
+      else b.bt_stage_df.(s)
+    in
+    sweep_mu b ~axis ~v mu_mask (s + 1) ns (max m total)
+  end
+
+(* DV resume: re-add every DM from the first affected reference onward
+   in [eval_array]'s order, accumulating in [b.bt_facc].  Returns false
+   when the partial sum crossed [cutoff] (monotone: DMs are
+   non-negative, so the lane's final DV is above the cutoff too). *)
+let rec sweep_dv b ~axis ~v ~tv ~cutoff k nc =
+  if k >= nc then true
+  else begin
+    let ri = b.bt_charged_refs.(k) in
+    let r = b.bt_refs.(ri) in
+    (if r.br_dv_axes.(axis) then begin
+       let df =
+         if r.br_fp_axes.(axis) then lane_df b r ~axis ~v
+         else b.bt_ref_df.(ri)
+       in
+       lane_dm b r ~axis ~tv df;
+       b.bt_facc.fc <- b.bt_facc.fc +. b.bt_fdm.fc
+     end
+     else b.bt_facc.fc <- b.bt_facc.fc +. b.bt_dm.{k});
+    if b.bt_facc.fc > cutoff then false
+    else sweep_dv b ~axis ~v ~tv ~cutoff (k + 1) nc
+  end
+
+let batch_sweep b ~axis ~values ~count ?(cutoff = infinity) ~dv ~mu () =
+  let cut = ref 0 in
+  let nc = Array.length b.bt_charged_refs in
+  let ns = Array.length b.bt_stage_df in
+  let mu_mask = b.bt_axis_mu_stage.(axis) in
+  let k0 = b.bt_axis_first.(axis) in
+  for j = 0 to count - 1 do
+    let v = values.(j) in
+    let tv = Util.Ints.ceil_div b.bt_extents.(axis) v in
+    mu.{j} <- sweep_mu b ~axis ~v mu_mask 0 ns 0;
+    b.bt_facc.fc <- b.bt_prefix.{k0};
+    if sweep_dv b ~axis ~v ~tv ~cutoff k0 nc then dv.{j} <- b.bt_facc.fc
+    else begin
+      incr cut;
+      dv.{j} <- infinity
+    end
+  done;
+  !cut
+
+let batch_probe b ~axis v =
+  b.bt_val1.(0) <- v;
+  ignore
+    (batch_sweep b ~axis ~values:b.bt_val1 ~count:1 ~dv:b.bt_dv1 ~mu:b.bt_mu1
+       ());
+  (b.bt_dv1.{0}, b.bt_mu1.{0})
 
 let owning_op (chain : Ir.Chain.t) tensor =
   let refs_tensor (s : Ir.Chain.stage) =

@@ -49,6 +49,21 @@ val compile :
 (** Compile the evaluator for one block execution order.  Same
     validation and [charge_intermediates] semantics as {!analyze}. *)
 
+type template
+(** The perm-independent part of {!compile}, frozen once per chain:
+    per-tensor footprint terms, charge flags, and int-indexed
+    axis-usage tables.  Specializing a template to an order only
+    rebuilds the active-loop lists, so callers that price many orders
+    of the same chain (the planner's frontier, the certificate
+    checker's loser re-pricing) pay the IR traversal once. *)
+
+val compile_template : ?charge_intermediates:bool -> Ir.Chain.t -> template
+
+val compile_with : template -> perm:string list -> evaluator
+(** [compile_with (compile_template ?charge_intermediates chain) ~perm]
+    is {!compile} — same validation, same evaluator, observably
+    identical results. *)
+
 val eval : evaluator -> tiling:Tiling.t -> float * int
 (** [(dv_bytes, mu_bytes)] for a tiling — equal to the corresponding
     fields of {!analyze} on the same inputs. *)
@@ -62,7 +77,47 @@ val eval_array : evaluator -> int array -> float * int
 val axis_names : evaluator -> string array
 (** The axis order {!eval_array} expects (the chain's axes). *)
 
+type batch
+(** Batched frontier evaluation over one {!evaluator}: a loaded base
+    tile vector plus per-axis partial-product memoization, so a lane
+    differing from the base in exactly one coordinate reprices only the
+    references that coordinate can influence (DM prefix sums are reused
+    up to the first affected reference and re-added in the identical
+    order afterwards).  Every lane is bit-exact with {!eval_array} on
+    the same vector — the float operations happen in the same order —
+    which the property suite asserts with [=].  One [batch] is reused
+    across loads; nothing is allocated per lane. *)
+
+val compile_batch : evaluator -> batch
+(** Freeze the evaluator's per-axis influence structure (which
+    references each axis can affect, which stage footprints it can
+    change) into flat arrays. *)
+
+val batch_load : batch -> int array -> float * int
+(** Set the base point (indexed like {!axis_names}) and return its
+    [(dv_bytes, mu_bytes)] — equal to [eval_array] on the same vector.
+    Lanes submitted afterwards are priced relative to this point. *)
+
+val batch_sweep :
+  batch -> axis:int -> values:int array -> count:int -> ?cutoff:float ->
+  dv:(float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+  mu:(int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+  unit -> int
+(** Evaluate the frontier of candidates [base with axis := values.(j)]
+    for [j < count], writing per-lane DV/MU into the caller's lanes.
+    Each lane equals [eval_array] on its vector, except lanes whose DV
+    partial sum exceeds [cutoff] (default [infinity]): DMs are
+    non-negative and IEEE addition of a non-negative term is monotone,
+    so such a lane's final DV provably exceeds [cutoff] too — it is
+    abandoned early and reports [infinity].  Returns the number of
+    lanes cut off.  [values] must lie in [1, extent]. *)
+
+val batch_probe : batch -> axis:int -> int -> float * int
+(** One-lane {!batch_sweep} without a cutoff, for the boundary-grow
+    feasibility bisection: [(dv, mu)] of [base with axis := v], exact. *)
+
 val dv_lower_bound :
+  ?shave:bool ->
   evaluator -> bounds:int array -> fixed:bool array -> float option
 (** A certified lower bound on DV over a tiling search box, for the
     solver's branch-and-bound gate.  The box is [1, bounds.(i)] per
@@ -79,7 +134,14 @@ val dv_lower_bound :
     fixed-span, dim bound), which lower-bounds their product at every
     box point.  Returns [None] only when a varying axis touches more
     than one dimension of a reference (no cheap corner evaluation
-    bounds that), in which case the caller must not prune. *)
+    bounds that), in which case the caller must not prune.
+
+    [shave] (default true) multiplies the result by [1 - 1e-9] so float
+    rounding in the corner products can never lift the bound past a DV
+    it must stay under.  [~shave:false] returns the raw corner value
+    for the solver's tie-aware gate, which compares the bound against
+    an incumbent DV with exact float equality — at a genuine tie both
+    sides are the same sum of exactly-representable integer terms. *)
 
 val reuse_axes : Ir.Chain.t -> perm:string list -> tensor:string -> string list
 (** The axes along which the named IO tensor is *reused* under [perm]:

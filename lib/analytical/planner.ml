@@ -43,25 +43,33 @@ type candidate = {
 
 type explore_stats = { evaluated : int; pruned : int; evals : int }
 
-(* Lower the shared best-so-far DV; CAS-loop because pool workers race
-   on it (the value read is passed back verbatim, so the physical
-   comparison in [compare_and_set] is sound). *)
-let rec atomic_min cell v =
-  let cur = Atomic.get cell in
-  if v < cur && not (Atomic.compare_and_set cell cur v) then atomic_min cell v
+(* Lower the shared best-so-far (DV, enumeration index) — lexicographic,
+   matching the ranked tie-break (earliest-enumerated minimum DV wins).
+   CAS-loop because pool workers race on it (the value read is passed
+   back verbatim, so the physical comparison in [compare_and_set] is
+   sound). *)
+let rec atomic_min cell ((dv, idx) as v) =
+  let ((cur_dv, cur_idx) as cur) = Atomic.get cell in
+  if
+    (dv < cur_dv || (dv = cur_dv && idx < cur_idx))
+    && not (Atomic.compare_and_set cell cur v)
+  then atomic_min cell v
 
 (* Internal: solve every candidate order and keep the per-order verdicts
    in enumeration order — the raw material for both the ranked view and
    the optimality certificate. *)
 let explore_raw chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check
-    ?(prune = false) ?(engine = `Compiled) ?pool ?(obs = Obs.Trace.none) () =
+    ?(prune = false) ?(engine = `Batched) ?pool ?(obs = Obs.Trace.none) () =
   let perms =
     match perms with Some p -> p | None -> Permutations.candidates chain
   in
   let full_tile = Permutations.full_tile_axes chain in
   let extra_starts = closed_form_starts chain ~capacity_bytes in
-  let best = Atomic.make infinity in
-  let solve_one perm =
+  let best = Atomic.make (infinity, max_int) in
+  (* One IR traversal serves every order's evaluator; the template is
+     immutable after construction, so pool workers share it freely. *)
+  let template = Movement.compile_template chain in
+  let solve_one enum_index perm =
     (* [obs] is captured into pool-worker closures below: the per-order
        span records the worker domain as its tid while keeping the
        caller's span as parent — cross-domain parenting is just value
@@ -74,11 +82,13 @@ let explore_raw chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check
         let prune_above = if prune then Some (Atomic.get best) else None in
         let verdict, evals =
           Solver.solve chain ~perm ~capacity_bytes ~full_tile ?max_tile
-            ?min_tile ~extra_starts ?check ~engine ?prune_above ~obs ()
+            ?min_tile ~extra_starts ?check ~engine ?prune_above ~enum_index
+            ~template ~obs ()
         in
         (match verdict with
         | Solver.Feasible sol ->
-            atomic_min best sol.Solver.movement.Movement.dv_bytes
+            atomic_min best
+              (sol.Solver.movement.Movement.dv_bytes, enum_index)
         | Solver.Infeasible | Solver.Pruned _ -> ());
         if Obs.Trace.enabled obs then
           Obs.Trace.annot obs
@@ -93,18 +103,20 @@ let explore_raw chain ~capacity_bytes ?max_tile ?min_tile ?perms ?check
         (verdict, evals))
   in
   let outcomes =
-    (* Workers race only on the prune bound, which is monotone and only
-       ever skips orders that can neither win nor tie — so the pooled
-       fan-out and the serial loop select the same best plan.  Results
-       are reassembled in enumeration order before ranking. *)
+    (* Workers race only on the prune bound, which is monotone (in the
+       lexicographic (DV, index) order) and only ever skips orders that
+       cannot be selected — strictly worse, or exactly tied from a later
+       enumeration position than the incumbent — so the pooled fan-out
+       and the serial loop select the same best plan.  Results are
+       reassembled in enumeration order before ranking. *)
     match pool with
     | Some pool when Util.Pool.size pool > 1 && List.length perms > 1 ->
         let perms_arr = Array.of_list perms in
         Array.to_list
           (Util.Pool.run pool
-             (fun i -> solve_one perms_arr.(i))
+             (fun i -> solve_one i perms_arr.(i))
              (Array.length perms_arr))
-    | _ -> List.map solve_one perms
+    | _ -> List.mapi solve_one perms
   in
   let stats =
     List.fold_left
@@ -358,7 +370,17 @@ let optimize_multilevel ?min_blocks ?min_tile ?check ?prune ?engine ?pool
               | _ -> plan)
         in
         let cost_seconds =
-          plan.movement.Movement.dv_bytes /. (feed *. 1e9)
+          (* The sim-fitted calibration corrects the *cost* of the
+             DRAM-facing level only — the DV objective the orders were
+             ranked by is untouched, so a calibrated machine selects
+             the identical plan and certificate. *)
+          let dv = plan.movement.Movement.dv_bytes in
+          let dv =
+            match parent with
+            | None -> Arch.Machine.calibrated_dv_bytes machine dv
+            | Some _ -> dv
+          in
+          dv /. (feed *. 1e9)
         in
         plan_levels (Some plan)
           ({ level; plan; feed_bandwidth_gbps = feed; cost_seconds } :: acc)

@@ -52,10 +52,16 @@ val explore :
     and the worker domain as [tid] — cross-domain parenting for free.
 
     [prune] (default off, so diagnostic listings stay complete) turns on
-    branch-and-bound: a best-so-far DV is threaded to every solve as
-    {!Solver.solve}'s [prune_above], skipping orders whose DV lower
-    bound cannot win or tie.  Pruning never changes the ranked head —
-    only strictly-worse orders are dropped from the tail.
+    branch-and-bound: a best-so-far (DV, enumeration index) pair is
+    threaded to every solve as {!Solver.solve}'s [prune_above], skipping
+    orders whose certified DV lower bound is strictly above the
+    incumbent — or exactly ties it from a later enumeration position,
+    which the earliest-minimum tie-break makes unwinnable.  Pruning
+    never changes the ranked head — only unselectable orders are
+    dropped from the tail.
+
+    [engine] (default [`Batched]) selects the {!Solver.engine} every
+    per-order solve descends with; all engines land on identical plans.
 
     [pool] fans the per-order solves across a shared domain pool; the
     best-so-far bound lives in an atomic so workers prune against each
@@ -110,7 +116,12 @@ type level_plan = {
   feed_bandwidth_gbps : float;
       (** bandwidth of the link that fills this level (the next-outer
           level's link — DRAM for the outermost on-chip level). *)
-  cost_seconds : float;  (** Equation 2: [DV_d / bw_d]. *)
+  cost_seconds : float;
+      (** Equation 2: [DV_d / bw_d].  At the outermost (DRAM-fed) level
+          the machine's {!Arch.Machine.calibration}, when present,
+          corrects the DV before pricing — cost only; the plan, its DV
+          field and its certificate are identical with or without
+          calibration. *)
 }
 
 val optimize_multilevel :

@@ -1,6 +1,6 @@
 type solution = { tiling : Tiling.t; movement : Movement.result }
 
-type engine = [ `Compiled | `Reference ]
+type engine = [ `Batched | `Compiled | `Reference ]
 
 type verdict =
   | Feasible of solution
@@ -26,12 +26,29 @@ let better a b =
    position; (DV, total blocks) rides along so the [better] order can be
    applied without rebuilding a Tiling.  [blocks] replays
    [Tiling.total_blocks]'s fold (same axis order, same float ops) so
-   tie-breaks agree bit-for-bit with the record-based path. *)
+   tie-breaks agree bit-for-bit with the record-based path.
+
+   Three engines share the search logic:
+
+   - [`Batched] (default): the descent submits each axis sweep's whole
+     candidate frontier to {!Movement.batch_sweep} — one structure-of-
+     arrays pass with per-axis memoization and a per-lane DV cutoff at
+     the incumbent — then replays the sequential adoption rule over the
+     lanes.  Within one axis sweep every candidate differs from the
+     evolving point only in that axis's coordinate, so the lane vectors
+     are exactly the vectors the single-candidate path evaluates, and
+     the replay (including the skip of the current value and the
+     evolving (dv, blocks) incumbent) lands on the identical final
+     tiling.  Lanes are bit-exact with [eval_array], so so is the DV.
+   - [`Compiled]: one {!Movement.eval_array} per candidate — kept as
+     the single-candidate engine the equivalence suite compares
+     against.
+   - [`Reference]: a full Algorithm-1 run per evaluation. *)
 
 let solve_impl chain ~perm ~capacity_bytes ?(full_tile = []) ?max_tile
     ?min_tile ?(extra_starts = []) ?(boundary_grow = true)
-    ?(uniform_start = true) ?(check = fun () -> ()) ?(engine = `Compiled)
-    ?prune_above () =
+    ?(uniform_start = true) ?(check = fun () -> ()) ?(engine = `Batched)
+    ?prune_above ?(enum_index = max_int) ?template () =
   Movement.validate_perm chain perm;
   check ();
   let axes_l = chain.Ir.Chain.axes in
@@ -49,10 +66,16 @@ let solve_impl chain ~perm ~capacity_bytes ?(full_tile = []) ?max_tile
     go 0
   in
   let evals = ref 0 in
-  let evaluator = lazy (Movement.compile chain ~perm) in
+  let evaluator =
+    lazy
+      (match template with
+      | Some t -> Movement.compile_with t ~perm
+      | None -> Movement.compile chain ~perm)
+  in
+  let batch = lazy (Movement.compile_batch (Lazy.force evaluator)) in
   let eval =
     match engine with
-    | `Compiled ->
+    | `Batched | `Compiled ->
         let ev = Lazy.force evaluator in
         fun tiles ->
           incr evals;
@@ -60,14 +83,18 @@ let solve_impl chain ~perm ~capacity_bytes ?(full_tile = []) ?max_tile
     | `Reference ->
         (* The pre-compilation reference path: a full Algorithm-1 run per
            evaluation.  Kept selectable so benches can measure the
-           speedup and tests can cross-check plan equivalence. *)
+           speedup and tests can cross-check plan equivalence.  The
+           axis-table template is hoisted: each evaluation rebinds it
+           instead of re-walking the chain. *)
+        let template = Tiling.ones chain in
         fun tiles ->
           incr evals;
           let assoc =
             Array.to_list (Array.mapi (fun i v -> (names.(i), v)) tiles)
           in
           let m =
-            Movement.analyze chain ~perm ~tiling:(Tiling.make chain assoc)
+            Movement.analyze chain ~perm
+              ~tiling:(Tiling.rebind template assoc)
           in
           (m.Movement.dv_bytes, m.Movement.mu_bytes)
   in
@@ -99,15 +126,24 @@ let solve_impl chain ~perm ~capacity_bytes ?(full_tile = []) ?max_tile
   (* Branch-and-bound gate: a certified DV lower bound over this
      order's whole search box ({!Movement.dv_lower_bound} — the
      capacity-relaxed all-upper-bounds corner with varying trip counts
-     priced at their real ratios).  Strictly above the caller's
-     incumbent means no tiling in the box can win or tie, so the whole
-     permutation is skipped for the cost of one evaluation.  When the
-     bound cannot be certified (a gapped access, e.g. conv stride >
-     kernel), the gate stays open and the descent runs normally. *)
+     priced at their real ratios).  Two exclusion rules:
+
+     - strictly above the incumbent (shaved bound): no tiling in the
+       box can win or tie, so the order is skipped outright;
+     - exactly at the incumbent (raw bound), when this order enumerates
+       after the incumbent's position: even a tiling achieving the
+       bound only ties, and the tie-break keeps the earliest-enumerated
+       minimum-DV order — so this order still cannot be selected.
+
+     The tie rule is what lets pruning fire on GEMM boxes, where every
+     order's bound degenerates to the same total-IO corner the winner
+     achieves exactly.  When the bound cannot be certified (a gapped
+     access, e.g. conv stride > kernel), the gate stays open and the
+     descent runs normally. *)
   let pruned =
     match prune_above with
     | None -> None
-    | Some best ->
+    | Some (best_dv, best_idx) ->
         let ub = Array.make n 1 in
         let fixed = Array.make n true in
         Array.iter
@@ -117,10 +153,15 @@ let solve_impl chain ~perm ~capacity_bytes ?(full_tile = []) ?max_tile
           fused;
         incr evals;
         (match
-           Movement.dv_lower_bound (Lazy.force evaluator) ~bounds:ub ~fixed
+           Movement.dv_lower_bound ~shave:false (Lazy.force evaluator)
+             ~bounds:ub ~fixed
          with
-        | Some lb_dv when lb_dv > best -> Some lb_dv
-        | Some _ | None -> None)
+        | Some raw ->
+            let lb_dv = raw *. (1.0 -. 1e-9) in
+            if lb_dv > best_dv || (raw >= best_dv && enum_index > best_idx)
+            then Some lb_dv
+            else None
+        | None -> None)
   in
   match pruned with
   | Some lb_dv -> (Pruned { lb_dv }, !evals)
@@ -189,7 +230,7 @@ let solve_impl chain ~perm ~capacity_bytes ?(full_tile = []) ?max_tile
         let better_than_cur dv blocks =
           dv < !cur_dv || (dv = !cur_dv && blocks < !cur_blocks)
         in
-        let descend start =
+        let descend_single start =
           let sdv, smu = eval start in
           if smu <= capacity_bytes then load start sdv (blocks_of start)
           else load base base_dv base_blocks;
@@ -223,7 +264,7 @@ let solve_impl chain ~perm ~capacity_bytes ?(full_tile = []) ?max_tile
            sits on MU = MemoryCapacity, usually between two grid points.
            Binary search the largest feasible size per axis (MU is
            monotone in each tile) and keep it when it does not hurt DV. *)
-        let grow () =
+        let grow_single () =
           let improved = ref true in
           let passes = ref 0 in
           while !improved && !passes < 3 do
@@ -272,6 +313,147 @@ let solve_impl chain ~perm ~capacity_bytes ?(full_tile = []) ?max_tile
                   [ v_max; Util.Ints.round_down_to_divisor extents.(i) v_max ])
               free
           done
+        in
+        (* Batched variants.  [dirty] tracks whether the batch's loaded
+           base still equals [cur]: adoptions flip it, and each axis
+           visit reloads first if needed.  An adoption on the axis being
+           swept does not invalidate that axis's own lanes (they
+           override the coordinate), so the reload waits for the next
+           axis — exactly when stale off-axis state could matter. *)
+        let dirty = ref true in
+        let max_cands =
+          Array.fold_left (fun acc c -> max acc (Array.length c)) 1 cands
+        in
+        let dv_lanes =
+          lazy
+            (Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout
+               max_cands)
+        in
+        let mu_lanes =
+          lazy (Bigarray.Array1.create Bigarray.int Bigarray.c_layout max_cands)
+        in
+        let reload_if_dirty b =
+          if !dirty then begin
+            incr evals;
+            ignore (Movement.batch_load b cur);
+            dirty := false
+          end
+        in
+        let descend_batched start =
+          let b = Lazy.force batch in
+          incr evals;
+          let sdv, smu = Movement.batch_load b start in
+          if smu <= capacity_bytes then begin
+            load start sdv (blocks_of start);
+            dirty := false
+          end
+          else begin
+            load base base_dv base_blocks;
+            dirty := true
+          end;
+          let dv_lanes = Lazy.force dv_lanes in
+          let mu_lanes = Lazy.force mu_lanes in
+          let improved = ref true in
+          let sweeps = ref 0 in
+          while !improved && !sweeps < 20 do
+            check ();
+            improved := false;
+            incr sweeps;
+            Array.iteri
+              (fun j i ->
+                let cs = cands.(j) in
+                let ncs = Array.length cs in
+                if ncs > 0 then begin
+                  reload_if_dirty b;
+                  evals := !evals + ncs;
+                  ignore
+                    (Movement.batch_sweep b ~axis:i ~values:cs ~count:ncs
+                       ~cutoff:!cur_dv ~dv:dv_lanes ~mu:mu_lanes ());
+                  for k = 0 to ncs - 1 do
+                    let v = cs.(k) in
+                    if v <> cur.(i) then begin
+                      let dv = dv_lanes.{k} in
+                      (* A lane with dv above the incumbent (including
+                         every cutoff lane, reported as infinity) can
+                         neither win nor tie — skip without pricing
+                         blocks. *)
+                      if mu_lanes.{k} <= capacity_bytes && dv <= !cur_dv then begin
+                        let prev = cur.(i) in
+                        cur.(i) <- v;
+                        let blocks = blocks_of cur in
+                        if better_than_cur dv blocks then begin
+                          cur_dv := dv;
+                          cur_blocks := blocks;
+                          improved := true;
+                          dirty := true
+                        end
+                        else cur.(i) <- prev
+                      end
+                    end
+                  done
+                end)
+              free
+          done
+        in
+        let grow_batched () =
+          let b = Lazy.force batch in
+          let improved = ref true in
+          let passes = ref 0 in
+          while !improved && !passes < 3 do
+            check ();
+            improved := false;
+            incr passes;
+            Array.iter
+              (fun i ->
+                reload_if_dirty b;
+                let feasible_at v =
+                  incr evals;
+                  let _, mu = Movement.batch_probe b ~axis:i v in
+                  mu <= capacity_bytes
+                in
+                let rec bsearch lo hi =
+                  if hi <= lo then lo
+                  else begin
+                    let mid = (lo + hi + 1) / 2 in
+                    if feasible_at mid then bsearch mid hi
+                    else bsearch lo (mid - 1)
+                  end
+                in
+                let v_max = bsearch cur.(i) bound.(i) in
+                List.iter
+                  (fun v ->
+                    if v > cur.(i) then begin
+                      incr evals;
+                      let dv, mu = Movement.batch_probe b ~axis:i v in
+                      let prev = cur.(i) in
+                      cur.(i) <- v;
+                      let blocks = blocks_of cur in
+                      if
+                        mu <= capacity_bytes
+                        && not
+                             (!cur_dv < dv
+                             || (!cur_dv = dv && !cur_blocks < blocks))
+                      then begin
+                        cur_dv := dv;
+                        cur_blocks := blocks;
+                        improved := true;
+                        dirty := true
+                      end
+                      else cur.(i) <- prev
+                    end)
+                  [ v_max; Util.Ints.round_down_to_divisor extents.(i) v_max ])
+              free
+          done
+        in
+        let descend =
+          match engine with
+          | `Batched -> descend_batched
+          | `Compiled | `Reference -> descend_single
+        in
+        let grow =
+          match engine with
+          | `Batched -> grow_batched
+          | `Compiled | `Reference -> grow_single
         in
         let mid_start =
           let t = Array.copy base in
@@ -332,12 +514,12 @@ let solve_impl chain ~perm ~capacity_bytes ?(full_tile = []) ?max_tile
    per-order solve and records the evaluation count on close. *)
 let solve chain ~perm ~capacity_bytes ?full_tile ?max_tile ?min_tile
     ?extra_starts ?boundary_grow ?uniform_start ?check ?engine ?prune_above
-    ?(obs = Obs.Trace.none) () =
+    ?enum_index ?template ?(obs = Obs.Trace.none) () =
   Obs.Trace.span obs "solver.descent" (fun obs ->
       let ((_, evals) as result) =
         solve_impl chain ~perm ~capacity_bytes ?full_tile ?max_tile ?min_tile
           ?extra_starts ?boundary_grow ?uniform_start ?check ?engine
-          ?prune_above ()
+          ?prune_above ?enum_index ?template ()
       in
       if Obs.Trace.enabled obs then
         Obs.Trace.annot obs [ ("evals", string_of_int evals) ];
@@ -345,7 +527,7 @@ let solve chain ~perm ~capacity_bytes ?full_tile ?max_tile ?min_tile
 
 let solve_for_perm chain ~perm ~capacity_bytes ?(full_tile = []) ?max_tile
     ?min_tile ?(extra_starts = []) ?(boundary_grow = true)
-    ?(uniform_start = true) ?(check = fun () -> ()) ?(engine = `Compiled) () =
+    ?(uniform_start = true) ?(check = fun () -> ()) ?(engine = `Batched) () =
   match
     solve chain ~perm ~capacity_bytes ~full_tile ?max_tile ?min_tile
       ~extra_starts ~boundary_grow ~uniform_start ~check ~engine ()

@@ -18,11 +18,19 @@
 type solution = { tiling : Tiling.t; movement : Movement.result }
 (** A feasible tiling and its Algorithm-1 analysis. *)
 
-type engine = [ `Compiled | `Reference ]
-(** [`Compiled] (default) descends on {!Movement.compile}'s evaluator;
-    [`Reference] re-runs the full {!Movement.analyze} per evaluation —
-    the pre-compilation behaviour, kept for benchmarks and for the
-    equivalence tests that prove both engines pick identical plans. *)
+type engine = [ `Batched | `Compiled | `Reference ]
+(** [`Batched] (default) submits each axis sweep's whole candidate
+    frontier to {!Movement.batch_sweep} — one structure-of-arrays pass
+    with per-axis partial-product memoization and a per-lane DV cutoff
+    at the descent's incumbent — then replays the sequential adoption
+    rule over the lanes, so it lands on the identical final tiling as
+    the single-candidate engines (the equivalence suite asserts this
+    with [=]).  [`Compiled] evaluates one candidate at a time on
+    {!Movement.compile}'s evaluator — the single-candidate baseline the
+    batched engine is compared against.  [`Reference] re-runs the full
+    {!Movement.analyze} per evaluation — the pre-compilation behaviour,
+    kept for benchmarks and for the equivalence tests that prove all
+    engines pick identical plans. *)
 
 type verdict =
   | Feasible of solution
@@ -30,7 +38,9 @@ type verdict =
   | Pruned of { lb_dv : float }
       (** skipped by branch-and-bound: [lb_dv], the order's certified
           DV lower bound over its whole search box, already exceeds the
-          caller's incumbent ([prune_above]).  The witness value is
+          caller's incumbent ([prune_above]) — or exactly ties it from
+          a later enumeration position, which the earliest-minimum
+          tie-break makes equally unwinnable.  The witness value is
           kept so the planner can record it in the plan's optimality
           {!Certificate.t}. *)
 
@@ -44,25 +54,36 @@ val solve :
   ?full_tile:string list -> ?max_tile:(string -> int) ->
   ?min_tile:(string -> int) -> ?extra_starts:Tiling.t list ->
   ?boundary_grow:bool -> ?uniform_start:bool -> ?check:(unit -> unit) ->
-  ?engine:engine -> ?prune_above:float -> ?obs:Obs.Trace.ctx -> unit ->
-  verdict * int
+  ?engine:engine -> ?prune_above:float * int -> ?enum_index:int ->
+  ?template:Movement.template -> ?obs:Obs.Trace.ctx -> unit -> verdict * int
 (** Best feasible tiling for one permutation, plus the number of DV/MU
     model evaluations spent.
+
+    [template] supplies a pre-built {!Movement.compile_template} so a
+    caller solving many orders of the same chain pays the IR traversal
+    once; when absent the solve compiles its own evaluator.
 
     [obs] (default disabled) brackets the solve in a ["solver.descent"]
     span recording the evaluation count; the descent loop itself is
     never instrumented, so a disabled context costs one branch per
     solve.
 
-    [prune_above] is the branch-and-bound incumbent: before descending,
+    [prune_above] is the branch-and-bound incumbent as
+    [(best_dv, best_enum_index)]: before descending,
     {!Movement.dv_lower_bound} certifies a DV lower bound over the whole
     search box (the capacity-relaxed all-upper-bounds corner, varying
-    trip counts priced at their real ratios), and when that bound is
-    *strictly* above the incumbent the order is {!Pruned} for the cost
-    of a single evaluation.  Strictness preserves ties, and accesses the
-    bound cannot certify (a varying axis touching two dimensions of one
-    reference) leave the gate open, so the caller's ranked selection is
-    unchanged by pruning.
+    trip counts priced at their real ratios), and the order is {!Pruned}
+    for the cost of a single evaluation when the bound is *strictly*
+    above the incumbent DV, or when the raw (unshaved) bound exactly
+    ties it and this order's [enum_index] is larger than the
+    incumbent's: the planner keeps the earliest-enumerated minimum-DV
+    order, so a later order whose every achievable DV is at least the
+    incumbent's cannot be selected.  Both rules preserve the ranked
+    winner exactly, and accesses the bound cannot certify (a varying
+    axis touching two dimensions of one reference) leave the gate open,
+    so the caller's selection is unchanged by pruning.  [enum_index]
+    (default [max_int], which disables the tie rule) is this order's
+    position in the caller's enumeration.
 
     [check] (default a no-op) is a cooperative cancellation hook,
     called at entry and before every descent sweep and boundary-grow

@@ -55,6 +55,12 @@ let plan_unit ?check ?pool ?(obs = Obs.Trace.none) (config : Config.t)
          [ ("chain", sub_chain.Ir.Chain.name) ]
        else [])
     (fun obs ->
+      let machine =
+        match config.Config.calibration with
+        | None -> machine
+        | Some _ as c -> Arch.Machine.with_calibration machine c
+      in
+      let engine = config.Config.solver_engine in
       let min_blocks =
         if config.Config.parallel_refinement then
           Some machine.Arch.Machine.cores
@@ -70,14 +76,14 @@ let plan_unit ?check ?pool ?(obs = Obs.Trace.none) (config : Config.t)
         let level_plans =
           if config.Config.multilevel then
             Analytical.Planner.optimize_multilevel ?min_blocks ~min_tile
-              ?check ?pool ~obs sub_chain ~machine
+              ~engine ?check ?pool ~obs sub_chain ~machine
           else begin
             let capacity =
               (Arch.Machine.primary_on_chip machine).Arch.Level.capacity_bytes
             in
             let plan =
               Analytical.Planner.optimize sub_chain ~capacity_bytes:capacity
-                ~min_tile ?check ?pool ~obs ()
+                ~min_tile ~engine ?check ?pool ~obs ()
             in
             let plan =
               match min_blocks with
@@ -94,8 +100,9 @@ let plan_unit ?check ?pool ?(obs = Obs.Trace.none) (config : Config.t)
                 feed_bandwidth_gbps =
                   Arch.Machine.dram_bandwidth_gbps machine;
                 cost_seconds =
-                  plan.Analytical.Planner.movement
-                    .Analytical.Movement.dv_bytes
+                  Arch.Machine.calibrated_dv_bytes machine
+                    plan.Analytical.Planner.movement
+                      .Analytical.Movement.dv_bytes
                   /. (Arch.Machine.dram_bandwidth_gbps machine *. 1e9);
               };
             ]

@@ -4,6 +4,8 @@ type t = {
   use_micro_kernel : bool;
   multilevel : bool;
   parallel_refinement : bool;
+  solver_engine : Analytical.Solver.engine;
+  calibration : Arch.Machine.calibration option;
   tuning_trials : int;
   seed : int;
 }
@@ -15,6 +17,8 @@ let default =
     use_micro_kernel = true;
     multilevel = true;
     parallel_refinement = true;
+    solver_engine = `Batched;
+    calibration = None;
     tuning_trials = 100;
     seed = 0xC41;
   }
@@ -35,3 +39,14 @@ let with_only ?(cost_model = false) ?(fusion = false) ?(micro_kernel = false)
     use_fusion = fusion;
     use_micro_kernel = micro_kernel;
   }
+
+let engine_of_string = function
+  | "batched" -> Some `Batched
+  | "compiled" -> Some `Compiled
+  | "reference" -> Some `Reference
+  | _ -> None
+
+let engine_to_string = function
+  | `Batched -> "batched"
+  | `Compiled -> "compiled"
+  | `Reference -> "reference"

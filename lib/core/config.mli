@@ -17,6 +17,16 @@ type t = {
       (** plan sub-blocks for every on-chip level (Section IV-C). *)
   parallel_refinement : bool;
       (** split tiles until there is at least one block per core. *)
+  solver_engine : Analytical.Solver.engine;
+      (** descent engine for every per-order solve ([`Batched] by
+          default); all engines land on identical plans — the knob
+          exists for benchmarks and equivalence checks (the CLI's
+          [--engine]). *)
+  calibration : Arch.Machine.calibration option;
+      (** sim-fitted cost correction installed on the machine before
+          planning ([None] by default = raw analytical DV); affects the
+          outermost level's cost estimate only, never the chosen plan
+          (the CLI's [--calibration]). *)
   tuning_trials : int;
       (** random samples per block order when [use_cost_model] is off. *)
   seed : int;  (** PRNG seed for the sampling fallback. *)
@@ -33,3 +43,9 @@ val with_only :
   ?cost_model:bool -> ?fusion:bool -> ?micro_kernel:bool -> unit -> t
 (** {!baseline} with the listed features switched on: the v-C / v-F /
     v-M / v-CF... variants of the ablation study. *)
+
+val engine_of_string : string -> Analytical.Solver.engine option
+(** ["batched"], ["compiled"] or ["reference"]; [None] otherwise. *)
+
+val engine_to_string : Analytical.Solver.engine -> string
+(** Inverse of {!engine_of_string}. *)

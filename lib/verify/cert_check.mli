@@ -2,8 +2,11 @@
     plan's {!Analytical.Certificate.t} claim independently of the
     solver that emitted it.
 
-    The checker never runs a descent: winners and solved losers are
-    re-derived through the reference {!Analytical.Movement.analyze},
+    The checker never runs a descent: the winner is re-derived through
+    the reference {!Analytical.Movement.analyze}, solved losers are
+    re-priced through per-order compiled evaluators
+    (property-tested bit-identical to [analyze], and cached across a
+    unit's levels — the entry volume dominates the pass's cost),
     infeasibility claims are re-checked at the search box's minimum
     corner (MU monotonicity), and pruned-order witnesses are re-priced
     by {!witness_lower_bound} — a from-scratch walk of the IR that
@@ -28,6 +31,19 @@ val check_level_plans :
     entry's check is independent and diagnostics come back in entry
     order, so pooled and serial runs report identically. *)
 
+val witness_pricer :
+  Ir.Chain.t -> box:Analytical.Certificate.box_axis list ->
+  string list -> (float, string) result
+(** The staged form of {!witness_lower_bound}: the partial application
+    [witness_pricer chain ~box] folds every perm-independent part of
+    the re-pricing (applicability, corner footprints, gapped collapses,
+    per-axis trip ratios) once, and the returned closure prices one
+    order with just the reuse-break scan.  A certificate's checker
+    calls it once per entry against a single box, which is what keeps
+    the pass inside its < 5%-of-cold-plan budget.  The closure only
+    reads its precomputed tables, so it is safe to share across pool
+    lanes. *)
+
 val witness_lower_bound :
   Ir.Chain.t -> perm:string list ->
   box:Analytical.Certificate.box_axis list ->
@@ -36,7 +52,7 @@ val witness_lower_bound :
     derived directly from the IR (accesses, strides, loop order) —
     including gapped-access joint pricing.  [Error] when the witness
     theory is inapplicable (a varying axis touching two dimensions of
-    one reference). *)
+    one reference).  Equivalent to [witness_pricer chain ~box perm]. *)
 
 val certified : Analytical.Planner.level_plan list -> bool
 (** Every level plan carries a certificate (and there is at least

@@ -350,6 +350,22 @@ let tampers : (string * (Cert.t -> Cert.t) * string) list =
             })
           c),
       "CHIM039" );
+    ( "inflated pruned witness",
+      (fun c ->
+        map_entry_kind ~name:"pruned"
+          (fun e ->
+            match e.Cert.outcome with Cert.Pruned _ -> true | _ -> false)
+          (fun e ->
+            match e.Cert.outcome with
+            | Cert.Pruned { lb_dv_bytes } ->
+                {
+                  e with
+                  Cert.outcome =
+                    Cert.Pruned { lb_dv_bytes = lb_dv_bytes *. 1.5 };
+                }
+            | _ -> assert false)
+          c),
+      "CHIM039" );
     ( "dropped entry",
       (fun c ->
         match List.rev c.Cert.entries with
@@ -475,6 +491,105 @@ let tamper_tests =
           check_true "CHIM041 raised" (has_error_code "CHIM041" ds);
           check_false "no binding complaint: the forgery is self-consistent"
             (has_code "CHIM036" ds));
+      case "a tie witness ahead of the winner is rejected (CHIM039)"
+        (fun () ->
+          let chain, outer, genuine = Lazy.force nested in
+          let capacity = nested_inner_cap in
+          let max_tile a = Tiling.get outer.P.tiling a in
+          let box = (cert_of genuine).Cert.box in
+          let cands, _ =
+            P.explore chain ~capacity_bytes:capacity ~max_tile ~prune:false
+              ()
+          in
+          let best = List.hd cands in
+          (* Crown the second-earliest exact minimum; the true first
+             minimum becomes a Pruned entry whose claimed witness is
+             the honestly re-priced box bound.  Whatever that bound is,
+             the entry cannot be excluded from an enumeration position
+             ahead of the winner — pruning a tie is only sound from
+             behind the tie-break — so the checker must draw CHIM039.
+             (The ranked view breaks DV ties earliest-first, so the
+             next tie in rank order also enumerates after [best].) *)
+          let tie =
+            match
+              List.find_opt
+                (fun (c : P.candidate) ->
+                  c.P.c_perm <> best.P.c_perm
+                  && c.P.c_dv_bytes = best.P.c_dv_bytes)
+                cands
+            with
+            | Some c -> c
+            | None -> Alcotest.fail "no exact DV tie to forge with"
+          in
+          let claimed_lb =
+            match
+              Verify.Cert_check.witness_lower_bound chain
+                ~perm:best.P.c_perm ~box
+            with
+            | Ok lb -> lb
+            | Error e -> Alcotest.failf "no witness for the forgery: %s" e
+          in
+          let entries =
+            List.map
+              (fun perm ->
+                if perm = tie.P.c_perm then
+                  {
+                    Cert.perm;
+                    outcome = Cert.Won { dv_bytes = tie.P.c_dv_bytes };
+                  }
+                else if perm = best.P.c_perm then
+                  {
+                    Cert.perm;
+                    outcome = Cert.Pruned { lb_dv_bytes = claimed_lb };
+                  }
+                else
+                  match
+                    List.find_opt
+                      (fun (c : P.candidate) -> c.P.c_perm = perm)
+                      cands
+                  with
+                  | Some c ->
+                      {
+                        Cert.perm;
+                        outcome =
+                          Cert.Solved
+                            {
+                              dv_bytes = c.P.c_dv_bytes;
+                              tiling = Tiling.bindings c.P.c_tiling;
+                            };
+                      }
+                  | None -> { Cert.perm; outcome = Cert.Infeasible })
+              (Analytical.Permutations.candidates chain)
+          in
+          let forged_cert =
+            {
+              Cert.winner_perm = tie.P.c_perm;
+              winner_tiling = Tiling.bindings tie.P.c_tiling;
+              winner_dv_bytes = tie.P.c_dv_bytes;
+              capacity_bytes = capacity;
+              box;
+              conditional = false;
+              entries;
+            }
+          in
+          let forged_plan =
+            {
+              P.perm = tie.P.c_perm;
+              tiling = tie.P.c_tiling;
+              movement =
+                Movement.analyze chain ~perm:tie.P.c_perm
+                  ~tiling:tie.P.c_tiling;
+              capacity_bytes = capacity;
+              candidates_evaluated = List.length cands;
+              perms_pruned = 1;
+              solver_evals = 0;
+              certificate = Some forged_cert;
+            }
+          in
+          let ds = recheck_nested ~inner:forged_plan () in
+          check_true "CHIM039 raised" (has_error_code "CHIM039" ds);
+          check_false "no winner complaint: the crowned tie is genuine"
+            (has_error_code "CHIM037" ds));
       qcheck
         (QCheck.Test.make ~count:15
            ~name:"random tampers always draw their distinct code"
