@@ -11,6 +11,11 @@
                     [--verify MODE]
    chimera trace    [REQUESTS.jsonl] | [--workload G2 --arch cpu ...]
                     [-o trace.json] [--verify MODE]
+   chimera fleet    [-n N] [--cache-dir DIR] [--chaos SPEC] [--trace]
+                    [--flight-dir DIR]
+   chimera loadgen  [--rps R] [--duration S] [--chaos SPEC] [--retries N]
+                    [--trace] [--trace-out FILE] [--json]
+   chimera slo      [REPORT.json] [--json]
    chimera metrics  --requests FILE|all [--prom]
    chimera list *)
 
@@ -700,8 +705,9 @@ let fleet_config ~queue_depth ~soft_depth ~response_deadline_s =
    a per-worker derived seed.  A worker binary that cannot launch is a
    startup error with a clear reason and a non-zero exit, not a restart
    loop. *)
-let make_router ~n ~queue_depth ~soft_depth ~response_deadline_s ~cache_dir
-    ~deadline_ms ~verify ~log_level ~worker_exe ~chaos =
+let make_router ?(tracing = false) ~n ~queue_depth ~soft_depth
+    ~response_deadline_s ~cache_dir ~deadline_ms ~verify ~log_level
+    ~worker_exe ~chaos () =
   if n <= 0 then Error (`Msg "need at least one worker")
   else begin
     let cmds =
@@ -714,7 +720,7 @@ let make_router ~n ~queue_depth ~soft_depth ~response_deadline_s ~cache_dir
             ~verify ~log_level ())
     in
     match
-      Fleet.Router.create
+      Fleet.Router.create ~tracing
         ~cfg:(fleet_config ~queue_depth ~soft_depth ~response_deadline_s)
         cmds
     with
@@ -818,6 +824,36 @@ let fleet_bridge ?(health_interval_s = 5.0) ?chaos router =
           | Some "health" ->
               let results = Fleet.Router.check_health router in
               emit (fleet_health_json ?id router results)
+          | Some "slo" ->
+              emit
+                (Util.Json.Obj
+                   ((match id with Some v -> [ ("id", v) ] | None -> [])
+                   @ [
+                       ("ok", Util.Json.Bool true);
+                       ("slo", Obs.Slo.report_json (Fleet.Router.slo router));
+                     ]))
+          | Some "flight" -> (
+              (* Pull any spooled worker spans first, so the dump holds
+                 complete traces for the freshest errors too. *)
+              ignore (Fleet.Router.drain_spans router);
+              match Fleet.Router.flight_json router with
+              | Some flight ->
+                  emit
+                    (Util.Json.Obj
+                       ((match id with Some v -> [ ("id", v) ] | None -> [])
+                       @ [
+                           ("ok", Util.Json.Bool true); ("flight", flight);
+                         ]))
+              | None ->
+                  emit
+                    (Service.Error.to_json ?id
+                       (Service.Error.Invalid_request
+                          {
+                            field = "cmd";
+                            reason =
+                              "flight recorder off (start the fleet with \
+                               --trace or --flight-dir)";
+                          })))
           | Some "quit" ->
               emit
                 (Util.Json.Obj
@@ -890,9 +926,21 @@ let fleet_bridge ?(health_interval_s = 5.0) ?chaos router =
   deliver_events ();
   Fleet.Router.shutdown router
 
+(* Dump the flight recorder after the bridge/run finished (the
+   router's shutdown already did the final span drain, so late error
+   spans are in).  The sampler state survives shutdown — it is all
+   router-side memory. *)
+let write_flight_dump router path =
+  match Fleet.Router.flight_json router with
+  | None -> ()
+  | Some flight ->
+      write_json_file path flight;
+      Printf.eprintf "fleet: wrote flight recorder dump to %s\n%!" path
+
 let fleet_cmd n cache_dir deadline_ms verify log_level queue_depth soft_depth
     prewarm_mix arch health_interval_s response_deadline_s chaos_spec
-    chaos_seed worker_exe =
+    chaos_seed worker_exe trace flight_dir =
+  let tracing = trace || flight_dir <> None in
   match
     Result.bind (configure_log_level log_level) (fun () ->
         parse_chaos ~chaos_spec ~chaos_seed)
@@ -900,8 +948,9 @@ let fleet_cmd n cache_dir deadline_ms verify log_level queue_depth soft_depth
   | Error e -> Error e
   | Ok chaos -> (
       match
-        make_router ~n ~queue_depth ~soft_depth ~response_deadline_s
-          ~cache_dir ~deadline_ms ~verify ~log_level ~worker_exe ~chaos
+        make_router ~tracing ~n ~queue_depth ~soft_depth
+          ~response_deadline_s ~cache_dir ~deadline_ms ~verify ~log_level
+          ~worker_exe ~chaos ()
       with
       | Error e -> Error e
       | Ok router -> (
@@ -917,6 +966,12 @@ let fleet_cmd n cache_dir deadline_ms verify log_level queue_depth soft_depth
                   chaos
               in
               fleet_bridge ~health_interval_s ?chaos router;
+              Option.iter
+                (fun dir ->
+                  (try Unix.mkdir dir 0o755
+                   with Unix.Unix_error _ -> ());
+                  write_flight_dump router (Filename.concat dir "flight.json"))
+                flight_dir;
               Ok ()))
 
 let loadgen_report_errors report =
@@ -930,7 +985,8 @@ let loadgen_report_errors report =
 let loadgen_cmd rps duration_s n mix_name arch seed batch_jitter prewarm
     queue_depth soft_depth cache_dir deadline_ms verify log_level json
     prom_out response_deadline_s chaos_spec chaos_seed worker_exe retries
-    retry_backoff_ms drain_timeout_s =
+    retry_backoff_ms drain_timeout_s trace trace_out =
+  let tracing = trace || trace_out <> None in
   match
     Result.bind (configure_log_level log_level) (fun () ->
         parse_chaos ~chaos_spec ~chaos_seed)
@@ -941,8 +997,9 @@ let loadgen_cmd rps duration_s n mix_name arch seed batch_jitter prewarm
       | None -> Error (`Msg (Printf.sprintf "unknown traffic mix %S" mix_name))
       | Some mix -> (
           match
-            make_router ~n ~queue_depth ~soft_depth ~response_deadline_s
-              ~cache_dir ~deadline_ms ~verify ~log_level ~worker_exe ~chaos
+            make_router ~tracing ~n ~queue_depth ~soft_depth
+              ~response_deadline_s ~cache_dir ~deadline_ms ~verify
+              ~log_level ~worker_exe ~chaos ()
           with
           | Error e -> Error e
           | Ok router ->
@@ -965,11 +1022,46 @@ let loadgen_cmd rps duration_s n mix_name arch seed batch_jitter prewarm
                   close_out oc)
                 prom_out;
               Fleet.Router.shutdown router;
+              Option.iter (write_flight_dump router) trace_out;
               if json then
                 print_endline
                   (Util.Json.to_string (Fleet.Loadgen.report_json report))
               else print_endline (Fleet.Loadgen.report_text report);
               loadgen_report_errors report))
+
+(* The SLO report verb: pretty-print a burn-rate report produced
+   elsewhere — a loadgen [--json] report, a fleet [cmd:slo] or
+   [cmd:stats] answer (their ["slo"] member is found automatically), or
+   a bare report object — from a file or stdin. *)
+let slo_cmd file json =
+  match
+    (try
+       Ok
+         (match file with
+         | None | Some "-" -> In_channel.input_all stdin
+         | Some path -> In_channel.with_open_text path In_channel.input_all)
+     with Sys_error e -> Error (`Msg e))
+  with
+  | Error e -> Error e
+  | Ok content -> (
+      match Util.Json.parse (String.trim content) with
+      | Error reason -> Error (`Msg (Printf.sprintf "slo: %s" reason))
+      | Ok parsed -> (
+          let report =
+            match Util.Json.member "slo" parsed with
+            | Some s -> s
+            | None -> parsed
+          in
+          if json then begin
+            print_endline (Util.Json.to_string report);
+            Ok ()
+          end
+          else
+            match Obs.Slo.text_of_json report with
+            | Ok text ->
+                print_string text;
+                Ok ()
+            | Error reason -> Error (`Msg (Printf.sprintf "slo: %s" reason))))
 
 (* ---------------- tracing & metrics commands ---------------- *)
 
@@ -1287,6 +1379,23 @@ let worker_exe_arg =
   in
   Arg.(value & opt (some string) None & info [ "worker-exe" ] ~doc ~docv:"PATH")
 
+let fleet_trace_arg =
+  let doc =
+    "Turn on distributed tracing: one connected trace per request \
+     spanning client, router and worker spans, judged by the \
+     tail-sampling flight recorder (dump it with the $(b,flight) \
+     command or $(b,--flight-dir)/$(b,--trace-out))."
+  in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let flight_dir_arg =
+  let doc =
+    "Write the flight recorder's dump (retained Chrome traces + \
+     sampler counters) to $(i,DIR)/flight.json on shutdown; implies \
+     $(b,--trace)."
+  in
+  Arg.(value & opt (some string) None & info [ "flight-dir" ] ~doc ~docv:"DIR")
+
 let fleet_t =
   Cmd.v
     (Cmd.info "fleet"
@@ -1300,7 +1409,7 @@ let fleet_t =
        $ verify_arg $ log_level_arg $ queue_depth_arg $ soft_depth_arg
        $ prewarm_mix_arg $ arch_arg $ health_interval_arg
        $ response_deadline_arg $ chaos_arg $ chaos_seed_arg
-       $ worker_exe_arg))
+       $ worker_exe_arg $ fleet_trace_arg $ flight_dir_arg))
 
 let rps_arg =
   let doc = "Offered load in requests per second (Poisson arrivals)." in
@@ -1358,6 +1467,13 @@ let drain_timeout_arg =
   in
   Arg.(value & opt float 10.0 & info [ "drain-timeout" ] ~doc ~docv:"S")
 
+let trace_out_arg =
+  let doc =
+    "Write the run's flight-recorder dump (retained distributed traces \
+     + sampler counters) to this file; implies $(b,--trace)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~doc ~docv:"FILE")
+
 let loadgen_t =
   Cmd.v
     (Cmd.info "loadgen"
@@ -1371,7 +1487,28 @@ let loadgen_t =
        $ queue_depth_arg $ soft_depth_arg $ cache_dir_arg $ deadline_arg
        $ verify_arg $ log_level_arg $ loadgen_json_arg $ prom_out_arg
        $ response_deadline_arg $ chaos_arg $ chaos_seed_arg $ worker_exe_arg
-       $ retries_arg $ retry_backoff_arg $ drain_timeout_arg))
+       $ retries_arg $ retry_backoff_arg $ drain_timeout_arg
+       $ fleet_trace_arg $ trace_out_arg))
+
+let slo_file_arg =
+  let doc =
+    "Report to render: a loadgen $(b,--json) report, a fleet \
+     $(b,cmd:slo)/$(b,cmd:stats) answer, or a bare SLO report object.  \
+     $(b,-) (the default) reads stdin."
+  in
+  Arg.(value & pos 0 (some string) None & info [] ~doc ~docv:"REPORT.json")
+
+let slo_json_arg =
+  let doc = "Print the extracted report as JSON instead of the table." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let slo_t =
+  Cmd.v
+    (Cmd.info "slo"
+       ~doc:
+         "Render an SLO burn-rate report (availability and latency \
+          objectives over 5m/1h windows) from a loadgen or fleet answer")
+    Term.(term_result (const slo_cmd $ slo_file_arg $ slo_json_arg))
 
 let trace_requests_file_arg =
   let doc =
@@ -1483,5 +1620,5 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ optimize_t; run_t; compare_t; advise_t; breakdown_t; graph_t;
-         fleet_t; loadgen_t;
+         fleet_t; loadgen_t; slo_t;
          lint_t; batch_t; serve_t; trace_t; metrics_t; list_t ]))

@@ -36,6 +36,9 @@ type report = {
   per_worker : (int * Service.Metrics.t) list;
   router : (string * int) list;
   chaos : (string * int) list;
+  sampler : (string * int) list option;
+  slo : Util.Json.t;
+  slo_text : string;
 }
 
 type counts = {
@@ -78,11 +81,16 @@ let interarrival prng rps =
 
 (* One logical request, across all its attempts.  Latency is measured
    first-submit to terminal answer — a recovered request pays for its
-   retries in the histogram, as a real client would. *)
+   retries in the histogram, as a real client would.  With tracing on,
+   the logical request owns one client-side trace; each attempt opens a
+   fresh [client.request] span on it, and the trace joins its
+   distributed trace late (after the router has judged retention). *)
 type inflight = {
   req : Service.Request.t;
   first_sent : float;
   attempts : int;  (* submissions so far, >= 1 once in flight *)
+  trace : Obs.Trace.t option;
+  span : Obs.Trace.open_span option;  (* the current attempt's *)
 }
 
 let run ?(seed = 42) ?(batch_jitter = 0) ?(prewarm = false)
@@ -109,6 +117,11 @@ let run ?(seed = 42) ?(batch_jitter = 0) ?(prewarm = false)
     Obs.Histogram.observe latency ((now () -. infl.first_sent) *. 1000.0);
     if infl.attempts > 1 && (cls = `Ok || cls = `Degraded) then
       counts.c_recovered <- counts.c_recovered + 1;
+    (* The router judged this trace when its answer arrived; the client
+       pieces attach late — or are dropped, if sampling passed it. *)
+    (match infl.trace with
+    | Some tr -> ignore (Router.note_client_trace router tr)
+    | None -> ());
     count counts cls
   in
   let schedule_retry infl =
@@ -127,6 +140,15 @@ let run ?(seed = 42) ?(batch_jitter = 0) ?(prewarm = false)
      taxonomy is that clients can act on it mechanically. *)
   let rec handle_answer infl json =
     let cls = classify json in
+    (* Close this attempt's client span before deciding the request's
+       fate; a retry opens a fresh one on the same trace. *)
+    (match infl.span with
+    | Some os ->
+        Obs.Trace.close_span
+          ~err:(match cls with `Ok | `Degraded -> false | _ -> true)
+          os
+    | None -> ());
+    let infl = { infl with span = None } in
     match cls with
     | `Ok | `Degraded -> terminal infl cls
     | `Shed | `Rejected | `Failed ->
@@ -149,7 +171,35 @@ let run ?(seed = 42) ?(batch_jitter = 0) ?(prewarm = false)
     | None -> ());
     if infl.attempts > 0 then counts.c_retried <- counts.c_retried + 1;
     let infl = { infl with attempts = infl.attempts + 1 } in
-    match Router.submit router infl.req with
+    (* Tracing: the logical request's trace is created on its first
+       attempt; every attempt gets its own [client.request] span whose
+       context rides the wire as [traceparent], so the router (and
+       through it the worker) parents under this attempt. *)
+    let trace =
+      if not (Router.tracing_enabled router) then None
+      else
+        match infl.trace with
+        | Some _ as tr -> tr
+        | None ->
+            Some
+              (Obs.Trace.make
+                 ~label:(Service.Request.describe infl.req) ())
+    in
+    let span =
+      Option.bind trace (fun tr ->
+          Obs.Trace.open_span
+            ~attrs:[ ("attempt", string_of_int infl.attempts) ]
+            (Obs.Trace.ctx tr) "client.request")
+    in
+    let req =
+      match
+        Option.bind span (fun os -> Obs.Trace.to_wire (Obs.Trace.open_ctx os))
+      with
+      | Some tp -> { infl.req with Service.Request.traceparent = Some tp }
+      | None -> infl.req
+    in
+    let infl = { infl with trace; span } in
+    match Router.submit router req with
     | Router.Answered json -> handle_answer infl json
     | Router.Routed { seq; _ } -> Hashtbl.replace pending seq infl
   in
@@ -182,7 +232,9 @@ let run ?(seed = 42) ?(batch_jitter = 0) ?(prewarm = false)
       submit_inflight
         { req = Traffic.sample ~batch_jitter prng mix;
           first_sent = nw;
-          attempts = 0 };
+          attempts = 0;
+          trace = None;
+          span = None };
       (* Schedule from the schedule: open loop. *)
       next := !next +. interarrival prng rps
     end
@@ -229,12 +281,15 @@ let run ?(seed = 42) ?(batch_jitter = 0) ?(prewarm = false)
     per_worker;
     router = Router.counters router;
     chaos = (match chaos with Some c -> Chaos.fired c | None -> []);
+    sampler = Router.sampler_counters router;
+    slo = Obs.Slo.report_json (Router.slo router);
+    slo_text = Obs.Slo.report_text (Router.slo router);
   }
 
 let report_json r =
   let q p = Util.Json.Float (Obs.Histogram.quantile r.latency p) in
   Util.Json.Obj
-    [
+    ([
       ("ok", Util.Json.Bool true);
       ("mix", Util.Json.String r.mix);
       ("target_rps", Util.Json.Float r.target_rps);
@@ -271,7 +326,17 @@ let report_json r =
         Util.Json.Obj (List.map (fun (k, v) -> (k, Util.Json.Int v)) r.router)
       );
       ("merged", Service.Metrics.to_json r.merged);
+      ("slo", r.slo);
     ]
+    @
+    match r.sampler with
+    | None -> []
+    | Some sc ->
+        [
+          ( "sampler",
+            Util.Json.Obj (List.map (fun (k, v) -> (k, Util.Json.Int v)) sc)
+          );
+        ])
 
 let pr = Printf.sprintf
 
@@ -282,7 +347,7 @@ let report_text r =
     else 100.0 *. float_of_int n /. float_of_int r.answered
   in
   String.concat "\n"
-    [
+    ([
       pr "mix %s  target %.1f rps  wall %.1fs  offered %d (%.1f rps achieved)"
         r.mix r.target_rps r.wall_s r.offered
         (if r.wall_s > 0.0 then float_of_int r.offered /. r.wall_s else 0.0);
@@ -301,17 +366,45 @@ let report_text r =
         (q 0.99)
         (Obs.Histogram.max_ms r.latency);
     ]
+    @ (match r.sampler with
+      | None -> []
+      | Some sc ->
+          [
+            "sampler  "
+            ^ String.concat "  "
+                (List.map (fun (k, v) -> pr "%s:%d" k v) sc);
+          ])
+    @ [ r.slo_text ])
+
+let loadgen_counter_help = function
+  | "offered" -> "Requests submitted by the load generator."
+  | "answered" -> "Typed answers received (synchronous included)."
+  | "ok_full" -> "Full fused answers."
+  | "degraded" -> "Answers off a degradation-ladder rung."
+  | "shed" -> "Overloaded answers."
+  | "rejected" -> "Invalid-request answers."
+  | "failed" -> "Other typed terminal errors."
+  | "unanswered" -> "Requests still pending at the drain timeout."
+  | "retried" -> "Resubmissions of retryable errors."
+  | "recovered" -> "Logical requests that succeeded after a retry."
+  | "gave_up" -> "Retryable errors answered terminally on an exhausted budget."
+  | _ -> "Load generator counter."
 
 (* Prometheus exposition of one run: the fleet's merged + per-worker
    series, the router counters, and the client-side latency histogram
-   under chimera_loadgen_*. *)
+   under chimera_loadgen_*.  Conformant: every metric name gets exactly
+   one HELP/TYPE header (the chaos kinds are labels under a single
+   chimera_chaos_events header, not one header each). *)
 let report_prometheus router r =
   let buf = Buffer.create 8192 in
   Buffer.add_string buf
     (Router.prometheus router ~merged:r.merged ~per_worker:r.per_worker);
   let bounds = Obs.Histogram.bounds r.latency in
   let cnts = Obs.Histogram.counts r.latency in
-  Buffer.add_string buf "# TYPE chimera_loadgen_latency_ms histogram\n";
+  Buffer.add_string buf
+    "# HELP chimera_loadgen_latency_ms Client-side first-submit to \
+     terminal-answer latency.\n\
+     # TYPE chimera_loadgen_latency_ms histogram\n";
   let cum = ref 0 in
   Array.iteri
     (fun i c ->
@@ -329,8 +422,11 @@ let report_prometheus router r =
   List.iter
     (fun (name, v) ->
       Buffer.add_string buf
-        (pr "# TYPE chimera_loadgen_%s counter\nchimera_loadgen_%s %d\n" name
-           name v))
+        (pr
+           "# HELP chimera_loadgen_%s %s\n\
+            # TYPE chimera_loadgen_%s counter\n\
+            chimera_loadgen_%s %d\n"
+           name (loadgen_counter_help name) name name v))
     [
       ("offered", r.offered);
       ("answered", r.answered);
@@ -344,12 +440,15 @@ let report_prometheus router r =
       ("recovered", r.recovered);
       ("gave_up", r.gave_up);
     ];
-  List.iter
-    (fun (kind, v) ->
+  (match List.filter (fun (k, _) -> k <> "ticks") r.chaos with
+  | [] -> ()
+  | kinds ->
       Buffer.add_string buf
-        (pr
-           "# TYPE chimera_chaos_events counter\n\
-            chimera_chaos_events{kind=\"%s\"} %d\n"
-           kind v))
-    (List.filter (fun (k, _) -> k <> "ticks") r.chaos);
+        "# HELP chimera_chaos_events Chaos faults fired, by kind.\n\
+         # TYPE chimera_chaos_events counter\n";
+      List.iter
+        (fun (kind, v) ->
+          Buffer.add_string buf
+            (pr "chimera_chaos_events{kind=\"%s\"} %d\n" kind v))
+        kinds);
   Buffer.contents buf

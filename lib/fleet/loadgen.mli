@@ -34,6 +34,11 @@ type report = {
   chaos : (string * int) list;
       (** per-kind fault counts from the chaos schedule ([] without
           one). *)
+  sampler : (string * int) list option;
+      (** tail-sampler retention counters ({!Router.sampler_counters});
+          [None] when the router runs without tracing. *)
+  slo : Util.Json.t;  (** {!Obs.Slo.report_json} at end of run. *)
+  slo_text : string;  (** {!Obs.Slo.report_text} at end of run. *)
 }
 
 val run :
@@ -54,7 +59,14 @@ val run :
     attempt, scaled by a uniform [0.5, 1.5) draw).  Non-retryable
     errors are always terminal — under chaos every logical request
     ends in a success, a typed non-retryable error, or an exhausted
-    retry budget; nothing hangs. *)
+    retry budget; nothing hangs.
+
+    When the router was created with tracing on, every logical request
+    owns a client-side trace: each attempt opens a ["client.request"]
+    span whose context is injected as the wire [traceparent], so the
+    distributed trace spans client, router and worker; client pieces
+    attach after the router's retention judgement
+    ({!Router.note_client_trace}). *)
 
 val classify :
   Util.Json.t -> [ `Ok | `Degraded | `Shed | `Rejected | `Failed ]
@@ -65,4 +77,5 @@ val report_text : report -> string
 
 val report_prometheus : Router.t -> report -> string
 (** Full fleet exposition plus the client-side latency histogram and
-    run counters under [chimera_loadgen_*]. *)
+    run counters under [chimera_loadgen_*].  Conformant: exactly one
+    [# HELP]/[# TYPE] pair per metric name across the whole scrape. *)

@@ -66,6 +66,24 @@ and outcome =
   | Reply of { line : string; json : Util.Json.t }
   | Dropped of Service.Error.t
 
+(* Distributed-tracing state, present only when the router was created
+   with [~tracing:true] (the disabled path must cost nothing on the
+   request hot path beyond one option match). *)
+type trace_state = {
+  collector : Obs.Collector.t;
+  sampler : Obs.Sampler.t;
+}
+
+(* Everything the router remembers about an in-flight routed request
+   beyond its FIFO ticket: when it left, the chaos clock at departure
+   (so faults injected while it was out flag its trace), and — with
+   tracing on — its router-side trace and open root span. *)
+type req_meta = {
+  m_sent_at : float;
+  m_chaos_at : int;
+  m_trace : (Obs.Trace.t * Obs.Trace.open_span) option;
+}
+
 type t = {
   cfg : config;
   base_config : Chimera.Config.t;
@@ -93,12 +111,23 @@ type t = {
   mutable workers_down : int;
   mutable deadline_drops : int;
   mutable chaos_injected : int;
+  (* distributed tracing + SLO *)
+  tracing : trace_state option;
+  pending_meta : (int, req_meta) Hashtbl.t;
+  spans_replies : (int, unit) Hashtbl.t;
+  slo : Obs.Slo.t;
+  request_latency_ms : Obs.Histogram.t;
+  mutable answered_ok : int;
+  mutable answered_total : int;
 }
 
 let now () = Unix.gettimeofday ()
 
+let default_slo_objectives =
+  [ Obs.Slo.availability 0.999; Obs.Slo.latency ~threshold_ms:250.0 0.99 ]
+
 let create ?(cfg = default_config) ?(base_config = Chimera.Config.default)
-    cmds =
+    ?(tracing = false) ?(trace_seed = 1) ?slo cmds =
   let n = Array.length cmds in
   if n = 0 then invalid_arg "Router.create: no workers";
   if cfg.queue_depth <= 0 || cfg.soft_depth < 0 then
@@ -146,6 +175,23 @@ let create ?(cfg = default_config) ?(base_config = Chimera.Config.default)
     workers_down = 0;
     deadline_drops = 0;
     chaos_injected = 0;
+    tracing =
+      (if tracing then
+         Some
+           {
+             collector = Obs.Collector.create ();
+             sampler = Obs.Sampler.create ~seed:trace_seed ();
+           }
+       else None);
+    pending_meta = Hashtbl.create 64;
+    spans_replies = Hashtbl.create 8;
+    slo =
+      (match slo with
+      | Some s -> s
+      | None -> Obs.Slo.create default_slo_objectives);
+    request_latency_ms = Obs.Histogram.create ();
+    answered_ok = 0;
+    answered_total = 0;
   }
 
 let size t = Array.length t.workers
@@ -170,6 +216,151 @@ let with_field key value = function
 
 let with_id ?id json =
   match id with None -> json | Some v -> with_field "id" v json
+
+(* ------------------------------------------------------------------ *)
+(* Distributed tracing + SLO                                            *)
+(* ------------------------------------------------------------------ *)
+
+let tracing_enabled t = t.tracing <> None
+let slo t = t.slo
+
+(* Feed the SLO engine with the router's cumulative view: every
+   terminal answer counts, good iff it answered [ok: true], latency
+   measured router-side into the lossless histogram the latency
+   objectives read. *)
+let observe_slo t ~ok ~latency_ms =
+  t.answered_total <- t.answered_total + 1;
+  if ok then t.answered_ok <- t.answered_ok + 1;
+  Obs.Histogram.observe t.request_latency_ms latency_ms;
+  Obs.Slo.observe t.slo ~good:t.answered_ok ~total:t.answered_total
+    ~latency:t.request_latency_ms
+
+(* Classify a terminal answer for the tail sampler: [ok] plus the
+   retention flags the router can vouch for (the sampler itself adds
+   "slow"/"errored"/"retried"). *)
+let outcome_of_json json =
+  match Util.Json.member "ok" json with
+  | Some (Util.Json.Bool true) -> (
+      ( true,
+        match Util.Json.member "degraded" json with
+        | Some Util.Json.Null | None -> []
+        | Some _ -> [ "degraded" ] ))
+  | _ -> (
+      ( false,
+        match Util.Json.member "code" json with
+        | Some (Util.Json.String "overloaded") -> [ "shed" ]
+        | Some (Util.Json.String "deadline_exceeded") -> [ "deadline" ]
+        | _ -> [ "failed" ] ))
+
+(* Open this request's router-side trace: adopt the client's wire
+   context when the request carried one (loadgen's client span), else
+   start a fresh distributed trace here.  The root span is
+   ["fleet.request"]; its sid is what the worker's piece parents
+   under. *)
+let open_request_trace t (req : Service.Request.t) ~attrs =
+  match t.tracing with
+  | None -> None
+  | Some _ ->
+      let label = Service.Request.describe req in
+      let trace =
+        match
+          Option.bind req.Service.Request.traceparent (fun tp ->
+              match Obs.Trace.of_wire tp with
+              | Ok r -> Some r
+              | Error _ -> None)
+        with
+        | Some remote -> Obs.Trace.adopt ~label remote
+        | None -> Obs.Trace.make ~label ()
+      in
+      Option.map
+        (fun os -> (trace, os))
+        (Obs.Trace.open_span ~attrs (Obs.Trace.ctx trace) "fleet.request")
+
+(* Judge one terminally-answered traced request: close the router
+   span, add both local and shipped pieces to the collector, and let
+   the tail sampler decide retention. *)
+let finalize_trace t (trace, os) ~ok ~flags ~latency_ms ~shipped =
+  match t.tracing with
+  | None -> ()
+  | Some ts ->
+      Obs.Trace.open_annot os
+        [ ("outcome", if ok then "ok" else String.concat "," flags) ];
+      Obs.Trace.close_span ~err:(not ok) os;
+      Obs.Collector.add_trace ts.collector ~role:"router" trace;
+      (match shipped with
+      | Some ship -> ignore (Obs.Collector.add_shipped ts.collector ship)
+      | None -> ());
+      (match Obs.Collector.take ts.collector (Obs.Trace.id trace) with
+      | Some assembled ->
+          Obs.Sampler.offer ts.sampler ~flags ~latency_ms ~ok assembled
+      | None -> ())
+
+(* The single terminal-answer path for routed requests: every event
+   enqueued for a client goes through here, so SLO accounting and
+   trace finalization can never miss an outcome. *)
+let finish_request t ~seq ~worker ~client_id ~(outcome : outcome) =
+  Queue.add { seq; worker; client_id; outcome } t.events;
+  match Hashtbl.find_opt t.pending_meta seq with
+  | None -> ()
+  | Some meta ->
+      Hashtbl.remove t.pending_meta seq;
+      let latency_ms = (now () -. meta.m_sent_at) *. 1000.0 in
+      let json, shipped =
+        match outcome with
+        | Reply { json; _ } -> (json, Util.Json.member "trace" json)
+        | Dropped e -> (Service.Error.to_json e, None)
+      in
+      let ok, flags = outcome_of_json json in
+      let flags =
+        (* Faults injected while this request was in flight make its
+           trace chaos-affected — always retained. *)
+        if t.chaos_injected > meta.m_chaos_at then flags @ [ "chaos" ]
+        else flags
+      in
+      observe_slo t ~ok ~latency_ms;
+      (match meta.m_trace with
+      | Some pair ->
+          finalize_trace t pair ~ok ~flags ~latency_ms ~shipped
+      | None -> ())
+
+(* Requests the router answers without a worker round-trip (hot hits,
+   shed, invalid): same SLO accounting, and — traced — a zero-depth
+   router-only trace so the recorder sees them too. *)
+let note_answered t (req : Service.Request.t) json =
+  let ok, flags = outcome_of_json json in
+  observe_slo t ~ok ~latency_ms:0.0;
+  (match open_request_trace t req ~attrs:[ ("answered", "router") ] with
+  | Some pair ->
+      finalize_trace t pair ~ok ~flags ~latency_ms:0.0 ~shipped:None
+  | None -> ());
+  json
+
+(* A client-process piece (loadgen's [client.request] spans) arriving
+   after its trace was judged: attach it when the trace was retained,
+   drop it when sampling passed it over. *)
+let note_client_trace t trace =
+  match t.tracing with
+  | None -> false
+  | Some ts -> (
+      Obs.Collector.add_trace ts.collector ~role:"client" trace;
+      match Obs.Collector.take ts.collector (Obs.Trace.id trace) with
+      | Some assembled -> Obs.Sampler.merge_late ts.sampler assembled
+      | None -> false)
+
+let flight_json t =
+  Option.map (fun ts -> Obs.Sampler.flight_json ts.sampler) t.tracing
+
+let sampler_counters t =
+  Option.map (fun ts -> Obs.Sampler.counters ts.sampler) t.tracing
+
+let collector_counters t =
+  Option.map
+    (fun ts ->
+      [
+        ("pending", Obs.Collector.pending ts.collector);
+        ("shipped_rejected", Obs.Collector.shipped_rejected ts.collector);
+      ])
+    t.tracing
 
 (* ------------------------------------------------------------------ *)
 (* Hot-entry replication                                                *)
@@ -206,7 +397,10 @@ let hot_note_response t key json =
           entry.stored = None
           && (t.force_replicate || entry.hits >= t.cfg.replicate_after)
         then begin
-          entry.stored <- Some (without_field "id" json);
+          (* Strip the correlation id and any piggybacked span payload:
+             a replayed hot answer must not carry another request's
+             trace. *)
+          entry.stored <- Some (without_field "trace" (without_field "id" json));
           Queue.add key t.hot_order;
           t.hot_stored <- t.hot_stored + 1;
           while t.hot_stored > t.cfg.hot_capacity do
@@ -305,15 +499,9 @@ let fail_worker ?first_error t (w : Worker.t) ~reason =
                   (Printf.sprintf "worker %d restarted (%s)" w.Worker.id
                      reason)
           in
-          Queue.add
-            {
-              seq = ticket.Worker.seq;
-              worker = w.Worker.id;
-              client_id;
-              outcome = Dropped err;
-            }
-            t.events
-      | Worker.Probe_health | Worker.Probe_stats -> ())
+          finish_request t ~seq:ticket.Worker.seq ~worker:w.Worker.id
+            ~client_id ~outcome:(Dropped err)
+      | Worker.Probe_health | Worker.Probe_stats | Worker.Probe_spans -> ())
     tickets;
   Worker.kill w;
   note_strike t w ~reason
@@ -342,37 +530,52 @@ let handle_line t (w : Worker.t) line =
           t.protocol_errors <- t.protocol_errors + 1;
           (match ticket.Worker.kind with
           | Worker.Request { client_id; _ } ->
-              Queue.add
-                {
-                  seq = ticket.Worker.seq;
-                  worker = w.Worker.id;
-                  client_id;
-                  outcome =
-                    Dropped
-                      (Service.Error.Internal
-                         (Printf.sprintf "worker %d: unparseable reply"
-                            w.Worker.id));
-                }
-                t.events
-          | Worker.Probe_health | Worker.Probe_stats -> ());
+              finish_request t ~seq:ticket.Worker.seq ~worker:w.Worker.id
+                ~client_id
+                ~outcome:
+                  (Dropped
+                     (Service.Error.Internal
+                        (Printf.sprintf "worker %d: unparseable reply"
+                           w.Worker.id)))
+          | Worker.Probe_health | Worker.Probe_stats | Worker.Probe_spans ->
+              ());
           fail_worker t w ~reason:"unparseable reply"
       | Ok json -> (
           w.Worker.consecutive_failures <- 0;
           match ticket.Worker.kind with
           | Worker.Request { key; client_id } ->
               hot_note_response t key json;
-              Queue.add
-                {
-                  seq = ticket.Worker.seq;
-                  worker = w.Worker.id;
-                  client_id;
-                  outcome = Reply { line; json };
-                }
-                t.events
+              finish_request t ~seq:ticket.Worker.seq ~worker:w.Worker.id
+                ~client_id ~outcome:(Reply { line; json })
           | Worker.Probe_health ->
               Hashtbl.replace t.health_replies w.Worker.id json
           | Worker.Probe_stats ->
-              Hashtbl.replace t.stats_replies w.Worker.id json))
+              Hashtbl.replace t.stats_replies w.Worker.id json
+          | Worker.Probe_spans ->
+              (* Late-drained worker pieces: error responses could not
+                 piggyback their spans, so they arrive here and attach
+                 to their (already judged) traces when retained. *)
+              Hashtbl.replace t.spans_replies w.Worker.id ();
+              (match t.tracing with
+              | None -> ()
+              | Some ts -> (
+                  match Util.Json.member "spans" json with
+                  | Some (Util.Json.List payloads) ->
+                      List.iter
+                        (fun payload ->
+                          match
+                            Obs.Collector.add_shipped ts.collector payload
+                          with
+                          | Error _ -> ()
+                          | Ok trace_id -> (
+                              match Obs.Collector.take ts.collector trace_id with
+                              | Some assembled ->
+                                  ignore
+                                    (Obs.Sampler.merge_late ts.sampler
+                                       assembled)
+                              | None -> ()))
+                        payloads
+                  | _ -> ()))))
 
 (* The supervisor's periodic duties, run on every pump: resume workers
    whose chaos stall elapsed, respawn workers whose backoff elapsed,
@@ -456,7 +659,7 @@ let submit ?id ?raw t (req : Service.Request.t) =
       (* Validation at the front door: an invalid request never costs a
          worker round-trip or a queue slot. *)
       t.rejected_invalid <- t.rejected_invalid + 1;
-      Answered (Service.Error.to_json ?id e)
+      Answered (note_answered t req (Service.Error.to_json ?id e))
   | Ok (chain, machine) -> (
       let config = Service.Request.config_of ~base:t.base_config req in
       let fp = Service.Fingerprint.of_request ~chain ~machine ~config in
@@ -464,7 +667,7 @@ let submit ?id ?raw t (req : Service.Request.t) =
       match hot_lookup t key with
       | Some resp ->
           t.hot_hits <- t.hot_hits + 1;
-          Answered (with_id ?id resp)
+          Answered (note_answered t req (with_id ?id resp))
       | None ->
           let w = t.workers.(Ring.lookup t.ring key) in
           if not w.Worker.alive then begin
@@ -473,17 +676,19 @@ let submit ?id ?raw t (req : Service.Request.t) =
                reach here — the breaker removed them from the ring. *)
             t.shed <- t.shed + 1;
             Answered
-              (overloaded_json ?id
-                 (Printf.sprintf "worker %d restarting" w.Worker.id))
+              (note_answered t req
+                 (overloaded_json ?id
+                    (Printf.sprintf "worker %d restarting" w.Worker.id)))
           end
           else
           let depth = Worker.depth w in
           if depth >= t.cfg.queue_depth then begin
             t.shed <- t.shed + 1;
             Answered
-              (overloaded_json ?id
-                 (Printf.sprintf "worker %d queue full (%d inflight)"
-                    w.Worker.id depth))
+              (note_answered t req
+                 (overloaded_json ?id
+                    (Printf.sprintf "worker %d queue full (%d inflight)"
+                       w.Worker.id depth)))
           end
           else begin
             let json =
@@ -505,10 +710,33 @@ let submit ?id ?raw t (req : Service.Request.t) =
               end
               else json
             in
+            (* Tracing: open the router's root span for this request
+               (adopting the client's context if it sent one) and
+               re-stamp the forwarded traceparent so the worker parents
+               under the router span, not the client span. *)
+            let tr =
+              open_request_trace t req
+                ~attrs:[ ("worker", string_of_int w.Worker.id) ]
+            in
+            let json =
+              match tr with
+              | Some (_, os) -> (
+                  match Obs.Trace.to_wire (Obs.Trace.open_ctx os) with
+                  | Some tp ->
+                      with_field "traceparent" (Util.Json.String tp) json
+                  | None -> json)
+              | None -> json
+            in
             t.seq <- t.seq + 1;
             let seq = t.seq in
             if Worker.send_line w (Util.Json.to_string json) then begin
               Worker.enqueue w ~seq ~kind:(Worker.Request { key; client_id = id });
+              Hashtbl.replace t.pending_meta seq
+                {
+                  m_sent_at = now ();
+                  m_chaos_at = t.chaos_injected;
+                  m_trace = tr;
+                };
               t.routed <- t.routed + 1;
               Routed { worker = w.Worker.id; seq }
             end
@@ -517,9 +745,17 @@ let submit ?id ?raw t (req : Service.Request.t) =
                  request (retryable — the fresh worker will take it). *)
               restart_worker t w ~reason:"write failed";
               t.shed <- t.shed + 1;
-              Answered
-                (overloaded_json ?id
-                   (Printf.sprintf "worker %d restarting" w.Worker.id))
+              let json = overloaded_json ?id
+                  (Printf.sprintf "worker %d restarting" w.Worker.id)
+              in
+              let ok, flags = outcome_of_json json in
+              observe_slo t ~ok ~latency_ms:0.0;
+              (match tr with
+              | Some pair ->
+                  finalize_trace t pair ~ok ~flags ~latency_ms:0.0
+                    ~shipped:None
+              | None -> ());
+              Answered json
             end
           end)
 
@@ -529,6 +765,37 @@ let submit ?id ?raw t (req : Service.Request.t) =
 
 let probe_json = {|{"cmd": "health"}|}
 let stats_json_line = {|{"cmd": "stats", "full": true}|}
+let spans_json_line = {|{"cmd": "spans"}|}
+
+(* Ask every worker for its spooled ship payloads (the spans of traced
+   error responses).  Replies are applied by [handle_line]'s
+   [Probe_spans] arm as they arrive; this just waits for them.  Returns
+   how many workers answered the sweep.  No-op with tracing off. *)
+let drain_spans ?(timeout_s = 2.0) t =
+  if not (tracing_enabled t) then 0
+  else begin
+    Hashtbl.reset t.spans_replies;
+    let probed =
+      Array.to_list t.workers
+      |> List.filter_map (fun (w : Worker.t) ->
+             if w.Worker.alive && Worker.send_line w spans_json_line then begin
+               t.seq <- t.seq + 1;
+               Worker.enqueue w ~seq:t.seq ~kind:Worker.Probe_spans;
+               Some w
+             end
+             else None)
+    in
+    let deadline = now () +. timeout_s in
+    let all_replied () =
+      List.for_all
+        (fun (w : Worker.t) -> Hashtbl.mem t.spans_replies w.Worker.id)
+        probed
+    in
+    while (not (all_replied ())) && now () < deadline do
+      pump ~timeout_s:(Float.max 0.01 (Float.min 0.05 (deadline -. now ()))) t
+    done;
+    Hashtbl.length t.spans_replies
+  end
 
 (* Synchronous in-band health sweep.  The serve loop is serial, so the
    reply arriving at all is the liveness signal; a worker that answers
@@ -566,19 +833,25 @@ let check_health ?timeout_s t =
   while (not (all_replied ())) && now () < deadline do
     pump ~timeout_s:(Float.max 0.01 (Float.min 0.05 (deadline -. now ()))) t
   done;
-  List.map
-    (fun (w : Worker.t) ->
-      match Hashtbl.find_opt t.health_replies w.Worker.id with
-      | Some json -> (w.Worker.id, `Ok json)
-      | None ->
-          t.health_failures <- t.health_failures + 1;
-          w.Worker.consecutive_failures <- w.Worker.consecutive_failures + 1;
-          if w.Worker.consecutive_failures >= t.cfg.restart_after then begin
-            restart_worker t w ~reason:"unresponsive to health probes";
-            (w.Worker.id, `Restarted)
-          end
-          else (w.Worker.id, `Unanswered))
-    probed
+  let results =
+    List.map
+      (fun (w : Worker.t) ->
+        match Hashtbl.find_opt t.health_replies w.Worker.id with
+        | Some json -> (w.Worker.id, `Ok json)
+        | None ->
+            t.health_failures <- t.health_failures + 1;
+            w.Worker.consecutive_failures <- w.Worker.consecutive_failures + 1;
+            if w.Worker.consecutive_failures >= t.cfg.restart_after then begin
+              restart_worker t w ~reason:"unresponsive to health probes";
+              (w.Worker.id, `Restarted)
+            end
+            else (w.Worker.id, `Unanswered))
+      probed
+  in
+  (* The health sweep doubles as the span drain: flagged error traces
+     reach the flight recorder within one sweep period. *)
+  if tracing_enabled t then ignore (drain_spans ~timeout_s:0.5 t);
+  results
 
 (* ------------------------------------------------------------------ *)
 (* Fleet-level stats                                                    *)
@@ -729,36 +1002,77 @@ let stats_json ?id t ~merged ~per_worker =
         ( "worker_states",
           Util.Json.List (List.map worker_state_json (worker_states t)) );
         ("merged", Service.Metrics.to_json merged);
-      ])
+        ("slo", Obs.Slo.report_json t.slo);
+      ]
+    @
+    match (sampler_counters t, collector_counters t) with
+    | Some sc, Some cc ->
+        [
+          ( "trace",
+            Util.Json.Obj
+              [
+                ( "sampler",
+                  Util.Json.Obj
+                    (List.map (fun (k, v) -> (k, Util.Json.Int v)) sc) );
+                ( "collector",
+                  Util.Json.Obj
+                    (List.map (fun (k, v) -> (k, Util.Json.Int v)) cc) );
+              ] );
+        ]
+    | _ -> [])
+
+let fleet_counter_help = function
+  | "received" -> "Requests received by the router."
+  | "routed" -> "Requests forwarded to a worker."
+  | "shed" -> "Requests fast-failed by admission control."
+  | "rejected_invalid" -> "Requests rejected by front-door validation."
+  | "hot_hits" -> "Requests answered from the router's hot cache."
+  | "admission_degraded" ->
+      "Requests stamped with a degrade deadline by the soft band."
+  | "protocol_errors" -> "Worker protocol violations."
+  | "worker_restarts" -> "Worker processes restarted by the supervisor."
+  | "health_probes" -> "Health probes sent."
+  | "health_failures" -> "Health probes unanswered in time."
+  | "workers_down" -> "Workers permanently removed by the circuit breaker."
+  | "deadline_drops" -> "Workers failed for exceeding the response deadline."
+  | "chaos_injected" -> "Chaos faults injected."
+  | _ -> "Router counter."
 
 (* One text exposition for the whole fleet: merged unlabelled series
-   (true fleet-wide quantiles via histogram merge), per-worker series
-   carrying a [worker] label, and the router's own counters under a
-   [chimera_fleet_] prefix. *)
+   (true fleet-wide quantiles via histogram merge) grouped with the
+   per-worker labelled series under a single HELP/TYPE header per
+   metric (the exposition format allows at most one per name in a
+   scrape), the router's own counters under a [chimera_fleet_] prefix,
+   and the SLO gauges. *)
 let prometheus t ~merged ~per_worker =
   let buf = Buffer.create 8192 in
-  Buffer.add_string buf (Service.Metrics.to_prometheus merged);
-  List.iter
-    (fun (id, m) ->
-      Buffer.add_string buf
-        (Service.Metrics.to_prometheus
-           ~labels:[ ("worker", string_of_int id) ]
-           m))
-    per_worker;
+  Buffer.add_string buf
+    (Service.Metrics.to_prometheus_many
+       (([], merged)
+       :: List.map
+            (fun (id, m) -> ([ ("worker", string_of_int id) ], m))
+            per_worker));
   List.iter
     (fun (name, v) ->
       Buffer.add_string buf
-        (Printf.sprintf "# TYPE chimera_fleet_%s counter\nchimera_fleet_%s %d\n"
-           name name v))
+        (Printf.sprintf
+           "# HELP chimera_fleet_%s %s\n\
+            # TYPE chimera_fleet_%s counter\n\
+            chimera_fleet_%s %d\n"
+           name (fleet_counter_help name) name name v))
     (counters t);
   Buffer.add_string buf
     (Printf.sprintf
-       "# TYPE chimera_fleet_workers gauge\nchimera_fleet_workers %d\n"
+       "# HELP chimera_fleet_workers Fleet slots (including downed \
+        workers).\n\
+        # TYPE chimera_fleet_workers gauge\nchimera_fleet_workers %d\n"
        (size t));
   (* Per-worker lifecycle series, labelled like the per-worker metric
      series above. *)
   Buffer.add_string buf
-    "# TYPE chimera_fleet_worker_restarts_total counter\n";
+    "# HELP chimera_fleet_worker_restarts_total Restarts of this worker \
+     slot.\n\
+     # TYPE chimera_fleet_worker_restarts_total counter\n";
   List.iter
     (fun ws ->
       Buffer.add_string buf
@@ -766,7 +1080,9 @@ let prometheus t ~merged ~per_worker =
            "chimera_fleet_worker_restarts_total{worker=\"%d\"} %d\n" ws.ws_id
            ws.ws_restarts))
     (worker_states t);
-  Buffer.add_string buf "# TYPE chimera_fleet_worker_up gauge\n";
+  Buffer.add_string buf
+    "# HELP chimera_fleet_worker_up Whether the worker process is alive.\n\
+     # TYPE chimera_fleet_worker_up gauge\n";
   List.iter
     (fun ws ->
       Buffer.add_string buf
@@ -774,7 +1090,9 @@ let prometheus t ~merged ~per_worker =
            (if ws.ws_alive then 1 else 0)))
     (worker_states t);
   Buffer.add_string buf
-    "# TYPE chimera_fleet_worker_permanently_down gauge\n";
+    "# HELP chimera_fleet_worker_permanently_down Whether the circuit \
+     breaker removed this slot.\n\
+     # TYPE chimera_fleet_worker_permanently_down gauge\n";
   List.iter
     (fun ws ->
       Buffer.add_string buf
@@ -783,6 +1101,7 @@ let prometheus t ~merged ~per_worker =
            ws.ws_id
            (if ws.ws_permanently_down then 1 else 0)))
     (worker_states t);
+  Buffer.add_string buf (Obs.Slo.to_prometheus t.slo);
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -823,6 +1142,12 @@ let prewarm ?(timeout_s = 120.0) t reqs =
 (* ------------------------------------------------------------------ *)
 
 let shutdown ?(timeout_s = 2.0) t =
+  (* Last span sweep: flagged traces whose error responses predate the
+     final health drain still reach the flight recorder. *)
+  if tracing_enabled t then begin
+    Array.iter (fun (w : Worker.t) -> Worker.sigcont w) t.workers;
+    ignore (drain_spans ~timeout_s:(Float.min 1.0 timeout_s) t)
+  end;
   Array.iter
     (fun (w : Worker.t) ->
       if w.Worker.alive then begin

@@ -72,11 +72,28 @@ and outcome =
           [Internal]). *)
 
 val create :
-  ?cfg:config -> ?base_config:Chimera.Config.t -> string array array -> t
+  ?cfg:config -> ?base_config:Chimera.Config.t -> ?tracing:bool ->
+  ?trace_seed:int -> ?slo:Obs.Slo.t -> string array array -> t
 (** Spawn one worker per argv and build the ring.  [base_config] seeds
     {!Service.Request.config_of} for fingerprinting (it must match what
     the workers themselves plan with, or hot-cache keys and worker
     cache keys disagree — harmlessly, but replication stops helping).
+
+    [tracing] (default false) turns on distributed tracing: every
+    routed request gets a router-side ["fleet.request"] span (adopting
+    the client's [traceparent] when present), the forwarded request is
+    re-stamped with the router span's context so the worker parents
+    under it, completed worker spans are collected from response
+    piggybacks and [cmd:spans] drains, and a tail-sampling flight
+    recorder ({!Obs.Sampler}, seeded with [trace_seed], default 1)
+    retains every slow/errored/shed/degraded/retried/chaos-affected
+    trace plus a probabilistic sample of healthy ones.
+
+    [slo] injects the burn-rate engine (tests pass one with a virtual
+    clock); the default tracks availability 99.9% and latency
+    99% <= 250 ms over 5m/1h windows.  The engine runs with tracing
+    off too — it only needs the router's own counters.
+
     Raises [Invalid_argument] on an empty fleet or nonsensical depths,
     and {!Worker.Spawn_failed} when a worker binary is missing, not
     executable, or dead on arrival (checked after [spawn_grace_s]) —
@@ -108,7 +125,17 @@ val check_health : ?timeout_s:float -> t ->
     worker that answers nothing scores a consecutive failure;
     [restart_after] of those restarts the slot (clients queued on it
     get [Dropped] events on the next {!poll}).  Request traffic keeps
-    flowing during the sweep. *)
+    flowing during the sweep.  With tracing on, the sweep ends with a
+    {!drain_spans} pass, so flagged error traces reach the flight
+    recorder within one sweep period. *)
+
+val drain_spans : ?timeout_s:float -> t -> int
+(** Drain every worker's shipped-span spool ([cmd:spans]) — the spans
+    of traced error responses, which cannot ride the error wire form —
+    and attach them to their retained traces ({!Obs.Sampler.merge_late};
+    pieces of passed-over traces are dropped, the sampling decision
+    applying to them too).  Returns the number of workers that answered
+    the sweep; 0 and no probes with tracing off. *)
 
 val collect_stats : ?timeout_s:float -> t ->
   Service.Metrics.t * (int * Service.Metrics.t) list
@@ -128,6 +155,36 @@ val counters : t -> (string * int) list
     hot_hits, admission_degraded, protocol_errors, worker_restarts,
     health_probes, health_failures, workers_down, deadline_drops,
     chaos_injected. *)
+
+val tracing_enabled : t -> bool
+
+val slo : t -> Obs.Slo.t
+(** The burn-rate engine.  Fed on every terminal answer ([submit]'s
+    synchronous answers included); read it with {!Obs.Slo.report} or
+    {!Obs.Slo.report_json}. *)
+
+val note_client_trace : t -> Obs.Trace.t -> bool
+(** Attach a client-process trace piece (the load generator's
+    ["client.request"] spans) to its — already judged — distributed
+    trace.  [true] when the trace was retained by the tail sampler and
+    the piece merged in; [false] when sampling passed the trace over
+    (the piece is dropped: the sampling decision applies to every
+    piece) or tracing is off. *)
+
+val flight_json : t -> Util.Json.t option
+(** The flight-recorder dump ({!Obs.Sampler.flight_json}): a Chrome
+    trace of every retained distributed trace plus the sampler's
+    counters and per-trace retention flags.  [None] with tracing
+    off. *)
+
+val sampler_counters : t -> (string * int) list option
+(** Tail-sampler retention counters ({!Obs.Sampler.counters});
+    [None] with tracing off. *)
+
+val collector_counters : t -> (string * int) list option
+(** Collector health: [pending] (trace pieces awaiting assembly —
+    transiently nonzero only inside a poll) and [shipped_rejected]
+    (malformed ship payloads discarded).  [None] with tracing off. *)
 
 type worker_state = {
   ws_id : int;
@@ -156,15 +213,18 @@ val inject : t -> Chaos.event -> unit
 val stats_json :
   ?id:Util.Json.t -> t -> merged:Service.Metrics.t ->
   per_worker:(int * Service.Metrics.t) list -> Util.Json.t
-(** The fleet's [cmd:stats] answer: router counters plus the merged
-    worker metrics. *)
+(** The fleet's [cmd:stats] answer: router counters, the merged worker
+    metrics, the SLO report, and — tracing on — a ["trace"] object
+    with the sampler and collector counters. *)
 
 val prometheus :
   t -> merged:Service.Metrics.t ->
   per_worker:(int * Service.Metrics.t) list -> string
 (** One text exposition for the whole fleet: merged series unlabelled,
-    per-worker series with a [worker] label, router counters under
-    [chimera_fleet_*]. *)
+    per-worker series with a [worker] label (grouped under a single
+    [# HELP]/[# TYPE] header per metric name, as the exposition format
+    requires), router counters under [chimera_fleet_*], and the
+    [chimera_slo_*] gauges ({!Obs.Slo.to_prometheus}). *)
 
 val size : t -> int
 val ring : t -> Ring.t

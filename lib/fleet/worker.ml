@@ -16,6 +16,7 @@ type kind =
           ["id"] field if any (echoed in synthesized failures). *)
   | Probe_health
   | Probe_stats
+  | Probe_spans
 
 type ticket = { seq : int; kind : kind; sent_at : float }
 

@@ -12,6 +12,7 @@ type kind =
   | Request of { key : string; client_id : Util.Json.t option }
   | Probe_health
   | Probe_stats
+  | Probe_spans  (** a [cmd:spans] drain of the shipped-span spool *)
 
 type ticket = { seq : int; kind : kind; sent_at : float }
 

@@ -24,3 +24,5 @@ let now_us () =
   let raw = Int64.of_float (Unix.gettimeofday () *. 1e6) in
   let rel = Int64.to_int (Int64.sub raw epoch_us) in
   publish (max 0 rel)
+
+let epoch_us () = Int64.to_int epoch_us

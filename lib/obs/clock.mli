@@ -8,3 +8,10 @@ val now_us : unit -> int
 (** Microseconds since process start.  Monotone non-decreasing across
     all domains: for any two calls that happen-before each other, the
     later call returns a value [>=] the earlier one. *)
+
+val epoch_us : unit -> int
+(** The process epoch as absolute Unix microseconds: the wall-clock
+    instant that {!now_us} counts from.  [epoch_us () + now_us ()] is
+    an absolute timestamp comparable across processes (up to wall-clock
+    skew), which is how the fleet trace collector aligns spans shipped
+    from different worker pids onto one timeline. *)

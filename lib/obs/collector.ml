@@ -1,0 +1,284 @@
+(* Distributed-trace assembly.
+
+   A fleet request's trace is scattered across processes: the router
+   (and possibly loadgen) records root spans in its own process, and
+   each worker that served an attempt ships its piece back over the
+   JSONL wire ([Trace.to_ship_json]).  The collector buckets those
+   pieces by trace id, hands a completed trace over as one [assembled]
+   value, and renders any set of assembled traces as a single Chrome
+   trace whose pids are the real process pids.
+
+   Chrome stream layout: every (piece, original tid) pair becomes its
+   own tid under the piece's real pid.  Within a piece a domain's
+   open/close sequence numbers give the well-nested B/E order (same
+   argument as [Export]); distinct pieces never share a stream, so
+   overlapping request spans in the single-threaded router — or two
+   retry attempts on the same worker — cannot tangle each other's
+   stacks.  Timestamps are absolute Unix microseconds rebased to the
+   earliest span, so pieces from processes with different [Clock]
+   epochs land on one timeline.
+
+   Cross-process edges are carried as span args: every B event gets
+   the trace id and its own sid, and a piece's root spans get the
+   piece's [remote_parent] as [parent_sid] — scripts/validate_trace.py
+   binds worker [request] spans to router spans through exactly these
+   fields. *)
+
+type rspan = {
+  c_sid : int;
+  c_parent : int option;
+  c_name : string;
+  c_tid : int;
+  c_start_abs_us : int;
+  c_dur_us : int;
+  c_attrs : (string * string) list;
+  c_err : bool;
+  c_oseq : int;
+  c_cseq : int;
+}
+
+type piece = {
+  p_pid : int;
+  p_role : string;
+  p_remote_parent : int option;
+  p_dropped : int;
+  p_spans : rspan list;  (* open order *)
+}
+
+type assembled = {
+  a_trace_id : string;
+  a_label : string;
+  a_pieces : piece list;  (* arrival order *)
+}
+
+type pending = {
+  g_trace_id : string;
+  mutable g_label : string;
+  mutable g_pieces : piece list;  (* reverse arrival order *)
+}
+
+type t = {
+  tbl : (string, pending) Hashtbl.t;
+  mutable shipped_rejected : int;
+}
+
+let create () = { tbl = Hashtbl.create 64; shipped_rejected = 0 }
+let pending t = Hashtbl.length t.tbl
+let shipped_rejected t = t.shipped_rejected
+
+let span_of_json json =
+  let open Util.Json in
+  let int k = Option.bind (member k json) to_int_opt in
+  let str k = Option.bind (member k json) to_string_opt in
+  match (int "sid", str "name", int "tid", int "start_abs_us", int "dur_us")
+  with
+  | Some sid, Some name, Some tid, Some start, Some dur ->
+      let attrs =
+        match member "attrs" json with
+        | Some (Obj kvs) ->
+            List.filter_map
+              (fun (k, v) ->
+                match to_string_opt v with
+                | Some s -> Some (k, s)
+                | None -> None)
+              kvs
+        | _ -> []
+      in
+      Some
+        {
+          c_sid = sid;
+          c_parent = int "parent";
+          c_name = name;
+          c_tid = tid;
+          c_start_abs_us = start;
+          c_dur_us = dur;
+          c_attrs = attrs;
+          c_err =
+            (match Option.bind (member "error" json) to_bool_opt with
+            | Some b -> b
+            | None -> false);
+          c_oseq = (match int "oseq" with Some s -> s | None -> 2 * sid);
+          c_cseq = (match int "cseq" with Some s -> s | None -> (2 * sid) + 1);
+        }
+  | _ -> None
+
+let find_or_add t trace_id =
+  match Hashtbl.find_opt t.tbl trace_id with
+  | Some g -> g
+  | None ->
+      let g = { g_trace_id = trace_id; g_label = ""; g_pieces = [] } in
+      Hashtbl.add t.tbl trace_id g;
+      g
+
+let add_piece t ~trace_id ~label piece =
+  let g = find_or_add t trace_id in
+  if g.g_label = "" then g.g_label <- label;
+  g.g_pieces <- piece :: g.g_pieces
+
+let add_shipped t json =
+  let open Util.Json in
+  let int k = Option.bind (member k json) to_int_opt in
+  let str k = Option.bind (member k json) to_string_opt in
+  match (str "trace_id", int "pid", member "spans" json) with
+  | Some trace_id, Some pid, Some (List spans) ->
+      let decoded = List.filter_map span_of_json spans in
+      if List.length decoded <> List.length spans then begin
+        t.shipped_rejected <- t.shipped_rejected + 1;
+        Error "collector: malformed span in shipped trace"
+      end
+      else begin
+        add_piece t ~trace_id
+          ~label:(match str "label" with Some l -> l | None -> "")
+          {
+            p_pid = pid;
+            p_role = (match str "role" with Some r -> r | None -> "worker");
+            p_remote_parent = int "remote_parent";
+            p_dropped =
+              (match int "spans_dropped" with Some d -> d | None -> 0);
+            p_spans = decoded;
+          };
+        Ok trace_id
+      end
+  | _ ->
+      t.shipped_rejected <- t.shipped_rejected + 1;
+      Error "collector: shipped trace missing trace_id, pid or spans"
+
+let add_trace t ?role ?pid trace =
+  match add_shipped t (Trace.to_ship_json ?pid ?role trace) with
+  | Ok _ -> ()
+  | Error _ -> ()
+
+let take t trace_id =
+  match Hashtbl.find_opt t.tbl trace_id with
+  | None -> None
+  | Some g ->
+      Hashtbl.remove t.tbl trace_id;
+      Some
+        {
+          a_trace_id = g.g_trace_id;
+          a_label = g.g_label;
+          a_pieces = List.rev g.g_pieces;
+        }
+
+let take_all t =
+  let out =
+    Hashtbl.fold (fun id _ acc -> id :: acc) t.tbl []
+    |> List.sort compare
+    |> List.filter_map (take t)
+  in
+  out
+
+let merge_assembled a b =
+  { a with a_pieces = a.a_pieces @ b.a_pieces }
+
+(* Chrome rendering of any set of assembled traces. *)
+
+let short_id id = if String.length id <= 8 then id else String.sub id 0 8
+
+let chrome_json assembled =
+  let open Util.Json in
+  let base_ts =
+    List.fold_left
+      (fun acc a ->
+        List.fold_left
+          (fun acc p ->
+            List.fold_left
+              (fun acc s -> min acc s.c_start_abs_us)
+              acc p.p_spans)
+          acc a.a_pieces)
+      max_int assembled
+  in
+  let base_ts = if base_ts = max_int then 0 else base_ts in
+  let next_tid = ref 0 in
+  let seen_pids = Hashtbl.create 8 in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun p ->
+          if not (Hashtbl.mem seen_pids p.p_pid) then begin
+            Hashtbl.add seen_pids p.p_pid ();
+            emit
+              (Obj
+                 [
+                   ("name", String "process_name");
+                   ("ph", String "M");
+                   ("pid", Int p.p_pid);
+                   ("tid", Int 0);
+                   ( "args",
+                     Obj
+                       [
+                         ( "name",
+                           String
+                             (Printf.sprintf "chimera %s (pid %d)" p.p_role
+                                p.p_pid) );
+                       ] );
+                 ])
+          end;
+          (* one fresh tid per original domain of this piece *)
+          let tid_map = Hashtbl.create 4 in
+          let remap tid =
+            match Hashtbl.find_opt tid_map tid with
+            | Some r -> r
+            | None ->
+                let r = !next_tid in
+                incr next_tid;
+                Hashtbl.add tid_map tid r;
+                emit
+                  (Obj
+                     [
+                       ("name", String "thread_name");
+                       ("ph", String "M");
+                       ("pid", Int p.p_pid);
+                       ("tid", Int r);
+                       ( "args",
+                         Obj
+                           [
+                             ( "name",
+                               String
+                                 (Printf.sprintf "%s %s dom %d" p.p_role
+                                    (short_id a.a_trace_id) tid) );
+                           ] );
+                     ]);
+                r
+          in
+          let span_events s =
+            let tid = remap s.c_tid in
+            let args =
+              [
+                ("trace", String a.a_trace_id);
+                ("sid", Int s.c_sid);
+              ]
+              @ (match (s.c_parent, p.p_remote_parent) with
+                | None, Some rp -> [ ("parent_sid", Int rp) ]
+                | _ -> [])
+              @ (if s.c_err then [ ("error", Bool true) ] else [])
+              @ List.map (fun (k, v) -> (k, String v)) s.c_attrs
+            in
+            let base ph ts =
+              [
+                ("name", String s.c_name);
+                ("ph", String ph);
+                ("ts", Int ts);
+                ("pid", Int p.p_pid);
+                ("tid", Int tid);
+              ]
+            in
+            let b =
+              Obj (base "B" (s.c_start_abs_us - base_ts) @ [ ("args", Obj args) ])
+            in
+            let e = Obj (base "E" (s.c_start_abs_us - base_ts + s.c_dur_us)) in
+            [ (s.c_oseq, b); (s.c_cseq, e) ]
+          in
+          p.p_spans
+          |> List.concat_map span_events
+          |> List.sort (fun (x, _) (y, _) -> compare x y)
+          |> List.iter (fun (_, e) -> emit e))
+        a.a_pieces)
+    assembled;
+  Obj
+    [
+      ("traceEvents", List (List.rev !events));
+      ("displayTimeUnit", String "ms");
+    ]

@@ -1,0 +1,81 @@
+(** Distributed-trace assembly: pieces of one logical trace recorded
+    in different processes (router root spans, worker serve spans,
+    loadgen client spans), bucketed by trace id and rendered as a
+    single Chrome trace whose pids are the real process pids.
+
+    The router feeds it with {!add_trace} (its own per-request traces)
+    and {!add_shipped} (worker pieces extracted from response
+    piggybacks or drained via [cmd:spans]), {!take}s the assembly when
+    the request terminally completes, and hands it to the
+    {!Sampler}.  {!chrome_json} renders any set of assembled traces —
+    the flight-recorder dump and `loadgen --trace-out` both use it.
+
+    Chrome layout: one process entry per real pid; every
+    (piece, domain) pair gets its own synthetic tid so overlapping
+    requests on the single-threaded router (or retry attempts on one
+    worker) never share a B/E stack; timestamps are absolute Unix
+    microseconds rebased to the earliest span.  Every B event carries
+    [args.trace] and [args.sid], and a piece's root spans carry
+    [args.parent_sid] (the upstream span in another process) — the
+    fields scripts/validate_trace.py uses to check cross-process
+    parent edges. *)
+
+type t
+
+type rspan = private {
+  c_sid : int;
+  c_parent : int option;
+  c_name : string;
+  c_tid : int;
+  c_start_abs_us : int;
+  c_dur_us : int;
+  c_attrs : (string * string) list;
+  c_err : bool;
+  c_oseq : int;
+  c_cseq : int;
+}
+
+type piece = private {
+  p_pid : int;
+  p_role : string;  (** ["router"], ["worker"], ["client"], ... *)
+  p_remote_parent : int option;
+  p_dropped : int;
+  p_spans : rspan list;
+}
+
+type assembled = {
+  a_trace_id : string;
+  a_label : string;
+  a_pieces : piece list;  (** arrival order *)
+}
+
+val create : unit -> t
+
+val pending : t -> int
+(** Trace ids buffered and not yet taken. *)
+
+val shipped_rejected : t -> int
+(** Malformed shipped payloads discarded. *)
+
+val add_trace : t -> ?role:string -> ?pid:int -> Trace.t -> unit
+(** Record a local process's piece of a distributed trace (converted
+    through {!Trace.to_ship_json}, so timestamps go absolute).
+    [role] defaults to ["worker"], [pid] to the current process. *)
+
+val add_shipped : t -> Util.Json.t -> (string, string) result
+(** Decode one {!Trace.to_ship_json} payload from another process and
+    bucket it; returns the trace id.  Malformed payloads are counted
+    in {!shipped_rejected} and reported as [Error], never raised. *)
+
+val take : t -> string -> assembled option
+(** Remove and return everything collected for a trace id. *)
+
+val take_all : t -> assembled list
+(** Drain the collector (trace-id order) — the shutdown sweep. *)
+
+val merge_assembled : assembled -> assembled -> assembled
+(** Concatenate pieces of the same logical trace (late-drained worker
+    spans joining an already-sampled trace). *)
+
+val chrome_json : assembled list -> Util.Json.t
+(** One Chrome trace over all given assemblies. *)

@@ -93,23 +93,26 @@ let merge ~into src =
     if src.max_ms > into.max_ms then into.max_ms <- src.max_ms
   end
 
-(* Representative value for bucket i: the geometric midpoint of its
-   bounds, clamped into the observed [min, max] range so degenerate
-   histograms (a single value) answer exactly. *)
-let representative t i =
-  let n = Array.length t.bounds in
-  let raw =
-    if i >= n then t.max_ms
-    else
-      let upper = t.bounds.(i) in
-      let lower =
-        if i = 0 then upper /. (10.0 ** (1.0 /. float_of_int t.per_decade))
-        else t.bounds.(i - 1)
-      in
-      sqrt (lower *. upper)
+(* Geometric bounds of bucket i (excluding overflow): the lower bound
+   of bucket 0 is one bucket ratio below its upper bound, so log-linear
+   interpolation works uniformly across the whole layout. *)
+let bucket_bounds t i =
+  let upper = t.bounds.(i) in
+  let lower =
+    if i = 0 then upper /. (10.0 ** (1.0 /. float_of_int t.per_decade))
+    else t.bounds.(i - 1)
   in
-  Float.min t.max_ms (Float.max t.min_ms raw)
+  (lower, upper)
 
+(* The rank-r observation estimated by log-linear interpolation within
+   the bucket that holds it: ranks are assumed spread evenly through
+   the bucket (the r-th of k sits at fraction (r - 1/2) / k), and the
+   value at a fraction is read off geometrically, matching the
+   log-scale bucket layout.  A one-observation bucket answers its
+   geometric midpoint — exactly the old point estimate — and the
+   result always stays inside the winning bucket, so the one-bucket-
+   ratio error bound still holds; clamping to the observed min/max
+   keeps degenerate histograms exact. *)
 let quantile t q =
   if t.count = 0 then 0.0
   else begin
@@ -120,7 +123,48 @@ let quantile t q =
       incr i;
       cum := !cum + t.counts.(!i)
     done;
-    representative t !i
+    let n = Array.length t.bounds in
+    let raw =
+      if !i >= n then t.max_ms
+      else begin
+        let lower, upper = bucket_bounds t !i in
+        let in_bucket = t.counts.(!i) in
+        let before = !cum - in_bucket in
+        let f =
+          (float_of_int (rank - before) -. 0.5) /. float_of_int in_bucket
+        in
+        lower *. ((upper /. lower) ** f)
+      end
+    in
+    Float.min t.max_ms (Float.max t.min_ms raw)
+  end
+
+(* Estimated number of observations <= v, the latency-SLO "good event"
+   count: whole buckets below v count fully, and the bucket straddling
+   v contributes the log-linear fraction of its width below v — the
+   same interpolation convention as [quantile], so the two agree. *)
+let count_le t v =
+  if t.count = 0 || Float.is_nan v || v < 0.0 then 0.0
+  else if v >= t.max_ms then float_of_int t.count
+  else begin
+    let n = Array.length t.bounds in
+    let i = bucket_index t v in
+    let below = ref 0 in
+    for j = 0 to i - 1 do
+      below := !below + t.counts.(j)
+    done;
+    let frac =
+      if i >= n then
+        (* inside the overflow bucket but below max: no upper bound to
+           interpolate against, so count none of it. *)
+        0.0
+      else begin
+        let lower, upper = bucket_bounds t i in
+        if v <= lower then 0.0
+        else Float.min 1.0 (log (v /. lower) /. log (upper /. lower))
+      end
+    in
+    float_of_int !below +. (frac *. float_of_int t.counts.(i))
   end
 
 (* Full-fidelity wire form: every per-bucket count plus the scalar

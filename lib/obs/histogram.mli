@@ -31,10 +31,20 @@ val max_ms : t -> float
 (** Largest observation; [0.0] when empty. *)
 
 val quantile : t -> float -> float
-(** [quantile t q] for [q] in [0, 1] (clamped): a representative value
-    of the bucket holding the rank-[ceil q*n] observation, clamped to
-    the observed min/max.  Within one bucket ratio of the exact
-    quantile; [0.0] when empty. *)
+(** [quantile t q] for [q] in [0, 1] (clamped): the rank-[ceil q*n]
+    observation estimated by log-linear interpolation within the bucket
+    that holds it (the rank's fraction through the bucket read off
+    geometrically, matching the log-scale layout), clamped to the
+    observed min/max.  The estimate never leaves the winning bucket, so
+    it is within one bucket ratio of the exact quantile; [0.0] when
+    empty. *)
+
+val count_le : t -> float -> float
+(** Estimated number of observations [<= v]: whole buckets below [v]
+    plus the log-linear fraction of the straddling bucket — the
+    latency-objective "good event" count the SLO engine reads off the
+    merged fleet histograms.  [0.0] when empty; exactly [count] when
+    [v >= max_ms]. *)
 
 val merge : into:t -> t -> unit
 (** Element-wise add of [src] into [into].  Raises [Invalid_argument]

@@ -4,21 +4,30 @@ type 'a t = {
   slots : 'a option array;
   mutable next : int;  (* next write position *)
   mutable filled : int;
+  mutable evicted : int;  (* entries overwritten while full *)
   mutex : Mutex.t;
 }
 
 let create capacity =
   if capacity < 1 then invalid_arg "Ring.create: capacity must be >= 1";
-  { slots = Array.make capacity None; next = 0; filled = 0; mutex = Mutex.create () }
+  {
+    slots = Array.make capacity None;
+    next = 0;
+    filled = 0;
+    evicted = 0;
+    mutex = Mutex.create ();
+  }
 
 let capacity t = Array.length t.slots
 let length t = Mutex.protect t.mutex (fun () -> t.filled)
+let evicted t = Mutex.protect t.mutex (fun () -> t.evicted)
 
 let push t v =
   Mutex.protect t.mutex (fun () ->
       t.slots.(t.next) <- Some v;
       t.next <- (t.next + 1) mod Array.length t.slots;
-      if t.filled < Array.length t.slots then t.filled <- t.filled + 1)
+      if t.filled < Array.length t.slots then t.filled <- t.filled + 1
+      else t.evicted <- t.evicted + 1)
 
 let to_list t =
   Mutex.protect t.mutex (fun () ->
@@ -28,3 +37,18 @@ let to_list t =
           match t.slots.((start + i) mod cap) with
           | Some v -> v
           | None -> assert false))
+
+let drain t =
+  Mutex.protect t.mutex (fun () ->
+      let cap = Array.length t.slots in
+      let start = (t.next - t.filled + cap) mod cap in
+      let out =
+        List.init t.filled (fun i ->
+            match t.slots.((start + i) mod cap) with
+            | Some v -> v
+            | None -> assert false)
+      in
+      Array.fill t.slots 0 cap None;
+      t.next <- 0;
+      t.filled <- 0;
+      out)

@@ -11,8 +11,17 @@ val create : int -> 'a t
 val capacity : 'a t -> int
 val length : 'a t -> int
 
+val evicted : 'a t -> int
+(** How many entries have been overwritten because the ring was full —
+    the observability loss counter surfaced on the service stats wire
+    (see {!Service.Metrics}). *)
+
 val push : 'a t -> 'a -> unit
 (** Appends, evicting the oldest entry when full. *)
 
 val to_list : 'a t -> 'a list
 (** Retained entries, oldest first. *)
+
+val drain : 'a t -> 'a list
+(** {!to_list} then empty the ring atomically, keeping the {!evicted}
+    counter.  The span spool is drained this way by [cmd:spans]. *)

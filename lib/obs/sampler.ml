@@ -1,0 +1,201 @@
+(* Tail-based sampling flight recorder.
+
+   Head sampling decides before a request runs and so keeps the wrong
+   traces under incident load; tail sampling decides after the outcome
+   is known.  Every "interesting" trace — slow past the threshold,
+   errored, shed, degraded, retried, chaos-affected — is always
+   retained (bounded by a FIFO over [capacity]), and healthy traces
+   are kept at 1-in-[sample_one_in] from a seeded PRNG so the recorder
+   also shows what normal looks like.
+
+   Retention is keyed by trace id: a retry lands in the same
+   distributed trace as the attempt it retries, so a re-offer merges
+   the new pieces into the retained entry and upgrades it with a
+   "retried" flag.  An offer for an id that was already passed over
+   is re-evaluated from scratch — that can only happen for retries,
+   and a retry means the first attempt failed, which had already
+   flagged it; healthy traces are offered exactly once.
+
+   Single-domain (confined to the router's event loop). *)
+
+type entry = {
+  e_trace_id : string;
+  mutable e_flags : string list;  (* why retained; [] = healthy sample *)
+  mutable e_assembled : Collector.assembled;
+  mutable e_offers : int;
+}
+
+type t = {
+  capacity : int;
+  sample_capacity : int;
+  sample_one_in : int;
+  slow_ms : float;
+  prng : Util.Prng.t;
+  tbl : (string, entry) Hashtbl.t;
+  flagged_q : string Queue.t;  (* eviction order; lazily pruned *)
+  sampled_q : string Queue.t;
+  mutable n_flagged : int;  (* retained entries per class *)
+  mutable n_sampled : int;
+  mutable seen : int;  (* distinct trace ids offered *)
+  mutable flagged_seen : int;
+  mutable flagged_evicted : int;
+  mutable sampled_evicted : int;
+  mutable passed : int;  (* healthy, not sampled *)
+}
+
+let create ?(capacity = 4096) ?(sample_capacity = 256) ?(sample_one_in = 16)
+    ?(slow_ms = 250.0) ~seed () =
+  if capacity < 1 || sample_capacity < 1 || sample_one_in < 1 then
+    invalid_arg "Sampler.create: capacities and sample_one_in must be >= 1";
+  {
+    capacity;
+    sample_capacity;
+    sample_one_in;
+    slow_ms;
+    prng = Util.Prng.create ~seed;
+    tbl = Hashtbl.create 256;
+    flagged_q = Queue.create ();
+    sampled_q = Queue.create ();
+    n_flagged = 0;
+    n_sampled = 0;
+    seen = 0;
+    flagged_seen = 0;
+    flagged_evicted = 0;
+    sampled_evicted = 0;
+    passed = 0;
+  }
+
+let slow_ms t = t.slow_ms
+
+let is_flagged e = e.e_flags <> []
+
+(* Entries whose ids sit in a queue but are no longer retained under
+   that class (evicted, or upgraded flagged) are skipped when they
+   reach the head. *)
+let rec evict_from t q ~flagged =
+  match Queue.take_opt q with
+  | None -> ()
+  | Some id -> (
+      match Hashtbl.find_opt t.tbl id with
+      | Some e when is_flagged e = flagged ->
+          Hashtbl.remove t.tbl id;
+          if flagged then begin
+            t.n_flagged <- t.n_flagged - 1;
+            t.flagged_evicted <- t.flagged_evicted + 1
+          end
+          else begin
+            t.n_sampled <- t.n_sampled - 1;
+            t.sampled_evicted <- t.sampled_evicted + 1
+          end
+      | _ -> evict_from t q ~flagged (* stale queue entry; skip *))
+
+let retain t e ~flagged =
+  Hashtbl.replace t.tbl e.e_trace_id e;
+  let q = if flagged then t.flagged_q else t.sampled_q in
+  Queue.add e.e_trace_id q;
+  if flagged then begin
+    t.n_flagged <- t.n_flagged + 1;
+    if t.n_flagged > t.capacity then evict_from t q ~flagged
+  end
+  else begin
+    t.n_sampled <- t.n_sampled + 1;
+    if t.n_sampled > t.sample_capacity then evict_from t q ~flagged
+  end
+
+let offer t ?(flags = []) ~latency_ms ~ok (assembled : Collector.assembled) =
+  let flags = if latency_ms > t.slow_ms then "slow" :: flags else flags in
+  let flags = if not ok && flags = [] then [ "errored" ] else flags in
+  match Hashtbl.find_opt t.tbl assembled.Collector.a_trace_id with
+  | Some e ->
+      let was_flagged = is_flagged e in
+      e.e_offers <- e.e_offers + 1;
+      e.e_assembled <- Collector.merge_assembled e.e_assembled assembled;
+      let add =
+        List.filter (fun f -> not (List.mem f e.e_flags)) ("retried" :: flags)
+      in
+      e.e_flags <- e.e_flags @ add;
+      if not was_flagged then begin
+        (* upgraded out of the healthy sample into the flagged class *)
+        t.flagged_seen <- t.flagged_seen + 1;
+        t.n_sampled <- t.n_sampled - 1;
+        t.n_flagged <- t.n_flagged + 1;
+        Queue.add e.e_trace_id t.flagged_q;
+        if t.n_flagged > t.capacity then evict_from t t.flagged_q ~flagged:true
+      end
+  | None ->
+      t.seen <- t.seen + 1;
+      let e =
+        {
+          e_trace_id = assembled.Collector.a_trace_id;
+          e_flags = flags;
+          e_assembled = assembled;
+          e_offers = 1;
+        }
+      in
+      if flags <> [] then begin
+        t.flagged_seen <- t.flagged_seen + 1;
+        retain t e ~flagged:true
+      end
+      else if Util.Prng.int t.prng ~bound:t.sample_one_in = 0 then
+        retain t e ~flagged:false
+      else t.passed <- t.passed + 1
+
+(* Late-arriving pieces (worker spans drained via cmd:spans after the
+   trace was already offered) join the retained entry; pieces for
+   traces the sampler passed over are dropped, which is the point. *)
+let merge_late t (assembled : Collector.assembled) =
+  match Hashtbl.find_opt t.tbl assembled.Collector.a_trace_id with
+  | Some e ->
+      e.e_assembled <- Collector.merge_assembled e.e_assembled assembled;
+      true
+  | None -> false
+
+let retained t =
+  (* stable dump order: flagged first (arrival order), then samples *)
+  let emit q flagged seen =
+    Queue.fold
+      (fun acc id ->
+        if Hashtbl.mem seen id then acc
+        else
+          match Hashtbl.find_opt t.tbl id with
+          | Some e when is_flagged e = flagged ->
+              Hashtbl.add seen id ();
+              (e.e_flags, e.e_assembled) :: acc
+          | _ -> acc)
+      [] q
+    |> List.rev
+  in
+  let seen = Hashtbl.create 64 in
+  emit t.flagged_q true seen @ emit t.sampled_q false seen
+
+let counters t =
+  [
+    ("traces_seen", t.seen);
+    ("flagged", t.flagged_seen);
+    ("flagged_retained", t.n_flagged);
+    ("flagged_evicted", t.flagged_evicted);
+    ("sampled_retained", t.n_sampled);
+    ("sampled_evicted", t.sampled_evicted);
+    ("passed", t.passed);
+  ]
+
+let flight_json t =
+  let entries = retained t in
+  let chrome = Collector.chrome_json (List.map snd entries) in
+  let open Util.Json in
+  let extra =
+    [
+      ( "sampler",
+        Obj (List.map (fun (k, v) -> (k, Int v)) (counters t)) );
+      ( "flags",
+        Obj
+          (List.map
+             (fun (flags, a) ->
+               ( a.Collector.a_trace_id,
+                 List (List.map (fun f -> String f) flags) ))
+             entries) );
+    ]
+  in
+  match chrome with
+  | Obj fields -> Obj (fields @ extra)
+  | other -> other

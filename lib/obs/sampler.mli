@@ -1,0 +1,68 @@
+(** Tail-based sampling flight recorder over assembled distributed
+    traces.
+
+    Decisions happen after a request's outcome is known: traces that
+    are slow (latency above the threshold), errored, shed, degraded,
+    retried, or chaos-affected are {b always} retained (FIFO-bounded
+    by [capacity]); healthy traces are kept at 1-in-[sample_one_in]
+    from a seeded PRNG, bounded separately by [sample_capacity], so
+    the recorder also shows what normal looked like.
+
+    Retention is keyed by trace id.  A retry reuses its predecessor's
+    distributed trace id, so re-offering an id merges the new attempt's
+    pieces into the retained entry and upgrades it with a ["retried"]
+    flag.  The tail-sampler invariant CI asserts: as long as
+    [flagged_evicted] stays 0, every flagged trace ever offered is in
+    the recorder ([flagged = flagged_retained]).
+
+    Confine to one domain (the router's event loop). *)
+
+type t
+
+val create :
+  ?capacity:int ->
+  ?sample_capacity:int ->
+  ?sample_one_in:int ->
+  ?slow_ms:float ->
+  seed:int ->
+  unit ->
+  t
+(** Defaults: [capacity = 4096] flagged traces, [sample_capacity =
+    256] healthy samples, [sample_one_in = 16], [slow_ms = 250].
+    Raises [Invalid_argument] on non-positive bounds. *)
+
+val slow_ms : t -> float
+
+val offer :
+  t ->
+  ?flags:string list ->
+  latency_ms:float ->
+  ok:bool ->
+  Collector.assembled ->
+  unit
+(** Judge one completed trace.  [flags] carries the caller's verdicts
+    (["shed"], ["degraded"], ["failed"], ["chaos"], ...); the sampler
+    adds ["slow"] from the latency threshold, ["errored"] when [ok] is
+    false and nothing else explains it, and ["retried"] on re-offers
+    of a retained id.  Flagged traces always retain; healthy ones
+    sample probabilistically. *)
+
+val merge_late : t -> Collector.assembled -> bool
+(** Attach late-drained pieces (worker spans from [cmd:spans]) to an
+    already-retained trace; [false] if the trace was not retained —
+    the pieces are dropped, which is the sampling decision applying
+    to them too. *)
+
+val retained : t -> (string list * Collector.assembled) list
+(** Everything in the recorder with its flags: flagged traces first in
+    arrival order, then the healthy samples. *)
+
+val counters : t -> (string * int) list
+(** [traces_seen], [flagged], [flagged_retained], [flagged_evicted],
+    [sampled_retained], [sampled_evicted], [passed]. *)
+
+val flight_json : t -> Util.Json.t
+(** The flight-recorder dump: a loadable Chrome trace over every
+    retained trace ({!Collector.chrome_json}) with two extra top-level
+    keys viewers ignore — ["sampler"] (the counters) and ["flags"]
+    (trace id to retention flags). *)

@@ -1,0 +1,77 @@
+(** SLO burn-rate engine over cumulative service counters and the
+    lossless merged latency histograms.
+
+    An {!objective} is availability ("99.9% of requests answer ok") or
+    latency ("99% of requests answer within the threshold").  The
+    engine is fed cumulative totals with {!observe} — the router calls
+    it with its answered/good counters and its request-latency
+    histogram — and keeps timestamped snapshots at [granularity_s]
+    spacing, bounded by the largest window.  {!report} diffs now
+    against the newest snapshot at least one window old (the whole
+    history while a window is still filling) and derives the
+    {b burn rate}: observed bad fraction over budgeted bad fraction
+    [(1 - target)].  Burn 1.0 consumes the budget exactly as fast as
+    allowed; 14.4 over 5 minutes is the classic page-now threshold.
+
+    Time comes from the injected [now] function (seconds), so tests
+    drive a virtual clock.  Single-domain. *)
+
+type kind = Availability | Latency of float  (** good iff <= threshold ms *)
+type objective = private { o_name : string; o_target : float; o_kind : kind }
+
+val availability : ?name:string -> float -> objective
+(** Availability objective at the given target fraction (in (0,1)).
+    Raises [Invalid_argument] otherwise. *)
+
+val latency : ?name:string -> threshold_ms:float -> float -> objective
+(** Latency objective: the target fraction of requests must answer in
+    [threshold_ms].  Default name [latency_le_<t>ms]. *)
+
+type t
+
+val default_windows_s : float list
+(** [300; 3600] — 5 minutes and 1 hour. *)
+
+val create :
+  ?windows_s:float list ->
+  ?granularity_s:float ->
+  ?now:(unit -> float) ->
+  objective list ->
+  t
+(** Raises [Invalid_argument] on an empty objective list or
+    non-positive windows/granularity.  [granularity_s] defaults to 5. *)
+
+val objectives : t -> objective list
+val windows_s : t -> float list
+
+val observe : t -> good:int -> total:int -> latency:Histogram.t -> unit
+(** Feed the current {b cumulative} totals: [good]/[total] drive the
+    availability objectives; latency objectives read
+    {!Histogram.count_le} at their thresholds off [latency] (the
+    merged, monotonically growing histogram).  Snapshots are taken at
+    most every [granularity_s]. *)
+
+type window_report = {
+  r_window_s : float;
+  r_good : float;
+  r_total : float;
+  r_bad_frac : float;
+  r_burn : float;  (** bad fraction / (1 - target) *)
+  r_budget_remaining : float;  (** 1 - burn; negative = budget blown *)
+}
+
+val report : t -> (objective * window_report list) list
+val report_json : t -> Util.Json.t
+val report_text : t -> string
+
+val text_of_json : Util.Json.t -> (string, string) result
+(** Render a {!report_json}-shaped value as the {!report_text} table —
+    [chimera slo] uses it to pretty-print reports produced by another
+    process (a loadgen [--json] report's ["slo"] member, a fleet
+    [cmd:slo] answer). *)
+
+val to_prometheus : t -> string
+(** Conformant gauge exposition: [chimera_slo_target],
+    [chimera_slo_burn_rate], [chimera_slo_error_budget_remaining],
+    [chimera_slo_window_good], [chimera_slo_window_total], each with
+    one [# HELP] / [# TYPE] pair and objective (+ window) labels. *)

@@ -22,6 +22,8 @@ type t = {
   mutable verify_uncertifiable_total : int;
   mutable plan_evals_total : int;
   mutable plan_perms_pruned_total : int;
+  mutable trace_spans_dropped : int;
+  mutable trace_ring_evictions : int;
   solve_ms : Obs.Histogram.t;
   cache_lookup_ms : Obs.Histogram.t;
   perm_solve_ms : Obs.Histogram.t;
@@ -55,6 +57,8 @@ let create () =
     verify_uncertifiable_total = 0;
     plan_evals_total = 0;
     plan_perms_pruned_total = 0;
+    trace_spans_dropped = 0;
+    trace_ring_evictions = 0;
     solve_ms = Obs.Histogram.create ();
     cache_lookup_ms = Obs.Histogram.create ();
     perm_solve_ms = Obs.Histogram.create ();
@@ -87,6 +91,8 @@ let reset t =
   t.verify_uncertifiable_total <- 0;
   t.plan_evals_total <- 0;
   t.plan_perms_pruned_total <- 0;
+  t.trace_spans_dropped <- 0;
+  t.trace_ring_evictions <- 0;
   Obs.Histogram.reset t.solve_ms;
   Obs.Histogram.reset t.cache_lookup_ms;
   Obs.Histogram.reset t.perm_solve_ms;
@@ -127,6 +133,8 @@ let fields t =
     ("verify_uncertifiable_total", Counter t.verify_uncertifiable_total);
     ("plan_evals_total", Counter t.plan_evals_total);
     ("plan_perms_pruned_total", Counter t.plan_perms_pruned_total);
+    ("trace_spans_dropped", Counter t.trace_spans_dropped);
+    ("trace_ring_evictions", Counter t.trace_ring_evictions);
     ("solve_ms", Hist t.solve_ms);
     ("cache_lookup_ms", Hist t.cache_lookup_ms);
     ("perm_solve_ms", Hist t.perm_solve_ms);
@@ -179,6 +187,10 @@ let merge ~into src =
   into.plan_evals_total <- into.plan_evals_total + src.plan_evals_total;
   into.plan_perms_pruned_total <-
     into.plan_perms_pruned_total + src.plan_perms_pruned_total;
+  into.trace_spans_dropped <-
+    into.trace_spans_dropped + src.trace_spans_dropped;
+  into.trace_ring_evictions <-
+    into.trace_ring_evictions + src.trace_ring_evictions;
   Obs.Histogram.merge ~into:into.solve_ms src.solve_ms;
   Obs.Histogram.merge ~into:into.cache_lookup_ms src.cache_lookup_ms;
   Obs.Histogram.merge ~into:into.perm_solve_ms src.perm_solve_ms;
@@ -259,6 +271,12 @@ let of_wire_json json =
     counter "plan_perms_pruned_total" (fun n ->
         t.plan_perms_pruned_total <- n)
   in
+  let* () =
+    counter "trace_spans_dropped" (fun n -> t.trace_spans_dropped <- n)
+  in
+  let* () =
+    counter "trace_ring_evictions" (fun n -> t.trace_ring_evictions <- n)
+  in
   let* () = hist "solve_ms" t.solve_ms in
   let* () = hist "cache_lookup_ms" t.cache_lookup_ms in
   let* () = hist "perm_solve_ms" t.perm_solve_ms in
@@ -314,9 +332,11 @@ let to_json t =
 
 (* Prometheus text exposition.  Counters become [chimera_<name>],
    histograms the conventional _bucket{le=...}/_sum/_count triple with
-   cumulative bucket counts.  [labels] (e.g. [("worker", "3")]) are
-   attached to every series, so a fleet can expose per-worker series
-   alongside the merged unlabelled ones without name collisions. *)
+   cumulative bucket counts.  The exposition format requires at most
+   one [# HELP]/[# TYPE] pair per metric name in a scrape, so
+   multi-instance expositions (merged fleet metrics next to per-worker
+   labelled series) go through {!to_prometheus_many}, which groups all
+   instances' series under a single header per metric. *)
 let escape_label_value v =
   let buf = Buffer.create (String.length v) in
   String.iter
@@ -328,47 +348,129 @@ let escape_label_value v =
     v;
   Buffer.contents buf
 
-let to_prometheus ?(labels = []) t =
-  let label_body extra =
-    match
-      List.map
-        (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
-        (labels @ extra)
-    with
-    | [] -> ""
-    | parts -> "{" ^ String.concat "," parts ^ "}"
-  in
-  let plain = label_body [] in
-  let buf = Buffer.create 4096 in
-  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
-  List.iter
-    (fun (name, v) ->
-      let metric = "chimera_" ^ name in
-      match v with
-      | Counter n ->
-          line "# TYPE %s counter" metric;
-          line "%s%s %d" metric plain n
-      | Gauge f ->
-          line "# TYPE %s gauge" metric;
-          line "%s%s %s" metric plain (Printf.sprintf "%.6f" f)
-      | Hist h ->
-          line "# TYPE %s histogram" metric;
-          let bounds = Obs.Histogram.bounds h in
-          let counts = Obs.Histogram.counts h in
-          let cum = ref 0 in
-          Array.iteri
-            (fun i upper ->
-              cum := !cum + counts.(i);
-              line "%s_bucket%s %d" metric
-                (label_body [ ("le", Printf.sprintf "%.9g" upper) ])
-                !cum)
-            bounds;
-          line "%s_bucket%s %d" metric
-            (label_body [ ("le", "+Inf") ])
-            (Obs.Histogram.count h);
-          line "%s_sum%s %.6f" metric plain (Obs.Histogram.sum_ms h);
-          line "%s_count%s %d" metric plain (Obs.Histogram.count h))
-    (fields t);
+let help name =
+  match name with
+  | "requests" -> "Optimization requests processed."
+  | "cache_hits" -> "Plan-cache hits."
+  | "cache_misses" -> "Plan-cache misses."
+  | "evictions" -> "Plan-cache LRU evictions."
+  | "planner_solves" -> "Sub-chains actually planned."
+  | "degraded" -> "Requests served below the requested degradation rung."
+  | "heuristic" -> "Requests served by heuristic tiling (last rung)."
+  | "failed" -> "Requests that produced no plan."
+  | "invalid_requests" -> "Requests rejected by validation."
+  | "deadline_exceeded" -> "Requests whose planning budget expired."
+  | "internal_errors" -> "Unexpected errors answered as internal."
+  | "cache_corrupt" -> "Persisted cache files discarded on load."
+  | "cache_entries_skipped" ->
+      "Cache frames dropped on load (CRC failure or torn write)."
+  | "cache_io_retries" -> "Cache persistence attempts retried after I/O faults."
+  | "cache_entries_migrated" ->
+      "Entries skipped on load from older cache file versions."
+  | "verify_runs" -> "Responses run through the static-analysis passes."
+  | "verify_warnings" -> "Verified responses with warnings only."
+  | "verify_failures" ->
+      "Verified responses with error-severity diagnostics."
+  | "verify_certified_total" ->
+      "Verified responses with a checked unconditional certificate."
+  | "verify_conditional_total" ->
+      "Verified responses served on a conditional certificate."
+  | "verify_uncertifiable_total" ->
+      "Verified responses with at least one uncertified plan."
+  | "plan_evals_total" -> "DV/MU cost-model evaluations."
+  | "plan_perms_pruned_total" ->
+      "Execution orders skipped by branch-and-bound pruning."
+  | "trace_spans_dropped" ->
+      "Spans discarded because a request trace hit its max_spans bound."
+  | "trace_ring_evictions" ->
+      "Buffered traces overwritten in the bounded serve-side rings."
+  | "solve_ms" -> "End-to-end planning latency of cache misses (ms)."
+  | "cache_lookup_ms" -> "Plan-cache probe latency (ms)."
+  | "perm_solve_ms" -> "Per-execution-order solver descent latency (ms)."
+  | "tuner_trial_ms" -> "Per-trial tuner measurement latency (ms)."
+  | "codegen_ms" -> "Kernel materialization latency (ms)."
+  | "verify_ms" -> "Static-analysis verification latency (ms)."
+  | "compile_seconds" -> "Deprecated: sum(solve_ms)/1000."
+  | "plan_solve_ms_total" -> "Deprecated: sum(solve_ms)."
+  | _ -> "Chimera service metric."
+
+let escape_help v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
   Buffer.contents buf
+
+let to_prometheus_many instances =
+  match instances with
+  | [] -> ""
+  | (_, first) :: _ ->
+      let buf = Buffer.create 4096 in
+      let line fmt =
+        Printf.ksprintf
+          (fun s ->
+            Buffer.add_string buf s;
+            Buffer.add_char buf '\n')
+          fmt
+      in
+      let label_body labels =
+        match
+          List.map
+            (fun (k, v) ->
+              Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+            labels
+        with
+        | [] -> ""
+        | parts -> "{" ^ String.concat "," parts ^ "}"
+      in
+      (* [fields] always returns the same metrics in the same order, so
+         walking the first instance's field list names every metric;
+         each instance's series for that metric are grouped under one
+         HELP/TYPE header. *)
+      List.iteri
+        (fun fi (name, v0) ->
+          let metric = "chimera_" ^ name in
+          let ty =
+            match v0 with
+            | Counter _ -> "counter"
+            | Gauge _ -> "gauge"
+            | Hist _ -> "histogram"
+          in
+          line "# HELP %s %s" metric (escape_help (help name));
+          line "# TYPE %s %s" metric ty;
+          List.iter
+            (fun (labels, t) ->
+              match List.nth (fields t) fi with
+              | _, Counter n -> line "%s%s %d" metric (label_body labels) n
+              | _, Gauge f ->
+                  line "%s%s %s" metric (label_body labels)
+                    (Printf.sprintf "%.6f" f)
+              | _, Hist h ->
+                  let bounds = Obs.Histogram.bounds h in
+                  let counts = Obs.Histogram.counts h in
+                  let cum = ref 0 in
+                  Array.iteri
+                    (fun i upper ->
+                      cum := !cum + counts.(i);
+                      line "%s_bucket%s %d" metric
+                        (label_body
+                           (labels @ [ ("le", Printf.sprintf "%.9g" upper) ]))
+                        !cum)
+                    bounds;
+                  line "%s_bucket%s %d" metric
+                    (label_body (labels @ [ ("le", "+Inf") ]))
+                    (Obs.Histogram.count h);
+                  line "%s_sum%s %.6f" metric (label_body labels)
+                    (Obs.Histogram.sum_ms h);
+                  line "%s_count%s %d" metric (label_body labels)
+                    (Obs.Histogram.count h))
+            instances)
+        (fields first);
+      Buffer.contents buf
+
+let to_prometheus ?(labels = []) t = to_prometheus_many [ (labels, t) ]
 
 let print t = Util.Table.print (to_table t)

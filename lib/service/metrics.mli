@@ -68,6 +68,13 @@ type t = {
   mutable plan_perms_pruned_total : int;
       (** block execution orders skipped by the planner's
           branch-and-bound gate. *)
+  mutable trace_spans_dropped : int;
+      (** spans discarded because a request trace hit its [max_spans]
+          bound, summed over served traces (see {!Obs.Trace.dropped}). *)
+  mutable trace_ring_evictions : int;
+      (** buffered traces overwritten in the bounded serve-side rings
+          (the [cmd:traces] ring and the shipped-span spool) before
+          anyone drained them (see {!Obs.Ring.evicted}). *)
   solve_ms : Obs.Histogram.t;
       (** end-to-end planning latency of cache misses (the ["solve"]
           span: ladder descent, all levels, tuner included). *)
@@ -120,10 +127,22 @@ val to_json : t -> Util.Json.t
 
 val to_prometheus : ?labels:(string * string) list -> t -> string
 (** Prometheus text exposition: [chimera_]-prefixed counters and
-    cumulative [_bucket{le=...}]/[_sum]/[_count] histogram series.
-    [labels] (e.g. [[("worker", "3")]]) are attached to every series —
-    values are escaped per the exposition format — letting a fleet
-    expose per-worker series next to merged unlabelled ones. *)
+    cumulative [_bucket{le=...}]/[_sum]/[_count] histogram series, each
+    metric preceded by its [# HELP] / [# TYPE] header.  [labels]
+    (e.g. [[("worker", "3")]]) are attached to every series — values
+    are escaped per the exposition format.  Equivalent to
+    {!to_prometheus_many}[ [(labels, t)]]. *)
+
+val to_prometheus_many : ((string * string) list * t) list -> string
+(** Conformant multi-instance exposition: the exposition format allows
+    at most one [# HELP]/[# TYPE] pair per metric name in a scrape, so
+    a fleet exposing merged unlabelled series next to per-worker
+    labelled ones must group them.  Emits, for each metric, one header
+    followed by that metric's series from every [(labels, t)] instance
+    in order. *)
+
+val help : string -> string
+(** One-line [# HELP] text for a {!fields} metric name. *)
 
 val merge : into:t -> t -> unit
 (** Add [src]'s counters into [into] and losslessly merge its latency

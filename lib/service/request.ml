@@ -8,11 +8,24 @@ type t = {
   tuner : bool;
   deadline_ms : float option;
   timings : bool;
+  traceparent : string option;
 }
 
 let make ?(softmax = false) ?(relu = false) ?batch ?(fusion = true)
-    ?(tuner = false) ?deadline_ms ?(timings = false) ~workload ~arch () =
-  { workload; arch; softmax; relu; batch; fusion; tuner; deadline_ms; timings }
+    ?(tuner = false) ?deadline_ms ?(timings = false) ?traceparent ~workload
+    ~arch () =
+  {
+    workload;
+    arch;
+    softmax;
+    relu;
+    batch;
+    fusion;
+    tuner;
+    deadline_ms;
+    timings;
+    traceparent;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Validation limits                                                   *)
@@ -146,6 +159,7 @@ let of_json json =
               deadline_ms =
                 Option.bind (member "deadline_ms" json) to_float_opt;
               timings = flag "timings" false;
+              traceparent = str "traceparent";
             })
   | _ -> Error "request must be a JSON object"
 
@@ -164,7 +178,11 @@ let to_json t =
     @ (match t.deadline_ms with
       | Some d -> [ ("deadline_ms", Float d) ]
       | None -> [])
-    @ if t.timings then [ ("timings", Bool true) ] else [])
+    @ (if t.timings then [ ("timings", Bool true) ] else [])
+    @
+    match t.traceparent with
+    | Some tp -> [ ("traceparent", String tp) ]
+    | None -> [])
 
 let all_gemm_x_arch () =
   List.concat_map

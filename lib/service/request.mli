@@ -42,6 +42,13 @@ type t = {
           (per-phase totals from the request's trace) to the response.
           Response-shape only: excluded from the cache fingerprint
           because it never affects planning. *)
+  traceparent : string option;
+      (** W3C-style trace context ([00-<trace id>-<parent span
+          id>-01], see {!Obs.Trace.of_wire}) injected by the router or
+          load generator.  The serve loop parents its request trace
+          under it and ships completed spans back.  Observability
+          only: excluded from the cache fingerprint; malformed values
+          are ignored, never a request error. *)
 }
 
 val max_stages : int
@@ -54,9 +61,11 @@ val max_axis_extent : int
 val make :
   ?softmax:bool -> ?relu:bool -> ?batch:int -> ?fusion:bool ->
   ?tuner:bool -> ?deadline_ms:float -> ?timings:bool ->
+  ?traceparent:string ->
   workload:string -> arch:string -> unit -> t
 (** Defaults: no softmax, no relu, table batch size, fusion on,
-    analytical cost model (no tuner), no deadline, no timings. *)
+    analytical cost model (no tuner), no deadline, no timings, no
+    trace context. *)
 
 val resolve : t -> (Ir.Chain.t * Arch.Machine.t, Error.t) result
 (** Validate the request, build the chain and look up the machine
@@ -82,9 +91,9 @@ val of_json : Util.Json.t -> (t, string) result
 (** Decode the wire form; unknown fields are ignored. *)
 
 val to_json : t -> Util.Json.t
-(** Encode the wire form ([batch]/[deadline_ms] omitted when [None];
-    [tuner]/[timings] omitted when false, keeping pre-existing encodings
-    byte-identical). *)
+(** Encode the wire form ([batch]/[deadline_ms]/[traceparent] omitted
+    when [None]; [tuner]/[timings] omitted when false, keeping
+    pre-existing encodings byte-identical). *)
 
 val all_gemm_x_arch : unit -> t list
 (** Every Table-IV GEMM chain on every machine preset — G1–G12 x

@@ -19,7 +19,7 @@ let timings_json trace =
        (fun (name, ms) -> (name, Util.Json.Float ms))
        (Obs.Trace.phase_totals_ms trace))
 
-let response_json ?id ?timings_of req (r : Batch.response) =
+let response_json ?id ?timings_of ?ship req (r : Batch.response) =
   let open Util.Json in
   let id_field = match id with Some v -> [ ("id", v) ] | None -> [] in
   Obj
@@ -61,16 +61,21 @@ let response_json ?id ?timings_of req (r : Batch.response) =
     (match r.Batch.certificate with
     | Some verdict -> [ ("certificate", String verdict) ]
     | None -> [])
-    @
-    (* The verification field only appears when the passes ran, so
-       clients that never ask for verification see an unchanged schema. *)
-    match r.Batch.verification with
+    @ (* The verification field only appears when the passes ran, so
+         clients that never ask for verification see an unchanged
+         schema. *)
+    (match r.Batch.verification with
     | [] -> []
     | ds ->
         [
           ( "verification",
             List (List.map Verify.Diagnostic.to_json ds) );
         ])
+    @
+    (* Completed spans ride back piggybacked on the response when the
+       request carried a trace context, so the router can assemble the
+       distributed trace without an extra round trip. *)
+    match ship with Some s -> [ ("trace", s) ] | None -> [])
 
 let default_trace_ring = 32
 
@@ -90,6 +95,18 @@ let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir
   (* The last N request traces, dumpable with {"cmd": "traces"} —
      bounded memory however long the server runs. *)
   let ring : Obs.Trace.t Obs.Ring.t = Obs.Ring.create trace_ring in
+  (* Ship payloads for traced requests whose response could not carry
+     them (error responses keep their wire schema).  The router drains
+     this with {"cmd": "spans"} on its health sweep; bounded, so an
+     undrained spool costs memory never growth — evictions are counted
+     into [trace_ring_evictions]. *)
+  let span_spool : Util.Json.t Obs.Ring.t =
+    Obs.Ring.create (Int.max 64 trace_ring)
+  in
+  let note_trace_loss () =
+    metrics.Metrics.trace_ring_evictions <-
+      Obs.Ring.evicted ring + Obs.Ring.evicted span_spool
+  in
   (* A discarded (corrupt/stale) cache file is a cold start, not a
      failure; it is already counted in [metrics.cache_corrupt] and the
      reason goes to the structured log so operators can see it without
@@ -158,7 +175,21 @@ let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir
             let deadline =
               Request.deadline_of ?default_ms:default_deadline_ms req
             in
-            let trace = Obs.Trace.make ~label:(Request.describe req) () in
+            let label = Request.describe req in
+            (* A well-formed traceparent parents this request's trace
+               under the router's span; a malformed one is ignored (a
+               broken header must never fail the request). *)
+            let remote =
+              Option.bind req.Request.traceparent (fun tp ->
+                  match Obs.Trace.of_wire tp with
+                  | Ok r -> Some r
+                  | Error _ -> None)
+            in
+            let trace =
+              match remote with
+              | Some r -> Obs.Trace.adopt ~label r
+              | None -> Obs.Trace.make ~label ()
+            in
             let result =
               Batch.compile ~cache ~metrics ~config ?deadline ~pool ~verify
                 ~obs:trace ~machine chain
@@ -166,6 +197,9 @@ let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir
             (* Failed requests keep their trace too: the ring is a
                debugging aid, and failures are what it is for. *)
             Obs.Ring.push ring trace;
+            metrics.Metrics.trace_spans_dropped <-
+              metrics.Metrics.trace_spans_dropped + Obs.Trace.dropped trace;
+            note_trace_loss ();
             match result with
             | Ok r ->
                 Obs.Log.info ~trace:(Obs.Trace.id trace) "request.done"
@@ -185,6 +219,10 @@ let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir
                   (response_json ?id
                      ?timings_of:(if req.Request.timings then Some trace
                                   else None)
+                     ?ship:
+                       (if remote <> None then
+                          Some (Obs.Trace.to_ship_json trace)
+                        else None)
                      req r);
                 (* Write-back on change so a restarted server is warm. *)
                 persist ()
@@ -194,6 +232,13 @@ let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir
                     ("request", Util.Json.String (Request.describe req));
                     ("error", Util.Json.String (Error.to_string e));
                   ];
+                (* Error responses keep their wire schema, so the spans
+                   of a traced failure wait in the spool for the
+                   router's next [cmd:spans] drain. *)
+                if remote <> None then begin
+                  Obs.Ring.push span_spool (Obs.Trace.to_ship_json trace);
+                  note_trace_loss ()
+                end;
                 emit_error ?id e))
   in
   let handle_line line =
@@ -247,6 +292,20 @@ let run ?cache ?metrics ?(config = Chimera.Config.default) ?cache_dir
                      match !last_error with
                      | Some e -> Util.Json.String e
                      | None -> Util.Json.Null );
+                 ]);
+            `Continue
+        | Some "spans" ->
+            (* Drain the shipped-span spool: the completed traces of
+               error responses (whose schema cannot carry a ["trace"]
+               field).  The router calls this on its health sweep and
+               at shutdown so flagged traces reach the flight recorder. *)
+            let payloads = Obs.Ring.drain span_spool in
+            emit
+              (Util.Json.Obj
+                 [
+                   ("ok", Util.Json.Bool true);
+                   ("count", Util.Json.Int (List.length payloads));
+                   ("spans", Util.Json.List payloads);
                  ]);
             `Continue
         | Some "traces" ->

@@ -16,8 +16,9 @@
     the loop is serial, so receiving the reply at all is the liveness
     signal and [inflight] is zero by construction), [{"cmd": "traces"}]
     dumps the in-process ring of recent request traces (see
-    {!Obs.Trace.to_json}), and [{"cmd": "quit"}] acknowledges and ends
-    the loop (EOF also ends it).  Blank lines are ignored.
+    {!Obs.Trace.to_json}), [{"cmd": "spans"}] drains the shipped-span
+    spool (below), and [{"cmd": "quit"}] acknowledges and ends the
+    loop (EOF also ends it).  Blank lines are ignored.
 
     {2 Observability}
 
@@ -30,6 +31,21 @@
     schema.  Request outcomes and cache lifecycle events go to the
     structured JSONL log on stderr ({!Obs.Log}, enabled with
     [CHIMERA_LOG] or [--log-level]).
+
+    {2 Distributed tracing}
+
+    A request carrying a well-formed ["traceparent"] (the router's or
+    load generator's trace context, {!Obs.Trace.of_wire}) has its
+    trace {e adopted} into that distributed trace: same trace id, root
+    span parented under the remote span.  Successful responses then
+    carry the completed spans back piggybacked as a ["trace"] field
+    ({!Obs.Trace.to_ship_json}); error responses keep their error
+    schema, so their ship payloads wait in a bounded spool that
+    [{"cmd": "spans"}] drains ([{"ok": true, "count", "spans": [...]}]).
+    A malformed traceparent is ignored — never a request error.  Span
+    loss is visible on the stats wire: [trace_spans_dropped] counts
+    spans past a trace's [max_spans] bound, [trace_ring_evictions]
+    counts ring/spool entries overwritten before being read.
 
     {2 Resilience}
 

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Check the tail-sampler invariant on a flight-recorder dump.
+
+The flight recorder (`chimera fleet --flight-dir`, `chimera loadgen
+--trace-out`, or the `cmd:flight` verb) must retain *every* flagged
+trace — slow, errored, shed, deadline, degraded, retried,
+chaos-affected — while probabilistically sampling healthy ones.  This
+script asserts that from the dump's own `sampler` counters:
+
+  * `flagged_evicted == 0` — no interesting trace was pushed out;
+  * `flagged == flagged_retained` — every flagged trace is in the dump;
+  * every trace id listed in `flags` has span events in `traceEvents`.
+
+With `--report loadgen.json` (a `chimera loadgen --json` report) it
+also cross-checks that the sampler flagged at least as many traces as
+the run produced non-ok or degraded-or-recovered logical requests —
+each of those owns a distinct distributed trace, and each must have
+been flagged.
+
+Usage: check_flight.py flight.json [--report loadgen.json]
+Exit code 0 on success, 1 with a diagnostic on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_flight: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("flight")
+    ap.add_argument(
+        "--report",
+        default=None,
+        help="loadgen --json report to cross-check flagged counts against",
+    )
+    args = ap.parse_args()
+
+    doc = load(args.flight)
+    sampler = doc.get("sampler")
+    if not isinstance(sampler, dict):
+        fail("no 'sampler' counters object in the dump")
+    for key in (
+        "traces_seen",
+        "flagged",
+        "flagged_retained",
+        "flagged_evicted",
+        "sampled_retained",
+        "sampled_evicted",
+        "passed",
+    ):
+        if not isinstance(sampler.get(key), int):
+            fail(f"sampler counter {key!r} missing or not an integer")
+
+    if sampler["flagged_evicted"] != 0:
+        fail(
+            f"{sampler['flagged_evicted']} flagged trace(s) were evicted — "
+            f"the tail-sampling retention guarantee is broken"
+        )
+    if sampler["flagged"] != sampler["flagged_retained"]:
+        fail(
+            f"flagged={sampler['flagged']} but "
+            f"flagged_retained={sampler['flagged_retained']}"
+        )
+
+    flags = doc.get("flags")
+    if not isinstance(flags, dict):
+        fail("no 'flags' object in the dump")
+    n_flagged_traces = sum(1 for v in flags.values() if v)
+    if n_flagged_traces != sampler["flagged"]:
+        fail(
+            f"'flags' lists {n_flagged_traces} flagged trace(s) but the "
+            f"sampler says {sampler['flagged']}"
+        )
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("no traceEvents array")
+    dumped = {
+        ev.get("args", {}).get("trace")
+        for ev in events
+        if ev.get("ph") == "B"
+    }
+    for trace_id in flags:
+        if trace_id not in dumped:
+            fail(f"retained trace {trace_id} has no span events in the dump")
+
+    if args.report is not None:
+        report = load(args.report)
+        for key in ("shed", "rejected", "failed", "degraded", "recovered"):
+            if not isinstance(report.get(key), int):
+                fail(f"report counter {key!r} missing or not an integer")
+        # Each terminally non-ok, degraded, or retried-then-recovered
+        # logical request owns a distinct distributed trace, and each
+        # must have been flagged (shed/failed/deadline/degraded/retried).
+        floor = (
+            report["shed"]
+            + report["rejected"]
+            + report["failed"]
+            + report["degraded"]
+            + report["recovered"]
+        )
+        if sampler["flagged"] < floor:
+            fail(
+                f"sampler flagged {sampler['flagged']} trace(s) but the run "
+                f"produced {floor} non-ok/degraded/recovered request(s) — "
+                f"some interesting traces were never flagged"
+            )
+
+    print(
+        f"check_flight: OK: {sampler['flagged']} flagged trace(s) all "
+        f"retained, {sampler['sampled_retained']} healthy sample(s), "
+        f"{sampler['traces_seen']} seen"
+    )
+
+
+if __name__ == "__main__":
+    main()

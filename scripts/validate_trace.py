@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Validate a Chrome trace_event JSON file produced by `chimera trace`.
+"""Validate a Chrome trace_event JSON file produced by `chimera trace`
+(single-process mode) or by the fleet's flight recorder (`--fleet`).
 
 Checks, per (pid, tid) event stream:
   * the file is well-formed JSON with a `traceEvents` array;
@@ -9,7 +10,18 @@ Checks, per (pid, tid) event stream:
   * the span names the compilation pipeline is expected to emit are all
     present (fingerprint, cache lookup, solve, codegen, verify).
 
-Usage: validate_trace.py trace.json [--require NAME ...]
+With `--fleet` the file is a multi-process distributed-trace dump and
+the checks extend to:
+  * every span carries `args.trace`/`args.sid` (the distributed-trace
+    correlation fields);
+  * every worker `request` span has `args.parent_sid` and it binds to
+    a `fleet.request` span of the same trace in a *different* pid —
+    the cross-process parent edge;
+  * every `fleet.request` span carrying `args.parent_sid` binds to a
+    `client.request` span of the same trace;
+  * the dump spans more than one pid (router + at least one worker).
+
+Usage: validate_trace.py trace.json [--fleet] [--require NAME ...]
 Exit code 0 on success, 1 with a diagnostic on the first violation.
 """
 
@@ -26,21 +38,91 @@ DEFAULT_REQUIRED = [
     "verify",
 ]
 
+FLEET_REQUIRED = [
+    "client.request",
+    "fleet.request",
+    "request",
+]
+
 
 def fail(msg):
     print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
 
 
+def check_fleet(spans):
+    """Cross-process parent edges over the collected B spans."""
+    by_trace = {}
+    pids = set()
+    for s in spans:
+        trace = s["args"].get("trace")
+        sid = s["args"].get("sid")
+        if trace is None or sid is None:
+            fail(
+                f"fleet span {s['name']!r} (pid {s['pid']}) missing "
+                f"args.trace/args.sid"
+            )
+        by_trace.setdefault(trace, []).append(s)
+        pids.add(s["pid"])
+
+    if len(pids) < 2:
+        fail(f"fleet dump spans a single pid {sorted(pids)}; expected router + workers")
+
+    n_edges = 0
+    for trace, tspans in by_trace.items():
+        for s in tspans:
+            parent = s["args"].get("parent_sid")
+            if s["name"] == "request":
+                if parent is None:
+                    fail(
+                        f"trace {trace}: worker 'request' span has no "
+                        f"args.parent_sid"
+                    )
+                anchors = [
+                    a
+                    for a in tspans
+                    if a["name"] == "fleet.request" and a["args"]["sid"] == parent
+                ]
+                if not anchors:
+                    fail(
+                        f"trace {trace}: worker 'request' parent_sid={parent} "
+                        f"binds to no 'fleet.request' span"
+                    )
+                if all(a["pid"] == s["pid"] for a in anchors):
+                    fail(
+                        f"trace {trace}: worker 'request' parent edge is not "
+                        f"cross-process (pid {s['pid']})"
+                    )
+                n_edges += 1
+            elif s["name"] == "fleet.request" and parent is not None:
+                if not any(
+                    a["name"] == "client.request" and a["args"]["sid"] == parent
+                    for a in tspans
+                ):
+                    fail(
+                        f"trace {trace}: 'fleet.request' parent_sid={parent} "
+                        f"binds to no 'client.request' span"
+                    )
+                n_edges += 1
+    return len(by_trace), len(pids), n_edges
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("trace")
+    ap.add_argument(
+        "--fleet",
+        action="store_true",
+        help="validate a multi-process flight-recorder dump: correlation "
+        "args and cross-process parent edges",
+    )
     ap.add_argument(
         "--require",
         action="append",
         default=None,
         help="span name that must appear (repeatable); "
-        "defaults to the pipeline phases",
+        "defaults to the pipeline phases (or the client/router/worker "
+        "request spans with --fleet)",
     )
     args = ap.parse_args()
 
@@ -57,6 +139,7 @@ def main():
     stacks = {}  # (pid, tid) -> [name, ...]
     last_ts = {}  # (pid, tid) -> ts
     names = set()
+    spans = []  # B events, for the fleet checks
     n_spans = 0
 
     for i, ev in enumerate(events):
@@ -83,6 +166,14 @@ def main():
             stack.append(ev["name"])
             names.add(ev["name"])
             n_spans += 1
+            spans.append(
+                {
+                    "name": ev["name"],
+                    "pid": ev["pid"],
+                    "tid": ev["tid"],
+                    "args": ev.get("args", {}),
+                }
+            )
         else:
             if not stack:
                 fail(f"event {i}: E {ev['name']!r} with no open B")
@@ -97,14 +188,27 @@ def main():
         if stack:
             fail(f"pid={key[0]} tid={key[1]}: spans left open: {stack}")
 
-    required = args.require if args.require is not None else DEFAULT_REQUIRED
+    if args.require is not None:
+        required = args.require
+    elif args.fleet:
+        required = FLEET_REQUIRED
+    else:
+        required = DEFAULT_REQUIRED
     missing = [n for n in required if n not in names]
     if missing:
         fail(f"required span name(s) absent: {missing} (have {sorted(names)})")
 
+    fleet_note = ""
+    if args.fleet:
+        n_traces, n_pids, n_edges = check_fleet(spans)
+        fleet_note = (
+            f", {n_traces} trace(s) across {n_pids} pid(s), "
+            f"{n_edges} cross-process edge(s)"
+        )
+
     print(
         f"validate_trace: OK: {n_spans} spans, "
-        f"{len(stacks)} thread(s), names {sorted(names)}"
+        f"{len(stacks)} thread(s), names {sorted(names)}{fleet_note}"
     )
 
 

@@ -1120,6 +1120,211 @@ let stability_tests =
           (List.map (Fleet.Ring.lookup !ring) keys = baseline));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Distributed tracing through the router                              *)
+(* ------------------------------------------------------------------ *)
+
+let with_traced_router ?cfg cmds f =
+  let router = Fleet.Router.create ?cfg ~tracing:true cmds in
+  Fun.protect
+    ~finally:(fun () -> Fleet.Router.shutdown ~timeout_s:0.5 router)
+    (fun () -> f router)
+
+(* A client-side trace with one open "client.request" span, plus its
+   traceparent — what the load generator stamps on each request. *)
+let client_span () =
+  let tr = Obs.Trace.make ~label:"client" () in
+  let os =
+    Option.get (Obs.Trace.open_span (Obs.Trace.ctx tr) "client.request")
+  in
+  let tp = Option.get (Obs.Trace.to_wire (Obs.Trace.open_ctx os)) in
+  (tr, os, tp)
+
+let tracing_tests =
+  [
+    slow_case "a traced request runs the whole fleet pipeline" (fun () ->
+        with_traced_router [| real_worker |] (fun router ->
+            check_true "tracing on" (Fleet.Router.tracing_enabled router);
+            let tr, os, tp = client_span () in
+            let req =
+              Service.Request.make ~traceparent:tp ~workload:"G2" ~arch:"cpu"
+                ()
+            in
+            (match Fleet.Router.submit router req with
+            | Fleet.Router.Routed _ -> ()
+            | Fleet.Router.Answered j ->
+                Alcotest.failf "answered synchronously: %s"
+                  (Util.Json.to_string j));
+            (match poll_until ~timeout_s:120.0 router 1 with
+            | [ { Fleet.Router.outcome = Fleet.Router.Reply { json; _ }; _ } ]
+              ->
+                check_true "answered ok"
+                  (jfield "ok" json = Util.Json.Bool true)
+            | _ -> Alcotest.fail "expected one reply");
+            Obs.Trace.close_span os;
+            ignore (Fleet.Router.note_client_trace router tr);
+            (match Fleet.Router.sampler_counters router with
+            | Some counters ->
+                check_true "the trace was judged"
+                  (List.assoc "traces_seen" counters = 1);
+                check_true "judged exactly once"
+                  (List.assoc "flagged" counters
+                   + List.assoc "sampled_retained" counters
+                   + List.assoc "passed" counters
+                  = 1)
+            | None -> Alcotest.fail "no sampler with tracing on");
+            (match Fleet.Router.collector_counters router with
+            | Some counters ->
+                check_int "no ship payload was rejected" 0
+                  (List.assoc "shipped_rejected" counters)
+            | None -> Alcotest.fail "no collector with tracing on");
+            match Fleet.Router.flight_json router with
+            | Some (Util.Json.Obj fields) ->
+                check_true "a chrome trace"
+                  (List.mem_assoc "traceEvents" fields);
+                check_true "with sampler counters"
+                  (List.mem_assoc "sampler" fields)
+            | Some _ -> Alcotest.fail "flight dump is not an object"
+            | None -> Alcotest.fail "no flight dump with tracing on"));
+    case "shed requests are flagged, retained, and join the client span"
+      (fun () ->
+        let cfg =
+          {
+            Fleet.Router.default_config with
+            Fleet.Router.queue_depth = 2;
+            soft_depth = 100;
+          }
+        in
+        with_traced_router ~cfg [| silent_worker |] (fun router ->
+            (* The worker consumes nothing, so the hard band fills and
+               later submissions shed synchronously. *)
+            let shed_clients = ref [] in
+            for b = 1 to 6 do
+              let tr, os, tp = client_span () in
+              let req =
+                Service.Request.make ~traceparent:tp ~batch:b ~workload:"G2"
+                  ~arch:"cpu" ()
+              in
+              match Fleet.Router.submit router req with
+              | Fleet.Router.Routed _ -> Obs.Trace.close_span os
+              | Fleet.Router.Answered json ->
+                  check_true "the shed answer is the typed overload error"
+                    (jfield "code" json = Util.Json.String "overloaded");
+                  Obs.Trace.close_span ~err:true os;
+                  shed_clients := tr :: !shed_clients
+            done;
+            check_true "something shed" (!shed_clients <> []);
+            List.iter
+              (fun tr ->
+                check_true "the shed trace was retained, client piece merged"
+                  (Fleet.Router.note_client_trace router tr))
+              !shed_clients;
+            check_false "an unknown trace finds nothing to join"
+              (Fleet.Router.note_client_trace router (Obs.Trace.make ()));
+            (match Fleet.Router.sampler_counters router with
+            | Some counters ->
+                let n_shed = List.length !shed_clients in
+                check_int "every shed trace flagged" n_shed
+                  (List.assoc "flagged" counters);
+                check_int "and retained" n_shed
+                  (List.assoc "flagged_retained" counters);
+                check_int "none evicted" 0
+                  (List.assoc "flagged_evicted" counters)
+            | None -> Alcotest.fail "no sampler with tracing on");
+            match Fleet.Router.flight_json router with
+            | Some json ->
+                let s = Util.Json.to_string json in
+                check_true "client spans in the flight dump"
+                  (contains_sub s "client.request");
+                check_true "router spans in the flight dump"
+                  (contains_sub s "fleet.request")
+            | None -> Alcotest.fail "no flight dump with tracing on"));
+    case "tracing off costs nothing and exposes nothing" (fun () ->
+        with_router [| ok_worker |] (fun router ->
+            check_false "off by default" (Fleet.Router.tracing_enabled router);
+            check_true "no flight dump" (Fleet.Router.flight_json router = None);
+            check_true "no sampler" (Fleet.Router.sampler_counters router = None);
+            check_true "no collector"
+              (Fleet.Router.collector_counters router = None);
+            check_int "nothing to drain" 0 (Fleet.Router.drain_spans router);
+            check_false "client pieces are dropped"
+              (Fleet.Router.note_client_trace router (Obs.Trace.make ()))));
+    case "the fleet scrape is a conformant exposition" (fun () ->
+        with_router [| ok_worker; ok_worker |] (fun router ->
+            let merged = Service.Metrics.create () in
+            let per_worker =
+              [ (0, Service.Metrics.create ()); (1, Service.Metrics.create ()) ]
+            in
+            let text = Fleet.Router.prometheus router ~merged ~per_worker in
+            let lines = String.split_on_char '\n' text in
+            let name_after prefix line =
+              let p = String.length prefix in
+              if String.length line > p && String.sub line 0 p = prefix then
+                Some
+                  (List.hd
+                     (String.split_on_char ' '
+                        (String.sub line p (String.length line - p))))
+              else None
+            in
+            let helps = Hashtbl.create 64 and types = Hashtbl.create 64 in
+            List.iter
+              (fun line ->
+                (match name_after "# HELP " line with
+                | Some name ->
+                    check_false ("one HELP for " ^ name) (Hashtbl.mem helps name);
+                    Hashtbl.add helps name ()
+                | None -> ());
+                match name_after "# TYPE " line with
+                | Some name ->
+                    check_false ("one TYPE for " ^ name) (Hashtbl.mem types name);
+                    Hashtbl.add types name ()
+                | None -> ())
+              lines;
+            check_int "HELP and TYPE pair up" (Hashtbl.length helps)
+              (Hashtbl.length types);
+            Hashtbl.iter
+              (fun name () ->
+                check_true ("TYPE for " ^ name) (Hashtbl.mem types name))
+              helps;
+            (* Every series line belongs to a declared metric (histogram
+               series declare under their base name). *)
+            let strip_suffix name =
+              List.fold_left
+                (fun acc suf ->
+                  let n = String.length name and s = String.length suf in
+                  if acc = None && n > s && String.sub name (n - s) s = suf
+                  then Some (String.sub name 0 (n - s))
+                  else acc)
+                None
+                [ "_bucket"; "_sum"; "_count" ]
+            in
+            List.iter
+              (fun line ->
+                if line <> "" && line.[0] <> '#' then begin
+                  let name =
+                    List.hd
+                      (String.split_on_char '{'
+                         (List.hd (String.split_on_char ' ' line)))
+                  in
+                  check_true ("declared: " ^ name)
+                    (Hashtbl.mem helps name
+                    ||
+                    match strip_suffix name with
+                    | Some base -> Hashtbl.mem helps base
+                    | None -> false)
+                end)
+              lines;
+            List.iter
+              (fun name ->
+                check_true (name ^ " present") (Hashtbl.mem helps name))
+              [
+                "chimera_fleet_workers";
+                "chimera_fleet_worker_up";
+                "chimera_slo_target";
+                "chimera_slo_burn_rate";
+              ]));
+  ]
+
 let suites =
   [
     ("fleet.ring", ring_tests);
@@ -1130,5 +1335,6 @@ let suites =
     ("fleet.supervisor", supervisor_tests);
     ("fleet.stability", stability_tests);
     ("fleet.wire", wire_tests);
+    ("fleet.tracing", tracing_tests);
     ("fleet.e2e", e2e_tests);
   ]

@@ -1566,6 +1566,120 @@ let fuzz_tests =
            ok));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Distributed tracing on the serve wire                               *)
+(* ------------------------------------------------------------------ *)
+
+let tracing_tests =
+  [
+    slow_case "a traceparent joins the request to the caller's trace"
+      (fun () ->
+        let out =
+          serve
+            [
+              "{\"workload\":\"G1\",\"arch\":\"cpu\",\"id\":\"t\","
+              ^ "\"traceparent\":\"00-deadbeefcafef00d-000000ab-01\"}";
+              "{\"workload\":\"G1\",\"arch\":\"cpu\",\"id\":\"u\"}";
+              "{\"cmd\":\"quit\"}";
+            ]
+        in
+        match out with
+        | [ traced; untraced; _quit ] ->
+            check_true "ok" (jfield "ok" traced = Util.Json.Bool true);
+            let ship = jfield "trace" traced in
+            check_true "the adopted distributed trace id"
+              (jfield "trace_id" ship
+              = Util.Json.String "deadbeefcafef00d");
+            check_true "parented under the caller's span"
+              (jfield "remote_parent" ship = Util.Json.Int 0xab);
+            (match jfield "spans" ship with
+            | Util.Json.List spans ->
+                check_true "spans shipped" (spans <> []);
+                check_true "the pipeline root span is present"
+                  (List.exists
+                     (fun s ->
+                       Util.Json.member "name" s
+                       = Some (Util.Json.String "request"))
+                     spans)
+            | _ -> Alcotest.fail "trace.spans is not a list");
+            check_true "untraced requests ship nothing"
+              (Util.Json.member "trace" untraced = None)
+        | l -> Alcotest.failf "expected 3 responses, got %d" (List.length l));
+    slow_case "a malformed traceparent never fails the request" (fun () ->
+        let out =
+          serve
+            [
+              "{\"workload\":\"G1\",\"arch\":\"cpu\",\"id\":\"m\","
+              ^ "\"traceparent\":\"99-not-a-context\"}";
+              "{\"cmd\":\"quit\"}";
+            ]
+        in
+        match out with
+        | [ resp; _quit ] ->
+            check_true "still answers ok"
+              (jfield "ok" resp = Util.Json.Bool true);
+            check_true "but joins no trace"
+              (Util.Json.member "trace" resp = None)
+        | l -> Alcotest.failf "expected 2 responses, got %d" (List.length l));
+    slow_case "a traced failure's spans wait in the spool for cmd:spans"
+      (fun () ->
+        with_failpoints "plan.solve(G5)=raise;plan.heuristic(G5)=raise"
+          (fun () ->
+            let out =
+              serve
+                [
+                  "{\"workload\":\"G5\",\"arch\":\"cpu\",\"id\":\"f\","
+                  ^ "\"traceparent\":\"00-deadbeefcafef00d-000000ab-01\"}";
+                  "{\"cmd\":\"spans\"}";
+                  "{\"cmd\":\"spans\"}";
+                  "{\"cmd\":\"quit\"}";
+                ]
+            in
+            match out with
+            | [ failed; drained; empty; _quit ] ->
+                check_true "the request failed"
+                  (jfield "ok" failed = Util.Json.Bool false);
+                check_true "error schema carries no trace"
+                  (Util.Json.member "trace" failed = None);
+                check_true "one spooled payload"
+                  (jfield "count" drained = Util.Json.Int 1);
+                (match jfield "spans" drained with
+                | Util.Json.List [ ship ] ->
+                    check_true "the failed request's trace"
+                      (jfield "trace_id" ship
+                      = Util.Json.String "deadbeefcafef00d")
+                | _ -> Alcotest.fail "spans is not a one-payload list");
+                check_true "the drain drains"
+                  (jfield "count" empty = Util.Json.Int 0)
+            | l ->
+                Alcotest.failf "expected 4 responses, got %d"
+                  (List.length l)));
+    slow_case "trace-loss counters ride the stats wire" (fun () ->
+        let out =
+          serve
+            [
+              "{\"workload\":\"G1\",\"arch\":\"cpu\",\"id\":\"s\","
+              ^ "\"traceparent\":\"00-deadbeefcafef00d-000000ab-01\"}";
+              "{\"cmd\":\"stats\"}";
+              "{\"cmd\":\"stats\",\"full\":true}";
+              "{\"cmd\":\"quit\"}";
+            ]
+        in
+        match out with
+        | [ _resp; stats; full; _quit ] ->
+            List.iter
+              (fun j ->
+                List.iter
+                  (fun key ->
+                    match jfield key j with
+                    | Util.Json.Int n ->
+                        check_true (key ^ " is non-negative") (n >= 0)
+                    | _ -> Alcotest.failf "%s is not an integer" key)
+                  [ "trace_spans_dropped"; "trace_ring_evictions" ])
+              [ stats; full ]
+        | l -> Alcotest.failf "expected 4 responses, got %d" (List.length l));
+  ]
+
 let suites =
   [
     ("service.json", json_tests);
@@ -1586,4 +1700,5 @@ let suites =
     ("service.fuzz", fuzz_tests);
     ("service.injection", injection_tests);
     ("service.marathon", marathon_tests);
+    ("service.tracing", tracing_tests);
   ]
